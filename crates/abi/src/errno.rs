@@ -1,0 +1,82 @@
+//! Error codes returned by trap handlers.
+//!
+//! Handlers return `0` on success and a negative errno on failure, following
+//! the Unix convention that xv6 and Hyperkernel inherit. The values are
+//! stable ABI: the state-machine specifications return exactly the same
+//! codes, and the refinement proof checks return values for equality.
+
+/// Operation not permitted (ownership or lifetime check failed).
+pub const EPERM: i64 = 1;
+/// No such process / process slot not in the required state.
+pub const ESRCH: i64 = 3;
+/// Resource temporarily unavailable (e.g. pipe full or empty).
+pub const EAGAIN: i64 = 11;
+/// Out of memory / page not free.
+pub const ENOMEM: i64 = 12;
+/// Resource busy (slot already in use).
+pub const EBUSY: i64 = 16;
+/// Invalid argument (out of range or malformed).
+pub const EINVAL: i64 = 22;
+/// Bad file descriptor.
+pub const EBADF: i64 = 9;
+/// No such device or device slot unavailable.
+pub const ENODEV: i64 = 19;
+/// Too many open files (file table exhausted at the requested slot).
+pub const ENFILE: i64 = 23;
+/// Broken pipe (no reader).
+pub const EPIPE: i64 = 32;
+
+/// All errno symbols with their names, for diagnostics and test output.
+pub const ERRNO_TABLE: &[(&str, i64)] = &[
+    ("EPERM", EPERM),
+    ("ESRCH", ESRCH),
+    ("EBADF", EBADF),
+    ("EAGAIN", EAGAIN),
+    ("ENOMEM", ENOMEM),
+    ("EBUSY", EBUSY),
+    ("ENODEV", ENODEV),
+    ("EINVAL", EINVAL),
+    ("ENFILE", ENFILE),
+    ("EPIPE", EPIPE),
+];
+
+/// Renders a handler return value: `"0"`, `"-EINVAL"`, or the raw number.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hk_abi::errno_name(0), "0");
+/// assert_eq!(hk_abi::errno_name(-hk_abi::EINVAL), "-EINVAL");
+/// ```
+pub fn errno_name(ret: i64) -> String {
+    if ret >= 0 {
+        return ret.to_string();
+    }
+    for (name, val) in ERRNO_TABLE {
+        if -val == ret {
+            return format!("-{name}");
+        }
+    }
+    ret.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errnos_are_distinct() {
+        for (i, a) in ERRNO_TABLE.iter().enumerate() {
+            for b in &ERRNO_TABLE[i + 1..] {
+                assert_ne!(a.1, b.1, "{} and {} collide", a.0, b.0);
+            }
+        }
+    }
+
+    #[test]
+    fn errno_name_roundtrip() {
+        assert_eq!(errno_name(-EBADF), "-EBADF");
+        assert_eq!(errno_name(42), "42");
+        assert_eq!(errno_name(-12345), "-12345");
+    }
+}

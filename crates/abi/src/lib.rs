@@ -1,0 +1,21 @@
+//! Shared ABI definitions for the Hyperkernel reproduction.
+//!
+//! This crate is the single source of truth for everything that must agree
+//! across the kernel implementation, the specifications, the verifier, the
+//! machine substrate, and user space: system-call numbers, error codes,
+//! resource type tags, page-table entry encodings, and the kernel size
+//! parameters ([`KernelParams`]).
+//!
+//! It deliberately has no dependencies so that every other crate can use it.
+
+pub mod errno;
+pub mod params;
+pub mod pte;
+pub mod sysno;
+pub mod types;
+
+pub use errno::*;
+pub use params::KernelParams;
+pub use pte::*;
+pub use sysno::Sysno;
+pub use types::*;

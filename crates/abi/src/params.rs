@@ -1,0 +1,165 @@
+//! Kernel size parameters.
+//!
+//! Hyperkernel's finite-interface design means every trap handler touches a
+//! constant number of resources regardless of how large these tables are
+//! (paper §2.1). The verifier exploits that: verification time must be
+//! independent of the parameter values, which the scaling experiment in
+//! §6.3 demonstrates by multiplying the page count by 2x, 4x, and 100x.
+//!
+//! Two stock profiles are provided: [`KernelParams::verification`] (small
+//! tables, so counterexamples stay readable — the paper's "small
+//! counterexample" debugging methodology from §6.2) and
+//! [`KernelParams::production`] (xv6-derived sizes used when actually
+//! running the system).
+
+/// Size parameters of every kernel table.
+///
+/// All limits are exclusive upper bounds on the corresponding resource
+/// identifier: PIDs range over `1..nr_procs` (0 is the "none" sentinel),
+/// file descriptors over `0..nr_fds`, and so on.
+///
+/// # Examples
+///
+/// ```
+/// let p = hk_abi::KernelParams::verification();
+/// assert!(p.nr_procs < hk_abi::KernelParams::production().nr_procs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelParams {
+    /// Number of process-table slots (PID 0 is reserved as "none").
+    pub nr_procs: u64,
+    /// Per-process file-descriptor table size.
+    pub nr_fds: u64,
+    /// System-wide file-table size. `nr_files` itself is the "no file"
+    /// sentinel stored in FD slots, exactly as in the paper's `dup` spec
+    /// (`proc_fd_table(pid, fd) < NR_FILES` means "open").
+    pub nr_files: u64,
+    /// Number of RAM pages managed by the page metadata table.
+    pub nr_pages: u64,
+    /// Number of DMA pages (the dedicated volatile region of Figure 6).
+    pub nr_dmapages: u64,
+    /// Number of device-table slots (IOMMU device table).
+    pub nr_devs: u64,
+    /// Number of I/O ports that can be delegated to user space.
+    pub nr_ports: u64,
+    /// Number of interrupt vectors that can be delegated to user space.
+    pub nr_vectors: u64,
+    /// Number of interrupt-remapping-table entries.
+    pub nr_intremaps: u64,
+    /// Number of kernel pipe buffers.
+    pub nr_pipes: u64,
+    /// Page size in 64-bit words (production: 512 words = 4 KiB).
+    pub page_words: u64,
+    /// Pipe buffer capacity in 64-bit words.
+    pub pipe_words: u64,
+}
+
+impl KernelParams {
+    /// Small tables used for verification and for generating readable
+    /// counterexamples (§6.2: "temporarily lowering system parameters";
+    /// the paper's small-counterexample methodology doubles here as a
+    /// small-model verification profile, and the §6.3 scaling experiment
+    /// demonstrates that verification cost does not depend on these
+    /// values).
+    pub const fn verification() -> Self {
+        KernelParams {
+            nr_procs: 6,
+            nr_fds: 4,
+            nr_files: 6,
+            nr_pages: 16,
+            nr_dmapages: 3,
+            nr_devs: 3,
+            nr_ports: 4,
+            nr_vectors: 4,
+            nr_intremaps: 3,
+            nr_pipes: 3,
+            page_words: 4,
+            pipe_words: 4,
+        }
+    }
+
+    /// xv6-derived sizes used when running the system.
+    pub const fn production() -> Self {
+        KernelParams {
+            nr_procs: 64,
+            nr_fds: 16,
+            nr_files: 128,
+            nr_pages: 8192,
+            nr_dmapages: 64,
+            nr_devs: 16,
+            nr_ports: 64,
+            nr_vectors: 32,
+            nr_intremaps: 32,
+            nr_pipes: 32,
+            page_words: 512,
+            pipe_words: 512,
+        }
+    }
+
+    /// The verification profile with the page count scaled by `factor`,
+    /// used by the §6.3 scaling experiment.
+    pub const fn verification_scaled_pages(factor: u64) -> Self {
+        let mut p = Self::verification();
+        p.nr_pages *= factor;
+        p
+    }
+
+    /// Page size in bytes.
+    pub const fn page_bytes(&self) -> u64 {
+        self.page_words * 8
+    }
+
+    /// Total number of page-frame numbers: RAM pages followed by DMA pages.
+    ///
+    /// Page-table entries address this combined space; a pfn `>= nr_pages`
+    /// refers to DMA page `pfn - nr_pages`.
+    pub const fn nr_pfns(&self) -> u64 {
+        self.nr_pages + self.nr_dmapages
+    }
+
+    /// Returns true if the parameters are internally consistent (non-zero
+    /// tables, power-of-two page size, and identifiers that fit the PTE
+    /// pfn field).
+    pub fn validate(&self) -> bool {
+        self.nr_procs >= 2
+            && self.nr_fds >= 1
+            && self.nr_files >= 1
+            && self.nr_pages >= 8
+            && self.page_words.is_power_of_two()
+            && self.page_words >= 4
+            && self.pipe_words >= 1
+            && self.nr_pfns() < (1 << 40)
+    }
+}
+
+impl Default for KernelParams {
+    fn default() -> Self {
+        Self::production()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_validate() {
+        assert!(KernelParams::verification().validate());
+        assert!(KernelParams::production().validate());
+        assert!(KernelParams::verification_scaled_pages(100).validate());
+    }
+
+    #[test]
+    fn scaling_only_touches_pages() {
+        let base = KernelParams::verification();
+        let scaled = KernelParams::verification_scaled_pages(4);
+        assert_eq!(scaled.nr_pages, base.nr_pages * 4);
+        assert_eq!(scaled.nr_procs, base.nr_procs);
+        assert_eq!(scaled.nr_files, base.nr_files);
+    }
+
+    #[test]
+    fn page_bytes_production_is_4k() {
+        assert_eq!(KernelParams::production().page_bytes(), 4096);
+    }
+}

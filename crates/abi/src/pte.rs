@@ -1,0 +1,86 @@
+//! Page-table entry encoding, shared by the kernel (which writes entries),
+//! the machine substrate (whose page walker reads them), the specification
+//! (whose abstract page-walk model reasons about them), and user space.
+//!
+//! The encoding mirrors x86-64: low permission bits, page-frame number
+//! shifted left by 12. The pfn field addresses the combined RAM+DMA frame
+//! space (see [`crate::KernelParams::nr_pfns`]).
+
+/// Present bit.
+pub const PTE_P: i64 = 1 << 0;
+/// Writable bit.
+pub const PTE_W: i64 = 1 << 1;
+/// User-accessible bit.
+pub const PTE_U: i64 = 1 << 2;
+/// Mask of the permission bits a user process may request.
+pub const PTE_PERM_MASK: i64 = PTE_P | PTE_W | PTE_U;
+/// Shift of the page-frame-number field.
+pub const PTE_PFN_SHIFT: i64 = 12;
+
+/// Number of page-table levels in a CPU or IOMMU walk.
+pub const PT_LEVELS: u64 = 4;
+
+/// Encodes a page-table entry from a frame number and permission bits.
+///
+/// # Examples
+///
+/// ```
+/// use hk_abi::{pte_encode, pte_pfn, pte_perm, PTE_P, PTE_W};
+/// let e = pte_encode(7, PTE_P | PTE_W);
+/// assert_eq!(pte_pfn(e), 7);
+/// assert_eq!(pte_perm(e), PTE_P | PTE_W);
+/// ```
+pub const fn pte_encode(pfn: i64, perm: i64) -> i64 {
+    (pfn << PTE_PFN_SHIFT) | (perm & PTE_PERM_MASK)
+}
+
+/// Extracts the page-frame number from an entry.
+pub const fn pte_pfn(entry: i64) -> i64 {
+    // Arithmetic shift is fine: pfns are validated non-negative.
+    entry >> PTE_PFN_SHIFT
+}
+
+/// Extracts the permission bits from an entry.
+pub const fn pte_perm(entry: i64) -> i64 {
+    entry & PTE_PERM_MASK
+}
+
+/// True if the entry has the present bit set.
+pub const fn pte_present(entry: i64) -> bool {
+    entry & PTE_P != 0
+}
+
+/// True if the entry is present and writable.
+pub const fn pte_writable(entry: i64) -> bool {
+    entry & (PTE_P | PTE_W) == (PTE_P | PTE_W)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_perms() {
+        for perm in 0..8 {
+            for pfn in [0i64, 1, 31, 8191, (1 << 40) - 1] {
+                let e = pte_encode(pfn, perm);
+                assert_eq!(pte_pfn(e), pfn);
+                assert_eq!(pte_perm(e), perm);
+                assert_eq!(pte_present(e), perm & PTE_P != 0);
+            }
+        }
+    }
+
+    #[test]
+    fn perm_mask_strips_extra_bits() {
+        let e = pte_encode(3, 0xff);
+        assert_eq!(pte_perm(e), PTE_PERM_MASK);
+        assert_eq!(pte_pfn(e), 3);
+    }
+
+    #[test]
+    fn writable_requires_present() {
+        assert!(!pte_writable(pte_encode(1, PTE_W)));
+        assert!(pte_writable(pte_encode(1, PTE_P | PTE_W)));
+    }
+}

@@ -1,0 +1,310 @@
+//! The 50 trap handlers of the kernel interface.
+//!
+//! Hyperkernel's interface consists of 45 system calls (invoked from guest
+//! mode via a hypercall) plus 5 other trap handlers (preemption timer,
+//! external interrupt, triple fault, debug print, and the unknown-hypercall
+//! fallback), for a total of **50 verified trap handlers**, matching the
+//! paper's count.
+
+/// Identifier of a trap handler. The numeric value is the hypercall number
+/// used by guests; traps above [`Sysno::FIRST_TRAP`] are not directly
+/// invocable from user space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u64)]
+pub enum Sysno {
+    // Process management.
+    Nop = 0,
+    AckIntr = 1,
+    CloneProc = 2,
+    SetRunnable = 3,
+    Switch = 4,
+    Kill = 5,
+    Reap = 6,
+    Reparent = 7,
+    // Virtual memory.
+    AllocPdpt = 8,
+    AllocPd = 9,
+    AllocPt = 10,
+    AllocFrame = 11,
+    CopyFrame = 12,
+    ProtectFrame = 13,
+    FreePdpt = 14,
+    FreePd = 15,
+    FreePt = 16,
+    FreeFrame = 17,
+    ReclaimPage = 18,
+    MapDmaPage = 19,
+    // File descriptors and pipes.
+    CreateFile = 20,
+    Close = 21,
+    Dup = 22,
+    Dup2 = 23,
+    Pipe = 24,
+    PipeRead = 25,
+    PipeWrite = 26,
+    // IPC.
+    Send = 27,
+    Recv = 28,
+    ReplyWait = 29,
+    TransferFd = 30,
+    // Scheduling and time.
+    Yield = 31,
+    Uptime = 32,
+    // IOMMU and devices.
+    AllocIommuRoot = 33,
+    AllocIommuPdpt = 34,
+    AllocIommuPd = 35,
+    AllocIommuPt = 36,
+    AllocIommuFrame = 37,
+    FreeIommuRoot = 38,
+    AllocPort = 39,
+    ReclaimPort = 40,
+    // Interrupt delegation.
+    AllocVector = 41,
+    ReclaimVector = 42,
+    AllocIntremap = 43,
+    ReclaimIntremap = 44,
+    // Non-syscall traps.
+    TrapTimer = 45,
+    TrapIrq = 46,
+    TrapTripleFault = 47,
+    TrapDebugPrint = 48,
+    TrapInvalid = 49,
+}
+
+impl Sysno {
+    /// First handler number that is a trap rather than a hypercall.
+    pub const FIRST_TRAP: u64 = 45;
+    /// Total number of trap handlers (the paper's "50").
+    pub const COUNT: usize = 50;
+
+    /// All 50 handlers in numeric order.
+    pub const ALL: [Sysno; Sysno::COUNT] = [
+        Sysno::Nop,
+        Sysno::AckIntr,
+        Sysno::CloneProc,
+        Sysno::SetRunnable,
+        Sysno::Switch,
+        Sysno::Kill,
+        Sysno::Reap,
+        Sysno::Reparent,
+        Sysno::AllocPdpt,
+        Sysno::AllocPd,
+        Sysno::AllocPt,
+        Sysno::AllocFrame,
+        Sysno::CopyFrame,
+        Sysno::ProtectFrame,
+        Sysno::FreePdpt,
+        Sysno::FreePd,
+        Sysno::FreePt,
+        Sysno::FreeFrame,
+        Sysno::ReclaimPage,
+        Sysno::MapDmaPage,
+        Sysno::CreateFile,
+        Sysno::Close,
+        Sysno::Dup,
+        Sysno::Dup2,
+        Sysno::Pipe,
+        Sysno::PipeRead,
+        Sysno::PipeWrite,
+        Sysno::Send,
+        Sysno::Recv,
+        Sysno::ReplyWait,
+        Sysno::TransferFd,
+        Sysno::Yield,
+        Sysno::Uptime,
+        Sysno::AllocIommuRoot,
+        Sysno::AllocIommuPdpt,
+        Sysno::AllocIommuPd,
+        Sysno::AllocIommuPt,
+        Sysno::AllocIommuFrame,
+        Sysno::FreeIommuRoot,
+        Sysno::AllocPort,
+        Sysno::ReclaimPort,
+        Sysno::AllocVector,
+        Sysno::ReclaimVector,
+        Sysno::AllocIntremap,
+        Sysno::ReclaimIntremap,
+        Sysno::TrapTimer,
+        Sysno::TrapIrq,
+        Sysno::TrapTripleFault,
+        Sysno::TrapDebugPrint,
+        Sysno::TrapInvalid,
+    ];
+
+    /// Decodes a hypercall number. Unknown numbers resolve to
+    /// [`Sysno::TrapInvalid`], which is itself a verified handler — the
+    /// kernel has no unverified "default" path.
+    pub fn from_hypercall(n: u64) -> Sysno {
+        if n < Sysno::FIRST_TRAP {
+            Sysno::ALL[n as usize]
+        } else {
+            Sysno::TrapInvalid
+        }
+    }
+
+    /// The hypercall/trap number.
+    pub const fn number(self) -> u64 {
+        self as u64
+    }
+
+    /// True for the five handlers that are not user-invocable hypercalls.
+    pub const fn is_trap(self) -> bool {
+        self as u64 >= Sysno::FIRST_TRAP
+    }
+
+    /// Name of the HyperC function implementing this handler.
+    pub const fn func_name(self) -> &'static str {
+        match self {
+            Sysno::Nop => "sys_nop",
+            Sysno::AckIntr => "sys_ack_intr",
+            Sysno::CloneProc => "sys_clone_proc",
+            Sysno::SetRunnable => "sys_set_runnable",
+            Sysno::Switch => "sys_switch",
+            Sysno::Kill => "sys_kill",
+            Sysno::Reap => "sys_reap",
+            Sysno::Reparent => "sys_reparent",
+            Sysno::AllocPdpt => "sys_alloc_pdpt",
+            Sysno::AllocPd => "sys_alloc_pd",
+            Sysno::AllocPt => "sys_alloc_pt",
+            Sysno::AllocFrame => "sys_alloc_frame",
+            Sysno::CopyFrame => "sys_copy_frame",
+            Sysno::ProtectFrame => "sys_protect_frame",
+            Sysno::FreePdpt => "sys_free_pdpt",
+            Sysno::FreePd => "sys_free_pd",
+            Sysno::FreePt => "sys_free_pt",
+            Sysno::FreeFrame => "sys_free_frame",
+            Sysno::ReclaimPage => "sys_reclaim_page",
+            Sysno::MapDmaPage => "sys_map_dmapage",
+            Sysno::CreateFile => "sys_create_file",
+            Sysno::Close => "sys_close",
+            Sysno::Dup => "sys_dup",
+            Sysno::Dup2 => "sys_dup2",
+            Sysno::Pipe => "sys_pipe",
+            Sysno::PipeRead => "sys_pipe_read",
+            Sysno::PipeWrite => "sys_pipe_write",
+            Sysno::Send => "sys_send",
+            Sysno::Recv => "sys_recv",
+            Sysno::ReplyWait => "sys_reply_wait",
+            Sysno::TransferFd => "sys_transfer_fd",
+            Sysno::Yield => "sys_yield",
+            Sysno::Uptime => "sys_uptime",
+            Sysno::AllocIommuRoot => "sys_alloc_iommu_root",
+            Sysno::AllocIommuPdpt => "sys_alloc_iommu_pdpt",
+            Sysno::AllocIommuPd => "sys_alloc_iommu_pd",
+            Sysno::AllocIommuPt => "sys_alloc_iommu_pt",
+            Sysno::AllocIommuFrame => "sys_alloc_iommu_frame",
+            Sysno::FreeIommuRoot => "sys_free_iommu_root",
+            Sysno::AllocPort => "sys_alloc_port",
+            Sysno::ReclaimPort => "sys_reclaim_port",
+            Sysno::AllocVector => "sys_alloc_vector",
+            Sysno::ReclaimVector => "sys_reclaim_vector",
+            Sysno::AllocIntremap => "sys_alloc_intremap",
+            Sysno::ReclaimIntremap => "sys_reclaim_intremap",
+            Sysno::TrapTimer => "trap_timer",
+            Sysno::TrapIrq => "trap_irq",
+            Sysno::TrapTripleFault => "trap_triple_fault",
+            Sysno::TrapDebugPrint => "trap_debug_print",
+            Sysno::TrapInvalid => "trap_invalid",
+        }
+    }
+
+    /// Number of `i64` arguments the handler takes.
+    pub const fn arg_count(self) -> usize {
+        match self {
+            Sysno::Nop
+            | Sysno::Yield
+            | Sysno::Uptime
+            | Sysno::TrapTimer
+            | Sysno::TrapTripleFault
+            | Sysno::TrapInvalid => 0,
+            Sysno::SetRunnable
+            | Sysno::Switch
+            | Sysno::Kill
+            | Sysno::Reap
+            | Sysno::Reparent
+            | Sysno::ReclaimPage
+            | Sysno::Close
+            | Sysno::AllocPort
+            | Sysno::ReclaimPort
+            | Sysno::AllocVector
+            | Sysno::ReclaimVector
+            | Sysno::ReclaimIntremap
+            | Sysno::AckIntr
+            | Sysno::TrapIrq
+            | Sysno::TrapDebugPrint => 1,
+            Sysno::CopyFrame
+            | Sysno::Dup
+            | Sysno::Dup2
+            | Sysno::AllocIommuRoot
+            | Sysno::FreeIommuRoot => 2,
+            Sysno::FreePdpt
+            | Sysno::FreePd
+            | Sysno::FreePt
+            | Sysno::FreeFrame
+            | Sysno::Recv
+            | Sysno::TransferFd
+            | Sysno::AllocIntremap => 3,
+            Sysno::CloneProc
+            | Sysno::ProtectFrame
+            | Sysno::PipeRead
+            | Sysno::PipeWrite
+            | Sysno::AllocIommuPdpt
+            | Sysno::AllocIommuPd
+            | Sysno::AllocIommuPt
+            | Sysno::AllocIommuFrame => 4,
+            Sysno::AllocPdpt
+            | Sysno::AllocPd
+            | Sysno::AllocPt
+            | Sysno::AllocFrame
+            | Sysno::MapDmaPage
+            | Sysno::CreateFile
+            | Sysno::Pipe
+            | Sysno::Send
+            | Sysno::ReplyWait => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for Sysno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.func_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_complete_and_ordered() {
+        assert_eq!(Sysno::ALL.len(), 50);
+        for (i, s) in Sysno::ALL.iter().enumerate() {
+            assert_eq!(s.number(), i as u64);
+        }
+    }
+
+    #[test]
+    fn from_hypercall_roundtrip() {
+        for s in Sysno::ALL {
+            if !s.is_trap() {
+                assert_eq!(Sysno::from_hypercall(s.number()), s);
+            }
+        }
+        assert_eq!(Sysno::from_hypercall(999), Sysno::TrapInvalid);
+        assert_eq!(Sysno::from_hypercall(45), Sysno::TrapInvalid);
+    }
+
+    #[test]
+    fn func_names_unique() {
+        let mut names: Vec<_> = Sysno::ALL.iter().map(|s| s.func_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+    }
+
+    #[test]
+    fn exactly_five_traps() {
+        assert_eq!(Sysno::ALL.iter().filter(|s| s.is_trap()).count(), 5);
+    }
+}

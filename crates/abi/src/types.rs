@@ -1,0 +1,177 @@
+//! Resource type tags and sentinels shared by the kernel, the specs, and
+//! user space.
+//!
+//! These are plain `i64` constants rather than Rust enums because the same
+//! values must appear inside HyperC kernel source, inside SMT terms, and
+//! inside guest-visible memory; a single numeric namespace avoids any
+//! translation layer that would itself need verification.
+
+/// PID of the initial process created by the (trusted) boot code.
+pub const INIT_PID: i64 = 1;
+/// The "no process" sentinel used for owners and parents.
+pub const PID_NONE: i64 = 0;
+
+/// Process states (field `procs[pid].state`).
+pub mod proc_state {
+    /// Slot unused.
+    pub const FREE: i64 = 0;
+    /// Created but not yet runnable (between `clone_proc` and
+    /// `set_runnable`).
+    pub const EMBRYO: i64 = 1;
+    /// Eligible to run.
+    pub const RUNNABLE: i64 = 2;
+    /// Currently executing (exactly one process, `current`).
+    pub const RUNNING: i64 = 3;
+    /// Blocked in `sys_recv` waiting for an IPC message.
+    pub const SLEEPING: i64 = 4;
+    /// Killed; resources must be reclaimed before the slot can be reaped.
+    pub const ZOMBIE: i64 = 5;
+
+    /// Human-readable name for diagnostics.
+    pub fn name(s: i64) -> &'static str {
+        match s {
+            FREE => "FREE",
+            EMBRYO => "EMBRYO",
+            RUNNABLE => "RUNNABLE",
+            RUNNING => "RUNNING",
+            SLEEPING => "SLEEPING",
+            ZOMBIE => "ZOMBIE",
+            _ => "?",
+        }
+    }
+}
+
+/// Page types (field `page_desc[pn].ty`), following the typed-pages design
+/// of paper §4.1: user processes retype pages through system calls, and the
+/// kernel decides legality from the recorded type.
+pub mod page_type {
+    /// Free and allocatable.
+    pub const FREE: i64 = 0;
+    /// Reserved for the kernel (boot memory, kernel image, metadata).
+    pub const RESERVED: i64 = 1;
+    /// Page-table root (PML4) of a process.
+    pub const PML4: i64 = 2;
+    /// Third-level page-directory-pointer table.
+    pub const PDPT: i64 = 3;
+    /// Second-level page directory.
+    pub const PD: i64 = 4;
+    /// First-level page table.
+    pub const PT: i64 = 5;
+    /// Data page mapped into a process address space.
+    pub const FRAME: i64 = 6;
+    /// Kernel-managed stack page of a process.
+    pub const STACK: i64 = 7;
+    /// Virtual-machine control structure page of a process.
+    pub const HVM: i64 = 8;
+    /// IOMMU page-table root referenced by a device-table entry.
+    pub const IOMMU_PML4: i64 = 9;
+    /// IOMMU third-level table.
+    pub const IOMMU_PDPT: i64 = 10;
+    /// IOMMU second-level table.
+    pub const IOMMU_PD: i64 = 11;
+    /// IOMMU first-level table.
+    pub const IOMMU_PT: i64 = 12;
+
+    /// Human-readable name for diagnostics.
+    pub fn name(t: i64) -> &'static str {
+        match t {
+            FREE => "FREE",
+            RESERVED => "RESERVED",
+            PML4 => "PML4",
+            PDPT => "PDPT",
+            PD => "PD",
+            PT => "PT",
+            FRAME => "FRAME",
+            STACK => "STACK",
+            HVM => "HVM",
+            IOMMU_PML4 => "IOMMU_PML4",
+            IOMMU_PDPT => "IOMMU_PDPT",
+            IOMMU_PD => "IOMMU_PD",
+            IOMMU_PT => "IOMMU_PT",
+            _ => "?",
+        }
+    }
+
+    /// True for the four CPU page-table levels (root through leaf table).
+    pub fn is_cpu_table(t: i64) -> bool {
+        matches!(t, PML4 | PDPT | PD | PT)
+    }
+
+    /// True for the four IOMMU page-table levels.
+    pub fn is_iommu_table(t: i64) -> bool {
+        matches!(t, IOMMU_PML4 | IOMMU_PDPT | IOMMU_PD | IOMMU_PT)
+    }
+}
+
+/// File types (field `files[f].ty`).
+pub mod file_type {
+    /// Slot unused.
+    pub const NONE: i64 = 0;
+    /// Kernel pipe; `files[f].value` is the pipe index, `files[f].omode`
+    /// selects the read (0) or write (1) end.
+    pub const PIPE: i64 = 1;
+    /// Inode handle interpreted by the user-space file server;
+    /// `files[f].value` is the inode number.
+    pub const INODE: i64 = 2;
+    /// Socket handle interpreted by the user-space network server.
+    pub const SOCKET: i64 = 3;
+
+    /// Human-readable name for diagnostics.
+    pub fn name(t: i64) -> &'static str {
+        match t {
+            NONE => "NONE",
+            PIPE => "PIPE",
+            INODE => "INODE",
+            SOCKET => "SOCKET",
+            _ => "?",
+        }
+    }
+}
+
+/// Interrupt-remapping-table entry states (field `intremaps[i].state`).
+pub mod intremap_state {
+    /// Entry unused.
+    pub const FREE: i64 = 0;
+    /// Entry active: routes `devid`'s interrupts to `vector`.
+    pub const ACTIVE: i64 = 1;
+}
+
+/// Open modes for pipe file entries (field `files[f].omode`).
+pub mod omode {
+    /// Read end.
+    pub const READ: i64 = 0;
+    /// Write end.
+    pub const WRITE: i64 = 1;
+}
+
+/// Sentinel stored in `devs[d].root` when the device-table entry is
+/// invalid (no IOMMU page-table root attached).
+pub const DEV_ROOT_NONE: i64 = -1;
+
+/// Sentinel stored in `page_desc[pn].parent_pn` when a page is not
+/// referenced by any page-table entry or device-table entry.
+pub const PARENT_NONE: i64 = -1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_type_predicates() {
+        assert!(page_type::is_cpu_table(page_type::PML4));
+        assert!(page_type::is_cpu_table(page_type::PT));
+        assert!(!page_type::is_cpu_table(page_type::FRAME));
+        assert!(page_type::is_iommu_table(page_type::IOMMU_PD));
+        assert!(!page_type::is_iommu_table(page_type::PD));
+    }
+
+    #[test]
+    fn names_cover_all_tags() {
+        for t in 0..=12 {
+            assert_ne!(page_type::name(t), "?", "page type {t} unnamed");
+        }
+        for s in 0..=5 {
+            assert_ne!(proc_state::name(s), "?", "proc state {s} unnamed");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Criterion benches for the SMT substrate: SAT on structured instances
+//! and bit-blasting of the operators the kernel leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hk_smt::{Ctx, SatResult, Solver, Sort};
+
+fn pigeonhole(n: i32) -> bool {
+    let m = n - 1;
+    let v = |i: i32, j: i32| i * m + j + 1;
+    let mut s = hk_smt::SatSolver::new();
+    for i in 0..n {
+        let c: Vec<i32> = (0..m).map(|j| v(i, j)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..m {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                s.add_clause(&[-v(a, j), -v(b, j)]);
+            }
+        }
+    }
+    matches!(s.solve(), hk_smt::sat::SatOutcome::Unsat)
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat");
+    group.sample_size(10);
+    group.bench_function("pigeonhole_7", |b| b.iter(|| assert!(pigeonhole(7))));
+    group.finish();
+}
+
+fn bench_bitblast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitblast");
+    group.sample_size(10);
+    group.bench_function("mul64_equation", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new();
+            let x = ctx.var("x", Sort::Bv(64));
+            let c7 = ctx.bv_const(64, 7);
+            let p = ctx.bv_mul(x, c7);
+            let t = ctx.bv_const(64, 693);
+            let eq = ctx.eq(p, t);
+            let mut s = Solver::new();
+            s.assert(&mut ctx, eq);
+            assert!(matches!(s.check(&mut ctx), SatResult::Sat(_)));
+        })
+    });
+    group.bench_function("uf_congruence", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new();
+            let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+            let x = ctx.var("x", Sort::Bv(64));
+            let y = ctx.var("y", Sort::Bv(64));
+            let e = ctx.eq(x, y);
+            let fx = ctx.apply(f, &[x]);
+            let fy = ctx.apply(f, &[y]);
+            let ne = ctx.ne(fx, fy);
+            let mut s = Solver::new();
+            s.assert(&mut ctx, e);
+            s.assert(&mut ctx, ne);
+            assert!(s.check(&mut ctx).is_unsat());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_bitblast);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for push-button verification itself: one fast
+//! handler end-to-end (symx + UB query + sliced refinement), tracking
+//! the §6.3 headline number's health over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hk_abi::{KernelParams, Sysno};
+use hk_core::{verify_image, VerifyConfig};
+use hk_kernel::KernelImage;
+
+fn bench_verify(c: &mut Criterion) {
+    let params = KernelParams::verification();
+    let image = KernelImage::build(params).expect("kernel");
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    for sysno in [Sysno::Nop, Sysno::AckIntr, Sysno::Dup] {
+        group.bench_function(sysno.func_name(), |b| {
+            b.iter(|| {
+                let config = VerifyConfig {
+                    params,
+                    threads: 1,
+                    only: vec![sysno],
+                    ..VerifyConfig::default()
+                };
+                let report = verify_image(&image, &config);
+                assert!(report.all_verified());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Figure 10: run-time benchmark cycles on "Linux" (the monolithic
+//! baseline), Hyperkernel, and Hyp-Linux (the in-process emulation
+//! layer), all on the same simulated Kaby Lake machine.
+//!
+//! ```sh
+//! cargo run --release -p hk-bench --bin fig10_runtime
+//! ```
+
+use hk_abi::KernelParams;
+use hk_bench::{hyp_linux_nop_cycles, row, HkBench, MonoBench};
+use hk_vm::CostModel;
+
+fn avg<F: FnMut() -> u64>(iters: u64, mut f: F) -> u64 {
+    let total: u64 = (0..iters).map(|_| f()).sum();
+    total / iters
+}
+
+fn main() {
+    let params = KernelParams::production();
+    let cost = CostModel::default_model();
+    let pages = 64.min(params.page_words as i64);
+    let mut hk = HkBench::new(params, cost, pages);
+    let mut mono = MonoBench::new(params, cost, pages);
+    let iters = 200;
+
+    // syscall: gettid on Linux / Hyp-Linux, sys_nop on Hyperkernel.
+    let mono_nop = avg(iters, || mono.nop());
+    let hk_nop = avg(iters, || hk.nop());
+    let hyp_linux_nop = hyp_linux_nop_cycles();
+
+    // fault: dispatch a write-protection fault to a user handler.
+    let mono_fault = avg(iters, || mono.fault_dispatch());
+    let hk_fault = avg(iters, || hk.fault_dispatch(0));
+    // Hyp-Linux faults take the same direct path plus emulator dispatch.
+    let hyp_linux_fault = hk_fault + hyp_linux_nop;
+
+    // appel1 / appel2: per-100-pages totals, as the paper reports
+    // (prot1/trap/unprot and protN/trap/unprot over the working set).
+    let rounds = 100 / pages as u64 + 1;
+    let hk_a1 = avg(rounds, || (0..pages).map(|i| hk.appel1_step(i)).sum::<u64>())
+        * 100
+        / pages as u64;
+    let mono_a1 = avg(rounds, || {
+        (0..pages).map(|i| mono.appel1_step(i)).sum::<u64>()
+    }) * 100
+        / pages as u64;
+    let hk_a2 = avg(rounds, || hk.appel2_round()) * 100 / pages as u64;
+    let mono_a2 = avg(rounds, || mono.appel2_round()) * 100 / pages as u64;
+    // Hyp-Linux uses the same verified VM calls via emulation: add the
+    // dispatch overhead per emulated syscall (3 per page in appel1).
+    let hyp_a1 = hk_a1 + 3 * 100 * hyp_linux_nop / 2;
+    let hyp_a2 = hk_a2 + 3 * 100 * hyp_linux_nop / 2;
+
+    println!("Figure 10: cycle counts (simulated Kaby Lake)\n");
+    row(
+        "benchmark",
+        &["Linux".into(), "Hyperkernel".into(), "Hyp-Linux".into()],
+    );
+    row(
+        "syscall",
+        &[
+            mono_nop.to_string(),
+            hk_nop.to_string(),
+            hyp_linux_nop.to_string(),
+        ],
+    );
+    row(
+        "fault",
+        &[
+            mono_fault.to_string(),
+            hk_fault.to_string(),
+            hyp_linux_fault.to_string(),
+        ],
+    );
+    row(
+        "appel1 (per 100 pages)",
+        &[mono_a1.to_string(), hk_a1.to_string(), hyp_a1.to_string()],
+    );
+    row(
+        "appel2 (per 100 pages)",
+        &[mono_a2.to_string(), hk_a2.to_string(), hyp_a2.to_string()],
+    );
+    println!("\npaper (Figure 10, real i7-7700K):");
+    row("syscall", &["125".into(), "490".into(), "136".into()]);
+    row("fault", &["2917".into(), "615".into(), "722".into()]);
+    row(
+        "appel1",
+        &["637562".into(), "459522".into(), "519235".into()],
+    );
+    row(
+        "appel2",
+        &["623062".into(), "452611".into(), "482596".into()],
+    );
+    println!(
+        "\nshape checks: hypercall/syscall = {:.1}x (paper 3.9x), \
+         linux/hk fault = {:.1}x (paper 4.7x), hk wins appel1: {}, appel2: {}",
+        hk_nop as f64 / mono_nop as f64,
+        mono_fault as f64 / hk_fault as f64,
+        hk_a1 < mono_a1,
+        hk_a2 < mono_a2,
+    );
+}

@@ -1,0 +1,130 @@
+//! Figure 7: the xv6 bug table, reproduced by injection.
+//!
+//! Re-introduces each kernel-side bug class into the HyperC sources and
+//! runs the verifier on the affected handler; the three exec/loader
+//! classes are demonstrated as user-space-confined by the integration
+//! test suite (`tests/bug_injection.rs`) and marked accordingly here.
+//!
+//! ```sh
+//! cargo run --release -p hk-bench --bin fig7_bugs
+//! ```
+
+use hk_abi::{KernelParams, Sysno};
+use hk_core::{verify_image, HandlerOutcome, VerifyConfig};
+use hk_kernel::image::SOURCES;
+use hk_kernel::KernelImage;
+
+struct Injection {
+    commit: &'static str,
+    class: &'static str,
+    file: &'static str,
+    from: &'static str,
+    to: &'static str,
+    handler: Sysno,
+}
+
+fn injections() -> Vec<Injection> {
+    vec![
+        Injection {
+            commit: "8d1f9963",
+            class: "incorrect pointer",
+            file: "fd.hc",
+            from: "    files[f].refcnt = files[f].refcnt + 1;\n    return 0;\n}\n\n// dup2",
+            to: "    files[newfd].refcnt = files[newfd].refcnt + 1;\n    return 0;\n}\n\n// dup2",
+            handler: Sysno::Dup,
+        },
+        Injection {
+            commit: "2a675089",
+            class: "bounds checking",
+            file: "vm.hc",
+            from: "    if (idx_valid(index) == 0) {\n        return -EINVAL;\n    }\n    if ((pages[parent][index] & PTE_P) != 0) {",
+            to: "    if ((pages[parent][index] & PTE_P) != 0) {",
+            handler: Sysno::AllocPdpt,
+        },
+        Injection {
+            commit: "ffe44492",
+            class: "memory leak",
+            file: "fd.hc",
+            from: "    procs[current].nr_fds = procs[current].nr_fds - 1;\n    file_unref(f);\n    return 0;",
+            to: "    procs[current].nr_fds = procs[current].nr_fds - 1;\n    return 0;",
+            handler: Sysno::Close,
+        },
+        Injection {
+            commit: "aff0c8d5",
+            class: "incorrect I/O privilege",
+            file: "iommu.hc",
+            from: "    if (io_ports[port].owner != PID_NONE) {\n        return -EBUSY;\n    }\n",
+            to: "",
+            handler: Sysno::AllocPort,
+        },
+        Injection {
+            commit: "ae15515d",
+            class: "buffer overflow",
+            file: "fd.hc",
+            from: "    if ((offset < 0) | (offset > PAGE_WORDS - len)) {\n        return -EINVAL;\n    }\n    p = files[f].value;\n    if (len > pipes[p].count) {",
+            to: "    p = files[f].value;\n    if (len > pipes[p].count) {",
+            handler: Sysno::PipeRead,
+        },
+    ]
+}
+
+fn main() {
+    let params = KernelParams::verification();
+    println!("Figure 7: xv6 bugs re-injected and hunted\n");
+    println!(
+        "{:<10} {:<26} {:<18} {:<12} {:>8}",
+        "commit", "class", "handler", "verdict", "time"
+    );
+    for inj in injections() {
+        let sources: Vec<(&'static str, String)> = SOURCES
+            .iter()
+            .map(|&(name, src)| {
+                if name == inj.file {
+                    (name, src.replacen(inj.from, inj.to, 1))
+                } else {
+                    (name, src.to_string())
+                }
+            })
+            .collect();
+        let image =
+            KernelImage::build_with_sources(params, sources).expect("buggy kernel compiles");
+        let config = VerifyConfig {
+            params,
+            threads: 1,
+            only: vec![inj.handler],
+            ..VerifyConfig::default()
+        };
+        let report = verify_image(&image, &config);
+        let h = &report.handlers[0];
+        let verdict = match &h.outcome {
+            HandlerOutcome::UbBug { .. } => "caught: UB",
+            HandlerOutcome::RefinementBug { .. } => "caught: ref",
+            HandlerOutcome::Verified => "MISSED",
+            _ => "inconclusive",
+        };
+        println!(
+            "{:<10} {:<26} {:<18} {:<12} {:>7.1}s",
+            inj.commit,
+            inj.class,
+            inj.handler.func_name(),
+            verdict,
+            h.time.as_secs_f64()
+        );
+    }
+    for (commit, class) in [
+        ("5625ae49", "integer overflow in exec"),
+        ("e916d668", "signedness error in exec"),
+        ("67a7f959", "alignedness error in exec"),
+    ] {
+        println!(
+            "{:<10} {:<26} {:<18} {:<12}",
+            commit, class, "(user loader)", "confined"
+        );
+    }
+    println!(
+        "\nthe three loader classes live in user space here as in the paper\n\
+         (Figure 7's half-filled circles); tests/bug_injection.rs shows the\n\
+         faulting process dies while the kernel invariant and neighbour\n\
+         processes survive."
+    );
+}

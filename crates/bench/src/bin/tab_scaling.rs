@@ -1,0 +1,67 @@
+//! §6.3 scaling: verification time vs kernel-state size.
+//!
+//! The paper increased the maximum number of pages by 2x, 4x, and 100x
+//! "and did not observe a noticeable increase in verification time" —
+//! the payoff of finite interfaces: every handler touches a constant
+//! number of resources, so only the instantiated invariant grows, not
+//! the handler's trace.
+//!
+//! ```sh
+//! cargo run --release -p hk-bench --bin tab_scaling [--factors 1,2,4]
+//! ```
+
+use hk_abi::{KernelParams, Sysno};
+use hk_core::{verify_all, VerifyConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let factors: Vec<u64> = args
+        .iter()
+        .position(|a| a == "--factors")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').filter_map(|v| v.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    // Handlers on the page path (where scaling would bite if anywhere).
+    let handlers = vec![
+        Sysno::AllocFrame,
+        Sysno::FreeFrame,
+        Sysno::Dup,
+        Sysno::AckIntr,
+    ];
+    println!("§6.3: verification time vs NR_PAGES scaling\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>10}",
+        "factor", "NR_PAGES", "state cells", "time", "verified"
+    );
+    for factor in factors {
+        let params = KernelParams::verification_scaled_pages(factor);
+        let config = VerifyConfig {
+            params,
+            threads: 1,
+            only: handlers.clone(),
+            ..VerifyConfig::default()
+        };
+        let cells = params.nr_pages * (params.page_words + 7) + 500; // rough
+        let report = verify_all(&config);
+        println!(
+            "{:<10} {:>10} {:>12} {:>9.1}s {:>7}/{}",
+            format!("x{factor}"),
+            params.nr_pages,
+            cells,
+            report.total_time.as_secs_f64(),
+            report
+                .handlers
+                .iter()
+                .filter(|h| h.outcome.is_verified())
+                .count(),
+            report.handlers.len()
+        );
+    }
+    println!(
+        "\nnote: with finite instantiation (unlike Z3's quantifier engine),\n\
+         the *invariant* grows linearly with NR_PAGES, so some growth is\n\
+         expected here; the handler traces themselves stay constant, which\n\
+         is the property §2.1 claims. The paper's Z3 setup hides the\n\
+         instantiation cost inside E-matching."
+    );
+}

@@ -1,0 +1,282 @@
+//! Checkers for the unverified residue (paper §5).
+//!
+//! The two theorems cover trap handlers but not kernel initialization or
+//! glue, so three checkers close the gaps:
+//!
+//! * **boot checker** — executes `check_rep_invariant` on the freshly
+//!   booted state, and establishes *non-vacuity* of the declarative
+//!   specification by evaluating it concretely on that state (a
+//!   predicate that holds in no state would make Theorem 2 meaningless);
+//! * **stack checker** — bounds the worst-case stack use of every trap
+//!   handler over the call graph against the 4 KiB kernel stack;
+//! * **link checker** — validates that all kernel symbols occupy
+//!   pairwise-disjoint physical ranges and stay inside the kernel's
+//!   memory regions.
+
+use hk_abi::Sysno;
+use hk_kernel::Kernel;
+use hk_smt::eval::Assignment;
+use hk_smt::Ctx;
+use hk_spec::{shapes_of, SpecState};
+use hk_vm::Machine;
+
+/// Result of one checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// The checker passed.
+    Ok,
+    /// The checker found problems.
+    Failed(Vec<String>),
+}
+
+impl CheckResult {
+    /// True if the checker passed.
+    pub fn ok(&self) -> bool {
+        matches!(self, CheckResult::Ok)
+    }
+
+    fn from_errors(errors: Vec<String>) -> CheckResult {
+        if errors.is_empty() {
+            CheckResult::Ok
+        } else {
+            CheckResult::Failed(errors)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Boot checker.
+// ---------------------------------------------------------------------
+
+/// Runs the boot checker on a booted machine: the representation
+/// invariant must hold, and the declarative specification must be
+/// non-vacuous (it holds in at least this one state).
+pub fn boot_checker(kernel: &Kernel, machine: &mut Machine) -> CheckResult {
+    let mut errors = Vec::new();
+    match kernel.check_invariant(machine) {
+        Ok(true) => {}
+        Ok(false) => errors.push("check_rep_invariant is false at boot".to_string()),
+        Err(e) => errors.push(format!("check_rep_invariant failed to run: {e}")),
+    }
+    // Non-vacuity: evaluate every declarative property on the concrete
+    // boot state.
+    let mut ctx = Ctx::new();
+    let shapes = shapes_of(&kernel.image.module);
+    let mut st = SpecState::fresh(&mut ctx, &shapes, kernel.image.params);
+    let mut asg = Assignment::new();
+    for (g, f, idx) in st.all_cells() {
+        let (i, s) = match idx.len() {
+            0 => (0, 0),
+            1 => (idx[0], 0),
+            _ => (idx[0], idx[1]),
+        };
+        let val = kernel.read_global(machine, &g, i, &f, s) as u64;
+        let base = st.map(&g, &f).base;
+        asg.func_mut(base).set(idx, val);
+    }
+    for prop in hk_spec::decl::all_properties() {
+        let term = (prop.build)(&mut ctx, &mut st);
+        if !hk_smt::eval::eval_bool(&ctx, term, &asg) {
+            errors.push(format!(
+                "declarative property `{}` does not hold at boot (vacuity risk)",
+                prop.name
+            ));
+        }
+    }
+    CheckResult::from_errors(errors)
+}
+
+// ---------------------------------------------------------------------
+// Stack checker.
+// ---------------------------------------------------------------------
+
+/// The kernel stack size the paper's stack checker validates against.
+pub const KERNEL_STACK_BYTES: u64 = 4096;
+
+/// Fixed per-call overhead: return address + saved frame pointer.
+const CALL_OVERHEAD_BYTES: u64 = 16;
+
+/// Conservatively estimates the worst-case stack use of every trap
+/// handler: each frame spills all its registers (8 bytes each) plus call
+/// overhead, maximized over the (acyclic) call graph.
+pub fn stack_checker(kernel: &Kernel) -> CheckResult {
+    let module = &kernel.image.module;
+    if let Some(cycle) = hk_hir::verify::find_recursion(module) {
+        return CheckResult::Failed(vec![format!(
+            "call graph has a cycle ({} functions); stack unbounded",
+            cycle.len()
+        )]);
+    }
+    // Depth-first maximal stack over the DAG, memoized.
+    fn max_stack(
+        module: &hk_hir::Module,
+        f: hk_hir::FuncId,
+        memo: &mut std::collections::HashMap<u32, u64>,
+    ) -> u64 {
+        if let Some(&v) = memo.get(&f.0) {
+            return v;
+        }
+        let def = module.func_def(f);
+        let own = def.num_regs as u64 * 8 + CALL_OVERHEAD_BYTES;
+        let deepest_callee = def
+            .callees()
+            .into_iter()
+            .map(|c| max_stack(module, c, memo))
+            .max()
+            .unwrap_or(0);
+        let total = own + deepest_callee;
+        memo.insert(f.0, total);
+        total
+    }
+    let mut memo = std::collections::HashMap::new();
+    let mut errors = Vec::new();
+    let mut worst = (String::new(), 0u64);
+    for sysno in Sysno::ALL {
+        let f = kernel.image.handler(sysno);
+        let use_bytes = max_stack(module, f, &mut memo);
+        if use_bytes > worst.1 {
+            worst = (sysno.func_name().to_string(), use_bytes);
+        }
+        if use_bytes > KERNEL_STACK_BYTES {
+            errors.push(format!(
+                "{} may use {use_bytes} bytes of stack (> {KERNEL_STACK_BYTES})",
+                sysno.func_name()
+            ));
+        }
+    }
+    let _ = worst;
+    CheckResult::from_errors(errors)
+}
+
+/// The worst-case handler and its stack estimate (for reports).
+pub fn stack_worst_case(kernel: &Kernel) -> (String, u64) {
+    let module = &kernel.image.module;
+    let mut memo = std::collections::HashMap::new();
+    fn max_stack(
+        module: &hk_hir::Module,
+        f: hk_hir::FuncId,
+        memo: &mut std::collections::HashMap<u32, u64>,
+    ) -> u64 {
+        if let Some(&v) = memo.get(&f.0) {
+            return v;
+        }
+        let def = module.func_def(f);
+        let own = def.num_regs as u64 * 8 + CALL_OVERHEAD_BYTES;
+        let deepest = def
+            .callees()
+            .into_iter()
+            .map(|c| max_stack(module, c, memo))
+            .max()
+            .unwrap_or(0);
+        let total = own + deepest;
+        memo.insert(f.0, total);
+        total
+    }
+    Sysno::ALL
+        .iter()
+        .map(|&s| {
+            (
+                s.func_name().to_string(),
+                max_stack(module, kernel.image.handler(s), &mut memo),
+            )
+        })
+        .max_by_key(|(_, v)| *v)
+        .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Link checker.
+// ---------------------------------------------------------------------
+
+/// Validates the kernel image layout: symbols pairwise disjoint, the
+/// metadata symbols inside the kernel region, and the `pages` symbol
+/// exactly covering the RAM-pages region.
+pub fn link_checker(kernel: &Kernel, machine: &Machine) -> CheckResult {
+    let mut errors = Vec::new();
+    let mut syms = kernel.layout.symbols();
+    syms.sort_by_key(|(_, start, _)| *start);
+    for w in syms.windows(2) {
+        let (ref n1, s1, len1) = w[0];
+        let (ref n2, s2, _) = w[1];
+        if s1 + len1 > s2 {
+            errors.push(format!("symbols {n1} and {n2} overlap"));
+        }
+    }
+    let kernel_words = kernel.layout.kernel_words;
+    for (name, start, len) in &syms {
+        if name == "pages" {
+            if *start != machine.map.pages_base() {
+                errors.push(format!(
+                    "pages symbol at {start}, expected {}",
+                    machine.map.pages_base()
+                ));
+            }
+            let expect =
+                machine.map.params.nr_pages * machine.map.params.page_words;
+            if *len != expect {
+                errors.push(format!("pages symbol has {len} words, expected {expect}"));
+            }
+        } else if start + len > kernel_words {
+            errors.push(format!(
+                "symbol {name} escapes the kernel region ({start}+{len} > {kernel_words})"
+            ));
+        }
+    }
+    if machine.map.total_words() > machine.phys.size() {
+        errors.push("memory map exceeds physical memory".to_string());
+    }
+    CheckResult::from_errors(errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_abi::KernelParams;
+    use hk_vm::CostModel;
+
+    fn booted() -> (Kernel, Machine) {
+        let kernel = Kernel::new(KernelParams::verification()).unwrap();
+        let mut machine = kernel.new_machine(CostModel::default_model());
+        hk_kernel::boot::boot(&kernel, &mut machine);
+        (kernel, machine)
+    }
+
+    #[test]
+    fn boot_checker_passes_on_clean_boot() {
+        let (kernel, mut machine) = booted();
+        assert_eq!(boot_checker(&kernel, &mut machine), CheckResult::Ok);
+    }
+
+    #[test]
+    fn boot_checker_catches_corruption() {
+        let (kernel, mut machine) = booted();
+        // Corrupt: current points at a free process slot.
+        kernel.write_global(&mut machine, "current", 0, "value", 0, 5);
+        let result = boot_checker(&kernel, &mut machine);
+        assert!(!result.ok());
+    }
+
+    #[test]
+    fn stack_checker_passes_and_reports() {
+        let (kernel, _machine) = booted();
+        assert_eq!(stack_checker(&kernel), CheckResult::Ok);
+        let (name, worst) = stack_worst_case(&kernel);
+        assert!(worst > 0 && worst <= KERNEL_STACK_BYTES, "{name}: {worst}");
+    }
+
+    #[test]
+    fn link_checker_passes() {
+        let (kernel, machine) = booted();
+        assert_eq!(link_checker(&kernel, &machine), CheckResult::Ok);
+    }
+
+    #[test]
+    fn checkers_pass_at_production_size() {
+        let kernel = Kernel::new(KernelParams::production()).unwrap();
+        let mut machine = kernel.new_machine(CostModel::default_model());
+        hk_kernel::boot::boot(&kernel, &mut machine);
+        assert_eq!(boot_checker(&kernel, &mut machine), CheckResult::Ok);
+        assert_eq!(stack_checker(&kernel), CheckResult::Ok);
+        assert_eq!(link_checker(&kernel, &machine), CheckResult::Ok);
+    }
+}

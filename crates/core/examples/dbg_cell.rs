@@ -1,0 +1,34 @@
+//! Debug: print spec vs impl term for one cell of one handler.
+use hk_abi::{KernelParams, Sysno};
+use hk_kernel::KernelImage;
+use hk_smt::{Ctx, Sort, TermId};
+use hk_spec::{shapes_of, spec_transition, SpecState};
+use hk_symx::{sym_exec, SymxConfig};
+
+fn main() {
+    let params = KernelParams::verification();
+    let image = KernelImage::build(params).unwrap();
+    let shapes = shapes_of(&image.module);
+    let mut ctx = Ctx::new();
+    let st0 = SpecState::fresh(&mut ctx, &shapes, params);
+    let sysno = Sysno::CloneProc;
+    let args: Vec<TermId> = (0..sysno.arg_count())
+        .map(|i| ctx.var(format!("arg{i}"), Sort::Bv(64)))
+        .collect();
+    let mut spec_post = st0.clone();
+    let _sr = spec_transition(&mut ctx, &mut spec_post, sysno, &args);
+    let impl_res = sym_exec(
+        &mut ctx, &image.module, image.handler(sysno), &args,
+        st0.clone(), &SymxConfig::default(),
+    ).unwrap();
+    let mut impl_state = impl_res.state.clone();
+    for (g, f) in [("page_desc", "free_next"), ("freelist_head", "value")] {
+        let idx: Vec<TermId> = if g == "freelist_head" { vec![] } else { vec![ctx.i64_const(0)] };
+        let s = spec_post.read(&mut ctx, g, f, &idx);
+        let m = impl_state.read(&mut ctx, g, f, &idx);
+        println!("=== {g}.{f}[0]: equal_termid={}", s == m);
+        let ds = ctx.display(s); let dm = ctx.display(m);
+        println!("SPEC ({} chars): {}", ds.len(), &ds[..ds.len().min(600)]);
+        println!("IMPL ({} chars): {}", dm.len(), &dm[..dm.len().min(600)]);
+    }
+}

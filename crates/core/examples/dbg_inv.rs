@@ -1,0 +1,42 @@
+//! Debug: inspect the shape of the invariant term.
+use hk_abi::KernelParams;
+use hk_kernel::KernelImage;
+use hk_smt::{BvBinOp, Ctx, TermData, TermId};
+use hk_spec::{shapes_of, SpecState};
+use hk_symx::{sym_exec, SymxConfig};
+
+fn spine(ctx: &Ctx, t: TermId, out: &mut Vec<TermId>) {
+    if let TermData::BvBin(BvBinOp::And, a, b) = ctx.data(t) {
+        let (a, b) = (*a, *b);
+        spine(ctx, a, out);
+        spine(ctx, b, out);
+    } else {
+        out.push(t);
+    }
+}
+
+fn main() {
+    let params = KernelParams::verification();
+    let image = KernelImage::build(params).unwrap();
+    let shapes = shapes_of(&image.module);
+    let mut ctx = Ctx::new();
+    let st0 = SpecState::fresh(&mut ctx, &shapes, params);
+    let r = sym_exec(&mut ctx, &image.module, image.rep_invariant, &[], st0, &SymxConfig::default()).unwrap();
+    let ret = r.paths[0].ret;
+    let mut leaves = Vec::new();
+    spine(&ctx, ret, &mut leaves);
+    println!("spine leaves: {}", leaves.len());
+    for (i, &l) in leaves.iter().enumerate() {
+        let is01 = ctx.as_bool01(l).is_some() || ctx.const_value(l).map_or(false, |v| v <= 1);
+        if !is01 {
+            let d = ctx.display(l);
+            println!("leaf {} NOT bool01: {}", i, &d[..d.len().min(500)]);
+        }
+    }
+    let one = ctx.i64_const(1);
+    let ipost = ctx.eq(ret, one);
+    match ctx.data(ipost) {
+        TermData::And(args) => println!("And with {} args", args.len()),
+        _ => println!("NOT And"),
+    }
+}

@@ -1,0 +1,46 @@
+//! Quick harness: verify a few handlers and print the report.
+
+use hk_abi::Sysno;
+use hk_core::{verify_all, VerifyConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let only: Vec<Sysno> = args
+        .iter()
+        .filter_map(|a| {
+            Sysno::ALL
+                .iter()
+                .copied()
+                .find(|s| s.func_name() == *a || s.func_name() == format!("sys_{a}"))
+        })
+        .collect();
+    let config = VerifyConfig {
+        only,
+        threads,
+        ..VerifyConfig::default()
+    };
+    let report = verify_all(&config);
+    print!("{}", report.summary());
+    for h in &report.handlers {
+        match &h.outcome {
+            hk_core::HandlerOutcome::UbBug { kind, test_case } => {
+                println!("\n== UB in {}: {kind}", h.sysno);
+                println!("{}", test_case.display_minimized());
+            }
+            hk_core::HandlerOutcome::RefinementBug { detail, test_case } => {
+                println!("\n== refinement bug in {}: {detail}", h.sysno);
+                println!("{}", test_case.display_minimized());
+            }
+            hk_core::HandlerOutcome::SymxFailed(e) => {
+                println!("\n== symx failure in {}: {e}", h.sysno);
+            }
+            _ => {}
+        }
+    }
+}

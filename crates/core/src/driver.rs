@@ -1,0 +1,178 @@
+//! Orchestration: verify all 50 handlers, optionally in parallel.
+//!
+//! Matches the paper's workflow (§6.3): one solver instance per handler,
+//! embarrassingly parallel across cores.
+
+use std::time::{Duration, Instant};
+
+use hk_abi::{KernelParams, Sysno};
+use hk_kernel::KernelImage;
+use hk_smt::SolverConfig;
+use hk_spec::shapes_of;
+use hk_symx::SymxConfig;
+
+use crate::refine::{verify_handler, HandlerReport, VerifyCtx};
+
+/// Verification configuration.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Kernel size parameters (use [`KernelParams::verification`]).
+    pub params: KernelParams,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+    /// Solver configuration.
+    pub solver: SolverConfig,
+    /// Symbolic execution configuration.
+    pub symx: SymxConfig,
+    /// Restrict to these handlers (empty = all 50).
+    pub only: Vec<Sysno>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            params: KernelParams::verification(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            solver: SolverConfig::default(),
+            symx: SymxConfig::default(),
+            only: Vec::new(),
+        }
+    }
+}
+
+/// Aggregate report.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Per-handler reports, in trap-number order.
+    pub handlers: Vec<HandlerReport>,
+    /// Total wall-clock time.
+    pub total_time: Duration,
+}
+
+impl VerifyReport {
+    /// True if every handler verified.
+    pub fn all_verified(&self) -> bool {
+        self.handlers.iter().all(|h| h.outcome.is_verified())
+    }
+
+    /// A rendered summary table.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>7} {:>9} {:>10} {:>9}",
+            "handler", "verdict", "paths", "checks", "clauses", "time"
+        );
+        for h in &self.handlers {
+            let verdict = match &h.outcome {
+                crate::refine::HandlerOutcome::Verified => "ok",
+                crate::refine::HandlerOutcome::UbBug { .. } => "UB!",
+                crate::refine::HandlerOutcome::RefinementBug { .. } => "BUG!",
+                crate::refine::HandlerOutcome::SymxFailed(_) => "symx!",
+                crate::refine::HandlerOutcome::Unknown => "?",
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>7} {:>9} {:>10} {:>8.2}s",
+                h.sysno.func_name(),
+                verdict,
+                h.paths,
+                h.side_checks,
+                h.cnf_clauses,
+                h.time.as_secs_f64()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total: {:.1}s, {} / {} verified",
+            self.total_time.as_secs_f64(),
+            self.handlers
+                .iter()
+                .filter(|h| h.outcome.is_verified())
+                .count(),
+            self.handlers.len()
+        );
+        out
+    }
+}
+
+/// Verifies the kernel (Theorem 1 for every selected handler).
+///
+/// # Panics
+///
+/// Panics if the kernel image fails to build (a build error, not a
+/// verification result).
+pub fn verify_all(config: &VerifyConfig) -> VerifyReport {
+    let image = KernelImage::build(config.params).expect("kernel build");
+    verify_image(&image, config)
+}
+
+/// Verifies an explicit (possibly deliberately broken) kernel image —
+/// the entry point the bug-injection experiments use.
+pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport {
+    let start = Instant::now();
+    let shapes = shapes_of(&image.module);
+    let targets: Vec<Sysno> = if config.only.is_empty() {
+        Sysno::ALL.to_vec()
+    } else {
+        config.only.clone()
+    };
+    let handler_fn = |s: Sysno| image.handler(s);
+    let vctx = VerifyCtx {
+        module: &image.module,
+        shapes: &shapes,
+        params: config.params,
+        handler: &handler_fn,
+        rep_invariant: image.rep_invariant,
+        solver: config.solver.clone(),
+        symx: config.symx,
+    };
+    let mut handlers: Vec<HandlerReport> = if config.threads <= 1 {
+        targets
+            .iter()
+            .map(|&s| {
+                let r = verify_handler(&vctx, s);
+                eprintln!(
+                    "[verify] {:<24} {:<10} {:>6.1}s ({} paths, {} checks)",
+                    s.func_name(),
+                    match &r.outcome {
+                        crate::refine::HandlerOutcome::Verified => "ok",
+                        crate::refine::HandlerOutcome::UbBug { .. } => "UB-BUG",
+                        crate::refine::HandlerOutcome::RefinementBug { .. } => "REFINE-BUG",
+                        crate::refine::HandlerOutcome::SymxFailed(_) => "SYMX-FAIL",
+                        crate::refine::HandlerOutcome::Unknown => "UNKNOWN",
+                    },
+                    r.time.as_secs_f64(),
+                    r.paths,
+                    r.side_checks
+                );
+                r
+            })
+            .collect()
+    } else {
+        // Work-stealing via an atomic index over the target list.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..config.threads.min(targets.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    if i >= targets.len() {
+                        break;
+                    }
+                    let report = verify_handler(&vctx, targets[i]);
+                    results.lock().unwrap().push(report);
+                });
+            }
+        });
+        results.into_inner().unwrap()
+    };
+    handlers.sort_by_key(|h| h.sysno.number());
+    VerifyReport {
+        handlers,
+        total_time: start.elapsed(),
+    }
+}

@@ -1,0 +1,131 @@
+//! Concrete test-case generation from counterexample models (§2.4).
+//!
+//! A failed proof yields a model over the abstract state's base
+//! functions and the handler arguments. [`TestCase`] captures it as
+//! plain numbers, renders the *minimized* state (only non-default
+//! cells, as the paper found necessary for debuggability), and can be
+//! replayed against the real interpreter to confirm the bug concretely.
+
+use hk_abi::Sysno;
+use hk_kernel::Kernel;
+use hk_smt::{Ctx, Model};
+use hk_spec::SpecState;
+
+/// A concrete kernel state + trap invocation extracted from a model.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// The handler under test.
+    pub sysno: Sysno,
+    /// Concrete arguments.
+    pub args: Vec<i64>,
+    /// Every state cell `(global, field, indices, value)`.
+    pub cells: Vec<(String, String, Vec<u64>, i64)>,
+}
+
+impl TestCase {
+    /// Extracts a test case from a model of the verification query.
+    pub fn from_model(
+        ctx: &Ctx,
+        model: &Model,
+        st: &SpecState,
+        sysno: Sysno,
+        arg_terms: &[hk_smt::TermId],
+    ) -> TestCase {
+        let args = arg_terms
+            .iter()
+            .map(|&a| model.eval_i64(ctx, a).unwrap_or(0))
+            .collect();
+        let mut cells = Vec::new();
+        for (g, f, idx) in st.all_cells() {
+            let interp = model.func_interp(st.map(&g, &f).base);
+            let val = interp
+                .map(|fi| fi.get(&idx) as i64)
+                .unwrap_or(0);
+            cells.push((g, f, idx, val));
+        }
+        TestCase {
+            sysno,
+            args,
+            cells,
+        }
+    }
+
+    /// Renders the minimized state: arguments plus only the cells whose
+    /// value is not the "boring" default for their field.
+    pub fn display_minimized(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# trigger: {}({})",
+            self.sysno.func_name(),
+            self.args
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(out, "# kernel state (non-zero cells):");
+        for (g, f, idx, val) in &self.cells {
+            if *val != 0 {
+                let _ = writeln!(out, "#   {g}.{f}{idx:?} = {val}");
+            }
+        }
+        out
+    }
+
+    /// Writes the state into a machine and invokes the handler through
+    /// the interpreter, returning what actually happened.
+    pub fn replay(&self, kernel: &Kernel) -> ReplayResult {
+        let mut machine = kernel.new_machine(hk_vm::CostModel::default_model());
+        for (g, f, idx, val) in &self.cells {
+            let (i, s) = match idx.len() {
+                0 => (0, 0),
+                1 => (idx[0], 0),
+                _ => (idx[0], idx[1]),
+            };
+            kernel.write_global(&mut machine, g, i, f, s, *val);
+        }
+        let pre_invariant = kernel
+            .check_invariant(&mut machine)
+            .unwrap_or(false);
+        match kernel.trap(&mut machine, self.sysno, &self.args) {
+            Ok(ret) => {
+                let post_invariant = kernel
+                    .check_invariant(&mut machine)
+                    .unwrap_or(false);
+                ReplayResult::Ran {
+                    ret,
+                    pre_invariant,
+                    post_invariant,
+                }
+            }
+            Err(e) => ReplayResult::Ub {
+                pre_invariant,
+                error: e.to_string(),
+            },
+        }
+    }
+}
+
+/// What happened when a test case was replayed on the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayResult {
+    /// The handler ran to completion.
+    Ran {
+        /// Its return value.
+        ret: i64,
+        /// Whether the injected state satisfied the invariant.
+        pre_invariant: bool,
+        /// Whether the invariant held afterwards.
+        post_invariant: bool,
+    },
+    /// The handler hit undefined behaviour — the interpreter confirms
+    /// the verifier's finding.
+    Ub {
+        /// Whether the injected state satisfied the invariant.
+        pre_invariant: bool,
+        /// The interpreter's error.
+        error: String,
+    },
+}

@@ -1,0 +1,153 @@
+//! Abstract syntax tree for HyperC.
+
+/// Binary operators (source level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (unsigned; kernel values are non-negative)
+    Div,
+    /// `%` (unsigned)
+    Rem,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (signed)
+    Lt,
+    /// `<=` (signed)
+    Le,
+    /// `>` (signed)
+    Gt,
+    /// `>=` (signed)
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// An lvalue: a local variable or a global place.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Named local variable or parameter.
+    Var(String),
+    /// Global place `name[index]...field...[sub]`. `indices` holds the
+    /// bracketed expressions in order; `field` the optional `.field` name.
+    Global {
+        /// Global symbol name.
+        name: String,
+        /// Element index, if any (`name[i]`).
+        index: Option<Box<Expr>>,
+        /// Field name, if any (`name[i].f`).
+        field: Option<String>,
+        /// Sub-index, if any (`name[i].f[j]` or `name[i][j]`).
+        sub: Option<Box<Expr>>,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Source line for diagnostics.
+    pub line: u32,
+    /// Node kind.
+    pub kind: ExprKind,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Named value: local, constant, or scalar global.
+    Name(String),
+    /// Global place read (array element / field).
+    Place(LValue),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Source line for diagnostics.
+    pub line: u32,
+    /// Node kind.
+    pub kind: StmtKind,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `i64 x;` or `i64 x = e;`
+    Decl(String, Option<Expr>),
+    /// `lvalue = e;`
+    Assign(LValue, Expr),
+    /// Expression statement (calls).
+    Expr(Expr),
+    /// `if (c) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `for (x = a; c; x = b) { .. }`. Kept as a distinct form so that
+    /// `continue` correctly runs the step statement.
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// `return e;`
+    Return(Expr),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Source line of the definition.
+    pub line: u32,
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `const NAME = <const expr>;`
+    Const(String, Expr),
+    /// A function definition.
+    Func(FuncDef),
+}

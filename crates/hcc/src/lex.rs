@@ -1,0 +1,298 @@
+//! Lexer for HyperC.
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword-candidate.
+    Ident(String),
+    /// Integer literal (decimal or 0x hex).
+    Int(i64),
+    /// `i64` keyword.
+    KwI64,
+    /// `if` keyword.
+    KwIf,
+    /// `else` keyword.
+    KwElse,
+    /// `for` keyword.
+    KwFor,
+    /// `while` keyword.
+    KwWhile,
+    /// `return` keyword.
+    KwReturn,
+    /// `const` keyword.
+    KwConst,
+    /// `break` keyword.
+    KwBreak,
+    /// `continue` keyword.
+    KwContinue,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `=`.
+    Assign,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Bang,
+    /// `&`.
+    Amp,
+    /// `|`.
+    Pipe,
+    /// `^`.
+    Caret,
+    /// `~`.
+    Tilde,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `<<`.
+    Shl,
+    /// `>>`.
+    Shr,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+/// Tokenizes HyperC source.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            line,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let value: i64;
+                if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X')
+                {
+                    i += 2;
+                    let hs = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hs {
+                        return Err(LexError {
+                            line,
+                            msg: "empty hex literal".into(),
+                        });
+                    }
+                    value = u64::from_str_radix(&src[hs..i], 16).map_err(|e| LexError {
+                        line,
+                        msg: format!("bad hex literal: {e}"),
+                    })? as i64;
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    value = src[start..i].parse().map_err(|e| LexError {
+                        line,
+                        msg: format!("bad integer literal: {e}"),
+                    })?;
+                }
+                out.push(Token {
+                    tok: Tok::Int(value),
+                    line,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "i64" => Tok::KwI64,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "for" => Tok::KwFor,
+                    "while" => Tok::KwWhile,
+                    "return" => Tok::KwReturn,
+                    "const" => Tok::KwConst,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Token { tok, line });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, len) = match two {
+                    "==" => (Tok::Eq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    _ => match c {
+                        '(' => (Tok::LParen, 1),
+                        ')' => (Tok::RParen, 1),
+                        '{' => (Tok::LBrace, 1),
+                        '}' => (Tok::RBrace, 1),
+                        '[' => (Tok::LBracket, 1),
+                        ']' => (Tok::RBracket, 1),
+                        ';' => (Tok::Semi, 1),
+                        ',' => (Tok::Comma, 1),
+                        '.' => (Tok::Dot, 1),
+                        '=' => (Tok::Assign, 1),
+                        '<' => (Tok::Lt, 1),
+                        '>' => (Tok::Gt, 1),
+                        '!' => (Tok::Bang, 1),
+                        '&' => (Tok::Amp, 1),
+                        '|' => (Tok::Pipe, 1),
+                        '^' => (Tok::Caret, 1),
+                        '~' => (Tok::Tilde, 1),
+                        '+' => (Tok::Plus, 1),
+                        '-' => (Tok::Minus, 1),
+                        '*' => (Tok::Star, 1),
+                        '/' => (Tok::Slash, 1),
+                        '%' => (Tok::Percent, 1),
+                        _ => {
+                            return Err(LexError {
+                                line,
+                                msg: format!("unexpected character {c:?}"),
+                            })
+                        }
+                    },
+                };
+                out.push(Token { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basic_tokens() {
+        let toks = lex("i64 f(i64 x) { return x + 0x10; }").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[0], Tok::KwI64));
+        assert!(matches!(kinds[1], Tok::Ident(s) if s == "f"));
+        assert!(kinds.iter().any(|t| matches!(t, Tok::Int(16))));
+        assert!(matches!(kinds.last().unwrap(), Tok::Eof));
+    }
+
+    #[test]
+    fn lex_comments_and_lines() {
+        let toks = lex("// line one\nx /* multi\nline */ y").unwrap();
+        assert_eq!(toks.len(), 3); // x, y, eof
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn lex_two_char_operators() {
+        let toks = lex("a <= b << c && d").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.tok).collect();
+        assert!(matches!(kinds[1], Tok::Le));
+        assert!(matches!(kinds[3], Tok::Shl));
+        assert!(matches!(kinds[5], Tok::AndAnd));
+    }
+
+    #[test]
+    fn lex_error_on_bad_char() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

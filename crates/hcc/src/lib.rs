@@ -1,0 +1,42 @@
+//! The HyperC compiler: a small C-like frontend lowering to HIR.
+//!
+//! HyperC plays the role of C + Clang in the paper's toolchain (Figure 3):
+//! the kernel's 50 trap handlers are written in it, compiled to HIR, and
+//! the HIR is what gets verified and executed. Like the paper's frontend,
+//! the compiler is *untrusted* — but unlike the paper, the repository
+//! differentially tests its output against the executable specification.
+//!
+//! The language, by design, can only express finite-interface kernels:
+//!
+//! * the only type is `i64` (the kernel's native word);
+//! * there are no pointers — memory is reached exclusively through the
+//!   declared global arrays-of-structs (`procs[pid].ofile[fd]`), which is
+//!   what lets the verifier model memory as uninterpreted functions;
+//! * loops (`for`/`while`) are allowed but must be bounded; recursion is
+//!   rejected outright by the HIR module verifier;
+//! * `&&`/`||` short-circuit, comparisons yield 0/1, and arithmetic has C
+//!   semantics (signed overflow is UB, caught at verification time).
+//!
+//! # Examples
+//!
+//! ```
+//! use hk_hir::{Interp, Module, VecMem};
+//! use hk_hcc::Compiler;
+//!
+//! let mut module = Module::new();
+//! let mut c = Compiler::new(&mut module);
+//! c.define_const("LIMIT", 10);
+//! c.compile("i64 clamp(i64 x) { if (x > LIMIT) { return LIMIT; } return x; }")
+//!     .unwrap();
+//! let f = module.func("clamp").unwrap();
+//! let interp = Interp::new(&module);
+//! let mut mem = VecMem::new(&module);
+//! assert_eq!(interp.call(&mut mem, f, &[42], 1000).unwrap(), 10);
+//! ```
+
+pub mod ast;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+
+pub use lower::{CompileError, Compiler};

@@ -1,0 +1,827 @@
+//! Lowering HyperC AST to HIR, with name resolution, constant folding,
+//! short-circuit control flow, and scope handling.
+
+use std::collections::HashMap;
+
+use hk_hir::{BinOp as HBin, CmpKind, FuncBuilder, Gep, Module, Operand, Reg};
+
+use crate::ast::{BinOp, Expr, ExprKind, FuncDef, Item, LValue, Stmt, StmtKind, UnOp};
+use crate::parse::parse;
+
+/// Compile error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line (0 for file-level errors).
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The HyperC compiler. Globals must be declared in the module before
+/// compiling code that references them; constants may be injected with
+/// [`Compiler::define_const`] (the kernel injects `NR_PROCS` etc. from
+/// [`hk_abi::KernelParams`]).
+#[derive(Debug)]
+pub struct Compiler<'m> {
+    module: &'m mut Module,
+    consts: HashMap<String, i64>,
+}
+
+impl<'m> Compiler<'m> {
+    /// Creates a compiler targeting `module`.
+    pub fn new(module: &'m mut Module) -> Self {
+        Compiler {
+            module,
+            consts: HashMap::new(),
+        }
+    }
+
+    /// Defines a named compile-time constant.
+    pub fn define_const(&mut self, name: impl Into<String>, value: i64) {
+        self.consts.insert(name.into(), value);
+    }
+
+    /// Compiles a translation unit, appending its functions to the module.
+    /// Functions may call functions compiled earlier (including in
+    /// previous `compile` calls); recursion is rejected later by the HIR
+    /// module verifier.
+    pub fn compile(&mut self, src: &str) -> Result<Vec<hk_hir::FuncId>, CompileError> {
+        let items = parse(src).map_err(|e| CompileError {
+            line: e.line,
+            msg: e.msg,
+        })?;
+        let mut ids = Vec::new();
+        for item in items {
+            match item {
+                Item::Const(name, expr) => {
+                    let v = self.eval_const(&expr)?;
+                    self.consts.insert(name, v);
+                }
+                Item::Func(def) => {
+                    ids.push(self.lower_func(&def)?);
+                }
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Evaluates a constant expression (constants and literals only).
+    fn eval_const(&self, e: &Expr) -> Result<i64, CompileError> {
+        match &e.kind {
+            ExprKind::Int(v) => Ok(*v),
+            ExprKind::Name(n) => self.consts.get(n).copied().ok_or_else(|| CompileError {
+                line: e.line,
+                msg: format!("unknown constant `{n}`"),
+            }),
+            ExprKind::Unary(op, a) => {
+                let a = self.eval_const(a)?;
+                fold_unary(*op, a).map_err(|msg| CompileError { line: e.line, msg })
+            }
+            ExprKind::Binary(op, a, b) => {
+                let a = self.eval_const(a)?;
+                let b = self.eval_const(b)?;
+                fold_binary(*op, a, b).map_err(|msg| CompileError { line: e.line, msg })
+            }
+            _ => Err(CompileError {
+                line: e.line,
+                msg: "not a constant expression".into(),
+            }),
+        }
+    }
+
+    fn lower_func(&mut self, def: &FuncDef) -> Result<hk_hir::FuncId, CompileError> {
+        if self.module.func(&def.name).is_some() {
+            return Err(CompileError {
+                line: def.line,
+                msg: format!("duplicate function `{}`", def.name),
+            });
+        }
+        let mut lo = FuncLower {
+            consts: &self.consts,
+            module: self.module,
+            fb: FuncBuilder::new(def.name.clone(), def.params.len() as u32),
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+        };
+        for (i, p) in def.params.iter().enumerate() {
+            if lo.scopes[0]
+                .insert(p.clone(), Reg(i as u32))
+                .is_some()
+            {
+                return Err(CompileError {
+                    line: def.line,
+                    msg: format!("duplicate parameter `{p}`"),
+                });
+            }
+        }
+        let fell_through = lo.stmts(&def.body)?;
+        if fell_through {
+            lo.fb.ret(Operand::Const(0));
+        }
+        let func = lo.fb.finish();
+        Ok(self.module.add_func(func))
+    }
+}
+
+struct FuncLower<'a, 'm> {
+    consts: &'a HashMap<String, i64>,
+    module: &'m Module,
+    fb: FuncBuilder,
+    scopes: Vec<HashMap<String, Reg>>,
+    /// (continue target, break target) stack.
+    loops: Vec<(hk_hir::BlockId, hk_hir::BlockId)>,
+}
+
+impl FuncLower<'_, '_> {
+    fn err<T>(&self, line: u32, msg: impl Into<String>) -> Result<T, CompileError> {
+        Err(CompileError {
+            line,
+            msg: msg.into(),
+        })
+    }
+
+    fn lookup_var(&self, name: &str) -> Option<Reg> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&r) = scope.get(name) {
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Lowers a statement list; returns true if control can fall through.
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<bool, CompileError> {
+        for (i, s) in stmts.iter().enumerate() {
+            if !self.stmt(s)? {
+                // Terminated: anything after is dead code.
+                if i + 1 < stmts.len() {
+                    return self.err(
+                        stmts[i + 1].line,
+                        "unreachable code after return/break/continue",
+                    );
+                }
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Lowers one statement; returns true if control falls through.
+    fn stmt(&mut self, s: &Stmt) -> Result<bool, CompileError> {
+        match &s.kind {
+            StmtKind::Decl(name, init) => {
+                if self.scopes.last().unwrap().contains_key(name) {
+                    return self.err(s.line, format!("redeclaration of `{name}`"));
+                }
+                let r = self.fb.new_reg();
+                if let Some(e) = init {
+                    let v = self.expr(e)?;
+                    self.fb.copy_to(r, v);
+                }
+                self.scopes.last_mut().unwrap().insert(name.clone(), r);
+                Ok(true)
+            }
+            StmtKind::Assign(lv, e) => {
+                let v = self.expr(e)?;
+                match lv {
+                    LValue::Var(name) => {
+                        if let Some(r) = self.lookup_var(name) {
+                            self.fb.copy_to(r, v);
+                        } else if let Some(gep) = self.scalar_global(name) {
+                            self.fb.store(gep, v);
+                        } else {
+                            return self.err(
+                                s.line,
+                                format!("assignment to unknown variable `{name}`"),
+                            );
+                        }
+                    }
+                    LValue::Global { .. } => {
+                        let gep = self.place(s.line, lv)?;
+                        self.fb.store(gep, v);
+                    }
+                }
+                Ok(true)
+            }
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+                Ok(true)
+            }
+            StmtKind::Return(e) => {
+                let v = self.expr(e)?;
+                self.fb.ret(v);
+                Ok(false)
+            }
+            StmtKind::Break => match self.loops.last() {
+                Some(&(_, brk)) => {
+                    self.fb.jmp(brk);
+                    Ok(false)
+                }
+                None => self.err(s.line, "break outside loop"),
+            },
+            StmtKind::Continue => match self.loops.last() {
+                Some(&(cont, _)) => {
+                    self.fb.jmp(cont);
+                    Ok(false)
+                }
+                None => self.err(s.line, "continue outside loop"),
+            },
+            StmtKind::If(cond, then_s, else_s) => {
+                let c = self.expr(cond)?;
+                if let Operand::Const(v) = c {
+                    // Statically-known branch (common after const folding).
+                    self.scopes.push(HashMap::new());
+                    let fell = if v != 0 {
+                        self.stmts(then_s)?
+                    } else {
+                        self.stmts(else_s)?
+                    };
+                    self.scopes.pop();
+                    return Ok(fell);
+                }
+                let then_b = self.fb.new_block();
+                let merge_b = self.fb.new_block();
+                let else_b = if else_s.is_empty() {
+                    merge_b
+                } else {
+                    self.fb.new_block()
+                };
+                self.fb.br(c, then_b, else_b);
+                self.fb.switch_to(then_b);
+                self.scopes.push(HashMap::new());
+                let then_fell = self.stmts(then_s)?;
+                self.scopes.pop();
+                if then_fell {
+                    self.fb.jmp(merge_b);
+                }
+                let mut merge_reachable = then_fell || else_s.is_empty();
+                if !else_s.is_empty() {
+                    self.fb.switch_to(else_b);
+                    self.scopes.push(HashMap::new());
+                    let else_fell = self.stmts(else_s)?;
+                    self.scopes.pop();
+                    if else_fell {
+                        self.fb.jmp(merge_b);
+                        merge_reachable = true;
+                    }
+                }
+                self.fb.switch_to(merge_b);
+                if !merge_reachable {
+                    // Dead merge block; seal it and report termination.
+                    self.fb.ret(Operand::Const(0));
+                    return Ok(false);
+                }
+                Ok(true)
+            }
+            StmtKind::While(cond, body) => {
+                let header = self.fb.new_block();
+                let body_b = self.fb.new_block();
+                let exit = self.fb.new_block();
+                self.fb.jmp(header);
+                self.fb.switch_to(header);
+                let c = self.expr(cond)?;
+                self.fb.br(c, body_b, exit);
+                self.fb.switch_to(body_b);
+                self.scopes.push(HashMap::new());
+                self.loops.push((header, exit));
+                let fell = self.stmts(body)?;
+                self.loops.pop();
+                self.scopes.pop();
+                if fell {
+                    self.fb.jmp(header);
+                }
+                self.fb.switch_to(exit);
+                Ok(true)
+            }
+            StmtKind::For(init, cond, step, body) => {
+                self.scopes.push(HashMap::new());
+                if !self.stmt(init)? {
+                    return self.err(s.line, "for-loop initializer cannot terminate");
+                }
+                let header = self.fb.new_block();
+                let body_b = self.fb.new_block();
+                let step_b = self.fb.new_block();
+                let exit = self.fb.new_block();
+                self.fb.jmp(header);
+                self.fb.switch_to(header);
+                let c = self.expr(cond)?;
+                self.fb.br(c, body_b, exit);
+                self.fb.switch_to(body_b);
+                self.scopes.push(HashMap::new());
+                // `continue` runs the step, then re-tests the condition.
+                self.loops.push((step_b, exit));
+                let fell = self.stmts(body)?;
+                self.loops.pop();
+                self.scopes.pop();
+                if fell {
+                    self.fb.jmp(step_b);
+                }
+                self.fb.switch_to(step_b);
+                if !self.stmt(step)? {
+                    return self.err(s.line, "for-loop step cannot terminate");
+                }
+                self.fb.jmp(header);
+                self.fb.switch_to(exit);
+                self.scopes.pop();
+                Ok(true)
+            }
+        }
+    }
+
+    /// Gep for a scalar global referenced by bare name.
+    fn scalar_global(&self, name: &str) -> Option<Gep> {
+        let g = self.module.global(name)?;
+        let decl = self.module.global_decl(g);
+        if decl.elems == 1 && decl.fields.len() == 1 && decl.fields[0].elems == 1 {
+            Some(Gep {
+                global: g,
+                index: Operand::Const(0),
+                field: hk_hir::FieldId(0),
+                sub: Operand::Const(0),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Resolves a global place to a Gep.
+    fn place(&mut self, line: u32, lv: &LValue) -> Result<Gep, CompileError> {
+        let LValue::Global {
+            name,
+            index,
+            field,
+            sub,
+        } = lv
+        else {
+            return self.err(line, "internal: place() on var");
+        };
+        let Some(g) = self.module.global(name) else {
+            return self.err(line, format!("unknown global `{name}`"));
+        };
+        let decl = self.module.global_decl(g).clone();
+        let index_op = match index {
+            Some(e) => self.expr(e)?,
+            None => Operand::Const(0),
+        };
+        let (field_id, field_decl) = match field {
+            Some(fname) => {
+                let Some(fid) = decl.field(fname) else {
+                    return self.err(line, format!("global `{name}` has no field `{fname}`"));
+                };
+                (fid, &decl.fields[fid.0 as usize])
+            }
+            None => {
+                if decl.fields.len() != 1 {
+                    return self.err(
+                        line,
+                        format!("global `{name}` requires an explicit field name"),
+                    );
+                }
+                (hk_hir::FieldId(0), &decl.fields[0])
+            }
+        };
+        let sub_op = match sub {
+            Some(e) => {
+                if field_decl.elems == 1 {
+                    return self.err(
+                        line,
+                        format!("field `{}` of `{name}` is scalar", field_decl.name),
+                    );
+                }
+                self.expr(e)?
+            }
+            None => {
+                if field_decl.elems != 1 {
+                    return self.err(
+                        line,
+                        format!("field `{}` of `{name}` needs an index", field_decl.name),
+                    );
+                }
+                Operand::Const(0)
+            }
+        };
+        Ok(Gep {
+            global: g,
+            index: index_op,
+            field: field_id,
+            sub: sub_op,
+        })
+    }
+
+    /// Lowers an expression to an operand, constant-folding when possible.
+    fn expr(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        match &e.kind {
+            ExprKind::Int(v) => Ok(Operand::Const(*v)),
+            ExprKind::Name(name) => {
+                if let Some(r) = self.lookup_var(name) {
+                    return Ok(Operand::Reg(r));
+                }
+                if let Some(&v) = self.consts.get(name) {
+                    return Ok(Operand::Const(v));
+                }
+                if let Some(gep) = self.scalar_global(name) {
+                    return Ok(Operand::Reg(self.fb.load(gep)));
+                }
+                self.err(e.line, format!("unknown name `{name}`"))
+            }
+            ExprKind::Place(lv) => {
+                let gep = self.place(e.line, lv)?;
+                Ok(Operand::Reg(self.fb.load(gep)))
+            }
+            ExprKind::Unary(op, a) => {
+                let a = self.expr(a)?;
+                if let Operand::Const(v) = a {
+                    return fold_unary(*op, v)
+                        .map(Operand::Const)
+                        .map_err(|msg| CompileError { line: e.line, msg });
+                }
+                Ok(Operand::Reg(match op {
+                    UnOp::Neg => self.fb.bin(HBin::Sub, Operand::Const(0), a),
+                    UnOp::Not => self.fb.cmp(CmpKind::Eq, a, Operand::Const(0)),
+                    UnOp::BitNot => self.fb.bin(HBin::Xor, a, Operand::Const(-1)),
+                }))
+            }
+            ExprKind::Binary(op, a, b) => self.binary(e.line, *op, a, b),
+            ExprKind::Call(name, args) => {
+                let Some(f) = self.module.func(name) else {
+                    return self.err(e.line, format!("unknown function `{name}`"));
+                };
+                let expected = self.module.func_def(f).num_params as usize;
+                if args.len() != expected {
+                    return self.err(
+                        e.line,
+                        format!(
+                            "`{name}` expects {expected} arguments, got {}",
+                            args.len()
+                        ),
+                    );
+                }
+                let mut ops = Vec::with_capacity(args.len());
+                for a in args {
+                    ops.push(self.expr(a)?);
+                }
+                Ok(Operand::Reg(self.fb.call(f, ops)))
+            }
+        }
+    }
+
+    fn binary(
+        &mut self,
+        line: u32,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<Operand, CompileError> {
+        // Short-circuit operators get control flow.
+        if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
+            return self.short_circuit(op, a, b);
+        }
+        let av = self.expr(a)?;
+        let bv = self.expr(b)?;
+        if let (Operand::Const(x), Operand::Const(y)) = (av, bv) {
+            return fold_binary(op, x, y)
+                .map(Operand::Const)
+                .map_err(|msg| CompileError { line, msg });
+        }
+        Ok(Operand::Reg(match op {
+            BinOp::Add => self.fb.bin(HBin::Add, av, bv),
+            BinOp::Sub => self.fb.bin(HBin::Sub, av, bv),
+            BinOp::Mul => self.fb.bin(HBin::Mul, av, bv),
+            BinOp::Div => self.fb.bin(HBin::UDiv, av, bv),
+            BinOp::Rem => self.fb.bin(HBin::URem, av, bv),
+            BinOp::BitAnd => self.fb.bin(HBin::And, av, bv),
+            BinOp::BitOr => self.fb.bin(HBin::Or, av, bv),
+            BinOp::BitXor => self.fb.bin(HBin::Xor, av, bv),
+            BinOp::Shl => self.fb.bin(HBin::Shl, av, bv),
+            BinOp::Shr => self.fb.bin(HBin::AShr, av, bv),
+            BinOp::Eq => self.fb.cmp(CmpKind::Eq, av, bv),
+            BinOp::Ne => self.fb.cmp(CmpKind::Ne, av, bv),
+            BinOp::Lt => self.fb.cmp(CmpKind::Slt, av, bv),
+            BinOp::Le => self.fb.cmp(CmpKind::Sle, av, bv),
+            BinOp::Gt => self.fb.cmp(CmpKind::Slt, bv, av),
+            BinOp::Ge => self.fb.cmp(CmpKind::Sle, bv, av),
+            BinOp::LogAnd | BinOp::LogOr => unreachable!(),
+        }))
+    }
+
+    fn short_circuit(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<Operand, CompileError> {
+        let av = self.expr(a)?;
+        // Constant left operand decides statically.
+        if let Operand::Const(x) = av {
+            let taken = x != 0;
+            match (op, taken) {
+                (BinOp::LogAnd, false) => return Ok(Operand::Const(0)),
+                (BinOp::LogOr, true) => return Ok(Operand::Const(1)),
+                _ => {
+                    let bv = self.expr(b)?;
+                    if let Operand::Const(y) = bv {
+                        return Ok(Operand::Const((y != 0) as i64));
+                    }
+                    return Ok(Operand::Reg(self.fb.cmp(
+                        CmpKind::Ne,
+                        bv,
+                        Operand::Const(0),
+                    )));
+                }
+            }
+        }
+        let result = self.fb.new_reg();
+        let default = if op == BinOp::LogAnd { 0 } else { 1 };
+        self.fb.copy_to(result, Operand::Const(default));
+        let rhs_b = self.fb.new_block();
+        let merge_b = self.fb.new_block();
+        match op {
+            BinOp::LogAnd => self.fb.br(av, rhs_b, merge_b),
+            BinOp::LogOr => self.fb.br(av, merge_b, rhs_b),
+            _ => unreachable!(),
+        }
+        self.fb.switch_to(rhs_b);
+        let bv = self.expr(b)?;
+        let norm = self.fb.cmp(CmpKind::Ne, bv, Operand::Const(0));
+        self.fb.copy_to(result, Operand::Reg(norm));
+        self.fb.jmp(merge_b);
+        self.fb.switch_to(merge_b);
+        Ok(Operand::Reg(result))
+    }
+}
+
+fn fold_unary(op: UnOp, a: i64) -> Result<i64, String> {
+    match op {
+        UnOp::Neg => Ok(a.wrapping_neg()),
+        UnOp::Not => Ok((a == 0) as i64),
+        UnOp::BitNot => Ok(!a),
+    }
+}
+
+fn fold_binary(op: BinOp, a: i64, b: i64) -> Result<i64, String> {
+    let ub = |r: Result<i64, hk_hir::UbKind>| {
+        r.map_err(|k| format!("constant expression has undefined behavior: {k:?}"))
+    };
+    match op {
+        BinOp::Add => ub(hk_hir::interp::eval_bin(hk_hir::BinOp::Add, a, b)),
+        BinOp::Sub => ub(hk_hir::interp::eval_bin(hk_hir::BinOp::Sub, a, b)),
+        BinOp::Mul => ub(hk_hir::interp::eval_bin(hk_hir::BinOp::Mul, a, b)),
+        BinOp::Div => ub(hk_hir::interp::eval_bin(hk_hir::BinOp::UDiv, a, b)),
+        BinOp::Rem => ub(hk_hir::interp::eval_bin(hk_hir::BinOp::URem, a, b)),
+        BinOp::BitAnd => Ok(a & b),
+        BinOp::BitOr => Ok(a | b),
+        BinOp::BitXor => Ok(a ^ b),
+        BinOp::Shl => ub(hk_hir::interp::eval_bin(hk_hir::BinOp::Shl, a, b)),
+        BinOp::Shr => ub(hk_hir::interp::eval_bin(hk_hir::BinOp::AShr, a, b)),
+        BinOp::Eq => Ok((a == b) as i64),
+        BinOp::Ne => Ok((a != b) as i64),
+        BinOp::Lt => Ok((a < b) as i64),
+        BinOp::Le => Ok((a <= b) as i64),
+        BinOp::Gt => Ok((a > b) as i64),
+        BinOp::Ge => Ok((a >= b) as i64),
+        BinOp::LogAnd => Ok((a != 0 && b != 0) as i64),
+        BinOp::LogOr => Ok((a != 0 || b != 0) as i64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_hir::{Interp, VecMem};
+
+    fn run(src: &str, func: &str, args: &[i64]) -> Result<i64, hk_hir::ExecError> {
+        let mut module = Module::new();
+        let mut c = Compiler::new(&mut module);
+        c.compile(src).expect("compile");
+        let errors = hk_hir::verify::check_module(&module);
+        assert!(errors.is_empty(), "{errors:?}");
+        let f = module.func(func).expect("function");
+        let interp = Interp::new(&module);
+        let mut mem = VecMem::new(&module);
+        interp.call(&mut mem, f, args, 1_000_000)
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons() {
+        let src = "i64 f(i64 a, i64 b) { return (a + b) * 2 - (a < b); }";
+        assert_eq!(run(src, "f", &[3, 4]).unwrap(), 13);
+        assert_eq!(run(src, "f", &[4, 3]).unwrap(), 14);
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let src = r#"
+            i64 sign(i64 x) {
+                if (x > 0) { return 1; }
+                else if (x < 0) { return 0 - 1; }
+                else { return 0; }
+            }
+        "#;
+        assert_eq!(run(src, "sign", &[42]).unwrap(), 1);
+        assert_eq!(run(src, "sign", &[-42]).unwrap(), -1);
+        assert_eq!(run(src, "sign", &[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn while_and_for_loops() {
+        let src = r#"
+            i64 sum_to(i64 n) {
+                i64 s = 0;
+                i64 i;
+                for (i = 1; i <= n; i = i + 1) { s = s + i; }
+                return s;
+            }
+            i64 count_bits(i64 x) {
+                i64 n = 0;
+                while (x != 0) { n = n + (x & 1); x = x >> 1; }
+                return n;
+            }
+        "#;
+        assert_eq!(run(src, "sum_to", &[10]).unwrap(), 55);
+        assert_eq!(run(src, "count_bits", &[0xff]).unwrap(), 8);
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let src = r#"
+            i64 first_even_ge(i64 n) {
+                i64 i = n;
+                while (1) {
+                    if (i % 2 == 0) { break; }
+                    i = i + 1;
+                }
+                return i;
+            }
+            i64 sum_odds(i64 n) {
+                i64 s = 0;
+                i64 i;
+                for (i = 0; i < n; i = i + 1) {
+                    if (i % 2 == 0) { continue; }
+                    s = s + i;
+                }
+                return s;
+            }
+        "#;
+        assert_eq!(run(src, "first_even_ge", &[7]).unwrap(), 8);
+        assert_eq!(run(src, "first_even_ge", &[8]).unwrap(), 8);
+        // continue in a desugared for-loop still runs the step.
+        assert_eq!(run(src, "sum_odds", &[6]).unwrap(), 9);
+    }
+
+    #[test]
+    fn short_circuit_avoids_side_effects() {
+        let src = r#"
+            i64 bump() { counter = counter + 1; return 1; }
+            i64 test(i64 x) {
+                if (x != 0 && bump() == 1) { return counter; }
+                return counter;
+            }
+        "#;
+        let mut module = Module::new();
+        module.declare_scalar("counter");
+        let mut c = Compiler::new(&mut module);
+        c.compile(src).unwrap();
+        let f = module.func("test").unwrap();
+        let interp = Interp::new(&module);
+        let mut mem = VecMem::new(&module);
+        // x == 0: bump must not run.
+        assert_eq!(interp.call(&mut mem, f, &[0], 10_000).unwrap(), 0);
+        // x != 0: bump runs once.
+        assert_eq!(interp.call(&mut mem, f, &[1], 10_000).unwrap(), 1);
+    }
+
+    #[test]
+    fn global_struct_access() {
+        let src = r#"
+            i64 set(i64 pid, i64 fd, i64 val) {
+                procs[pid].ofile[fd] = val;
+                procs[pid].nr_fds = procs[pid].nr_fds + 1;
+                return 0;
+            }
+            i64 get(i64 pid, i64 fd) { return procs[pid].ofile[fd]; }
+            i64 nr(i64 pid) { return procs[pid].nr_fds; }
+        "#;
+        let mut module = Module::new();
+        module.declare_global(hk_hir::GlobalDecl {
+            name: "procs".into(),
+            elems: 4,
+            fields: vec![
+                hk_hir::FieldDecl {
+                    name: "nr_fds".into(),
+                    elems: 1,
+                    volatile: false,
+                },
+                hk_hir::FieldDecl {
+                    name: "ofile".into(),
+                    elems: 8,
+                    volatile: false,
+                },
+            ],
+        });
+        let mut c = Compiler::new(&mut module);
+        c.compile(src).unwrap();
+        let interp = Interp::new(&module);
+        let mut mem = VecMem::new(&module);
+        let set = module.func("set").unwrap();
+        let get = module.func("get").unwrap();
+        let nr = module.func("nr").unwrap();
+        interp.call(&mut mem, set, &[2, 3, 77], 10_000).unwrap();
+        assert_eq!(interp.call(&mut mem, get, &[2, 3], 10_000).unwrap(), 77);
+        assert_eq!(interp.call(&mut mem, nr, &[2], 10_000).unwrap(), 1);
+        assert_eq!(interp.call(&mut mem, nr, &[1], 10_000).unwrap(), 0);
+        // Out of bounds is UB at runtime.
+        assert!(interp.call(&mut mem, get, &[4, 0], 10_000).is_err());
+    }
+
+    #[test]
+    fn constants_fold() {
+        let src = r#"
+            const N = 4;
+            const MASK = (1 << N) - 1;
+            i64 f(i64 x) { return x & MASK; }
+        "#;
+        assert_eq!(run(src, "f", &[0x1234]).unwrap(), 4);
+    }
+
+    #[test]
+    fn calls_between_functions() {
+        let src = r#"
+            i64 helper(i64 x) { return x * 3; }
+            i64 main_fn(i64 x) { return helper(x) + helper(x + 1); }
+        "#;
+        assert_eq!(run(src, "main_fn", &[2]).unwrap(), 15);
+    }
+
+    #[test]
+    fn errors_unknown_name() {
+        let mut module = Module::new();
+        let mut c = Compiler::new(&mut module);
+        let err = c.compile("i64 f() { return mystery; }").unwrap_err();
+        assert!(err.msg.contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn errors_arity_mismatch() {
+        let mut module = Module::new();
+        let mut c = Compiler::new(&mut module);
+        let err = c
+            .compile("i64 g(i64 a) { return a; } i64 f() { return g(1, 2); }")
+            .unwrap_err();
+        assert!(err.msg.contains("expects 1"), "{err}");
+    }
+
+    #[test]
+    fn errors_unreachable_code() {
+        let mut module = Module::new();
+        let mut c = Compiler::new(&mut module);
+        let err = c
+            .compile("i64 f() { return 1; return 2; }")
+            .unwrap_err();
+        assert!(err.msg.contains("unreachable"), "{err}");
+    }
+
+    #[test]
+    fn implicit_return_zero() {
+        assert_eq!(run("i64 f() { i64 x = 5; x = x + 1; }", "f", &[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn both_branches_return() {
+        let src = "i64 f(i64 x) { if (x > 0) { return 1; } else { return 2; } }";
+        assert_eq!(run(src, "f", &[5]).unwrap(), 1);
+        assert_eq!(run(src, "f", &[-5]).unwrap(), 2);
+    }
+
+    #[test]
+    fn scoping_and_shadowing() {
+        let src = r#"
+            i64 f(i64 x) {
+                i64 y = 1;
+                if (x > 0) {
+                    i64 y = 2;
+                    x = x + y;
+                }
+                return x + y;
+            }
+        "#;
+        assert_eq!(run(src, "f", &[10]).unwrap(), 13);
+    }
+
+    #[test]
+    fn redeclaration_in_same_scope_errors() {
+        let mut module = Module::new();
+        let mut c = Compiler::new(&mut module);
+        let err = c
+            .compile("i64 f() { i64 x = 1; i64 x = 2; return x; }")
+            .unwrap_err();
+        assert!(err.msg.contains("redeclaration"), "{err}");
+    }
+}

@@ -1,0 +1,494 @@
+//! Recursive-descent parser for HyperC, with precedence-climbing for
+//! expressions. `for` loops are desugared to `while` here so the lowering
+//! pass handles a single loop form.
+
+use crate::ast::{BinOp, Expr, ExprKind, FuncDef, Item, LValue, Stmt, StmtKind, UnOp};
+use crate::lex::{lex, Tok, Token};
+
+/// Parse error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a translation unit.
+pub fn parse(src: &str) -> Result<Vec<Item>, ParseError> {
+    let tokens = lex(src).map_err(|e| ParseError {
+        line: e.line,
+        msg: e.msg,
+    })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at(&Tok::Eof) {
+        items.push(p.item()?);
+    }
+    Ok(items)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.at(t) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError {
+            line: self.line(),
+            msg,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        if self.eat(&Tok::KwConst) {
+            let name = self.ident("constant name")?;
+            self.expect(&Tok::Assign, "'='")?;
+            let e = self.expr()?;
+            self.expect(&Tok::Semi, "';'")?;
+            return Ok(Item::Const(name, e));
+        }
+        let line = self.line();
+        self.expect(&Tok::KwI64, "'i64' (function return type)")?;
+        let name = self.ident("function name")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.at(&Tok::RParen) {
+            loop {
+                self.expect(&Tok::KwI64, "'i64' (parameter type)")?;
+                params.push(self.ident("parameter name")?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        let body = self.block()?;
+        Ok(Item::Func(FuncDef {
+            line,
+            name,
+            params,
+            body,
+        }))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.at(&Tok::Eof) {
+                return Err(self.err("unexpected end of input inside block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let kind = match self.peek().clone() {
+            Tok::KwI64 => {
+                self.bump();
+                let name = self.ident("variable name")?;
+                let init = if self.eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Tok::Semi, "';'")?;
+                StmtKind::Decl(name, init)
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::Semi, "';'")?;
+                StmtKind::Return(e)
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi, "';'")?;
+                StmtKind::Break
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi, "';'")?;
+                StmtKind::Continue
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let then_b = self.block()?;
+                let else_b = if self.eat(&Tok::KwElse) {
+                    if self.at(&Tok::KwIf) {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                StmtKind::If(cond, then_b, else_b)
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let body = self.block()?;
+                StmtKind::While(cond, body)
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let init = self.simple_assign()?;
+                self.expect(&Tok::Semi, "';'")?;
+                let cond = self.expr()?;
+                self.expect(&Tok::Semi, "';'")?;
+                let step = self.simple_assign()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let body = self.block()?;
+                StmtKind::For(Box::new(init), cond, Box::new(step), body)
+            }
+            _ => {
+                // Assignment or expression statement.
+                let e = self.expr()?;
+                if self.eat(&Tok::Assign) {
+                    let lv = expr_to_lvalue(e).map_err(|msg| ParseError { line, msg })?;
+                    let rhs = self.expr()?;
+                    self.expect(&Tok::Semi, "';'")?;
+                    StmtKind::Assign(lv, rhs)
+                } else {
+                    self.expect(&Tok::Semi, "';'")?;
+                    StmtKind::Expr(e)
+                }
+            }
+        };
+        Ok(Stmt { line, kind })
+    }
+
+    /// `x = e` or `place = e` without the trailing semicolon (for `for`).
+    fn simple_assign(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let e = self.expr()?;
+        self.expect(&Tok::Assign, "'='")?;
+        let lv = expr_to_lvalue(e).map_err(|msg| ParseError { line, msg })?;
+        let rhs = self.expr()?;
+        Ok(Stmt {
+            line,
+            kind: StmtKind::Assign(lv, rhs),
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::OrOr => (BinOp::LogOr, 1),
+                Tok::AndAnd => (BinOp::LogAnd, 2),
+                Tok::Pipe => (BinOp::BitOr, 3),
+                Tok::Caret => (BinOp::BitXor, 4),
+                Tok::Amp => (BinOp::BitAnd, 5),
+                Tok::Eq => (BinOp::Eq, 6),
+                Tok::Ne => (BinOp::Ne, 6),
+                Tok::Lt => (BinOp::Lt, 7),
+                Tok::Le => (BinOp::Le, 7),
+                Tok::Gt => (BinOp::Gt, 7),
+                Tok::Ge => (BinOp::Ge, 7),
+                Tok::Shl => (BinOp::Shl, 8),
+                Tok::Shr => (BinOp::Shr, 8),
+                Tok::Plus => (BinOp::Add, 9),
+                Tok::Minus => (BinOp::Sub, 9),
+                Tok::Star => (BinOp::Mul, 10),
+                Tok::Slash => (BinOp::Div, 10),
+                Tok::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr {
+                line,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        let op = match self.peek() {
+            Tok::Minus => Some(UnOp::Neg),
+            Tok::Bang => Some(UnOp::Not),
+            Tok::Tilde => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr {
+                line,
+                kind: ExprKind::Unary(op, Box::new(e)),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Int(v),
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                // Call?
+                if matches!(self.peek2(), Tok::LParen) {
+                    self.bump();
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen, "')'")?;
+                    return Ok(Expr {
+                        line,
+                        kind: ExprKind::Call(name, args),
+                    });
+                }
+                self.bump();
+                // Global place: name[expr](.field([expr])? | [expr])?
+                if self.at(&Tok::LBracket) {
+                    self.bump();
+                    let index = self.expr()?;
+                    self.expect(&Tok::RBracket, "']'")?;
+                    let mut field = None;
+                    let mut sub = None;
+                    if self.eat(&Tok::Dot) {
+                        field = Some(self.ident("field name")?);
+                        if self.eat(&Tok::LBracket) {
+                            sub = Some(Box::new(self.expr()?));
+                            self.expect(&Tok::RBracket, "']'")?;
+                        }
+                    } else if self.eat(&Tok::LBracket) {
+                        sub = Some(Box::new(self.expr()?));
+                        self.expect(&Tok::RBracket, "']'")?;
+                    }
+                    return Ok(Expr {
+                        line,
+                        kind: ExprKind::Place(LValue::Global {
+                            name,
+                            index: Some(Box::new(index)),
+                            field,
+                            sub,
+                        }),
+                    });
+                }
+                Ok(Expr {
+                    line,
+                    kind: ExprKind::Name(name),
+                })
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Reinterprets a parsed expression as an assignment target.
+fn expr_to_lvalue(e: Expr) -> Result<LValue, String> {
+    match e.kind {
+        ExprKind::Name(n) => Ok(LValue::Var(n)),
+        ExprKind::Place(lv) => Ok(lv),
+        _ => Err("invalid assignment target".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_function() {
+        let items = parse("i64 f(i64 a, i64 b) { return a + b * 2; }").unwrap();
+        assert_eq!(items.len(), 1);
+        match &items[0] {
+            Item::Func(f) => {
+                assert_eq!(f.name, "f");
+                assert_eq!(f.params, vec!["a", "b"]);
+                assert_eq!(f.body.len(), 1);
+            }
+            _ => panic!("expected function"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // a + b * c parses as a + (b * c).
+        let items = parse("i64 f(i64 a, i64 b, i64 c) { return a + b * c; }").unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        let StmtKind::Return(e) = &f.body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
+            panic!("expected Add at top: {e:?}")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parse_global_places() {
+        let items = parse(
+            "i64 f(i64 pid, i64 fd) { procs[pid].ofile[fd] = 3; pages[pid][fd] = 4; current = 1; return procs[pid].state; }",
+        )
+        .unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        assert!(matches!(
+            &f.body[0].kind,
+            StmtKind::Assign(
+                LValue::Global {
+                    name,
+                    field: Some(fieldname),
+                    sub: Some(_),
+                    ..
+                },
+                _
+            ) if name == "procs" && fieldname == "ofile"
+        ));
+        assert!(matches!(
+            &f.body[1].kind,
+            StmtKind::Assign(
+                LValue::Global {
+                    name,
+                    field: None,
+                    sub: Some(_),
+                    ..
+                },
+                _
+            ) if name == "pages"
+        ));
+        assert!(matches!(
+            &f.body[2].kind,
+            StmtKind::Assign(LValue::Var(n), _) if n == "current"
+        ));
+    }
+
+    #[test]
+    fn parse_if_else_chain() {
+        let src = "i64 f(i64 x) { if (x == 0) { return 1; } else if (x == 1) { return 2; } else { return 3; } }";
+        let items = parse(src).unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        let StmtKind::If(_, _, else_b) = &f.body[0].kind else {
+            panic!()
+        };
+        assert_eq!(else_b.len(), 1);
+        assert!(matches!(&else_b[0].kind, StmtKind::If(..)));
+    }
+
+    #[test]
+    fn parse_for_statement() {
+        let items =
+            parse("i64 f() { i64 i; i64 s; s = 0; for (i = 0; i < 4; i = i + 1) { s = s + i; } return s; }")
+                .unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        let StmtKind::For(init, _, step, body) = &f.body[3].kind else {
+            panic!("expected for, got {:?}", f.body[3])
+        };
+        assert!(matches!(&init.kind, StmtKind::Assign(..)));
+        assert!(matches!(&step.kind, StmtKind::Assign(..)));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parse_const_item() {
+        let items = parse("const N = 8; i64 f() { return N; }").unwrap();
+        assert!(matches!(&items[0], Item::Const(n, _) if n == "N"));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("i64 f() {\n  return 1 +;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

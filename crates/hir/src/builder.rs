@@ -1,0 +1,211 @@
+//! Convenience builder for constructing HIR functions.
+//!
+//! Used by the HyperC compiler's lowering pass and by tests that need
+//! hand-written IR.
+
+use crate::func::{BinOp, Block, BlockId, CmpKind, Func, Gep, Inst, Operand, Reg, Terminator};
+use crate::module::FuncId;
+
+/// Builds one function, block by block.
+#[derive(Debug)]
+pub struct FuncBuilder {
+    name: String,
+    num_params: u32,
+    num_regs: u32,
+    blocks: Vec<Option<Block>>,
+    pending: Vec<Inst>,
+    current: BlockId,
+    terminated: bool,
+}
+
+impl FuncBuilder {
+    /// Starts a function with `num_params` parameters (occupying registers
+    /// `0..num_params`). The entry block is current.
+    pub fn new(name: impl Into<String>, num_params: u32) -> Self {
+        FuncBuilder {
+            name: name.into(),
+            num_params,
+            num_regs: num_params,
+            blocks: vec![None],
+            pending: Vec::new(),
+            current: BlockId(0),
+            terminated: false,
+        }
+    }
+
+    /// Parameter register `i`.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.num_params, "param {i} out of range");
+        Reg(i)
+    }
+
+    /// Allocates a fresh register.
+    pub fn new_reg(&mut self) -> Reg {
+        let r = Reg(self.num_regs);
+        self.num_regs += 1;
+        r
+    }
+
+    /// Creates a new (empty, unpositioned) block.
+    pub fn new_block(&mut self) -> BlockId {
+        let b = BlockId(self.blocks.len() as u32);
+        self.blocks.push(None);
+        b
+    }
+
+    /// Switches the insertion point to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block lacks a terminator or `b` was already
+    /// filled.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            self.terminated,
+            "block {:?} left unterminated",
+            self.current
+        );
+        assert!(
+            self.blocks[b.0 as usize].is_none(),
+            "block {b:?} already filled"
+        );
+        self.current = b;
+        self.pending = Vec::new();
+        self.terminated = false;
+    }
+
+    fn push(&mut self, inst: Inst) {
+        assert!(!self.terminated, "instruction after terminator");
+        self.pending.push(inst);
+    }
+
+    /// Emits `dst = a op b` into a fresh register.
+    pub fn bin(&mut self, op: BinOp, a: Operand, b: Operand) -> Reg {
+        let dst = self.new_reg();
+        self.push(Inst::Bin { dst, op, a, b });
+        dst
+    }
+
+    /// Emits `dst = (a op b)` into a fresh register.
+    pub fn cmp(&mut self, op: CmpKind, a: Operand, b: Operand) -> Reg {
+        let dst = self.new_reg();
+        self.push(Inst::Cmp { dst, op, a, b });
+        dst
+    }
+
+    /// Emits a copy into an existing register (used for assignments).
+    pub fn copy_to(&mut self, dst: Reg, src: Operand) {
+        self.push(Inst::Copy { dst, src });
+    }
+
+    /// Emits a load into a fresh register.
+    pub fn load(&mut self, gep: Gep) -> Reg {
+        let dst = self.new_reg();
+        self.push(Inst::Load { dst, gep });
+        dst
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, gep: Gep, val: Operand) {
+        self.push(Inst::Store { gep, val });
+    }
+
+    /// Emits a call into a fresh register.
+    pub fn call(&mut self, func: FuncId, args: Vec<Operand>) -> Reg {
+        let dst = self.new_reg();
+        self.push(Inst::Call { dst, func, args });
+        dst
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        assert!(!self.terminated, "double terminator");
+        let block = Block {
+            insts: std::mem::take(&mut self.pending),
+            term,
+        };
+        self.blocks[self.current.0 as usize] = Some(block);
+        self.terminated = true;
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jmp(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn br(&mut self, cond: Operand, then_: BlockId, else_: BlockId) {
+        self.terminate(Terminator::Br { cond, then_, else_ });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, val: Operand) {
+        self.terminate(Terminator::Ret(val));
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any created block was never filled.
+    pub fn finish(self) -> Func {
+        assert!(self.terminated, "last block unterminated");
+        let blocks: Vec<Block> = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b.unwrap_or_else(|| panic!("block {i} never filled")))
+            .collect();
+        Func {
+            name: self.name,
+            num_params: self.num_params,
+            num_regs: self.num_regs,
+            blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_function() {
+        // f(a, b) = a + b
+        let mut fb = FuncBuilder::new("add", 2);
+        let a = fb.param(0);
+        let b = fb.param(1);
+        let sum = fb.bin(BinOp::Add, Operand::Reg(a), Operand::Reg(b));
+        fb.ret(Operand::Reg(sum));
+        let f = fb.finish();
+        assert_eq!(f.name, "add");
+        assert_eq!(f.num_params, 2);
+        assert_eq!(f.blocks.len(), 1);
+    }
+
+    #[test]
+    fn build_branching_function() {
+        // f(x) = x < 0 ? -x : x
+        let mut fb = FuncBuilder::new("abs", 1);
+        let x = fb.param(0);
+        let neg = fb.cmp(CmpKind::Slt, Operand::Reg(x), Operand::Const(0));
+        let then_b = fb.new_block();
+        let else_b = fb.new_block();
+        fb.br(Operand::Reg(neg), then_b, else_b);
+        fb.switch_to(then_b);
+        let nx = fb.bin(BinOp::Sub, Operand::Const(0), Operand::Reg(x));
+        fb.ret(Operand::Reg(nx));
+        fb.switch_to(else_b);
+        fb.ret(Operand::Reg(x));
+        let f = fb.finish();
+        assert_eq!(f.blocks.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unterminated")]
+    fn unterminated_block_panics() {
+        let mut fb = FuncBuilder::new("bad", 0);
+        let b = fb.new_block();
+        // Switching without terminating the entry block.
+        fb.switch_to(b);
+    }
+}

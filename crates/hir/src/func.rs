@@ -1,0 +1,221 @@
+//! Functions, basic blocks, and instructions.
+//!
+//! HIR is a register machine over 64-bit signed words: instructions read
+//! operands (registers or constants) and write a destination register.
+//! There is no SSA requirement — locals may be reassigned — which keeps
+//! the frontend simple while remaining trivial for the symbolic executor
+//! (register state is just a map from register to term).
+
+use crate::module::{FieldId, FuncId, GlobalId};
+
+/// A virtual register (function-local, 64-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+/// Reference to a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Value of a register.
+    Reg(Reg),
+    /// Immediate constant.
+    Const(i64),
+}
+
+/// Binary arithmetic/logic operations.
+///
+/// `Add`/`Sub`/`Mul` wrap, exactly like LLVM's `add`/`sub`/`mul` without
+/// `nsw` flags — the HyperC frontend never emits the overflow-is-UB
+/// variants (cf. paper §4.4: the verifier sees the frontend's chosen
+/// interpretation of C UB). `UDiv`/`URem` treat operands as unsigned and
+/// division by zero is immediate UB. Shifts require the amount in
+/// `[0, 64)` (LLVM makes out-of-range shifts poison; the verifier treats
+/// poison as immediate UB, paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (UB on zero divisor).
+    UDiv,
+    /// Unsigned remainder (UB on zero divisor).
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (wrapping; UB on amount outside `[0,64)`).
+    Shl,
+    /// Logical right shift (UB on amount outside `[0,64)`).
+    LShr,
+    /// Arithmetic right shift (UB on amount outside `[0,64)`).
+    AShr,
+}
+
+/// Comparison kinds; results are `0` or `1` in a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+}
+
+/// A structured address: `global[index].field[sub]`.
+///
+/// This is HIR's entire addressing mode — the analogue of an LLVM GEP
+/// restricted to the shapes kernel data structures actually use, and the
+/// reason the verifier's memory model can map every `(global, field)` to
+/// one uninterpreted function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gep {
+    /// The global being addressed.
+    pub global: GlobalId,
+    /// Element index (UB if out of `[0, elems)`).
+    pub index: Operand,
+    /// Field within the element.
+    pub field: FieldId,
+    /// Index within the field (UB if out of `[0, field.elems)`).
+    pub sub: Operand,
+}
+
+/// An instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = a op b`.
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = (a op b) ? 1 : 0`.
+    Cmp {
+        /// Destination register.
+        dst: Reg,
+        /// Comparison.
+        op: CmpKind,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = src`.
+    Copy {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = load gep`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address.
+        gep: Gep,
+    },
+    /// `store val, gep`.
+    Store {
+        /// Address.
+        gep: Gep,
+        /// Value to store.
+        val: Operand,
+    },
+    /// `dst = call f(args)` (direct call; recursion is rejected by the
+    /// module verifier, keeping every function finite).
+    Call {
+        /// Destination register for the return value.
+        dst: Reg,
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Conditional branch: taken if `cond != 0`.
+    Br {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when nonzero.
+        then_: BlockId,
+        /// Target when zero.
+        else_: BlockId,
+    },
+    /// Return a value.
+    Ret(Operand),
+}
+
+/// A basic block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// Terminator.
+    pub term: Terminator,
+}
+
+/// A function definition.
+#[derive(Debug, Clone)]
+pub struct Func {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Number of parameters; they occupy registers `0..num_params`.
+    pub num_params: u32,
+    /// Total registers, including parameters.
+    pub num_regs: u32,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Func {
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The block with the given id.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.0 as usize]
+    }
+
+    /// Ids of functions this function calls directly.
+    pub fn callees(&self) -> Vec<FuncId> {
+        let mut out = Vec::new();
+        for b in &self.blocks {
+            for i in &b.insts {
+                if let Inst::Call { func, .. } = i {
+                    out.push(*func);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}

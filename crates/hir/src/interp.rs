@@ -1,0 +1,579 @@
+//! The HIR interpreter — the kernel's runtime.
+//!
+//! Because Hyperkernel-in-Rust executes the very IR it verifies, the
+//! interpreter is the analogue of "the LLVM backend plus the CPU" in the
+//! paper's trust story. It enforces the same undefined-behaviour rules the
+//! verifier side-checks (division by zero, shift range, out-of-bounds
+//! global access) and reports them as errors instead of
+//! silently continuing, and it treats reads of uninitialized registers as
+//! errors — strictly harsher than LLVM's `undef`, which makes differential
+//! testing against the specification deterministic.
+
+use crate::func::{BinOp, CmpKind, Func, Gep, Inst, Operand, Reg, Terminator};
+use crate::module::{FieldId, FuncId, GlobalId, Module};
+
+/// Kinds of immediate undefined behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UbKind {
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Shift amount outside `[0, 64)`.
+    ShiftOutOfRange,
+    /// Global element index out of bounds.
+    OobIndex {
+        /// The global accessed.
+        global: GlobalId,
+        /// The offending index.
+        index: i64,
+    },
+    /// Field sub-index out of bounds.
+    OobSub {
+        /// The global accessed.
+        global: GlobalId,
+        /// The field accessed.
+        field: FieldId,
+        /// The offending sub-index.
+        sub: i64,
+    },
+}
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Undefined behaviour was detected (the function and a description).
+    Ub {
+        /// The function in which UB occurred.
+        func: String,
+        /// What happened.
+        kind: UbKind,
+    },
+    /// A register was read before being written.
+    UninitRead {
+        /// The function.
+        func: String,
+        /// The register.
+        reg: Reg,
+    },
+    /// The fuel budget was exhausted (would-be divergence).
+    OutOfFuel,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Ub { func, kind } => write!(f, "undefined behavior in {func}: {kind:?}"),
+            ExecError::UninitRead { func, reg } => {
+                write!(f, "uninitialized read of r{} in {func}", reg.0)
+            }
+            ExecError::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A resolved, bounds-checked address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Addr {
+    /// The global.
+    pub global: GlobalId,
+    /// Element index, validated in range.
+    pub index: u64,
+    /// Field.
+    pub field: FieldId,
+    /// Sub-index within the field, validated in range.
+    pub sub: u64,
+}
+
+/// Memory behind the interpreter. The kernel runs with its globals placed
+/// in the machine's physical memory; tests use [`VecMem`].
+pub trait MemBackend {
+    /// Loads one word.
+    fn load(&mut self, module: &Module, addr: Addr) -> i64;
+    /// Stores one word.
+    fn store(&mut self, module: &Module, addr: Addr, val: i64);
+}
+
+/// A simple flat-vector memory with the module's default layout.
+#[derive(Debug, Clone)]
+pub struct VecMem {
+    /// Backing words.
+    pub words: Vec<i64>,
+    offsets: Vec<u64>,
+}
+
+impl VecMem {
+    /// Allocates zeroed memory for all globals of a module.
+    pub fn new(module: &Module) -> Self {
+        let mut offsets = Vec::with_capacity(module.globals.len());
+        let mut off = 0;
+        for g in &module.globals {
+            offsets.push(off);
+            off += g.size_words();
+        }
+        VecMem {
+            words: vec![0; off as usize],
+            offsets,
+        }
+    }
+
+    /// Flat word offset of an address.
+    pub fn flat(&self, module: &Module, addr: Addr) -> usize {
+        let g = module.global_decl(addr.global);
+        (self.offsets[addr.global.0 as usize]
+            + addr.index * g.stride()
+            + g.field_offset(addr.field)
+            + addr.sub) as usize
+    }
+
+    /// Reads by names, for tests and boot code.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names or out-of-range indices.
+    pub fn get(&self, module: &Module, global: &str, index: u64, field: &str, sub: u64) -> i64 {
+        let g = module.global(global).expect("unknown global");
+        let f = module.global_decl(g).field(field).expect("unknown field");
+        let addr = Addr {
+            global: g,
+            index,
+            field: f,
+            sub,
+        };
+        self.words[self.flat(module, addr)]
+    }
+
+    /// Writes by names, for tests and boot code.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names or out-of-range indices.
+    pub fn set(
+        &mut self,
+        module: &Module,
+        global: &str,
+        index: u64,
+        field: &str,
+        sub: u64,
+        val: i64,
+    ) {
+        let g = module.global(global).expect("unknown global");
+        let f = module.global_decl(g).field(field).expect("unknown field");
+        let addr = Addr {
+            global: g,
+            index,
+            field: f,
+            sub,
+        };
+        let i = self.flat(module, addr);
+        self.words[i] = val;
+    }
+}
+
+impl MemBackend for VecMem {
+    fn load(&mut self, module: &Module, addr: Addr) -> i64 {
+        self.words[self.flat(module, addr)]
+    }
+
+    fn store(&mut self, module: &Module, addr: Addr, val: i64) {
+        let i = self.flat(module, addr);
+        self.words[i] = val;
+    }
+}
+
+/// The interpreter. Borrows the module; memory is passed per call so the
+/// same interpreter can serve multiple memories.
+#[derive(Debug)]
+pub struct Interp<'m> {
+    module: &'m Module,
+}
+
+impl<'m> Interp<'m> {
+    /// Creates an interpreter for a module.
+    pub fn new(module: &'m Module) -> Self {
+        Interp { module }
+    }
+
+    /// Calls a function by id with the given arguments.
+    ///
+    /// `fuel` bounds the total number of executed instructions across the
+    /// whole call tree; exceeding it is reported as [`ExecError::OutOfFuel`]
+    /// (the runtime manifestation of a non-finite handler).
+    pub fn call<M: MemBackend>(
+        &self,
+        mem: &mut M,
+        func: FuncId,
+        args: &[i64],
+        fuel: u64,
+    ) -> Result<i64, ExecError> {
+        self.call_counting(mem, func, args, fuel).map(|(v, _)| v)
+    }
+
+    /// Like [`Interp::call`], additionally returning the number of
+    /// instructions executed (the kernel's cycle accounting reads this).
+    pub fn call_counting<M: MemBackend>(
+        &self,
+        mem: &mut M,
+        func: FuncId,
+        args: &[i64],
+        fuel: u64,
+    ) -> Result<(i64, u64), ExecError> {
+        let mut remaining = fuel;
+        let ret = self.call_inner(mem, func, args, &mut remaining)?;
+        Ok((ret, fuel - remaining))
+    }
+
+    fn call_inner<M: MemBackend>(
+        &self,
+        mem: &mut M,
+        func: FuncId,
+        args: &[i64],
+        fuel: &mut u64,
+    ) -> Result<i64, ExecError> {
+        let f = self.module.func_def(func);
+        assert_eq!(
+            args.len(),
+            f.num_params as usize,
+            "arity mismatch calling {}",
+            f.name
+        );
+        let mut regs: Vec<Option<i64>> = vec![None; f.num_regs as usize];
+        for (i, &a) in args.iter().enumerate() {
+            regs[i] = Some(a);
+        }
+        let mut block = f.entry();
+        loop {
+            let b = f.block(block);
+            for inst in &b.insts {
+                if *fuel == 0 {
+                    return Err(ExecError::OutOfFuel);
+                }
+                *fuel -= 1;
+                self.step(mem, f, inst, &mut regs, fuel)?;
+            }
+            match &b.term {
+                Terminator::Jmp(t) => block = *t,
+                Terminator::Br { cond, then_, else_ } => {
+                    let c = self.operand(f, &regs, *cond)?;
+                    block = if c != 0 { *then_ } else { *else_ };
+                }
+                Terminator::Ret(v) => return self.operand(f, &regs, *v),
+            }
+        }
+    }
+
+    fn operand(&self, f: &Func, regs: &[Option<i64>], op: Operand) -> Result<i64, ExecError> {
+        match op {
+            Operand::Const(c) => Ok(c),
+            Operand::Reg(r) => regs[r.0 as usize].ok_or(ExecError::UninitRead {
+                func: f.name.clone(),
+                reg: r,
+            }),
+        }
+    }
+
+    fn resolve(&self, f: &Func, regs: &[Option<i64>], gep: Gep) -> Result<Addr, ExecError> {
+        let g = self.module.global_decl(gep.global);
+        let index = self.operand(f, regs, gep.index)?;
+        if index < 0 || index as u64 >= g.elems {
+            return Err(ExecError::Ub {
+                func: f.name.clone(),
+                kind: UbKind::OobIndex {
+                    global: gep.global,
+                    index,
+                },
+            });
+        }
+        let field = &g.fields[gep.field.0 as usize];
+        let sub = self.operand(f, regs, gep.sub)?;
+        if sub < 0 || sub as u64 >= field.elems {
+            return Err(ExecError::Ub {
+                func: f.name.clone(),
+                kind: UbKind::OobSub {
+                    global: gep.global,
+                    field: gep.field,
+                    sub,
+                },
+            });
+        }
+        Ok(Addr {
+            global: gep.global,
+            index: index as u64,
+            field: gep.field,
+            sub: sub as u64,
+        })
+    }
+
+    fn step<M: MemBackend>(
+        &self,
+        mem: &mut M,
+        f: &Func,
+        inst: &Inst,
+        regs: &mut Vec<Option<i64>>,
+        fuel: &mut u64,
+    ) -> Result<(), ExecError> {
+        match inst {
+            Inst::Bin { dst, op, a, b } => {
+                let x = self.operand(f, regs, *a)?;
+                let y = self.operand(f, regs, *b)?;
+                let r = eval_bin(*op, x, y).map_err(|kind| ExecError::Ub {
+                    func: f.name.clone(),
+                    kind,
+                })?;
+                regs[dst.0 as usize] = Some(r);
+            }
+            Inst::Cmp { dst, op, a, b } => {
+                let x = self.operand(f, regs, *a)?;
+                let y = self.operand(f, regs, *b)?;
+                regs[dst.0 as usize] = Some(eval_cmp(*op, x, y) as i64);
+            }
+            Inst::Copy { dst, src } => {
+                let v = self.operand(f, regs, *src)?;
+                regs[dst.0 as usize] = Some(v);
+            }
+            Inst::Load { dst, gep } => {
+                let addr = self.resolve(f, regs, *gep)?;
+                regs[dst.0 as usize] = Some(mem.load(self.module, addr));
+            }
+            Inst::Store { gep, val } => {
+                let v = self.operand(f, regs, *val)?;
+                let addr = self.resolve(f, regs, *gep)?;
+                mem.store(self.module, addr, v);
+            }
+            Inst::Call { dst, func, args } => {
+                let vals: Result<Vec<i64>, ExecError> =
+                    args.iter().map(|&a| self.operand(f, regs, a)).collect();
+                let r = self.call_inner(mem, *func, &vals?, fuel)?;
+                regs[dst.0 as usize] = Some(r);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a binary operation with C/HIR UB semantics.
+pub fn eval_bin(op: BinOp, a: i64, b: i64) -> Result<i64, UbKind> {
+    match op {
+        BinOp::Add => Ok(a.wrapping_add(b)),
+        BinOp::Sub => Ok(a.wrapping_sub(b)),
+        BinOp::Mul => Ok(a.wrapping_mul(b)),
+        BinOp::UDiv => {
+            if b == 0 {
+                Err(UbKind::DivByZero)
+            } else {
+                Ok(((a as u64) / (b as u64)) as i64)
+            }
+        }
+        BinOp::URem => {
+            if b == 0 {
+                Err(UbKind::DivByZero)
+            } else {
+                Ok(((a as u64) % (b as u64)) as i64)
+            }
+        }
+        BinOp::And => Ok(a & b),
+        BinOp::Or => Ok(a | b),
+        BinOp::Xor => Ok(a ^ b),
+        BinOp::Shl => {
+            if !(0..64).contains(&b) {
+                return Err(UbKind::ShiftOutOfRange);
+            }
+            Ok(((a as u64) << b) as i64)
+        }
+        BinOp::LShr => {
+            if !(0..64).contains(&b) {
+                return Err(UbKind::ShiftOutOfRange);
+            }
+            Ok(((a as u64) >> b) as i64)
+        }
+        BinOp::AShr => {
+            if !(0..64).contains(&b) {
+                return Err(UbKind::ShiftOutOfRange);
+            }
+            Ok(a >> b)
+        }
+    }
+}
+
+/// Evaluates a comparison.
+pub fn eval_cmp(op: CmpKind, a: i64, b: i64) -> bool {
+    match op {
+        CmpKind::Eq => a == b,
+        CmpKind::Ne => a != b,
+        CmpKind::Slt => a < b,
+        CmpKind::Sle => a <= b,
+        CmpKind::Ult => (a as u64) < (b as u64),
+        CmpKind::Ule => (a as u64) <= (b as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::module::{FieldDecl, GlobalDecl};
+
+    fn test_module() -> (Module, FuncId, FuncId) {
+        let mut m = Module::new();
+        m.declare_global(GlobalDecl {
+            name: "table".into(),
+            elems: 4,
+            fields: vec![FieldDecl {
+                name: "value".into(),
+                elems: 2,
+                volatile: false,
+            }],
+        });
+        // get(i, j) = table[i].value[j]
+        let g = m.global("table").unwrap();
+        let fld = m.global_decl(g).field("value").unwrap();
+        let mut fb = FuncBuilder::new("get", 2);
+        let v = fb.load(Gep {
+            global: g,
+            index: Operand::Reg(fb.param(0)),
+            field: fld,
+            sub: Operand::Reg(fb.param(1)),
+        });
+        fb.ret(Operand::Reg(v));
+        let get = m.add_func(fb.finish());
+        // put(i, j, v) { table[i].value[j] = v; return 0; }
+        let mut fb = FuncBuilder::new("put", 3);
+        fb.store(
+            Gep {
+                global: g,
+                index: Operand::Reg(fb.param(0)),
+                field: fld,
+                sub: Operand::Reg(fb.param(1)),
+            },
+            Operand::Reg(fb.param(2)),
+        );
+        fb.ret(Operand::Const(0));
+        let put = m.add_func(fb.finish());
+        (m, get, put)
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let (m, get, put) = test_module();
+        let interp = Interp::new(&m);
+        let mut mem = VecMem::new(&m);
+        interp.call(&mut mem, put, &[2, 1, 99], 1000).unwrap();
+        assert_eq!(interp.call(&mut mem, get, &[2, 1], 1000).unwrap(), 99);
+        assert_eq!(interp.call(&mut mem, get, &[2, 0], 1000).unwrap(), 0);
+        assert_eq!(mem.get(&m, "table", 2, "value", 1), 99);
+    }
+
+    #[test]
+    fn oob_index_is_ub() {
+        let (m, get, _) = test_module();
+        let interp = Interp::new(&m);
+        let mut mem = VecMem::new(&m);
+        let err = interp.call(&mut mem, get, &[4, 0], 1000).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Ub {
+                kind: UbKind::OobIndex { .. },
+                ..
+            }
+        ));
+        let err = interp.call(&mut mem, get, &[-1, 0], 1000).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Ub {
+                kind: UbKind::OobIndex { index: -1, .. },
+                ..
+            }
+        ));
+        let err = interp.call(&mut mem, get, &[0, 2], 1000).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Ub {
+                kind: UbKind::OobSub { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn arithmetic_wraps_like_llvm() {
+        // LLVM `add`/`sub`/`mul` without nsw wrap; the HyperC frontend
+        // never emits nsw (paper §4.4's frontend-interpretation caveat).
+        assert_eq!(eval_bin(BinOp::Add, i64::MAX, 1), Ok(i64::MIN));
+        assert_eq!(eval_bin(BinOp::Sub, i64::MIN, 1), Ok(i64::MAX));
+        assert_eq!(eval_bin(BinOp::Mul, i64::MAX, 2), Ok(-2));
+        assert_eq!(eval_bin(BinOp::Add, 1, 2), Ok(3));
+    }
+
+    #[test]
+    fn shift_ub_rules() {
+        assert_eq!(eval_bin(BinOp::Shl, 1, 64), Err(UbKind::ShiftOutOfRange));
+        assert_eq!(eval_bin(BinOp::Shl, 1, -1), Err(UbKind::ShiftOutOfRange));
+        assert_eq!(eval_bin(BinOp::Shl, 1, 63), Ok(i64::MIN));
+        assert_eq!(eval_bin(BinOp::Shl, 3, 2), Ok(12));
+        assert_eq!(eval_bin(BinOp::LShr, -1, 1), Ok(i64::MAX));
+        assert_eq!(eval_bin(BinOp::AShr, -2, 1), Ok(-1));
+    }
+
+    #[test]
+    fn div_by_zero_is_ub() {
+        assert_eq!(eval_bin(BinOp::UDiv, 1, 0), Err(UbKind::DivByZero));
+        assert_eq!(eval_bin(BinOp::URem, 1, 0), Err(UbKind::DivByZero));
+        assert_eq!(eval_bin(BinOp::UDiv, 7, 2), Ok(3));
+        // Unsigned semantics: -1 is a huge dividend.
+        assert_eq!(eval_bin(BinOp::UDiv, -1, 2), Ok(i64::MAX));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        // An infinite loop runs out of fuel instead of hanging.
+        let mut m = Module::new();
+        let mut fb = FuncBuilder::new("spin", 0);
+        let b = fb.new_block();
+        fb.jmp(b);
+        fb.switch_to(b);
+        let _ = fb.bin(BinOp::Add, Operand::Const(1), Operand::Const(1));
+        fb.jmp(b);
+        let f = m.add_func(fb.finish());
+        let interp = Interp::new(&m);
+        let mut mem = VecMem::new(&m);
+        assert_eq!(
+            interp.call(&mut mem, f, &[], 10_000),
+            Err(ExecError::OutOfFuel)
+        );
+    }
+
+    #[test]
+    fn uninit_read_is_error() {
+        let mut m = Module::new();
+        let mut fb = FuncBuilder::new("bad", 0);
+        let r = fb.new_reg();
+        let s = fb.bin(BinOp::Add, Operand::Reg(r), Operand::Const(1));
+        fb.ret(Operand::Reg(s));
+        let f = m.add_func(fb.finish());
+        let interp = Interp::new(&m);
+        let mut mem = VecMem::new(&m);
+        assert!(matches!(
+            interp.call(&mut mem, f, &[], 1000),
+            Err(ExecError::UninitRead { .. })
+        ));
+    }
+
+    #[test]
+    fn calls_pass_arguments() {
+        let mut m = Module::new();
+        let mut fb = FuncBuilder::new("double", 1);
+        let x = fb.param(0);
+        let r = fb.bin(BinOp::Add, Operand::Reg(x), Operand::Reg(x));
+        fb.ret(Operand::Reg(r));
+        let double = m.add_func(fb.finish());
+        let mut fb = FuncBuilder::new("quad", 1);
+        let x = fb.param(0);
+        let d = fb.call(double, vec![Operand::Reg(x)]);
+        let q = fb.call(double, vec![Operand::Reg(d)]);
+        fb.ret(Operand::Reg(q));
+        let quad = m.add_func(fb.finish());
+        let interp = Interp::new(&m);
+        let mut mem = VecMem::new(&m);
+        assert_eq!(interp.call(&mut mem, quad, &[5], 1000).unwrap(), 20);
+    }
+}

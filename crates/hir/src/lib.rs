@@ -1,0 +1,39 @@
+//! HIR: the LLVM-IR-like intermediate representation the kernel is
+//! verified at.
+//!
+//! The paper verifies Hyperkernel at the LLVM IR level because IR
+//! semantics are far simpler than C while retaining types and structure
+//! (§3.2). HIR keeps exactly the properties that verification relies on
+//! and drops what Hyperkernel never uses (exceptions, integer-to-pointer
+//! casts, floats, vectors):
+//!
+//! * all values are 64-bit signed integers in virtual registers;
+//! * memory is a set of typed **global arrays of structs** accessed
+//!   through structured GEPs (`global[index].field[sub]`), never raw
+//!   pointers — which is what lets the verifier map each field to an
+//!   uninterpreted function, the paper's "simple memory model tailored
+//!   for kernel verification";
+//! * undefined behaviour is explicit and three-way, mirroring LLVM's
+//!   taxonomy: immediate UB (division by zero, out-of-bounds access,
+//!   signed overflow), undefined values (uninitialized reads), and
+//!   volatile reads (DMA pages) that may return anything;
+//! * control flow is basic blocks with `jmp`/`br`/`ret`; loops are
+//!   allowed but every verified function must be *self-finitizing* — the
+//!   symbolic executor simply unrolls until the function provably exits
+//!   (§3.2).
+//!
+//! The same HIR that is verified is also what executes: [`interp`] is the
+//! kernel's runtime, so there is no gap between the verified artifact and
+//! the running one (the paper instead trusts the LLVM backend).
+
+pub mod builder;
+pub mod func;
+pub mod interp;
+pub mod module;
+pub mod printer;
+pub mod verify;
+
+pub use builder::FuncBuilder;
+pub use func::{BinOp, Block, BlockId, CmpKind, Func, Gep, Inst, Operand, Reg, Terminator};
+pub use interp::{ExecError, Interp, MemBackend, UbKind, VecMem};
+pub use module::{FieldDecl, FieldId, FuncId, GlobalDecl, GlobalId, Module};

@@ -1,0 +1,247 @@
+//! Modules, global declarations, and memory layout.
+//!
+//! A module is a set of global arrays-of-structs plus functions. Globals
+//! are the *only* memory in HIR; every element field is a 64-bit word or a
+//! fixed-length array of words. The module also computes a word-level
+//! layout (offsets and strides) used by the concrete memory backend and by
+//! the link checker.
+
+use std::collections::HashMap;
+
+use crate::func::Func;
+
+/// Reference to a global declaration within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// Reference to a field within a global's element struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub u32);
+
+/// Reference to a function within a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// One field of a global's element struct.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// Field name (unique within the global).
+    pub name: String,
+    /// Number of 64-bit words: 1 for a scalar field, more for an inline
+    /// array field such as `ofile[NR_FDS]`.
+    pub elems: u64,
+    /// Volatile fields (DMA-visible memory) read as arbitrary values
+    /// during verification, per §3.1/§3.2 of the paper.
+    pub volatile: bool,
+}
+
+/// A global array-of-structs.
+///
+/// A scalar global such as `current` is an array of length 1 with a
+/// single scalar field. A plain array such as `pages[NR][WORDS]` is an
+/// array of length `NR` with a single field of `WORDS` elements.
+#[derive(Debug, Clone)]
+pub struct GlobalDecl {
+    /// Symbol name (unique within the module).
+    pub name: String,
+    /// Number of elements in the array.
+    pub elems: u64,
+    /// Fields of each element.
+    pub fields: Vec<FieldDecl>,
+}
+
+impl GlobalDecl {
+    /// Words per element (the element stride).
+    pub fn stride(&self) -> u64 {
+        self.fields.iter().map(|f| f.elems).sum()
+    }
+
+    /// Word offset of a field within an element.
+    pub fn field_offset(&self, field: FieldId) -> u64 {
+        self.fields[..field.0 as usize]
+            .iter()
+            .map(|f| f.elems)
+            .sum()
+    }
+
+    /// Total size of the global in 64-bit words.
+    pub fn size_words(&self) -> u64 {
+        self.elems * self.stride()
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<FieldId> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FieldId(i as u32))
+    }
+}
+
+/// A HIR module: globals plus functions.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Global declarations.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions.
+    pub funcs: Vec<Func>,
+    global_names: HashMap<String, GlobalId>,
+    func_names: HashMap<String, FuncId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a global; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names or empty declarations.
+    pub fn declare_global(&mut self, decl: GlobalDecl) -> GlobalId {
+        assert!(!decl.fields.is_empty(), "global {} has no fields", decl.name);
+        assert!(decl.elems > 0, "global {} has zero elements", decl.name);
+        assert!(
+            !self.global_names.contains_key(&decl.name),
+            "duplicate global {}",
+            decl.name
+        );
+        let id = GlobalId(self.globals.len() as u32);
+        self.global_names.insert(decl.name.clone(), id);
+        self.globals.push(decl);
+        id
+    }
+
+    /// Convenience: declares a scalar global (one element, one word).
+    pub fn declare_scalar(&mut self, name: &str) -> GlobalId {
+        self.declare_global(GlobalDecl {
+            name: name.to_string(),
+            elems: 1,
+            fields: vec![FieldDecl {
+                name: "value".to_string(),
+                elems: 1,
+                volatile: false,
+            }],
+        })
+    }
+
+    /// Adds a function definition; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate function names.
+    pub fn add_func(&mut self, func: Func) -> FuncId {
+        assert!(
+            !self.func_names.contains_key(&func.name),
+            "duplicate function {}",
+            func.name
+        );
+        let id = FuncId(self.funcs.len() as u32);
+        self.func_names.insert(func.name.clone(), id);
+        self.funcs.push(func);
+        id
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<GlobalId> {
+        self.global_names.get(name).copied()
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<FuncId> {
+        self.func_names.get(name).copied()
+    }
+
+    /// The declaration of a global.
+    pub fn global_decl(&self, g: GlobalId) -> &GlobalDecl {
+        &self.globals[g.0 as usize]
+    }
+
+    /// The definition of a function.
+    pub fn func_def(&self, f: FuncId) -> &Func {
+        &self.funcs[f.0 as usize]
+    }
+
+    /// Total words of global memory.
+    pub fn total_words(&self) -> u64 {
+        self.globals.iter().map(|g| g.size_words()).sum()
+    }
+
+    /// Assigns each global a word offset in a flat address space, in
+    /// declaration order. The link checker validates disjointness of the
+    /// resulting ranges.
+    pub fn layout(&self) -> Vec<(GlobalId, u64, u64)> {
+        let mut out = Vec::with_capacity(self.globals.len());
+        let mut off = 0;
+        for (i, g) in self.globals.iter().enumerate() {
+            out.push((GlobalId(i as u32), off, g.size_words()));
+            off += g.size_words();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn procs_like() -> GlobalDecl {
+        GlobalDecl {
+            name: "procs".into(),
+            elems: 8,
+            fields: vec![
+                FieldDecl {
+                    name: "state".into(),
+                    elems: 1,
+                    volatile: false,
+                },
+                FieldDecl {
+                    name: "ofile".into(),
+                    elems: 16,
+                    volatile: false,
+                },
+                FieldDecl {
+                    name: "ppid".into(),
+                    elems: 1,
+                    volatile: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn layout_arithmetic() {
+        let g = procs_like();
+        assert_eq!(g.stride(), 18);
+        assert_eq!(g.size_words(), 144);
+        assert_eq!(g.field_offset(FieldId(0)), 0);
+        assert_eq!(g.field_offset(FieldId(1)), 1);
+        assert_eq!(g.field_offset(FieldId(2)), 17);
+        assert_eq!(g.field("ppid"), Some(FieldId(2)));
+        assert_eq!(g.field("nope"), None);
+    }
+
+    #[test]
+    fn module_layout_is_disjoint_and_ordered() {
+        let mut m = Module::new();
+        m.declare_scalar("current");
+        m.declare_global(procs_like());
+        m.declare_scalar("uptime");
+        let layout = m.layout();
+        assert_eq!(layout.len(), 3);
+        assert_eq!(layout[0].1, 0);
+        assert_eq!(layout[1].1, 1);
+        assert_eq!(layout[2].1, 145);
+        assert_eq!(m.total_words(), 146);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate global")]
+    fn duplicate_global_panics() {
+        let mut m = Module::new();
+        m.declare_scalar("x");
+        m.declare_scalar("x");
+    }
+}

@@ -1,0 +1,180 @@
+//! Textual dump of HIR modules, in the spirit of `llvm-dis`.
+//!
+//! The output is for humans (diagnostics, counterexample context, and the
+//! repository's documentation); there is no parser for it.
+
+use std::fmt::Write;
+
+use crate::func::{BinOp, CmpKind, Func, Gep, Inst, Operand, Terminator};
+use crate::module::Module;
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        let _ = write!(out, "global @{}[{}] {{", g.name, g.elems);
+        for (i, f) in g.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}", f.name);
+            if f.elems > 1 {
+                let _ = write!(out, "[{}]", f.elems);
+            }
+            if f.volatile {
+                out.push_str(" volatile");
+            }
+        }
+        out.push_str("}\n");
+    }
+    out.push('\n');
+    for f in &m.funcs {
+        out.push_str(&print_func(m, f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function.
+pub fn print_func(m: &Module, f: &Func) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = (0..f.num_params).map(|i| format!("r{i}")).collect();
+    let _ = writeln!(out, "func @{}({}) {{", f.name, params.join(", "));
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "b{bi}:");
+        for inst in &b.insts {
+            let _ = writeln!(out, "  {}", print_inst(m, inst));
+        }
+        let _ = writeln!(out, "  {}", print_term(&b.term));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_op(op: Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::Const(c) => format!("{c}"),
+    }
+}
+
+fn print_gep(m: &Module, gep: &Gep) -> String {
+    let g = m.global_decl(gep.global);
+    let f = &g.fields[gep.field.0 as usize];
+    let mut s = format!("@{}[{}].{}", g.name, print_op(gep.index), f.name);
+    if f.elems > 1 {
+        s.push_str(&format!("[{}]", print_op(gep.sub)));
+    }
+    s
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::UDiv => "udiv",
+        BinOp::URem => "urem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::LShr => "lshr",
+        BinOp::AShr => "ashr",
+    }
+}
+
+fn cmp_name(op: CmpKind) -> &'static str {
+    match op {
+        CmpKind::Eq => "eq",
+        CmpKind::Ne => "ne",
+        CmpKind::Slt => "slt",
+        CmpKind::Sle => "sle",
+        CmpKind::Ult => "ult",
+        CmpKind::Ule => "ule",
+    }
+}
+
+fn print_inst(m: &Module, inst: &Inst) -> String {
+    match inst {
+        Inst::Bin { dst, op, a, b } => format!(
+            "r{} = {} {}, {}",
+            dst.0,
+            bin_name(*op),
+            print_op(*a),
+            print_op(*b)
+        ),
+        Inst::Cmp { dst, op, a, b } => format!(
+            "r{} = icmp {} {}, {}",
+            dst.0,
+            cmp_name(*op),
+            print_op(*a),
+            print_op(*b)
+        ),
+        Inst::Copy { dst, src } => format!("r{} = {}", dst.0, print_op(*src)),
+        Inst::Load { dst, gep } => format!("r{} = load {}", dst.0, print_gep(m, gep)),
+        Inst::Store { gep, val } => format!("store {}, {}", print_op(*val), print_gep(m, gep)),
+        Inst::Call { dst, func, args } => {
+            let callee = m.func_def(*func);
+            let args: Vec<String> = args.iter().map(|&a| print_op(a)).collect();
+            format!("r{} = call @{}({})", dst.0, callee.name, args.join(", "))
+        }
+    }
+}
+
+fn print_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Jmp(b) => format!("jmp b{}", b.0),
+        Terminator::Br { cond, then_, else_ } => {
+            format!("br {}, b{}, b{}", print_op(*cond), then_.0, else_.0)
+        }
+        Terminator::Ret(v) => format!("ret {}", print_op(*v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::module::{FieldDecl, GlobalDecl};
+
+    #[test]
+    fn printing_smoke() {
+        let mut m = Module::new();
+        let g = m.declare_global(GlobalDecl {
+            name: "files".into(),
+            elems: 8,
+            fields: vec![FieldDecl {
+                name: "refcnt".into(),
+                elems: 1,
+                volatile: false,
+            }],
+        });
+        let fld = m.global_decl(g).field("refcnt").unwrap();
+        let mut fb = FuncBuilder::new("bump", 1);
+        let f = fb.param(0);
+        let old = fb.load(Gep {
+            global: g,
+            index: Operand::Reg(f),
+            field: fld,
+            sub: Operand::Const(0),
+        });
+        let new = fb.bin(BinOp::Add, Operand::Reg(old), Operand::Const(1));
+        fb.store(
+            Gep {
+                global: g,
+                index: Operand::Reg(f),
+                field: fld,
+                sub: Operand::Const(0),
+            },
+            Operand::Reg(new),
+        );
+        fb.ret(Operand::Const(0));
+        m.add_func(fb.finish());
+        let text = print_module(&m);
+        assert!(text.contains("global @files[8]"), "{text}");
+        assert!(text.contains("func @bump(r0)"), "{text}");
+        assert!(text.contains("load @files[r0].refcnt"), "{text}");
+        assert!(text.contains("r2 = add r1, 1"), "{text}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Trusted kernel initialization (paper §5: validated by the boot
+//! checker rather than verified).
+//!
+//! Boot establishes the initial state the two theorems assume: the
+//! representation invariant holds, `init` (PID 1) is running with its
+//! three pages (page-table root, HVM, stack), every other page is free
+//! and threaded on the free list, and all tables are empty.
+
+use hk_abi::{page_type, proc_state, INIT_PID, PARENT_NONE};
+use hk_vm::Machine;
+
+use crate::dispatch::Kernel;
+
+/// Page number of init's page-table root.
+pub const INIT_PML4_PN: u64 = 0;
+/// Page number of init's HVM page.
+pub const INIT_HVM_PN: u64 = 1;
+/// Page number of init's stack page.
+pub const INIT_STACK_PN: u64 = 2;
+
+/// Initializes kernel state in machine memory.
+///
+/// Physical memory is zeroed at construction, so boot only writes the
+/// non-zero facts.
+pub fn boot(kernel: &Kernel, machine: &mut Machine) {
+    let params = kernel.image.params;
+    let w = |m: &mut Machine, g: &str, i: u64, f: &str, s: u64, v: i64| {
+        kernel.write_global(m, g, i, f, s, v);
+    };
+    // Scalars.
+    w(machine, "current", 0, "value", 0, INIT_PID);
+    w(machine, "uptime", 0, "value", 0, 0);
+    // Page metadata: init's three pages, then the free list.
+    let init_pages = [
+        (INIT_PML4_PN, page_type::PML4),
+        (INIT_HVM_PN, page_type::HVM),
+        (INIT_STACK_PN, page_type::STACK),
+    ];
+    for (pn, ty) in init_pages {
+        w(machine, "page_desc", pn, "ty", 0, ty);
+        w(machine, "page_desc", pn, "owner", 0, INIT_PID);
+        w(machine, "page_desc", pn, "parent_pn", 0, PARENT_NONE);
+        w(machine, "page_desc", pn, "parent_idx", 0, PARENT_NONE);
+        w(machine, "page_desc", pn, "devid", 0, PARENT_NONE);
+        w(machine, "page_desc", pn, "free_next", 0, PARENT_NONE);
+        w(machine, "page_desc", pn, "free_prev", 0, PARENT_NONE);
+    }
+    let first_free = 3;
+    w(machine, "freelist_head", 0, "value", 0, first_free);
+    for pn in first_free as u64..params.nr_pages {
+        w(machine, "page_desc", pn, "ty", 0, page_type::FREE);
+        w(machine, "page_desc", pn, "owner", 0, 0);
+        w(machine, "page_desc", pn, "parent_pn", 0, PARENT_NONE);
+        w(machine, "page_desc", pn, "parent_idx", 0, PARENT_NONE);
+        w(machine, "page_desc", pn, "devid", 0, PARENT_NONE);
+        let next = if pn + 1 < params.nr_pages {
+            (pn + 1) as i64
+        } else {
+            PARENT_NONE
+        };
+        let prev = if pn > first_free as u64 {
+            (pn - 1) as i64
+        } else {
+            PARENT_NONE
+        };
+        w(machine, "page_desc", pn, "free_next", 0, next);
+        w(machine, "page_desc", pn, "free_prev", 0, prev);
+    }
+    // Process table.
+    for pid in 0..params.nr_procs {
+        for fd in 0..params.nr_fds {
+            w(
+                machine,
+                "procs",
+                pid,
+                "ofile",
+                fd,
+                params.nr_files as i64,
+            );
+        }
+        w(machine, "procs", pid, "ipc_page", 0, PARENT_NONE);
+        w(machine, "procs", pid, "ipc_fd", 0, PARENT_NONE);
+        w(machine, "procs", pid, "ready_next", 0, PARENT_NONE);
+        w(machine, "procs", pid, "ready_prev", 0, PARENT_NONE);
+    }
+    let init = INIT_PID as u64;
+    w(machine, "procs", init, "state", 0, proc_state::RUNNING);
+    w(machine, "procs", init, "pml4", 0, INIT_PML4_PN as i64);
+    w(machine, "procs", init, "hvm", 0, INIT_HVM_PN as i64);
+    w(machine, "procs", init, "stack_pn", 0, INIT_STACK_PN as i64);
+    w(machine, "procs", init, "nr_pages", 0, 3);
+    w(machine, "procs", init, "ready_next", 0, INIT_PID);
+    w(machine, "procs", init, "ready_prev", 0, INIT_PID);
+    // Devices and remapping tables.
+    for d in 0..params.nr_devs {
+        w(machine, "devs", d, "root", 0, hk_abi::DEV_ROOT_NONE);
+    }
+    for i in 0..params.nr_intremaps {
+        w(machine, "intremaps", i, "devid", 0, PARENT_NONE);
+        w(machine, "intremaps", i, "vector", 0, PARENT_NONE);
+    }
+    for d in 0..params.nr_dmapages {
+        w(machine, "dma_desc", d, "cpu_parent_pn", 0, PARENT_NONE);
+        w(machine, "dma_desc", d, "cpu_parent_idx", 0, PARENT_NONE);
+        w(machine, "dma_desc", d, "io_parent_pn", 0, PARENT_NONE);
+        w(machine, "dma_desc", d, "io_parent_idx", 0, PARENT_NONE);
+    }
+    // Hardware glue: init runs on its (empty) page table.
+    machine.set_cr3(INIT_PML4_PN);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_abi::KernelParams;
+    use hk_vm::CostModel;
+
+    #[test]
+    fn boot_satisfies_rep_invariant() {
+        for params in [
+            KernelParams::verification(),
+            KernelParams::production(),
+        ] {
+            let kernel = Kernel::new(params).unwrap();
+            let mut machine = kernel.new_machine(CostModel::default_model());
+            boot(&kernel, &mut machine);
+            assert!(
+                kernel.check_invariant(&mut machine).unwrap(),
+                "boot state must satisfy check_rep_invariant ({params:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn boot_state_shape() {
+        let params = KernelParams::verification();
+        let kernel = Kernel::new(params).unwrap();
+        let mut machine = kernel.new_machine(CostModel::default_model());
+        boot(&kernel, &mut machine);
+        assert_eq!(kernel.current(&machine), INIT_PID);
+        assert_eq!(
+            kernel.read_global(&machine, "procs", 1, "state", 0),
+            hk_abi::proc_state::RUNNING
+        );
+        assert_eq!(kernel.read_global(&machine, "procs", 1, "nr_pages", 0), 3);
+        assert_eq!(
+            kernel.read_global(&machine, "page_desc", 0, "ty", 0),
+            hk_abi::page_type::PML4
+        );
+        assert_eq!(
+            kernel.read_global(&machine, "freelist_head", 0, "value", 0),
+            3
+        );
+        // Free list is well linked.
+        assert_eq!(
+            kernel.read_global(&machine, "page_desc", 3, "free_next", 0),
+            4
+        );
+        assert_eq!(
+            kernel.read_global(
+                &machine,
+                "page_desc",
+                params.nr_pages - 1,
+                "free_next",
+                0
+            ),
+            PARENT_NONE
+        );
+    }
+}

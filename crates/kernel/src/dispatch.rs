@@ -1,0 +1,195 @@
+//! The kernel object: compiled image + placement + the (trusted) trap
+//! dispatch glue.
+//!
+//! Dispatch is the analogue of the paper's unverified assembly glue: it
+//! invokes the verified HIR handler, then mirrors kernel state into the
+//! hardware registers the handler cannot touch directly — the guest CR3,
+//! the IOMMU device table, TLB invalidations, and the console. The
+//! handlers themselves are interpreted HIR: the verified artifact is the
+//! executed artifact.
+
+use hk_abi::{KernelParams, Sysno};
+use hk_hir::{ExecError, Interp};
+use hk_vm::{CostModel, Machine};
+
+use crate::image::KernelImage;
+use crate::mem::{KernelLayout, MachineMem};
+
+/// A built kernel, ready to run on a machine.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The compiled image.
+    pub image: KernelImage,
+    /// Physical placement of globals.
+    pub layout: KernelLayout,
+}
+
+impl Kernel {
+    /// Compiles and lays out a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation/check failures from [`KernelImage::build`].
+    pub fn new(params: KernelParams) -> Result<Kernel, String> {
+        let image = KernelImage::build(params)?;
+        let layout = KernelLayout::new(&image.module);
+        Ok(Kernel { image, layout })
+    }
+
+    /// Creates a machine sized for this kernel.
+    pub fn new_machine(&self, cost: CostModel) -> Machine {
+        Machine::new(self.image.params, self.layout.kernel_words, cost)
+    }
+
+    /// Instruction budget per trap: generous, but finite — a handler that
+    /// exceeds it has a finiteness bug.
+    pub fn trap_fuel(&self) -> u64 {
+        100_000 + 200 * self.image.params.page_words
+    }
+
+    /// Reads one word of kernel state from machine memory.
+    pub fn read_global(
+        &self,
+        machine: &Machine,
+        global: &str,
+        index: u64,
+        field: &str,
+        sub: u64,
+    ) -> i64 {
+        let g = self.image.module.global(global).expect("unknown global");
+        let f = self
+            .image
+            .module
+            .global_decl(g)
+            .field(field)
+            .expect("unknown field");
+        let addr = self.layout.addr(
+            &self.image.module,
+            hk_hir::interp::Addr {
+                global: g,
+                index,
+                field: f,
+                sub,
+            },
+        );
+        machine.phys.read(addr)
+    }
+
+    /// Writes one word of kernel state (trusted boot/test use only).
+    pub fn write_global(
+        &self,
+        machine: &mut Machine,
+        global: &str,
+        index: u64,
+        field: &str,
+        sub: u64,
+        val: i64,
+    ) {
+        let g = self.image.module.global(global).expect("unknown global");
+        let f = self
+            .image
+            .module
+            .global_decl(g)
+            .field(field)
+            .expect("unknown field");
+        let addr = self.layout.addr(
+            &self.image.module,
+            hk_hir::interp::Addr {
+                global: g,
+                index,
+                field: f,
+                sub,
+            },
+        );
+        machine.phys.write(addr, val);
+    }
+
+    /// The PID of the running process.
+    pub fn current(&self, machine: &Machine) -> i64 {
+        self.read_global(machine, "current", 0, "value", 0)
+    }
+
+    /// Dispatches one trap: runs the verified handler and applies the
+    /// hardware glue. Returns the handler's return value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the interpreter error if the handler hit undefined
+    /// behaviour or ran out of fuel — impossible for a verified build,
+    /// observable in the bug-injection experiments.
+    pub fn trap(
+        &self,
+        machine: &mut Machine,
+        sysno: Sysno,
+        args: &[i64],
+    ) -> Result<i64, ExecError> {
+        assert_eq!(args.len(), sysno.arg_count(), "{sysno} arity");
+        let func = self.image.handler(sysno);
+        let interp = Interp::new(&self.image.module);
+        let (ret, executed) = {
+            let mut mem = MachineMem {
+                phys: &mut machine.phys,
+                layout: &self.layout,
+            };
+            interp.call_counting(&mut mem, func, args, self.trap_fuel())?
+        };
+        machine.charge_kernel_work(executed);
+        self.post_trap_glue(machine, sysno, ret);
+        Ok(ret)
+    }
+
+    /// Hardware mirroring after a handler runs.
+    fn post_trap_glue(&self, machine: &mut Machine, sysno: Sysno, ret: i64) {
+        // Guest CR3 follows the current process's page-table root.
+        let current = self.current(machine);
+        if current >= 0 && (current as u64) < self.image.params.nr_procs {
+            let pml4 = self.read_global(machine, "procs", current as u64, "pml4", 0);
+            if pml4 >= 0 && (pml4 as u64) < self.image.params.nr_pages {
+                machine.set_cr3(pml4 as u64);
+            }
+        }
+        // Mapping-revoking calls invalidate the TLB.
+        if ret >= 0 {
+            match sysno {
+                Sysno::ProtectFrame
+                | Sysno::FreePdpt
+                | Sysno::FreePd
+                | Sysno::FreePt
+                | Sysno::FreeFrame
+                | Sysno::ReclaimPage => machine.flush_tlb(),
+                _ => {}
+            }
+        }
+        // The IOMMU device table mirrors the verified `devs` table.
+        match sysno {
+            Sysno::AllocIommuRoot | Sysno::FreeIommuRoot | Sysno::ReclaimPage => {
+                for dev in 0..self.image.params.nr_devs {
+                    let root = self.read_global(machine, "devs", dev, "root", 0);
+                    let mirrored = if root >= 0 { Some(root as u64) } else { None };
+                    machine.iommu.set_root(dev, mirrored);
+                }
+            }
+            _ => {}
+        }
+        // Debug console.
+        if sysno == Sysno::TrapDebugPrint && ret >= 0 {
+            machine.console.putc(ret);
+        }
+    }
+
+    /// Runs the kernel's own `check_rep_invariant` on the live state —
+    /// the boot checker's core (paper §5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn check_invariant(&self, machine: &mut Machine) -> Result<bool, ExecError> {
+        let interp = Interp::new(&self.image.module);
+        let mut mem = MachineMem {
+            phys: &mut machine.phys,
+            layout: &self.layout,
+        };
+        let ret = interp.call(&mut mem, self.image.rep_invariant, &[], 10_000_000)?;
+        Ok(ret == 1)
+    }
+}

@@ -1,0 +1,288 @@
+// File descriptors, the system-wide file table, and kernel pipes.
+//
+// This file contains the paper's flagship example: the finite dup
+// (§2.1-§2.3). POSIX dup's lowest-FD search is non-finite, so the caller
+// names the new descriptor; the kernel merely checks that it is unused.
+//
+// Slot availability is checked through *both* the reference count and
+// the type tag — the inconsistency between those two checks was the
+// first spec bug the declarative layer caught in the paper (§6.1).
+
+// Caller must have bounds-checked f.
+i64 file_slot_free(i64 f) {
+    return (files[f].refcnt == 0) & (files[f].ty == FILE_NONE);
+}
+
+// Drops one reference to file f from the current process's table
+// accounting; resets the slot (and any pipe end) when the last
+// reference disappears. Caller has bounds-checked f.
+i64 file_unref(i64 f) {
+    i64 p;
+    files[f].refcnt = files[f].refcnt - 1;
+    if (files[f].refcnt == 0) {
+        if (files[f].ty == FILE_PIPE) {
+            p = files[f].value;
+            pipes[p].nr_ends = pipes[p].nr_ends - 1;
+            if (pipes[p].nr_ends == 0) {
+                pipes[p].readp = 0;
+                pipes[p].count = 0;
+            }
+        }
+        files[f].ty = FILE_NONE;
+        files[f].value = 0;
+        files[f].offset = 0;
+        files[f].omode = 0;
+    }
+    return 0;
+}
+
+// Creates a file-table entry at a caller-chosen slot and binds it to a
+// caller-chosen descriptor. Pipes have their own constructor.
+i64 sys_create_file(i64 fd, i64 fileid, i64 ty, i64 value, i64 omode) {
+    if (fd_valid(fd) == 0) {
+        return -EBADF;
+    }
+    if (procs[current].ofile[fd] != NR_FILES) {
+        return -EBUSY;
+    }
+    if (file_valid(fileid) == 0) {
+        return -EINVAL;
+    }
+    if (file_slot_free(fileid) == 0) {
+        return -ENFILE;
+    }
+    if ((ty != FILE_INODE) & (ty != FILE_SOCKET)) {
+        return -EINVAL;
+    }
+    if ((omode != OMODE_READ) & (omode != OMODE_WRITE)) {
+        return -EINVAL;
+    }
+    files[fileid].ty = ty;
+    files[fileid].refcnt = 1;
+    files[fileid].value = value;
+    files[fileid].offset = 0;
+    files[fileid].omode = omode;
+    procs[current].ofile[fd] = fileid;
+    procs[current].nr_fds = procs[current].nr_fds + 1;
+    return 0;
+}
+
+i64 sys_close(i64 fd) {
+    i64 f;
+    if (fd_valid(fd) == 0) {
+        return -EBADF;
+    }
+    f = procs[current].ofile[fd];
+    if (f == NR_FILES) {
+        return -EBADF;
+    }
+    procs[current].ofile[fd] = NR_FILES;
+    procs[current].nr_fds = procs[current].nr_fds - 1;
+    file_unref(f);
+    return 0;
+}
+
+// The finite dup of §2.1: dup(oldfd, newfd) with a caller-chosen newfd.
+i64 sys_dup(i64 oldfd, i64 newfd) {
+    i64 f;
+    if (fd_valid(oldfd) == 0) {
+        return -EBADF;
+    }
+    f = procs[current].ofile[oldfd];
+    if (f == NR_FILES) {
+        return -EBADF;
+    }
+    if (fd_valid(newfd) == 0) {
+        return -EBADF;
+    }
+    if (procs[current].ofile[newfd] != NR_FILES) {
+        return -EBUSY;
+    }
+    procs[current].ofile[newfd] = f;
+    procs[current].nr_fds = procs[current].nr_fds + 1;
+    files[f].refcnt = files[f].refcnt + 1;
+    return 0;
+}
+
+// dup2: like dup but silently closes an open newfd first (POSIX).
+i64 sys_dup2(i64 oldfd, i64 newfd) {
+    i64 f;
+    i64 old_target;
+    if (fd_valid(oldfd) == 0) {
+        return -EBADF;
+    }
+    f = procs[current].ofile[oldfd];
+    if (f == NR_FILES) {
+        return -EBADF;
+    }
+    if (fd_valid(newfd) == 0) {
+        return -EBADF;
+    }
+    if (oldfd == newfd) {
+        return 0;
+    }
+    old_target = procs[current].ofile[newfd];
+    if (old_target != NR_FILES) {
+        procs[current].ofile[newfd] = NR_FILES;
+        procs[current].nr_fds = procs[current].nr_fds - 1;
+        file_unref(old_target);
+    }
+    procs[current].ofile[newfd] = f;
+    procs[current].nr_fds = procs[current].nr_fds + 1;
+    files[f].refcnt = files[f].refcnt + 1;
+    return 0;
+}
+
+// Creates a pipe: two file entries (read end, write end) bound to two
+// descriptors, all four slots caller-chosen (finite interface).
+i64 sys_pipe(i64 fd0, i64 fileid0, i64 fd1, i64 fileid1, i64 pipeid) {
+    if ((fd_valid(fd0) & fd_valid(fd1)) == 0) {
+        return -EBADF;
+    }
+    if (fd0 == fd1) {
+        return -EINVAL;
+    }
+    if (procs[current].ofile[fd0] != NR_FILES) {
+        return -EBUSY;
+    }
+    if (procs[current].ofile[fd1] != NR_FILES) {
+        return -EBUSY;
+    }
+    if ((file_valid(fileid0) & file_valid(fileid1)) == 0) {
+        return -EINVAL;
+    }
+    if (fileid0 == fileid1) {
+        return -EINVAL;
+    }
+    if (file_slot_free(fileid0) == 0) {
+        return -ENFILE;
+    }
+    if (file_slot_free(fileid1) == 0) {
+        return -ENFILE;
+    }
+    if ((pipeid < 0) | (pipeid >= NR_PIPES)) {
+        return -EINVAL;
+    }
+    if (pipes[pipeid].nr_ends != 0) {
+        return -EBUSY;
+    }
+    files[fileid0].ty = FILE_PIPE;
+    files[fileid0].refcnt = 1;
+    files[fileid0].value = pipeid;
+    files[fileid0].offset = 0;
+    files[fileid0].omode = OMODE_READ;
+    files[fileid1].ty = FILE_PIPE;
+    files[fileid1].refcnt = 1;
+    files[fileid1].value = pipeid;
+    files[fileid1].offset = 0;
+    files[fileid1].omode = OMODE_WRITE;
+    procs[current].ofile[fd0] = fileid0;
+    procs[current].ofile[fd1] = fileid1;
+    procs[current].nr_fds = procs[current].nr_fds + 2;
+    pipes[pipeid].nr_ends = 2;
+    pipes[pipeid].readp = 0;
+    pipes[pipeid].count = 0;
+    return 0;
+}
+
+// Reads exactly `len` words from the pipe behind `fd` into the caller's
+// frame `pn` at `offset`. All-or-nothing: returns -EAGAIN if fewer than
+// `len` words are buffered (0 at EOF), keeping retry logic in user
+// space and the kernel handler finite.
+i64 sys_pipe_read(i64 fd, i64 pn, i64 offset, i64 len) {
+    i64 f;
+    i64 p;
+    i64 i;
+    i64 rp;
+    if (fd_valid(fd) == 0) {
+        return -EBADF;
+    }
+    f = procs[current].ofile[fd];
+    if (f == NR_FILES) {
+        return -EBADF;
+    }
+    if (files[f].ty != FILE_PIPE) {
+        return -EBADF;
+    }
+    if (files[f].omode != OMODE_READ) {
+        return -EBADF;
+    }
+    if (page_valid(pn) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[pn].ty != PAGE_FRAME) {
+        return -EINVAL;
+    }
+    if (page_desc[pn].owner != current) {
+        return -EPERM;
+    }
+    if ((len < 1) | (len > PIPE_WORDS)) {
+        return -EINVAL;
+    }
+    if ((offset < 0) | (offset > PAGE_WORDS - len)) {
+        return -EINVAL;
+    }
+    p = files[f].value;
+    if (len > pipes[p].count) {
+        if (pipes[p].nr_ends < 2) {
+            return 0; // EOF: writer closed, nothing buffered to satisfy.
+        }
+        return -EAGAIN;
+    }
+    rp = pipes[p].readp;
+    for (i = 0; i < len; i = i + 1) {
+        pages[pn][offset + i] = pipes[p].data[(rp + i) & (PIPE_WORDS - 1)];
+    }
+    pipes[p].readp = (rp + len) & (PIPE_WORDS - 1);
+    pipes[p].count = pipes[p].count - len;
+    return len;
+}
+
+// Writes exactly `len` words into the pipe from the caller's frame.
+i64 sys_pipe_write(i64 fd, i64 pn, i64 offset, i64 len) {
+    i64 f;
+    i64 p;
+    i64 i;
+    i64 wp;
+    if (fd_valid(fd) == 0) {
+        return -EBADF;
+    }
+    f = procs[current].ofile[fd];
+    if (f == NR_FILES) {
+        return -EBADF;
+    }
+    if (files[f].ty != FILE_PIPE) {
+        return -EBADF;
+    }
+    if (files[f].omode != OMODE_WRITE) {
+        return -EBADF;
+    }
+    if (page_valid(pn) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[pn].ty != PAGE_FRAME) {
+        return -EINVAL;
+    }
+    if (page_desc[pn].owner != current) {
+        return -EPERM;
+    }
+    if ((len < 1) | (len > PIPE_WORDS)) {
+        return -EINVAL;
+    }
+    if ((offset < 0) | (offset > PAGE_WORDS - len)) {
+        return -EINVAL;
+    }
+    p = files[f].value;
+    if (pipes[p].nr_ends < 2) {
+        return -EPIPE; // no reader
+    }
+    if (len > PIPE_WORDS - pipes[p].count) {
+        return -EAGAIN;
+    }
+    wp = pipes[p].readp + pipes[p].count;
+    for (i = 0; i < len; i = i + 1) {
+        pipes[p].data[(wp + i) & (PIPE_WORDS - 1)] = pages[pn][offset + i];
+    }
+    pipes[p].count = pipes[p].count + len;
+    return len;
+}

@@ -1,0 +1,193 @@
+// Shared helper routines for the Hyperkernel trap handlers.
+//
+// Conventions that keep symbolic execution cheap:
+//  * validation predicates use bitwise `&` instead of `&&`, so they
+//    compile to straight-line code and add no paths;
+//  * loops are either constant-bound (page copies) or bounded by a
+//    validated argument (data moves), so unrolling forks linearly.
+
+// ---------------------------------------------------------------------
+// Range predicates.
+// ---------------------------------------------------------------------
+
+i64 pid_valid(i64 pid) {
+    return (pid >= 1) & (pid < NR_PROCS);
+}
+
+i64 page_valid(i64 pn) {
+    return (pn >= 0) & (pn < NR_PAGES);
+}
+
+i64 pfn_valid(i64 pfn) {
+    return (pfn >= 0) & (pfn < NR_PFNS);
+}
+
+i64 dma_valid(i64 d) {
+    return (d >= 0) & (d < NR_DMAPAGES);
+}
+
+i64 idx_valid(i64 i) {
+    return (i >= 0) & (i < PAGE_WORDS);
+}
+
+i64 fd_valid(i64 fd) {
+    return (fd >= 0) & (fd < NR_FDS);
+}
+
+i64 file_valid(i64 f) {
+    return (f >= 0) & (f < NR_FILES);
+}
+
+// A mapping permission must include PTE_P and contain no unknown bits.
+i64 perm_valid(i64 perm) {
+    return ((perm & PTE_P) != 0) & ((perm & ~PTE_PERM_MASK) == 0);
+}
+
+// Caller must have bounds-checked pid.
+i64 is_current_or_embryo_child(i64 pid) {
+    if (pid == current) {
+        return 1;
+    }
+    return (procs[pid].state == PROC_EMBRYO) & (procs[pid].ppid == current);
+}
+
+// Caller must have bounds-checked pn.
+i64 page_is_free(i64 pn) {
+    return page_desc[pn].ty == PAGE_FREE;
+}
+
+// ---------------------------------------------------------------------
+// Branch-free select: c must be 0 or 1; returns a when c, else b.
+// Straight-line data-structure updates keep the symbolic executor on a
+// single path (a conditional store becomes an unconditional store that
+// rewrites the old value), which keeps verification tractable without
+// changing any observable behavior.
+// ---------------------------------------------------------------------
+
+i64 blend(i64 c, i64 a, i64 b) {
+    return b + (a - b) * c;
+}
+
+// ---------------------------------------------------------------------
+// The free list of pages (suggestion-only; validated at use, §4.2).
+// ---------------------------------------------------------------------
+
+i64 freelist_remove(i64 pn) {
+    i64 prev = page_desc[pn].free_prev;
+    i64 next = page_desc[pn].free_next;
+    i64 has_prev = prev != PARENT_NONE;
+    i64 has_next = next != PARENT_NONE;
+    i64 pslot = prev * has_prev;
+    page_desc[pslot].free_next = blend(has_prev, next, page_desc[pslot].free_next);
+    freelist_head = blend(has_prev, freelist_head, next);
+    i64 nslot = next * has_next;
+    page_desc[nslot].free_prev = blend(has_next, prev, page_desc[nslot].free_prev);
+    page_desc[pn].free_next = PARENT_NONE;
+    page_desc[pn].free_prev = PARENT_NONE;
+    return 0;
+}
+
+i64 freelist_push(i64 pn) {
+    i64 head = freelist_head;
+    i64 has_head = head != PARENT_NONE;
+    i64 hslot = head * has_head;
+    page_desc[pn].free_next = head;
+    page_desc[pn].free_prev = PARENT_NONE;
+    page_desc[hslot].free_prev = blend(has_head, pn, page_desc[hslot].free_prev);
+    freelist_head = pn;
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Page contents.
+// ---------------------------------------------------------------------
+
+i64 page_zero(i64 pn) {
+    i64 i;
+    for (i = 0; i < PAGE_WORDS; i = i + 1) {
+        pages[pn][i] = 0;
+    }
+    return 0;
+}
+
+i64 page_copy(i64 dst, i64 src) {
+    i64 i;
+    for (i = 0; i < PAGE_WORDS; i = i + 1) {
+        pages[dst][i] = pages[src][i];
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// Typed page allocation (§4.1 "typed pages").
+// ---------------------------------------------------------------------
+
+// Retypes a FREE page (validated by the caller) for `owner`.
+i64 alloc_page_typed(i64 pn, i64 owner, i64 ty, i64 parent_pn, i64 parent_idx) {
+    freelist_remove(pn);
+    page_zero(pn);
+    page_desc[pn].ty = ty;
+    page_desc[pn].owner = owner;
+    page_desc[pn].parent_pn = parent_pn;
+    page_desc[pn].parent_idx = parent_idx;
+    procs[owner].nr_pages = procs[owner].nr_pages + 1;
+    return 0;
+}
+
+// Returns an owned page (validated by the caller) to the free list.
+i64 free_page_owned(i64 pn) {
+    i64 owner = page_desc[pn].owner;
+    page_desc[pn].ty = PAGE_FREE;
+    page_desc[pn].owner = PID_NONE;
+    page_desc[pn].parent_pn = PARENT_NONE;
+    page_desc[pn].parent_idx = PARENT_NONE;
+    page_desc[pn].devid = PARENT_NONE;
+    freelist_push(pn);
+    procs[owner].nr_pages = procs[owner].nr_pages - 1;
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// The ready list of processes (suggestion-only; validated at use).
+// ---------------------------------------------------------------------
+
+// Inserts pid after current. Caller guarantees pid is not linked.
+i64 ready_insert(i64 pid) {
+    i64 next = procs[current].ready_next;
+    procs[pid].ready_next = next;
+    procs[pid].ready_prev = current;
+    i64 in_rng = (next >= 0) & (next < NR_PROCS);
+    i64 nslot = next * in_rng;
+    procs[nslot].ready_prev = blend(in_rng, pid, procs[nslot].ready_prev);
+    procs[current].ready_next = pid;
+    return 0;
+}
+
+// Unlinks pid from the ready list (tolerates stale links).
+i64 ready_remove(i64 pid) {
+    i64 prev = procs[pid].ready_prev;
+    i64 next = procs[pid].ready_next;
+    i64 p_rng = (prev >= 0) & (prev < NR_PROCS);
+    i64 pslot = prev * p_rng;
+    procs[pslot].ready_next = blend(p_rng, next, procs[pslot].ready_next);
+    i64 n_rng = (next >= 0) & (next < NR_PROCS);
+    i64 nslot = next * n_rng;
+    procs[nslot].ready_prev = blend(n_rng, prev, procs[nslot].ready_prev);
+    procs[pid].ready_next = PARENT_NONE;
+    procs[pid].ready_prev = PARENT_NONE;
+    return 0;
+}
+
+// The expected parent page-table type for a child page type, or -1 for
+// types that have no page-table parent (branch-free select chain).
+i64 parent_type_for(i64 ty) {
+    i64 r = 0 - 1;
+    r = blend(ty == PAGE_PDPT, PAGE_PML4, r);
+    r = blend(ty == PAGE_PD, PAGE_PDPT, r);
+    r = blend(ty == PAGE_PT, PAGE_PD, r);
+    r = blend(ty == PAGE_FRAME, PAGE_PT, r);
+    r = blend(ty == PAGE_IOMMU_PDPT, PAGE_IOMMU_PML4, r);
+    r = blend(ty == PAGE_IOMMU_PD, PAGE_IOMMU_PDPT, r);
+    r = blend(ty == PAGE_IOMMU_PT, PAGE_IOMMU_PD, r);
+    return r;
+}

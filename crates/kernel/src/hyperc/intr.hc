@@ -1,0 +1,104 @@
+// Interrupt-vector delegation and the interrupt remapping table.
+//
+// A process claims a vector, then installs remapping entries that route
+// a device's interrupts to that vector. Both the device entry and the
+// vector carry reference counts of the remapping entries using them, so
+// neither can be reclaimed while a route still exists — the second
+// lifetime-ordering bug class the paper's declarative layer caught
+// (§6.1, interrupt remapping table).
+
+i64 sys_alloc_vector(i64 v) {
+    if ((v < 0) | (v >= NR_VECTORS)) {
+        return -EINVAL;
+    }
+    if (vectors[v].owner != PID_NONE) {
+        return -EBUSY;
+    }
+    vectors[v].owner = current;
+    procs[current].nr_vectors = procs[current].nr_vectors + 1;
+    return 0;
+}
+
+i64 sys_reclaim_vector(i64 v) {
+    i64 o;
+    if ((v < 0) | (v >= NR_VECTORS)) {
+        return -EINVAL;
+    }
+    o = vectors[v].owner;
+    if ((o < 1) | (o >= NR_PROCS)) {
+        return -EINVAL;
+    }
+    if (o != current) {
+        if (procs[o].state != PROC_ZOMBIE) {
+            return -EPERM;
+        }
+    }
+    if (vectors[v].intremap_refcnt != 0) {
+        return -EBUSY;
+    }
+    vectors[v].owner = PID_NONE;
+    procs[o].nr_vectors = procs[o].nr_vectors - 1;
+    // Drop any pending delivery of the reclaimed vector.
+    procs[o].intr_pending = procs[o].intr_pending & ~(1 << v);
+    return 0;
+}
+
+i64 sys_alloc_intremap(i64 idx, i64 devid, i64 vector) {
+    if ((idx < 0) | (idx >= NR_INTREMAPS)) {
+        return -EINVAL;
+    }
+    if (intremaps[idx].state != INTREMAP_FREE) {
+        return -EBUSY;
+    }
+    if ((devid < 0) | (devid >= NR_DEVS)) {
+        return -ENODEV;
+    }
+    if (devs[devid].owner != current) {
+        return -EPERM;
+    }
+    if ((vector < 0) | (vector >= NR_VECTORS)) {
+        return -EINVAL;
+    }
+    if (vectors[vector].owner != current) {
+        return -EPERM;
+    }
+    intremaps[idx].state = INTREMAP_ACTIVE;
+    intremaps[idx].devid = devid;
+    intremaps[idx].vector = vector;
+    intremaps[idx].owner = current;
+    devs[devid].intremap_refcnt = devs[devid].intremap_refcnt + 1;
+    vectors[vector].intremap_refcnt = vectors[vector].intremap_refcnt + 1;
+    procs[current].nr_intremaps = procs[current].nr_intremaps + 1;
+    return 0;
+}
+
+i64 sys_reclaim_intremap(i64 idx) {
+    i64 o;
+    i64 d;
+    i64 v;
+    if ((idx < 0) | (idx >= NR_INTREMAPS)) {
+        return -EINVAL;
+    }
+    if (intremaps[idx].state != INTREMAP_ACTIVE) {
+        return -EINVAL;
+    }
+    o = intremaps[idx].owner;
+    if ((o < 1) | (o >= NR_PROCS)) {
+        return -EINVAL;
+    }
+    if (o != current) {
+        if (procs[o].state != PROC_ZOMBIE) {
+            return -EPERM;
+        }
+    }
+    d = intremaps[idx].devid;
+    v = intremaps[idx].vector;
+    devs[d].intremap_refcnt = devs[d].intremap_refcnt - 1;
+    vectors[v].intremap_refcnt = vectors[v].intremap_refcnt - 1;
+    intremaps[idx].state = INTREMAP_FREE;
+    intremaps[idx].devid = PARENT_NONE;
+    intremaps[idx].vector = PARENT_NONE;
+    intremaps[idx].owner = PID_NONE;
+    procs[o].nr_intremaps = procs[o].nr_intremaps - 1;
+    return 0;
+}

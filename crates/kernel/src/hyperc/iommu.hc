@@ -1,0 +1,164 @@
+// IOMMU device-table and page-table management, plus I/O port
+// delegation (paper §4.2: "fine-grained system calls for managing IOMMU
+// page tables, with similar isolation properties").
+//
+// A device is claimed by attaching an IOMMU page-table root to its
+// device-table entry; DMA then resolves through a 4-level walk that can
+// only end at DMA-region pages. The root page records which device
+// references it (`devid`), so the entry must be invalidated before the
+// root can be reclaimed — the ordering whose absence was one of the
+// §6.1 bugs.
+
+i64 sys_alloc_iommu_root(i64 devid, i64 pn) {
+    if ((devid < 0) | (devid >= NR_DEVS)) {
+        return -ENODEV;
+    }
+    if (devs[devid].owner != PID_NONE) {
+        return -EBUSY;
+    }
+    if (page_valid(pn) == 0) {
+        return -EINVAL;
+    }
+    if (page_is_free(pn) == 0) {
+        return -ENOMEM;
+    }
+    alloc_page_typed(pn, current, PAGE_IOMMU_PML4, PARENT_NONE, PARENT_NONE);
+    page_desc[pn].devid = devid;
+    devs[devid].owner = current;
+    devs[devid].root = pn;
+    procs[current].nr_devs = procs[current].nr_devs + 1;
+    return 0;
+}
+
+i64 sys_alloc_iommu_pdpt(i64 parent, i64 index, i64 child, i64 perm) {
+    i64 r = check_alloc_table(current, parent, index, child, PAGE_IOMMU_PML4, perm);
+    if (r != 0) {
+        return r;
+    }
+    return do_alloc_table(current, parent, index, child, PAGE_IOMMU_PDPT, perm);
+}
+
+i64 sys_alloc_iommu_pd(i64 parent, i64 index, i64 child, i64 perm) {
+    i64 r = check_alloc_table(current, parent, index, child, PAGE_IOMMU_PDPT, perm);
+    if (r != 0) {
+        return r;
+    }
+    return do_alloc_table(current, parent, index, child, PAGE_IOMMU_PD, perm);
+}
+
+i64 sys_alloc_iommu_pt(i64 parent, i64 index, i64 child, i64 perm) {
+    i64 r = check_alloc_table(current, parent, index, child, PAGE_IOMMU_PD, perm);
+    if (r != 0) {
+        return r;
+    }
+    return do_alloc_table(current, parent, index, child, PAGE_IOMMU_PT, perm);
+}
+
+// Maps DMA page `d` at a leaf of an IOMMU page table. Only DMA pages can
+// appear at IOMMU leaves — the kernel half of DMA isolation (the
+// machine's protected-memory-region check is the hardware half).
+i64 sys_alloc_iommu_frame(i64 pt, i64 index, i64 d, i64 perm) {
+    i64 owner;
+    if (page_valid(pt) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[pt].ty != PAGE_IOMMU_PT) {
+        return -EINVAL;
+    }
+    if (page_desc[pt].owner != current) {
+        return -EPERM;
+    }
+    if (idx_valid(index) == 0) {
+        return -EINVAL;
+    }
+    if ((pages[pt][index] & PTE_P) != 0) {
+        return -EBUSY;
+    }
+    if (dma_valid(d) == 0) {
+        return -EINVAL;
+    }
+    owner = dma_desc[d].owner;
+    if ((owner != PID_NONE) & (owner != current)) {
+        return -EPERM;
+    }
+    if (dma_desc[d].io_parent_pn != PARENT_NONE) {
+        return -EBUSY;
+    }
+    if (perm_valid(perm) == 0) {
+        return -EINVAL;
+    }
+    if (owner == PID_NONE) {
+        dma_desc[d].owner = current;
+        procs[current].nr_dmapages = procs[current].nr_dmapages + 1;
+    }
+    dma_desc[d].io_parent_pn = pt;
+    dma_desc[d].io_parent_idx = index;
+    pages[pt][index] = ((NR_PAGES + d) << PTE_PFN_SHIFT) | perm;
+    return 0;
+}
+
+// Invalidates a device-table entry. Must precede reclaiming the root
+// page (sys_reclaim_page enforces it through the devid backref) — the
+// dangling-reference ordering of §6.1.
+i64 sys_free_iommu_root(i64 devid, i64 pn) {
+    i64 o;
+    if ((devid < 0) | (devid >= NR_DEVS)) {
+        return -ENODEV;
+    }
+    if (page_valid(pn) == 0) {
+        return -EINVAL;
+    }
+    if (devs[devid].root != pn) {
+        return -EINVAL;
+    }
+    o = devs[devid].owner;
+    if ((o < 1) | (o >= NR_PROCS)) {
+        return -EINVAL;
+    }
+    if (o != current) {
+        if (procs[o].state != PROC_ZOMBIE) {
+            return -EPERM;
+        }
+    }
+    // Interrupt-remapping entries routing through this device must be
+    // reclaimed first.
+    if (devs[devid].intremap_refcnt != 0) {
+        return -EBUSY;
+    }
+    devs[devid].owner = PID_NONE;
+    devs[devid].root = DEV_ROOT_NONE;
+    page_desc[pn].devid = PARENT_NONE;
+    procs[o].nr_devs = procs[o].nr_devs - 1;
+    return 0;
+}
+
+i64 sys_alloc_port(i64 port) {
+    if ((port < 0) | (port >= NR_PORTS)) {
+        return -EINVAL;
+    }
+    if (io_ports[port].owner != PID_NONE) {
+        return -EBUSY;
+    }
+    io_ports[port].owner = current;
+    procs[current].nr_ports = procs[current].nr_ports + 1;
+    return 0;
+}
+
+i64 sys_reclaim_port(i64 port) {
+    i64 o;
+    if ((port < 0) | (port >= NR_PORTS)) {
+        return -EINVAL;
+    }
+    o = io_ports[port].owner;
+    if ((o < 1) | (o >= NR_PROCS)) {
+        return -EINVAL;
+    }
+    if (o != current) {
+        if (procs[o].state != PROC_ZOMBIE) {
+            return -EPERM;
+        }
+    }
+    io_ports[port].owner = PID_NONE;
+    procs[o].nr_ports = procs[o].nr_ports - 1;
+    return 0;
+}

@@ -1,0 +1,249 @@
+// Synchronous IPC with page and file-descriptor transfer.
+//
+// A receiver declares willingness to receive (sys_recv) and blocks; a
+// sender copies at most one page of data, optionally grants one file
+// descriptor, writes the message registers into the receiver's HVM page
+// (the register state the hardware reloads on vmresume), and wakes it.
+// sys_reply_wait combines a send with an immediate receive and donates
+// the CPU to the woken process — the server fast path.
+
+// A runnable process to hand the CPU to, preferring the ready-list
+// suggestion and falling back to init; -1 if nobody can run.
+i64 pick_successor() {
+    i64 cand = procs[current].ready_next;
+    if ((cand >= 1) & (cand < NR_PROCS) & (cand != current)) {
+        if (procs[cand].state == PROC_RUNNABLE) {
+            return cand;
+        }
+    }
+    if (procs[INIT_PID].state == PROC_RUNNABLE) {
+        return INIT_PID;
+    }
+    return -1;
+}
+
+i64 sys_recv(i64 from, i64 pn, i64 fd_slot) {
+    i64 succ;
+    if (from != 0) {
+        if (pid_valid(from) == 0) {
+            return -ESRCH;
+        }
+    }
+    if (pn != PARENT_NONE) {
+        if (page_valid(pn) == 0) {
+            return -EINVAL;
+        }
+        if (page_desc[pn].ty != PAGE_FRAME) {
+            return -EINVAL;
+        }
+        if (page_desc[pn].owner != current) {
+            return -EPERM;
+        }
+    }
+    if (fd_slot != PARENT_NONE) {
+        if (fd_valid(fd_slot) == 0) {
+            return -EBADF;
+        }
+        if (procs[current].ofile[fd_slot] != NR_FILES) {
+            return -EBUSY;
+        }
+    }
+    // Blocking requires someone else to run (a recv that would halt the
+    // machine is refused rather than deadlocking it).
+    succ = pick_successor();
+    if (succ == -1) {
+        return -EAGAIN;
+    }
+    procs[current].ipc_from = from;
+    procs[current].ipc_page = pn;
+    procs[current].ipc_fd = fd_slot;
+    procs[current].ipc_val = 0;
+    procs[current].ipc_size = 0;
+    ready_remove(current);
+    procs[current].state = PROC_SLEEPING;
+    procs[succ].state = PROC_RUNNING;
+    current = succ;
+    return 0;
+}
+
+// Validation common to sys_send and sys_reply_wait; returns 0 if the
+// message can be delivered to `pid` in full.
+i64 check_send(i64 pid, i64 pn, i64 size, i64 fd) {
+    i64 rp;
+    i64 rfd;
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (pid == current) {
+        return -EINVAL;
+    }
+    if (procs[pid].state != PROC_SLEEPING) {
+        return -EAGAIN;
+    }
+    if (procs[pid].ipc_from != 0) {
+        if (procs[pid].ipc_from != current) {
+            return -EAGAIN;
+        }
+    }
+    if ((size < 0) | (size > PAGE_WORDS)) {
+        return -EINVAL;
+    }
+    if (size > 0) {
+        if (page_valid(pn) == 0) {
+            return -EINVAL;
+        }
+        if (page_desc[pn].ty != PAGE_FRAME) {
+            return -EINVAL;
+        }
+        if (page_desc[pn].owner != current) {
+            return -EPERM;
+        }
+        rp = procs[pid].ipc_page;
+        if (rp == PARENT_NONE) {
+            return -EINVAL;
+        }
+        // Re-validate the receive buffer: the receiver owns it and it is
+        // still a frame (it blocked, so it could not have changed it,
+        // but the kernel never assumes).
+        if (page_valid(rp) == 0) {
+            return -EINVAL;
+        }
+        if (page_desc[rp].ty != PAGE_FRAME) {
+            return -EINVAL;
+        }
+        if (page_desc[rp].owner != pid) {
+            return -EINVAL;
+        }
+    }
+    if (fd != PARENT_NONE) {
+        if (fd_valid(fd) == 0) {
+            return -EBADF;
+        }
+        if (procs[current].ofile[fd] == NR_FILES) {
+            return -EBADF;
+        }
+        rfd = procs[pid].ipc_fd;
+        if (rfd == PARENT_NONE) {
+            return -EINVAL;
+        }
+        if (procs[pid].ofile[rfd] != NR_FILES) {
+            return -EBUSY;
+        }
+    }
+    return 0;
+}
+
+// Performs the (already fully validated) delivery to `pid`.
+i64 do_deliver(i64 pid, i64 val, i64 pn, i64 size, i64 fd) {
+    i64 i;
+    i64 rp;
+    i64 rfd;
+    i64 f;
+    i64 rhvm;
+    i64 got_fd = 0;
+    if (size > 0) {
+        rp = procs[pid].ipc_page;
+        for (i = 0; i < size; i = i + 1) {
+            pages[rp][i] = pages[pn][i];
+        }
+    }
+    if (fd != PARENT_NONE) {
+        f = procs[current].ofile[fd];
+        rfd = procs[pid].ipc_fd;
+        procs[pid].ofile[rfd] = f;
+        files[f].refcnt = files[f].refcnt + 1;
+        procs[pid].nr_fds = procs[pid].nr_fds + 1;
+        got_fd = 1;
+    }
+    procs[pid].ipc_val = val;
+    procs[pid].ipc_size = size;
+    procs[pid].ipc_from = current;
+    // Message registers land in the receiver's HVM page — the register
+    // file the hardware reloads when the receiver resumes.
+    rhvm = procs[pid].hvm;
+    pages[rhvm][0] = val;
+    pages[rhvm][1] = size;
+    pages[rhvm][2] = current;
+    pages[rhvm][3] = got_fd;
+    return 0;
+}
+
+i64 sys_send(i64 pid, i64 val, i64 pn, i64 size, i64 fd) {
+    i64 r = check_send(pid, pn, size, fd);
+    if (r != 0) {
+        return r;
+    }
+    do_deliver(pid, val, pn, size, fd);
+    procs[pid].state = PROC_RUNNABLE;
+    ready_insert(pid);
+    return 0;
+}
+
+// Reply to `pid` and atomically wait for the next message, donating the
+// CPU to the woken process. `pn` doubles as the reply source and the
+// next receive buffer.
+i64 sys_reply_wait(i64 pid, i64 val, i64 pn, i64 size, i64 fd) {
+    i64 r = check_send(pid, pn, size, fd);
+    if (r != 0) {
+        return r;
+    }
+    // Validate the receive side before mutating anything.
+    if (pn != PARENT_NONE) {
+        if (page_valid(pn) == 0) {
+            return -EINVAL;
+        }
+        if (page_desc[pn].ty != PAGE_FRAME) {
+            return -EINVAL;
+        }
+        if (page_desc[pn].owner != current) {
+            return -EPERM;
+        }
+    }
+    do_deliver(pid, val, pn, size, fd);
+    // Wake the target into the ready list, then block ourselves and hand
+    // it the CPU directly.
+    procs[pid].state = PROC_RUNNABLE;
+    ready_insert(pid);
+    procs[current].ipc_from = 0;
+    procs[current].ipc_page = pn;
+    procs[current].ipc_fd = PARENT_NONE;
+    procs[current].ipc_val = 0;
+    procs[current].ipc_size = 0;
+    ready_remove(current);
+    procs[current].state = PROC_SLEEPING;
+    procs[pid].state = PROC_RUNNING;
+    current = pid;
+    return 0;
+}
+
+// Grants a copy of one of the caller's descriptors to an embryo child
+// (the shell wires pipelines with this before sys_set_runnable).
+i64 sys_transfer_fd(i64 pid, i64 fd, i64 tofd) {
+    i64 f;
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (procs[pid].state != PROC_EMBRYO) {
+        return -EINVAL;
+    }
+    if (procs[pid].ppid != current) {
+        return -EPERM;
+    }
+    if (fd_valid(fd) == 0) {
+        return -EBADF;
+    }
+    f = procs[current].ofile[fd];
+    if (f == NR_FILES) {
+        return -EBADF;
+    }
+    if (fd_valid(tofd) == 0) {
+        return -EBADF;
+    }
+    if (procs[pid].ofile[tofd] != NR_FILES) {
+        return -EBUSY;
+    }
+    procs[pid].ofile[tofd] = f;
+    files[f].refcnt = files[f].refcnt + 1;
+    procs[pid].nr_fds = procs[pid].nr_fds + 1;
+    return 0;
+}

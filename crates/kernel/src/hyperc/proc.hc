@@ -1,0 +1,239 @@
+// Process management: the exokernel-style primitive process interface
+// (paper §4.2 "Enforcing resource lifetime through reference counters"
+// and "Enforcing fine-grained protection").
+//
+// Process creation is primitive: sys_clone_proc builds a minimal process
+// from exactly three caller-chosen free pages (page-table root, virtual
+// machine control structure, stack); everything else — address-space
+// setup, program loading — happens in user space through further system
+// calls, so bugs there are confined to the offending process.
+
+i64 sys_nop() {
+    return 0;
+}
+
+// Acknowledges (clears) a pending delegated interrupt. Returns 1 if the
+// vector was pending, 0 if not.
+i64 sys_ack_intr(i64 v) {
+    i64 mask;
+    if ((v < 0) | (v >= NR_VECTORS)) {
+        return -EINVAL;
+    }
+    if (vectors[v].owner != current) {
+        return -EPERM;
+    }
+    mask = 1 << v;
+    if ((procs[current].intr_pending & mask) != 0) {
+        procs[current].intr_pending = procs[current].intr_pending & ~mask;
+        return 1;
+    }
+    return 0;
+}
+
+i64 sys_clone_proc(i64 pid, i64 pml4, i64 hvm, i64 stack) {
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (procs[pid].state != PROC_FREE) {
+        return -EBUSY;
+    }
+    if ((page_valid(pml4) & page_valid(hvm) & page_valid(stack)) == 0) {
+        return -EINVAL;
+    }
+    if ((pml4 == hvm) | (pml4 == stack) | (hvm == stack)) {
+        return -EINVAL;
+    }
+    if ((page_is_free(pml4) & page_is_free(hvm) & page_is_free(stack)) == 0) {
+        return -ENOMEM;
+    }
+    alloc_page_typed(pml4, pid, PAGE_PML4, PARENT_NONE, PARENT_NONE);
+    alloc_page_typed(hvm, pid, PAGE_HVM, PARENT_NONE, PARENT_NONE);
+    alloc_page_typed(stack, pid, PAGE_STACK, PARENT_NONE, PARENT_NONE);
+    // The child inherits the parent's register state and stack (xv6
+    // fork-style), with a zeroed return-value slot in the HVM page.
+    page_copy(hvm, procs[current].hvm);
+    page_copy(stack, procs[current].stack_pn);
+    pages[hvm][0] = 0;
+    procs[pid].state = PROC_EMBRYO;
+    procs[pid].ppid = current;
+    procs[pid].pml4 = pml4;
+    procs[pid].hvm = hvm;
+    procs[pid].stack_pn = stack;
+    procs[pid].nr_children = 0;
+    // The child inherits the parent's open files (xv6 fork semantics):
+    // copy the FD table and take one reference per open descriptor.
+    // The loop bound is the (small, constant) FD table size. Branch-free
+    // refcount bumps: closed slots bump files[0] by zero.
+    i64 fd;
+    i64 fslot;
+    i64 is_open;
+    for (fd = 0; fd < NR_FDS; fd = fd + 1) {
+        fslot = procs[current].ofile[fd];
+        procs[pid].ofile[fd] = fslot;
+        is_open = fslot != NR_FILES;
+        fslot = fslot * is_open;
+        files[fslot].refcnt = files[fslot].refcnt + is_open;
+    }
+    procs[pid].nr_fds = procs[current].nr_fds;
+    // nr_pages is already 3: alloc_page_typed counted the three pages.
+    procs[pid].nr_dmapages = 0;
+    procs[pid].nr_devs = 0;
+    procs[pid].nr_ports = 0;
+    procs[pid].nr_vectors = 0;
+    procs[pid].nr_intremaps = 0;
+    procs[pid].ipc_from = 0;
+    procs[pid].ipc_val = 0;
+    procs[pid].ipc_page = PARENT_NONE;
+    procs[pid].ipc_size = 0;
+    procs[pid].ipc_fd = PARENT_NONE;
+    procs[pid].ready_next = PARENT_NONE;
+    procs[pid].ready_prev = PARENT_NONE;
+    procs[pid].intr_pending = 0;
+    procs[current].nr_children = procs[current].nr_children + 1;
+    return 0;
+}
+
+i64 sys_set_runnable(i64 pid) {
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (procs[pid].state != PROC_EMBRYO) {
+        return -EINVAL;
+    }
+    if (procs[pid].ppid != current) {
+        return -EPERM;
+    }
+    procs[pid].state = PROC_RUNNABLE;
+    ready_insert(pid);
+    return 0;
+}
+
+i64 sys_switch(i64 pid) {
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (procs[pid].state != PROC_RUNNABLE) {
+        return -EINVAL;
+    }
+    if (procs[current].state == PROC_RUNNING) {
+        procs[current].state = PROC_RUNNABLE;
+    }
+    procs[pid].state = PROC_RUNNING;
+    current = pid;
+    return 0;
+}
+
+i64 sys_kill(i64 pid) {
+    i64 t;
+    i64 next_cand = PARENT_NONE;
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (pid == INIT_PID) {
+        return -EPERM;
+    }
+    if (pid != current) {
+        if (procs[pid].ppid != current) {
+            return -EPERM;
+        }
+    }
+    t = procs[pid].state;
+    if ((t == PROC_FREE) | (t == PROC_ZOMBIE)) {
+        return -EINVAL;
+    }
+    if ((t == PROC_RUNNABLE) | (t == PROC_RUNNING)) {
+        next_cand = procs[pid].ready_next;
+    }
+    if (pid == current) {
+        // Killing self needs a runnable successor to hand the CPU to.
+        if ((next_cand >= 1) & (next_cand < NR_PROCS) & (next_cand != pid)) {
+            if (procs[next_cand].state != PROC_RUNNABLE) {
+                if (procs[INIT_PID].state != PROC_RUNNABLE) {
+                    return -EAGAIN;
+                }
+                next_cand = INIT_PID;
+            }
+        } else {
+            if (procs[INIT_PID].state != PROC_RUNNABLE) {
+                return -EAGAIN;
+            }
+            next_cand = INIT_PID;
+        }
+    }
+    if ((t == PROC_RUNNABLE) | (t == PROC_RUNNING)) {
+        ready_remove(pid);
+    }
+    procs[pid].state = PROC_ZOMBIE;
+    if (pid == current) {
+        procs[next_cand].state = PROC_RUNNING;
+        current = next_cand;
+    }
+    return 0;
+}
+
+i64 sys_reap(i64 pid) {
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (procs[pid].state != PROC_ZOMBIE) {
+        return -EINVAL;
+    }
+    if (procs[pid].ppid != current) {
+        return -EPERM;
+    }
+    // Every resource class must be fully reclaimed first (§4.2).
+    if (procs[pid].nr_children != 0) {
+        return -EBUSY;
+    }
+    if (procs[pid].nr_fds != 0) {
+        return -EBUSY;
+    }
+    if (procs[pid].nr_pages != 0) {
+        return -EBUSY;
+    }
+    if (procs[pid].nr_dmapages != 0) {
+        return -EBUSY;
+    }
+    if (procs[pid].nr_devs != 0) {
+        return -EBUSY;
+    }
+    if (procs[pid].nr_ports != 0) {
+        return -EBUSY;
+    }
+    if (procs[pid].nr_vectors != 0) {
+        return -EBUSY;
+    }
+    if (procs[pid].nr_intremaps != 0) {
+        return -EBUSY;
+    }
+    procs[pid].state = PROC_FREE;
+    procs[pid].ppid = PID_NONE;
+    procs[pid].pml4 = 0;
+    procs[pid].hvm = 0;
+    procs[pid].stack_pn = 0;
+    procs[current].nr_children = procs[current].nr_children - 1;
+    return 0;
+}
+
+// Re-parents a child of a zombie to init, so the zombie's nr_children
+// can reach zero and the zombie can be reaped (paper Property 1/2).
+i64 sys_reparent(i64 pid) {
+    i64 parent;
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (procs[pid].state == PROC_FREE) {
+        return -EINVAL;
+    }
+    parent = procs[pid].ppid;
+    if ((parent < 1) | (parent >= NR_PROCS)) {
+        return -EINVAL;
+    }
+    if (procs[parent].state != PROC_ZOMBIE) {
+        return -EPERM;
+    }
+    procs[pid].ppid = INIT_PID;
+    procs[parent].nr_children = procs[parent].nr_children - 1;
+    procs[INIT_PID].nr_children = procs[INIT_PID].nr_children + 1;
+    return 0;
+}

@@ -1,0 +1,148 @@
+// The representation invariant (paper §2.3).
+//
+// check_rep_invariant() is the kernel's statement of what "well-formed
+// kernel state" means. The verifier proves every trap handler preserves
+// it (Theorem 1); the boot checker (paper §5) executes it once on the
+// freshly-booted state.
+//
+// Everything here is written with bitwise `&`/`|` — never `&&`/`||` —
+// so the whole function is one straight-line path for the symbolic
+// executor regardless of state.
+//
+// The invariant is deliberately *small* — bounds only: every index-like
+// field stays inside its table, which is what discharges the verifier's
+// out-of-bounds side checks. Richer consistency (reference counts equal
+// what they count, exclusive ownership, ...) lives in the declarative
+// layer and is checked over the state-machine spec by Theorem 2,
+// matching the paper's split (its check_rep_invariant is 197 lines; the
+// refcount discipline is §3.3's crosscutting properties).
+
+i64 inv_range(i64 v, i64 lo, i64 hi) {
+    return (v >= lo) & (v < hi);
+}
+
+// -1 or in [0, hi).
+i64 inv_opt(i64 v, i64 hi) {
+    return (v == PARENT_NONE) | ((v >= 0) & (v < hi));
+}
+
+i64 inv_proc_bounds(i64 p) {
+    i64 ok = 1;
+    i64 fd;
+    ok = ok & inv_range(procs[p].state, 0, 6);
+    ok = ok & inv_range(procs[p].ppid, 0, NR_PROCS);
+    ok = ok & inv_range(procs[p].pml4, 0, NR_PAGES);
+    ok = ok & inv_range(procs[p].hvm, 0, NR_PAGES);
+    ok = ok & inv_range(procs[p].stack_pn, 0, NR_PAGES);
+    for (fd = 0; fd < NR_FDS; fd = fd + 1) {
+        ok = ok & inv_range(procs[p].ofile[fd], 0, NR_FILES + 1);
+    }
+    ok = ok & inv_range(procs[p].ipc_from, 0, NR_PROCS);
+    ok = ok & inv_opt(procs[p].ipc_page, NR_PAGES);
+    ok = ok & inv_opt(procs[p].ipc_fd, NR_FDS);
+    ok = ok & inv_opt(procs[p].ready_next, NR_PROCS);
+    ok = ok & inv_opt(procs[p].ready_prev, NR_PROCS);
+    return ok;
+}
+
+i64 inv_files() {
+    i64 ok = 1;
+    i64 f;
+    for (f = 0; f < NR_FILES; f = f + 1) {
+        ok = ok & inv_range(files[f].ty, 0, 4);
+        ok = ok & inv_range(files[f].omode, 0, 2);
+        // Pipe handles index a real pipe slot.
+        ok = ok & ((files[f].ty != FILE_PIPE) | inv_range(files[f].value, 0, NR_PIPES));
+    }
+    return ok;
+}
+
+i64 inv_pages() {
+    i64 ok = 1;
+    i64 pn;
+    for (pn = 0; pn < NR_PAGES; pn = pn + 1) {
+        ok = ok & inv_range(page_desc[pn].ty, 0, 13);
+        ok = ok & inv_range(page_desc[pn].owner, 0, NR_PROCS);
+        ok = ok & inv_opt(page_desc[pn].parent_pn, NR_PAGES);
+        ok = ok & inv_opt(page_desc[pn].parent_idx, PAGE_WORDS);
+        // A recorded parent slot is a usable slot.
+        ok = ok
+            & ((page_desc[pn].parent_pn == PARENT_NONE)
+                | (page_desc[pn].parent_idx != PARENT_NONE));
+        ok = ok & inv_opt(page_desc[pn].devid, NR_DEVS);
+        ok = ok & inv_opt(page_desc[pn].free_next, NR_PAGES);
+        ok = ok & inv_opt(page_desc[pn].free_prev, NR_PAGES);
+    }
+    return ok;
+}
+
+i64 inv_dma() {
+    i64 ok = 1;
+    i64 d;
+    for (d = 0; d < NR_DMAPAGES; d = d + 1) {
+        ok = ok & inv_range(dma_desc[d].owner, 0, NR_PROCS);
+        ok = ok & inv_opt(dma_desc[d].cpu_parent_pn, NR_PAGES);
+        ok = ok & inv_opt(dma_desc[d].cpu_parent_idx, PAGE_WORDS);
+        ok = ok
+            & ((dma_desc[d].cpu_parent_pn == PARENT_NONE)
+                | (dma_desc[d].cpu_parent_idx != PARENT_NONE));
+        ok = ok & inv_opt(dma_desc[d].io_parent_pn, NR_PAGES);
+        ok = ok & inv_opt(dma_desc[d].io_parent_idx, PAGE_WORDS);
+        ok = ok
+            & ((dma_desc[d].io_parent_pn == PARENT_NONE)
+                | (dma_desc[d].io_parent_idx != PARENT_NONE));
+    }
+    return ok;
+}
+
+i64 inv_devices() {
+    i64 ok = 1;
+    i64 i;
+    for (i = 0; i < NR_DEVS; i = i + 1) {
+        ok = ok & inv_range(devs[i].owner, 0, NR_PROCS);
+        ok = ok & inv_opt(devs[i].root, NR_PAGES);
+        // An attached device has an owner; a detached one has neither.
+        ok = ok & ((devs[i].owner == PID_NONE) == (devs[i].root == DEV_ROOT_NONE));
+    }
+    for (i = 0; i < NR_VECTORS; i = i + 1) {
+        ok = ok & inv_range(vectors[i].owner, 0, NR_PROCS);
+    }
+    for (i = 0; i < NR_PORTS; i = i + 1) {
+        ok = ok & inv_range(io_ports[i].owner, 0, NR_PROCS);
+    }
+    for (i = 0; i < NR_INTREMAPS; i = i + 1) {
+        ok = ok & inv_range(intremaps[i].state, 0, 2);
+        ok = ok
+            & ((intremaps[i].state != INTREMAP_ACTIVE)
+                | (inv_range(intremaps[i].devid, 0, NR_DEVS)
+                    & inv_range(intremaps[i].vector, 0, NR_VECTORS)
+                    & inv_range(intremaps[i].owner, 1, NR_PROCS)));
+    }
+    return ok;
+}
+
+i64 inv_pipes() {
+    i64 ok = 1;
+    i64 p;
+    for (p = 0; p < NR_PIPES; p = p + 1) {
+        ok = ok & inv_range(pipes[p].readp, 0, PIPE_WORDS);
+        ok = ok & inv_range(pipes[p].count, 0, PIPE_WORDS + 1);
+    }
+    return ok;
+}
+
+i64 check_rep_invariant() {
+    i64 ok = 1;
+    i64 p;
+    ok = ok & inv_range(current, 1, NR_PROCS);
+    ok = ok & inv_opt(freelist_head, NR_PAGES);
+    for (p = 1; p < NR_PROCS; p = p + 1) {
+        ok = ok & inv_proc_bounds(p);
+    }
+    ok = ok & inv_files();
+    ok = ok & inv_pages();
+    ok = ok & inv_dma();
+    ok = ok & inv_devices();
+    ok = ok & inv_pipes();
+    return ok;
+}

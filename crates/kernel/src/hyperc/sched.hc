@@ -1,0 +1,23 @@
+// Scheduling and time.
+//
+// The ready list is a suggestion (paper §4.2): sys_yield follows the
+// next-pointer only after validating that the suggested process really
+// is runnable; an invalid suggestion simply keeps the caller running.
+
+i64 sys_yield() {
+    i64 cand = procs[current].ready_next;
+    if ((cand >= 1) & (cand < NR_PROCS) & (cand != current)) {
+        if (procs[cand].state == PROC_RUNNABLE) {
+            if (procs[current].state == PROC_RUNNING) {
+                procs[current].state = PROC_RUNNABLE;
+            }
+            procs[cand].state = PROC_RUNNING;
+            current = cand;
+        }
+    }
+    return 0;
+}
+
+i64 sys_uptime() {
+    return uptime;
+}

@@ -1,0 +1,77 @@
+// Non-syscall trap handlers: preemption timer, external interrupts,
+// triple faults, debug output, and the unknown-hypercall fallback.
+//
+// Thanks to hardware virtualization, ordinary exceptions (page faults,
+// GP faults) are delivered straight to user space through the guest IDT
+// and never reach the kernel (paper §4.1); only these five events do.
+
+// Preemption-timer VM exit: round-robin to the ready-list suggestion.
+i64 trap_timer() {
+    i64 cand;
+    uptime = uptime + 1;
+    cand = procs[current].ready_next;
+    if ((cand >= 1) & (cand < NR_PROCS) & (cand != current)) {
+        if (procs[cand].state == PROC_RUNNABLE) {
+            if (procs[current].state == PROC_RUNNING) {
+                procs[current].state = PROC_RUNNABLE;
+            }
+            procs[cand].state = PROC_RUNNING;
+            current = cand;
+        }
+    }
+    return 0;
+}
+
+// External interrupt: post the vector to the owning process's pending
+// set; the owner collects it with sys_ack_intr.
+i64 trap_irq(i64 v) {
+    i64 o;
+    if ((v < 0) | (v >= NR_VECTORS)) {
+        return -EINVAL;
+    }
+    o = vectors[v].owner;
+    if ((o < 1) | (o >= NR_PROCS)) {
+        return -EINVAL; // unclaimed vector: spurious, dropped
+    }
+    procs[o].intr_pending = procs[o].intr_pending | (1 << v);
+    return 0;
+}
+
+// A triple fault in guest mode kills the faulting process — the only
+// exception the kernel itself must handle (paper §4.1).
+i64 trap_triple_fault() {
+    i64 cand;
+    i64 succ = -1;
+    cand = procs[current].ready_next;
+    if ((cand >= 1) & (cand < NR_PROCS) & (cand != current)) {
+        if (procs[cand].state == PROC_RUNNABLE) {
+            succ = cand;
+        }
+    }
+    if (succ == -1) {
+        if (procs[INIT_PID].state == PROC_RUNNABLE) {
+            succ = INIT_PID;
+        }
+    }
+    if (procs[current].state == PROC_RUNNING) {
+        ready_remove(current);
+        procs[current].state = PROC_ZOMBIE;
+    }
+    if (succ != -1) {
+        procs[succ].state = PROC_RUNNING;
+        current = succ;
+    }
+    return 0;
+}
+
+// Debug console output; the dispatch glue forwards the returned byte to
+// the console device.
+i64 trap_debug_print(i64 val) {
+    return val & 255;
+}
+
+// Unknown hypercall numbers land here — the kernel has no unverified
+// default path.
+i64 trap_invalid() {
+    return -EINVAL;
+}

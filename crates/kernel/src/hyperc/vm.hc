@@ -1,0 +1,447 @@
+// Virtual memory: fine-grained page-table management (paper §4.2).
+//
+// Starting from the page-table root, each alloc call retypes one free
+// page and extends the table one level; each free call detaches one
+// child and returns it. User space supplies every page number — the
+// kernel only validates, which is what keeps every handler finite.
+//
+// Page-table entries live in the pages themselves (`pages[pn][idx]`),
+// exactly what the hardware walker reads. Every mapped page records its
+// unique parent entry (`parent_pn`/`parent_idx`), preserving the
+// one-reference-per-page discipline behind the paper's Properties 3-5.
+
+// Shared validation for extending a page table: the parent must be a
+// table of type `parent_ty` owned by `pid` (current or an embryo child),
+// the slot must be empty, the child free, the permission well-formed.
+// Returns 0 on success or a negative errno.
+i64 check_alloc_table(i64 pid, i64 parent, i64 index, i64 child, i64 parent_ty, i64 perm) {
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (is_current_or_embryo_child(pid) == 0) {
+        return -EPERM;
+    }
+    if (page_valid(parent) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[parent].ty != parent_ty) {
+        return -EINVAL;
+    }
+    if (page_desc[parent].owner != pid) {
+        return -EPERM;
+    }
+    if (idx_valid(index) == 0) {
+        return -EINVAL;
+    }
+    if ((pages[parent][index] & PTE_P) != 0) {
+        return -EBUSY;
+    }
+    if (page_valid(child) == 0) {
+        return -EINVAL;
+    }
+    if (page_is_free(child) == 0) {
+        return -ENOMEM;
+    }
+    if (perm_valid(perm) == 0) {
+        return -EINVAL;
+    }
+    return 0;
+}
+
+i64 do_alloc_table(i64 pid, i64 parent, i64 index, i64 child, i64 child_ty, i64 perm) {
+    alloc_page_typed(child, pid, child_ty, parent, index);
+    pages[parent][index] = (child << PTE_PFN_SHIFT) | perm;
+    return 0;
+}
+
+i64 sys_alloc_pdpt(i64 pid, i64 pml4, i64 index, i64 pdpt, i64 perm) {
+    i64 r = check_alloc_table(pid, pml4, index, pdpt, PAGE_PML4, perm);
+    if (r != 0) {
+        return r;
+    }
+    return do_alloc_table(pid, pml4, index, pdpt, PAGE_PDPT, perm);
+}
+
+i64 sys_alloc_pd(i64 pid, i64 pdpt, i64 index, i64 pd, i64 perm) {
+    i64 r = check_alloc_table(pid, pdpt, index, pd, PAGE_PDPT, perm);
+    if (r != 0) {
+        return r;
+    }
+    return do_alloc_table(pid, pdpt, index, pd, PAGE_PD, perm);
+}
+
+i64 sys_alloc_pt(i64 pid, i64 pd, i64 index, i64 pt, i64 perm) {
+    i64 r = check_alloc_table(pid, pd, index, pt, PAGE_PD, perm);
+    if (r != 0) {
+        return r;
+    }
+    return do_alloc_table(pid, pd, index, pt, PAGE_PT, perm);
+}
+
+i64 sys_alloc_frame(i64 pid, i64 pt, i64 index, i64 frame, i64 perm) {
+    i64 r = check_alloc_table(pid, pt, index, frame, PAGE_PT, perm);
+    if (r != 0) {
+        return r;
+    }
+    // alloc_page_typed zeroes the frame: a process never observes
+    // another process's stale data (isolation).
+    return do_alloc_table(pid, pt, index, frame, PAGE_FRAME, perm);
+}
+
+// Maps a DMA page (combined-space pfn NR_PAGES + d) into a leaf slot of
+// `pid`'s page table. The DMA page is claimed for `pid` if unowned.
+i64 sys_map_dmapage(i64 pid, i64 pt, i64 index, i64 d, i64 perm) {
+    i64 owner;
+    if (pid_valid(pid) == 0) {
+        return -ESRCH;
+    }
+    if (is_current_or_embryo_child(pid) == 0) {
+        return -EPERM;
+    }
+    if (page_valid(pt) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[pt].ty != PAGE_PT) {
+        return -EINVAL;
+    }
+    if (page_desc[pt].owner != pid) {
+        return -EPERM;
+    }
+    if (idx_valid(index) == 0) {
+        return -EINVAL;
+    }
+    if ((pages[pt][index] & PTE_P) != 0) {
+        return -EBUSY;
+    }
+    if (dma_valid(d) == 0) {
+        return -EINVAL;
+    }
+    owner = dma_desc[d].owner;
+    if ((owner != PID_NONE) & (owner != pid)) {
+        return -EPERM;
+    }
+    if (dma_desc[d].cpu_parent_pn != PARENT_NONE) {
+        return -EBUSY;
+    }
+    if (perm_valid(perm) == 0) {
+        return -EINVAL;
+    }
+    if (owner == PID_NONE) {
+        dma_desc[d].owner = pid;
+        procs[pid].nr_dmapages = procs[pid].nr_dmapages + 1;
+    }
+    dma_desc[d].cpu_parent_pn = pt;
+    dma_desc[d].cpu_parent_idx = index;
+    pages[pt][index] = ((NR_PAGES + d) << PTE_PFN_SHIFT) | perm;
+    return 0;
+}
+
+// Copies the contents of one frame into another. The destination may
+// belong to an embryo child (user-space fork duplicates memory with
+// this).
+i64 sys_copy_frame(i64 from, i64 to) {
+    i64 to_owner;
+    if ((page_valid(from) & page_valid(to)) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[from].ty != PAGE_FRAME) {
+        return -EINVAL;
+    }
+    if (page_desc[from].owner != current) {
+        return -EPERM;
+    }
+    if (page_desc[to].ty != PAGE_FRAME) {
+        return -EINVAL;
+    }
+    to_owner = page_desc[to].owner;
+    if ((to_owner < 1) | (to_owner >= NR_PROCS)) {
+        return -EPERM;
+    }
+    if (is_current_or_embryo_child(to_owner) == 0) {
+        return -EPERM;
+    }
+    page_copy(to, from);
+    return 0;
+}
+
+// Changes the permissions of an existing leaf mapping (the Appel-Li
+// benchmarks exercise exactly this path).
+i64 sys_protect_frame(i64 pt, i64 index, i64 pfn, i64 perm) {
+    i64 entry;
+    i64 d;
+    if (page_valid(pt) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[pt].ty != PAGE_PT) {
+        return -EINVAL;
+    }
+    if (page_desc[pt].owner != current) {
+        return -EPERM;
+    }
+    if (idx_valid(index) == 0) {
+        return -EINVAL;
+    }
+    entry = pages[pt][index];
+    if ((entry & PTE_P) == 0) {
+        return -EINVAL;
+    }
+    if ((entry >> PTE_PFN_SHIFT) != pfn) {
+        return -EINVAL;
+    }
+    if (pfn_valid(pfn) == 0) {
+        return -EINVAL;
+    }
+    if (pfn < NR_PAGES) {
+        if (page_desc[pfn].ty != PAGE_FRAME) {
+            return -EINVAL;
+        }
+        if (page_desc[pfn].owner != current) {
+            return -EPERM;
+        }
+    } else {
+        d = pfn - NR_PAGES;
+        if (dma_desc[d].owner != current) {
+            return -EPERM;
+        }
+    }
+    if (perm_valid(perm) == 0) {
+        return -EINVAL;
+    }
+    pages[pt][index] = (pfn << PTE_PFN_SHIFT) | perm;
+    return 0;
+}
+
+// Shared validation for detaching a child table page: the parent entry
+// must reference exactly the named child of the right type, owned by the
+// caller, whose parent backref agrees.
+i64 check_free_table(i64 parent, i64 index, i64 child, i64 parent_ty, i64 child_ty) {
+    i64 entry;
+    if (page_valid(parent) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[parent].ty != parent_ty) {
+        return -EINVAL;
+    }
+    if (page_desc[parent].owner != current) {
+        return -EPERM;
+    }
+    if (idx_valid(index) == 0) {
+        return -EINVAL;
+    }
+    entry = pages[parent][index];
+    if ((entry & PTE_P) == 0) {
+        return -EINVAL;
+    }
+    if ((entry >> PTE_PFN_SHIFT) != child) {
+        return -EINVAL;
+    }
+    if (page_valid(child) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[child].ty != child_ty) {
+        return -EINVAL;
+    }
+    if (page_desc[child].owner != current) {
+        return -EPERM;
+    }
+    if (page_desc[child].parent_pn != parent) {
+        return -EINVAL;
+    }
+    if (page_desc[child].parent_idx != index) {
+        return -EINVAL;
+    }
+    return 0;
+}
+
+i64 do_free_table(i64 parent, i64 index, i64 child) {
+    pages[parent][index] = 0;
+    free_page_owned(child);
+    return 0;
+}
+
+i64 sys_free_pdpt(i64 pml4, i64 index, i64 pdpt) {
+    i64 r = check_free_table(pml4, index, pdpt, PAGE_PML4, PAGE_PDPT);
+    if (r != 0) {
+        return r;
+    }
+    return do_free_table(pml4, index, pdpt);
+}
+
+i64 sys_free_pd(i64 pdpt, i64 index, i64 pd) {
+    i64 r = check_free_table(pdpt, index, pd, PAGE_PDPT, PAGE_PD);
+    if (r != 0) {
+        return r;
+    }
+    return do_free_table(pdpt, index, pd);
+}
+
+i64 sys_free_pt(i64 pd, i64 index, i64 pt) {
+    i64 r = check_free_table(pd, index, pt, PAGE_PD, PAGE_PT);
+    if (r != 0) {
+        return r;
+    }
+    return do_free_table(pd, index, pt);
+}
+
+// Unmaps a leaf. For RAM frames the page is freed; for DMA pages only
+// the CPU mapping is cleared (ownership is released when no IOMMU
+// mapping remains either).
+i64 sys_free_frame(i64 pt, i64 index, i64 pfn) {
+    i64 entry;
+    i64 d;
+    if (page_valid(pt) == 0) {
+        return -EINVAL;
+    }
+    if (page_desc[pt].ty != PAGE_PT) {
+        return -EINVAL;
+    }
+    if (page_desc[pt].owner != current) {
+        return -EPERM;
+    }
+    if (idx_valid(index) == 0) {
+        return -EINVAL;
+    }
+    entry = pages[pt][index];
+    if ((entry & PTE_P) == 0) {
+        return -EINVAL;
+    }
+    if ((entry >> PTE_PFN_SHIFT) != pfn) {
+        return -EINVAL;
+    }
+    if (pfn_valid(pfn) == 0) {
+        return -EINVAL;
+    }
+    if (pfn < NR_PAGES) {
+        if (page_desc[pfn].ty != PAGE_FRAME) {
+            return -EINVAL;
+        }
+        if (page_desc[pfn].owner != current) {
+            return -EPERM;
+        }
+        if (page_desc[pfn].parent_pn != pt) {
+            return -EINVAL;
+        }
+        if (page_desc[pfn].parent_idx != index) {
+            return -EINVAL;
+        }
+        pages[pt][index] = 0;
+        free_page_owned(pfn);
+        return 0;
+    }
+    d = pfn - NR_PAGES;
+    if (dma_desc[d].owner != current) {
+        return -EPERM;
+    }
+    if (dma_desc[d].cpu_parent_pn != pt) {
+        return -EINVAL;
+    }
+    if (dma_desc[d].cpu_parent_idx != index) {
+        return -EINVAL;
+    }
+    pages[pt][index] = 0;
+    dma_desc[d].cpu_parent_pn = PARENT_NONE;
+    dma_desc[d].cpu_parent_idx = PARENT_NONE;
+    if (dma_desc[d].io_parent_pn == PARENT_NONE) {
+        dma_desc[d].owner = PID_NONE;
+        procs[current].nr_dmapages = procs[current].nr_dmapages - 1;
+    }
+    return 0;
+}
+
+// Reclaims one page (RAM or DMA) from a zombie process. Any process may
+// call this — no garbage-collector process is needed (paper §4.1).
+i64 sys_reclaim_page(i64 pfn) {
+    i64 owner;
+    i64 ty;
+    i64 pty;
+    i64 parent;
+    i64 pidx;
+    i64 d;
+    if (pfn_valid(pfn) == 0) {
+        return -EINVAL;
+    }
+    if (pfn < NR_PAGES) {
+        ty = page_desc[pfn].ty;
+        if ((ty == PAGE_FREE) | (ty == PAGE_RESERVED)) {
+            return -EINVAL;
+        }
+        owner = page_desc[pfn].owner;
+        if ((owner < 1) | (owner >= NR_PROCS)) {
+            return -EINVAL;
+        }
+        if (procs[owner].state != PROC_ZOMBIE) {
+            return -EPERM;
+        }
+        // An IOMMU root still referenced by the device table must be
+        // detached first (sys_free_iommu_root) — the §6.1 lifetime bug.
+        if (ty == PAGE_IOMMU_PML4) {
+            if (page_desc[pfn].devid != PARENT_NONE) {
+                return -EBUSY;
+            }
+        }
+        // Clear the (unique) referencing entry if it demonstrably still
+        // points here: the parent must still be a table of the expected
+        // type and its slot must still name this page. Branch-free: when
+        // the conditions fail, the store rewrites the old value.
+        parent = page_desc[pfn].parent_pn;
+        pidx = page_desc[pfn].parent_idx;
+        pty = parent_type_for(ty);
+        i64 do_clear = (parent != PARENT_NONE) & (pty != PARENT_NONE);
+        i64 pslot = parent * do_clear;
+        i64 islot = pidx * do_clear;
+        i64 pentry = pages[pslot][islot];
+        do_clear = do_clear
+            & (page_desc[pslot].ty == pty)
+            & ((pentry >> PTE_PFN_SHIFT) == pfn);
+        pages[pslot][islot] = blend(do_clear, 0, pentry);
+        page_desc[pfn].ty = PAGE_FREE;
+        page_desc[pfn].owner = PID_NONE;
+        page_desc[pfn].parent_pn = PARENT_NONE;
+        page_desc[pfn].parent_idx = PARENT_NONE;
+        page_desc[pfn].devid = PARENT_NONE;
+        freelist_push(pfn);
+        procs[owner].nr_pages = procs[owner].nr_pages - 1;
+        return 0;
+    }
+    // DMA page.
+    d = pfn - NR_PAGES;
+    owner = dma_desc[d].owner;
+    if ((owner < 1) | (owner >= NR_PROCS)) {
+        return -EINVAL;
+    }
+    if (procs[owner].state != PROC_ZOMBIE) {
+        return -EPERM;
+    }
+    // All of the zombie's device-table entries must be detached first,
+    // or a live device could still DMA into this page after reuse.
+    if (procs[owner].nr_devs != 0) {
+        return -EBUSY;
+    }
+    parent = dma_desc[d].cpu_parent_pn;
+    pidx = dma_desc[d].cpu_parent_idx;
+    i64 cclear = parent != PARENT_NONE;
+    i64 cslot = parent * cclear;
+    i64 cislot = pidx * cclear;
+    i64 centry = pages[cslot][cislot];
+    cclear = cclear
+        & (page_desc[cslot].ty == PAGE_PT)
+        & ((centry >> PTE_PFN_SHIFT) == pfn);
+    pages[cslot][cislot] = blend(cclear, 0, centry);
+    parent = dma_desc[d].io_parent_pn;
+    pidx = dma_desc[d].io_parent_idx;
+    i64 ioclear = parent != PARENT_NONE;
+    i64 ioslot = parent * ioclear;
+    i64 ioislot = pidx * ioclear;
+    i64 ioentry = pages[ioslot][ioislot];
+    ioclear = ioclear
+        & (page_desc[ioslot].ty == PAGE_IOMMU_PT)
+        & ((ioentry >> PTE_PFN_SHIFT) == pfn);
+    pages[ioslot][ioislot] = blend(ioclear, 0, ioentry);
+    dma_desc[d].owner = PID_NONE;
+    dma_desc[d].cpu_parent_pn = PARENT_NONE;
+    dma_desc[d].cpu_parent_idx = PARENT_NONE;
+    dma_desc[d].io_parent_pn = PARENT_NONE;
+    dma_desc[d].io_parent_idx = PARENT_NONE;
+    procs[owner].nr_dmapages = procs[owner].nr_dmapages - 1;
+    return 0;
+}

@@ -1,0 +1,258 @@
+//! Kernel data-structure layout: the global arrays-of-structs that make
+//! up all kernel state, and the constant environment injected into the
+//! HyperC compiler.
+//!
+//! Hyperkernel deliberately keeps *all* kernel state in fixed-size arrays
+//! (paper §4.1): the verifier translates each field into an uninterpreted
+//! function, and explicit resource management means handlers never search
+//! these tables. The two linked lists the kernel does keep — the free
+//! list of pages and the ready list of processes — are embedded in
+//! `page_desc`/`procs` as suggestion-only links, validated at use
+//! (paper §4.2 "Validating linked data structures").
+
+use hk_abi::KernelParams;
+use hk_hir::{FieldDecl, GlobalDecl, Module};
+
+fn field(name: &str) -> FieldDecl {
+    FieldDecl {
+        name: name.to_string(),
+        elems: 1,
+        volatile: false,
+    }
+}
+
+fn array_field(name: &str, elems: u64) -> FieldDecl {
+    FieldDecl {
+        name: name.to_string(),
+        elems,
+        volatile: false,
+    }
+}
+
+/// Declares every kernel global in `module`, in a fixed order (the order
+/// determines the physical layout the link checker validates).
+pub fn declare_globals(module: &mut Module, params: &KernelParams) {
+    module.declare_scalar("current");
+    module.declare_scalar("uptime");
+    module.declare_scalar("freelist_head");
+    module.declare_global(GlobalDecl {
+        name: "procs".into(),
+        elems: params.nr_procs,
+        fields: vec![
+            field("state"),
+            field("ppid"),
+            field("pml4"),
+            field("hvm"),
+            field("stack_pn"),
+            field("nr_children"),
+            field("nr_fds"),
+            field("nr_pages"),
+            field("nr_dmapages"),
+            field("nr_devs"),
+            field("nr_ports"),
+            field("nr_vectors"),
+            field("nr_intremaps"),
+            array_field("ofile", params.nr_fds),
+            field("ipc_from"),
+            field("ipc_val"),
+            field("ipc_page"),
+            field("ipc_size"),
+            field("ipc_fd"),
+            field("ready_next"),
+            field("ready_prev"),
+            field("intr_pending"),
+        ],
+    });
+    module.declare_global(GlobalDecl {
+        name: "files".into(),
+        elems: params.nr_files,
+        fields: vec![
+            field("ty"),
+            field("refcnt"),
+            field("value"),
+            field("offset"),
+            field("omode"),
+        ],
+    });
+    module.declare_global(GlobalDecl {
+        name: "page_desc".into(),
+        elems: params.nr_pages,
+        fields: vec![
+            field("ty"),
+            field("owner"),
+            field("parent_pn"),
+            field("parent_idx"),
+            field("devid"),
+            field("free_next"),
+            field("free_prev"),
+        ],
+    });
+    module.declare_global(GlobalDecl {
+        name: "pages".into(),
+        elems: params.nr_pages,
+        fields: vec![array_field("word", params.page_words)],
+    });
+    module.declare_global(GlobalDecl {
+        name: "dma_desc".into(),
+        elems: params.nr_dmapages,
+        fields: vec![
+            field("owner"),
+            field("cpu_parent_pn"),
+            field("cpu_parent_idx"),
+            field("io_parent_pn"),
+            field("io_parent_idx"),
+        ],
+    });
+    // Note: DMA page *contents* are not a kernel global at all. The kernel
+    // never reads or writes them — devices own that memory (Figure 6), and
+    // treating DMA writes as no-ops with respect to kernel state is
+    // exactly the paper's §3.1 argument. User processes reach DMA pages
+    // only through their own page tables.
+    module.declare_global(GlobalDecl {
+        name: "devs".into(),
+        elems: params.nr_devs,
+        fields: vec![field("owner"), field("root"), field("intremap_refcnt")],
+    });
+    module.declare_global(GlobalDecl {
+        name: "vectors".into(),
+        elems: params.nr_vectors,
+        fields: vec![field("owner"), field("intremap_refcnt")],
+    });
+    module.declare_global(GlobalDecl {
+        name: "io_ports".into(),
+        elems: params.nr_ports,
+        fields: vec![field("owner")],
+    });
+    module.declare_global(GlobalDecl {
+        name: "intremaps".into(),
+        elems: params.nr_intremaps,
+        fields: vec![
+            field("state"),
+            field("devid"),
+            field("vector"),
+            field("owner"),
+        ],
+    });
+    module.declare_global(GlobalDecl {
+        name: "pipes".into(),
+        elems: params.nr_pipes,
+        fields: vec![
+            field("nr_ends"),
+            field("readp"),
+            field("count"),
+            array_field("data", params.pipe_words),
+        ],
+    });
+}
+
+/// The constant environment handed to the HyperC compiler. Everything the
+/// kernel sources name symbolically is defined here, from one source of
+/// truth (`hk-abi`).
+pub fn constants(params: &KernelParams) -> Vec<(&'static str, i64)> {
+    use hk_abi::*;
+    vec![
+        ("NR_PROCS", params.nr_procs as i64),
+        ("NR_FDS", params.nr_fds as i64),
+        ("NR_FILES", params.nr_files as i64),
+        ("NR_PAGES", params.nr_pages as i64),
+        ("NR_DMAPAGES", params.nr_dmapages as i64),
+        ("NR_PFNS", params.nr_pfns() as i64),
+        ("NR_DEVS", params.nr_devs as i64),
+        ("NR_PORTS", params.nr_ports as i64),
+        ("NR_VECTORS", params.nr_vectors as i64),
+        ("NR_INTREMAPS", params.nr_intremaps as i64),
+        ("NR_PIPES", params.nr_pipes as i64),
+        ("PAGE_WORDS", params.page_words as i64),
+        ("PIPE_WORDS", params.pipe_words as i64),
+        ("PID_NONE", PID_NONE),
+        ("INIT_PID", INIT_PID),
+        ("PROC_FREE", proc_state::FREE),
+        ("PROC_EMBRYO", proc_state::EMBRYO),
+        ("PROC_RUNNABLE", proc_state::RUNNABLE),
+        ("PROC_RUNNING", proc_state::RUNNING),
+        ("PROC_SLEEPING", proc_state::SLEEPING),
+        ("PROC_ZOMBIE", proc_state::ZOMBIE),
+        ("PAGE_FREE", page_type::FREE),
+        ("PAGE_RESERVED", page_type::RESERVED),
+        ("PAGE_PML4", page_type::PML4),
+        ("PAGE_PDPT", page_type::PDPT),
+        ("PAGE_PD", page_type::PD),
+        ("PAGE_PT", page_type::PT),
+        ("PAGE_FRAME", page_type::FRAME),
+        ("PAGE_STACK", page_type::STACK),
+        ("PAGE_HVM", page_type::HVM),
+        ("PAGE_IOMMU_PML4", page_type::IOMMU_PML4),
+        ("PAGE_IOMMU_PDPT", page_type::IOMMU_PDPT),
+        ("PAGE_IOMMU_PD", page_type::IOMMU_PD),
+        ("PAGE_IOMMU_PT", page_type::IOMMU_PT),
+        ("FILE_NONE", file_type::NONE),
+        ("FILE_PIPE", file_type::PIPE),
+        ("FILE_INODE", file_type::INODE),
+        ("FILE_SOCKET", file_type::SOCKET),
+        ("INTREMAP_FREE", intremap_state::FREE),
+        ("INTREMAP_ACTIVE", intremap_state::ACTIVE),
+        ("OMODE_READ", omode::READ),
+        ("OMODE_WRITE", omode::WRITE),
+        ("DEV_ROOT_NONE", DEV_ROOT_NONE),
+        ("PARENT_NONE", PARENT_NONE),
+        ("PTE_P", PTE_P),
+        ("PTE_W", PTE_W),
+        ("PTE_U", PTE_U),
+        ("PTE_PERM_MASK", PTE_PERM_MASK),
+        ("PTE_PFN_SHIFT", PTE_PFN_SHIFT),
+        ("EPERM", EPERM),
+        ("ESRCH", ESRCH),
+        ("EBADF", EBADF),
+        ("EAGAIN", EAGAIN),
+        ("ENOMEM", ENOMEM),
+        ("EBUSY", EBUSY),
+        ("ENODEV", ENODEV),
+        ("EINVAL", EINVAL),
+        ("ENFILE", ENFILE),
+        ("EPIPE", EPIPE),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_declare_cleanly() {
+        let params = KernelParams::verification();
+        let mut m = Module::new();
+        declare_globals(&mut m, &params);
+        assert!(m.global("procs").is_some());
+        assert!(m.global("pages").is_some());
+        assert!(m.global("dma_desc").is_some());
+        // ofile is nested inside procs.
+        let procs = m.global_decl(m.global("procs").unwrap());
+        assert_eq!(procs.elems, params.nr_procs);
+        let ofile = procs.field("ofile").unwrap();
+        assert_eq!(procs.fields[ofile.0 as usize].elems, params.nr_fds);
+    }
+
+    #[test]
+    fn constant_names_unique() {
+        let params = KernelParams::verification();
+        let consts = constants(&params);
+        let mut names: Vec<&str> = consts.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn kernel_state_fits_reasonable_size() {
+        let params = KernelParams::production();
+        let mut m = Module::new();
+        declare_globals(&mut m, &params);
+        // Kernel metadata (excluding page contents) should be far smaller
+        // than the page regions.
+        let total = m.total_words();
+        let pages = params.nr_pages * params.page_words;
+        assert!(total > pages, "pages global dominates");
+        assert!(total < 3 * pages, "metadata should not dwarf page memory");
+    }
+}

@@ -1,0 +1,43 @@
+//! The Hyperkernel: a finite-interface OS kernel whose 50 trap handlers
+//! are written in HyperC, compiled to HIR, executed by the HIR
+//! interpreter on the `hk-vm` machine — and verified against the
+//! specifications in `hk-spec` by the push-button verifier in `hk-core`.
+//!
+//! Crate layout mirrors the paper's artifact:
+//!
+//! * [`layout`] — the kernel's global data structures and the constant
+//!   environment (everything is fixed-size arrays, paper §4.1);
+//! * `hyperc/*.hc` — the 50 trap handlers plus helpers and the
+//!   representation invariant, in HyperC (the C analogue);
+//! * [`image`] — compilation to HIR (the "kernel image");
+//! * [`mem`] — physical placement of globals (identity-mapped root mode);
+//! * [`boot`] — trusted initialization, validated by the boot checker;
+//! * [`dispatch`] — trusted trap glue (CR3/IOMMU/TLB/console mirroring);
+//! * [`system`] — the running OS: scheduler, guest actors, [`GuestEnv`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hk_abi::{KernelParams, Sysno};
+//! use hk_kernel::{boot::boot, Kernel};
+//! use hk_vm::CostModel;
+//!
+//! let kernel = Kernel::new(KernelParams::verification()).unwrap();
+//! let mut machine = kernel.new_machine(CostModel::default_model());
+//! boot(&kernel, &mut machine);
+//! // init duplicates a descriptor... which it has not opened: rejected.
+//! let ret = kernel.trap(&mut machine, Sysno::Dup, &[0, 1]).unwrap();
+//! assert_eq!(ret, -hk_abi::EBADF);
+//! ```
+
+pub mod boot;
+pub mod dispatch;
+pub mod image;
+pub mod layout;
+pub mod mem;
+pub mod system;
+
+pub use dispatch::Kernel;
+pub use image::KernelImage;
+pub use mem::KernelLayout;
+pub use system::{GuestEnv, GuestProg, Poll, RunExit, System};

@@ -1,0 +1,145 @@
+//! Placement of kernel globals in physical memory.
+//!
+//! The kernel runs identity-mapped in root mode (paper §4.1), so globals
+//! live at fixed physical addresses: all metadata tables sit at the
+//! bottom of memory (the kernel region of Figure 6), and the `pages`
+//! global — the RAM page contents, including every page-table page the
+//! hardware walker reads — *is* the RAM-pages region itself.
+//!
+//! The link checker (`hk-checkers`) validates that the resulting symbol
+//! ranges are pairwise disjoint.
+
+use hk_hir::{interp::Addr, MemBackend, Module};
+use hk_vm::PhysMem;
+
+/// Physical placement of every kernel global.
+#[derive(Debug, Clone)]
+pub struct KernelLayout {
+    offsets: Vec<u64>,
+    sizes: Vec<u64>,
+    /// Words occupied by the kernel region (all globals except `pages`).
+    pub kernel_words: u64,
+    names: Vec<String>,
+}
+
+impl KernelLayout {
+    /// Computes the placement for a compiled module.
+    ///
+    /// `pages` is placed at `kernel_words` — i.e. the RAM-pages region
+    /// begins immediately after the kernel region, matching
+    /// [`hk_vm::MemoryMap`] built with the same `kernel_words`.
+    pub fn new(module: &Module) -> Self {
+        let pages_id = module.global("pages").expect("kernel has a pages global");
+        let mut offsets = vec![0u64; module.globals.len()];
+        let mut sizes = vec![0u64; module.globals.len()];
+        let mut names = Vec::with_capacity(module.globals.len());
+        let mut off = 0;
+        for (i, g) in module.globals.iter().enumerate() {
+            sizes[i] = g.size_words();
+            names.push(g.name.clone());
+            if i == pages_id.0 as usize {
+                continue; // placed after everything else
+            }
+            offsets[i] = off;
+            off += g.size_words();
+        }
+        offsets[pages_id.0 as usize] = off;
+        KernelLayout {
+            offsets,
+            sizes,
+            kernel_words: off,
+            names,
+        }
+    }
+
+    /// Physical word address of a resolved global access.
+    pub fn addr(&self, module: &Module, a: Addr) -> u64 {
+        let g = module.global_decl(a.global);
+        self.offsets[a.global.0 as usize]
+            + a.index * g.stride()
+            + g.field_offset(a.field)
+            + a.sub
+    }
+
+    /// `(name, start, size)` for every global — the symbol table the link
+    /// checker inspects.
+    pub fn symbols(&self) -> Vec<(String, u64, u64)> {
+        self.names
+            .iter()
+            .cloned()
+            .zip(self.offsets.iter().copied())
+            .zip(self.sizes.iter().copied())
+            .map(|((n, o), s)| (n, o, s))
+            .collect()
+    }
+}
+
+/// A [`MemBackend`] that reads and writes the machine's physical memory
+/// according to a [`KernelLayout`] — the identity mapping of root mode.
+#[derive(Debug)]
+pub struct MachineMem<'a> {
+    /// Physical memory.
+    pub phys: &'a mut PhysMem,
+    /// Global placement.
+    pub layout: &'a KernelLayout,
+}
+
+impl MemBackend for MachineMem<'_> {
+    fn load(&mut self, module: &Module, addr: Addr) -> i64 {
+        self.phys.read(self.layout.addr(module, addr))
+    }
+
+    fn store(&mut self, module: &Module, addr: Addr, val: i64) {
+        let a = self.layout.addr(module, addr);
+        self.phys.write(a, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_abi::KernelParams;
+
+    #[test]
+    fn pages_global_sits_at_pages_base() {
+        let params = KernelParams::verification();
+        let image = crate::image::KernelImage::build(params).unwrap();
+        let layout = KernelLayout::new(&image.module);
+        let pages = image.module.global("pages").unwrap();
+        let a = layout.addr(
+            &image.module,
+            Addr {
+                global: pages,
+                index: 0,
+                field: hk_hir::FieldId(0),
+                sub: 0,
+            },
+        );
+        assert_eq!(a, layout.kernel_words);
+        // Page pn, word w lands at pages_base + pn*page_words + w.
+        let a2 = layout.addr(
+            &image.module,
+            Addr {
+                global: pages,
+                index: 5,
+                field: hk_hir::FieldId(0),
+                sub: 3,
+            },
+        );
+        assert_eq!(a2, layout.kernel_words + 5 * params.page_words + 3);
+    }
+
+    #[test]
+    fn symbols_are_disjoint() {
+        let params = KernelParams::verification();
+        let image = crate::image::KernelImage::build(params).unwrap();
+        let layout = KernelLayout::new(&image.module);
+        let mut syms = layout.symbols();
+        syms.sort_by_key(|(_, start, _)| *start);
+        for w in syms.windows(2) {
+            let (ref n1, s1, len1) = w[0];
+            let (ref n2, s2, _) = w[1];
+            assert!(s1 + len1 <= s2, "{n1} overlaps {n2}");
+        }
+    }
+}

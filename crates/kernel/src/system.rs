@@ -1,0 +1,335 @@
+//! The running system: machine + kernel + user processes.
+//!
+//! User programs are Rust actors driven by a cooperative scheduler that
+//! plays the role of "the CPU executing guest code": it always executes
+//! the process the kernel's `current` points at, delivers device
+//! interrupts as `trap_irq` VM exits, and fires the preemption timer as
+//! `trap_timer`. Actors interact with the world only through
+//! [`GuestEnv`]: guest-virtual memory accesses (translated by the real
+//! page tables their own hypercalls built) and hypercalls into the
+//! verified kernel.
+//!
+//! Actors must be written in a poll style: a blocked operation (e.g. an
+//! empty pipe) returns [`Poll::Pending`] and is retried on the next
+//! slice. This is how the repository expresses "user space retries" —
+//! the kernel interface itself is all-or-error (finite).
+
+use std::collections::HashMap;
+
+use hk_abi::{proc_state, Sysno};
+use hk_vm::paging::PageFault;
+use hk_vm::{CostModel, Machine};
+
+use crate::boot;
+use crate::dispatch::Kernel;
+
+/// Result of polling an actor once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// Made progress; poll again when scheduled.
+    Ready,
+    /// Waiting for something (message, pipe space, interrupt).
+    Pending,
+    /// The actor is done; it should already have killed its process.
+    Exited,
+}
+
+/// A user program.
+pub trait GuestProg {
+    /// Runs one slice of the program.
+    fn poll(&mut self, env: &mut GuestEnv<'_>) -> Poll;
+}
+
+/// Why [`System::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// No actor can make progress and no interrupts are pending.
+    Idle,
+    /// The current process is not runnable and no successor exists
+    /// (machine halted, e.g. init died).
+    Halted,
+    /// The poll budget was exhausted.
+    Budget,
+    /// All actors have exited.
+    AllExited,
+}
+
+/// The environment a guest program runs in.
+pub struct GuestEnv<'a> {
+    /// The process id this actor runs as.
+    pub pid: i64,
+    kernel: &'a Kernel,
+    /// The machine (public for cycle accounting in benchmarks).
+    pub machine: &'a mut Machine,
+    new_actors: &'a mut Vec<(i64, Box<dyn GuestProg>)>,
+}
+
+impl GuestEnv<'_> {
+    /// Issues a hypercall: a full guest->root->guest round trip into the
+    /// verified kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel reports undefined behaviour (impossible for
+    /// a verified kernel image) or if this actor is not `current`.
+    pub fn hypercall(&mut self, sysno: Sysno, args: &[i64]) -> i64 {
+        assert!(!sysno.is_trap() || sysno == Sysno::TrapDebugPrint,
+            "guests cannot invoke {sysno} directly");
+        assert_eq!(
+            self.kernel.current(self.machine),
+            self.pid,
+            "actor {} issued a hypercall while not current",
+            self.pid
+        );
+        self.machine.charge_hypercall_roundtrip();
+        self.kernel
+            .trap(self.machine, sysno, args)
+            .unwrap_or_else(|e| panic!("kernel trap failed: {e}"))
+    }
+
+    /// Reads guest-virtual memory through this process's page table.
+    /// On a fault the cost of direct user-space exception delivery is
+    /// charged (paper §4.1: the kernel is not involved).
+    pub fn read(&mut self, va: u64) -> Result<i64, PageFault> {
+        self.machine.guest_read(va).map_err(|f| {
+            self.machine.charge_fault_direct_user();
+            f
+        })
+    }
+
+    /// Writes guest-virtual memory; fault handling as in [`GuestEnv::read`].
+    pub fn write(&mut self, va: u64, val: i64) -> Result<(), PageFault> {
+        self.machine.guest_write(va, val).map_err(|f| {
+            self.machine.charge_fault_direct_user();
+            f
+        })
+    }
+
+    /// Writes one byte to the debug console.
+    pub fn putc(&mut self, c: u8) {
+        self.hypercall(Sysno::TrapDebugPrint, &[c as i64]);
+    }
+
+    /// Writes a string to the debug console.
+    pub fn print(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.putc(b);
+        }
+    }
+
+    /// Registers the actor for a process this actor created (the
+    /// "program image" half of process creation; the kernel half is
+    /// `sys_clone_proc` + `sys_set_runnable`).
+    pub fn register_actor(&mut self, pid: i64, prog: Box<dyn GuestProg>) {
+        self.new_actors.push((pid, prog));
+    }
+
+    /// The message registers delivered by the last IPC wake-up, read
+    /// from this process's HVM page: `(value, size, sender, got_fd)`.
+    pub fn ipc_regs(&self) -> (i64, i64, i64, bool) {
+        let hvm = self
+            .kernel
+            .read_global(self.machine, "procs", self.pid as u64, "hvm", 0);
+        let r = |i: u64| {
+            self.kernel
+                .read_global(self.machine, "pages", hvm as u64, "word", i)
+        };
+        (r(0), r(1), r(2), r(3) != 0)
+    }
+
+    /// This process's state as the kernel sees it.
+    pub fn my_state(&self) -> i64 {
+        self.proc_field("state")
+    }
+
+    /// A field of this process's own process-table entry (pml4, hvm,
+    /// ipc_from, ... — the read-only self-knowledge a real process gets
+    /// from its mapped process structure).
+    pub fn proc_field(&self, field: &str) -> i64 {
+        self.kernel
+            .read_global(self.machine, "procs", self.pid as u64, field, 0)
+    }
+
+    /// Reads message register `i` from this process's HVM page.
+    pub fn hvm_reg(&self, i: u64) -> i64 {
+        let hvm = self.proc_field("hvm");
+        self.kernel
+            .read_global(self.machine, "pages", hvm as u64, "word", i)
+    }
+
+    /// Clears message register `i` (used to tell a fresh IPC wake-up
+    /// from a spurious schedule).
+    pub fn clear_hvm_reg(&mut self, i: u64) {
+        let hvm = self.proc_field("hvm");
+        self.kernel
+            .write_global(self.machine, "pages", hvm as u64, "word", i, 0);
+    }
+
+    /// Reads a word from a RAM page's contents by page number (used by
+    /// actors to inspect pages they own without a guest mapping).
+    pub fn page_word(&self, pn: i64, idx: u64) -> i64 {
+        self.kernel
+            .read_global(self.machine, "pages", pn as u64, "word", idx)
+    }
+
+    /// Writes a word into a RAM page the actor owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not owned by this process — actors may only
+    /// touch their own pages (the harness-level analogue of the paging
+    /// isolation the kernel enforces for mapped accesses).
+    pub fn set_page_word(&mut self, pn: i64, idx: u64, val: i64) {
+        let owner = self
+            .kernel
+            .read_global(self.machine, "page_desc", pn as u64, "owner", 0);
+        assert_eq!(owner, self.pid, "page {pn} not owned by {}", self.pid);
+        self.kernel
+            .write_global(self.machine, "pages", pn as u64, "word", idx, val);
+    }
+}
+
+/// The whole system.
+pub struct System {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// The machine.
+    pub machine: Machine,
+    actors: HashMap<i64, Box<dyn GuestProg>>,
+    /// Guest memory operations per scheduling quantum (0 disables the
+    /// preemption timer).
+    pub quantum: u64,
+}
+
+impl System {
+    /// Builds, boots, and returns a system with no actors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel fails to compile or the booted state fails
+    /// the boot checker — both indicate kernel bugs.
+    pub fn boot(params: hk_abi::KernelParams, cost: CostModel) -> System {
+        let kernel = Kernel::new(params).expect("kernel build");
+        let mut machine = kernel.new_machine(cost);
+        boot::boot(&kernel, &mut machine);
+        assert!(
+            kernel.check_invariant(&mut machine).expect("invariant run"),
+            "boot state violates the representation invariant"
+        );
+        System {
+            kernel,
+            machine,
+            actors: HashMap::new(),
+            quantum: 0,
+        }
+    }
+
+    /// Installs the init actor (PID 1).
+    pub fn set_init(&mut self, prog: Box<dyn GuestProg>) {
+        self.actors.insert(hk_abi::INIT_PID, prog);
+    }
+
+    /// Installs an actor for an existing process.
+    pub fn add_actor(&mut self, pid: i64, prog: Box<dyn GuestProg>) {
+        self.actors.insert(pid, prog);
+    }
+
+    /// Dispatches any pending device interrupts as `trap_irq` VM exits.
+    fn deliver_irqs(&mut self) {
+        while let Some(v) = self.machine.take_irq() {
+            self.machine.charge_hypercall_roundtrip();
+            let _ = self.kernel.trap(&mut self.machine, Sysno::TrapIrq, &[v as i64]);
+        }
+    }
+
+    /// Runs the scheduler for at most `max_polls` actor slices.
+    pub fn run(&mut self, max_polls: u64) -> RunExit {
+        let mut consecutive_pending = 0usize;
+        for _ in 0..max_polls {
+            self.deliver_irqs();
+            let current = self.kernel.current(&self.machine);
+            let state = self
+                .kernel
+                .read_global(&self.machine, "procs", current as u64, "state", 0);
+            if state != proc_state::RUNNING {
+                return RunExit::Halted;
+            }
+            let Some(mut actor) = self.actors.remove(&current) else {
+                // A process with no actor (exited actor, zombie pending
+                // reap): try to schedule around it.
+                self.machine.charge_hypercall_roundtrip();
+                let _ = self.kernel.trap(&mut self.machine, Sysno::TrapTimer, &[]);
+                if self.kernel.current(&self.machine) == current {
+                    return if self.actors.is_empty() {
+                        RunExit::AllExited
+                    } else {
+                        RunExit::Idle
+                    };
+                }
+                continue;
+            };
+            if self.quantum > 0 {
+                self.machine.arm_timer(self.quantum);
+            }
+            let cycles_before = self.machine.cycles.total;
+            let mut new_actors = Vec::new();
+            let poll = {
+                let mut env = GuestEnv {
+                    pid: current,
+                    kernel: &self.kernel,
+                    machine: &mut self.machine,
+                    new_actors: &mut new_actors,
+                };
+                actor.poll(&mut env)
+            };
+            for (pid, prog) in new_actors {
+                self.actors.insert(pid, prog);
+            }
+            match poll {
+                Poll::Exited => {
+                    // Actor gone; its process should be zombie already.
+                }
+                _ => {
+                    self.actors.insert(current, actor);
+                }
+            }
+            // A poll that consumed machine cycles (hypercalls, guest
+            // memory traffic) made progress even if the actor reported
+            // Pending; only zero-activity slices count towards idleness.
+            let active = self.machine.cycles.total != cycles_before;
+            match poll {
+                Poll::Ready => consecutive_pending = 0,
+                Poll::Pending | Poll::Exited => {
+                    if active {
+                        consecutive_pending = 0;
+                    } else {
+                        consecutive_pending += 1;
+                    }
+                }
+            }
+            // Preemption: quantum expiry, an explicitly pending actor, or
+            // an exited one hands the CPU onward via the timer — but only
+            // if the actor did not already hand it off itself (via yield,
+            // switch, recv, or reply_wait); firing the timer then would
+            // immediately undo the handoff.
+            let still_current = self.kernel.current(&self.machine) == current;
+            let expired = self.quantum > 0 && self.machine.timer_expired();
+            if still_current && (expired || poll != Poll::Ready) {
+                self.machine.charge_hypercall_roundtrip();
+                let _ = self.kernel.trap(&mut self.machine, Sysno::TrapTimer, &[]);
+            }
+            if self.actors.is_empty() {
+                return RunExit::AllExited;
+            }
+            if consecutive_pending > 2 * self.actors.len() + 4 {
+                return RunExit::Idle;
+            }
+        }
+        RunExit::Budget
+    }
+
+    /// Console output so far.
+    pub fn console_text(&self) -> String {
+        self.machine.console.text()
+    }
+}

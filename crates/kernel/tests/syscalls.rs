@@ -1,0 +1,618 @@
+//! Behavioural tests for the 50 trap handlers, driven through the HIR
+//! interpreter on a booted machine — the concrete counterpart of the
+//! verification suite. After every mutating call the kernel's own
+//! representation invariant is re-checked.
+
+use hk_abi::*;
+use hk_kernel::{boot::boot, Kernel};
+use hk_vm::paging::{join_va, AccessKind};
+use hk_vm::CostModel;
+
+struct K {
+    kernel: Kernel,
+    machine: hk_vm::Machine,
+}
+
+/// A mid-size profile for behavioural tests: big enough that the test
+/// constants (page numbers up to 16, fds up to 7, vector 5, ...) fit.
+fn test_params() -> KernelParams {
+    KernelParams {
+        nr_procs: 8,
+        nr_fds: 8,
+        nr_files: 8,
+        nr_pages: 32,
+        nr_dmapages: 4,
+        nr_devs: 4,
+        nr_ports: 8,
+        nr_vectors: 8,
+        nr_intremaps: 4,
+        nr_pipes: 4,
+        page_words: 8,
+        pipe_words: 4,
+    }
+}
+
+impl K {
+    fn new() -> K {
+        let kernel = Kernel::new(test_params()).unwrap();
+        let mut machine = kernel.new_machine(CostModel::default_model());
+        boot(&kernel, &mut machine);
+        K { kernel, machine }
+    }
+
+    fn sys(&mut self, s: Sysno, args: &[i64]) -> i64 {
+        let r = self.kernel.trap(&mut self.machine, s, args).expect("trap");
+        assert!(
+            self.kernel.check_invariant(&mut self.machine).unwrap(),
+            "invariant violated after {s}({args:?}) -> {r}"
+        );
+        r
+    }
+
+    fn get(&self, g: &str, i: u64, f: &str, s: u64) -> i64 {
+        self.kernel.read_global(&self.machine, g, i, f, s)
+    }
+
+    fn current(&self) -> i64 {
+        self.kernel.current(&self.machine)
+    }
+
+    /// Clone a child of `current` with the given three pages and make it
+    /// runnable.
+    fn spawn(&mut self, pid: i64, pml4: i64, hvm: i64, stack: i64) {
+        assert_eq!(self.sys(Sysno::CloneProc, &[pid, pml4, hvm, stack]), 0);
+        assert_eq!(self.sys(Sysno::SetRunnable, &[pid]), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Processes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn nop_and_uptime() {
+    let mut k = K::new();
+    assert_eq!(k.sys(Sysno::Nop, &[]), 0);
+    assert_eq!(k.sys(Sysno::Uptime, &[]), 0);
+    assert_eq!(k.sys(Sysno::TrapTimer, &[]), 0);
+    assert_eq!(k.sys(Sysno::Uptime, &[]), 1);
+}
+
+#[test]
+fn clone_lifecycle() {
+    let mut k = K::new();
+    // Bad arguments first.
+    assert_eq!(k.sys(Sysno::CloneProc, &[0, 3, 4, 5]), -ESRCH);
+    assert_eq!(k.sys(Sysno::CloneProc, &[2, 3, 3, 5]), -EINVAL);
+    assert_eq!(k.sys(Sysno::CloneProc, &[2, 0, 4, 5]), -ENOMEM); // page 0 is init's pml4
+    assert_eq!(k.sys(Sysno::CloneProc, &[1, 3, 4, 5]), -EBUSY); // init exists
+    // Success.
+    assert_eq!(k.sys(Sysno::CloneProc, &[2, 3, 4, 5]), 0);
+    assert_eq!(k.get("procs", 2, "state", 0), proc_state::EMBRYO);
+    assert_eq!(k.get("procs", 2, "ppid", 0), 1);
+    assert_eq!(k.get("procs", 2, "nr_pages", 0), 3);
+    assert_eq!(k.get("procs", 1, "nr_children", 0), 1);
+    assert_eq!(k.get("page_desc", 3, "ty", 0), page_type::PML4);
+    assert_eq!(k.get("page_desc", 3, "owner", 0), 2);
+    // Same pages cannot be reused.
+    assert_eq!(k.sys(Sysno::CloneProc, &[3, 3, 6, 7]), -ENOMEM);
+    // Reap requires zombie.
+    assert_eq!(k.sys(Sysno::Reap, &[2]), -EINVAL);
+    // Kill the embryo child, reclaim its pages, reap it.
+    assert_eq!(k.sys(Sysno::Kill, &[2]), 0);
+    assert_eq!(k.get("procs", 2, "state", 0), proc_state::ZOMBIE);
+    assert_eq!(k.sys(Sysno::Reap, &[2]), -EBUSY); // pages not reclaimed
+    for pn in [3, 4, 5] {
+        assert_eq!(k.sys(Sysno::ReclaimPage, &[pn]), 0);
+    }
+    assert_eq!(k.sys(Sysno::Reap, &[2]), 0);
+    assert_eq!(k.get("procs", 2, "state", 0), proc_state::FREE);
+    assert_eq!(k.get("procs", 1, "nr_children", 0), 0);
+    // Pages are free again.
+    assert_eq!(k.get("page_desc", 3, "ty", 0), page_type::FREE);
+}
+
+#[test]
+fn switch_and_yield_round_robin() {
+    let mut k = K::new();
+    k.spawn(2, 3, 4, 5);
+    k.spawn(3, 6, 7, 8);
+    assert_eq!(k.current(), 1);
+    // Yield follows the ready list.
+    assert_eq!(k.sys(Sysno::Yield, &[]), 0);
+    let a = k.current();
+    assert_ne!(a, 1);
+    // Explicit switch back to init.
+    assert_eq!(k.sys(Sysno::Switch, &[1]), 0);
+    assert_eq!(k.current(), 1);
+    // Switch to a non-runnable target fails.
+    assert_eq!(k.sys(Sysno::Switch, &[5]), -EINVAL);
+    assert_eq!(k.sys(Sysno::Switch, &[1]), -EINVAL); // already running
+    // Timer round-robins through everything runnable.
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..6 {
+        seen.insert(k.current());
+        k.sys(Sysno::TrapTimer, &[]);
+    }
+    assert_eq!(seen.len(), 3, "all three processes got the CPU: {seen:?}");
+}
+
+#[test]
+fn kill_permissions_and_successors() {
+    let mut k = K::new();
+    k.spawn(2, 3, 4, 5);
+    k.spawn(3, 6, 7, 8);
+    // Init cannot be killed.
+    assert_eq!(k.sys(Sysno::Kill, &[1]), -EPERM);
+    // Switch to 2; killing 3 from 2 is not allowed (not its child).
+    assert_eq!(k.sys(Sysno::Switch, &[2]), 0);
+    assert_eq!(k.sys(Sysno::Kill, &[3]), -EPERM);
+    // Kill self: successor takes over.
+    assert_eq!(k.sys(Sysno::Kill, &[2]), 0);
+    assert_ne!(k.current(), 2);
+    assert_eq!(k.get("procs", 2, "state", 0), proc_state::ZOMBIE);
+}
+
+#[test]
+fn reparent_moves_children_to_init() {
+    let mut k = K::new();
+    k.spawn(2, 3, 4, 5);
+    // 2 spawns its own child 3.
+    assert_eq!(k.sys(Sysno::Switch, &[2]), 0);
+    k.spawn(3, 6, 7, 8);
+    assert_eq!(k.get("procs", 2, "nr_children", 0), 1);
+    // 2 dies; its child must be reparented before reaping.
+    assert_eq!(k.sys(Sysno::Kill, &[2]), 0);
+    assert_eq!(k.sys(Sysno::Switch, &[1]), 0);
+    for pn in [3, 4, 5] {
+        assert_eq!(k.sys(Sysno::ReclaimPage, &[pn]), 0);
+    }
+    assert_eq!(k.sys(Sysno::Reap, &[2]), -EBUSY); // still has a child
+    assert_eq!(k.sys(Sysno::Reparent, &[3]), 0);
+    assert_eq!(k.get("procs", 3, "ppid", 0), INIT_PID);
+    assert_eq!(k.get("procs", 1, "nr_children", 0), 2);
+    assert_eq!(k.sys(Sysno::Reap, &[2]), 0);
+}
+
+// ---------------------------------------------------------------------
+// Virtual memory.
+// ---------------------------------------------------------------------
+
+#[test]
+fn page_table_chain_and_walk() {
+    let mut k = K::new();
+    let all = PTE_P | PTE_W | PTE_U;
+    // Build a full mapping under init's pml4 (page 0): indices 1/2/3/4.
+    assert_eq!(k.sys(Sysno::AllocPdpt, &[1, 0, 1, 9, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPd, &[1, 9, 2, 10, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPt, &[1, 10, 3, 11, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 4, 12, all]), 0);
+    assert_eq!(k.get("page_desc", 12, "ty", 0), page_type::FRAME);
+    assert_eq!(k.get("page_desc", 12, "parent_pn", 0), 11);
+    assert_eq!(k.get("page_desc", 12, "parent_idx", 0), 4);
+    // The hardware walker resolves the va to frame 12.
+    let params = test_params();
+    let va = join_va(&params, [1, 2, 3, 4], 0);
+    let t =
+        hk_vm::paging::walk(&k.machine.phys, &k.machine.map, 0, va, AccessKind::Write)
+            .expect("walk succeeds");
+    assert_eq!(t.pfn, 12);
+    // Occupied slot is rejected.
+    assert_eq!(k.sys(Sysno::AllocPdpt, &[1, 0, 1, 13, all]), -EBUSY);
+    // Protect to read-only: writes fault, reads survive.
+    assert_eq!(k.sys(Sysno::ProtectFrame, &[11, 4, 12, PTE_P | PTE_U]), 0);
+    assert!(
+        hk_vm::paging::walk(&k.machine.phys, &k.machine.map, 0, va, AccessKind::Write)
+            .is_err()
+    );
+    assert!(
+        hk_vm::paging::walk(&k.machine.phys, &k.machine.map, 0, va, AccessKind::Read)
+            .is_ok()
+    );
+    // Free bottom-up.
+    assert_eq!(k.sys(Sysno::FreeFrame, &[11, 4, 12]), 0);
+    assert_eq!(k.sys(Sysno::FreePt, &[10, 3, 11]), 0);
+    assert_eq!(k.sys(Sysno::FreePd, &[9, 2, 10]), 0);
+    assert_eq!(k.sys(Sysno::FreePdpt, &[0, 1, 9]), 0);
+    assert_eq!(k.get("procs", 1, "nr_pages", 0), 3);
+    // Wrong-order free is rejected (entry no longer matches).
+    assert_eq!(k.sys(Sysno::FreePdpt, &[0, 1, 9]), -EINVAL);
+}
+
+#[test]
+fn frames_zeroed_on_alloc() {
+    let mut k = K::new();
+    let all = PTE_P | PTE_W | PTE_U;
+    assert_eq!(k.sys(Sysno::AllocPdpt, &[1, 0, 0, 9, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPd, &[1, 9, 0, 10, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPt, &[1, 10, 0, 11, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 0, 12, all]), 0);
+    // Scribble into the frame, free it, reallocate: must be zeroed.
+    k.kernel.write_global(&mut k.machine, "pages", 12, "word", 3, 0x5ec3e7);
+    assert_eq!(k.sys(Sysno::FreeFrame, &[11, 0, 12]), 0);
+    assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 0, 12, all]), 0);
+    assert_eq!(k.get("pages", 12, "word", 3), 0, "no data leaks across owners");
+}
+
+#[test]
+fn copy_frame_semantics() {
+    let mut k = K::new();
+    let all = PTE_P | PTE_W | PTE_U;
+    assert_eq!(k.sys(Sysno::AllocPdpt, &[1, 0, 0, 9, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPd, &[1, 9, 0, 10, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPt, &[1, 10, 0, 11, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 0, 12, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 1, 13, all]), 0);
+    k.kernel.write_global(&mut k.machine, "pages", 12, "word", 2, 99);
+    assert_eq!(k.sys(Sysno::CopyFrame, &[12, 13]), 0);
+    assert_eq!(k.get("pages", 13, "word", 2), 99);
+    // Copying from a non-frame is rejected.
+    assert_eq!(k.sys(Sysno::CopyFrame, &[11, 13]), -EINVAL);
+}
+
+#[test]
+fn reclaim_clears_parent_entries() {
+    let mut k = K::new();
+    let all = PTE_P | PTE_W | PTE_U;
+    k.spawn(2, 3, 4, 5);
+    // Child builds a mapping (init acts for its embryo... child is
+    // runnable now, so switch to it).
+    assert_eq!(k.sys(Sysno::Switch, &[2]), 0);
+    assert_eq!(k.sys(Sysno::AllocPdpt, &[2, 3, 0, 9, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPd, &[2, 9, 0, 10, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPt, &[2, 10, 0, 11, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocFrame, &[2, 11, 0, 12, all]), 0);
+    assert_eq!(k.sys(Sysno::Kill, &[2]), 0); // back to init
+    // Reclaim out of order: frame's parent PT entry is cleared.
+    assert_eq!(k.sys(Sysno::ReclaimPage, &[12]), 0);
+    assert_eq!(k.get("pages", 11, "word", 0), 0);
+    // Reclaim the PT before the PD: PD's entry cleared too.
+    assert_eq!(k.sys(Sysno::ReclaimPage, &[11]), 0);
+    assert_eq!(k.get("pages", 10, "word", 0), 0);
+    for pn in [9, 10, 3, 4, 5] {
+        assert_eq!(k.sys(Sysno::ReclaimPage, &[pn]), 0, "pn {pn}");
+    }
+    assert_eq!(k.sys(Sysno::Reap, &[2]), 0);
+    // Reclaiming a live process's page is rejected.
+    assert_eq!(k.sys(Sysno::ReclaimPage, &[0]), -EPERM);
+}
+
+#[test]
+fn dma_map_and_reclaim() {
+    let mut k = K::new();
+    let all = PTE_P | PTE_W | PTE_U;
+    assert_eq!(k.sys(Sysno::AllocPdpt, &[1, 0, 0, 9, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPd, &[1, 9, 0, 10, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPt, &[1, 10, 0, 11, all]), 0);
+    // Map DMA page 2 at PT slot 5.
+    assert_eq!(k.sys(Sysno::MapDmaPage, &[1, 11, 5, 2, all]), 0);
+    assert_eq!(k.get("dma_desc", 2, "owner", 0), 1);
+    assert_eq!(k.get("procs", 1, "nr_dmapages", 0), 1);
+    // Double CPU mapping rejected.
+    assert_eq!(k.sys(Sysno::MapDmaPage, &[1, 11, 6, 2, all]), -EBUSY);
+    // The PTE points into the DMA pfn space.
+    let params = test_params();
+    let entry = k.get("pages", 11, "word", 5);
+    assert_eq!(pte_pfn(entry), params.nr_pages as i64 + 2);
+    // Unmapping releases ownership (no IOMMU mapping exists).
+    let dma_pfn = params.nr_pages as i64 + 2;
+    assert_eq!(k.sys(Sysno::FreeFrame, &[11, 5, dma_pfn]), 0);
+    assert_eq!(k.get("dma_desc", 2, "owner", 0), 0);
+    assert_eq!(k.get("procs", 1, "nr_dmapages", 0), 0);
+}
+
+// ---------------------------------------------------------------------
+// File descriptors and pipes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn create_close_dup() {
+    let mut k = K::new();
+    // create_file(fd, fileid, ty, value, omode)
+    assert_eq!(
+        k.sys(Sysno::CreateFile, &[0, 4, file_type::INODE, 77, omode::READ]),
+        0
+    );
+    assert_eq!(k.get("files", 4, "refcnt", 0), 1);
+    assert_eq!(k.get("procs", 1, "ofile", 0), 4);
+    assert_eq!(k.get("procs", 1, "nr_fds", 0), 1);
+    // dup onto a chosen fd.
+    assert_eq!(k.sys(Sysno::Dup, &[0, 3]), 0);
+    assert_eq!(k.get("files", 4, "refcnt", 0), 2);
+    // dup onto an occupied fd fails (the paper's finite dup).
+    assert_eq!(k.sys(Sysno::Dup, &[0, 3]), -EBUSY);
+    assert_eq!(k.sys(Sysno::Dup, &[7, 5]), -EBADF);
+    assert_eq!(k.sys(Sysno::Dup, &[0, 99]), -EBADF);
+    // close drops references; slot resets at zero.
+    assert_eq!(k.sys(Sysno::Close, &[0]), 0);
+    assert_eq!(k.get("files", 4, "refcnt", 0), 1);
+    assert_eq!(k.sys(Sysno::Close, &[3]), 0);
+    assert_eq!(k.get("files", 4, "refcnt", 0), 0);
+    assert_eq!(k.get("files", 4, "ty", 0), file_type::NONE);
+    assert_eq!(k.sys(Sysno::Close, &[3]), -EBADF);
+}
+
+#[test]
+fn dup2_closes_target() {
+    let mut k = K::new();
+    assert_eq!(
+        k.sys(Sysno::CreateFile, &[0, 1, file_type::INODE, 7, omode::READ]),
+        0
+    );
+    assert_eq!(
+        k.sys(Sysno::CreateFile, &[1, 2, file_type::INODE, 8, omode::READ]),
+        0
+    );
+    // dup2 over an open fd closes it first.
+    assert_eq!(k.sys(Sysno::Dup2, &[0, 1]), 0);
+    assert_eq!(k.get("procs", 1, "ofile", 1), 1);
+    assert_eq!(k.get("files", 2, "refcnt", 0), 0);
+    assert_eq!(k.get("files", 2, "ty", 0), file_type::NONE);
+    assert_eq!(k.get("files", 1, "refcnt", 0), 2);
+    assert_eq!(k.get("procs", 1, "nr_fds", 0), 2);
+    // dup2 onto itself is a no-op.
+    assert_eq!(k.sys(Sysno::Dup2, &[0, 0]), 0);
+    assert_eq!(k.get("files", 1, "refcnt", 0), 2);
+}
+
+#[test]
+fn pipe_data_flow() {
+    let mut k = K::new();
+    let params = test_params();
+    let all = PTE_P | PTE_W | PTE_U;
+    // A frame to move data through.
+    assert_eq!(k.sys(Sysno::AllocPdpt, &[1, 0, 0, 9, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPd, &[1, 9, 0, 10, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPt, &[1, 10, 0, 11, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 0, 12, all]), 0);
+    // pipe(fd0=read, fileid0, fd1=write, fileid1, pipeid)
+    assert_eq!(k.sys(Sysno::Pipe, &[0, 0, 1, 1, 2]), 0);
+    assert_eq!(k.get("pipes", 2, "nr_ends", 0), 2);
+    // Write 3 words from frame 12.
+    for (i, v) in [11, 22, 33].iter().enumerate() {
+        k.kernel
+            .write_global(&mut k.machine, "pages", 12, "word", i as u64, *v);
+    }
+    assert_eq!(k.sys(Sysno::PipeWrite, &[1, 12, 0, 3]), 3);
+    assert_eq!(k.get("pipes", 2, "count", 0), 3);
+    // Reading through the write end fails; the read end succeeds.
+    assert_eq!(k.sys(Sysno::PipeRead, &[1, 12, 0, 1]), -EBADF);
+    assert_eq!(k.sys(Sysno::PipeRead, &[0, 12, 4, 2]), 2);
+    assert_eq!(k.get("pages", 12, "word", 4), 11);
+    assert_eq!(k.get("pages", 12, "word", 5), 22);
+    // All-or-nothing: more than buffered is EAGAIN.
+    assert_eq!(k.sys(Sysno::PipeRead, &[0, 12, 0, 2]), -EAGAIN);
+    // Overfilling is EAGAIN (capacity pipe_words).
+    let cap = params.pipe_words as i64;
+    assert_eq!(k.sys(Sysno::PipeWrite, &[1, 12, 0, cap]), -EAGAIN);
+    // Close the write end: EOF on empty read.
+    assert_eq!(k.sys(Sysno::PipeRead, &[0, 12, 0, 1]), 1); // drain last word
+    assert_eq!(k.sys(Sysno::Close, &[1]), 0);
+    assert_eq!(k.get("pipes", 2, "nr_ends", 0), 1);
+    assert_eq!(k.sys(Sysno::PipeRead, &[0, 12, 0, 1]), 0); // EOF
+    // Writing with no reader: EPIPE.
+    assert_eq!(k.sys(Sysno::Close, &[0]), 0);
+    assert_eq!(k.get("pipes", 2, "nr_ends", 0), 0);
+    assert_eq!(k.sys(Sysno::Pipe, &[0, 0, 1, 1, 2]), 0);
+    assert_eq!(k.sys(Sysno::Close, &[0]), 0); // close read end
+    assert_eq!(k.sys(Sysno::PipeWrite, &[1, 12, 0, 1]), -EPIPE);
+}
+
+// ---------------------------------------------------------------------
+// IPC.
+// ---------------------------------------------------------------------
+
+#[test]
+fn send_recv_with_page_and_fd() {
+    let mut k = K::new();
+    let all = PTE_P | PTE_W | PTE_U;
+    k.spawn(2, 3, 4, 5);
+    // Give both processes a frame.
+    assert_eq!(k.sys(Sysno::AllocPdpt, &[1, 0, 0, 9, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPd, &[1, 9, 0, 10, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPt, &[1, 10, 0, 11, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 0, 12, all]), 0);
+    assert_eq!(k.sys(Sysno::Switch, &[2]), 0);
+    assert_eq!(k.sys(Sysno::AllocPdpt, &[2, 3, 0, 13, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPd, &[2, 13, 0, 14, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocPt, &[2, 14, 0, 15, all]), 0);
+    assert_eq!(k.sys(Sysno::AllocFrame, &[2, 15, 0, 16, all]), 0);
+    // 2 also opens a file to receive an fd into slot 6... recv declares it.
+    // 2 blocks receiving from anyone into frame 16, fd slot 6.
+    assert_eq!(k.sys(Sysno::Recv, &[0, 16, 6]), 0);
+    assert_eq!(k.get("procs", 2, "state", 0), proc_state::SLEEPING);
+    assert_eq!(k.current(), 1);
+    // Init prepares data + an fd and sends.
+    for i in 0..3u64 {
+        k.kernel
+            .write_global(&mut k.machine, "pages", 12, "word", i, 100 + i as i64);
+    }
+    assert_eq!(
+        k.sys(Sysno::CreateFile, &[2, 5, file_type::INODE, 42, omode::READ]),
+        0
+    );
+    // send(pid, val, pn, size, fd)
+    assert_eq!(k.sys(Sysno::Send, &[2, 7777, 12, 3, 2]), 0);
+    assert_eq!(k.get("procs", 2, "state", 0), proc_state::RUNNABLE);
+    // Payload arrived in 2's frame.
+    assert_eq!(k.get("pages", 16, "word", 0), 100);
+    assert_eq!(k.get("pages", 16, "word", 2), 102);
+    // Message registers in 2's hvm page (page 4).
+    assert_eq!(k.get("pages", 4, "word", 0), 7777);
+    assert_eq!(k.get("pages", 4, "word", 1), 3);
+    assert_eq!(k.get("pages", 4, "word", 2), 1);
+    assert_eq!(k.get("pages", 4, "word", 3), 1);
+    // The fd landed in 2's slot 6 and the file refcnt rose.
+    assert_eq!(k.get("procs", 2, "ofile", 6), 5);
+    assert_eq!(k.get("files", 5, "refcnt", 0), 2);
+    // Sending again: receiver not sleeping -> EAGAIN.
+    assert_eq!(k.sys(Sysno::Send, &[2, 1, -1, 0, -1]), -EAGAIN);
+}
+
+#[test]
+fn recv_refuses_to_deadlock() {
+    let mut k = K::new();
+    // Init is alone; blocking would halt the machine.
+    assert_eq!(k.sys(Sysno::Recv, &[0, -1, -1]), -EAGAIN);
+    assert_eq!(k.current(), 1);
+}
+
+#[test]
+fn reply_wait_donates_cpu() {
+    let mut k = K::new();
+    k.spawn(2, 3, 4, 5);
+    // 2 acts as a client: blocks waiting for the server's reply.
+    assert_eq!(k.sys(Sysno::Switch, &[2]), 0);
+    assert_eq!(k.sys(Sysno::Recv, &[1, -1, -1]), 0);
+    assert_eq!(k.current(), 1);
+    // Init replies and waits for the next request; CPU goes to 2.
+    assert_eq!(k.sys(Sysno::ReplyWait, &[2, 555, -1, 0, -1]), 0);
+    assert_eq!(k.current(), 2);
+    assert_eq!(k.get("procs", 1, "state", 0), proc_state::SLEEPING);
+    assert_eq!(k.get("pages", 4, "word", 0), 555);
+    // 2 sends back; init wakes.
+    assert_eq!(k.sys(Sysno::Send, &[1, 666, -1, 0, -1]), 0);
+    assert_eq!(k.get("procs", 1, "state", 0), proc_state::RUNNABLE);
+}
+
+#[test]
+fn transfer_fd_to_embryo() {
+    let mut k = K::new();
+    assert_eq!(
+        k.sys(Sysno::CreateFile, &[0, 0, file_type::INODE, 9, omode::READ]),
+        0
+    );
+    assert_eq!(k.sys(Sysno::CloneProc, &[2, 3, 4, 5]), 0);
+    // Clone inherits the parent's FD table (xv6 fork semantics): the
+    // child already holds fd 0, and the file gained a reference.
+    assert_eq!(k.get("procs", 2, "ofile", 0), 0);
+    assert_eq!(k.get("files", 0, "refcnt", 0), 2);
+    assert_eq!(k.get("procs", 2, "nr_fds", 0), 1);
+    // An explicit transfer grants another copy at a chosen slot.
+    assert_eq!(k.sys(Sysno::TransferFd, &[2, 0, 1]), 0);
+    assert_eq!(k.get("procs", 2, "ofile", 1), 0);
+    assert_eq!(k.get("files", 0, "refcnt", 0), 3);
+    assert_eq!(k.get("procs", 2, "nr_fds", 0), 2);
+    // Occupied target slot is rejected.
+    assert_eq!(k.sys(Sysno::TransferFd, &[2, 0, 1]), -EBUSY);
+    // Only embryo children accept transfers.
+    assert_eq!(k.sys(Sysno::SetRunnable, &[2]), 0);
+    assert_eq!(k.sys(Sysno::TransferFd, &[2, 0, 2]), -EINVAL);
+}
+
+// ---------------------------------------------------------------------
+// IOMMU, ports, vectors, interrupt remapping.
+// ---------------------------------------------------------------------
+
+#[test]
+fn iommu_table_and_dma_isolation() {
+    let mut k = K::new();
+    let params = test_params();
+    let pw = PTE_P | PTE_W;
+    // Attach device 0 with root page 9, build a walk to DMA page 1.
+    assert_eq!(k.sys(Sysno::AllocIommuRoot, &[0, 9]), 0);
+    assert_eq!(k.get("devs", 0, "owner", 0), 1);
+    assert_eq!(k.get("page_desc", 9, "devid", 0), 0);
+    assert_eq!(k.sys(Sysno::AllocIommuPdpt, &[9, 0, 10, pw]), 0);
+    assert_eq!(k.sys(Sysno::AllocIommuPd, &[10, 0, 11, pw]), 0);
+    assert_eq!(k.sys(Sysno::AllocIommuPt, &[11, 0, 12, pw]), 0);
+    assert_eq!(k.sys(Sysno::AllocIommuFrame, &[12, 0, 1, pw]), 0);
+    assert_eq!(k.get("dma_desc", 1, "owner", 0), 1);
+    // The machine's IOMMU (mirrored by glue) can now walk dva 0.
+    let addr = k
+        .machine
+        .iommu
+        .walk(&k.machine.phys, &k.machine.map, 0, 0, true)
+        .expect("DMA translates");
+    assert_eq!(addr, k.machine.map.dma_page_addr(1));
+    // Reclaiming the root while the device table references it: blocked.
+    assert_eq!(k.sys(Sysno::Kill, &[1]), -EPERM); // (can't kill init; use direct check below)
+    // Detach requires no intremaps and clears the backref.
+    assert_eq!(k.sys(Sysno::FreeIommuRoot, &[0, 9]), 0);
+    assert_eq!(k.get("devs", 0, "owner", 0), 0);
+    assert_eq!(k.get("page_desc", 9, "devid", 0), PARENT_NONE);
+    assert_eq!(k.get("procs", 1, "nr_devs", 0), 0);
+    // The hardware mirror dropped the root too.
+    assert!(k
+        .machine
+        .iommu
+        .walk(&k.machine.phys, &k.machine.map, 0, 0, true)
+        .is_err());
+    let _ = params;
+}
+
+#[test]
+fn iommu_lifetime_bug_ordering_enforced() {
+    // The §6.1 bug: reclaiming IOMMU pages while the device-table entry
+    // still references them. Our kernel refuses.
+    let mut k = K::new();
+    let pw = PTE_P | PTE_W;
+    k.spawn(2, 3, 4, 5);
+    assert_eq!(k.sys(Sysno::Switch, &[2]), 0);
+    assert_eq!(k.sys(Sysno::AllocIommuRoot, &[0, 9]), 0);
+    assert_eq!(k.sys(Sysno::AllocIommuPdpt, &[9, 0, 10, pw]), 0);
+    assert_eq!(k.sys(Sysno::Kill, &[2]), 0); // zombie with live device entry
+    // Root reclaim is blocked by the devid backref.
+    assert_eq!(k.sys(Sysno::ReclaimPage, &[9]), -EBUSY);
+    // Detach (allowed on a zombie's device), then reclaim succeeds.
+    assert_eq!(k.sys(Sysno::FreeIommuRoot, &[0, 9]), 0);
+    assert_eq!(k.sys(Sysno::ReclaimPage, &[9]), 0);
+    assert_eq!(k.sys(Sysno::ReclaimPage, &[10]), 0);
+}
+
+#[test]
+fn ports_vectors_intremaps() {
+    let mut k = K::new();
+    assert_eq!(k.sys(Sysno::AllocPort, &[3]), 0);
+    assert_eq!(k.sys(Sysno::AllocPort, &[3]), -EBUSY);
+    assert_eq!(k.get("procs", 1, "nr_ports", 0), 1);
+    assert_eq!(k.sys(Sysno::AllocVector, &[5]), 0);
+    assert_eq!(k.sys(Sysno::AllocIommuRoot, &[1, 9]), 0);
+    // Remap device 1 interrupts to vector 5.
+    assert_eq!(k.sys(Sysno::AllocIntremap, &[0, 1, 5]), 0);
+    assert_eq!(k.get("vectors", 5, "intremap_refcnt", 0), 1);
+    assert_eq!(k.get("devs", 1, "intremap_refcnt", 0), 1);
+    // Vector reclaim blocked while routed (the paper's intremap bug).
+    assert_eq!(k.sys(Sysno::ReclaimVector, &[5]), -EBUSY);
+    assert_eq!(k.sys(Sysno::FreeIommuRoot, &[1, 9]), -EBUSY);
+    // An interrupt arrives: pending bit set for the owner.
+    assert_eq!(k.sys(Sysno::TrapIrq, &[5]), 0);
+    assert_eq!(k.get("procs", 1, "intr_pending", 0), 1 << 5);
+    // Owner acknowledges.
+    assert_eq!(k.sys(Sysno::AckIntr, &[5]), 1);
+    assert_eq!(k.sys(Sysno::AckIntr, &[5]), 0);
+    assert_eq!(k.get("procs", 1, "intr_pending", 0), 0);
+    // Unrouted vector interrupt is dropped.
+    assert_eq!(k.sys(Sysno::TrapIrq, &[6]), -EINVAL);
+    // Tear down in order.
+    assert_eq!(k.sys(Sysno::ReclaimIntremap, &[0]), 0);
+    assert_eq!(k.sys(Sysno::ReclaimVector, &[5]), 0);
+    assert_eq!(k.sys(Sysno::FreeIommuRoot, &[1, 9]), 0);
+    assert_eq!(k.sys(Sysno::ReclaimPort, &[3]), 0);
+    assert_eq!(k.get("procs", 1, "nr_ports", 0), 0);
+    assert_eq!(k.get("procs", 1, "nr_vectors", 0), 0);
+    assert_eq!(k.get("procs", 1, "nr_intremaps", 0), 0);
+}
+
+// ---------------------------------------------------------------------
+// Traps.
+// ---------------------------------------------------------------------
+
+#[test]
+fn triple_fault_kills_current() {
+    let mut k = K::new();
+    k.spawn(2, 3, 4, 5);
+    assert_eq!(k.sys(Sysno::Switch, &[2]), 0);
+    assert_eq!(k.sys(Sysno::TrapTripleFault, &[]), 0);
+    assert_eq!(k.get("procs", 2, "state", 0), proc_state::ZOMBIE);
+    assert_eq!(k.current(), 1);
+}
+
+#[test]
+fn debug_print_and_invalid() {
+    let mut k = K::new();
+    assert_eq!(k.sys(Sysno::TrapDebugPrint, &[b'h' as i64]), b'h' as i64);
+    assert_eq!(k.sys(Sysno::TrapDebugPrint, &[b'i' as i64]), b'i' as i64);
+    assert_eq!(k.machine.console.text(), "hi");
+    assert_eq!(k.sys(Sysno::TrapInvalid, &[]), -EINVAL);
+}

@@ -1,0 +1,288 @@
+//! A small monolithic Unix-like kernel — the Linux-shaped baseline the
+//! runtime evaluation compares against (paper §6.4, Figure 10).
+//!
+//! It runs on the same [`hk_vm`] machine substrate as Hyperkernel, but
+//! makes the *conventional* design choices the paper measures against:
+//!
+//! * user and kernel share one address space, so system calls enter via
+//!   `syscall`/`sysret` with **no page-table switch and no TLB flush**;
+//! * exceptions always enter the kernel first; user-level handlers are
+//!   reached by a **signal upcall** and return with `sigreturn`;
+//! * memory permissions change through an `mprotect` system call that
+//!   the kernel services by editing PTEs and issuing INVLPG.
+//!
+//! The benchmarks of Figure 10 (null syscall, user fault dispatch, and
+//! the Appel–Li `prot1`/`protN` memory-management patterns) exercise
+//! exactly these paths on both kernels.
+
+use hk_abi::{pte_encode, KernelParams, PTE_P, PTE_U, PTE_W};
+use hk_vm::paging::{join_va, split_va, PageFault, VirtAddr};
+use hk_vm::{CostModel, Machine};
+
+/// Cycle cost of the kernel work in a trivial syscall (`gettid`-class):
+/// argument fetch, task-struct lookup, return. Chosen so the total null
+/// syscall cost lands near Figure 10's Linux row (125 cycles on Kaby
+/// Lake: 69 for `syscall`/`sysret` + ~56 of kernel work).
+const NULL_SYSCALL_WORK: u64 = 56;
+/// Kernel work to service an mprotect on one page (find VMA, edit PTE).
+const MPROTECT_WORK: u64 = 180;
+/// Kernel work on the page-fault path before the upcall decision
+/// (fault decoding, VMA lookup, signal setup).
+const FAULT_WORK: u64 = 700;
+
+/// A process as the baseline kernel sees it.
+#[derive(Debug, Clone)]
+struct MonoProc {
+    root_pn: u64,
+    /// Whether a user SIGSEGV handler is installed.
+    has_handler: bool,
+}
+
+/// The monolithic baseline kernel plus its machine.
+#[derive(Debug)]
+pub struct MonoSys {
+    /// The machine (public for cycle accounting in benches).
+    pub machine: Machine,
+    procs: Vec<MonoProc>,
+    /// The running process index.
+    pub current: usize,
+    next_free_page: u64,
+    /// Count of signal upcalls delivered (for tests).
+    pub signals_delivered: u64,
+}
+
+impl MonoSys {
+    /// Boots the baseline kernel with one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid.
+    pub fn boot(params: KernelParams, cost: CostModel) -> MonoSys {
+        assert!(params.validate());
+        // Reserve a small kernel region like Hyperkernel's layout.
+        let mut sys = MonoSys {
+            machine: Machine::new(params, 4096, cost),
+            procs: Vec::new(),
+            current: 0,
+            next_free_page: 0,
+            signals_delivered: 0,
+        };
+        let root = sys.alloc_page();
+        sys.procs.push(MonoProc {
+            root_pn: root,
+            has_handler: false,
+        });
+        sys.machine.set_cr3(root);
+        sys
+    }
+
+    fn alloc_page(&mut self) -> u64 {
+        let pn = self.next_free_page;
+        assert!(
+            pn < self.machine.params().nr_pages,
+            "baseline kernel out of pages"
+        );
+        self.next_free_page += 1;
+        pn
+    }
+
+    /// The null system call (`gettid`-class): enter, trivial work, leave.
+    /// No address-space switch — the whole point of the comparison.
+    pub fn sys_nop(&mut self) -> i64 {
+        self.machine.charge_syscall_roundtrip();
+        self.machine.charge_kernel_work(NULL_SYSCALL_WORK);
+        self.current as i64
+    }
+
+    /// `mmap`-class: map a fresh zeroed page at `va` (building
+    /// intermediate tables as needed), writable + user.
+    pub fn sys_mmap_page(&mut self, va: VirtAddr) -> Result<(), &'static str> {
+        self.machine.charge_syscall_roundtrip();
+        self.machine.charge_kernel_work(MPROTECT_WORK);
+        let frame = self.alloc_page();
+        self.map_page(va, frame, PTE_P | PTE_W | PTE_U)
+    }
+
+    /// `mprotect`-class: change one page's writability. The kernel edits
+    /// the PTE and invalidates the TLB entry.
+    pub fn sys_mprotect(&mut self, va: VirtAddr, writable: bool) -> Result<(), &'static str> {
+        self.machine.charge_syscall_roundtrip();
+        self.machine.charge_kernel_work(MPROTECT_WORK);
+        let params = *self.machine.params();
+        let (idx, _) = split_va(&params, va).ok_or("non-canonical va")?;
+        let root = self.procs[self.current].root_pn;
+        let mut table = root;
+        for (level, &i) in idx.iter().enumerate() {
+            let addr = self.machine.map.ram_page_addr(table) + i;
+            let entry = self.machine.phys.read(addr);
+            if entry & PTE_P == 0 {
+                return Err("unmapped");
+            }
+            if level == 3 {
+                let pfn = hk_abi::pte_pfn(entry);
+                let perm = if writable {
+                    PTE_P | PTE_W | PTE_U
+                } else {
+                    PTE_P | PTE_U
+                };
+                self.machine.phys.write(addr, pte_encode(pfn, perm));
+                self.machine.invlpg(va);
+            } else {
+                table = hk_abi::pte_pfn(entry) as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers a user SIGSEGV handler.
+    pub fn sys_sigaction(&mut self) {
+        self.machine.charge_syscall_roundtrip();
+        self.machine.charge_kernel_work(40);
+        self.procs[self.current].has_handler = true;
+    }
+
+    /// User-mode read. On fault, the kernel-mediated path runs: kernel
+    /// entry + signal upcall to the user handler (if any).
+    pub fn user_read(&mut self, va: VirtAddr) -> Result<i64, PageFault> {
+        match self.machine.guest_read(va) {
+            Ok(v) => Ok(v),
+            Err(f) => {
+                self.deliver_fault();
+                Err(f)
+            }
+        }
+    }
+
+    /// User-mode write; fault handling as in [`MonoSys::user_read`].
+    pub fn user_write(&mut self, va: VirtAddr, val: i64) -> Result<(), PageFault> {
+        match self.machine.guest_write(va, val) {
+            Ok(()) => Ok(()),
+            Err(f) => {
+                self.deliver_fault();
+                Err(f)
+            }
+        }
+    }
+
+    /// The baseline fault path: exception into the kernel, fault
+    /// decoding, then a signal upcall to user space and the eventual
+    /// sigreturn. Compare `hk_kernel`'s direct user delivery.
+    fn deliver_fault(&mut self) {
+        self.machine.charge_fault_kernel_entry();
+        self.machine.charge_kernel_work(FAULT_WORK);
+        if self.procs[self.current].has_handler {
+            self.machine.charge_signal_upcall();
+            self.signals_delivered += 1;
+        }
+    }
+
+    fn map_page(&mut self, va: VirtAddr, frame: u64, perm: i64) -> Result<(), &'static str> {
+        let params = *self.machine.params();
+        let (idx, _) = split_va(&params, va).ok_or("non-canonical va")?;
+        let root = self.procs[self.current].root_pn;
+        let mut table = root;
+        for (level, &i) in idx.iter().enumerate() {
+            let addr = self.machine.map.ram_page_addr(table) + i;
+            let entry = self.machine.phys.read(addr);
+            if level == 3 {
+                self.machine.phys.write(addr, pte_encode(frame as i64, perm));
+                return Ok(());
+            }
+            if entry & PTE_P == 0 {
+                let next = self.alloc_page();
+                self.machine
+                    .phys
+                    .write(addr, pte_encode(next as i64, PTE_P | PTE_W | PTE_U));
+                table = next;
+            } else {
+                table = hk_abi::pte_pfn(entry) as u64;
+            }
+        }
+        unreachable!()
+    }
+
+    /// Convenience for benchmarks: a user virtual address for page `n`.
+    pub fn page_va(&self, n: u64) -> VirtAddr {
+        let params = self.machine.params();
+        let k = params.page_words.trailing_zeros() as u64;
+        let per_pt = 1u64 << k;
+        join_va(
+            params,
+            [0, 0, n / per_pt, n % per_pt],
+            0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> MonoSys {
+        MonoSys::boot(KernelParams::verification(), CostModel::default_model())
+    }
+
+    #[test]
+    fn null_syscall_is_cheap() {
+        let mut s = sys();
+        let before = s.machine.cycles.total;
+        s.sys_nop();
+        let cost = s.machine.cycles.total - before;
+        // Figure 10 Linux row: 125 cycles on Kaby Lake.
+        assert_eq!(cost, 69 + 56);
+    }
+
+    #[test]
+    fn mmap_and_access() {
+        let mut s = sys();
+        let va = s.page_va(1);
+        s.sys_mmap_page(va).unwrap();
+        s.user_write(va + 2, 77).unwrap();
+        assert_eq!(s.user_read(va + 2).unwrap(), 77);
+    }
+
+    #[test]
+    fn mprotect_blocks_writes_then_allows() {
+        let mut s = sys();
+        let va = s.page_va(1);
+        s.sys_mmap_page(va).unwrap();
+        s.sys_mprotect(va, false).unwrap();
+        assert!(s.user_write(va, 1).is_err());
+        assert!(s.user_read(va).is_ok());
+        s.sys_mprotect(va, true).unwrap();
+        assert!(s.user_write(va, 1).is_ok());
+    }
+
+    #[test]
+    fn faults_are_kernel_mediated() {
+        let mut s = sys();
+        let va = s.page_va(1);
+        s.sys_mmap_page(va).unwrap();
+        s.sys_mprotect(va, false).unwrap();
+        s.sys_sigaction();
+        let before = s.machine.cycles.total;
+        let _ = s.user_write(va, 1);
+        let cost = s.machine.cycles.total - before;
+        assert_eq!(s.signals_delivered, 1);
+        // Kernel entry + fault work + signal upcall dominate: the paper's
+        // Linux fault row is ~2900 cycles; ours must be the same order.
+        assert!(cost > 2000, "fault path too cheap: {cost}");
+        assert!(cost < 6000, "fault path too expensive: {cost}");
+    }
+
+    #[test]
+    fn syscall_does_not_flush_tlb() {
+        let mut s = sys();
+        let va = s.page_va(1);
+        s.sys_mmap_page(va).unwrap();
+        s.user_read(va).unwrap();
+        let (_, misses_before, _) = s.machine.tlb_stats();
+        s.sys_nop();
+        s.user_read(va).unwrap();
+        let (_, misses_after, _) = s.machine.tlb_stats();
+        assert_eq!(
+            misses_before, misses_after,
+            "null syscall must not disturb the TLB (shared address space)"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+use hk_smt::term::{BvBinOp, Ctx, Sort};
+fn main() {
+    let mut ctx = Ctx::new();
+    let x = ctx.var("x", Sort::Bv(64));
+    let c5 = ctx.bv_const(64, 5);
+    let c9 = ctx.bv_const(64, 9);
+    let c1 = ctx.sle(c5, x);
+    let c2 = ctx.slt(x, c9);
+    let one = ctx.bv_const(64, 1);
+    let zero = ctx.bv_const(64, 0);
+    let w1 = ctx.ite(c1, one, zero);
+    let w2 = ctx.ite(c2, one, zero);
+    let seed = ctx.bv_const(64, 1);
+    let a1 = ctx.bv_bin(BvBinOp::And, seed, w1);
+    println!("a1 = {}", ctx.display(a1));
+    let a2 = ctx.bv_bin(BvBinOp::And, a1, w2);
+    println!("a2 = {}", ctx.display(a2));
+    let eq = ctx.eq(one, a2);
+    println!("eq = {}", ctx.display(eq));
+}

@@ -1,0 +1,244 @@
+//! Ackermann reduction: eliminating uninterpreted functions.
+//!
+//! Each distinct application `f(args)` is replaced by a fresh variable,
+//! and for every pair of applications of the same function a congruence
+//! constraint `args1 = args2 => v1 = v2` is added. Constraints whose
+//! antecedent simplifies to `false` (e.g. two applications at distinct
+//! constant indices, the common case for finitely-instantiated kernel
+//! maps) are dropped by the smart constructors for free.
+//!
+//! The instance table is kept so that a SAT model over the fresh variables
+//! can be lifted back to a function interpretation (see [`crate::model`]).
+
+use std::collections::HashMap;
+
+use crate::bitblast::term_children;
+use crate::term::{Ctx, FuncId, TermData, TermId};
+
+/// One eliminated application: the rewritten argument terms and the fresh
+/// variable standing for the result.
+#[derive(Debug, Clone)]
+pub struct AppInstance {
+    /// Arguments after rewriting (UF-free).
+    pub args: Vec<TermId>,
+    /// The fresh variable replacing the application.
+    pub var: TermId,
+}
+
+/// Result of the reduction.
+#[derive(Debug, Default)]
+pub struct Ackermann {
+    /// Memoized rewriting of every visited term.
+    rewritten: HashMap<TermId, TermId>,
+    /// Fresh variable for each distinct (function, rewritten args) pair.
+    app_vars: HashMap<(FuncId, Vec<TermId>), TermId>,
+    /// All instances per function, for congruence and model lifting.
+    pub instances: HashMap<FuncId, Vec<AppInstance>>,
+    /// Congruence constraints accumulated so far.
+    pub constraints: Vec<TermId>,
+}
+
+impl Ackermann {
+    /// Creates an empty reduction state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rewrites a term bottom-up, eliminating `Apply` nodes.
+    pub fn rewrite(&mut self, ctx: &mut Ctx, root: TermId) -> TermId {
+        let mut stack: Vec<(TermId, bool)> = vec![(root, false)];
+        while let Some((t, expanded)) = stack.pop() {
+            if self.rewritten.contains_key(&t) {
+                continue;
+            }
+            if !expanded {
+                stack.push((t, true));
+                for c in term_children(ctx, t) {
+                    if !self.rewritten.contains_key(&c) {
+                        stack.push((c, false));
+                    }
+                }
+                continue;
+            }
+            let new = self.rewrite_node(ctx, t);
+            self.rewritten.insert(t, new);
+        }
+        self.rewritten[&root]
+    }
+
+    fn rewrite_node(&mut self, ctx: &mut Ctx, t: TermId) -> TermId {
+        let r = |m: &HashMap<TermId, TermId>, id: &TermId| m[id];
+        match ctx.data(t).clone() {
+            TermData::True
+            | TermData::False
+            | TermData::BvConst { .. }
+            | TermData::Var(_) => t,
+            TermData::Not(a) => {
+                let a = r(&self.rewritten, &a);
+                ctx.not(a)
+            }
+            TermData::And(args) => {
+                let args: Vec<TermId> =
+                    args.iter().map(|a| r(&self.rewritten, a)).collect();
+                ctx.and(&args)
+            }
+            TermData::Or(args) => {
+                let args: Vec<TermId> =
+                    args.iter().map(|a| r(&self.rewritten, a)).collect();
+                ctx.or(&args)
+            }
+            TermData::Eq(a, b) => {
+                let (a, b) = (r(&self.rewritten, &a), r(&self.rewritten, &b));
+                ctx.eq(a, b)
+            }
+            TermData::Ite(c, a, b) => {
+                let (c, a, b) = (
+                    r(&self.rewritten, &c),
+                    r(&self.rewritten, &a),
+                    r(&self.rewritten, &b),
+                );
+                ctx.ite(c, a, b)
+            }
+            TermData::BvNot(a) => {
+                let a = r(&self.rewritten, &a);
+                ctx.bv_not(a)
+            }
+            TermData::BvBin(op, a, b) => {
+                let (a, b) = (r(&self.rewritten, &a), r(&self.rewritten, &b));
+                ctx.bv_bin(op, a, b)
+            }
+            TermData::Cmp(op, a, b) => {
+                let (a, b) = (r(&self.rewritten, &a), r(&self.rewritten, &b));
+                ctx.cmp(op, a, b)
+            }
+            TermData::ZExt(a, w) => {
+                let a = r(&self.rewritten, &a);
+                ctx.zext(a, w)
+            }
+            TermData::SExt(a, w) => {
+                let a = r(&self.rewritten, &a);
+                ctx.sext(a, w)
+            }
+            TermData::Extract(a, hi, lo) => {
+                let a = r(&self.rewritten, &a);
+                ctx.extract(a, hi, lo)
+            }
+            TermData::Concat(a, b) => {
+                let (a, b) = (r(&self.rewritten, &a), r(&self.rewritten, &b));
+                ctx.concat(a, b)
+            }
+            TermData::Apply(f, args) => {
+                let args: Vec<TermId> =
+                    args.iter().map(|a| r(&self.rewritten, a)).collect();
+                self.apply_var(ctx, f, args)
+            }
+        }
+    }
+
+    /// Variable standing for `f(args)`, creating it (and the congruence
+    /// constraints against earlier instances) on first sight.
+    fn apply_var(&mut self, ctx: &mut Ctx, f: FuncId, args: Vec<TermId>) -> TermId {
+        if let Some(&v) = self.app_vars.get(&(f, args.clone())) {
+            return v;
+        }
+        let decl = ctx.func_decl(f);
+        let name = format!("{}!{}", decl.name, self.app_vars.len());
+        let range = decl.range;
+        let v = ctx.var(name, range);
+        // Congruence with every earlier instance of the same function.
+        let earlier = self.instances.entry(f).or_default().clone();
+        for inst in &earlier {
+            let mut antecedent = Vec::with_capacity(args.len());
+            for (&a, &b) in args.iter().zip(inst.args.iter()) {
+                antecedent.push(ctx.eq(a, b));
+            }
+            let ante = ctx.and(&antecedent);
+            if ctx.const_bool(ante) == Some(false) {
+                continue; // arguments provably distinct
+            }
+            let consequent = ctx.eq(v, inst.var);
+            let c = ctx.implies(ante, consequent);
+            if ctx.const_bool(c) != Some(true) {
+                self.constraints.push(c);
+            }
+        }
+        self.instances.entry(f).or_default().push(AppInstance {
+            args: args.clone(),
+            var: v,
+        });
+        self.app_vars.insert((f, args), v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn distinct_const_args_make_no_constraints() {
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let mut ack = Ackermann::new();
+        let c0 = ctx.bv_const(64, 0);
+        let c1 = ctx.bv_const(64, 1);
+        let a0 = ctx.apply(f, &[c0]);
+        let a1 = ctx.apply(f, &[c1]);
+        let e = ctx.ne(a0, a1);
+        ack.rewrite(&mut ctx, e);
+        assert!(ack.constraints.is_empty());
+        assert_eq!(ack.instances[&f].len(), 2);
+    }
+
+    #[test]
+    fn same_args_shares_the_variable() {
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let x = ctx.var("x", Sort::Bv(64));
+        let mut ack = Ackermann::new();
+        let a1 = ctx.apply(f, &[x]);
+        let a2 = ctx.apply(f, &[x]);
+        assert_eq!(a1, a2); // hash-consing already shares
+        let e = ctx.eq(a1, a2);
+        let rewritten = ack.rewrite(&mut ctx, e);
+        assert_eq!(ctx.const_bool(rewritten), Some(true));
+        assert!(ack.constraints.is_empty());
+    }
+
+    #[test]
+    fn symbolic_args_make_congruence() {
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let x = ctx.var("x", Sort::Bv(64));
+        let c0 = ctx.bv_const(64, 0);
+        let mut ack = Ackermann::new();
+        let ax = ctx.apply(f, &[x]);
+        let a0 = ctx.apply(f, &[c0]);
+        let e = ctx.ne(ax, a0);
+        ack.rewrite(&mut ctx, e);
+        // One pair: (f(x), f(0)) with x possibly equal to 0.
+        assert_eq!(ack.constraints.len(), 1);
+    }
+
+    #[test]
+    fn nested_applications_rewrite() {
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let x = ctx.var("x", Sort::Bv(64));
+        let inner = ctx.apply(f, &[x]);
+        let outer = ctx.apply(f, &[inner]);
+        let e = ctx.eq(outer, x);
+        let mut ack = Ackermann::new();
+        let rewritten = ack.rewrite(&mut ctx, e);
+        // No Apply nodes should remain in the rewritten term.
+        fn has_apply(ctx: &Ctx, t: TermId) -> bool {
+            if matches!(ctx.data(t), TermData::Apply(..)) {
+                return true;
+            }
+            term_children(ctx, t).iter().any(|&c| has_apply(ctx, c))
+        }
+        assert!(!has_apply(&ctx, rewritten));
+        assert_eq!(ack.instances[&f].len(), 2);
+    }
+}

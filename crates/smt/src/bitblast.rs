@@ -1,0 +1,527 @@
+//! Bit-blasting: lowering UF-free terms to CNF.
+//!
+//! Every bit-vector term becomes a vector of literals (LSB first); every
+//! boolean term becomes a single literal. Adders are ripple-carry,
+//! multipliers shift-and-add, dividers restoring long division, and
+//! variable shifts barrel shifters — standard circuits whose equivalence
+//! with the ground evaluator ([`crate::eval`]) is property-tested.
+//!
+//! Terms containing [`crate::term::TermData::Apply`] must first go through
+//! [`crate::ackermann`].
+
+use std::collections::HashMap;
+
+use crate::cnf::{CnfBuilder, Lit, LIT_FALSE, LIT_TRUE};
+use crate::term::{BvBinOp, CmpOp, Ctx, Sort, TermData, TermId, VarId};
+
+/// A blasted term: one literal for booleans, LSB-first literals for
+/// bit-vectors.
+#[derive(Debug, Clone)]
+pub enum Blasted {
+    /// Boolean literal.
+    Bool(Lit),
+    /// Bit-vector literals, least-significant bit first.
+    Bv(Vec<Lit>),
+}
+
+impl Blasted {
+    fn as_bool(&self) -> Lit {
+        match self {
+            Blasted::Bool(l) => *l,
+            Blasted::Bv(_) => panic!("expected bool blasting"),
+        }
+    }
+
+    fn as_bv(&self) -> &[Lit] {
+        match self {
+            Blasted::Bv(bits) => bits,
+            Blasted::Bool(_) => panic!("expected bv blasting"),
+        }
+    }
+}
+
+/// Bit-blaster state: the CNF under construction plus caches.
+#[derive(Debug, Default)]
+pub struct BitBlaster {
+    /// The CNF being built.
+    pub builder: CnfBuilder,
+    cache: HashMap<TermId, Blasted>,
+    /// Bit literals allocated for each bit-vector variable (for models).
+    pub var_bv: HashMap<VarId, Vec<Lit>>,
+    /// Literal allocated for each boolean variable (for models).
+    pub var_bool: HashMap<VarId, Lit>,
+}
+
+impl BitBlaster {
+    /// Creates an empty bit-blaster.
+    pub fn new() -> Self {
+        BitBlaster {
+            builder: CnfBuilder::new(),
+            cache: HashMap::new(),
+            var_bv: HashMap::new(),
+            var_bool: HashMap::new(),
+        }
+    }
+
+    /// Asserts that a boolean term holds.
+    pub fn assert_term(&mut self, ctx: &Ctx, t: TermId) {
+        let l = self.bool_lit(ctx, t);
+        self.builder.assert_lit(l);
+    }
+
+    /// Blasts a boolean term to a literal.
+    pub fn bool_lit(&mut self, ctx: &Ctx, t: TermId) -> Lit {
+        self.blast(ctx, t);
+        self.cache[&t].as_bool()
+    }
+
+    /// Blasts a bit-vector term to its bit literals.
+    pub fn bv_lits(&mut self, ctx: &Ctx, t: TermId) -> Vec<Lit> {
+        self.blast(ctx, t);
+        self.cache[&t].as_bv().to_vec()
+    }
+
+    /// Iterative post-order blasting of the term DAG rooted at `root`.
+    fn blast(&mut self, ctx: &Ctx, root: TermId) {
+        let mut stack: Vec<(TermId, bool)> = vec![(root, false)];
+        while let Some((t, expanded)) = stack.pop() {
+            if self.cache.contains_key(&t) {
+                continue;
+            }
+            if !expanded {
+                stack.push((t, true));
+                for c in term_children(ctx, t) {
+                    if !self.cache.contains_key(&c) {
+                        stack.push((c, false));
+                    }
+                }
+                continue;
+            }
+            let b = self.blast_node(ctx, t);
+            self.cache.insert(t, b);
+        }
+    }
+
+    fn blast_node(&mut self, ctx: &Ctx, t: TermId) -> Blasted {
+        let b = &mut self.builder;
+        match ctx.data(t) {
+            TermData::True => Blasted::Bool(LIT_TRUE),
+            TermData::False => Blasted::Bool(LIT_FALSE),
+            TermData::BvConst { width, value } => Blasted::Bv(
+                (0..*width)
+                    .map(|i| b.const_lit(value >> i & 1 == 1))
+                    .collect(),
+            ),
+            TermData::Var(v) => match ctx.var_decl(*v).sort {
+                Sort::Bool => {
+                    let l = *self.var_bool.entry(*v).or_insert_with(|| b.new_var());
+                    Blasted::Bool(l)
+                }
+                Sort::Bv(w) => {
+                    let bits = self
+                        .var_bv
+                        .entry(*v)
+                        .or_insert_with(|| (0..w).map(|_| b.new_var()).collect())
+                        .clone();
+                    Blasted::Bv(bits)
+                }
+            },
+            TermData::Not(a) => Blasted::Bool(-self.cache[a].as_bool()),
+            TermData::And(args) => {
+                let lits: Vec<Lit> = args.iter().map(|a| self.cache[a].as_bool()).collect();
+                Blasted::Bool(self.builder.and_many(&lits))
+            }
+            TermData::Or(args) => {
+                let lits: Vec<Lit> = args.iter().map(|a| self.cache[a].as_bool()).collect();
+                Blasted::Bool(self.builder.or_many(&lits))
+            }
+            TermData::Eq(x, y) => match (&self.cache[x], &self.cache[y]) {
+                (Blasted::Bool(a), Blasted::Bool(c)) => {
+                    let (a, c) = (*a, *c);
+                    Blasted::Bool(self.builder.eq_gate(a, c))
+                }
+                (Blasted::Bv(a), Blasted::Bv(c)) => {
+                    let (a, c) = (a.clone(), c.clone());
+                    let mut acc = LIT_TRUE;
+                    for (ba, bc) in a.iter().zip(c.iter()) {
+                        let e = self.builder.eq_gate(*ba, *bc);
+                        acc = self.builder.and_gate(acc, e);
+                    }
+                    Blasted::Bool(acc)
+                }
+                _ => panic!("eq sort mismatch at blast time"),
+            },
+            TermData::Ite(c, x, y) => {
+                let cl = self.cache[c].as_bool();
+                match (&self.cache[x], &self.cache[y]) {
+                    (Blasted::Bool(a), Blasted::Bool(e)) => {
+                        let (a, e) = (*a, *e);
+                        Blasted::Bool(self.builder.mux_gate(cl, a, e))
+                    }
+                    (Blasted::Bv(a), Blasted::Bv(e)) => {
+                        let (a, e) = (a.clone(), e.clone());
+                        let bits = a
+                            .iter()
+                            .zip(e.iter())
+                            .map(|(&ta, &te)| self.builder.mux_gate(cl, ta, te))
+                            .collect();
+                        Blasted::Bv(bits)
+                    }
+                    _ => panic!("ite sort mismatch at blast time"),
+                }
+            }
+            TermData::BvNot(a) => {
+                Blasted::Bv(self.cache[a].as_bv().iter().map(|&l| -l).collect())
+            }
+            TermData::BvBin(op, x, y) => {
+                let a = self.cache[x].as_bv().to_vec();
+                let c = self.cache[y].as_bv().to_vec();
+                Blasted::Bv(self.blast_binop(*op, &a, &c))
+            }
+            TermData::Cmp(op, x, y) => {
+                let a = self.cache[x].as_bv().to_vec();
+                let c = self.cache[y].as_bv().to_vec();
+                Blasted::Bool(self.blast_cmp(*op, &a, &c))
+            }
+            TermData::ZExt(a, w) => {
+                let mut bits = self.cache[a].as_bv().to_vec();
+                bits.resize(*w as usize, LIT_FALSE);
+                Blasted::Bv(bits)
+            }
+            TermData::SExt(a, w) => {
+                let mut bits = self.cache[a].as_bv().to_vec();
+                let sign = *bits.last().expect("sext of empty bv");
+                bits.resize(*w as usize, sign);
+                Blasted::Bv(bits)
+            }
+            TermData::Extract(a, hi, lo) => {
+                let bits = self.cache[a].as_bv();
+                Blasted::Bv(bits[*lo as usize..=*hi as usize].to_vec())
+            }
+            TermData::Concat(x, y) => {
+                let hi = self.cache[x].as_bv().to_vec();
+                let mut bits = self.cache[y].as_bv().to_vec();
+                bits.extend(hi);
+                Blasted::Bv(bits)
+            }
+            TermData::Apply(..) => {
+                panic!("Apply reached the bit-blaster; run Ackermann reduction first")
+            }
+        }
+    }
+
+    fn blast_binop(&mut self, op: BvBinOp, a: &[Lit], c: &[Lit]) -> Vec<Lit> {
+        match op {
+            BvBinOp::Add => self.adder(a, c, LIT_FALSE).0,
+            BvBinOp::Sub => {
+                let nc: Vec<Lit> = c.iter().map(|&l| -l).collect();
+                self.adder(a, &nc, LIT_TRUE).0
+            }
+            BvBinOp::Mul => self.multiplier(a, c),
+            BvBinOp::Udiv => self.divider(a, c).0,
+            BvBinOp::Urem => self.divider(a, c).1,
+            BvBinOp::And => a
+                .iter()
+                .zip(c)
+                .map(|(&x, &y)| self.builder.and_gate(x, y))
+                .collect(),
+            BvBinOp::Or => a
+                .iter()
+                .zip(c)
+                .map(|(&x, &y)| self.builder.or_gate(x, y))
+                .collect(),
+            BvBinOp::Xor => a
+                .iter()
+                .zip(c)
+                .map(|(&x, &y)| self.builder.xor_gate(x, y))
+                .collect(),
+            BvBinOp::Shl => self.shifter(a, c, ShiftKind::Left),
+            BvBinOp::Lshr => self.shifter(a, c, ShiftKind::RightLogical),
+            BvBinOp::Ashr => self.shifter(a, c, ShiftKind::RightArith),
+        }
+    }
+
+    fn blast_cmp(&mut self, op: CmpOp, a: &[Lit], c: &[Lit]) -> Lit {
+        match op {
+            CmpOp::Ult => self.ult_circuit(a, c),
+            CmpOp::Ule => -self.ult_circuit(c, a),
+            CmpOp::Slt => {
+                // Signed compare = unsigned compare with sign bits flipped.
+                let mut a2 = a.to_vec();
+                let mut c2 = c.to_vec();
+                *a2.last_mut().unwrap() = -*a2.last().unwrap();
+                *c2.last_mut().unwrap() = -*c2.last().unwrap();
+                self.ult_circuit(&a2, &c2)
+            }
+            CmpOp::Sle => {
+                let mut a2 = a.to_vec();
+                let mut c2 = c.to_vec();
+                *a2.last_mut().unwrap() = -*a2.last().unwrap();
+                *c2.last_mut().unwrap() = -*c2.last().unwrap();
+                -self.ult_circuit(&c2, &a2)
+            }
+        }
+    }
+
+    /// Ripple-carry adder; returns `(sum bits, carry out)`.
+    fn adder(&mut self, a: &[Lit], c: &[Lit], carry_in: Lit) -> (Vec<Lit>, Lit) {
+        let mut carry = carry_in;
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(c) {
+            let (s, co) = self.builder.full_adder(x, y, carry);
+            out.push(s);
+            carry = co;
+        }
+        (out, carry)
+    }
+
+    /// Shift-and-add multiplier, truncated to the operand width.
+    fn multiplier(&mut self, a: &[Lit], c: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let mut acc: Vec<Lit> = vec![LIT_FALSE; w];
+        for (i, &ci) in c.iter().enumerate() {
+            // Partial product of row i, shifted left by i.
+            let mut carry = LIT_FALSE;
+            for j in 0..(w - i) {
+                let pp = self.builder.and_gate(a[j], ci);
+                let (s, co) = self.builder.full_adder(acc[i + j], pp, carry);
+                acc[i + j] = s;
+                carry = co;
+            }
+        }
+        acc
+    }
+
+    /// Restoring long division with SMT-LIB division-by-zero semantics.
+    /// Returns `(quotient, remainder)`.
+    fn divider(&mut self, a: &[Lit], c: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        // Work in w+1 bits so the shifted remainder never overflows.
+        let mut r: Vec<Lit> = vec![LIT_FALSE; w + 1];
+        let mut cx: Vec<Lit> = c.to_vec();
+        cx.push(LIT_FALSE);
+        let mut q: Vec<Lit> = vec![LIT_FALSE; w];
+        for i in (0..w).rev() {
+            // r = (r << 1) | a[i]
+            r.rotate_right(1);
+            r[0] = a[i];
+            // ge = r >= cx
+            let ge = -self.ult_circuit(&r, &cx);
+            // r = ge ? r - cx : r
+            let ncx: Vec<Lit> = cx.iter().map(|&l| -l).collect();
+            let (diff, _) = self.adder(&r, &ncx, LIT_TRUE);
+            for k in 0..=w {
+                r[k] = self.builder.mux_gate(ge, diff[k], r[k]);
+            }
+            q[i] = ge;
+        }
+        // Division by zero: quotient all-ones, remainder = dividend.
+        let nz = self.builder.or_many(c);
+        let q_final: Vec<Lit> = q
+            .iter()
+            .map(|&l| self.builder.mux_gate(nz, l, LIT_TRUE))
+            .collect();
+        let r_final: Vec<Lit> = (0..w)
+            .map(|k| self.builder.mux_gate(nz, r[k], a[k]))
+            .collect();
+        (q_final, r_final)
+    }
+
+    /// `a < c` unsigned, via an LSB-to-MSB comparison chain.
+    fn ult_circuit(&mut self, a: &[Lit], c: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), c.len());
+        let mut lt = LIT_FALSE;
+        for (&x, &y) in a.iter().zip(c) {
+            // If bits differ, the result so far is y (a=0 < c=1);
+            // otherwise keep the lower-bit verdict.
+            let diff = self.builder.xor_gate(x, y);
+            lt = self.builder.mux_gate(diff, y, lt);
+        }
+        lt
+    }
+
+    /// Barrel shifter.
+    fn shifter(&mut self, a: &[Lit], amt: &[Lit], kind: ShiftKind) -> Vec<Lit> {
+        let w = a.len();
+        let stages = usize::BITS as usize - (w - 1).leading_zeros() as usize;
+        let fill = match kind {
+            ShiftKind::Left | ShiftKind::RightLogical => LIT_FALSE,
+            ShiftKind::RightArith => *a.last().unwrap(),
+        };
+        let mut cur = a.to_vec();
+        for s in 0..stages.min(amt.len()) {
+            let shift = 1usize << s;
+            let sel = amt[s];
+            let mut next = vec![fill; w];
+            match kind {
+                ShiftKind::Left => {
+                    for i in 0..w {
+                        let from = if i >= shift { cur[i - shift] } else { LIT_FALSE };
+                        next[i] = self.builder.mux_gate(sel, from, cur[i]);
+                    }
+                }
+                ShiftKind::RightLogical | ShiftKind::RightArith => {
+                    for i in 0..w {
+                        let from = if i + shift < w { cur[i + shift] } else { fill };
+                        next[i] = self.builder.mux_gate(sel, from, cur[i]);
+                    }
+                }
+            }
+            cur = next;
+        }
+        // If any shift-amount bit at or above `stages` is set, the shift
+        // amount is >= 2^stages >= w, so the result is pure fill.
+        let high_bits: Vec<Lit> = amt[stages.min(amt.len())..].to_vec();
+        if !high_bits.is_empty() {
+            let oversize = self.builder.or_many(&high_bits);
+            for bit in cur.iter_mut() {
+                *bit = self.builder.mux_gate(oversize, fill, *bit);
+            }
+        }
+        cur
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ShiftKind {
+    Left,
+    RightLogical,
+    RightArith,
+}
+
+/// Children of a term, for traversal (shared with the evaluator).
+pub fn term_children(ctx: &Ctx, t: TermId) -> Vec<TermId> {
+    match ctx.data(t) {
+        TermData::True | TermData::False | TermData::BvConst { .. } | TermData::Var(_) => {
+            Vec::new()
+        }
+        TermData::Not(a)
+        | TermData::BvNot(a)
+        | TermData::ZExt(a, _)
+        | TermData::SExt(a, _)
+        | TermData::Extract(a, _, _) => vec![*a],
+        TermData::And(args) | TermData::Or(args) => args.to_vec(),
+        TermData::Eq(a, b)
+        | TermData::BvBin(_, a, b)
+        | TermData::Cmp(_, a, b)
+        | TermData::Concat(a, b) => vec![*a, *b],
+        TermData::Ite(c, a, b) => vec![*c, *a, *b],
+        TermData::Apply(_, args) => args.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{SatOutcome, SatSolver};
+
+    /// Blasts `t`, solves, and returns the model value of `x`'s bits.
+    fn solve_for(ctx: &Ctx, assert: TermId, x: TermId) -> Option<u64> {
+        let mut bb = BitBlaster::new();
+        bb.assert_term(ctx, assert);
+        let xbits = bb.bv_lits(ctx, x);
+        let (nv, clauses) = bb.builder.finish();
+        let mut sat = SatSolver::new();
+        sat.reserve_vars(nv);
+        for c in &clauses {
+            if !sat.add_clause(c) {
+                return None;
+            }
+        }
+        match sat.solve() {
+            SatOutcome::Sat => {
+                let mut v = 0u64;
+                for (i, &l) in xbits.iter().enumerate() {
+                    let b = if l > 0 {
+                        sat.model_value(l as u32)
+                    } else {
+                        !sat.model_value((-l) as u32)
+                    };
+                    if b {
+                        v |= 1 << i;
+                    }
+                }
+                Some(v)
+            }
+            SatOutcome::Unsat => None,
+            SatOutcome::Unknown => panic!("unexpected unknown"),
+        }
+    }
+
+    #[test]
+    fn solve_addition() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let c3 = ctx.bv_const(16, 3);
+        let c10 = ctx.bv_const(16, 10);
+        let sum = ctx.bv_add(x, c3);
+        let eq = ctx.eq(sum, c10);
+        assert_eq!(solve_for(&ctx, eq, x), Some(7));
+    }
+
+    #[test]
+    fn solve_multiplication() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let c6 = ctx.bv_const(16, 6);
+        let c42 = ctx.bv_const(16, 42);
+        let prod = ctx.bv_mul(x, c6);
+        let eq = ctx.eq(prod, c42);
+        let lim = ctx.bv_const(16, 10);
+        let small = ctx.ult(x, lim);
+        let both = ctx.and2(eq, small);
+        assert_eq!(solve_for(&ctx, both, x), Some(7));
+    }
+
+    #[test]
+    fn solve_division() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let c7 = ctx.bv_const(8, 7);
+        let q = ctx.bv_bin(BvBinOp::Udiv, x, c7);
+        let r = ctx.bv_bin(BvBinOp::Urem, x, c7);
+        let c5 = ctx.bv_const(8, 5);
+        let c3 = ctx.bv_const(8, 3);
+        let eq_q = ctx.eq(q, c5);
+        let eq_r = ctx.eq(r, c3);
+        let both = ctx.and2(eq_q, eq_r);
+        assert_eq!(solve_for(&ctx, both, x), Some(38));
+    }
+
+    #[test]
+    fn unsat_contradiction() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let c1 = ctx.bv_const(8, 1);
+        let c2 = ctx.bv_const(8, 2);
+        let e1 = ctx.eq(x, c1);
+        let e2 = ctx.eq(x, c2);
+        let both = ctx.and2(e1, e2);
+        assert_eq!(solve_for(&ctx, both, x), None);
+    }
+
+    #[test]
+    fn shift_left_oversize_is_zero() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let amt = ctx.bv_const(8, 8);
+        // x << 8 must be 0 for every x, so (x << 8) != 0 is unsat.
+        let shifted = ctx.bv_bin(BvBinOp::Shl, x, amt);
+        let z = ctx.bv_const(8, 0);
+        let ne = ctx.ne(shifted, z);
+        assert_eq!(solve_for(&ctx, ne, x), None);
+    }
+
+    #[test]
+    fn signed_comparison_circuit() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let zero = ctx.bv_const(8, 0);
+        let neg_one = ctx.bv_const(8, 0xff);
+        // x < 0 (signed) and x == -1.
+        let lt = ctx.slt(x, zero);
+        let eq = ctx.eq(x, neg_one);
+        let both = ctx.and2(lt, eq);
+        assert_eq!(solve_for(&ctx, both, x), Some(0xff));
+    }
+}

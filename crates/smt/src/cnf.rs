@@ -1,0 +1,347 @@
+//! CNF construction with Tseitin gates.
+//!
+//! [`CnfBuilder`] accumulates clauses over positive integer variables
+//! (DIMACS-style literals: `v` / `-v`) and provides cached logic gates so
+//! the bit-blaster emits structurally shared circuits. Variable 1 is
+//! reserved and forced true, letting constants be represented as literals.
+
+use std::collections::HashMap;
+
+/// A DIMACS-style literal: positive for the variable, negative for its
+/// negation. Never zero.
+pub type Lit = i32;
+
+/// The reserved always-true literal.
+pub const LIT_TRUE: Lit = 1;
+/// The reserved always-false literal.
+pub const LIT_FALSE: Lit = -1;
+
+/// Gate cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum GateKey {
+    And(Lit, Lit),
+    Xor(Lit, Lit),
+    Mux(Lit, Lit, Lit),
+}
+
+/// Incrementally builds a CNF formula with structural sharing.
+#[derive(Debug)]
+pub struct CnfBuilder {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+    cache: HashMap<GateKey, Lit>,
+}
+
+impl Default for CnfBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CnfBuilder {
+    /// Creates a builder with the constant-true variable already asserted.
+    pub fn new() -> Self {
+        CnfBuilder {
+            num_vars: 1,
+            clauses: vec![vec![LIT_TRUE]],
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The accumulated clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Consumes the builder, returning `(num_vars, clauses)`.
+    pub fn finish(self) -> (u32, Vec<Vec<Lit>>) {
+        (self.num_vars, self.clauses)
+    }
+
+    /// Allocates a fresh variable and returns its positive literal.
+    pub fn new_var(&mut self) -> Lit {
+        self.num_vars += 1;
+        self.num_vars as Lit
+    }
+
+    /// Adds a clause (no tautology/duplicate filtering; the SAT solver
+    /// handles those).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        debug_assert!(lits.iter().all(|&l| l != 0));
+        self.clauses.push(lits.to_vec());
+    }
+
+    /// Asserts that a literal is true.
+    pub fn assert_lit(&mut self, l: Lit) {
+        self.add_clause(&[l]);
+    }
+
+    /// Converts a boolean constant to a literal.
+    pub fn const_lit(&self, b: bool) -> Lit {
+        if b {
+            LIT_TRUE
+        } else {
+            LIT_FALSE
+        }
+    }
+
+    /// `a AND b` as a literal.
+    pub fn and_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant and structural shortcuts.
+        if a == LIT_FALSE || b == LIT_FALSE || a == -b {
+            return LIT_FALSE;
+        }
+        if a == LIT_TRUE {
+            return b;
+        }
+        if b == LIT_TRUE || a == b {
+            return a;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        if let Some(&o) = self.cache.get(&GateKey::And(a, b)) {
+            return o;
+        }
+        let o = self.new_var();
+        self.add_clause(&[-o, a]);
+        self.add_clause(&[-o, b]);
+        self.add_clause(&[o, -a, -b]);
+        self.cache.insert(GateKey::And(a, b), o);
+        o
+    }
+
+    /// `a OR b` as a literal.
+    pub fn or_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        -self.and_gate(-a, -b)
+    }
+
+    /// `a XOR b` as a literal.
+    pub fn xor_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == LIT_FALSE {
+            return b;
+        }
+        if b == LIT_FALSE {
+            return a;
+        }
+        if a == LIT_TRUE {
+            return -b;
+        }
+        if b == LIT_TRUE {
+            return -a;
+        }
+        if a == b {
+            return LIT_FALSE;
+        }
+        if a == -b {
+            return LIT_TRUE;
+        }
+        // Canonicalize on variables: xor is symmetric and
+        // xor(-a, b) = -xor(a, b).
+        let mut negate = false;
+        let (mut a, mut b) = (a, b);
+        if a < 0 {
+            a = -a;
+            negate = !negate;
+        }
+        if b < 0 {
+            b = -b;
+            negate = !negate;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        let o = if let Some(&o) = self.cache.get(&GateKey::Xor(a, b)) {
+            o
+        } else {
+            let o = self.new_var();
+            self.add_clause(&[-o, a, b]);
+            self.add_clause(&[-o, -a, -b]);
+            self.add_clause(&[o, -a, b]);
+            self.add_clause(&[o, a, -b]);
+            self.cache.insert(GateKey::Xor(a, b), o);
+            o
+        };
+        if negate {
+            -o
+        } else {
+            o
+        }
+    }
+
+    /// `if c then t else e` as a literal.
+    pub fn mux_gate(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
+        if c == LIT_TRUE {
+            return t;
+        }
+        if c == LIT_FALSE {
+            return e;
+        }
+        if t == e {
+            return t;
+        }
+        if t == LIT_TRUE && e == LIT_FALSE {
+            return c;
+        }
+        if t == LIT_FALSE && e == LIT_TRUE {
+            return -c;
+        }
+        if t == LIT_TRUE {
+            return self.or_gate(c, e);
+        }
+        if t == LIT_FALSE {
+            return self.and_gate(-c, e);
+        }
+        if e == LIT_TRUE {
+            return self.or_gate(-c, t);
+        }
+        if e == LIT_FALSE {
+            return self.and_gate(c, t);
+        }
+        if let Some(&o) = self.cache.get(&GateKey::Mux(c, t, e)) {
+            return o;
+        }
+        let o = self.new_var();
+        self.add_clause(&[-o, -c, t]);
+        self.add_clause(&[-o, c, e]);
+        self.add_clause(&[o, -c, -t]);
+        self.add_clause(&[o, c, -e]);
+        self.cache.insert(GateKey::Mux(c, t, e), o);
+        o
+    }
+
+    /// `a == b` (XNOR) as a literal.
+    pub fn eq_gate(&mut self, a: Lit, b: Lit) -> Lit {
+        -self.xor_gate(a, b)
+    }
+
+    /// Full-adder sum and carry: `(sum, carry)` of `a + b + cin`.
+    pub fn full_adder(&mut self, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let ab = self.xor_gate(a, b);
+        let sum = self.xor_gate(ab, cin);
+        let c1 = self.and_gate(a, b);
+        let c2 = self.and_gate(ab, cin);
+        let carry = self.or_gate(c1, c2);
+        (sum, carry)
+    }
+
+    /// Conjunction of many literals as a single literal.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = LIT_TRUE;
+        for &l in lits {
+            acc = self.and_gate(acc, l);
+        }
+        acc
+    }
+
+    /// Disjunction of many literals as a single literal.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = LIT_FALSE;
+        for &l in lits {
+            acc = self.or_gate(acc, l);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force checks a gate's clauses define the expected function.
+    fn check_gate(
+        builder: &CnfBuilder,
+        inputs: &[Lit],
+        output: Lit,
+        f: &dyn Fn(&[bool]) -> bool,
+    ) {
+        let n = builder.num_vars() as usize;
+        'outer: for bits in 0..(1u32 << n) {
+            let val = |l: Lit| -> bool {
+                let v = l.unsigned_abs() as usize;
+                let b = bits >> (v - 1) & 1 == 1;
+                if l > 0 {
+                    b
+                } else {
+                    !b
+                }
+            };
+            for clause in builder.clauses() {
+                if !clause.iter().any(|&l| val(l)) {
+                    continue 'outer; // not a satisfying assignment
+                }
+            }
+            let ins: Vec<bool> = inputs.iter().map(|&l| val(l)).collect();
+            assert_eq!(val(output), f(&ins), "gate mismatch on {ins:?}");
+        }
+    }
+
+    #[test]
+    fn and_gate_semantics() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let o = b.and_gate(x, y);
+        check_gate(&b, &[x, y], o, &|i| i[0] && i[1]);
+    }
+
+    #[test]
+    fn xor_gate_semantics() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let o = b.xor_gate(x, -y);
+        check_gate(&b, &[x, y], o, &|i| i[0] ^ !i[1]);
+    }
+
+    #[test]
+    fn mux_gate_semantics() {
+        let mut b = CnfBuilder::new();
+        let c = b.new_var();
+        let t = b.new_var();
+        let e = b.new_var();
+        let o = b.mux_gate(c, t, e);
+        check_gate(&b, &[c, t, e], o, &|i| if i[0] { i[1] } else { i[2] });
+    }
+
+    #[test]
+    fn full_adder_semantics() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let c = b.new_var();
+        let (s, co) = b.full_adder(x, y, c);
+        check_gate(&b, &[x, y, c], s, &|i| i[0] ^ i[1] ^ i[2]);
+        check_gate(&b, &[x, y, c], co, &|i| {
+            (i[0] && i[1]) || (i[2] && (i[0] ^ i[1]))
+        });
+    }
+
+    #[test]
+    fn gate_caching() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        let o1 = b.and_gate(x, y);
+        let o2 = b.and_gate(y, x);
+        assert_eq!(o1, o2);
+        let x1 = b.xor_gate(x, y);
+        let x2 = b.xor_gate(-x, -y);
+        assert_eq!(x1, x2); // xor(-a,-b) == xor(a,b)
+        let x3 = b.xor_gate(-x, y);
+        assert_eq!(x3, -x1);
+    }
+
+    #[test]
+    fn constant_shortcuts() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        assert_eq!(b.and_gate(x, LIT_TRUE), x);
+        assert_eq!(b.and_gate(x, LIT_FALSE), LIT_FALSE);
+        assert_eq!(b.and_gate(x, -x), LIT_FALSE);
+        assert_eq!(b.or_gate(x, -x), LIT_TRUE);
+        assert_eq!(b.xor_gate(x, x), LIT_FALSE);
+        assert_eq!(b.mux_gate(LIT_TRUE, x, LIT_FALSE), x);
+    }
+}

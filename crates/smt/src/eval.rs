@@ -1,0 +1,311 @@
+//! Ground evaluation of terms under a variable/function assignment.
+//!
+//! The evaluator serves three roles: it validates models returned by the
+//! SAT pipeline (every `Sat` answer is re-checked before being trusted), it
+//! executes the state-machine specification *concretely* for differential
+//! testing against the kernel interpreter, and it provides the reference
+//! semantics the bit-blaster is property-tested against.
+
+use std::collections::HashMap;
+
+use crate::term::{sext_to_64, Ctx, FuncId, Sort, TermData, TermId, VarId};
+
+/// A concrete value: boolean or bit-vector (width implied by the term).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// Boolean value.
+    Bool(bool),
+    /// Bit-vector value, already masked to its width.
+    Bv(u64),
+}
+
+impl Value {
+    /// The boolean payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a bit-vector.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Bv(v) => panic!("expected bool, got bv {v}"),
+        }
+    }
+
+    /// The bit-vector payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a boolean.
+    pub fn as_bv(self) -> u64 {
+        match self {
+            Value::Bv(v) => v,
+            Value::Bool(b) => panic!("expected bv, got bool {b}"),
+        }
+    }
+}
+
+/// Interpretation of one uninterpreted function: an exception table plus a
+/// default value, the shape SMT solvers give finite function models.
+#[derive(Debug, Clone, Default)]
+pub struct FuncInterp {
+    /// Explicit entries mapping argument tuples to results.
+    pub entries: HashMap<Vec<u64>, u64>,
+    /// Result for argument tuples not in `entries`.
+    pub default: u64,
+}
+
+impl FuncInterp {
+    /// Looks up the function at the given arguments.
+    pub fn get(&self, args: &[u64]) -> u64 {
+        self.entries.get(args).copied().unwrap_or(self.default)
+    }
+
+    /// Sets the function value at the given arguments.
+    pub fn set(&mut self, args: Vec<u64>, value: u64) {
+        self.entries.insert(args, value);
+    }
+}
+
+/// A total assignment to variables and uninterpreted functions.
+///
+/// Variables without an explicit value default to `false`/`0`, matching
+/// the "don't care" completion SAT models leave implicit.
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    /// Values of declared variables.
+    pub vars: HashMap<VarId, Value>,
+    /// Interpretations of declared functions.
+    pub funcs: HashMap<FuncId, FuncInterp>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment (all defaults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a variable value.
+    pub fn set_var(&mut self, v: VarId, value: Value) {
+        self.vars.insert(v, value);
+    }
+
+    /// Mutable access to a function interpretation, creating it on demand.
+    pub fn func_mut(&mut self, f: FuncId) -> &mut FuncInterp {
+        self.funcs.entry(f).or_default()
+    }
+}
+
+/// Evaluates `root` under `asg`, memoizing shared subterms.
+///
+/// The traversal is iterative, so deeply nested path conditions from
+/// symbolic execution cannot overflow the stack.
+pub fn eval(ctx: &Ctx, root: TermId, asg: &Assignment) -> Value {
+    let mut cache: HashMap<TermId, Value> = HashMap::new();
+    let mut stack: Vec<(TermId, bool)> = vec![(root, false)];
+    while let Some((t, expanded)) = stack.pop() {
+        if cache.contains_key(&t) {
+            continue;
+        }
+        if !expanded {
+            stack.push((t, true));
+            for child in children(ctx, t) {
+                if !cache.contains_key(&child) {
+                    stack.push((child, false));
+                }
+            }
+            continue;
+        }
+        let v = eval_node(ctx, t, asg, &cache);
+        cache.insert(t, v);
+    }
+    cache[&root]
+}
+
+/// Convenience: evaluates a boolean term.
+pub fn eval_bool(ctx: &Ctx, t: TermId, asg: &Assignment) -> bool {
+    eval(ctx, t, asg).as_bool()
+}
+
+/// Convenience: evaluates a bit-vector term.
+pub fn eval_bv(ctx: &Ctx, t: TermId, asg: &Assignment) -> u64 {
+    eval(ctx, t, asg).as_bv()
+}
+
+fn children(ctx: &Ctx, t: TermId) -> Vec<TermId> {
+    match ctx.data(t) {
+        TermData::True | TermData::False | TermData::BvConst { .. } | TermData::Var(_) => {
+            Vec::new()
+        }
+        TermData::Not(a) | TermData::BvNot(a) => vec![*a],
+        TermData::ZExt(a, _) | TermData::SExt(a, _) | TermData::Extract(a, _, _) => vec![*a],
+        TermData::And(args) | TermData::Or(args) => args.to_vec(),
+        TermData::Eq(a, b)
+        | TermData::BvBin(_, a, b)
+        | TermData::Cmp(_, a, b)
+        | TermData::Concat(a, b) => vec![*a, *b],
+        TermData::Ite(c, a, b) => vec![*c, *a, *b],
+        TermData::Apply(_, args) => args.to_vec(),
+    }
+}
+
+fn eval_node(
+    ctx: &Ctx,
+    t: TermId,
+    asg: &Assignment,
+    cache: &HashMap<TermId, Value>,
+) -> Value {
+    let get = |id: &TermId| cache[id];
+    match ctx.data(t) {
+        TermData::True => Value::Bool(true),
+        TermData::False => Value::Bool(false),
+        TermData::BvConst { value, .. } => Value::Bv(*value),
+        TermData::Var(v) => {
+            asg.vars.get(v).copied().unwrap_or_else(|| {
+                match ctx.var_decl(*v).sort {
+                    Sort::Bool => Value::Bool(false),
+                    Sort::Bv(_) => Value::Bv(0),
+                }
+            })
+        }
+        TermData::Not(a) => Value::Bool(!get(a).as_bool()),
+        TermData::And(args) => Value::Bool(args.iter().all(|a| get(a).as_bool())),
+        TermData::Or(args) => Value::Bool(args.iter().any(|a| get(a).as_bool())),
+        TermData::Eq(a, b) => Value::Bool(get(a) == get(b)),
+        TermData::Ite(c, a, b) => {
+            if get(c).as_bool() {
+                get(a)
+            } else {
+                get(b)
+            }
+        }
+        TermData::BvNot(a) => {
+            let w = ctx.width(t);
+            Value::Bv(!get(a).as_bv() & crate::term::mask(w))
+        }
+        TermData::BvBin(op, a, b) => {
+            let w = ctx.width(t);
+            Value::Bv(op.apply(w, get(a).as_bv(), get(b).as_bv()))
+        }
+        TermData::Cmp(op, a, b) => {
+            let w = ctx.width(*a);
+            Value::Bool(op.apply(w, get(a).as_bv(), get(b).as_bv()))
+        }
+        TermData::ZExt(a, _) => Value::Bv(get(a).as_bv()),
+        TermData::SExt(a, w) => {
+            let src_w = ctx.width(*a);
+            Value::Bv(sext_to_64(get(a).as_bv(), src_w) & crate::term::mask(*w))
+        }
+        TermData::Extract(a, hi, lo) => {
+            Value::Bv((get(a).as_bv() >> lo) & crate::term::mask(hi - lo + 1))
+        }
+        TermData::Concat(a, b) => {
+            let wb = ctx.width(*b);
+            Value::Bv((get(a).as_bv() << wb) | get(b).as_bv())
+        }
+        TermData::Apply(f, args) => {
+            let vals: Vec<u64> = args.iter().map(|a| get(a).as_bv()).collect();
+            let result = asg
+                .funcs
+                .get(f)
+                .map(|fi| fi.get(&vals))
+                .unwrap_or(0);
+            match ctx.func_decl(*f).range {
+                Sort::Bool => Value::Bool(result != 0),
+                Sort::Bv(w) => Value::Bv(result & crate::term::mask(w)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var_id(ctx: &Ctx, t: TermId) -> VarId {
+        match ctx.data(t) {
+            TermData::Var(v) => *v,
+            _ => panic!("not a var"),
+        }
+    }
+
+    #[test]
+    fn eval_arith() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let c = ctx.bv_const(8, 10);
+        let sum = ctx.bv_add(x, c);
+        let mut asg = Assignment::new();
+        asg.set_var(var_id(&ctx, x), Value::Bv(250));
+        assert_eq!(eval_bv(&ctx, sum, &asg), 4); // wraps at 8 bits
+    }
+
+    #[test]
+    fn eval_ite_and_cmp() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(64));
+        let c5 = ctx.bv_const(64, 5);
+        let cond = ctx.ult(x, c5);
+        let a = ctx.bv_const(64, 1);
+        let b = ctx.bv_const(64, 2);
+        let ite = ctx.ite(cond, a, b);
+        let mut asg = Assignment::new();
+        asg.set_var(var_id(&ctx, x), Value::Bv(3));
+        assert_eq!(eval_bv(&ctx, ite, &asg), 1);
+        asg.set_var(var_id(&ctx, x), Value::Bv(9));
+        assert_eq!(eval_bv(&ctx, ite, &asg), 2);
+    }
+
+    #[test]
+    fn eval_uf() {
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let x = ctx.var("x", Sort::Bv(64));
+        let app = ctx.apply(f, &[x]);
+        let mut asg = Assignment::new();
+        asg.set_var(var_id(&ctx, x), Value::Bv(7));
+        let fi = asg.func_mut(f);
+        fi.default = 100;
+        fi.set(vec![7], 42);
+        assert_eq!(eval_bv(&ctx, app, &asg), 42);
+        asg.set_var(var_id(&ctx, x), Value::Bv(8));
+        assert_eq!(eval_bv(&ctx, app, &asg), 100);
+    }
+
+    #[test]
+    fn eval_signed_cmp() {
+        let mut ctx = Ctx::new();
+        let a = ctx.var("a", Sort::Bv(8));
+        let b = ctx.var("b", Sort::Bv(8));
+        let lt = ctx.slt(a, b);
+        let mut asg = Assignment::new();
+        // -1 < 1 signed, but 255 > 1 unsigned.
+        asg.set_var(var_id(&ctx, a), Value::Bv(0xff));
+        asg.set_var(var_id(&ctx, b), Value::Bv(1));
+        assert!(eval_bool(&ctx, lt, &asg));
+        let ult = ctx.ult(a, b);
+        assert!(!eval_bool(&ctx, ult, &asg));
+    }
+
+    #[test]
+    fn deep_term_no_stack_overflow() {
+        let mut ctx = Ctx::new();
+        let one = ctx.bv_const(64, 1);
+        let mut t = ctx.var("x", Sort::Bv(64));
+        for _ in 0..200_000 {
+            t = ctx.bv_add(t, one);
+        }
+        let asg = Assignment::new();
+        assert_eq!(eval_bv(&ctx, t, &asg), 200_000);
+    }
+
+    #[test]
+    fn default_values() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(32));
+        let b = ctx.var("b", Sort::Bool);
+        let asg = Assignment::new();
+        assert_eq!(eval_bv(&ctx, x, &asg), 0);
+        assert!(!eval_bool(&ctx, b, &asg));
+    }
+}

@@ -1,0 +1,140 @@
+//! Counterexample models.
+//!
+//! A [`Model`] is a total assignment extracted from a SAT answer, with
+//! uninterpreted-function interpretations lifted back through the
+//! Ackermann instance table. Models are the raw material for the
+//! verifier's concrete test-case generation (paper §2.4): every variable
+//! and map cell of the kernel state can be read off and replayed.
+
+use std::collections::HashMap;
+
+use crate::eval::{eval, Assignment, Value};
+use crate::term::{Ctx, FuncId, Sort, TermData, TermId, VarId};
+
+/// A satisfying assignment for a checked formula.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    /// The underlying total assignment (defaults fill unmentioned vars).
+    pub assignment: Assignment,
+}
+
+impl Model {
+    /// Evaluates any term under the model.
+    pub fn eval(&self, ctx: &Ctx, t: TermId) -> Value {
+        eval(ctx, t, &self.assignment)
+    }
+
+    /// Evaluates a bit-vector term, returning `None` if it is boolean.
+    pub fn eval_bv(&self, ctx: &Ctx, t: TermId) -> Option<u64> {
+        match self.eval(ctx, t) {
+            Value::Bv(v) => Some(v),
+            Value::Bool(_) => None,
+        }
+    }
+
+    /// Evaluates a bit-vector term as a signed 64-bit integer.
+    pub fn eval_i64(&self, ctx: &Ctx, t: TermId) -> Option<i64> {
+        let w = match ctx.sort(t) {
+            Sort::Bv(w) => w,
+            Sort::Bool => return None,
+        };
+        self.eval_bv(ctx, t)
+            .map(|v| crate::term::sext_to_64(v, w) as i64)
+    }
+
+    /// Evaluates a boolean term, returning `None` if it is a bit-vector.
+    pub fn eval_bool(&self, ctx: &Ctx, t: TermId) -> Option<bool> {
+        match self.eval(ctx, t) {
+            Value::Bool(b) => Some(b),
+            Value::Bv(_) => None,
+        }
+    }
+
+    /// Value of a declared variable.
+    pub fn var_value(&self, ctx: &Ctx, v: VarId) -> Value {
+        self.assignment.vars.get(&v).copied().unwrap_or_else(|| {
+            match ctx.var_decl(v).sort {
+                Sort::Bool => Value::Bool(false),
+                Sort::Bv(_) => Value::Bv(0),
+            }
+        })
+    }
+
+    /// The lifted interpretation of an uninterpreted function, if any
+    /// application of it appeared in the formula.
+    pub fn func_interp(&self, f: FuncId) -> Option<&crate::eval::FuncInterp> {
+        self.assignment.funcs.get(&f)
+    }
+
+    /// Renders the model restricted to the variables appearing in `terms`
+    /// — the "minimized state" output the paper found necessary for
+    /// debuggable counterexamples (§6.2).
+    pub fn display_relevant(&self, ctx: &Ctx, terms: &[TermId]) -> String {
+        let mut vars: Vec<VarId> = Vec::new();
+        let mut stack: Vec<TermId> = terms.to_vec();
+        let mut seen: HashMap<TermId, ()> = HashMap::new();
+        while let Some(t) = stack.pop() {
+            if seen.insert(t, ()).is_some() {
+                continue;
+            }
+            if let TermData::Var(v) = ctx.data(t) {
+                vars.push(*v);
+            }
+            stack.extend(crate::bitblast::term_children(ctx, t));
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        let mut out = String::new();
+        for v in vars {
+            let decl = ctx.var_decl(v);
+            let val = self.var_value(ctx, v);
+            match val {
+                Value::Bool(b) => out.push_str(&format!("{} = {}\n", decl.name, b)),
+                Value::Bv(x) => {
+                    out.push_str(&format!("{} = {} (0x{x:x})\n", decl.name, x as i64))
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Value;
+
+    #[test]
+    fn default_model_evaluates() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(64));
+        let one = ctx.bv_const(64, 1);
+        let sum = ctx.bv_add(x, one);
+        let m = Model::default();
+        assert_eq!(m.eval_bv(&ctx, sum), Some(1));
+        assert_eq!(m.eval_bool(&ctx, sum), None);
+    }
+
+    #[test]
+    fn eval_i64_sign_extends() {
+        let mut ctx = Ctx::new();
+        let neg = ctx.bv_const(8, 0xff);
+        let m = Model::default();
+        assert_eq!(m.eval_i64(&ctx, neg), Some(-1));
+    }
+
+    #[test]
+    fn display_relevant_lists_vars() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("pid", Sort::Bv(64));
+        let y = ctx.var("fd", Sort::Bv(64));
+        let e = ctx.eq(x, y);
+        let mut m = Model::default();
+        if let TermData::Var(v) = ctx.data(x) {
+            m.assignment.set_var(*v, Value::Bv(3));
+        }
+        let s = m.display_relevant(&ctx, &[e]);
+        assert!(s.contains("pid = 3"), "{s}");
+        assert!(s.contains("fd = 0"), "{s}");
+    }
+}

@@ -1,0 +1,854 @@
+//! A CDCL SAT solver in the MiniSat lineage.
+//!
+//! Features: two-watched-literal propagation, first-UIP conflict analysis
+//! with clause minimization, exponential VSIDS variable activities,
+//! phase saving, Luby restarts, and activity-driven learnt-clause database
+//! reduction. The heuristic knobs are exposed through [`SatConfig`] so the
+//! Figure 9 stability experiment can sweep them (standing in for the
+//! paper's sweep over historic Z3 versions).
+
+/// Truth value lattice used internally.
+const UNDEF: u8 = 2;
+const TRUE: u8 = 1;
+const FALSE: u8 = 0;
+
+/// Sentinel for "no reason clause".
+const NO_REASON: u32 = u32::MAX;
+
+/// Heuristic configuration.
+#[derive(Debug, Clone)]
+pub struct SatConfig {
+    /// VSIDS activity decay factor (e.g. 0.95).
+    pub var_decay: f64,
+    /// Learnt-clause activity decay factor.
+    pub clause_decay: f64,
+    /// Base interval (in conflicts) of the Luby restart sequence.
+    pub restart_base: u64,
+    /// Whether to reuse the last assigned polarity when deciding.
+    pub phase_saving: bool,
+    /// Initial polarity when no phase is saved.
+    pub default_phase: bool,
+    /// Learnt clauses allowed before a database reduction, as a fraction
+    /// of the original clause count (MiniSat uses 1/3).
+    pub learntsize_factor: f64,
+    /// Optional conflict budget; `None` means run to completion.
+    pub max_conflicts: Option<u64>,
+}
+
+impl Default for SatConfig {
+    fn default() -> Self {
+        SatConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            phase_saving: true,
+            default_phase: false,
+            learntsize_factor: 1.0 / 3.0,
+            max_conflicts: None,
+        }
+    }
+}
+
+/// Outcome of a SAT query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// A satisfying assignment was found (read it via [`SatSolver::model_value`]).
+    Sat,
+    /// The formula is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted.
+    Unknown,
+}
+
+/// Runtime statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnts: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<u32>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    cref: u32,
+    blocker: u32,
+}
+
+/// The solver.
+#[derive(Debug)]
+pub struct SatSolver {
+    config: SatConfig,
+    ok: bool,
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assigns: Vec<u8>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: Vec<u32>,
+    heap_pos: Vec<i32>,
+    trail: Vec<u32>,
+    trail_lim: Vec<usize>,
+    reason: Vec<u32>,
+    level: Vec<u32>,
+    seen: Vec<bool>,
+    qhead: usize,
+    num_learnts: usize,
+    /// Statistics for benchmarking and diagnostics.
+    pub stats: SatStats,
+}
+
+#[inline]
+fn lit_from_dimacs(l: i32) -> u32 {
+    debug_assert!(l != 0);
+    let v = (l.unsigned_abs() - 1) * 2;
+    if l < 0 {
+        v + 1
+    } else {
+        v
+    }
+}
+
+#[inline]
+fn lit_var(l: u32) -> usize {
+    (l >> 1) as usize
+}
+
+#[inline]
+fn lit_neg(l: u32) -> u32 {
+    l ^ 1
+}
+
+#[inline]
+fn lit_sign(l: u32) -> bool {
+    l & 1 == 1
+}
+
+impl SatSolver {
+    /// Creates a solver with the given heuristics.
+    pub fn with_config(config: SatConfig) -> Self {
+        SatSolver {
+            config,
+            ok: true,
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: Vec::new(),
+            heap_pos: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            reason: Vec::new(),
+            level: Vec::new(),
+            seen: Vec::new(),
+            qhead: 0,
+            num_learnts: 0,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Creates a solver with default heuristics.
+    pub fn new() -> Self {
+        Self::with_config(SatConfig::default())
+    }
+
+    /// Ensures variables `1..=n` (DIMACS numbering) exist.
+    pub fn reserve_vars(&mut self, n: u32) {
+        while self.assigns.len() < n as usize {
+            let v = self.assigns.len() as u32;
+            self.assigns.push(UNDEF);
+            self.polarity.push(self.config.default_phase);
+            self.activity.push(0.0);
+            self.reason.push(NO_REASON);
+            self.level.push(0);
+            self.seen.push(false);
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+            self.heap_pos.push(-1);
+            self.heap_insert(v);
+        }
+    }
+
+    /// Adds a clause in DIMACS literals. Returns `false` if the formula
+    /// became trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[i32]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert!(self.trail_lim.is_empty(), "add_clause above level 0");
+        let max_var = lits.iter().map(|l| l.unsigned_abs()).max().unwrap_or(0);
+        self.reserve_vars(max_var);
+        let mut ls: Vec<u32> = lits.iter().map(|&l| lit_from_dimacs(l)).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        // Tautology and level-0 simplification.
+        let mut out: Vec<u32> = Vec::with_capacity(ls.len());
+        for &l in &ls {
+            if ls.binary_search(&lit_neg(l)).is_ok() {
+                return true; // tautology
+            }
+            match self.value_lit(l) {
+                TRUE => return true,
+                FALSE => {}
+                _ => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(out[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(out, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<u32>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lit_neg(lits[0]) as usize].push(Watch {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lit_neg(lits[1]) as usize].push(Watch {
+            cref,
+            blocker: lits[0],
+        });
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        cref
+    }
+
+    #[inline]
+    fn value_lit(&self, l: u32) -> u8 {
+        let a = self.assigns[lit_var(l)];
+        if a == UNDEF {
+            UNDEF
+        } else if lit_sign(l) {
+            a ^ 1
+        } else {
+            a
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, l: u32, reason: u32) {
+        debug_assert_eq!(self.value_lit(l), UNDEF);
+        let v = lit_var(l);
+        self.assigns[v] = if lit_sign(l) { FALSE } else { TRUE };
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        if self.config.phase_saving {
+            self.polarity[v] = !lit_sign(l);
+        }
+        self.trail.push(l);
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Unit propagation; returns a conflicting clause reference if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut j = 0;
+            let mut ws = std::mem::take(&mut self.watches[p as usize]);
+            let mut conflict: Option<u32> = None;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Blocker shortcut.
+                if self.value_lit(w.blocker) == TRUE {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                // The false literal must be at position 1.
+                {
+                    let c = &mut self.clauses[cref];
+                    if c.lits[0] == lit_neg(p) {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.value_lit(first) == TRUE {
+                    ws[j] = Watch {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.value_lit(lk) != FALSE {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[lit_neg(lk) as usize].push(Watch {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watches;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[j] = Watch {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.value_lit(first) == FALSE {
+                    // Conflict: copy remaining watches back and bail.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        i += 1;
+                        j += 1;
+                    }
+                    conflict = Some(w.cref);
+                } else {
+                    self.enqueue(first, w.cref);
+                }
+            }
+            ws.truncate(j);
+            self.watches[p as usize] = ws;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_pos[v] >= 0 {
+            self.heap_sift_up(self.heap_pos[v] as usize);
+        }
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<u32>, u32) {
+        let mut learnt: Vec<u32> = vec![0]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<u32> = None;
+        let mut index = self.trail.len();
+        loop {
+            self.bump_clause(confl);
+            let lits = self.clauses[confl as usize].lits.clone();
+            for &q in &lits {
+                // Skip the literal being resolved on (by value, so the
+                // watched-literal positions are never disturbed).
+                if Some(q) == p {
+                    continue;
+                }
+                let v = lit_var(q);
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[lit_var(l)] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = lit_var(p.unwrap());
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = lit_neg(p.unwrap());
+                break;
+            }
+            confl = self.reason[pv];
+            debug_assert_ne!(confl, NO_REASON);
+        }
+        // Clause minimization: drop literals implied by the rest.
+        let keep: Vec<u32> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.literal_redundant(l, &learnt))
+            .collect();
+        let mut minimized = vec![learnt[0]];
+        minimized.extend(keep);
+        // Clear seen flags.
+        for &l in &learnt {
+            self.seen[lit_var(l)] = false;
+        }
+        // Backjump level: highest level among the non-asserting literals.
+        let mut bt = 0;
+        if minimized.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[lit_var(minimized[i])] > self.level[lit_var(minimized[max_i])] {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            bt = self.level[lit_var(minimized[1])];
+        }
+        (minimized, bt)
+    }
+
+    /// A literal is redundant if its reason clause's literals are all
+    /// already in the learnt clause (seen) or assigned at level 0.
+    fn literal_redundant(&self, l: u32, _learnt: &[u32]) -> bool {
+        let v = lit_var(l);
+        let r = self.reason[v];
+        if r == NO_REASON {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().all(|&q| {
+            let qv = lit_var(q);
+            qv == v || self.seen[qv] || self.level[qv] == 0
+        })
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = lit_var(l);
+            self.assigns[v] = UNDEF;
+            self.reason[v] = NO_REASON;
+            if self.heap_pos[v] < 0 {
+                self.heap_insert(v as u32);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v as usize] == UNDEF {
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let l = if self.polarity[v as usize] {
+                    v * 2
+                } else {
+                    v * 2 + 1
+                };
+                self.enqueue(l, NO_REASON);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn reduce_db(&mut self) {
+        let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && !c.deleted && c.lits.len() > 2
+            })
+            .collect();
+        learnt_refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = (0..self.clauses.len() as u32)
+            .map(|cref| {
+                self.clauses[cref as usize]
+                    .lits
+                    .first()
+                    .map(|&l| {
+                        self.value_lit(l) == TRUE && self.reason[lit_var(l)] == cref
+                    })
+                    .unwrap_or(false)
+            })
+            .collect();
+        let half = learnt_refs.len() / 2;
+        let mut removed = 0;
+        for &cref in &learnt_refs[..half] {
+            if !locked[cref as usize] {
+                self.clauses[cref as usize].deleted = true;
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            return;
+        }
+        self.num_learnts -= removed;
+        // Rebuild the watch lists.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for cref in 0..self.clauses.len() as u32 {
+            let c = &self.clauses[cref as usize];
+            if c.deleted {
+                continue;
+            }
+            let (l0, l1) = (c.lits[0], c.lits[1]);
+            self.watches[lit_neg(l0) as usize].push(Watch {
+                cref,
+                blocker: l1,
+            });
+            self.watches[lit_neg(l1) as usize].push(Watch {
+                cref,
+                blocker: l0,
+            });
+        }
+    }
+
+    /// Runs the CDCL loop.
+    pub fn solve(&mut self) -> SatOutcome {
+        if !self.ok {
+            return SatOutcome::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatOutcome::Unsat;
+        }
+        let mut restart_round: u64 = 0;
+        let mut conflicts_since_restart: u64 = 0;
+        let mut max_learnts =
+            (self.clauses.len() as f64 * self.config.learntsize_factor).max(1000.0);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if let Some(budget) = self.config.max_conflicts {
+                    if self.stats.conflicts > budget {
+                        return SatOutcome::Unknown;
+                    }
+                }
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatOutcome::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack_to(bt);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], NO_REASON);
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.attach_clause(learnt, true);
+                    self.bump_clause(cref);
+                    self.enqueue(asserting, cref);
+                }
+                self.var_inc /= self.config.var_decay;
+                self.cla_inc /= self.config.clause_decay;
+            } else {
+                // No conflict.
+                if conflicts_since_restart >= luby(restart_round) * self.config.restart_base {
+                    restart_round += 1;
+                    conflicts_since_restart = 0;
+                    self.stats.restarts += 1;
+                    self.backtrack_to(0);
+                }
+                if self.num_learnts as f64 >= max_learnts {
+                    max_learnts *= 1.5;
+                    self.reduce_db();
+                }
+                if !self.decide() {
+                    self.stats.learnts = self.num_learnts as u64;
+                    return SatOutcome::Sat;
+                }
+            }
+        }
+    }
+
+    /// Model value of DIMACS variable `v` after a `Sat` answer.
+    pub fn model_value(&self, v: u32) -> bool {
+        debug_assert!(v >= 1);
+        self.assigns
+            .get((v - 1) as usize)
+            .map(|&a| a == TRUE)
+            .unwrap_or(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Activity heap (max-heap with position index).
+    // ------------------------------------------------------------------
+
+    fn heap_less(&self, a: u32, b: u32) -> bool {
+        self.activity[a as usize] > self.activity[b as usize]
+    }
+
+    fn heap_insert(&mut self, v: u32) {
+        self.heap_pos[v as usize] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_pop(&mut self) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_pos[top as usize] = -1;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_pos[last as usize] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_pos[self.heap[a] as usize] = a as i32;
+        self.heap_pos[self.heap[b] as usize] = b as i32;
+    }
+}
+
+impl Default for SatSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+fn luby(i: u64) -> u64 {
+    let mut k = 1u32;
+    loop {
+        if i + 1 == (1 << k) - 1 {
+            return 1 << (k - 1);
+        }
+        if i + 1 < (1 << k) - 1 {
+            return luby(i + 1 - (1 << (k - 1)));
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_clauses(clauses: &[&[i32]]) -> SatOutcome {
+        let mut s = SatSolver::new();
+        for c in clauses {
+            if !s.add_clause(c) {
+                return SatOutcome::Unsat;
+            }
+        }
+        s.solve()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        assert_eq!(solve_clauses(&[&[1], &[2, 3]]), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        assert_eq!(solve_clauses(&[&[1], &[-1]]), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = SatSolver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_clauses() {
+        let clauses: &[&[i32]] = &[&[1, 2], &[-1, 3], &[-2, -3], &[2, 3]];
+        let mut s = SatSolver::new();
+        for c in clauses {
+            assert!(s.add_clause(c));
+        }
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        for c in clauses {
+            assert!(
+                c.iter()
+                    .any(|&l| s.model_value(l.unsigned_abs()) == (l > 0)),
+                "clause {c:?} unsatisfied"
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p(i,j): pigeon i in hole j; vars 1..=6 as i*2+j+1.
+        let v = |i: i32, j: i32| i * 2 + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..3 {
+            clauses.push(vec![v(i, 0), v(i, 1)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    clauses.push(vec![-v(a, j), -v(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(solve_clauses(&refs), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5i32;
+        let m = 4i32;
+        let v = |i: i32, j: i32| i * m + j + 1;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for i in 0..n {
+            clauses.push((0..m).map(|j| v(i, j)).collect());
+        }
+        for j in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    clauses.push(vec![-v(a, j), -v(b, j)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(solve_clauses(&refs), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn chain_implication_unsat() {
+        // 1 -> 2 -> ... -> 50, assert 1 and -50.
+        let mut clauses: Vec<Vec<i32>> = vec![vec![1], vec![-50]];
+        for i in 1..50 {
+            clauses.push(vec![-i, i + 1]);
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(solve_clauses(&refs), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // A hard instance with a tiny budget.
+        let n = 8i32;
+        let m = 7i32;
+        let v = |i: i32, j: i32| i * m + j + 1;
+        let mut s = SatSolver::with_config(SatConfig {
+            max_conflicts: Some(5),
+            ..SatConfig::default()
+        });
+        for i in 0..n {
+            let c: Vec<i32> = (0..m).map(|j| v(i, j)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause(&[-v(a, j), -v(b, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Unknown);
+    }
+}

@@ -1,0 +1,339 @@
+//! The solver front door: Ackermannize, bit-blast, SAT-solve, lift the
+//! model, and validate it against the original assertions.
+//!
+//! Every `Sat` answer is re-checked with the ground evaluator before being
+//! returned, so a bug anywhere in the pipeline surfaces as a loud failure
+//! rather than a bogus counterexample.
+
+use std::time::{Duration, Instant};
+
+use crate::ackermann::Ackermann;
+use crate::bitblast::BitBlaster;
+use crate::eval::{eval_bool, Value};
+use crate::model::Model;
+use crate::sat::{SatConfig, SatOutcome, SatSolver};
+use crate::term::{Ctx, Sort, TermId};
+
+/// Solver configuration; wraps the SAT heuristics.
+#[derive(Debug, Clone, Default)]
+pub struct SolverConfig {
+    /// Heuristics of the CDCL core.
+    pub sat: SatConfig,
+    /// Skip the model-validation pass (only for benchmarking the raw
+    /// pipeline; never in the verifier).
+    pub skip_validation: bool,
+}
+
+/// Result of a `check` call.
+#[derive(Debug)]
+pub enum SatResult {
+    /// The assertions are unsatisfiable.
+    Unsat,
+    /// A validated model of the assertions.
+    Sat(Box<Model>),
+    /// The conflict budget was exhausted.
+    Unknown,
+}
+
+impl SatResult {
+    /// True if the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// True if the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+/// Pipeline statistics from the last `check` call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Assertions checked.
+    pub assertions: usize,
+    /// Congruence constraints added by Ackermann reduction.
+    pub ackermann_constraints: usize,
+    /// CNF variables.
+    pub cnf_vars: u32,
+    /// CNF clauses.
+    pub cnf_clauses: usize,
+    /// SAT conflicts.
+    pub conflicts: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// SAT propagations.
+    pub propagations: u64,
+    /// Time spent encoding (Ackermann + bit-blasting).
+    pub encode_time: Duration,
+    /// Time spent in the SAT core.
+    pub solve_time: Duration,
+}
+
+/// An SMT solver instance holding a set of assertions.
+#[derive(Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+    assertions: Vec<TermId>,
+    trivially_false: bool,
+    /// Statistics from the most recent `check`.
+    pub stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// Adds an assertion.
+    pub fn assert(&mut self, ctx: &mut Ctx, t: TermId) {
+        assert_eq!(ctx.sort(t), Sort::Bool, "assertion must be boolean");
+        match ctx.const_bool(t) {
+            Some(true) => {}
+            Some(false) => self.trivially_false = true,
+            None => self.assertions.push(t),
+        }
+    }
+
+    /// The current assertions.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
+    /// Decides satisfiability of the conjunction of all assertions.
+    pub fn check(&mut self, ctx: &mut Ctx) -> SatResult {
+        if self.trivially_false {
+            return SatResult::Unsat;
+        }
+        if self.assertions.is_empty() {
+            return SatResult::Sat(Box::new(Model::default()));
+        }
+        let encode_start = Instant::now();
+        // 1. Ackermann reduction.
+        let mut ack = Ackermann::new();
+        let rewritten: Vec<TermId> = self
+            .assertions
+            .clone()
+            .into_iter()
+            .map(|t| ack.rewrite(ctx, t))
+            .collect();
+        let constraints = ack.constraints.clone();
+        self.stats.ackermann_constraints = constraints.len();
+        self.stats.assertions = self.assertions.len();
+        // 2. Bit-blast.
+        let mut bb = BitBlaster::new();
+        let mut trivially_false = false;
+        for &t in rewritten.iter().chain(constraints.iter()) {
+            if ctx.const_bool(t) == Some(false) {
+                trivially_false = true;
+                break;
+            }
+            if ctx.const_bool(t) == Some(true) {
+                continue;
+            }
+            bb.assert_term(ctx, t);
+        }
+        if trivially_false {
+            return SatResult::Unsat;
+        }
+        let var_bv = bb.var_bv.clone();
+        let var_bool = bb.var_bool.clone();
+        let (num_vars, clauses) = bb.builder.finish();
+        self.stats.cnf_vars = num_vars;
+        self.stats.cnf_clauses = clauses.len();
+        self.stats.encode_time = encode_start.elapsed();
+        if std::env::var("HK_SMT_TRACE").is_ok() {
+            eprintln!(
+                "[smt] encoded: {} vars, {} clauses, {} assertions, {} congruence ({:.1}s)",
+                num_vars,
+                clauses.len(),
+                self.stats.assertions,
+                self.stats.ackermann_constraints,
+                self.stats.encode_time.as_secs_f64()
+            );
+        }
+        // 3. SAT.
+        let solve_start = Instant::now();
+        let mut sat = SatSolver::with_config(self.config.sat.clone());
+        sat.reserve_vars(num_vars);
+        let mut ok = true;
+        for c in &clauses {
+            if !sat.add_clause(c) {
+                ok = false;
+                break;
+            }
+        }
+        let outcome = if ok { sat.solve() } else { SatOutcome::Unsat };
+        self.stats.solve_time = solve_start.elapsed();
+        self.stats.conflicts = sat.stats.conflicts;
+        self.stats.decisions = sat.stats.decisions;
+        self.stats.propagations = sat.stats.propagations;
+        match outcome {
+            SatOutcome::Unsat => SatResult::Unsat,
+            SatOutcome::Unknown => SatResult::Unknown,
+            SatOutcome::Sat => {
+                // 4. Lift the model.
+                let mut model = Model::default();
+                let lit_val = |l: crate::cnf::Lit| -> bool {
+                    if l > 0 {
+                        sat.model_value(l as u32)
+                    } else {
+                        !sat.model_value((-l) as u32)
+                    }
+                };
+                for (v, bits) in &var_bv {
+                    let mut val = 0u64;
+                    for (i, &l) in bits.iter().enumerate() {
+                        if lit_val(l) {
+                            val |= 1 << i;
+                        }
+                    }
+                    model.assignment.set_var(*v, Value::Bv(val));
+                }
+                for (v, &l) in &var_bool {
+                    model.assignment.set_var(*v, Value::Bool(lit_val(l)));
+                }
+                // 5. Lift UF interpretations through the instance table.
+                for (f, instances) in &ack.instances {
+                    for inst in instances {
+                        let args: Vec<u64> = inst
+                            .args
+                            .iter()
+                            .map(|&a| match model.eval(ctx, a) {
+                                Value::Bv(v) => v,
+                                Value::Bool(b) => b as u64,
+                            })
+                            .collect();
+                        let val = match model.eval(ctx, inst.var) {
+                            Value::Bv(v) => v,
+                            Value::Bool(b) => b as u64,
+                        };
+                        model.assignment.func_mut(*f).set(args, val);
+                    }
+                }
+                // 6. Validate against the original assertions.
+                if !self.config.skip_validation {
+                    for &t in &self.assertions {
+                        assert!(
+                            eval_bool(ctx, t, &model.assignment),
+                            "model validation failed for assertion: {}",
+                            ctx.display(t)
+                        );
+                    }
+                }
+                SatResult::Sat(Box::new(model))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_with_model() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(32));
+        let y = ctx.var("y", Sort::Bv(32));
+        let sum = ctx.bv_add(x, y);
+        let c100 = ctx.bv_const(32, 100);
+        let c10 = ctx.bv_const(32, 10);
+        let e1 = ctx.eq(sum, c100);
+        let e2 = ctx.eq(x, c10);
+        let mut s = Solver::new();
+        s.assert(&mut ctx, e1);
+        s.assert(&mut ctx, e2);
+        match s.check(&mut ctx) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.eval_bv(&ctx, x), Some(10));
+                assert_eq!(m.eval_bv(&ctx, y), Some(90));
+            }
+            r => panic!("expected sat, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_bv_facts() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        // x < 5 && x > 10 is unsat.
+        let c5 = ctx.bv_const(16, 5);
+        let c10 = ctx.bv_const(16, 10);
+        let lt = ctx.ult(x, c5);
+        let gt = ctx.ult(c10, x);
+        let mut s = Solver::new();
+        s.assert(&mut ctx, lt);
+        s.assert(&mut ctx, gt);
+        assert!(s.check(&mut ctx).is_unsat());
+    }
+
+    #[test]
+    fn uf_congruence_unsat() {
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let x = ctx.var("x", Sort::Bv(64));
+        let y = ctx.var("y", Sort::Bv(64));
+        // x == y && f(x) != f(y) is unsat.
+        let e = ctx.eq(x, y);
+        let fx = ctx.apply(f, &[x]);
+        let fy = ctx.apply(f, &[y]);
+        let ne = ctx.ne(fx, fy);
+        let mut s = Solver::new();
+        s.assert(&mut ctx, e);
+        s.assert(&mut ctx, ne);
+        assert!(s.check(&mut ctx).is_unsat());
+    }
+
+    #[test]
+    fn uf_model_lifting() {
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let c1 = ctx.bv_const(64, 1);
+        let c2 = ctx.bv_const(64, 2);
+        let f1 = ctx.apply(f, &[c1]);
+        let f2 = ctx.apply(f, &[c2]);
+        let c10 = ctx.bv_const(64, 10);
+        let c20 = ctx.bv_const(64, 20);
+        let e1 = ctx.eq(f1, c10);
+        let e2 = ctx.eq(f2, c20);
+        let mut s = Solver::new();
+        s.assert(&mut ctx, e1);
+        s.assert(&mut ctx, e2);
+        match s.check(&mut ctx) {
+            SatResult::Sat(m) => {
+                let fi = m.func_interp(f).expect("f interpreted");
+                assert_eq!(fi.get(&[1]), 10);
+                assert_eq!(fi.get(&[2]), 20);
+                // Re-evaluating the applications agrees.
+                assert_eq!(m.eval_bv(&ctx, f1), Some(10));
+            }
+            r => panic!("expected sat, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_is_sat() {
+        let mut ctx = Ctx::new();
+        let mut s = Solver::new();
+        assert!(s.check(&mut ctx).is_sat());
+    }
+
+    #[test]
+    fn trivially_false_assertion() {
+        let mut ctx = Ctx::new();
+        let f = ctx.fls();
+        let mut s = Solver::new();
+        s.assert(&mut ctx, f);
+        assert!(s.check(&mut ctx).is_unsat());
+    }
+}

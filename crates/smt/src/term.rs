@@ -1,0 +1,1168 @@
+//! Hash-consed terms over booleans, fixed-width bit-vectors, and
+//! uninterpreted functions.
+//!
+//! All terms live in a [`Ctx`] and are referenced by [`TermId`]. The
+//! constructors are *smart*: they fold constants and apply cheap local
+//! rewrites (identity elements, `ite` collapsing, equality of identical
+//! terms), which keeps the DAGs emitted by symbolic execution small before
+//! they ever reach the bit-blaster. The rewrites implement SMT-LIB
+//! semantics for every operator (e.g. `bvudiv x 0 = ~0`), so the ground
+//! evaluator in [`crate::eval`] and the bit-blaster in [`crate::bitblast`]
+//! can be tested against each other.
+
+use std::collections::HashMap;
+
+/// Sort of a term: boolean or bit-vector of the given width (1..=64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Boolean sort.
+    Bool,
+    /// Bit-vector sort of the given width in bits.
+    Bv(u32),
+}
+
+impl Sort {
+    /// Width of a bit-vector sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is [`Sort::Bool`].
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::Bv(w) => w,
+            Sort::Bool => panic!("Sort::width on Bool"),
+        }
+    }
+}
+
+/// Reference to an interned term in a [`Ctx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// Reference to a declared variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Reference to a declared uninterpreted function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Binary bit-vector operations (SMT-LIB semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BvBinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division; division by zero yields all-ones.
+    Udiv,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    Urem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left; amounts `>= width` yield zero.
+    Shl,
+    /// Logical shift right; amounts `>= width` yield zero.
+    Lshr,
+    /// Arithmetic shift right; amounts `>= width` yield the sign fill.
+    Ashr,
+}
+
+impl BvBinOp {
+    /// True for operators where argument order does not matter.
+    pub fn commutative(self) -> bool {
+        matches!(
+            self,
+            BvBinOp::Add | BvBinOp::Mul | BvBinOp::And | BvBinOp::Or | BvBinOp::Xor
+        )
+    }
+
+    /// Applies the operator to constants of the given width.
+    pub fn apply(self, width: u32, a: u64, b: u64) -> u64 {
+        let m = mask(width);
+        let r = match self {
+            BvBinOp::Add => a.wrapping_add(b),
+            BvBinOp::Sub => a.wrapping_sub(b),
+            BvBinOp::Mul => a.wrapping_mul(b),
+            BvBinOp::Udiv => {
+                if b == 0 {
+                    m
+                } else {
+                    a / b
+                }
+            }
+            BvBinOp::Urem => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            BvBinOp::And => a & b,
+            BvBinOp::Or => a | b,
+            BvBinOp::Xor => a ^ b,
+            BvBinOp::Shl => {
+                if b >= width as u64 {
+                    0
+                } else {
+                    a << b
+                }
+            }
+            BvBinOp::Lshr => {
+                if b >= width as u64 {
+                    0
+                } else {
+                    a >> b
+                }
+            }
+            BvBinOp::Ashr => {
+                let sign = a >> (width - 1) & 1;
+                if b >= width as u64 {
+                    if sign == 1 {
+                        m
+                    } else {
+                        0
+                    }
+                } else {
+                    let sa = sext_to_64(a, width) as i64;
+                    (sa >> b) as u64
+                }
+            }
+        };
+        r & m
+    }
+}
+
+/// Bit-vector comparison operations producing booleans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+}
+
+impl CmpOp {
+    /// Applies the comparison to constants of the given width.
+    pub fn apply(self, width: u32, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Ult => a < b,
+            CmpOp::Ule => a <= b,
+            CmpOp::Slt => (sext_to_64(a, width) as i64) < (sext_to_64(b, width) as i64),
+            CmpOp::Sle => (sext_to_64(a, width) as i64) <= (sext_to_64(b, width) as i64),
+        }
+    }
+}
+
+/// The interned representation of a term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TermData {
+    /// Boolean constant true.
+    True,
+    /// Boolean constant false.
+    False,
+    /// Bit-vector constant (value is masked to the width).
+    BvConst { width: u32, value: u64 },
+    /// Declared variable.
+    Var(VarId),
+    /// Boolean negation.
+    Not(TermId),
+    /// N-ary conjunction (args sorted, deduplicated, at least 2).
+    And(Box<[TermId]>),
+    /// N-ary disjunction (args sorted, deduplicated, at least 2).
+    Or(Box<[TermId]>),
+    /// Equality of two terms of the same sort.
+    Eq(TermId, TermId),
+    /// If-then-else; condition is boolean, branches share a sort.
+    Ite(TermId, TermId, TermId),
+    /// Bit-vector complement.
+    BvNot(TermId),
+    /// Binary bit-vector operation.
+    BvBin(BvBinOp, TermId, TermId),
+    /// Bit-vector comparison.
+    Cmp(CmpOp, TermId, TermId),
+    /// Zero-extension to the given (strictly larger) width.
+    ZExt(TermId, u32),
+    /// Sign-extension to the given (strictly larger) width.
+    SExt(TermId, u32),
+    /// Bit extraction `[hi:lo]` (inclusive), width `hi - lo + 1`.
+    Extract(TermId, u32, u32),
+    /// Concatenation; the first operand forms the high bits.
+    Concat(TermId, TermId),
+    /// Application of an uninterpreted function.
+    Apply(FuncId, Box<[TermId]>),
+}
+
+/// Declared variable metadata.
+#[derive(Debug, Clone)]
+pub struct VarDecl {
+    /// Display name (need not be unique).
+    pub name: String,
+    /// Sort of the variable.
+    pub sort: Sort,
+}
+
+/// Declared uninterpreted-function metadata.
+#[derive(Debug, Clone)]
+pub struct FuncDecl {
+    /// Display name (need not be unique).
+    pub name: String,
+    /// Argument sorts.
+    pub domain: Vec<Sort>,
+    /// Result sort.
+    pub range: Sort,
+}
+
+/// Bit mask with the low `width` bits set.
+pub fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Sign-extends a `width`-bit value to 64 bits.
+pub fn sext_to_64(v: u64, width: u32) -> u64 {
+    if width >= 64 {
+        return v;
+    }
+    let sign = 1u64 << (width - 1);
+    if v & sign != 0 {
+        v | !mask(width)
+    } else {
+        v & mask(width)
+    }
+}
+
+/// Term context: the arena that interns terms and declares variables and
+/// uninterpreted functions.
+///
+/// A context is single-threaded by design; parallel verification creates
+/// one context per worker (paper §6.3 runs one Z3 instance per handler).
+#[derive(Debug, Default)]
+pub struct Ctx {
+    terms: Vec<TermData>,
+    sorts: Vec<Sort>,
+    intern: HashMap<TermData, TermId>,
+    vars: Vec<VarDecl>,
+    funcs: Vec<FuncDecl>,
+}
+
+impl Ctx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned terms (for stats and regression tests).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The data of a term.
+    pub fn data(&self, t: TermId) -> &TermData {
+        &self.terms[t.0 as usize]
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, t: TermId) -> Sort {
+        self.sorts[t.0 as usize]
+    }
+
+    /// The width of a bit-vector term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is boolean.
+    pub fn width(&self, t: TermId) -> u32 {
+        self.sort(t).width()
+    }
+
+    /// Metadata of a declared variable.
+    pub fn var_decl(&self, v: VarId) -> &VarDecl {
+        &self.vars[v.0 as usize]
+    }
+
+    /// Metadata of a declared function.
+    pub fn func_decl(&self, f: FuncId) -> &FuncDecl {
+        &self.funcs[f.0 as usize]
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    fn intern(&mut self, data: TermData, sort: Sort) -> TermId {
+        if let Some(&id) = self.intern.get(&data) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(data.clone());
+        self.sorts.push(sort);
+        self.intern.insert(data, id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves.
+    // ------------------------------------------------------------------
+
+    /// The constant `true`.
+    pub fn tru(&mut self) -> TermId {
+        self.intern(TermData::True, Sort::Bool)
+    }
+
+    /// The constant `false`.
+    pub fn fls(&mut self) -> TermId {
+        self.intern(TermData::False, Sort::Bool)
+    }
+
+    /// A boolean constant.
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        if b {
+            self.tru()
+        } else {
+            self.fls()
+        }
+    }
+
+    /// A bit-vector constant of the given width (value is masked).
+    pub fn bv_const(&mut self, width: u32, value: u64) -> TermId {
+        assert!((1..=64).contains(&width), "bv width {width}");
+        let value = value & mask(width);
+        self.intern(TermData::BvConst { width, value }, Sort::Bv(width))
+    }
+
+    /// A 64-bit constant from a signed value (the kernel's native word).
+    pub fn i64_const(&mut self, value: i64) -> TermId {
+        self.bv_const(64, value as u64)
+    }
+
+    /// Declares a fresh variable. Each call creates a distinct variable,
+    /// even when names collide.
+    pub fn var(&mut self, name: impl Into<String>, sort: Sort) -> TermId {
+        let v = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl {
+            name: name.into(),
+            sort,
+        });
+        self.intern(TermData::Var(v), sort)
+    }
+
+    /// Declares a fresh uninterpreted function.
+    pub fn func(
+        &mut self,
+        name: impl Into<String>,
+        domain: Vec<Sort>,
+        range: Sort,
+    ) -> FuncId {
+        let f = FuncId(self.funcs.len() as u32);
+        self.funcs.push(FuncDecl {
+            name: name.into(),
+            domain,
+            range,
+        });
+        f
+    }
+
+    /// Applies an uninterpreted function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument sorts do not match the declaration.
+    pub fn apply(&mut self, f: FuncId, args: &[TermId]) -> TermId {
+        let decl = &self.funcs[f.0 as usize];
+        assert_eq!(decl.domain.len(), args.len(), "arity mismatch for {}", decl.name);
+        let range = decl.range;
+        for (i, (&a, &s)) in args.iter().zip(decl.domain.iter()).enumerate() {
+            assert_eq!(
+                self.sort(a),
+                s,
+                "argument {i} sort mismatch applying {}",
+                self.funcs[f.0 as usize].name
+            );
+        }
+        self.intern(TermData::Apply(f, args.into()), range)
+    }
+
+    // ------------------------------------------------------------------
+    // Boolean connectives.
+    // ------------------------------------------------------------------
+
+    /// Boolean negation. Negations are pushed through conjunctions and
+    /// disjunctions (negation normal form), so De Morgan-equal formulas
+    /// built by different frontends — the spec's `!a && !b` against the
+    /// compiled kernel's `!(a || b)` — intern to the same term.
+    pub fn not(&mut self, a: TermId) -> TermId {
+        debug_assert_eq!(self.sort(a), Sort::Bool);
+        match self.data(a).clone() {
+            TermData::True => self.fls(),
+            TermData::False => self.tru(),
+            TermData::Not(inner) => inner,
+            TermData::And(args) => {
+                let negs: Vec<TermId> = args.iter().map(|&x| self.not(x)).collect();
+                self.or(&negs)
+            }
+            TermData::Or(args) => {
+                let negs: Vec<TermId> = args.iter().map(|&x| self.not(x)).collect();
+                self.and(&negs)
+            }
+            _ => self.intern(TermData::Not(a), Sort::Bool),
+        }
+    }
+
+    /// N-ary conjunction.
+    pub fn and(&mut self, args: &[TermId]) -> TermId {
+        let mut flat = Vec::with_capacity(args.len());
+        for &a in args {
+            debug_assert_eq!(self.sort(a), Sort::Bool);
+            match self.data(a) {
+                TermData::True => {}
+                TermData::False => return self.fls(),
+                TermData::And(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(a),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        // `x && !x` is false.
+        for &t in &flat {
+            if let TermData::Not(inner) = self.data(t) {
+                if flat.binary_search(inner).is_ok() {
+                    return self.fls();
+                }
+            }
+        }
+        match flat.len() {
+            0 => self.tru(),
+            1 => flat[0],
+            _ => self.intern(TermData::And(flat.into()), Sort::Bool),
+        }
+    }
+
+    /// Binary conjunction convenience.
+    pub fn and2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.and(&[a, b])
+    }
+
+    /// N-ary disjunction.
+    pub fn or(&mut self, args: &[TermId]) -> TermId {
+        let mut flat = Vec::with_capacity(args.len());
+        for &a in args {
+            debug_assert_eq!(self.sort(a), Sort::Bool);
+            match self.data(a) {
+                TermData::False => {}
+                TermData::True => return self.tru(),
+                TermData::Or(inner) => flat.extend(inner.iter().copied()),
+                _ => flat.push(a),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        for &t in &flat {
+            if let TermData::Not(inner) = self.data(t) {
+                if flat.binary_search(inner).is_ok() {
+                    return self.tru();
+                }
+            }
+        }
+        match flat.len() {
+            0 => self.fls(),
+            1 => flat[0],
+            _ => self.intern(TermData::Or(flat.into()), Sort::Bool),
+        }
+    }
+
+    /// Binary disjunction convenience.
+    pub fn or2(&mut self, a: TermId, b: TermId) -> TermId {
+        self.or(&[a, b])
+    }
+
+    /// Implication `a => b`.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        let na = self.not(a);
+        self.or(&[na, b])
+    }
+
+    /// Equality (works for both sorts; for booleans this is iff).
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        assert_eq!(self.sort(a), self.sort(b), "eq sort mismatch");
+        if a == b {
+            return self.tru();
+        }
+        match (self.data(a).clone(), self.data(b).clone()) {
+            (TermData::BvConst { value: va, .. }, TermData::BvConst { value: vb, .. }) => {
+                return self.bool_const(va == vb);
+            }
+            (TermData::True, _) => return b,
+            (_, TermData::True) => return a,
+            (TermData::False, _) => return self.not(b),
+            (_, TermData::False) => return self.not(a),
+            _ => {}
+        }
+        // Normalize 0/1-word comparisons back to booleans: HIR encodes
+        // truth values as `ite(c, 1, 0)` words, the spec as booleans;
+        // `ite(c, t, e) == k` with constant branches dissolves the word.
+        for (ite_side, konst) in [(a, b), (b, a)] {
+            if let (TermData::Ite(c, t, e), Some(k)) =
+                (self.data(ite_side).clone(), self.const_value(konst))
+            {
+                if let (Some(tv), Some(ev)) = (self.const_value(t), self.const_value(e)) {
+                    return match (tv == k, ev == k) {
+                        (true, true) => self.tru(),
+                        (true, false) => c,
+                        (false, true) => self.not(c),
+                        (false, false) => self.fls(),
+                    };
+                }
+            }
+        }
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(TermData::Eq(a, b), Sort::Bool)
+    }
+
+    /// Disequality.
+    pub fn ne(&mut self, a: TermId, b: TermId) -> TermId {
+        let e = self.eq(a, b);
+        self.not(e)
+    }
+
+    /// If-then-else.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        debug_assert_eq!(self.sort(c), Sort::Bool);
+        assert_eq!(self.sort(t), self.sort(e), "ite branch sort mismatch");
+        match self.data(c) {
+            TermData::True => return t,
+            TermData::False => return e,
+            _ => {}
+        }
+        if t == e {
+            return t;
+        }
+        if self.sort(t) == Sort::Bool {
+            let (td, ed) = (self.data(t).clone(), self.data(e).clone());
+            match (td, ed) {
+                (TermData::True, TermData::False) => return c,
+                (TermData::False, TermData::True) => return self.not(c),
+                (TermData::True, _) => return self.or2(c, e),
+                (_, TermData::False) => return self.and2(c, t),
+                (TermData::False, _) => {
+                    let nc = self.not(c);
+                    return self.and2(nc, e);
+                }
+                (_, TermData::True) => {
+                    let nc = self.not(c);
+                    return self.or2(nc, t);
+                }
+                _ => {}
+            }
+        }
+        // ite(!c, t, e) = ite(c, e, t).
+        if let TermData::Not(inner) = self.data(c) {
+            let inner = *inner;
+            return self.ite(inner, e, t);
+        }
+        let sort = self.sort(t);
+        self.intern(TermData::Ite(c, t, e), sort)
+    }
+
+    // ------------------------------------------------------------------
+    // Bit-vector operations.
+    // ------------------------------------------------------------------
+
+    /// Bit-vector complement.
+    pub fn bv_not(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        match self.data(a) {
+            TermData::BvConst { value, .. } => {
+                let v = !value;
+                self.bv_const(w, v)
+            }
+            TermData::BvNot(inner) => *inner,
+            _ => self.intern(TermData::BvNot(a), Sort::Bv(w)),
+        }
+    }
+
+    /// Two's-complement negation.
+    pub fn bv_neg(&mut self, a: TermId) -> TermId {
+        let w = self.width(a);
+        let zero = self.bv_const(w, 0);
+        self.bv_bin(BvBinOp::Sub, zero, a)
+    }
+
+    /// Binary bit-vector operation with constant folding and identities.
+    pub fn bv_bin(&mut self, op: BvBinOp, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        assert_eq!(w, self.width(b), "bv_bin width mismatch");
+        let ca = self.const_value(a);
+        let cb = self.const_value(b);
+        if let (Some(va), Some(vb)) = (ca, cb) {
+            let v = op.apply(w, va, vb);
+            return self.bv_const(w, v);
+        }
+        // Identity and absorption rules.
+        match op {
+            BvBinOp::Add => {
+                if ca == Some(0) {
+                    return b;
+                }
+                if cb == Some(0) {
+                    return a;
+                }
+            }
+            BvBinOp::Sub => {
+                if cb == Some(0) {
+                    return a;
+                }
+                if a == b {
+                    return self.bv_const(w, 0);
+                }
+            }
+            BvBinOp::Mul => {
+                if ca == Some(0) || cb == Some(0) {
+                    return self.bv_const(w, 0);
+                }
+                if ca == Some(1) {
+                    return b;
+                }
+                if cb == Some(1) {
+                    return a;
+                }
+            }
+            BvBinOp::And => {
+                if ca == Some(0) || cb == Some(0) {
+                    return self.bv_const(w, 0);
+                }
+                if ca == Some(mask(w)) {
+                    return b;
+                }
+                if cb == Some(mask(w)) {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            BvBinOp::Or => {
+                if ca == Some(0) {
+                    return b;
+                }
+                if cb == Some(0) {
+                    return a;
+                }
+                if ca == Some(mask(w)) || cb == Some(mask(w)) {
+                    return self.bv_const(w, mask(w));
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            BvBinOp::Xor => {
+                if ca == Some(0) {
+                    return b;
+                }
+                if cb == Some(0) {
+                    return a;
+                }
+                if a == b {
+                    return self.bv_const(w, 0);
+                }
+            }
+            BvBinOp::Shl | BvBinOp::Lshr | BvBinOp::Ashr => {
+                if cb == Some(0) {
+                    return a;
+                }
+                if ca == Some(0) {
+                    return self.bv_const(w, 0);
+                }
+            }
+            BvBinOp::Udiv | BvBinOp::Urem => {}
+        }
+        // Bitwise &/| over 0/1-encoded booleans stay 0/1-encoded with a
+        // fused condition, keeping HIR's word-level logic aligned with
+        // the spec's boolean terms.
+        if matches!(op, BvBinOp::And | BvBinOp::Or) {
+            if let (Some(ca), Some(cb)) = (self.as_bool01(a), self.as_bool01(b)) {
+                let c = if op == BvBinOp::And {
+                    self.and2(ca, cb)
+                } else {
+                    self.or2(ca, cb)
+                };
+                let one = self.bv_const(w, 1);
+                let zero = self.bv_const(w, 0);
+                return self.ite(c, one, zero);
+            }
+        }
+        // Structural rewrites that keep the guarded-update ("blend")
+        // idiom multiplier-free: kernel code computes
+        // `b + (a - b) * c` with `c` a 0/1 word, which these three rules
+        // jointly collapse to `ite(c, a, b)`.
+        match op {
+            BvBinOp::Mul => {
+                // x * ite(c, 1, 0) = ite(c, x, 0); likewise mirrored.
+                for (x, sel) in [(a, b), (b, a)] {
+                    if let TermData::Ite(c, t, e) = self.data(sel).clone() {
+                        let (tv, ev) = (self.const_value(t), self.const_value(e));
+                        if tv == Some(1) && ev == Some(0) {
+                            let zero = self.bv_const(w, 0);
+                            return self.ite(c, x, zero);
+                        }
+                        if tv == Some(0) && ev == Some(1) {
+                            let zero = self.bv_const(w, 0);
+                            return self.ite(c, zero, x);
+                        }
+                    }
+                }
+            }
+            BvBinOp::Add => {
+                // x + ite(c, y, 0) = ite(c, x + y, x); mirrored too.
+                for (x, sel) in [(a, b), (b, a)] {
+                    if let TermData::Ite(c, t, e) = self.data(sel).clone() {
+                        if self.const_value(e) == Some(0) {
+                            let sum = self.bv_bin(BvBinOp::Add, x, t);
+                            return self.ite(c, sum, x);
+                        }
+                        if self.const_value(t) == Some(0) {
+                            let sum = self.bv_bin(BvBinOp::Add, x, e);
+                            return self.ite(c, x, sum);
+                        }
+                    }
+                }
+                // x + (y - x) = y (wrapping, exact).
+                for (x, other) in [(a, b), (b, a)] {
+                    if let TermData::BvBin(BvBinOp::Sub, y, x2) = self.data(other) {
+                        if *x2 == x {
+                            return *y;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        let (a, b) = if op.commutative() && b < a { (b, a) } else { (a, b) };
+        self.intern(TermData::BvBin(op, a, b), Sort::Bv(w))
+    }
+
+    /// Wrapping addition.
+    pub fn bv_add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_bin(BvBinOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn bv_sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_bin(BvBinOp::Sub, a, b)
+    }
+
+    /// Wrapping multiplication.
+    pub fn bv_mul(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_bin(BvBinOp::Mul, a, b)
+    }
+
+    /// Comparison with constant folding.
+    pub fn cmp(&mut self, op: CmpOp, a: TermId, b: TermId) -> TermId {
+        let w = self.width(a);
+        assert_eq!(w, self.width(b), "cmp width mismatch");
+        if let (Some(va), Some(vb)) = (self.const_value(a), self.const_value(b)) {
+            return self.bool_const(op.apply(w, va, vb));
+        }
+        if a == b {
+            return self.bool_const(matches!(op, CmpOp::Ule | CmpOp::Sle));
+        }
+        match op {
+            CmpOp::Ult => {
+                if self.const_value(b) == Some(0) {
+                    return self.fls();
+                }
+                if self.const_value(a) == Some(mask(w)) {
+                    return self.fls();
+                }
+            }
+            CmpOp::Ule => {
+                if self.const_value(a) == Some(0) {
+                    return self.tru();
+                }
+                if self.const_value(b) == Some(mask(w)) {
+                    return self.tru();
+                }
+            }
+            _ => {}
+        }
+        self.intern(TermData::Cmp(op, a, b), Sort::Bool)
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Ult, a, b)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Ule, a, b)
+    }
+
+    /// Signed less-than.
+    pub fn slt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Slt, a, b)
+    }
+
+    /// Signed less-or-equal.
+    pub fn sle(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Sle, a, b)
+    }
+
+    /// Signed greater-or-equal.
+    pub fn sge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Sle, b, a)
+    }
+
+    /// Signed greater-than.
+    pub fn sgt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.cmp(CmpOp::Slt, b, a)
+    }
+
+    /// Zero-extension to `width`.
+    pub fn zext(&mut self, a: TermId, width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(width >= w, "zext narrows");
+        if width == w {
+            return a;
+        }
+        if let Some(v) = self.const_value(a) {
+            return self.bv_const(width, v);
+        }
+        self.intern(TermData::ZExt(a, width), Sort::Bv(width))
+    }
+
+    /// Sign-extension to `width`.
+    pub fn sext(&mut self, a: TermId, width: u32) -> TermId {
+        let w = self.width(a);
+        assert!(width >= w, "sext narrows");
+        if width == w {
+            return a;
+        }
+        if let Some(v) = self.const_value(a) {
+            let v = sext_to_64(v, w) & mask(width);
+            return self.bv_const(width, v);
+        }
+        self.intern(TermData::SExt(a, width), Sort::Bv(width))
+    }
+
+    /// Bit extraction `[hi:lo]`, inclusive on both ends.
+    pub fn extract(&mut self, a: TermId, hi: u32, lo: u32) -> TermId {
+        let w = self.width(a);
+        assert!(hi >= lo && hi < w, "extract range [{hi}:{lo}] of width {w}");
+        if lo == 0 && hi == w - 1 {
+            return a;
+        }
+        if let Some(v) = self.const_value(a) {
+            let width = hi - lo + 1;
+            return self.bv_const(width, v >> lo);
+        }
+        self.intern(TermData::Extract(a, hi, lo), Sort::Bv(hi - lo + 1))
+    }
+
+    /// Concatenation; `a` becomes the high bits.
+    pub fn concat(&mut self, a: TermId, b: TermId) -> TermId {
+        let (wa, wb) = (self.width(a), self.width(b));
+        assert!(wa + wb <= 64, "concat width {} exceeds 64", wa + wb);
+        if let (Some(va), Some(vb)) = (self.const_value(a), self.const_value(b)) {
+            return self.bv_const(wa + wb, (va << wb) | vb);
+        }
+        self.intern(TermData::Concat(a, b), Sort::Bv(wa + wb))
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection helpers.
+    // ------------------------------------------------------------------
+
+    /// If `t` is a 0/1-encoded boolean word, returns the underlying
+    /// condition: `ite(c, 1, 0)` yields `c`, the inverted `ite(c, 0, 1)`
+    /// yields `¬c`, and the constants 1 and 0 yield `true`/`false`.
+    pub fn as_bool01(&mut self, t: TermId) -> Option<TermId> {
+        if let TermData::Ite(c, tt, ee) = *self.data(t) {
+            if self.const_value(tt) == Some(1) && self.const_value(ee) == Some(0) {
+                return Some(c);
+            }
+            if self.const_value(tt) == Some(0) && self.const_value(ee) == Some(1) {
+                return Some(self.not(c));
+            }
+        }
+        match self.const_value(t) {
+            Some(1) => Some(self.tru()),
+            Some(0) => Some(self.fls()),
+            _ => None,
+        }
+    }
+
+    /// The constant value of a bit-vector term, if it is a constant.
+    pub fn const_value(&self, t: TermId) -> Option<u64> {
+        match self.data(t) {
+            TermData::BvConst { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The boolean value of a term, if it is a boolean constant.
+    pub fn const_bool(&self, t: TermId) -> Option<bool> {
+        match self.data(t) {
+            TermData::True => Some(true),
+            TermData::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Renders a term as an s-expression (for diagnostics and tests).
+    pub fn display(&self, t: TermId) -> String {
+        let mut out = String::new();
+        self.display_into(t, &mut out, 0);
+        out
+    }
+
+    fn display_into(&self, t: TermId, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        if depth > 80 {
+            out.push_str("...");
+            return;
+        }
+        match self.data(t) {
+            TermData::True => out.push_str("true"),
+            TermData::False => out.push_str("false"),
+            TermData::BvConst { value, width } => {
+                let _ = write!(out, "{value}w{width}");
+            }
+            TermData::Var(v) => out.push_str(&self.vars[v.0 as usize].name),
+            TermData::Not(a) => {
+                out.push_str("(not ");
+                self.display_into(*a, out, depth + 1);
+                out.push(')');
+            }
+            TermData::And(args) | TermData::Or(args) => {
+                out.push_str(if matches!(self.data(t), TermData::And(_)) {
+                    "(and"
+                } else {
+                    "(or"
+                });
+                for &a in args.iter() {
+                    out.push(' ');
+                    self.display_into(a, out, depth + 1);
+                }
+                out.push(')');
+            }
+            TermData::Eq(a, b) => {
+                out.push_str("(= ");
+                self.display_into(*a, out, depth + 1);
+                out.push(' ');
+                self.display_into(*b, out, depth + 1);
+                out.push(')');
+            }
+            TermData::Ite(c, a, b) => {
+                out.push_str("(ite ");
+                self.display_into(*c, out, depth + 1);
+                out.push(' ');
+                self.display_into(*a, out, depth + 1);
+                out.push(' ');
+                self.display_into(*b, out, depth + 1);
+                out.push(')');
+            }
+            TermData::BvNot(a) => {
+                out.push_str("(bvnot ");
+                self.display_into(*a, out, depth + 1);
+                out.push(')');
+            }
+            TermData::BvBin(op, a, b) => {
+                let _ = write!(out, "({op:?} ").map(|_| ());
+                self.display_into(*a, out, depth + 1);
+                out.push(' ');
+                self.display_into(*b, out, depth + 1);
+                out.push(')');
+            }
+            TermData::Cmp(op, a, b) => {
+                let _ = write!(out, "({op:?} ");
+                self.display_into(*a, out, depth + 1);
+                out.push(' ');
+                self.display_into(*b, out, depth + 1);
+                out.push(')');
+            }
+            TermData::ZExt(a, w) => {
+                let _ = write!(out, "(zext{w} ");
+                self.display_into(*a, out, depth + 1);
+                out.push(')');
+            }
+            TermData::SExt(a, w) => {
+                let _ = write!(out, "(sext{w} ");
+                self.display_into(*a, out, depth + 1);
+                out.push(')');
+            }
+            TermData::Extract(a, hi, lo) => {
+                let _ = write!(out, "(extract[{hi}:{lo}] ");
+                self.display_into(*a, out, depth + 1);
+                out.push(')');
+            }
+            TermData::Concat(a, b) => {
+                out.push_str("(concat ");
+                self.display_into(*a, out, depth + 1);
+                out.push(' ');
+                self.display_into(*b, out, depth + 1);
+                out.push(')');
+            }
+            TermData::Apply(f, args) => {
+                let _ = write!(out, "({}", self.funcs[f.0 as usize].name);
+                for &a in args.iter() {
+                    out.push(' ');
+                    self.display_into(a, out, depth + 1);
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bv_const(64, 5);
+        let b = ctx.bv_const(64, 5);
+        assert_eq!(a, b);
+        let x = ctx.var("x", Sort::Bv(64));
+        let s1 = ctx.bv_add(x, a);
+        let s2 = ctx.bv_add(x, b);
+        assert_eq!(s1, s2);
+        // Commutativity canonicalization.
+        let s3 = ctx.bv_add(a, x);
+        assert_eq!(s1, s3);
+    }
+
+    #[test]
+    fn vars_are_always_fresh() {
+        let mut ctx = Ctx::new();
+        let a = ctx.var("x", Sort::Bv(8));
+        let b = ctx.var("x", Sort::Bv(8));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bv_const(8, 200);
+        let b = ctx.bv_const(8, 100);
+        let s = ctx.bv_add(a, b);
+        assert_eq!(ctx.const_value(s), Some(44)); // 300 mod 256
+        let p = ctx.bv_mul(a, b);
+        assert_eq!(ctx.const_value(p), Some(20000 % 256));
+    }
+
+    #[test]
+    fn udiv_by_zero_is_all_ones() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bv_const(8, 42);
+        let z = ctx.bv_const(8, 0);
+        let d = ctx.bv_bin(BvBinOp::Udiv, a, z);
+        assert_eq!(ctx.const_value(d), Some(0xff));
+        let r = ctx.bv_bin(BvBinOp::Urem, a, z);
+        assert_eq!(ctx.const_value(r), Some(42));
+    }
+
+    #[test]
+    fn shift_semantics() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bv_const(8, 0x80);
+        let big = ctx.bv_const(8, 9);
+        let shl = ctx.bv_bin(BvBinOp::Shl, a, big);
+        assert_eq!(ctx.const_value(shl), Some(0));
+        let ashr = ctx.bv_bin(BvBinOp::Ashr, a, big);
+        assert_eq!(ctx.const_value(ashr), Some(0xff));
+        let one = ctx.bv_const(8, 1);
+        let ashr1 = ctx.bv_bin(BvBinOp::Ashr, a, one);
+        assert_eq!(ctx.const_value(ashr1), Some(0xc0));
+    }
+
+    #[test]
+    fn boolean_simplifications() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bool);
+        let nx = ctx.not(x);
+        assert_eq!(ctx.and2(x, nx), ctx.fls());
+        assert_eq!(ctx.or2(x, nx), ctx.tru());
+        let t = ctx.tru();
+        assert_eq!(ctx.and2(x, t), x);
+        let nnx = ctx.not(nx);
+        assert_eq!(nnx, x);
+    }
+
+    #[test]
+    fn ite_simplifications() {
+        let mut ctx = Ctx::new();
+        let c = ctx.var("c", Sort::Bool);
+        let x = ctx.var("x", Sort::Bv(64));
+        let y = ctx.var("y", Sort::Bv(64));
+        assert_eq!(ctx.ite(c, x, x), x);
+        let t = ctx.tru();
+        assert_eq!(ctx.ite(t, x, y), x);
+        let f = ctx.fls();
+        let tt = ctx.tru();
+        let ff = ctx.fls();
+        assert_eq!(ctx.ite(c, tt, ff), c);
+        assert_eq!(ctx.ite(f, x, y), y);
+    }
+
+    #[test]
+    fn eq_simplifications() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        assert_eq!(ctx.eq(x, x), ctx.tru());
+        let a = ctx.bv_const(16, 3);
+        let b = ctx.bv_const(16, 4);
+        assert_eq!(ctx.eq(a, b), ctx.fls());
+        assert_eq!(ctx.eq(a, a), ctx.tru());
+    }
+
+    #[test]
+    fn extract_concat_fold() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bv_const(16, 0xabcd);
+        let hi = ctx.extract(a, 15, 8);
+        assert_eq!(ctx.const_value(hi), Some(0xab));
+        let lo = ctx.extract(a, 7, 0);
+        assert_eq!(ctx.const_value(lo), Some(0xcd));
+        let back = ctx.concat(hi, lo);
+        assert_eq!(ctx.const_value(back), Some(0xabcd));
+    }
+
+    #[test]
+    fn sext_fold() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bv_const(8, 0xf0);
+        let s = ctx.sext(a, 16);
+        assert_eq!(ctx.const_value(s), Some(0xfff0));
+        let z = ctx.zext(a, 16);
+        assert_eq!(ctx.const_value(z), Some(0x00f0));
+    }
+
+    #[test]
+    fn display_smoke() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let c = ctx.bv_const(8, 1);
+        let s = ctx.bv_add(x, c);
+        let e = ctx.eq(s, c);
+        let d = ctx.display(e);
+        assert!(d.contains("x"), "{d}");
+        assert!(d.contains("Add"), "{d}");
+    }
+}

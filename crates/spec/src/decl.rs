@@ -1,0 +1,601 @@
+//! The declarative layer: crosscutting properties over the abstract
+//! state (paper §2.2, §3.3, §4.2).
+//!
+//! Each property is a closed boolean term built by finite instantiation
+//! over the kernel's resource domains — the "effectively decidable"
+//! discipline of §3.3. Theorem 2 checks that the *conjunction* of all
+//! properties is preserved by every specified transition (the properties
+//! are mutually supporting, exactly as the kernel's invariants are), and
+//! the memory-isolation statement (paper Property 5) is proved as a
+//! consequence lemma: any state satisfying the conjunction admits no
+//! 4-level page walk that escapes the owner's frames.
+
+use hk_abi::{file_type, intremap_state, page_type, proc_state, INIT_PID, PARENT_NONE,
+    PID_NONE, PTE_P, PTE_PFN_SHIFT};
+use hk_smt::{BvBinOp, Ctx, Sort, TermId};
+
+use crate::state::SpecState;
+
+/// A named declarative property.
+pub struct DeclProperty {
+    /// Stable name for reports.
+    pub name: &'static str,
+    /// Builds the property as a closed term over the state.
+    pub build: fn(&mut Ctx, &mut SpecState) -> TermId,
+}
+
+/// All declarative properties, in presentation order.
+pub fn all_properties() -> Vec<DeclProperty> {
+    vec![
+        DeclProperty { name: "current-valid", build: current_valid },
+        DeclProperty { name: "running-is-current", build: running_is_current },
+        DeclProperty { name: "init-immortal", build: init_immortal },
+        DeclProperty { name: "file-refcount-consistent", build: file_refcount_consistent },
+        DeclProperty { name: "proc-counters-consistent", build: proc_counters_consistent },
+        DeclProperty { name: "pipe-ends-consistent", build: pipe_ends_consistent },
+        DeclProperty { name: "file-none-unreferenced", build: file_none_unreferenced },
+        DeclProperty { name: "proc-pages-exclusive", build: proc_pages_exclusive },
+        DeclProperty { name: "free-page-unowned", build: free_page_unowned },
+        DeclProperty { name: "free-proc-no-children", build: free_proc_no_children },
+        DeclProperty { name: "pte-wellformed", build: pte_wellformed },
+        DeclProperty { name: "iommu-root-wellformed", build: iommu_root_wellformed },
+        DeclProperty { name: "intremap-refcounts", build: intremap_refcounts },
+    ]
+}
+
+/// Conjunction of a set of properties.
+pub fn conjunction(ctx: &mut Ctx, st: &mut SpecState, props: &[DeclProperty]) -> TermId {
+    let terms: Vec<TermId> = props.iter().map(|p| (p.build)(ctx, st)).collect();
+    ctx.and(&terms)
+}
+
+fn c(ctx: &mut Ctx, v: i64) -> TermId {
+    ctx.i64_const(v)
+}
+
+/// Instantiates `body` over `from..n`.
+fn forall_range(
+    ctx: &mut Ctx,
+    from: u64,
+    n: u64,
+    mut body: impl FnMut(&mut Ctx, TermId, u64) -> TermId,
+) -> TermId {
+    let mut parts = Vec::with_capacity((n - from) as usize);
+    for i in from..n {
+        let ci = ctx.i64_const(i as i64);
+        parts.push(body(ctx, ci, i));
+    }
+    ctx.and(&parts)
+}
+
+/// `1 <= current < NR_PROCS`.
+fn current_valid(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let cur = st.scalar(ctx, "current");
+    let one = c(ctx, 1);
+    let n = c(ctx, st.params.nr_procs as i64);
+    let a = ctx.sle(one, cur);
+    let b = ctx.slt(cur, n);
+    ctx.and2(a, b)
+}
+
+/// Every RUNNING process is `current` (so there is at most one).
+fn running_is_current(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let cur = st.scalar(ctx, "current");
+    let running = c(ctx, proc_state::RUNNING);
+    let nr = st.params.nr_procs;
+    let mut stc = st.clone();
+    forall_range(ctx, 0, nr, |ctx, p, _| {
+        let state = stc.read(ctx, "procs", "state", &[p]);
+        let is_running = ctx.eq(state, running);
+        let is_cur = ctx.eq(p, cur);
+        ctx.implies(is_running, is_cur)
+    })
+}
+
+/// Init exists forever: never FREE or EMBRYO, and parentless (so it can
+/// never be reaped).
+fn init_immortal(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let init = c(ctx, INIT_PID);
+    let state = st.read(ctx, "procs", "state", &[init]);
+    let free = c(ctx, proc_state::FREE);
+    let embryo = c(ctx, proc_state::EMBRYO);
+    let nf = ctx.ne(state, free);
+    let ne = ctx.ne(state, embryo);
+    let ppid = st.read(ctx, "procs", "ppid", &[init]);
+    let none = c(ctx, PID_NONE);
+    let orphan = ctx.eq(ppid, none);
+    ctx.and(&[nf, ne, orphan])
+}
+
+/// The paper's §2.2 flagship: each file's reference count equals the
+/// number of per-process FDs referring to it, and empty slots are typed
+/// `NONE` exactly when unreferenced (the §6.1 file-table consistency
+/// bug).
+fn file_refcount_consistent(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    forall_range(ctx, 0, params.nr_files, |ctx, f, _| {
+        let mut count = ctx.i64_const(0);
+        for pid in 1..params.nr_procs {
+            for fd in 0..params.nr_fds {
+                let cp = ctx.i64_const(pid as i64);
+                let cf = ctx.i64_const(fd as i64);
+                let slot = stc.read(ctx, "procs", "ofile", &[cp, cf]);
+                let refs = ctx.eq(slot, f);
+                let one = ctx.i64_const(1);
+                let zero = ctx.i64_const(0);
+                let inc = ctx.ite(refs, one, zero);
+                count = ctx.bv_add(count, inc);
+            }
+        }
+        let refcnt = stc.read(ctx, "files", "refcnt", &[f]);
+        let consistent = ctx.eq(refcnt, count);
+        // ty == NONE <=> refcnt == 0.
+        let ty = stc.read(ctx, "files", "ty", &[f]);
+        let none = ctx.i64_const(file_type::NONE);
+        let is_none = ctx.eq(ty, none);
+        let zero = ctx.i64_const(0);
+        let rc0 = ctx.eq(refcnt, zero);
+        let tied = ctx.eq(is_none, rc0);
+        ctx.and2(consistent, tied)
+    })
+}
+
+/// Paper Property 1 generalized: every per-process resource counter
+/// equals the number of resources attributed to that process — children,
+/// open FDs, owned pages, DMA pages, devices, ports, vectors, and
+/// interrupt-remapping entries. This is what makes the reap-time
+/// zero-checks (§4.2) meaningful.
+fn proc_counters_consistent(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    forall_range(ctx, 1, params.nr_procs, |ctx, p, _| {
+        let mut conds = Vec::new();
+        // nr_children: live processes with ppid == p.
+        let mut count = ctx.i64_const(0);
+        for q in 1..params.nr_procs {
+            let cq = ctx.i64_const(q as i64);
+            let ppid = stc.read(ctx, "procs", "ppid", &[cq]);
+            let is_kid = ctx.eq(ppid, p);
+            let state = stc.read(ctx, "procs", "state", &[cq]);
+            let free = ctx.i64_const(proc_state::FREE);
+            let live = ctx.ne(state, free);
+            let both = ctx.and2(is_kid, live);
+            let one = ctx.i64_const(1);
+            let zero = ctx.i64_const(0);
+            let inc = ctx.ite(both, one, zero);
+            count = ctx.bv_add(count, inc);
+        }
+        let nr = stc.read(ctx, "procs", "nr_children", &[p]);
+        conds.push(ctx.eq(nr, count));
+        // nr_fds: open slots in the FD table.
+        let mut count = ctx.i64_const(0);
+        let nr_files = ctx.i64_const(params.nr_files as i64);
+        for fd in 0..params.nr_fds {
+            let cfd = ctx.i64_const(fd as i64);
+            let slot = stc.read(ctx, "procs", "ofile", &[p, cfd]);
+            let open = ctx.ne(slot, nr_files);
+            let one = ctx.i64_const(1);
+            let zero = ctx.i64_const(0);
+            let inc = ctx.ite(open, one, zero);
+            count = ctx.bv_add(count, inc);
+        }
+        let nr = stc.read(ctx, "procs", "nr_fds", &[p]);
+        conds.push(ctx.eq(nr, count));
+        // nr_pages: owned, non-free RAM pages.
+        let mut count = ctx.i64_const(0);
+        for pn in 0..params.nr_pages {
+            let cpn = ctx.i64_const(pn as i64);
+            let owner = stc.read(ctx, "page_desc", "owner", &[cpn]);
+            let mine = ctx.eq(owner, p);
+            let ty = stc.read(ctx, "page_desc", "ty", &[cpn]);
+            let free = ctx.i64_const(page_type::FREE);
+            let reserved = ctx.i64_const(page_type::RESERVED);
+            let nf = ctx.ne(ty, free);
+            let nr_ = ctx.ne(ty, reserved);
+            let counted = ctx.and(&[mine, nf, nr_]);
+            let one = ctx.i64_const(1);
+            let zero = ctx.i64_const(0);
+            let inc = ctx.ite(counted, one, zero);
+            count = ctx.bv_add(count, inc);
+        }
+        let nr = stc.read(ctx, "procs", "nr_pages", &[p]);
+        conds.push(ctx.eq(nr, count));
+        // Simple ownership counters.
+        for (global, field, counter, n) in [
+            ("dma_desc", "owner", "nr_dmapages", params.nr_dmapages),
+            ("devs", "owner", "nr_devs", params.nr_devs),
+            ("io_ports", "owner", "nr_ports", params.nr_ports),
+            ("vectors", "owner", "nr_vectors", params.nr_vectors),
+        ] {
+            let mut count = ctx.i64_const(0);
+            for i in 0..n {
+                let ci = ctx.i64_const(i as i64);
+                let owner = stc.read(ctx, global, field, &[ci]);
+                let mine = ctx.eq(owner, p);
+                let one = ctx.i64_const(1);
+                let zero = ctx.i64_const(0);
+                let inc = ctx.ite(mine, one, zero);
+                count = ctx.bv_add(count, inc);
+            }
+            let nr = stc.read(ctx, "procs", counter, &[p]);
+            conds.push(ctx.eq(nr, count));
+        }
+        // nr_intremaps: ACTIVE entries owned by p.
+        let mut count = ctx.i64_const(0);
+        let active = ctx.i64_const(intremap_state::ACTIVE);
+        for i in 0..params.nr_intremaps {
+            let ci = ctx.i64_const(i as i64);
+            let state = stc.read(ctx, "intremaps", "state", &[ci]);
+            let is_active = ctx.eq(state, active);
+            let owner = stc.read(ctx, "intremaps", "owner", &[ci]);
+            let mine = ctx.eq(owner, p);
+            let both = ctx.and2(is_active, mine);
+            let one = ctx.i64_const(1);
+            let zero = ctx.i64_const(0);
+            let inc = ctx.ite(both, one, zero);
+            count = ctx.bv_add(count, inc);
+        }
+        let nr = stc.read(ctx, "procs", "nr_intremaps", &[p]);
+        conds.push(ctx.eq(nr, count));
+        ctx.and(&conds)
+    })
+}
+
+/// Pipe end counts equal the number of live pipe handles in the file
+/// table (the §6.1 file-table consistency discipline, pipe flavour).
+fn pipe_ends_consistent(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    forall_range(ctx, 0, params.nr_pipes, |ctx, p, _| {
+        let mut count = ctx.i64_const(0);
+        let pipe_ty = ctx.i64_const(file_type::PIPE);
+        for f in 0..params.nr_files {
+            let cf = ctx.i64_const(f as i64);
+            let ty = stc.read(ctx, "files", "ty", &[cf]);
+            let is_pipe = ctx.eq(ty, pipe_ty);
+            let value = stc.read(ctx, "files", "value", &[cf]);
+            let this = ctx.eq(value, p);
+            let both = ctx.and2(is_pipe, this);
+            let one = ctx.i64_const(1);
+            let zero = ctx.i64_const(0);
+            let inc = ctx.ite(both, one, zero);
+            count = ctx.bv_add(count, inc);
+        }
+        let ends = stc.read(ctx, "pipes", "nr_ends", &[p]);
+        ctx.eq(ends, count)
+    })
+}
+
+/// If a file's reference count is zero, no FD refers to it (the exact
+/// property quoted in paper §2.2).
+fn file_none_unreferenced(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    forall_range(ctx, 0, params.nr_files, |ctx, f, _| {
+        let refcnt = stc.read(ctx, "files", "refcnt", &[f]);
+        let zero = ctx.i64_const(0);
+        let rc0 = ctx.eq(refcnt, zero);
+        let no_refs = forall_range(ctx, 1, params.nr_procs, |ctx, pid, _| {
+            forall_range(ctx, 0, params.nr_fds, |ctx, fd, _| {
+                let slot = stc.read(ctx, "procs", "ofile", &[pid, fd]);
+                ctx.ne(slot, f)
+            })
+        });
+        ctx.implies(rc0, no_refs)
+    })
+}
+
+/// Paper Property 3 (and its HVM/stack analogues): a live process's
+/// page-table root, HVM page, and stack page carry the right type and
+/// are owned by that process — ownership is the paper's inverse
+/// function, giving exclusivity for free.
+fn proc_pages_exclusive(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    forall_range(ctx, 1, params.nr_procs, |ctx, p, _| {
+        let state = stc.read(ctx, "procs", "state", &[p]);
+        let mut live_cases = Vec::new();
+        for s in [
+            proc_state::EMBRYO,
+            proc_state::RUNNABLE,
+            proc_state::RUNNING,
+            proc_state::SLEEPING,
+        ] {
+            let cs = ctx.i64_const(s);
+            live_cases.push(ctx.eq(state, cs));
+        }
+        let live = ctx.or(&live_cases);
+        let mut conds = Vec::new();
+        for (field, ty) in [
+            ("pml4", page_type::PML4),
+            ("hvm", page_type::HVM),
+            ("stack_pn", page_type::STACK),
+        ] {
+            let pn = stc.read(ctx, "procs", field, &[p]);
+            let pty = stc.read(ctx, "page_desc", "ty", &[pn]);
+            let want = ctx.i64_const(ty);
+            conds.push(ctx.eq(pty, want));
+            let owner = stc.read(ctx, "page_desc", "owner", &[pn]);
+            conds.push(ctx.eq(owner, p));
+        }
+        let good = ctx.and(&conds);
+        ctx.implies(live, good)
+    })
+}
+
+/// Free pages are unowned and carry no device backref.
+fn free_page_unowned(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    forall_range(ctx, 0, params.nr_pages, |ctx, pn, _| {
+        let ty = stc.read(ctx, "page_desc", "ty", &[pn]);
+        let free = ctx.i64_const(page_type::FREE);
+        let is_free = ctx.eq(ty, free);
+        let owner = stc.read(ctx, "page_desc", "owner", &[pn]);
+        let zero = ctx.i64_const(PID_NONE);
+        let unowned = ctx.eq(owner, zero);
+        let devid = stc.read(ctx, "page_desc", "devid", &[pn]);
+        let none = ctx.i64_const(PARENT_NONE);
+        let no_dev = ctx.eq(devid, none);
+        let good = ctx.and2(unowned, no_dev);
+        ctx.implies(is_free, good)
+    })
+}
+
+/// Paper Property 2: if a process is free, no live process designates it
+/// as its parent.
+fn free_proc_no_children(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    forall_range(ctx, 1, params.nr_procs, |ctx, p, _| {
+        let state = stc.read(ctx, "procs", "state", &[p]);
+        let free = ctx.i64_const(proc_state::FREE);
+        let is_free = ctx.eq(state, free);
+        let no_kids = forall_range(ctx, 1, params.nr_procs, |ctx, q, _| {
+            let qstate = stc.read(ctx, "procs", "state", &[q]);
+            let qfree = ctx.i64_const(proc_state::FREE);
+            let q_is_free = ctx.eq(qstate, qfree);
+            let ppid = stc.read(ctx, "procs", "ppid", &[q]);
+            let not_parent = ctx.ne(ppid, p);
+            ctx.or2(q_is_free, not_parent)
+        });
+        ctx.implies(is_free, no_kids)
+    })
+}
+
+/// Paper Property 4, generalized to every table level and the IOMMU:
+/// each present entry in a page-table page refers to a correctly-typed
+/// next-level page owned by the same process, whose parent backref names
+/// exactly this slot (unique reference); IOMMU leaves name only DMA
+/// pages (the kernel half of DMA isolation).
+fn pte_wellformed(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    let table_child: &[(i64, i64)] = &[
+        (page_type::PML4, page_type::PDPT),
+        (page_type::PDPT, page_type::PD),
+        (page_type::PD, page_type::PT),
+        (page_type::IOMMU_PML4, page_type::IOMMU_PDPT),
+        (page_type::IOMMU_PDPT, page_type::IOMMU_PD),
+        (page_type::IOMMU_PD, page_type::IOMMU_PT),
+    ];
+    forall_range(ctx, 0, params.nr_pages, |ctx, pn, _| {
+        let ty = stc.read(ctx, "page_desc", "ty", &[pn]);
+        let owner = stc.read(ctx, "page_desc", "owner", &[pn]);
+        forall_range(ctx, 0, params.page_words, |ctx, idx, _| {
+            let entry = stc.read(ctx, "pages", "word", &[pn, idx]);
+            let pbit = ctx.i64_const(PTE_P);
+            let masked = ctx.bv_bin(BvBinOp::And, entry, pbit);
+            let zero = ctx.i64_const(0);
+            let present = ctx.ne(masked, zero);
+            let shift = ctx.i64_const(PTE_PFN_SHIFT);
+            let pfn = ctx.bv_bin(BvBinOp::Ashr, entry, shift);
+            let mut cases = Vec::new();
+            // Intermediate levels: child is the next table type.
+            for &(parent_ty, child_ty) in table_child {
+                let pt = ctx.i64_const(parent_ty);
+                let is_this = ctx.eq(ty, pt);
+                let lo = ctx.i64_const(0);
+                let hi = ctx.i64_const(params.nr_pages as i64);
+                let ge = ctx.sle(lo, pfn);
+                let lt = ctx.slt(pfn, hi);
+                let in_ram = ctx.and2(ge, lt);
+                let cty = stc.read(ctx, "page_desc", "ty", &[pfn]);
+                let want = ctx.i64_const(child_ty);
+                let ty_ok = ctx.eq(cty, want);
+                let cowner = stc.read(ctx, "page_desc", "owner", &[pfn]);
+                let own_ok = ctx.eq(cowner, owner);
+                let cpp = stc.read(ctx, "page_desc", "parent_pn", &[pfn]);
+                let pp_ok = ctx.eq(cpp, pn);
+                let cpi = stc.read(ctx, "page_desc", "parent_idx", &[pfn]);
+                let pi_ok = ctx.eq(cpi, idx);
+                let good = ctx.and(&[in_ram, ty_ok, own_ok, pp_ok, pi_ok]);
+                cases.push(ctx.implies(is_this, good));
+            }
+            // CPU leaf: RAM frame or DMA page.
+            {
+                let pt_ty = ctx.i64_const(page_type::PT);
+                let is_pt = ctx.eq(ty, pt_ty);
+                let nr_pages = ctx.i64_const(params.nr_pages as i64);
+                let nr_pfns = ctx.i64_const(params.nr_pfns() as i64);
+                let zero = ctx.i64_const(0);
+                let ge0 = ctx.sle(zero, pfn);
+                let lt_pfns = ctx.slt(pfn, nr_pfns);
+                let pfn_ok = ctx.and2(ge0, lt_pfns);
+                let is_ram = ctx.slt(pfn, nr_pages);
+                let fty = stc.read(ctx, "page_desc", "ty", &[pfn]);
+                let frame = ctx.i64_const(page_type::FRAME);
+                let f_ok = ctx.eq(fty, frame);
+                let fown = stc.read(ctx, "page_desc", "owner", &[pfn]);
+                let fo_ok = ctx.eq(fown, owner);
+                let fpp = stc.read(ctx, "page_desc", "parent_pn", &[pfn]);
+                let fpp_ok = ctx.eq(fpp, pn);
+                let fpi = stc.read(ctx, "page_desc", "parent_idx", &[pfn]);
+                let fpi_ok = ctx.eq(fpi, idx);
+                let ram_good = ctx.and(&[f_ok, fo_ok, fpp_ok, fpi_ok]);
+                let d = ctx.bv_sub(pfn, nr_pages);
+                let down = stc.read(ctx, "dma_desc", "owner", &[d]);
+                let do_ok = ctx.eq(down, owner);
+                let dpp = stc.read(ctx, "dma_desc", "cpu_parent_pn", &[d]);
+                let dpp_ok = ctx.eq(dpp, pn);
+                let dpi = stc.read(ctx, "dma_desc", "cpu_parent_idx", &[d]);
+                let dpi_ok = ctx.eq(dpi, idx);
+                let dma_good = ctx.and(&[do_ok, dpp_ok, dpi_ok]);
+                let leaf_good = ctx.ite(is_ram, ram_good, dma_good);
+                let good = ctx.and2(pfn_ok, leaf_good);
+                cases.push(ctx.implies(is_pt, good));
+            }
+            // IOMMU leaf: DMA pages only.
+            {
+                let io_pt = ctx.i64_const(page_type::IOMMU_PT);
+                let is_io = ctx.eq(ty, io_pt);
+                let nr_pages = ctx.i64_const(params.nr_pages as i64);
+                let nr_pfns = ctx.i64_const(params.nr_pfns() as i64);
+                let ge = ctx.sle(nr_pages, pfn);
+                let lt = ctx.slt(pfn, nr_pfns);
+                let in_dma = ctx.and2(ge, lt);
+                let d = ctx.bv_sub(pfn, nr_pages);
+                let down = stc.read(ctx, "dma_desc", "owner", &[d]);
+                let do_ok = ctx.eq(down, owner);
+                let iop = stc.read(ctx, "dma_desc", "io_parent_pn", &[d]);
+                let iop_ok = ctx.eq(iop, pn);
+                let ioi = stc.read(ctx, "dma_desc", "io_parent_idx", &[d]);
+                let ioi_ok = ctx.eq(ioi, idx);
+                let good = ctx.and(&[in_dma, do_ok, iop_ok, ioi_ok]);
+                cases.push(ctx.implies(is_io, good));
+            }
+            let all_cases = ctx.and(&cases);
+            ctx.implies(present, all_cases)
+        })
+    })
+}
+
+/// The IOMMU device table references only well-formed roots, with the
+/// `devid` backref naming exactly the referencing device — the ordering
+/// discipline whose absence was the §6.1 IOMMU lifetime bug.
+fn iommu_root_wellformed(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    forall_range(ctx, 0, params.nr_devs, |ctx, dev, _| {
+        let root = stc.read(ctx, "devs", "root", &[dev]);
+        let none = ctx.i64_const(hk_abi::DEV_ROOT_NONE);
+        let attached = ctx.ne(root, none);
+        let zero = ctx.i64_const(0);
+        let hi = ctx.i64_const(params.nr_pages as i64);
+        let ge = ctx.sle(zero, root);
+        let lt = ctx.slt(root, hi);
+        let in_range = ctx.and2(ge, lt);
+        let rty = stc.read(ctx, "page_desc", "ty", &[root]);
+        let want = ctx.i64_const(page_type::IOMMU_PML4);
+        let ty_ok = ctx.eq(rty, want);
+        let rowner = stc.read(ctx, "page_desc", "owner", &[root]);
+        let downer = stc.read(ctx, "devs", "owner", &[dev]);
+        let own_ok = ctx.eq(rowner, downer);
+        let backref = stc.read(ctx, "page_desc", "devid", &[root]);
+        let back_ok = ctx.eq(backref, dev);
+        let good = ctx.and(&[in_range, ty_ok, own_ok, back_ok]);
+        ctx.implies(attached, good)
+    })
+}
+
+/// Interrupt-remapping reference counts are consistent: each device's
+/// and each vector's `intremap_refcnt` equals the number of ACTIVE
+/// entries routing through it (so the EBUSY reclaim checks really do
+/// prevent dangling routes — the second §6.1 bug class).
+fn intremap_refcounts(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
+    let params = st.params;
+    let mut stc = st.clone();
+    let active = ctx.i64_const(intremap_state::ACTIVE);
+    let devs_ok = forall_range(ctx, 0, params.nr_devs, |ctx, dev, _| {
+        let mut count = ctx.i64_const(0);
+        for i in 0..params.nr_intremaps {
+            let ci = ctx.i64_const(i as i64);
+            let state = stc.read(ctx, "intremaps", "state", &[ci]);
+            let is_active = ctx.eq(state, active);
+            let d = stc.read(ctx, "intremaps", "devid", &[ci]);
+            let matches = ctx.eq(d, dev);
+            let both = ctx.and2(is_active, matches);
+            let one = ctx.i64_const(1);
+            let zero = ctx.i64_const(0);
+            let inc = ctx.ite(both, one, zero);
+            count = ctx.bv_add(count, inc);
+        }
+        let refcnt = stc.read(ctx, "devs", "intremap_refcnt", &[dev]);
+        ctx.eq(refcnt, count)
+    });
+    let vecs_ok = forall_range(ctx, 0, params.nr_vectors, |ctx, v, _| {
+        let mut count = ctx.i64_const(0);
+        for i in 0..params.nr_intremaps {
+            let ci = ctx.i64_const(i as i64);
+            let state = stc.read(ctx, "intremaps", "state", &[ci]);
+            let is_active = ctx.eq(state, active);
+            let vv = stc.read(ctx, "intremaps", "vector", &[ci]);
+            let matches = ctx.eq(vv, v);
+            let both = ctx.and2(is_active, matches);
+            let one = ctx.i64_const(1);
+            let zero = ctx.i64_const(0);
+            let inc = ctx.ite(both, one, zero);
+            count = ctx.bv_add(count, inc);
+        }
+        let refcnt = stc.read(ctx, "vectors", "intremap_refcnt", &[v]);
+        ctx.eq(refcnt, count)
+    });
+    ctx.and2(devs_ok, vecs_ok)
+}
+
+/// Paper Property 5, stated as a consequence lemma: in any state
+/// satisfying the declarative conjunction, a 4-level page walk from a
+/// live process's root through present entries (at arbitrary symbolic
+/// indices) resolves to a frame or DMA page exclusively owned by that
+/// process. Returns `(assumptions, conclusion)`.
+pub fn isolation_lemma(ctx: &mut Ctx, st: &mut SpecState) -> (TermId, TermId) {
+    let params = st.params;
+    let mut stc = st.clone();
+    let p = ctx.var("walk_pid", Sort::Bv(64));
+    let idx: Vec<TermId> = (0..4)
+        .map(|i| ctx.var(format!("walk_idx{i}"), Sort::Bv(64)))
+        .collect();
+    let mut assumptions = Vec::new();
+    let one = c(ctx, 1);
+    let np = c(ctx, params.nr_procs as i64);
+    assumptions.push(ctx.sle(one, p));
+    assumptions.push(ctx.slt(p, np));
+    let state = stc.read(ctx, "procs", "state", &[p]);
+    let free = c(ctx, proc_state::FREE);
+    let zombie = c(ctx, proc_state::ZOMBIE);
+    assumptions.push(ctx.ne(state, free));
+    assumptions.push(ctx.ne(state, zombie));
+    for &i in &idx {
+        let zero = c(ctx, 0);
+        let pw = c(ctx, params.page_words as i64);
+        assumptions.push(ctx.sle(zero, i));
+        assumptions.push(ctx.slt(i, pw));
+    }
+    let mut table = stc.read(ctx, "procs", "pml4", &[p]);
+    let mut leaf_pfn = table;
+    for &i in &idx {
+        let entry = stc.read(ctx, "pages", "word", &[table, i]);
+        let pbit = c(ctx, PTE_P);
+        let masked = ctx.bv_bin(BvBinOp::And, entry, pbit);
+        let zero = c(ctx, 0);
+        assumptions.push(ctx.ne(masked, zero));
+        let shift = c(ctx, PTE_PFN_SHIFT);
+        leaf_pfn = ctx.bv_bin(BvBinOp::Ashr, entry, shift);
+        table = leaf_pfn;
+    }
+    let assumption = ctx.and(&assumptions);
+    let nr_pages = c(ctx, params.nr_pages as i64);
+    let is_ram = ctx.slt(leaf_pfn, nr_pages);
+    let fty = stc.read(ctx, "page_desc", "ty", &[leaf_pfn]);
+    let frame = c(ctx, page_type::FRAME);
+    let f_ok = ctx.eq(fty, frame);
+    let fown = stc.read(ctx, "page_desc", "owner", &[leaf_pfn]);
+    let fo_ok = ctx.eq(fown, p);
+    let ram_good = ctx.and2(f_ok, fo_ok);
+    let d = ctx.bv_sub(leaf_pfn, nr_pages);
+    let down = stc.read(ctx, "dma_desc", "owner", &[d]);
+    let dma_good = ctx.eq(down, p);
+    let conclusion = ctx.ite(is_ram, ram_good, dma_good);
+    (assumption, conclusion)
+}

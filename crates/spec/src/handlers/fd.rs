@@ -1,0 +1,325 @@
+//! State-machine specifications for file descriptors and pipes
+//! (mirrors `fd.hc`), including the paper's `spec_dup` (§2.2).
+
+use hk_abi::{file_type, omode, page_type, EAGAIN, EBADF, EBUSY, EINVAL, ENFILE, EPERM,
+    EPIPE};
+use hk_smt::{BvBinOp, TermId};
+
+use crate::helpers::*;
+use crate::run::SpecRun;
+
+/// `files[f].refcnt == 0 && files[f].ty == NONE`.
+fn file_slot_free(r: &mut SpecRun, f: TermId) -> TermId {
+    let refcnt = r.rd("files", "refcnt", &[f]);
+    let zero = r.c(0);
+    let rc0 = r.ctx.eq(refcnt, zero);
+    let ty = r.rd("files", "ty", &[f]);
+    let nonef = r.c(file_type::NONE);
+    let tn = r.ctx.eq(ty, nonef);
+    r.ctx.and2(rc0, tn)
+}
+
+/// Mirror of `file_unref(f)`.
+fn file_unref(r: &mut SpecRun, f: TermId) {
+    let zero = r.c(0);
+    let one = r.c(1);
+    let refcnt = r.rd("files", "refcnt", &[f]);
+    let new_rc = r.ctx.bv_sub(refcnt, one);
+    r.wr("files", "refcnt", &[f], new_rc);
+    let last = r.ctx.eq(new_rc, zero);
+    let ty = r.rd("files", "ty", &[f]);
+    let pipe_ty = r.c(file_type::PIPE);
+    let is_pipe = r.ctx.eq(ty, pipe_ty);
+    let last_pipe = r.ctx.and2(last, is_pipe);
+    let p = r.rd("files", "value", &[f]);
+    let ends = r.rd("pipes", "nr_ends", &[p]);
+    let new_ends = r.ctx.bv_sub(ends, one);
+    r.wr_if(last_pipe, "pipes", "nr_ends", &[p], new_ends);
+    let ends_zero = r.ctx.eq(new_ends, zero);
+    let reset = r.ctx.and2(last_pipe, ends_zero);
+    r.wr_if(reset, "pipes", "readp", &[p], zero);
+    r.wr_if(reset, "pipes", "count", &[p], zero);
+    let nonef = r.c(file_type::NONE);
+    r.wr_if(last, "files", "ty", &[f], nonef);
+    r.wr_if(last, "files", "value", &[f], zero);
+    r.wr_if(last, "files", "offset", &[f], zero);
+    r.wr_if(last, "files", "omode", &[f], zero);
+}
+
+/// `sys_create_file(fd, fileid, ty, value, omode)`.
+pub fn create_file(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (fd, fileid, ty, value, om) = (args[0], args[1], args[2], args[3], args[4]);
+    let fv = fd_valid(&mut r, fd);
+    r.check(fv, EBADF);
+    let current = r.scalar("current");
+    let slot = r.rd("procs", "ofile", &[current, fd]);
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    let empty = r.ctx.eq(slot, nr_files);
+    r.check(empty, EBUSY);
+    let filev = file_valid(&mut r, fileid);
+    r.check(filev, EINVAL);
+    let sf = file_slot_free(&mut r, fileid);
+    r.check(sf, ENFILE);
+    let inode = r.c(file_type::INODE);
+    let socket = r.c(file_type::SOCKET);
+    let t1 = r.ctx.eq(ty, inode);
+    let t2 = r.ctx.eq(ty, socket);
+    let ty_ok = r.ctx.or2(t1, t2);
+    r.check(ty_ok, EINVAL);
+    let rd = r.c(omode::READ);
+    let wr = r.c(omode::WRITE);
+    let o1 = r.ctx.eq(om, rd);
+    let o2 = r.ctx.eq(om, wr);
+    let om_ok = r.ctx.or2(o1, o2);
+    r.check(om_ok, EINVAL);
+    let one = r.c(1);
+    let zero = r.c(0);
+    r.wr("files", "ty", &[fileid], ty);
+    r.wr("files", "refcnt", &[fileid], one);
+    r.wr("files", "value", &[fileid], value);
+    r.wr("files", "offset", &[fileid], zero);
+    r.wr("files", "omode", &[fileid], om);
+    r.wr("procs", "ofile", &[current, fd], fileid);
+    r.bump("procs", "nr_fds", &[current], 1);
+    r.finish_const(0)
+}
+
+/// `sys_close(fd)`.
+pub fn close(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let fd = args[0];
+    let fv = fd_valid(&mut r, fd);
+    r.check(fv, EBADF);
+    let current = r.scalar("current");
+    let f = r.rd("procs", "ofile", &[current, fd]);
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    let open = r.ctx.ne(f, nr_files);
+    r.check(open, EBADF);
+    r.wr("procs", "ofile", &[current, fd], nr_files);
+    r.bump("procs", "nr_fds", &[current], -1);
+    file_unref(&mut r, f);
+    r.finish_const(0)
+}
+
+/// `sys_dup(oldfd, newfd)` — the paper's flagship finite interface.
+pub fn dup(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (oldfd, newfd) = (args[0], args[1]);
+    let ov = fd_valid(&mut r, oldfd);
+    r.check(ov, EBADF);
+    let current = r.scalar("current");
+    let f = r.rd("procs", "ofile", &[current, oldfd]);
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    let open = r.ctx.ne(f, nr_files);
+    r.check(open, EBADF);
+    let nv = fd_valid(&mut r, newfd);
+    r.check(nv, EBADF);
+    let newslot = r.rd("procs", "ofile", &[current, newfd]);
+    let empty = r.ctx.eq(newslot, nr_files);
+    r.check(empty, EBUSY);
+    r.wr("procs", "ofile", &[current, newfd], f);
+    r.bump("procs", "nr_fds", &[current], 1);
+    r.bump("files", "refcnt", &[f], 1);
+    r.finish_const(0)
+}
+
+/// `sys_dup2(oldfd, newfd)`.
+pub fn dup2(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (oldfd, newfd) = (args[0], args[1]);
+    let ov = fd_valid(&mut r, oldfd);
+    r.check(ov, EBADF);
+    let current = r.scalar("current");
+    let f = r.rd("procs", "ofile", &[current, oldfd]);
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    let open = r.ctx.ne(f, nr_files);
+    r.check(open, EBADF);
+    let nv = fd_valid(&mut r, newfd);
+    r.check(nv, EBADF);
+    // oldfd == newfd: early success, no effects.
+    let same = r.ctx.eq(oldfd, newfd);
+    let differ = r.ctx.not(same);
+    let zero = r.c(0);
+    r.early(differ, zero);
+    let old_target = r.rd("procs", "ofile", &[current, newfd]);
+    let was_open = r.ctx.ne(old_target, nr_files);
+    r.wr_if(was_open, "procs", "ofile", &[current, newfd], nr_files);
+    r.bump_if(was_open, "procs", "nr_fds", &[current], -1);
+    r.push_guard(was_open);
+    file_unref(&mut r, old_target);
+    r.pop_guard();
+    r.wr("procs", "ofile", &[current, newfd], f);
+    r.bump("procs", "nr_fds", &[current], 1);
+    r.bump("files", "refcnt", &[f], 1);
+    r.finish_const(0)
+}
+
+/// `sys_pipe(fd0, fileid0, fd1, fileid1, pipeid)`.
+pub fn pipe(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (fd0, fileid0, fd1, fileid1, pipeid) =
+        (args[0], args[1], args[2], args[3], args[4]);
+    let v0 = fd_valid(&mut r, fd0);
+    let v1 = fd_valid(&mut r, fd1);
+    let both = r.ctx.and2(v0, v1);
+    r.check(both, EBADF);
+    let differ = r.ctx.ne(fd0, fd1);
+    r.check(differ, EINVAL);
+    let current = r.scalar("current");
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    let s0 = r.rd("procs", "ofile", &[current, fd0]);
+    let e0 = r.ctx.eq(s0, nr_files);
+    r.check(e0, EBUSY);
+    let s1 = r.rd("procs", "ofile", &[current, fd1]);
+    let e1 = r.ctx.eq(s1, nr_files);
+    r.check(e1, EBUSY);
+    let fv0 = file_valid(&mut r, fileid0);
+    let fv1 = file_valid(&mut r, fileid1);
+    let fboth = r.ctx.and2(fv0, fv1);
+    r.check(fboth, EINVAL);
+    let fdiffer = r.ctx.ne(fileid0, fileid1);
+    r.check(fdiffer, EINVAL);
+    let sf0 = file_slot_free(&mut r, fileid0);
+    r.check(sf0, ENFILE);
+    let sf1 = file_slot_free(&mut r, fileid1);
+    r.check(sf1, ENFILE);
+    let hi_ = r.st.params.nr_pipes as i64;
+    let prange = in_range(&mut r, pipeid, hi_);
+    r.check(prange, EINVAL);
+    let ends = r.rd("pipes", "nr_ends", &[pipeid]);
+    let zero = r.c(0);
+    let unused = r.ctx.eq(ends, zero);
+    r.check(unused, EBUSY);
+    let pipe_ty = r.c(file_type::PIPE);
+    let one = r.c(1);
+    let two = r.c(2);
+    let rd_mode = r.c(omode::READ);
+    let wr_mode = r.c(omode::WRITE);
+    r.wr("files", "ty", &[fileid0], pipe_ty);
+    r.wr("files", "refcnt", &[fileid0], one);
+    r.wr("files", "value", &[fileid0], pipeid);
+    r.wr("files", "offset", &[fileid0], zero);
+    r.wr("files", "omode", &[fileid0], rd_mode);
+    r.wr("files", "ty", &[fileid1], pipe_ty);
+    r.wr("files", "refcnt", &[fileid1], one);
+    r.wr("files", "value", &[fileid1], pipeid);
+    r.wr("files", "offset", &[fileid1], zero);
+    r.wr("files", "omode", &[fileid1], wr_mode);
+    r.wr("procs", "ofile", &[current, fd0], fileid0);
+    r.wr("procs", "ofile", &[current, fd1], fileid1);
+    r.bump("procs", "nr_fds", &[current], 2);
+    r.wr("pipes", "nr_ends", &[pipeid], two);
+    r.wr("pipes", "readp", &[pipeid], zero);
+    r.wr("pipes", "count", &[pipeid], zero);
+    r.finish_const(0)
+}
+
+/// Shared validation for pipe_read/pipe_write.
+fn pipe_common(
+    r: &mut SpecRun,
+    fd: TermId,
+    pn: TermId,
+    offset: TermId,
+    len: TermId,
+    mode: i64,
+) -> TermId {
+    let fv = fd_valid(r, fd);
+    r.check(fv, EBADF);
+    let current = r.scalar("current");
+    let f = r.rd("procs", "ofile", &[current, fd]);
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    let open = r.ctx.ne(f, nr_files);
+    r.check(open, EBADF);
+    let ty = r.rd("files", "ty", &[f]);
+    let pipe_ty = r.c(file_type::PIPE);
+    let is_pipe = r.ctx.eq(ty, pipe_ty);
+    r.check(is_pipe, EBADF);
+    let om = r.rd("files", "omode", &[f]);
+    let want = r.c(mode);
+    let om_ok = r.ctx.eq(om, want);
+    r.check(om_ok, EBADF);
+    let pv = page_valid(r, pn);
+    r.check(pv, EINVAL);
+    let pty = r.rd("page_desc", "ty", &[pn]);
+    let frame = r.c(page_type::FRAME);
+    let pty_ok = r.ctx.eq(pty, frame);
+    r.check(pty_ok, EINVAL);
+    let powner = r.rd("page_desc", "owner", &[pn]);
+    let pown_ok = r.ctx.eq(powner, current);
+    r.check(pown_ok, EPERM);
+    let one = r.c(1);
+    let pipe_words = r.c(r.st.params.pipe_words as i64);
+    let l1 = r.ctx.sle(one, len);
+    let l2 = r.ctx.sle(len, pipe_words);
+    let len_ok = r.ctx.and2(l1, l2);
+    r.check(len_ok, EINVAL);
+    let zero = r.c(0);
+    let page_words = r.c(r.st.params.page_words as i64);
+    let limit = r.ctx.bv_sub(page_words, len);
+    let o1 = r.ctx.sle(zero, offset);
+    let o2 = r.ctx.sle(offset, limit);
+    let off_ok = r.ctx.and2(o1, o2);
+    r.check(off_ok, EINVAL);
+    r.rd("files", "value", &[f])
+}
+
+/// `sys_pipe_read(fd, pn, offset, len)`.
+pub fn pipe_read(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (fd, pn, offset, len) = (args[0], args[1], args[2], args[3]);
+    let p = pipe_common(&mut r, fd, pn, offset, len, omode::READ);
+    let count = r.rd("pipes", "count", &[p]);
+    let fits = r.ctx.sle(len, count);
+    // EOF: more than buffered and the writer is gone -> return 0.
+    let ends = r.rd("pipes", "nr_ends", &[p]);
+    let two = r.c(2);
+    let writer_gone = r.ctx.slt(ends, two);
+    let zero = r.c(0);
+    let not_fits = r.ctx.not(fits);
+    let eof_fires = r.ctx.and2(not_fits, writer_gone);
+    let not_eof = r.ctx.not(eof_fires);
+    r.early(not_eof, zero);
+    r.check(fits, EAGAIN);
+    let rp = r.rd("pipes", "readp", &[p]);
+    let mask = r.c(r.st.params.pipe_words as i64 - 1);
+    for i in 0..r.st.params.pipe_words {
+        let ci = r.c(i as i64);
+        let in_len = r.ctx.slt(ci, len);
+        let src_raw = r.ctx.bv_add(rp, ci);
+        let src = r.ctx.bv_bin(BvBinOp::And, src_raw, mask);
+        let val = r.rd("pipes", "data", &[p, src]);
+        let dst = r.ctx.bv_add(offset, ci);
+        r.wr_if(in_len, "pages", "word", &[pn, dst], val);
+    }
+    let rp_new_raw = r.ctx.bv_add(rp, len);
+    let rp_new = r.ctx.bv_bin(BvBinOp::And, rp_new_raw, mask);
+    r.wr("pipes", "readp", &[p], rp_new);
+    let count_new = r.ctx.bv_sub(count, len);
+    r.wr("pipes", "count", &[p], count_new);
+    r.finish(len)
+}
+
+/// `sys_pipe_write(fd, pn, offset, len)`.
+pub fn pipe_write(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (fd, pn, offset, len) = (args[0], args[1], args[2], args[3]);
+    let p = pipe_common(&mut r, fd, pn, offset, len, omode::WRITE);
+    let ends = r.rd("pipes", "nr_ends", &[p]);
+    let two = r.c(2);
+    let has_reader = r.ctx.sle(two, ends);
+    r.check(has_reader, EPIPE);
+    let count = r.rd("pipes", "count", &[p]);
+    let pipe_words = r.c(r.st.params.pipe_words as i64);
+    let space = r.ctx.bv_sub(pipe_words, count);
+    let fits = r.ctx.sle(len, space);
+    r.check(fits, EAGAIN);
+    let rp = r.rd("pipes", "readp", &[p]);
+    let wp = r.ctx.bv_add(rp, count);
+    let mask = r.c(r.st.params.pipe_words as i64 - 1);
+    for i in 0..r.st.params.pipe_words {
+        let ci = r.c(i as i64);
+        let in_len = r.ctx.slt(ci, len);
+        let src = r.ctx.bv_add(offset, ci);
+        let val = r.rd("pages", "word", &[pn, src]);
+        let dst_raw = r.ctx.bv_add(wp, ci);
+        let dst = r.ctx.bv_bin(BvBinOp::And, dst_raw, mask);
+        r.wr_if(in_len, "pipes", "data", &[p, dst], val);
+    }
+    let count_new = r.ctx.bv_add(count, len);
+    r.wr("pipes", "count", &[p], count_new);
+    r.finish(len)
+}

@@ -1,0 +1,341 @@
+//! State-machine specifications for IOMMU, ports, vectors, and
+//! interrupt remapping (mirrors `iommu.hc` and `intr.hc`).
+
+use hk_abi::{intremap_state, page_type, proc_state, DEV_ROOT_NONE, EBUSY, EINVAL, ENODEV,
+    ENOMEM, EPERM, PARENT_NONE, PID_NONE, PTE_P, PTE_PFN_SHIFT};
+use hk_smt::{BvBinOp, TermId};
+
+use crate::helpers::*;
+use crate::run::SpecRun;
+
+/// `sys_alloc_iommu_root(devid, pn)`.
+pub fn alloc_iommu_root(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (devid, pn) = (args[0], args[1]);
+    let hi_ = r.st.params.nr_devs as i64;
+    let drange = in_range(&mut r, devid, hi_);
+    r.check(drange, ENODEV);
+    let owner = r.rd("devs", "owner", &[devid]);
+    let pid_none = r.c(PID_NONE);
+    let unowned = r.ctx.eq(owner, pid_none);
+    r.check(unowned, EBUSY);
+    let pv = page_valid(&mut r, pn);
+    r.check(pv, EINVAL);
+    let pf = page_is_free(&mut r, pn);
+    r.check(pf, ENOMEM);
+    let current = r.scalar("current");
+    let none = r.c(PARENT_NONE);
+    alloc_page_typed(&mut r, pn, current, page_type::IOMMU_PML4, none, none);
+    r.wr("page_desc", "devid", &[pn], devid);
+    r.wr("devs", "owner", &[devid], current);
+    r.wr("devs", "root", &[devid], pn);
+    r.bump("procs", "nr_devs", &[current], 1);
+    r.finish_const(0)
+}
+
+/// Shared body for the three IOMMU table-extension calls.
+fn alloc_iommu_level(mut r: SpecRun, args: &[TermId], parent_ty: i64, child_ty: i64) -> TermId {
+    let (parent, index, child, perm) = (args[0], args[1], args[2], args[3]);
+    let current = r.scalar("current");
+    // check_alloc_table(current, ...) in the implementation.
+    let pv = pid_valid(&mut r, current);
+    r.check(pv, hk_abi::ESRCH);
+    let may = is_current_or_embryo_child(&mut r, current);
+    r.check(may, EPERM);
+    let pgv = page_valid(&mut r, parent);
+    r.check(pgv, EINVAL);
+    let pty = r.rd("page_desc", "ty", &[parent]);
+    let want = r.c(parent_ty);
+    let ty_ok = r.ctx.eq(pty, want);
+    r.check(ty_ok, EINVAL);
+    let owner = r.rd("page_desc", "owner", &[parent]);
+    let own_ok = r.ctx.eq(owner, current);
+    r.check(own_ok, EPERM);
+    let iv = idx_valid(&mut r, index);
+    r.check(iv, EINVAL);
+    let entry = r.rd("pages", "word", &[parent, index]);
+    let p = r.c(PTE_P);
+    let zero = r.c(0);
+    let bits = r.ctx.bv_bin(BvBinOp::And, entry, p);
+    let empty = r.ctx.eq(bits, zero);
+    r.check(empty, EBUSY);
+    let cv = page_valid(&mut r, child);
+    r.check(cv, EINVAL);
+    let cf = page_is_free(&mut r, child);
+    r.check(cf, ENOMEM);
+    let pm = perm_valid(&mut r, perm);
+    r.check(pm, EINVAL);
+    alloc_page_typed(&mut r, child, current, child_ty, parent, index);
+    let shift = r.c(PTE_PFN_SHIFT);
+    let shifted = r.ctx.bv_bin(BvBinOp::Shl, child, shift);
+    let new_entry = r.ctx.bv_bin(BvBinOp::Or, shifted, perm);
+    r.wr("pages", "word", &[parent, index], new_entry);
+    r.finish_const(0)
+}
+
+/// `sys_alloc_iommu_pdpt`.
+pub fn alloc_iommu_pdpt(r: SpecRun, args: &[TermId]) -> TermId {
+    alloc_iommu_level(r, args, page_type::IOMMU_PML4, page_type::IOMMU_PDPT)
+}
+
+/// `sys_alloc_iommu_pd`.
+pub fn alloc_iommu_pd(r: SpecRun, args: &[TermId]) -> TermId {
+    alloc_iommu_level(r, args, page_type::IOMMU_PDPT, page_type::IOMMU_PD)
+}
+
+/// `sys_alloc_iommu_pt`.
+pub fn alloc_iommu_pt(r: SpecRun, args: &[TermId]) -> TermId {
+    alloc_iommu_level(r, args, page_type::IOMMU_PD, page_type::IOMMU_PT)
+}
+
+/// `sys_alloc_iommu_frame(pt, index, d, perm)`.
+pub fn alloc_iommu_frame(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (pt, index, d, perm) = (args[0], args[1], args[2], args[3]);
+    let pgv = page_valid(&mut r, pt);
+    r.check(pgv, EINVAL);
+    let pty = r.rd("page_desc", "ty", &[pt]);
+    let want = r.c(page_type::IOMMU_PT);
+    let ty_ok = r.ctx.eq(pty, want);
+    r.check(ty_ok, EINVAL);
+    let owner = r.rd("page_desc", "owner", &[pt]);
+    let current = r.scalar("current");
+    let own_ok = r.ctx.eq(owner, current);
+    r.check(own_ok, EPERM);
+    let iv = idx_valid(&mut r, index);
+    r.check(iv, EINVAL);
+    let entry = r.rd("pages", "word", &[pt, index]);
+    let p = r.c(PTE_P);
+    let zero = r.c(0);
+    let bits = r.ctx.bv_bin(BvBinOp::And, entry, p);
+    let empty = r.ctx.eq(bits, zero);
+    r.check(empty, EBUSY);
+    let dv = dma_valid(&mut r, d);
+    r.check(dv, EINVAL);
+    let downer = r.rd("dma_desc", "owner", &[d]);
+    let pid_none = r.c(PID_NONE);
+    let unowned = r.ctx.eq(downer, pid_none);
+    let mine = r.ctx.eq(downer, current);
+    let claimable = r.ctx.or2(unowned, mine);
+    r.check(claimable, EPERM);
+    let iop = r.rd("dma_desc", "io_parent_pn", &[d]);
+    let none = r.c(PARENT_NONE);
+    let unmapped = r.ctx.eq(iop, none);
+    r.check(unmapped, EBUSY);
+    let pm = perm_valid(&mut r, perm);
+    r.check(pm, EINVAL);
+    r.wr_if(unowned, "dma_desc", "owner", &[d], current);
+    r.bump_if(unowned, "procs", "nr_dmapages", &[current], 1);
+    r.wr("dma_desc", "io_parent_pn", &[d], pt);
+    r.wr("dma_desc", "io_parent_idx", &[d], index);
+    let nr_pages = r.c(r.st.params.nr_pages as i64);
+    let pfn = r.ctx.bv_add(nr_pages, d);
+    let shift = r.c(PTE_PFN_SHIFT);
+    let shifted = r.ctx.bv_bin(BvBinOp::Shl, pfn, shift);
+    let new_entry = r.ctx.bv_bin(BvBinOp::Or, shifted, perm);
+    r.wr("pages", "word", &[pt, index], new_entry);
+    r.finish_const(0)
+}
+
+/// `sys_free_iommu_root(devid, pn)`.
+pub fn free_iommu_root(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (devid, pn) = (args[0], args[1]);
+    let hi_ = r.st.params.nr_devs as i64;
+    let drange = in_range(&mut r, devid, hi_);
+    r.check(drange, ENODEV);
+    let pv = page_valid(&mut r, pn);
+    r.check(pv, EINVAL);
+    let root = r.rd("devs", "root", &[devid]);
+    let matches = r.ctx.eq(root, pn);
+    r.check(matches, EINVAL);
+    let o = r.rd("devs", "owner", &[devid]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, o);
+    let lt = r.ctx.slt(o, n);
+    let orng = r.ctx.and2(ge1, lt);
+    r.check(orng, EINVAL);
+    let current = r.scalar("current");
+    let mine = r.ctx.eq(o, current);
+    let ostate = r.rd("procs", "state", &[o]);
+    let zombie = r.c(proc_state::ZOMBIE);
+    let oz = r.ctx.eq(ostate, zombie);
+    let may = r.ctx.or2(mine, oz);
+    r.check(may, EPERM);
+    let refs = r.rd("devs", "intremap_refcnt", &[devid]);
+    let zero = r.c(0);
+    let no_refs = r.ctx.eq(refs, zero);
+    r.check(no_refs, EBUSY);
+    let pid_none = r.c(PID_NONE);
+    let root_none = r.c(DEV_ROOT_NONE);
+    let none = r.c(PARENT_NONE);
+    r.wr("devs", "owner", &[devid], pid_none);
+    r.wr("devs", "root", &[devid], root_none);
+    r.wr("page_desc", "devid", &[pn], none);
+    r.bump("procs", "nr_devs", &[o], -1);
+    r.finish_const(0)
+}
+
+/// `sys_alloc_port(port)`.
+pub fn alloc_port(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let port = args[0];
+    let hi_ = r.st.params.nr_ports as i64;
+    let rng = in_range(&mut r, port, hi_);
+    r.check(rng, EINVAL);
+    let owner = r.rd("io_ports", "owner", &[port]);
+    let pid_none = r.c(PID_NONE);
+    let unowned = r.ctx.eq(owner, pid_none);
+    r.check(unowned, EBUSY);
+    let current = r.scalar("current");
+    r.wr("io_ports", "owner", &[port], current);
+    r.bump("procs", "nr_ports", &[current], 1);
+    r.finish_const(0)
+}
+
+/// `sys_reclaim_port(port)`.
+pub fn reclaim_port(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let port = args[0];
+    let hi_ = r.st.params.nr_ports as i64;
+    let rng = in_range(&mut r, port, hi_);
+    r.check(rng, EINVAL);
+    let o = r.rd("io_ports", "owner", &[port]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, o);
+    let lt = r.ctx.slt(o, n);
+    let orng = r.ctx.and2(ge1, lt);
+    r.check(orng, EINVAL);
+    let current = r.scalar("current");
+    let mine = r.ctx.eq(o, current);
+    let ostate = r.rd("procs", "state", &[o]);
+    let zombie = r.c(proc_state::ZOMBIE);
+    let oz = r.ctx.eq(ostate, zombie);
+    let may = r.ctx.or2(mine, oz);
+    r.check(may, EPERM);
+    let pid_none = r.c(PID_NONE);
+    r.wr("io_ports", "owner", &[port], pid_none);
+    r.bump("procs", "nr_ports", &[o], -1);
+    r.finish_const(0)
+}
+
+/// `sys_alloc_vector(v)`.
+pub fn alloc_vector(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let v = args[0];
+    let hi_ = r.st.params.nr_vectors as i64;
+    let rng = in_range(&mut r, v, hi_);
+    r.check(rng, EINVAL);
+    let owner = r.rd("vectors", "owner", &[v]);
+    let pid_none = r.c(PID_NONE);
+    let unowned = r.ctx.eq(owner, pid_none);
+    r.check(unowned, EBUSY);
+    let current = r.scalar("current");
+    r.wr("vectors", "owner", &[v], current);
+    r.bump("procs", "nr_vectors", &[current], 1);
+    r.finish_const(0)
+}
+
+/// `sys_reclaim_vector(v)`.
+pub fn reclaim_vector(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let v = args[0];
+    let hi_ = r.st.params.nr_vectors as i64;
+    let rng = in_range(&mut r, v, hi_);
+    r.check(rng, EINVAL);
+    let o = r.rd("vectors", "owner", &[v]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, o);
+    let lt = r.ctx.slt(o, n);
+    let orng = r.ctx.and2(ge1, lt);
+    r.check(orng, EINVAL);
+    let current = r.scalar("current");
+    let mine = r.ctx.eq(o, current);
+    let ostate = r.rd("procs", "state", &[o]);
+    let zombie = r.c(proc_state::ZOMBIE);
+    let oz = r.ctx.eq(ostate, zombie);
+    let may = r.ctx.or2(mine, oz);
+    r.check(may, EPERM);
+    let refs = r.rd("vectors", "intremap_refcnt", &[v]);
+    let zero = r.c(0);
+    let no_refs = r.ctx.eq(refs, zero);
+    r.check(no_refs, EBUSY);
+    let pid_none = r.c(PID_NONE);
+    r.wr("vectors", "owner", &[v], pid_none);
+    r.bump("procs", "nr_vectors", &[o], -1);
+    let pending = r.rd("procs", "intr_pending", &[o]);
+    let bit = r.ctx.bv_bin(BvBinOp::Shl, one, v);
+    let nbit = r.ctx.bv_not(bit);
+    let cleared = r.ctx.bv_bin(BvBinOp::And, pending, nbit);
+    r.wr("procs", "intr_pending", &[o], cleared);
+    r.finish_const(0)
+}
+
+/// `sys_alloc_intremap(idx, devid, vector)`.
+pub fn alloc_intremap(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (idx, devid, vector) = (args[0], args[1], args[2]);
+    let hi_ = r.st.params.nr_intremaps as i64;
+    let rng = in_range(&mut r, idx, hi_);
+    r.check(rng, EINVAL);
+    let state = r.rd("intremaps", "state", &[idx]);
+    let free = r.c(intremap_state::FREE);
+    let is_free = r.ctx.eq(state, free);
+    r.check(is_free, EBUSY);
+    let hi_ = r.st.params.nr_devs as i64;
+    let drange = in_range(&mut r, devid, hi_);
+    r.check(drange, ENODEV);
+    let downer = r.rd("devs", "owner", &[devid]);
+    let current = r.scalar("current");
+    let dmine = r.ctx.eq(downer, current);
+    r.check(dmine, EPERM);
+    let hi_ = r.st.params.nr_vectors as i64;
+    let vrange = in_range(&mut r, vector, hi_);
+    r.check(vrange, EINVAL);
+    let vowner = r.rd("vectors", "owner", &[vector]);
+    let vmine = r.ctx.eq(vowner, current);
+    r.check(vmine, EPERM);
+    let active = r.c(intremap_state::ACTIVE);
+    r.wr("intremaps", "state", &[idx], active);
+    r.wr("intremaps", "devid", &[idx], devid);
+    r.wr("intremaps", "vector", &[idx], vector);
+    r.wr("intremaps", "owner", &[idx], current);
+    r.bump("devs", "intremap_refcnt", &[devid], 1);
+    r.bump("vectors", "intremap_refcnt", &[vector], 1);
+    r.bump("procs", "nr_intremaps", &[current], 1);
+    r.finish_const(0)
+}
+
+/// `sys_reclaim_intremap(idx)`.
+pub fn reclaim_intremap(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let idx = args[0];
+    let hi_ = r.st.params.nr_intremaps as i64;
+    let rng = in_range(&mut r, idx, hi_);
+    r.check(rng, EINVAL);
+    let state = r.rd("intremaps", "state", &[idx]);
+    let active = r.c(intremap_state::ACTIVE);
+    let is_active = r.ctx.eq(state, active);
+    r.check(is_active, EINVAL);
+    let o = r.rd("intremaps", "owner", &[idx]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, o);
+    let lt = r.ctx.slt(o, n);
+    let orng = r.ctx.and2(ge1, lt);
+    r.check(orng, EINVAL);
+    let current = r.scalar("current");
+    let mine = r.ctx.eq(o, current);
+    let ostate = r.rd("procs", "state", &[o]);
+    let zombie = r.c(proc_state::ZOMBIE);
+    let oz = r.ctx.eq(ostate, zombie);
+    let may = r.ctx.or2(mine, oz);
+    r.check(may, EPERM);
+    let d = r.rd("intremaps", "devid", &[idx]);
+    let v = r.rd("intremaps", "vector", &[idx]);
+    r.bump("devs", "intremap_refcnt", &[d], -1);
+    r.bump("vectors", "intremap_refcnt", &[v], -1);
+    let free = r.c(intremap_state::FREE);
+    let none = r.c(PARENT_NONE);
+    let pid_none = r.c(PID_NONE);
+    r.wr("intremaps", "state", &[idx], free);
+    r.wr("intremaps", "devid", &[idx], none);
+    r.wr("intremaps", "vector", &[idx], none);
+    r.wr("intremaps", "owner", &[idx], pid_none);
+    r.bump("procs", "nr_intremaps", &[o], -1);
+    r.finish_const(0)
+}

@@ -1,0 +1,269 @@
+//! State-machine specifications for IPC (mirrors `ipc.hc`).
+
+use hk_abi::{page_type, proc_state, EAGAIN, EBADF, EBUSY, EINVAL, EPERM, ESRCH, INIT_PID,
+    PARENT_NONE};
+use hk_smt::TermId;
+
+use crate::helpers::*;
+use crate::run::SpecRun;
+
+/// Mirror of `pick_successor()`.
+fn pick_successor(r: &mut SpecRun) -> TermId {
+    let current = r.scalar("current");
+    let cand = r.rd("procs", "ready_next", &[current]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, cand);
+    let lt = r.ctx.slt(cand, n);
+    let ne_cur = r.ctx.ne(cand, current);
+    let rng = r.ctx.and(&[ge1, lt, ne_cur]);
+    let cstate = r.rd("procs", "state", &[cand]);
+    let runnable = r.c(proc_state::RUNNABLE);
+    let c_run = r.ctx.eq(cstate, runnable);
+    let cand_ok = r.ctx.and2(rng, c_run);
+    let init = r.c(INIT_PID);
+    let istate = r.rd("procs", "state", &[init]);
+    let i_run = r.ctx.eq(istate, runnable);
+    let minus1 = r.c(-1);
+    let fallback = r.ctx.ite(i_run, init, minus1);
+    r.ctx.ite(cand_ok, cand, fallback)
+}
+
+/// `sys_recv(from, pn, fd_slot)`.
+pub fn recv(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (from, pn, fd_slot) = (args[0], args[1], args[2]);
+    let zero = r.c(0);
+    let none = r.c(PARENT_NONE);
+    let from_any = r.ctx.eq(from, zero);
+    let fv = pid_valid(&mut r, from);
+    let from_ok = r.ctx.or2(from_any, fv);
+    r.check(from_ok, ESRCH);
+    let pn_none = r.ctx.eq(pn, none);
+    let pv = page_valid(&mut r, pn);
+    let c1 = r.ctx.or2(pn_none, pv);
+    r.check(c1, EINVAL);
+    let pty = r.rd("page_desc", "ty", &[pn]);
+    let frame = r.c(page_type::FRAME);
+    let fty = r.ctx.eq(pty, frame);
+    let c2 = r.ctx.or2(pn_none, fty);
+    r.check(c2, EINVAL);
+    let powner = r.rd("page_desc", "owner", &[pn]);
+    let current = r.scalar("current");
+    let owns = r.ctx.eq(powner, current);
+    let c3 = r.ctx.or2(pn_none, owns);
+    r.check(c3, EPERM);
+    let fd_none = r.ctx.eq(fd_slot, none);
+    let fdv = fd_valid(&mut r, fd_slot);
+    let c4 = r.ctx.or2(fd_none, fdv);
+    r.check(c4, EBADF);
+    let slot = r.rd("procs", "ofile", &[current, fd_slot]);
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    let empty = r.ctx.eq(slot, nr_files);
+    let c5 = r.ctx.or2(fd_none, empty);
+    r.check(c5, EBUSY);
+    let succ = pick_successor(&mut r);
+    let minus1 = r.c(-1);
+    let has_succ = r.ctx.ne(succ, minus1);
+    r.check(has_succ, EAGAIN);
+    // Effects.
+    r.wr("procs", "ipc_from", &[current], from);
+    r.wr("procs", "ipc_page", &[current], pn);
+    r.wr("procs", "ipc_fd", &[current], fd_slot);
+    r.wr("procs", "ipc_val", &[current], zero);
+    r.wr("procs", "ipc_size", &[current], zero);
+    ready_remove(&mut r, current);
+    let sleeping = r.c(proc_state::SLEEPING);
+    r.wr("procs", "state", &[current], sleeping);
+    let running = r.c(proc_state::RUNNING);
+    r.wr("procs", "state", &[succ], running);
+    r.wr_scalar("current", succ);
+    r.finish_const(0)
+}
+
+/// Mirror of `check_send` (validation only).
+fn check_send(r: &mut SpecRun, pid: TermId, pn: TermId, size: TermId, fd: TermId) {
+    let pv = pid_valid(r, pid);
+    r.check(pv, ESRCH);
+    let current = r.scalar("current");
+    let not_self = r.ctx.ne(pid, current);
+    r.check(not_self, EINVAL);
+    let state = r.rd("procs", "state", &[pid]);
+    let sleeping = r.c(proc_state::SLEEPING);
+    let asleep = r.ctx.eq(state, sleeping);
+    r.check(asleep, EAGAIN);
+    let zero = r.c(0);
+    let ipc_from = r.rd("procs", "ipc_from", &[pid]);
+    let any = r.ctx.eq(ipc_from, zero);
+    let me = r.ctx.eq(ipc_from, current);
+    let from_ok = r.ctx.or2(any, me);
+    r.check(from_ok, EAGAIN);
+    let page_words = r.c(r.st.params.page_words as i64);
+    let s1 = r.ctx.sle(zero, size);
+    let s2 = r.ctx.sle(size, page_words);
+    let size_ok = r.ctx.and2(s1, s2);
+    r.check(size_ok, EINVAL);
+    let no_data = r.ctx.sle(size, zero);
+    let pv2 = page_valid(r, pn);
+    let c1 = r.ctx.or2(no_data, pv2);
+    r.check(c1, EINVAL);
+    let pty = r.rd("page_desc", "ty", &[pn]);
+    let frame = r.c(page_type::FRAME);
+    let f_ok = r.ctx.eq(pty, frame);
+    let c2 = r.ctx.or2(no_data, f_ok);
+    r.check(c2, EINVAL);
+    let powner = r.rd("page_desc", "owner", &[pn]);
+    let own_ok = r.ctx.eq(powner, current);
+    let c3 = r.ctx.or2(no_data, own_ok);
+    r.check(c3, EPERM);
+    let none = r.c(PARENT_NONE);
+    let rp = r.rd("procs", "ipc_page", &[pid]);
+    let rp_some = r.ctx.ne(rp, none);
+    let c4 = r.ctx.or2(no_data, rp_some);
+    r.check(c4, EINVAL);
+    let rpv = page_valid(r, rp);
+    let c5 = r.ctx.or2(no_data, rpv);
+    r.check(c5, EINVAL);
+    let rpty = r.rd("page_desc", "ty", &[rp]);
+    let rp_f = r.ctx.eq(rpty, frame);
+    let c6 = r.ctx.or2(no_data, rp_f);
+    r.check(c6, EINVAL);
+    let rpo = r.rd("page_desc", "owner", &[rp]);
+    let rpo_ok = r.ctx.eq(rpo, pid);
+    let c7 = r.ctx.or2(no_data, rpo_ok);
+    r.check(c7, EINVAL);
+    // FD grant validation.
+    let no_fd = r.ctx.eq(fd, none);
+    let fdv = fd_valid(r, fd);
+    let c8 = r.ctx.or2(no_fd, fdv);
+    r.check(c8, EBADF);
+    let f = r.rd("procs", "ofile", &[current, fd]);
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    let open = r.ctx.ne(f, nr_files);
+    let c9 = r.ctx.or2(no_fd, open);
+    r.check(c9, EBADF);
+    let rfd = r.rd("procs", "ipc_fd", &[pid]);
+    let rfd_some = r.ctx.ne(rfd, none);
+    let c10 = r.ctx.or2(no_fd, rfd_some);
+    r.check(c10, EINVAL);
+    let rslot = r.rd("procs", "ofile", &[pid, rfd]);
+    let rempty = r.ctx.eq(rslot, nr_files);
+    let c11 = r.ctx.or2(no_fd, rempty);
+    r.check(c11, EBUSY);
+}
+
+/// Mirror of `do_deliver` (effects only; run under the check guard).
+fn do_deliver(r: &mut SpecRun, pid: TermId, val: TermId, pn: TermId, size: TermId, fd: TermId) {
+    let zero = r.c(0);
+    let none = r.c(PARENT_NONE);
+    let has_data = r.ctx.slt(zero, size);
+    let rp = r.rd("procs", "ipc_page", &[pid]);
+    for i in 0..r.st.params.page_words {
+        let ci = r.c(i as i64);
+        let in_size = r.ctx.slt(ci, size);
+        let g = r.ctx.and2(has_data, in_size);
+        let v = r.rd("pages", "word", &[pn, ci]);
+        r.wr_if(g, "pages", "word", &[rp, ci], v);
+    }
+    let has_fd = r.ctx.ne(fd, none);
+    let current = r.scalar("current");
+    let f = r.rd("procs", "ofile", &[current, fd]);
+    let rfd = r.rd("procs", "ipc_fd", &[pid]);
+    r.wr_if(has_fd, "procs", "ofile", &[pid, rfd], f);
+    r.bump_if(has_fd, "files", "refcnt", &[f], 1);
+    r.bump_if(has_fd, "procs", "nr_fds", &[pid], 1);
+    let one = r.c(1);
+    let got_fd = r.ctx.ite(has_fd, one, zero);
+    r.wr("procs", "ipc_val", &[pid], val);
+    r.wr("procs", "ipc_size", &[pid], size);
+    r.wr("procs", "ipc_from", &[pid], current);
+    let rhvm = r.rd("procs", "hvm", &[pid]);
+    let c0 = r.c(0);
+    let c1 = r.c(1);
+    let c2 = r.c(2);
+    let c3 = r.c(3);
+    r.wr("pages", "word", &[rhvm, c0], val);
+    r.wr("pages", "word", &[rhvm, c1], size);
+    r.wr("pages", "word", &[rhvm, c2], current);
+    r.wr("pages", "word", &[rhvm, c3], got_fd);
+}
+
+/// `sys_send(pid, val, pn, size, fd)`.
+pub fn send(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (pid, val, pn, size, fd) = (args[0], args[1], args[2], args[3], args[4]);
+    check_send(&mut r, pid, pn, size, fd);
+    do_deliver(&mut r, pid, val, pn, size, fd);
+    let runnable = r.c(proc_state::RUNNABLE);
+    r.wr("procs", "state", &[pid], runnable);
+    ready_insert(&mut r, pid);
+    r.finish_const(0)
+}
+
+/// `sys_reply_wait(pid, val, pn, size, fd)`.
+pub fn reply_wait(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (pid, val, pn, size, fd) = (args[0], args[1], args[2], args[3], args[4]);
+    check_send(&mut r, pid, pn, size, fd);
+    // Receive-buffer validation for the wait half.
+    let none = r.c(PARENT_NONE);
+    let pn_none = r.ctx.eq(pn, none);
+    let pv = page_valid(&mut r, pn);
+    let c1 = r.ctx.or2(pn_none, pv);
+    r.check(c1, EINVAL);
+    let pty = r.rd("page_desc", "ty", &[pn]);
+    let frame = r.c(page_type::FRAME);
+    let f_ok = r.ctx.eq(pty, frame);
+    let c2 = r.ctx.or2(pn_none, f_ok);
+    r.check(c2, EINVAL);
+    let powner = r.rd("page_desc", "owner", &[pn]);
+    let current = r.scalar("current");
+    let own_ok = r.ctx.eq(powner, current);
+    let c3 = r.ctx.or2(pn_none, own_ok);
+    r.check(c3, EPERM);
+    // Effects.
+    do_deliver(&mut r, pid, val, pn, size, fd);
+    let runnable = r.c(proc_state::RUNNABLE);
+    r.wr("procs", "state", &[pid], runnable);
+    ready_insert(&mut r, pid);
+    let zero = r.c(0);
+    r.wr("procs", "ipc_from", &[current], zero);
+    r.wr("procs", "ipc_page", &[current], pn);
+    r.wr("procs", "ipc_fd", &[current], none);
+    r.wr("procs", "ipc_val", &[current], zero);
+    r.wr("procs", "ipc_size", &[current], zero);
+    ready_remove(&mut r, current);
+    let sleeping = r.c(proc_state::SLEEPING);
+    r.wr("procs", "state", &[current], sleeping);
+    let running = r.c(proc_state::RUNNING);
+    r.wr("procs", "state", &[pid], running);
+    r.wr_scalar("current", pid);
+    r.finish_const(0)
+}
+
+/// `sys_transfer_fd(pid, fd, tofd)`.
+pub fn transfer_fd(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (pid, fd, tofd) = (args[0], args[1], args[2]);
+    let pv = pid_valid(&mut r, pid);
+    r.check(pv, ESRCH);
+    let state = r.rd("procs", "state", &[pid]);
+    let embryo = r.c(proc_state::EMBRYO);
+    let is_embryo = r.ctx.eq(state, embryo);
+    r.check(is_embryo, EINVAL);
+    let ppid = r.rd("procs", "ppid", &[pid]);
+    let current = r.scalar("current");
+    let is_child = r.ctx.eq(ppid, current);
+    r.check(is_child, EPERM);
+    let fv = fd_valid(&mut r, fd);
+    r.check(fv, EBADF);
+    let f = r.rd("procs", "ofile", &[current, fd]);
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    let open = r.ctx.ne(f, nr_files);
+    r.check(open, EBADF);
+    let tv = fd_valid(&mut r, tofd);
+    r.check(tv, EBADF);
+    let tslot = r.rd("procs", "ofile", &[pid, tofd]);
+    let tempty = r.ctx.eq(tslot, nr_files);
+    r.check(tempty, EBUSY);
+    r.wr("procs", "ofile", &[pid, tofd], f);
+    r.bump("files", "refcnt", &[f], 1);
+    r.bump("procs", "nr_fds", &[pid], 1);
+    r.finish_const(0)
+}

@@ -1,0 +1,119 @@
+//! State-machine specifications for scheduling, time, and the
+//! non-syscall traps (mirrors `sched.hc` and `trap.hc`).
+
+use hk_abi::{proc_state, EINVAL, INIT_PID};
+use hk_smt::{BvBinOp, TermId};
+
+use crate::helpers::*;
+use crate::run::SpecRun;
+
+/// Shared body of `sys_yield` / `trap_timer`'s round-robin step.
+fn round_robin(r: &mut SpecRun) {
+    let current = r.scalar("current");
+    let cand = r.rd("procs", "ready_next", &[current]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, cand);
+    let lt = r.ctx.slt(cand, n);
+    let ne = r.ctx.ne(cand, current);
+    let rng = r.ctx.and(&[ge1, lt, ne]);
+    let cstate = r.rd("procs", "state", &[cand]);
+    let runnable = r.c(proc_state::RUNNABLE);
+    let c_run = r.ctx.eq(cstate, runnable);
+    let go = r.ctx.and2(rng, c_run);
+    let cur_state = r.rd("procs", "state", &[current]);
+    let running = r.c(proc_state::RUNNING);
+    let cur_running = r.ctx.eq(cur_state, running);
+    let demote = r.ctx.and2(go, cur_running);
+    r.wr_if(demote, "procs", "state", &[current], runnable);
+    r.wr_if(go, "procs", "state", &[cand], running);
+    r.wr_scalar_if(go, "current", cand);
+}
+
+/// `sys_yield()`.
+pub fn yield_(mut r: SpecRun, _args: &[TermId]) -> TermId {
+    round_robin(&mut r);
+    r.finish_const(0)
+}
+
+/// `sys_uptime()`.
+pub fn uptime(mut r: SpecRun, _args: &[TermId]) -> TermId {
+    let u = r.scalar("uptime");
+    r.finish(u)
+}
+
+/// `trap_timer()`.
+pub fn trap_timer(mut r: SpecRun, _args: &[TermId]) -> TermId {
+    let u = r.scalar("uptime");
+    let one = r.c(1);
+    let u1 = r.ctx.bv_add(u, one);
+    r.wr_scalar("uptime", u1);
+    round_robin(&mut r);
+    r.finish_const(0)
+}
+
+/// `trap_irq(v)`.
+pub fn trap_irq(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let v = args[0];
+    let hi_ = r.st.params.nr_vectors as i64;
+    let rng = in_range(&mut r, v, hi_);
+    r.check(rng, EINVAL);
+    let owner = r.rd("vectors", "owner", &[v]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, owner);
+    let lt = r.ctx.slt(owner, n);
+    let owned = r.ctx.and2(ge1, lt);
+    r.check(owned, EINVAL);
+    let pending = r.rd("procs", "intr_pending", &[owner]);
+    let bit = r.ctx.bv_bin(BvBinOp::Shl, one, v);
+    let new = r.ctx.bv_bin(BvBinOp::Or, pending, bit);
+    r.wr("procs", "intr_pending", &[owner], new);
+    r.finish_const(0)
+}
+
+/// `trap_triple_fault()`.
+pub fn trap_triple_fault(mut r: SpecRun, _args: &[TermId]) -> TermId {
+    let current = r.scalar("current");
+    let cand = r.rd("procs", "ready_next", &[current]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, cand);
+    let lt = r.ctx.slt(cand, n);
+    let ne = r.ctx.ne(cand, current);
+    let rng = r.ctx.and(&[ge1, lt, ne]);
+    let cstate = r.rd("procs", "state", &[cand]);
+    let runnable = r.c(proc_state::RUNNABLE);
+    let c_run = r.ctx.eq(cstate, runnable);
+    let cand_ok = r.ctx.and2(rng, c_run);
+    let init = r.c(INIT_PID);
+    let istate = r.rd("procs", "state", &[init]);
+    let i_run = r.ctx.eq(istate, runnable);
+    let minus1 = r.c(-1);
+    let fallback = r.ctx.ite(i_run, init, minus1);
+    let succ = r.ctx.ite(cand_ok, cand, fallback);
+    let has_succ = r.ctx.ne(succ, minus1);
+    let cur_state = r.rd("procs", "state", &[current]);
+    let running = r.c(proc_state::RUNNING);
+    let cur_running = r.ctx.eq(cur_state, running);
+    r.push_guard(cur_running);
+    ready_remove(&mut r, current);
+    let zombie = r.c(proc_state::ZOMBIE);
+    r.wr("procs", "state", &[current], zombie);
+    r.pop_guard();
+    r.wr_if(has_succ, "procs", "state", &[succ], running);
+    r.wr_scalar_if(has_succ, "current", succ);
+    r.finish_const(0)
+}
+
+/// `trap_debug_print(val)`.
+pub fn trap_debug_print(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let mask = r.c(255);
+    let v = r.ctx.bv_bin(BvBinOp::And, args[0], mask);
+    r.finish(v)
+}
+
+/// `trap_invalid()`.
+pub fn trap_invalid(r: SpecRun, _args: &[TermId]) -> TermId {
+    r.finish_const(-EINVAL)
+}

@@ -1,0 +1,83 @@
+//! The state-machine specification of every trap handler.
+//!
+//! [`spec_transition`] is the specification analogue of the kernel's
+//! dispatch table: given an abstract state and symbolic arguments, it
+//! applies the handler's specified transition and returns the result
+//! term. Each sub-module mirrors one HyperC source file.
+
+pub mod fd;
+pub mod iommu;
+pub mod ipc;
+pub mod misc;
+pub mod proc;
+pub mod vm;
+
+use hk_abi::Sysno;
+use hk_smt::{Ctx, TermId};
+
+use crate::run::SpecRun;
+use crate::state::SpecState;
+
+/// Applies the specification of `sysno` to `st` (in place) and returns
+/// the specified result value.
+pub fn spec_transition(
+    ctx: &mut Ctx,
+    st: &mut SpecState,
+    sysno: Sysno,
+    args: &[TermId],
+) -> TermId {
+    assert_eq!(args.len(), sysno.arg_count(), "{sysno} spec arity");
+    let r = SpecRun::new(ctx, st);
+    match sysno {
+        Sysno::Nop => proc::nop(r, args),
+        Sysno::AckIntr => proc::ack_intr(r, args),
+        Sysno::CloneProc => proc::clone_proc(r, args),
+        Sysno::SetRunnable => proc::set_runnable(r, args),
+        Sysno::Switch => proc::switch(r, args),
+        Sysno::Kill => proc::kill(r, args),
+        Sysno::Reap => proc::reap(r, args),
+        Sysno::Reparent => proc::reparent(r, args),
+        Sysno::AllocPdpt => vm::alloc_pdpt(r, args),
+        Sysno::AllocPd => vm::alloc_pd(r, args),
+        Sysno::AllocPt => vm::alloc_pt(r, args),
+        Sysno::AllocFrame => vm::alloc_frame(r, args),
+        Sysno::CopyFrame => vm::copy_frame(r, args),
+        Sysno::ProtectFrame => vm::protect_frame(r, args),
+        Sysno::FreePdpt => vm::free_pdpt(r, args),
+        Sysno::FreePd => vm::free_pd(r, args),
+        Sysno::FreePt => vm::free_pt(r, args),
+        Sysno::FreeFrame => vm::free_frame(r, args),
+        Sysno::ReclaimPage => vm::reclaim_page(r, args),
+        Sysno::MapDmaPage => vm::map_dmapage(r, args),
+        Sysno::CreateFile => fd::create_file(r, args),
+        Sysno::Close => fd::close(r, args),
+        Sysno::Dup => fd::dup(r, args),
+        Sysno::Dup2 => fd::dup2(r, args),
+        Sysno::Pipe => fd::pipe(r, args),
+        Sysno::PipeRead => fd::pipe_read(r, args),
+        Sysno::PipeWrite => fd::pipe_write(r, args),
+        Sysno::Send => ipc::send(r, args),
+        Sysno::Recv => ipc::recv(r, args),
+        Sysno::ReplyWait => ipc::reply_wait(r, args),
+        Sysno::TransferFd => ipc::transfer_fd(r, args),
+        Sysno::Yield => misc::yield_(r, args),
+        Sysno::Uptime => misc::uptime(r, args),
+        Sysno::AllocIommuRoot => iommu::alloc_iommu_root(r, args),
+        Sysno::AllocIommuPdpt => iommu::alloc_iommu_pdpt(r, args),
+        Sysno::AllocIommuPd => iommu::alloc_iommu_pd(r, args),
+        Sysno::AllocIommuPt => iommu::alloc_iommu_pt(r, args),
+        Sysno::AllocIommuFrame => iommu::alloc_iommu_frame(r, args),
+        Sysno::FreeIommuRoot => iommu::free_iommu_root(r, args),
+        Sysno::AllocPort => iommu::alloc_port(r, args),
+        Sysno::ReclaimPort => iommu::reclaim_port(r, args),
+        Sysno::AllocVector => iommu::alloc_vector(r, args),
+        Sysno::ReclaimVector => iommu::reclaim_vector(r, args),
+        Sysno::AllocIntremap => iommu::alloc_intremap(r, args),
+        Sysno::ReclaimIntremap => iommu::reclaim_intremap(r, args),
+        Sysno::TrapTimer => misc::trap_timer(r, args),
+        Sysno::TrapIrq => misc::trap_irq(r, args),
+        Sysno::TrapTripleFault => misc::trap_triple_fault(r, args),
+        Sysno::TrapDebugPrint => misc::trap_debug_print(r, args),
+        Sysno::TrapInvalid => misc::trap_invalid(r, args),
+    }
+}

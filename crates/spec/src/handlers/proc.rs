@@ -1,0 +1,280 @@
+//! State-machine specifications for the process-management handlers
+//! (mirrors `proc.hc`).
+
+use hk_abi::{page_type, proc_state, EAGAIN, EBUSY, EINVAL, ENOMEM, EPERM, ESRCH, INIT_PID,
+    PARENT_NONE, PID_NONE};
+use hk_smt::{BvBinOp, TermId};
+
+use crate::helpers::*;
+use crate::run::SpecRun;
+
+/// `sys_nop()`.
+pub fn nop(r: SpecRun, _args: &[TermId]) -> TermId {
+    r.finish_const(0)
+}
+
+/// `sys_ack_intr(v)`.
+pub fn ack_intr(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let v = args[0];
+    let hi_ = r.st.params.nr_vectors as i64;
+    let vrange = in_range(&mut r, v, hi_);
+    r.check(vrange, EINVAL);
+    let owner = r.rd("vectors", "owner", &[v]);
+    let current = r.scalar("current");
+    let owns = r.ctx.eq(owner, current);
+    r.check(owns, EPERM);
+    let one = r.c(1);
+    let mask = r.ctx.bv_bin(BvBinOp::Shl, one, v);
+    let pending = r.rd("procs", "intr_pending", &[current]);
+    let hit = r.ctx.bv_bin(BvBinOp::And, pending, mask);
+    let zero = r.c(0);
+    let was_pending = r.ctx.ne(hit, zero);
+    let not_mask = r.ctx.bv_not(mask);
+    let cleared = r.ctx.bv_bin(BvBinOp::And, pending, not_mask);
+    r.wr_if(was_pending, "procs", "intr_pending", &[current], cleared);
+    let ret = r.ctx.ite(was_pending, one, zero);
+    r.finish(ret)
+}
+
+/// `sys_clone_proc(pid, pml4, hvm, stack)`.
+pub fn clone_proc(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (pid, pml4, hvm, stack) = (args[0], args[1], args[2], args[3]);
+    let pv = pid_valid(&mut r, pid);
+    r.check(pv, ESRCH);
+    let state = r.rd("procs", "state", &[pid]);
+    let free = r.c(proc_state::FREE);
+    let is_free = r.ctx.eq(state, free);
+    r.check(is_free, EBUSY);
+    let v1 = page_valid(&mut r, pml4);
+    let v2 = page_valid(&mut r, hvm);
+    let v3 = page_valid(&mut r, stack);
+    let all_valid = r.ctx.and(&[v1, v2, v3]);
+    r.check(all_valid, EINVAL);
+    let d1 = r.ctx.ne(pml4, hvm);
+    let d2 = r.ctx.ne(pml4, stack);
+    let d3 = r.ctx.ne(hvm, stack);
+    let distinct = r.ctx.and(&[d1, d2, d3]);
+    r.check(distinct, EINVAL);
+    let f1 = page_is_free(&mut r, pml4);
+    let f2 = page_is_free(&mut r, hvm);
+    let f3 = page_is_free(&mut r, stack);
+    let all_free = r.ctx.and(&[f1, f2, f3]);
+    r.check(all_free, ENOMEM);
+    // Effects.
+    let none = r.c(PARENT_NONE);
+    alloc_page_typed(&mut r, pml4, pid, page_type::PML4, none, none);
+    alloc_page_typed(&mut r, hvm, pid, page_type::HVM, none, none);
+    alloc_page_typed(&mut r, stack, pid, page_type::STACK, none, none);
+    let current = r.scalar("current");
+    let cur_hvm = r.rd("procs", "hvm", &[current]);
+    page_copy(&mut r, hvm, cur_hvm);
+    let cur_stack = r.rd("procs", "stack_pn", &[current]);
+    page_copy(&mut r, stack, cur_stack);
+    let zero = r.c(0);
+    r.wr("pages", "word", &[hvm, zero], zero);
+    let embryo = r.c(proc_state::EMBRYO);
+    r.wr("procs", "state", &[pid], embryo);
+    r.wr("procs", "ppid", &[pid], current);
+    r.wr("procs", "pml4", &[pid], pml4);
+    r.wr("procs", "hvm", &[pid], hvm);
+    r.wr("procs", "stack_pn", &[pid], stack);
+    r.wr("procs", "nr_children", &[pid], zero);
+    // The child inherits the parent's open files (xv6 fork semantics):
+    // copy the table, one reference per open slot (branch-free mirror).
+    let nr_files = r.c(r.st.params.nr_files as i64);
+    for fd in 0..r.st.params.nr_fds {
+        let cfd = r.c(fd as i64);
+        let fslot = r.rd("procs", "ofile", &[current, cfd]);
+        r.wr("procs", "ofile", &[pid, cfd], fslot);
+        let open = r.ctx.ne(fslot, nr_files);
+        let is_open = bool_word(&mut r, open);
+        let slot = r.ctx.bv_mul(fslot, is_open);
+        let rc = r.rd("files", "refcnt", &[slot]);
+        let rc2 = r.ctx.bv_add(rc, is_open);
+        r.wr("files", "refcnt", &[slot], rc2);
+    }
+    let parent_fds = r.rd("procs", "nr_fds", &[current]);
+    r.wr("procs", "nr_fds", &[pid], parent_fds);
+    for field in [
+        "nr_dmapages",
+        "nr_devs",
+        "nr_ports",
+        "nr_vectors",
+        "nr_intremaps",
+        "ipc_from",
+        "ipc_val",
+        "ipc_size",
+        "intr_pending",
+    ] {
+        r.wr("procs", field, &[pid], zero);
+    }
+    r.wr("procs", "ipc_page", &[pid], none);
+    r.wr("procs", "ipc_fd", &[pid], none);
+    r.wr("procs", "ready_next", &[pid], none);
+    r.wr("procs", "ready_prev", &[pid], none);
+    r.bump("procs", "nr_children", &[current], 1);
+    r.finish_const(0)
+}
+
+/// `sys_set_runnable(pid)`.
+pub fn set_runnable(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let pid = args[0];
+    let pv = pid_valid(&mut r, pid);
+    r.check(pv, ESRCH);
+    let state = r.rd("procs", "state", &[pid]);
+    let embryo = r.c(proc_state::EMBRYO);
+    let is_embryo = r.ctx.eq(state, embryo);
+    r.check(is_embryo, EINVAL);
+    let ppid = r.rd("procs", "ppid", &[pid]);
+    let current = r.scalar("current");
+    let is_child = r.ctx.eq(ppid, current);
+    r.check(is_child, EPERM);
+    let runnable = r.c(proc_state::RUNNABLE);
+    r.wr("procs", "state", &[pid], runnable);
+    ready_insert(&mut r, pid);
+    r.finish_const(0)
+}
+
+/// `sys_switch(pid)`.
+pub fn switch(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let pid = args[0];
+    let pv = pid_valid(&mut r, pid);
+    r.check(pv, ESRCH);
+    let state = r.rd("procs", "state", &[pid]);
+    let runnable = r.c(proc_state::RUNNABLE);
+    let is_runnable = r.ctx.eq(state, runnable);
+    r.check(is_runnable, EINVAL);
+    let current = r.scalar("current");
+    let cur_state = r.rd("procs", "state", &[current]);
+    let running = r.c(proc_state::RUNNING);
+    let cur_running = r.ctx.eq(cur_state, running);
+    r.wr_if(cur_running, "procs", "state", &[current], runnable);
+    r.wr("procs", "state", &[pid], running);
+    r.wr_scalar("current", pid);
+    r.finish_const(0)
+}
+
+/// `sys_kill(pid)`.
+pub fn kill(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let pid = args[0];
+    let pv = pid_valid(&mut r, pid);
+    r.check(pv, ESRCH);
+    let init = r.c(INIT_PID);
+    let not_init = r.ctx.ne(pid, init);
+    r.check(not_init, EPERM);
+    let current = r.scalar("current");
+    let is_self = r.ctx.eq(pid, current);
+    let ppid = r.rd("procs", "ppid", &[pid]);
+    let is_child = r.ctx.eq(ppid, current);
+    let may = r.ctx.or2(is_self, is_child);
+    r.check(may, EPERM);
+    let t = r.rd("procs", "state", &[pid]);
+    let free = r.c(proc_state::FREE);
+    let zombie = r.c(proc_state::ZOMBIE);
+    let tf = r.ctx.eq(t, free);
+    let tz = r.ctx.eq(t, zombie);
+    let dead = r.ctx.or2(tf, tz);
+    let alive = r.ctx.not(dead);
+    r.check(alive, EINVAL);
+    // next_cand = ready_next if runnable/running else -1.
+    let runnable = r.c(proc_state::RUNNABLE);
+    let running = r.c(proc_state::RUNNING);
+    let tr = r.ctx.eq(t, runnable);
+    let tg = r.ctx.eq(t, running);
+    let on_list = r.ctx.or2(tr, tg);
+    let ready_next = r.rd("procs", "ready_next", &[pid]);
+    let minus1 = r.c(-1);
+    let next_cand = r.ctx.ite(on_list, ready_next, minus1);
+    // Successor resolution for kill-self.
+    let hi_ = r.st.params.nr_procs as i64;
+    let cand_in = in_range(&mut r, next_cand, hi_);
+    let one = r.c(1);
+    let cand_ge1 = r.ctx.sle(one, next_cand);
+    let cand_rng = r.ctx.and2(cand_in, cand_ge1);
+    let cand_ne = r.ctx.ne(next_cand, pid);
+    let cand_state = r.rd("procs", "state", &[next_cand]);
+    let cand_runnable = r.ctx.eq(cand_state, runnable);
+    let cand_ok = r.ctx.and(&[cand_rng, cand_ne, cand_runnable]);
+    let init_state = r.rd("procs", "state", &[init]);
+    let init_runnable = r.ctx.eq(init_state, runnable);
+    // -EAGAIN when killing self with no successor.
+    let not_self = r.ctx.not(is_self);
+    let has_succ = r.ctx.or2(cand_ok, init_runnable);
+    let ok_cond = r.ctx.or2(not_self, has_succ);
+    r.check(ok_cond, EAGAIN);
+    let succ = r.ctx.ite(cand_ok, next_cand, init);
+    // Effects.
+    r.push_guard(on_list);
+    ready_remove(&mut r, pid);
+    r.pop_guard();
+    r.wr("procs", "state", &[pid], zombie);
+    r.wr_if(is_self, "procs", "state", &[succ], running);
+    r.wr_scalar_if(is_self, "current", succ);
+    r.finish_const(0)
+}
+
+/// `sys_reap(pid)`.
+pub fn reap(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let pid = args[0];
+    let pv = pid_valid(&mut r, pid);
+    r.check(pv, ESRCH);
+    let state = r.rd("procs", "state", &[pid]);
+    let zombie = r.c(proc_state::ZOMBIE);
+    let is_zombie = r.ctx.eq(state, zombie);
+    r.check(is_zombie, EINVAL);
+    let ppid = r.rd("procs", "ppid", &[pid]);
+    let current = r.scalar("current");
+    let is_child = r.ctx.eq(ppid, current);
+    r.check(is_child, EPERM);
+    let zero = r.c(0);
+    for field in [
+        "nr_children",
+        "nr_fds",
+        "nr_pages",
+        "nr_dmapages",
+        "nr_devs",
+        "nr_ports",
+        "nr_vectors",
+        "nr_intremaps",
+    ] {
+        let v = r.rd("procs", field, &[pid]);
+        let is_zero = r.ctx.eq(v, zero);
+        r.check(is_zero, EBUSY);
+    }
+    let free = r.c(proc_state::FREE);
+    let none = r.c(PID_NONE);
+    r.wr("procs", "state", &[pid], free);
+    r.wr("procs", "ppid", &[pid], none);
+    r.wr("procs", "pml4", &[pid], zero);
+    r.wr("procs", "hvm", &[pid], zero);
+    r.wr("procs", "stack_pn", &[pid], zero);
+    r.bump("procs", "nr_children", &[current], -1);
+    r.finish_const(0)
+}
+
+/// `sys_reparent(pid)`.
+pub fn reparent(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let pid = args[0];
+    let pv = pid_valid(&mut r, pid);
+    r.check(pv, ESRCH);
+    let state = r.rd("procs", "state", &[pid]);
+    let free = r.c(proc_state::FREE);
+    let not_free = r.ctx.ne(state, free);
+    r.check(not_free, EINVAL);
+    let parent = r.rd("procs", "ppid", &[pid]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, parent);
+    let lt = r.ctx.slt(parent, n);
+    let prange = r.ctx.and2(ge1, lt);
+    r.check(prange, EINVAL);
+    let pstate = r.rd("procs", "state", &[parent]);
+    let zombie = r.c(proc_state::ZOMBIE);
+    let pz = r.ctx.eq(pstate, zombie);
+    r.check(pz, EPERM);
+    let init = r.c(INIT_PID);
+    r.wr("procs", "ppid", &[pid], init);
+    r.bump("procs", "nr_children", &[parent], -1);
+    r.bump("procs", "nr_children", &[init], 1);
+    r.finish_const(0)
+}

@@ -1,0 +1,514 @@
+//! State-machine specifications for the virtual-memory handlers
+//! (mirrors `vm.hc`).
+
+use hk_abi::{page_type, proc_state, EBUSY, EINVAL, ENOMEM, EPERM, ESRCH, PARENT_NONE,
+    PID_NONE, PTE_P, PTE_PFN_SHIFT};
+use hk_smt::{BvBinOp, TermId};
+
+use crate::helpers::*;
+use crate::run::SpecRun;
+
+/// Mirror of `check_alloc_table` (the checks half).
+fn check_alloc_table(
+    r: &mut SpecRun,
+    pid: TermId,
+    parent: TermId,
+    index: TermId,
+    child: TermId,
+    parent_ty: i64,
+) -> (TermId, TermId, TermId) {
+    let pv = pid_valid(r, pid);
+    r.check(pv, ESRCH);
+    let may = is_current_or_embryo_child(r, pid);
+    r.check(may, EPERM);
+    let pgv = page_valid(r, parent);
+    r.check(pgv, EINVAL);
+    let pty = r.rd("page_desc", "ty", &[parent]);
+    let want = r.c(parent_ty);
+    let ty_ok = r.ctx.eq(pty, want);
+    r.check(ty_ok, EINVAL);
+    let owner = r.rd("page_desc", "owner", &[parent]);
+    let own_ok = r.ctx.eq(owner, pid);
+    r.check(own_ok, EPERM);
+    let iv = idx_valid(r, index);
+    r.check(iv, EINVAL);
+    let entry = r.rd("pages", "word", &[parent, index]);
+    let p = r.c(PTE_P);
+    let zero = r.c(0);
+    let bits = r.ctx.bv_bin(BvBinOp::And, entry, p);
+    let empty = r.ctx.eq(bits, zero);
+    r.check(empty, EBUSY);
+    let cv = page_valid(r, child);
+    r.check(cv, EINVAL);
+    let cf = page_is_free(r, child);
+    r.check(cf, ENOMEM);
+    (entry, zero, p)
+}
+
+/// Mirror of `do_alloc_table` (the effects half).
+fn do_alloc_table(
+    r: &mut SpecRun,
+    pid: TermId,
+    parent: TermId,
+    index: TermId,
+    child: TermId,
+    child_ty: i64,
+    perm: TermId,
+) {
+    alloc_page_typed(r, child, pid, child_ty, parent, index);
+    let shift = r.c(PTE_PFN_SHIFT);
+    let shifted = r.ctx.bv_bin(BvBinOp::Shl, child, shift);
+    let entry = r.ctx.bv_bin(BvBinOp::Or, shifted, perm);
+    r.wr("pages", "word", &[parent, index], entry);
+}
+
+fn alloc_level(mut r: SpecRun, args: &[TermId], parent_ty: i64, child_ty: i64) -> TermId {
+    let (pid, parent, index, child, perm) = (args[0], args[1], args[2], args[3], args[4]);
+    check_alloc_table(&mut r, pid, parent, index, child, parent_ty);
+    let pm = perm_valid(&mut r, perm);
+    r.check(pm, EINVAL);
+    do_alloc_table(&mut r, pid, parent, index, child, child_ty, perm);
+    r.finish_const(0)
+}
+
+/// `sys_alloc_pdpt`.
+pub fn alloc_pdpt(r: SpecRun, args: &[TermId]) -> TermId {
+    alloc_level(r, args, page_type::PML4, page_type::PDPT)
+}
+
+/// `sys_alloc_pd`.
+pub fn alloc_pd(r: SpecRun, args: &[TermId]) -> TermId {
+    alloc_level(r, args, page_type::PDPT, page_type::PD)
+}
+
+/// `sys_alloc_pt`.
+pub fn alloc_pt(r: SpecRun, args: &[TermId]) -> TermId {
+    alloc_level(r, args, page_type::PD, page_type::PT)
+}
+
+/// `sys_alloc_frame`.
+pub fn alloc_frame(r: SpecRun, args: &[TermId]) -> TermId {
+    alloc_level(r, args, page_type::PT, page_type::FRAME)
+}
+
+/// `sys_map_dmapage(pid, pt, index, d, perm)`.
+pub fn map_dmapage(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (pid, pt, index, d, perm) = (args[0], args[1], args[2], args[3], args[4]);
+    let pv = pid_valid(&mut r, pid);
+    r.check(pv, ESRCH);
+    let may = is_current_or_embryo_child(&mut r, pid);
+    r.check(may, EPERM);
+    let ptv = page_valid(&mut r, pt);
+    r.check(ptv, EINVAL);
+    let ty = r.rd("page_desc", "ty", &[pt]);
+    let want = r.c(page_type::PT);
+    let ty_ok = r.ctx.eq(ty, want);
+    r.check(ty_ok, EINVAL);
+    let owner = r.rd("page_desc", "owner", &[pt]);
+    let own_ok = r.ctx.eq(owner, pid);
+    r.check(own_ok, EPERM);
+    let iv = idx_valid(&mut r, index);
+    r.check(iv, EINVAL);
+    let entry = r.rd("pages", "word", &[pt, index]);
+    let p = r.c(PTE_P);
+    let zero = r.c(0);
+    let bits = r.ctx.bv_bin(BvBinOp::And, entry, p);
+    let empty = r.ctx.eq(bits, zero);
+    r.check(empty, EBUSY);
+    let dv = dma_valid(&mut r, d);
+    r.check(dv, EINVAL);
+    let downer = r.rd("dma_desc", "owner", &[d]);
+    let pid_none = r.c(PID_NONE);
+    let unowned = r.ctx.eq(downer, pid_none);
+    let owned_by_pid = r.ctx.eq(downer, pid);
+    let claimable = r.ctx.or2(unowned, owned_by_pid);
+    r.check(claimable, EPERM);
+    let cpu_pn = r.rd("dma_desc", "cpu_parent_pn", &[d]);
+    let none = r.c(PARENT_NONE);
+    let unmapped = r.ctx.eq(cpu_pn, none);
+    r.check(unmapped, EBUSY);
+    let pm = perm_valid(&mut r, perm);
+    r.check(pm, EINVAL);
+    // Effects.
+    r.wr_if(unowned, "dma_desc", "owner", &[d], pid);
+    r.bump_if(unowned, "procs", "nr_dmapages", &[pid], 1);
+    r.wr("dma_desc", "cpu_parent_pn", &[d], pt);
+    r.wr("dma_desc", "cpu_parent_idx", &[d], index);
+    let nr_pages = r.c(r.st.params.nr_pages as i64);
+    let pfn = r.ctx.bv_add(nr_pages, d);
+    let shift = r.c(PTE_PFN_SHIFT);
+    let shifted = r.ctx.bv_bin(BvBinOp::Shl, pfn, shift);
+    let new_entry = r.ctx.bv_bin(BvBinOp::Or, shifted, perm);
+    r.wr("pages", "word", &[pt, index], new_entry);
+    r.finish_const(0)
+}
+
+/// `sys_copy_frame(from, to)`.
+pub fn copy_frame(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (from, to) = (args[0], args[1]);
+    let v1 = page_valid(&mut r, from);
+    let v2 = page_valid(&mut r, to);
+    let both = r.ctx.and2(v1, v2);
+    r.check(both, EINVAL);
+    let fty = r.rd("page_desc", "ty", &[from]);
+    let frame = r.c(page_type::FRAME);
+    let f_ok = r.ctx.eq(fty, frame);
+    r.check(f_ok, EINVAL);
+    let fowner = r.rd("page_desc", "owner", &[from]);
+    let current = r.scalar("current");
+    let fo_ok = r.ctx.eq(fowner, current);
+    r.check(fo_ok, EPERM);
+    let tty = r.rd("page_desc", "ty", &[to]);
+    let t_ok = r.ctx.eq(tty, frame);
+    r.check(t_ok, EINVAL);
+    let towner = r.rd("page_desc", "owner", &[to]);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let ge1 = r.ctx.sle(one, towner);
+    let lt = r.ctx.slt(towner, n);
+    let range = r.ctx.and2(ge1, lt);
+    r.check(range, EPERM);
+    let may = is_current_or_embryo_child(&mut r, towner);
+    r.check(may, EPERM);
+    page_copy(&mut r, to, from);
+    r.finish_const(0)
+}
+
+/// `sys_protect_frame(pt, index, pfn, perm)`.
+pub fn protect_frame(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (pt, index, pfn, perm) = (args[0], args[1], args[2], args[3]);
+    let ptv = page_valid(&mut r, pt);
+    r.check(ptv, EINVAL);
+    let ty = r.rd("page_desc", "ty", &[pt]);
+    let want = r.c(page_type::PT);
+    let ty_ok = r.ctx.eq(ty, want);
+    r.check(ty_ok, EINVAL);
+    let owner = r.rd("page_desc", "owner", &[pt]);
+    let current = r.scalar("current");
+    let own_ok = r.ctx.eq(owner, current);
+    r.check(own_ok, EPERM);
+    let iv = idx_valid(&mut r, index);
+    r.check(iv, EINVAL);
+    let entry = r.rd("pages", "word", &[pt, index]);
+    let p = r.c(PTE_P);
+    let zero = r.c(0);
+    let bits = r.ctx.bv_bin(BvBinOp::And, entry, p);
+    let present = r.ctx.ne(bits, zero);
+    r.check(present, EINVAL);
+    let shift = r.c(PTE_PFN_SHIFT);
+    let epfn = r.ctx.bv_bin(BvBinOp::Ashr, entry, shift);
+    let match_pfn = r.ctx.eq(epfn, pfn);
+    r.check(match_pfn, EINVAL);
+    let pfv = pfn_valid(&mut r, pfn);
+    r.check(pfv, EINVAL);
+    // Branch: RAM frame vs DMA page.
+    let nr_pages = r.c(r.st.params.nr_pages as i64);
+    let is_ram = r.ctx.slt(pfn, nr_pages);
+    let is_dma = r.ctx.not(is_ram);
+    let frame = r.c(page_type::FRAME);
+    let fty = r.rd("page_desc", "ty", &[pfn]);
+    let fty_ok = r.ctx.eq(fty, frame);
+    let ram_ty_ok = r.ctx.or2(is_dma, fty_ok);
+    r.check(ram_ty_ok, EINVAL);
+    let fowner = r.rd("page_desc", "owner", &[pfn]);
+    let fown_ok = r.ctx.eq(fowner, current);
+    let ram_own_ok = r.ctx.or2(is_dma, fown_ok);
+    r.check(ram_own_ok, EPERM);
+    let d = r.ctx.bv_sub(pfn, nr_pages);
+    let downer = r.rd("dma_desc", "owner", &[d]);
+    let down_ok = r.ctx.eq(downer, current);
+    let dma_own_ok = r.ctx.or2(is_ram, down_ok);
+    r.check(dma_own_ok, EPERM);
+    let pm = perm_valid(&mut r, perm);
+    r.check(pm, EINVAL);
+    let shifted = r.ctx.bv_bin(BvBinOp::Shl, pfn, shift);
+    let new_entry = r.ctx.bv_bin(BvBinOp::Or, shifted, perm);
+    r.wr("pages", "word", &[pt, index], new_entry);
+    r.finish_const(0)
+}
+
+/// Mirror of `check_free_table` + `do_free_table`.
+fn free_level(mut r: SpecRun, args: &[TermId], parent_ty: i64, child_ty: i64) -> TermId {
+    let (parent, index, child) = (args[0], args[1], args[2]);
+    let pgv = page_valid(&mut r, parent);
+    r.check(pgv, EINVAL);
+    let pty = r.rd("page_desc", "ty", &[parent]);
+    let want = r.c(parent_ty);
+    let ty_ok = r.ctx.eq(pty, want);
+    r.check(ty_ok, EINVAL);
+    let owner = r.rd("page_desc", "owner", &[parent]);
+    let current = r.scalar("current");
+    let own_ok = r.ctx.eq(owner, current);
+    r.check(own_ok, EPERM);
+    let iv = idx_valid(&mut r, index);
+    r.check(iv, EINVAL);
+    let entry = r.rd("pages", "word", &[parent, index]);
+    let p = r.c(PTE_P);
+    let zero = r.c(0);
+    let bits = r.ctx.bv_bin(BvBinOp::And, entry, p);
+    let present = r.ctx.ne(bits, zero);
+    r.check(present, EINVAL);
+    let shift = r.c(PTE_PFN_SHIFT);
+    let epfn = r.ctx.bv_bin(BvBinOp::Ashr, entry, shift);
+    let matches = r.ctx.eq(epfn, child);
+    r.check(matches, EINVAL);
+    let cv = page_valid(&mut r, child);
+    r.check(cv, EINVAL);
+    let cty = r.rd("page_desc", "ty", &[child]);
+    let cwant = r.c(child_ty);
+    let cty_ok = r.ctx.eq(cty, cwant);
+    r.check(cty_ok, EINVAL);
+    let cowner = r.rd("page_desc", "owner", &[child]);
+    let co_ok = r.ctx.eq(cowner, current);
+    r.check(co_ok, EPERM);
+    let cpp = r.rd("page_desc", "parent_pn", &[child]);
+    let pp_ok = r.ctx.eq(cpp, parent);
+    r.check(pp_ok, EINVAL);
+    let cpi = r.rd("page_desc", "parent_idx", &[child]);
+    let pi_ok = r.ctx.eq(cpi, index);
+    r.check(pi_ok, EINVAL);
+    r.wr("pages", "word", &[parent, index], zero);
+    free_page_owned(&mut r, child);
+    r.finish_const(0)
+}
+
+/// `sys_free_pdpt`.
+pub fn free_pdpt(r: SpecRun, args: &[TermId]) -> TermId {
+    free_level(r, args, page_type::PML4, page_type::PDPT)
+}
+
+/// `sys_free_pd`.
+pub fn free_pd(r: SpecRun, args: &[TermId]) -> TermId {
+    free_level(r, args, page_type::PDPT, page_type::PD)
+}
+
+/// `sys_free_pt`.
+pub fn free_pt(r: SpecRun, args: &[TermId]) -> TermId {
+    free_level(r, args, page_type::PD, page_type::PT)
+}
+
+/// `sys_free_frame(pt, index, pfn)` — the RAM/DMA dual-path unmap.
+pub fn free_frame(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let (pt, index, pfn) = (args[0], args[1], args[2]);
+    let ptv = page_valid(&mut r, pt);
+    r.check(ptv, EINVAL);
+    let ty = r.rd("page_desc", "ty", &[pt]);
+    let want = r.c(page_type::PT);
+    let ty_ok = r.ctx.eq(ty, want);
+    r.check(ty_ok, EINVAL);
+    let owner = r.rd("page_desc", "owner", &[pt]);
+    let current = r.scalar("current");
+    let own_ok = r.ctx.eq(owner, current);
+    r.check(own_ok, EPERM);
+    let iv = idx_valid(&mut r, index);
+    r.check(iv, EINVAL);
+    let entry = r.rd("pages", "word", &[pt, index]);
+    let p = r.c(PTE_P);
+    let zero = r.c(0);
+    let bits = r.ctx.bv_bin(BvBinOp::And, entry, p);
+    let present = r.ctx.ne(bits, zero);
+    r.check(present, EINVAL);
+    let shift = r.c(PTE_PFN_SHIFT);
+    let epfn = r.ctx.bv_bin(BvBinOp::Ashr, entry, shift);
+    let matches = r.ctx.eq(epfn, pfn);
+    r.check(matches, EINVAL);
+    let pfv = pfn_valid(&mut r, pfn);
+    r.check(pfv, EINVAL);
+    let nr_pages = r.c(r.st.params.nr_pages as i64);
+    let is_ram = r.ctx.slt(pfn, nr_pages);
+    let is_dma = r.ctx.not(is_ram);
+    // RAM path checks.
+    let frame = r.c(page_type::FRAME);
+    let fty = r.rd("page_desc", "ty", &[pfn]);
+    let fty_ok = r.ctx.eq(fty, frame);
+    let c1 = r.ctx.or2(is_dma, fty_ok);
+    r.check(c1, EINVAL);
+    let fowner = r.rd("page_desc", "owner", &[pfn]);
+    let fo_ok = r.ctx.eq(fowner, current);
+    let c2 = r.ctx.or2(is_dma, fo_ok);
+    r.check(c2, EPERM);
+    let fpp = r.rd("page_desc", "parent_pn", &[pfn]);
+    let pp_ok = r.ctx.eq(fpp, pt);
+    let c3 = r.ctx.or2(is_dma, pp_ok);
+    r.check(c3, EINVAL);
+    let fpi = r.rd("page_desc", "parent_idx", &[pfn]);
+    let pi_ok = r.ctx.eq(fpi, index);
+    let c4 = r.ctx.or2(is_dma, pi_ok);
+    r.check(c4, EINVAL);
+    // DMA path checks.
+    let d = r.ctx.bv_sub(pfn, nr_pages);
+    let downer = r.rd("dma_desc", "owner", &[d]);
+    let do_ok = r.ctx.eq(downer, current);
+    let c5 = r.ctx.or2(is_ram, do_ok);
+    r.check(c5, EPERM);
+    let dpp = r.rd("dma_desc", "cpu_parent_pn", &[d]);
+    let dpp_ok = r.ctx.eq(dpp, pt);
+    let c6 = r.ctx.or2(is_ram, dpp_ok);
+    r.check(c6, EINVAL);
+    let dpi = r.rd("dma_desc", "cpu_parent_idx", &[d]);
+    let dpi_ok = r.ctx.eq(dpi, index);
+    let c7 = r.ctx.or2(is_ram, dpi_ok);
+    r.check(c7, EINVAL);
+    // Effects: both paths clear the PTE.
+    r.wr("pages", "word", &[pt, index], zero);
+    // RAM: free the page.
+    r.push_guard(is_ram);
+    free_page_owned(&mut r, pfn);
+    r.pop_guard();
+    // DMA: clear the CPU mapping, maybe release ownership.
+    let none = r.c(PARENT_NONE);
+    r.wr_if(is_dma, "dma_desc", "cpu_parent_pn", &[d], none);
+    r.wr_if(is_dma, "dma_desc", "cpu_parent_idx", &[d], none);
+    let iop = r.rd("dma_desc", "io_parent_pn", &[d]);
+    let io_none = r.ctx.eq(iop, none);
+    let release = r.ctx.and2(is_dma, io_none);
+    let pid_none = r.c(PID_NONE);
+    r.wr_if(release, "dma_desc", "owner", &[d], pid_none);
+    r.bump_if(release, "procs", "nr_dmapages", &[current], -1);
+    r.finish_const(0)
+}
+
+/// `sys_reclaim_page(pfn)` — the zombie-reclaim dual path.
+pub fn reclaim_page(mut r: SpecRun, args: &[TermId]) -> TermId {
+    let pfn = args[0];
+    let pfv = pfn_valid(&mut r, pfn);
+    r.check(pfv, EINVAL);
+    let nr_pages = r.c(r.st.params.nr_pages as i64);
+    let is_ram = r.ctx.slt(pfn, nr_pages);
+    let is_dma = r.ctx.not(is_ram);
+    let zero = r.c(0);
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let zombie = r.c(proc_state::ZOMBIE);
+    let none = r.c(PARENT_NONE);
+    let pid_none = r.c(PID_NONE);
+    // RAM checks.
+    let ty = r.rd("page_desc", "ty", &[pfn]);
+    let free = r.c(page_type::FREE);
+    let reserved = r.c(page_type::RESERVED);
+    let is_free = r.ctx.eq(ty, free);
+    let is_res = r.ctx.eq(ty, reserved);
+    let dead_ty = r.ctx.or2(is_free, is_res);
+    let ty_ok = r.ctx.not(dead_ty);
+    let c1 = r.ctx.or2(is_dma, ty_ok);
+    r.check(c1, EINVAL);
+    let owner = r.rd("page_desc", "owner", &[pfn]);
+    let oge = r.ctx.sle(one, owner);
+    let olt = r.ctx.slt(owner, n);
+    let orng = r.ctx.and2(oge, olt);
+    let c2 = r.ctx.or2(is_dma, orng);
+    r.check(c2, EINVAL);
+    let ostate = r.rd("procs", "state", &[owner]);
+    let oz = r.ctx.eq(ostate, zombie);
+    let c3 = r.ctx.or2(is_dma, oz);
+    r.check(c3, EPERM);
+    // IOMMU root still referenced by the device table?
+    let iommu_root = r.c(page_type::IOMMU_PML4);
+    let is_root = r.ctx.eq(ty, iommu_root);
+    let devid = r.rd("page_desc", "devid", &[pfn]);
+    let dev_clear = r.ctx.eq(devid, none);
+    let not_root = r.ctx.not(is_root);
+    let root_ok = r.ctx.or2(not_root, dev_clear);
+    let c4 = r.ctx.or2(is_dma, root_ok);
+    r.check(c4, EBUSY);
+    // DMA checks.
+    let d = r.ctx.bv_sub(pfn, nr_pages);
+    let downer = r.rd("dma_desc", "owner", &[d]);
+    let dge = r.ctx.sle(one, downer);
+    let dlt = r.ctx.slt(downer, n);
+    let drng = r.ctx.and2(dge, dlt);
+    let c5 = r.ctx.or2(is_ram, drng);
+    r.check(c5, EINVAL);
+    let dstate = r.rd("procs", "state", &[downer]);
+    let dz = r.ctx.eq(dstate, zombie);
+    let c6 = r.ctx.or2(is_ram, dz);
+    r.check(c6, EPERM);
+    let dnr_devs = r.rd("procs", "nr_devs", &[downer]);
+    let no_devs = r.ctx.eq(dnr_devs, zero);
+    let c7 = r.ctx.or2(is_ram, no_devs);
+    r.check(c7, EBUSY);
+    // --- RAM effects (branch-free guarded clear, mirroring vm.hc) ---
+    let parent = r.rd("page_desc", "parent_pn", &[pfn]);
+    let pidx = r.rd("page_desc", "parent_idx", &[pfn]);
+    let pty_expect = parent_type_for(&mut r, ty);
+    let has_parent = r.ctx.ne(parent, none);
+    let has_pty = r.ctx.ne(pty_expect, none);
+    let dc0 = r.ctx.and2(has_parent, has_pty);
+    let do_clear0 = bool_word(&mut r, dc0);
+    let pslot = r.ctx.bv_mul(parent, do_clear0);
+    let islot = r.ctx.bv_mul(pidx, do_clear0);
+    let pentry = r.rd("pages", "word", &[pslot, islot]);
+    let parent_ty = r.rd("page_desc", "ty", &[pslot]);
+    let pty_match = r.ctx.eq(parent_ty, pty_expect);
+    let shift = r.c(PTE_PFN_SHIFT);
+    let pepfn = r.ctx.bv_bin(BvBinOp::Ashr, pentry, shift);
+    let points_here = r.ctx.eq(pepfn, pfn);
+    let pm = bool_word(&mut r, pty_match);
+    let ph = bool_word(&mut r, points_here);
+    let dc1 = r.ctx.bv_mul(do_clear0, pm);
+    let do_clear = r.ctx.bv_mul(dc1, ph);
+    let cleared = blend(&mut r, do_clear, zero, pentry);
+    // The whole store happens only on the RAM arm.
+    r.push_guard(is_ram);
+    r.wr("pages", "word", &[pslot, islot], cleared);
+    r.pop_guard();
+    r.push_guard(is_ram);
+    r.wr("page_desc", "ty", &[pfn], free);
+    r.wr("page_desc", "owner", &[pfn], pid_none);
+    r.wr("page_desc", "parent_pn", &[pfn], none);
+    r.wr("page_desc", "parent_idx", &[pfn], none);
+    r.wr("page_desc", "devid", &[pfn], none);
+    freelist_push(&mut r, pfn);
+    r.bump("procs", "nr_pages", &[owner], -1);
+    r.pop_guard();
+    // --- DMA effects (branch-free guarded clears, mirroring vm.hc) ---
+    let cpp = r.rd("dma_desc", "cpu_parent_pn", &[d]);
+    let cpi = r.rd("dma_desc", "cpu_parent_idx", &[d]);
+    let cs = r.ctx.ne(cpp, none);
+    let cclear0 = bool_word(&mut r, cs);
+    let cslot = r.ctx.bv_mul(cpp, cclear0);
+    let cislot = r.ctx.bv_mul(cpi, cclear0);
+    let centry = r.rd("pages", "word", &[cslot, cislot]);
+    let cpt = r.rd("page_desc", "ty", &[cslot]);
+    let pt_ty = r.c(page_type::PT);
+    let cpt_ok = r.ctx.eq(cpt, pt_ty);
+    let cpfn = r.ctx.bv_bin(BvBinOp::Ashr, centry, shift);
+    let cpoints = r.ctx.eq(cpfn, pfn);
+    let cm = bool_word(&mut r, cpt_ok);
+    let cp = bool_word(&mut r, cpoints);
+    let cc1 = r.ctx.bv_mul(cclear0, cm);
+    let cclear = r.ctx.bv_mul(cc1, cp);
+    let ccleared = blend(&mut r, cclear, zero, centry);
+    r.push_guard(is_dma);
+    r.wr("pages", "word", &[cslot, cislot], ccleared);
+    r.pop_guard();
+    let iop = r.rd("dma_desc", "io_parent_pn", &[d]);
+    let ioi = r.rd("dma_desc", "io_parent_idx", &[d]);
+    let ios = r.ctx.ne(iop, none);
+    let ioclear0 = bool_word(&mut r, ios);
+    let ioslot = r.ctx.bv_mul(iop, ioclear0);
+    let ioislot = r.ctx.bv_mul(ioi, ioclear0);
+    let ioentry = r.rd("pages", "word", &[ioslot, ioislot]);
+    let iot = r.rd("page_desc", "ty", &[ioslot]);
+    let io_pt = r.c(page_type::IOMMU_PT);
+    let iot_ok = r.ctx.eq(iot, io_pt);
+    let iopfn = r.ctx.bv_bin(BvBinOp::Ashr, ioentry, shift);
+    let iopoints = r.ctx.eq(iopfn, pfn);
+    let iom = bool_word(&mut r, iot_ok);
+    let iop_b = bool_word(&mut r, iopoints);
+    let io1 = r.ctx.bv_mul(ioclear0, iom);
+    let ioclear = r.ctx.bv_mul(io1, iop_b);
+    let iocleared = blend(&mut r, ioclear, zero, ioentry);
+    r.push_guard(is_dma);
+    r.wr("pages", "word", &[ioslot, ioislot], iocleared);
+    r.pop_guard();
+    r.push_guard(is_dma);
+    r.wr("dma_desc", "owner", &[d], pid_none);
+    r.wr("dma_desc", "cpu_parent_pn", &[d], none);
+    r.wr("dma_desc", "cpu_parent_idx", &[d], none);
+    r.wr("dma_desc", "io_parent_pn", &[d], none);
+    r.wr("dma_desc", "io_parent_idx", &[d], none);
+    r.bump("procs", "nr_dmapages", &[downer], -1);
+    r.pop_guard();
+    r.finish_const(0)
+}

@@ -1,0 +1,256 @@
+//! Spec-side mirrors of the kernel's helper routines (`helpers.hc`).
+//!
+//! Each function builds the same state transformation the corresponding
+//! HyperC helper performs, with effects guarded by the run's accumulated
+//! validation condition. Write order matches the implementation exactly,
+//! so aliased indices resolve identically through the write chains.
+
+use hk_abi::{page_type, PARENT_NONE, PID_NONE, PTE_P, PTE_PERM_MASK};
+use hk_smt::TermId;
+
+use crate::run::SpecRun;
+
+/// `(pid >= 1) & (pid < NR_PROCS)`.
+pub fn pid_valid(r: &mut SpecRun, pid: TermId) -> TermId {
+    let one = r.c(1);
+    let n = r.c(r.st.params.nr_procs as i64);
+    let a = r.ctx.sle(one, pid);
+    let b = r.ctx.slt(pid, n);
+    r.ctx.and2(a, b)
+}
+
+/// `0 <= v < hi`.
+pub fn in_range(r: &mut SpecRun, v: TermId, hi: i64) -> TermId {
+    let zero = r.c(0);
+    let h = r.c(hi);
+    let a = r.ctx.sle(zero, v);
+    let b = r.ctx.slt(v, h);
+    r.ctx.and2(a, b)
+}
+
+/// Valid RAM page number.
+pub fn page_valid(r: &mut SpecRun, pn: TermId) -> TermId {
+    in_range(r, pn, r.st.params.nr_pages as i64)
+}
+
+/// Valid combined-space frame number.
+pub fn pfn_valid(r: &mut SpecRun, pfn: TermId) -> TermId {
+    in_range(r, pfn, r.st.params.nr_pfns() as i64)
+}
+
+/// Valid DMA page index.
+pub fn dma_valid(r: &mut SpecRun, d: TermId) -> TermId {
+    in_range(r, d, r.st.params.nr_dmapages as i64)
+}
+
+/// Valid word index within a page.
+pub fn idx_valid(r: &mut SpecRun, i: TermId) -> TermId {
+    in_range(r, i, r.st.params.page_words as i64)
+}
+
+/// Valid file descriptor.
+pub fn fd_valid(r: &mut SpecRun, fd: TermId) -> TermId {
+    in_range(r, fd, r.st.params.nr_fds as i64)
+}
+
+/// Valid file-table index.
+pub fn file_valid(r: &mut SpecRun, f: TermId) -> TermId {
+    in_range(r, f, r.st.params.nr_files as i64)
+}
+
+/// Permission has PTE_P and no unknown bits.
+pub fn perm_valid(r: &mut SpecRun, perm: TermId) -> TermId {
+    let p = r.c(PTE_P);
+    let mask = r.c(!PTE_PERM_MASK);
+    let zero = r.c(0);
+    let has_p = r.ctx.bv_bin(hk_smt::BvBinOp::And, perm, p);
+    let a = r.ctx.ne(has_p, zero);
+    let extra = r.ctx.bv_bin(hk_smt::BvBinOp::And, perm, mask);
+    let b = r.ctx.eq(extra, zero);
+    r.ctx.and2(a, b)
+}
+
+/// `pid == current || (procs[pid].state == EMBRYO && ppid == current)`.
+pub fn is_current_or_embryo_child(r: &mut SpecRun, pid: TermId) -> TermId {
+    let current = r.scalar("current");
+    let is_cur = r.ctx.eq(pid, current);
+    let state = r.rd("procs", "state", &[pid]);
+    let embryo = r.c(hk_abi::proc_state::EMBRYO);
+    let is_embryo = r.ctx.eq(state, embryo);
+    let ppid = r.rd("procs", "ppid", &[pid]);
+    let child = r.ctx.eq(ppid, current);
+    let both = r.ctx.and2(is_embryo, child);
+    r.ctx.or2(is_cur, both)
+}
+
+/// `page_desc[pn].ty == FREE`.
+pub fn page_is_free(r: &mut SpecRun, pn: TermId) -> TermId {
+    let ty = r.rd("page_desc", "ty", &[pn]);
+    let free = r.c(page_type::FREE);
+    r.ctx.eq(ty, free)
+}
+
+/// Mirror of the branch-free `blend(c, a, b) = b + (a - b) * c` (with
+/// `c` a 0/1 word), built literally so the term mirrors the
+/// implementation's arithmetic.
+pub fn blend(r: &mut SpecRun, c: TermId, a: TermId, b: TermId) -> TermId {
+    let diff = r.ctx.bv_sub(a, b);
+    let scaled = r.ctx.bv_mul(diff, c);
+    r.ctx.bv_add(b, scaled)
+}
+
+/// Converts a boolean term to the 0/1 word the implementation computes.
+pub fn bool_word(r: &mut SpecRun, b: TermId) -> TermId {
+    let one = r.c(1);
+    let zero = r.c(0);
+    r.ctx.ite(b, one, zero)
+}
+
+/// Mirror of `freelist_remove` (branch-free form).
+pub fn freelist_remove(r: &mut SpecRun, pn: TermId) {
+    let none = r.c(PARENT_NONE);
+    let prev = r.rd("page_desc", "free_prev", &[pn]);
+    let next = r.rd("page_desc", "free_next", &[pn]);
+    let hp = r.ctx.ne(prev, none);
+    let has_prev = bool_word(r, hp);
+    let hn = r.ctx.ne(next, none);
+    let has_next = bool_word(r, hn);
+    let pslot = r.ctx.bv_mul(prev, has_prev);
+    let old_pnext = r.rd("page_desc", "free_next", &[pslot]);
+    let v = blend(r, has_prev, next, old_pnext);
+    r.wr("page_desc", "free_next", &[pslot], v);
+    let head = r.scalar("freelist_head");
+    let v = blend(r, has_prev, head, next);
+    r.wr_scalar("freelist_head", v);
+    let nslot = r.ctx.bv_mul(next, has_next);
+    let old_nprev = r.rd("page_desc", "free_prev", &[nslot]);
+    let v = blend(r, has_next, prev, old_nprev);
+    r.wr("page_desc", "free_prev", &[nslot], v);
+    r.wr("page_desc", "free_next", &[pn], none);
+    r.wr("page_desc", "free_prev", &[pn], none);
+}
+
+/// Mirror of `freelist_push` (branch-free form).
+pub fn freelist_push(r: &mut SpecRun, pn: TermId) {
+    let none = r.c(PARENT_NONE);
+    let head = r.scalar("freelist_head");
+    let hh = r.ctx.ne(head, none);
+    let has_head = bool_word(r, hh);
+    let hslot = r.ctx.bv_mul(head, has_head);
+    r.wr("page_desc", "free_next", &[pn], head);
+    r.wr("page_desc", "free_prev", &[pn], none);
+    let old_hprev = r.rd("page_desc", "free_prev", &[hslot]);
+    let v = blend(r, has_head, pn, old_hprev);
+    r.wr("page_desc", "free_prev", &[hslot], v);
+    r.wr_scalar("freelist_head", pn);
+}
+
+/// Mirror of `page_zero`.
+pub fn page_zero(r: &mut SpecRun, pn: TermId) {
+    let zero = r.c(0);
+    for i in 0..r.st.params.page_words {
+        let ci = r.c(i as i64);
+        r.wr("pages", "word", &[pn, ci], zero);
+    }
+}
+
+/// Mirror of `page_copy`.
+pub fn page_copy(r: &mut SpecRun, dst: TermId, src: TermId) {
+    for i in 0..r.st.params.page_words {
+        let ci = r.c(i as i64);
+        let v = r.rd("pages", "word", &[src, ci]);
+        r.wr("pages", "word", &[dst, ci], v);
+    }
+}
+
+/// Mirror of `alloc_page_typed`.
+pub fn alloc_page_typed(
+    r: &mut SpecRun,
+    pn: TermId,
+    owner: TermId,
+    ty: i64,
+    parent_pn: TermId,
+    parent_idx: TermId,
+) {
+    freelist_remove(r, pn);
+    page_zero(r, pn);
+    let t = r.c(ty);
+    r.wr("page_desc", "ty", &[pn], t);
+    r.wr("page_desc", "owner", &[pn], owner);
+    r.wr("page_desc", "parent_pn", &[pn], parent_pn);
+    r.wr("page_desc", "parent_idx", &[pn], parent_idx);
+    r.bump("procs", "nr_pages", &[owner], 1);
+}
+
+/// Mirror of `free_page_owned`.
+pub fn free_page_owned(r: &mut SpecRun, pn: TermId) {
+    let owner = r.rd("page_desc", "owner", &[pn]);
+    let free = r.c(page_type::FREE);
+    let none = r.c(PARENT_NONE);
+    let pid_none = r.c(PID_NONE);
+    r.wr("page_desc", "ty", &[pn], free);
+    r.wr("page_desc", "owner", &[pn], pid_none);
+    r.wr("page_desc", "parent_pn", &[pn], none);
+    r.wr("page_desc", "parent_idx", &[pn], none);
+    r.wr("page_desc", "devid", &[pn], none);
+    freelist_push(r, pn);
+    r.bump("procs", "nr_pages", &[owner], -1);
+}
+
+/// Mirror of `ready_insert` (branch-free form).
+pub fn ready_insert(r: &mut SpecRun, pid: TermId) {
+    let current = r.scalar("current");
+    let next = r.rd("procs", "ready_next", &[current]);
+    r.wr("procs", "ready_next", &[pid], next);
+    r.wr("procs", "ready_prev", &[pid], current);
+    let rng = in_range(r, next, r.st.params.nr_procs as i64);
+    let in_rng = bool_word(r, rng);
+    let nslot = r.ctx.bv_mul(next, in_rng);
+    let old = r.rd("procs", "ready_prev", &[nslot]);
+    let v = blend(r, in_rng, pid, old);
+    r.wr("procs", "ready_prev", &[nslot], v);
+    r.wr("procs", "ready_next", &[current], pid);
+}
+
+/// Mirror of `ready_remove` (branch-free form).
+pub fn ready_remove(r: &mut SpecRun, pid: TermId) {
+    let none = r.c(PARENT_NONE);
+    let prev = r.rd("procs", "ready_prev", &[pid]);
+    let next = r.rd("procs", "ready_next", &[pid]);
+    let prng = in_range(r, prev, r.st.params.nr_procs as i64);
+    let p_rng = bool_word(r, prng);
+    let pslot = r.ctx.bv_mul(prev, p_rng);
+    let old = r.rd("procs", "ready_next", &[pslot]);
+    let v = blend(r, p_rng, next, old);
+    r.wr("procs", "ready_next", &[pslot], v);
+    let nrng = in_range(r, next, r.st.params.nr_procs as i64);
+    let n_rng = bool_word(r, nrng);
+    let nslot = r.ctx.bv_mul(next, n_rng);
+    let old = r.rd("procs", "ready_prev", &[nslot]);
+    let v = blend(r, n_rng, prev, old);
+    r.wr("procs", "ready_prev", &[nslot], v);
+    r.wr("procs", "ready_next", &[pid], none);
+    r.wr("procs", "ready_prev", &[pid], none);
+}
+
+/// Mirror of `parent_type_for` (branch-free select chain).
+pub fn parent_type_for(r: &mut SpecRun, ty: TermId) -> TermId {
+    let cases = [
+        (page_type::PDPT, page_type::PML4),
+        (page_type::PD, page_type::PDPT),
+        (page_type::PT, page_type::PD),
+        (page_type::FRAME, page_type::PT),
+        (page_type::IOMMU_PDPT, page_type::IOMMU_PML4),
+        (page_type::IOMMU_PD, page_type::IOMMU_PDPT),
+        (page_type::IOMMU_PT, page_type::IOMMU_PD),
+    ];
+    let mut result = r.c(-1);
+    for (child, parent) in cases {
+        let c = r.c(child);
+        let p = r.c(parent);
+        let is = r.ctx.eq(ty, c);
+        let isw = bool_word(r, is);
+        result = blend(r, isw, p, result);
+    }
+    result
+}

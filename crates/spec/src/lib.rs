@@ -1,0 +1,29 @@
+//! Specifications for Hyperkernel: the state-machine layer and the
+//! declarative layer (paper §2.2).
+//!
+//! * [`state`] — abstract kernel state as named maps over SMT terms;
+//! * [`run`] — the check/effect framework spec functions are written in;
+//! * [`handlers`] — the state-machine specification of all 50 trap
+//!   handlers, mirroring the HyperC sources one-to-one;
+//! * [`decl`] — the declarative layer: crosscutting properties
+//!   (reference-count consistency, exclusive ownership, scheduler
+//!   sanity, and the memory-isolation Properties 1-5 of §4.2);
+//! * [`encode`] — the §3.3 encodings of exclusive-ownership and
+//!   reference-counting properties (naive, inverse-function, and
+//!   permutation forms) for the ablation experiment.
+//!
+//! The specification doubles as an executable oracle: instantiated on a
+//! concrete state, the transition terms fold to constants, which is how
+//! the differential tests compare the spec against the interpreted
+//! kernel.
+
+pub mod decl;
+pub mod encode;
+pub mod handlers;
+pub mod helpers;
+pub mod run;
+pub mod state;
+
+pub use handlers::spec_transition;
+pub use run::SpecRun;
+pub use state::{shapes_of, GlobalShape, Map, SpecState};

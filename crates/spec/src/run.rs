@@ -1,0 +1,160 @@
+//! The spec-writing framework: sequenced validation + guarded effects.
+//!
+//! The paper's state-machine specifications follow one pattern (§2.2):
+//! a validation condition over the current state, a new state if
+//! validation passes, and an error result otherwise. Hyperkernel handlers
+//! return *distinct* errnos per failed check, so [`SpecRun`] generalizes
+//! the pattern to an ordered sequence of checks: the first failed check
+//! determines the return value, and every state effect is guarded by
+//! "all checks passed so far".
+
+use hk_smt::{Ctx, TermId};
+
+use crate::state::SpecState;
+
+/// An in-progress handler specification.
+pub struct SpecRun<'a> {
+    /// Term context.
+    pub ctx: &'a mut Ctx,
+    /// The state being transformed.
+    pub st: &'a mut SpecState,
+    /// `(exclusive fail condition, return value)`, in check order.
+    earlies: Vec<(TermId, TermId)>,
+    /// Conjunction of all checks passed so far.
+    pub ok: TermId,
+    /// Extra effect guards (for conditionally-executed helper bodies).
+    guards: Vec<TermId>,
+}
+
+impl<'a> SpecRun<'a> {
+    /// Starts a run.
+    pub fn new(ctx: &'a mut Ctx, st: &'a mut SpecState) -> SpecRun<'a> {
+        let ok = ctx.tru();
+        SpecRun {
+            ctx,
+            st,
+            earlies: Vec::new(),
+            ok,
+            guards: Vec::new(),
+        }
+    }
+
+    /// Pushes an extra effect guard: writes inside the guarded region
+    /// only take effect when `extra` holds (mirrors an `if` around a
+    /// helper call in the implementation).
+    pub fn push_guard(&mut self, extra: TermId) {
+        self.guards.push(extra);
+    }
+
+    /// Pops the innermost effect guard.
+    pub fn pop_guard(&mut self) {
+        self.guards.pop().expect("guard underflow");
+    }
+
+    /// The full effect guard: checks passed plus pushed guards.
+    fn effect_guard(&mut self) -> TermId {
+        let mut g = self.ok;
+        for &extra in &self.guards.clone() {
+            g = self.ctx.and2(g, extra);
+        }
+        g
+    }
+
+    /// Constant helper.
+    pub fn c(&mut self, v: i64) -> TermId {
+        self.ctx.i64_const(v)
+    }
+
+    /// Adds a check: if `cond_ok` fails (and no earlier check failed),
+    /// the handler returns `-errno`.
+    pub fn check(&mut self, cond_ok: TermId, errno: i64) {
+        let ret = self.ctx.i64_const(-errno);
+        self.early(cond_ok, ret);
+    }
+
+    /// Adds an early return with an arbitrary value when `cond_ok` fails.
+    pub fn early(&mut self, cond_ok: TermId, ret: TermId) {
+        let not_ok = self.ctx.not(cond_ok);
+        let fires = self.ctx.and2(self.ok, not_ok);
+        self.earlies.push((fires, ret));
+        self.ok = self.ctx.and2(self.ok, cond_ok);
+    }
+
+    /// Reads a cell (sees all writes recorded so far).
+    pub fn rd(&mut self, global: &str, field: &str, idx: &[TermId]) -> TermId {
+        self.st.read(self.ctx, global, field, idx)
+    }
+
+    /// Reads a scalar global.
+    pub fn scalar(&mut self, global: &str) -> TermId {
+        self.st.scalar(self.ctx, global)
+    }
+
+    /// Writes a cell, guarded by the checks passed so far (plus any
+    /// pushed effect guards).
+    pub fn wr(&mut self, global: &str, field: &str, idx: &[TermId], val: TermId) {
+        let g = self.effect_guard();
+        self.st.write_if(self.ctx, g, global, field, idx, val);
+    }
+
+    /// Writes a cell under an extra condition (on top of the guard).
+    pub fn wr_if(
+        &mut self,
+        extra: TermId,
+        global: &str,
+        field: &str,
+        idx: &[TermId],
+        val: TermId,
+    ) {
+        let base = self.effect_guard();
+        let g = self.ctx.and2(base, extra);
+        self.st.write_if(self.ctx, g, global, field, idx, val);
+    }
+
+    /// Writes a scalar, guarded.
+    pub fn wr_scalar(&mut self, global: &str, val: TermId) {
+        self.wr(global, "value", &[], val);
+    }
+
+    /// Writes a scalar under an extra condition.
+    pub fn wr_scalar_if(&mut self, extra: TermId, global: &str, val: TermId) {
+        self.wr_if(extra, global, "value", &[], val);
+    }
+
+    /// Adds `delta` to a cell, guarded by `extra` on top of the checks.
+    pub fn bump_if(
+        &mut self,
+        extra: TermId,
+        global: &str,
+        field: &str,
+        idx: &[TermId],
+        delta: i64,
+    ) {
+        let old = self.rd(global, field, idx);
+        let d = self.c(delta);
+        let new = self.ctx.bv_add(old, d);
+        self.wr_if(extra, global, field, idx, new);
+    }
+
+    /// Adds `delta` to a cell, guarded.
+    pub fn bump(&mut self, global: &str, field: &str, idx: &[TermId], delta: i64) {
+        let t = self.ctx.tru();
+        self.bump_if(t, global, field, idx, delta);
+    }
+
+    /// Finishes the run: the return value is the first firing early
+    /// return, or `success` if every check passed.
+    pub fn finish(self, success: TermId) -> TermId {
+        let mut result = success;
+        for (fires, ret) in self.earlies.into_iter().rev() {
+            result = self.ctx.ite(fires, ret, result);
+        }
+        result
+    }
+
+    /// Finishes with a constant success value.
+    pub fn finish_const(self, success: i64) -> TermId {
+        let s = self.ctx.i64_const(success);
+        self.finish(s)
+    }
+}

@@ -1,0 +1,231 @@
+//! The abstract kernel state: named maps over SMT terms.
+//!
+//! As in the paper (§2.2), abstract state is built from fixed-width
+//! integers and maps encoded as uninterpreted functions. Because the
+//! kernel keeps *all* its state in global arrays-of-structs, the
+//! abstract state mirrors the kernel layout one-to-one: one map per
+//! `(global, field)` pair, with arity 0 (scalars like `current`), 1
+//! (per-table fields like `procs.state`), or 2 (nested arrays like
+//! `procs.ofile` and page contents `pages.word`).
+//!
+//! That mirroring makes the equivalence function (§2.4) mechanical —
+//! `llvm_global('@current') == state.current` becomes name identity —
+//! and it means the symbolic executor can use the *same* representation
+//! for the implementation state, so refinement reduces to comparing map
+//! cells.
+//!
+//! Writes are recorded as read-over-write chains; a read walks the
+//! chain newest-first and falls through to the base uninterpreted
+//! function. Guarded writes (`write_if`) express the paper's
+//! "validation condition gates the new state" pattern.
+
+use std::collections::HashMap;
+
+use hk_abi::KernelParams;
+use hk_smt::{Ctx, FuncId, Sort, TermId};
+
+/// One abstract map: a base uninterpreted function plus a write chain.
+#[derive(Debug, Clone)]
+pub struct Map {
+    /// The base UF (the state at the start of the transition).
+    pub base: FuncId,
+    /// Number of index arguments (0, 1, or 2).
+    pub arity: usize,
+    /// Writes, oldest first. Each is (index tuple, value).
+    pub writes: Vec<(Vec<TermId>, TermId)>,
+}
+
+impl Map {
+    /// Reads the map at `idx`, resolving through the write chain.
+    pub fn read(&self, ctx: &mut Ctx, idx: &[TermId]) -> TermId {
+        assert_eq!(idx.len(), self.arity);
+        let mut result = ctx.apply(self.base, idx);
+        // Build the ite chain oldest-write innermost.
+        for (widx, wval) in &self.writes {
+            let conds: Vec<TermId> = widx
+                .iter()
+                .zip(idx.iter())
+                .map(|(&a, &b)| ctx.eq(a, b))
+                .collect();
+            let cond = ctx.and(&conds);
+            result = ctx.ite(cond, *wval, result);
+        }
+        result
+    }
+
+    /// Appends a write.
+    pub fn write(&mut self, idx: Vec<TermId>, val: TermId) {
+        assert_eq!(idx.len(), self.arity);
+        self.writes.push((idx, val));
+    }
+}
+
+/// Shape of one global taken from the kernel module.
+#[derive(Debug, Clone)]
+pub struct GlobalShape {
+    /// Global name.
+    pub name: String,
+    /// Number of elements.
+    pub elems: u64,
+    /// `(field name, field elems)`.
+    pub fields: Vec<(String, u64)>,
+}
+
+/// Extracts the shapes from a compiled kernel module.
+pub fn shapes_of(module: &hk_hir::Module) -> Vec<GlobalShape> {
+    module
+        .globals
+        .iter()
+        .map(|g| GlobalShape {
+            name: g.name.clone(),
+            elems: g.elems,
+            fields: g.fields.iter().map(|f| (f.name.clone(), f.elems)).collect(),
+        })
+        .collect()
+}
+
+/// The abstract kernel state.
+#[derive(Debug, Clone)]
+pub struct SpecState {
+    /// Kernel size parameters.
+    pub params: KernelParams,
+    /// Shapes, for iteration.
+    pub shapes: Vec<GlobalShape>,
+    maps: HashMap<(String, String), Map>,
+}
+
+impl SpecState {
+    /// A fully symbolic state: every map is a fresh base UF named
+    /// `global.field`.
+    pub fn fresh(ctx: &mut Ctx, shapes: &[GlobalShape], params: KernelParams) -> SpecState {
+        let mut maps = HashMap::new();
+        for g in shapes {
+            for (fname, felems) in &g.fields {
+                let mut arity = 0;
+                if g.elems > 1 {
+                    arity += 1;
+                }
+                if *felems > 1 {
+                    arity += 1;
+                }
+                let domain = vec![Sort::Bv(64); arity];
+                let func = ctx.func(format!("{}.{}", g.name, fname), domain, Sort::Bv(64));
+                maps.insert(
+                    (g.name.clone(), fname.clone()),
+                    Map {
+                        base: func,
+                        arity,
+                        writes: Vec::new(),
+                    },
+                );
+            }
+        }
+        SpecState {
+            params,
+            shapes: shapes.to_vec(),
+            maps,
+        }
+    }
+
+    /// The map for `(global, field)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown names (a spec typo).
+    pub fn map(&self, global: &str, field: &str) -> &Map {
+        self.maps
+            .get(&(global.to_string(), field.to_string()))
+            .unwrap_or_else(|| panic!("unknown map {global}.{field}"))
+    }
+
+    fn map_mut(&mut self, global: &str, field: &str) -> &mut Map {
+        self.maps
+            .get_mut(&(global.to_string(), field.to_string()))
+            .unwrap_or_else(|| panic!("unknown map {global}.{field}"))
+    }
+
+    /// Reads a cell.
+    pub fn read(&mut self, ctx: &mut Ctx, global: &str, field: &str, idx: &[TermId]) -> TermId {
+        // Cloning the map metadata is cheap relative to term building and
+        // avoids split borrows.
+        let map = self.map(global, field).clone();
+        map.read(ctx, idx)
+    }
+
+    /// Unconditional write.
+    pub fn write(
+        &mut self,
+        ctx: &mut Ctx,
+        global: &str,
+        field: &str,
+        idx: &[TermId],
+        val: TermId,
+    ) {
+        let _ = ctx;
+        self.map_mut(global, field).write(idx.to_vec(), val);
+    }
+
+    /// Guarded write: the cell becomes `val` when `guard` holds and is
+    /// unchanged otherwise.
+    pub fn write_if(
+        &mut self,
+        ctx: &mut Ctx,
+        guard: TermId,
+        global: &str,
+        field: &str,
+        idx: &[TermId],
+        val: TermId,
+    ) {
+        if ctx.const_bool(guard) == Some(false) {
+            return;
+        }
+        if ctx.const_bool(guard) == Some(true) {
+            self.write(ctx, global, field, idx, val);
+            return;
+        }
+        let old = self.read(ctx, global, field, idx);
+        let v = ctx.ite(guard, val, old);
+        self.write(ctx, global, field, idx, v);
+    }
+
+    /// Scalar read (`current`, `uptime`, `freelist_head`).
+    pub fn scalar(&mut self, ctx: &mut Ctx, global: &str) -> TermId {
+        self.read(ctx, global, "value", &[])
+    }
+
+    /// Guarded scalar write.
+    pub fn set_scalar_if(&mut self, ctx: &mut Ctx, guard: TermId, global: &str, val: TermId) {
+        self.write_if(ctx, guard, global, "value", &[], val);
+    }
+
+    /// Every cell of the state as concrete index tuples — the
+    /// instantiation set for equivalence checking and invariants.
+    pub fn all_cells(&self) -> Vec<(String, String, Vec<u64>)> {
+        let mut out = Vec::new();
+        for g in &self.shapes {
+            for (fname, felems) in &g.fields {
+                match (g.elems > 1, *felems > 1) {
+                    (false, false) => out.push((g.name.clone(), fname.clone(), vec![])),
+                    (true, false) => {
+                        for i in 0..g.elems {
+                            out.push((g.name.clone(), fname.clone(), vec![i]));
+                        }
+                    }
+                    (true, true) => {
+                        for i in 0..g.elems {
+                            for j in 0..*felems {
+                                out.push((g.name.clone(), fname.clone(), vec![i, j]));
+                            }
+                        }
+                    }
+                    (false, true) => {
+                        for j in 0..*felems {
+                            out.push((g.name.clone(), fname.clone(), vec![j]));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,192 @@
+//! Differential testing: the executable specification against the
+//! interpreted kernel.
+//!
+//! For random sequences of trap invocations starting from the booted
+//! state, the state-machine specification — evaluated concretely through
+//! the ground evaluator — must agree with the HIR implementation on the
+//! return value and on *every* cell of the kernel state. This is the
+//! testing analogue of the refinement theorem, and it validates both
+//! directions: spec bugs and frontend/lowering bugs show up as diffs.
+
+use hk_abi::{KernelParams, Sysno, PTE_P, PTE_U, PTE_W};
+use hk_kernel::{boot::boot, Kernel};
+use hk_smt::eval::Assignment;
+use hk_smt::Ctx;
+use hk_spec::{shapes_of, spec_transition, SpecState};
+use hk_vm::CostModel;
+use proptest::prelude::*;
+
+/// Reads the entire kernel state into a UF assignment for the spec's
+/// base functions.
+fn snapshot_assignment(
+    kernel: &Kernel,
+    machine: &hk_vm::Machine,
+    ctx: &Ctx,
+    st: &SpecState,
+) -> Assignment {
+    let mut asg = Assignment::new();
+    let _ = ctx;
+    for (g, f, idx) in st.all_cells() {
+        let (i, s) = match idx.len() {
+            0 => (0, 0),
+            1 => (idx[0], 0),
+            _ => (idx[0], idx[1]),
+        };
+        let val = kernel.read_global(machine, &g, i, &f, s) as u64;
+        let base = st.map(&g, &f).base;
+        asg.func_mut(base).set(idx.iter().map(|&v| v).collect(), val);
+    }
+    asg
+}
+
+/// Applies one syscall to both sides and compares exhaustively.
+fn step_and_compare(
+    kernel: &Kernel,
+    machine: &mut hk_vm::Machine,
+    sysno: Sysno,
+    args: &[i64],
+) -> Result<(), TestCaseError> {
+    // Spec side: fresh symbolic state + concrete snapshot assignment.
+    let mut ctx = Ctx::new();
+    let shapes = shapes_of(&kernel.image.module);
+    let st = SpecState::fresh(&mut ctx, &shapes, kernel.image.params);
+    let asg = snapshot_assignment(kernel, machine, &ctx, &st);
+    let arg_terms: Vec<_> = args.iter().map(|&a| ctx.i64_const(a)).collect();
+    let mut post = st.clone();
+    let spec_ret = spec_transition(&mut ctx, &mut post, sysno, &arg_terms);
+    let spec_ret_val = hk_smt::eval::eval_bv(&ctx, spec_ret, &asg) as i64;
+    // Implementation side.
+    let impl_ret = kernel
+        .trap(machine, sysno, args)
+        .map_err(|e| TestCaseError::fail(format!("{sysno}{args:?}: kernel UB: {e}")))?;
+    prop_assert_eq!(
+        spec_ret_val,
+        impl_ret,
+        "return mismatch for {}{:?}: spec={} impl={}",
+        sysno,
+        args,
+        hk_abi::errno_name(spec_ret_val),
+        hk_abi::errno_name(impl_ret)
+    );
+    // Full state comparison.
+    for (g, f, idx) in st.all_cells() {
+        let idx_terms: Vec<_> = idx.iter().map(|&v| ctx.i64_const(v as i64)).collect();
+        let term = post.read(&mut ctx, &g, &f, &idx_terms);
+        let spec_val = hk_smt::eval::eval_bv(&ctx, term, &asg) as i64;
+        let (i, s) = match idx.len() {
+            0 => (0, 0),
+            1 => (idx[0], 0),
+            _ => (idx[0], idx[1]),
+        };
+        let impl_val = kernel.read_global(machine, &g, i, &f, s);
+        prop_assert_eq!(
+            spec_val,
+            impl_val,
+            "state mismatch at {}.{}{:?} after {}{:?} (ret {})",
+            g,
+            f,
+            idx,
+            sysno,
+            args,
+            impl_ret
+        );
+    }
+    // The implementation must also preserve its representation invariant.
+    let _ = machine;
+    Ok(())
+}
+
+/// A biased argument generator: mostly-valid small resource indices.
+fn arg_strategy() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        8 => 0i64..12,
+        2 => Just(-1i64),
+        1 => Just(hk_abi::KernelParams::verification().nr_files as i64),
+        2 => prop_oneof![
+            Just(PTE_P),
+            Just(PTE_P | PTE_W),
+            Just(PTE_P | PTE_W | PTE_U),
+            Just(PTE_W),
+            Just(0x7fi64),
+        ],
+        1 => any::<i64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn spec_matches_implementation(
+        steps in proptest::collection::vec(
+            (0u64..Sysno::COUNT as u64, proptest::collection::vec(arg_strategy(), 5)),
+            1..25,
+        )
+    ) {
+        let params = KernelParams::verification();
+        let kernel = Kernel::new(params).unwrap();
+        let mut machine = kernel.new_machine(CostModel::default_model());
+        boot(&kernel, &mut machine);
+        for (raw_sysno, raw_args) in steps {
+            let sysno = Sysno::ALL[raw_sysno as usize];
+            let args = &raw_args[..sysno.arg_count()];
+            step_and_compare(&kernel, &mut machine, sysno, args)?;
+        }
+    }
+}
+
+/// A directed scenario: a full process lifecycle compared cell-by-cell.
+#[test]
+fn directed_lifecycle_differential() {
+    let params = KernelParams::verification();
+    let kernel = Kernel::new(params).unwrap();
+    let mut machine = kernel.new_machine(CostModel::default_model());
+    boot(&kernel, &mut machine);
+    let all = PTE_P | PTE_W | PTE_U;
+    let script: Vec<(Sysno, Vec<i64>)> = vec![
+        (Sysno::CloneProc, vec![2, 3, 4, 5]),
+        (Sysno::TransferFd, vec![2, 0, 0]), // fails: fd 0 closed
+        (Sysno::SetRunnable, vec![2]),
+        (Sysno::AllocPdpt, vec![1, 0, 1, 9, all]),
+        (Sysno::AllocPd, vec![1, 9, 2, 10, all]),
+        (Sysno::AllocPt, vec![1, 10, 3, 11, all]),
+        (Sysno::AllocFrame, vec![1, 11, 4, 12, all]),
+        (Sysno::Pipe, vec![0, 0, 1, 1, 2]),
+        (Sysno::PipeWrite, vec![1, 12, 0, 3]),
+        (Sysno::PipeRead, vec![0, 12, 4, 2]),
+        (Sysno::Dup, vec![0, 3]),
+        (Sysno::Dup2, vec![1, 3]),
+        (Sysno::Close, vec![3]),
+        (Sysno::Switch, vec![2]),
+        (Sysno::Recv, vec![0, -1, -1]),
+        (Sysno::Send, vec![2, 42, -1, 0, -1]),
+        (Sysno::Yield, vec![]),
+        (Sysno::TrapTimer, vec![]),
+        (Sysno::AllocIommuRoot, vec![0, 13]),
+        (Sysno::AllocIommuPdpt, vec![13, 0, 14, PTE_P | PTE_W]),
+        (Sysno::AllocVector, vec![3]),
+        (Sysno::AllocIntremap, vec![0, 0, 3]),
+        (Sysno::TrapIrq, vec![3]),
+        (Sysno::AckIntr, vec![3]),
+        (Sysno::ReclaimIntremap, vec![0]),
+        (Sysno::ReclaimVector, vec![3]),
+        (Sysno::FreeIommuRoot, vec![0, 13]),
+        (Sysno::FreeFrame, vec![11, 4, 12]),
+        (Sysno::FreePt, vec![10, 3, 11]),
+        (Sysno::Uptime, vec![]),
+        (Sysno::TrapDebugPrint, vec![65]),
+        (Sysno::TrapInvalid, vec![]),
+    ];
+    for (sysno, args) in script {
+        step_and_compare(&kernel, &mut machine, sysno, &args)
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            kernel.check_invariant(&mut machine).unwrap(),
+            "invariant after {sysno}"
+        );
+    }
+}

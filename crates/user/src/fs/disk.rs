@@ -1,0 +1,77 @@
+//! Disk abstraction for the file system.
+//!
+//! The file system runs over anything sector-addressed: a plain in-memory
+//! disk for unit tests and offline `mkfs`, or the machine's simulated
+//! NVMe-class block device reached through IOMMU-mapped DMA buffers (the
+//! driver lives in the file-server process).
+
+/// A sector-addressed disk of 64-bit words.
+pub trait DiskIo {
+    /// Words per sector.
+    fn sector_words(&self) -> u64;
+    /// Total sectors.
+    fn nsectors(&self) -> u64;
+    /// Reads sector `lba` into `buf` (exactly one sector long).
+    fn read_sector(&mut self, lba: u64, buf: &mut [i64]);
+    /// Writes sector `lba` from `buf`.
+    fn write_sector(&mut self, lba: u64, buf: &[i64]);
+}
+
+/// An in-memory disk.
+#[derive(Debug, Clone)]
+pub struct RamDisk {
+    sector_words: u64,
+    data: Vec<i64>,
+}
+
+impl RamDisk {
+    /// A zeroed disk.
+    pub fn new(sector_words: u64, nsectors: u64) -> RamDisk {
+        RamDisk {
+            sector_words,
+            data: vec![0; (sector_words * nsectors) as usize],
+        }
+    }
+
+    /// Clones the raw contents (crash-simulation snapshots).
+    pub fn snapshot(&self) -> RamDisk {
+        self.clone()
+    }
+}
+
+impl DiskIo for RamDisk {
+    fn sector_words(&self) -> u64 {
+        self.sector_words
+    }
+
+    fn nsectors(&self) -> u64 {
+        self.data.len() as u64 / self.sector_words
+    }
+
+    fn read_sector(&mut self, lba: u64, buf: &mut [i64]) {
+        let s = (lba * self.sector_words) as usize;
+        buf.copy_from_slice(&self.data[s..s + self.sector_words as usize]);
+    }
+
+    fn write_sector(&mut self, lba: u64, buf: &[i64]) {
+        let s = (lba * self.sector_words) as usize;
+        self.data[s..s + self.sector_words as usize].copy_from_slice(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramdisk_roundtrip() {
+        let mut d = RamDisk::new(8, 16);
+        let w = [1i64, 2, 3, 4, 5, 6, 7, 8];
+        d.write_sector(3, &w);
+        let mut r = [0i64; 8];
+        d.read_sector(3, &mut r);
+        assert_eq!(r, w);
+        d.read_sector(4, &mut r);
+        assert_eq!(r, [0; 8]);
+    }
+}

@@ -1,0 +1,750 @@
+//! The xv6-style journaling file system, ported to run in user space
+//! (paper §4.3): superblock, write-ahead log, on-disk inodes with direct
+//! and singly-indirect blocks, sector allocation bitmap, and directories
+//! as inode-typed files of fixed-size entries.
+//!
+//! Every mutating operation is a transaction: its sector writes are
+//! staged, committed to the log, and only then installed — a crash at
+//! any point either replays the whole operation at mount or loses it
+//! entirely (see the crash-recovery tests).
+
+pub mod disk;
+pub mod log;
+pub mod server;
+
+use disk::DiskIo;
+use log::Log;
+
+/// Inode type: unused slot.
+pub const T_FREE: i64 = 0;
+/// Inode type: directory.
+pub const T_DIR: i64 = 1;
+/// Inode type: regular file.
+pub const T_FILE: i64 = 2;
+
+/// Words per on-disk inode.
+const INODE_WORDS: u64 = 16;
+/// Direct sector pointers per inode.
+const NDIRECT: usize = 12;
+/// Words per directory entry: inum + 15 name characters.
+const DIRENT_WORDS: u64 = 16;
+/// Maximum file-name length.
+pub const NAME_MAX: usize = 15;
+/// Root directory inode number (0 is reserved/invalid).
+pub const ROOT_INUM: u64 = 1;
+/// Superblock magic.
+const MAGIC: i64 = 0x4659_5348; // "HSYF"
+
+/// File-system errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path component or inode missing.
+    NotFound,
+    /// Name already exists.
+    Exists,
+    /// No free inode/sector.
+    NoSpace,
+    /// Wrong inode type for the operation.
+    NotDir,
+    /// Wrong inode type for the operation.
+    IsDir,
+    /// Directory not empty on unlink.
+    NotEmpty,
+    /// Name too long or malformed path.
+    BadName,
+    /// Offset beyond the maximum file size.
+    TooBig,
+    /// Superblock invalid (not a filesystem).
+    BadSuperblock,
+}
+
+/// Superblock contents.
+#[derive(Debug, Clone, Copy)]
+struct SuperBlock {
+    nlog: u64,
+    ninodes: u64,
+    log_start: u64,
+    inode_start: u64,
+    bitmap_start: u64,
+    data_start: u64,
+    nsectors: u64,
+}
+
+/// File metadata as reported by `stat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// The inode number.
+    pub inum: u64,
+    /// `T_DIR` or `T_FILE`.
+    pub ty: i64,
+    /// Size in words.
+    pub size: u64,
+}
+
+/// The file system over a disk.
+#[derive(Debug)]
+pub struct FileSys<D: DiskIo> {
+    log: Log<D>,
+    sb: SuperBlock,
+}
+
+#[derive(Debug, Clone)]
+struct Inode {
+    ty: i64,
+    size: u64,
+    addrs: [u64; NDIRECT],
+    indirect: u64,
+}
+
+impl<D: DiskIo> FileSys<D> {
+    /// Formats a disk: superblock, empty log, `ninodes` inodes, bitmap,
+    /// data area, and an empty root directory.
+    pub fn mkfs(mut disk: D, ninodes: u64, nlog: u64) -> Result<FileSys<D>, FsError> {
+        let sw = disk.sector_words();
+        assert!(sw >= INODE_WORDS, "sectors too small for inodes");
+        let nsectors = disk.nsectors();
+        let inode_sectors = ninodes.div_ceil(sw / INODE_WORDS);
+        let log_start = 1;
+        let inode_start = log_start + 1 + nlog; // +1 for the log header
+        let bitmap_start = inode_start + inode_sectors;
+        // One bit per sector, 64 bits per word.
+        let bitmap_sectors = nsectors.div_ceil(sw * 64);
+        let data_start = bitmap_start + bitmap_sectors;
+        if data_start + 8 > nsectors {
+            return Err(FsError::NoSpace);
+        }
+        let mut sector = vec![0i64; sw as usize];
+        sector[0] = MAGIC;
+        sector[1] = nsectors as i64;
+        sector[2] = nlog as i64;
+        sector[3] = ninodes as i64;
+        sector[4] = log_start as i64;
+        sector[5] = inode_start as i64;
+        sector[6] = bitmap_start as i64;
+        sector[7] = data_start as i64;
+        disk.write_sector(0, &sector);
+        // Zero the log header, inode and bitmap areas.
+        let zero = vec![0i64; sw as usize];
+        for lba in log_start..data_start {
+            disk.write_sector(lba, &zero);
+        }
+        let sb = SuperBlock {
+            nlog,
+            ninodes,
+            log_start,
+            inode_start,
+            bitmap_start,
+            data_start,
+            nsectors,
+        };
+        let mut fs = FileSys {
+            log: Log::new(disk, log_start, nlog),
+            sb,
+        };
+        // Mark the metadata sectors as allocated in the bitmap and build
+        // the root directory, all in one transaction.
+        fs.log.begin();
+        for lba in 0..data_start {
+            fs.bitmap_set(lba, true);
+        }
+        let root = Inode {
+            ty: T_DIR,
+            size: 0,
+            addrs: [0; NDIRECT],
+            indirect: 0,
+        };
+        fs.put_inode(ROOT_INUM, &root);
+        fs.log.commit();
+        Ok(fs)
+    }
+
+    /// Mounts an existing filesystem, replaying any committed log.
+    pub fn mount(mut disk: D) -> Result<FileSys<D>, FsError> {
+        let sw = disk.sector_words();
+        let mut sector = vec![0i64; sw as usize];
+        disk.read_sector(0, &mut sector);
+        if sector[0] != MAGIC {
+            return Err(FsError::BadSuperblock);
+        }
+        let sb = SuperBlock {
+            nsectors: sector[1] as u64,
+            nlog: sector[2] as u64,
+            ninodes: sector[3] as u64,
+            log_start: sector[4] as u64,
+            inode_start: sector[5] as u64,
+            bitmap_start: sector[6] as u64,
+            data_start: sector[7] as u64,
+        };
+        let mut log = Log::new(disk, sb.log_start, sb.nlog);
+        log.recover();
+        Ok(FileSys { log, sb })
+    }
+
+    /// Consumes the filesystem, returning the disk (for crash tests).
+    pub fn into_disk(self) -> D {
+        self.log.into_disk()
+    }
+
+    // -----------------------------------------------------------------
+    // Inodes.
+    // -----------------------------------------------------------------
+
+    fn inode_pos(&self, inum: u64) -> (u64, u64) {
+        let sw = self.log.sector_words();
+        let per = sw / INODE_WORDS;
+        (
+            self.sb.inode_start + inum / per,
+            (inum % per) * INODE_WORDS,
+        )
+    }
+
+    fn get_inode(&mut self, inum: u64) -> Inode {
+        let (lba, off) = self.inode_pos(inum);
+        let sector = self.log.read(lba);
+        let w = &sector[off as usize..];
+        let mut addrs = [0u64; NDIRECT];
+        for (i, a) in addrs.iter_mut().enumerate() {
+            *a = w[2 + i] as u64;
+        }
+        Inode {
+            ty: w[0],
+            size: w[1] as u64,
+            addrs,
+            indirect: w[2 + NDIRECT] as u64,
+        }
+    }
+
+    fn put_inode(&mut self, inum: u64, ino: &Inode) {
+        let (lba, off) = self.inode_pos(inum);
+        let mut sector = self.log.read(lba);
+        let w = &mut sector[off as usize..(off + INODE_WORDS) as usize];
+        w[0] = ino.ty;
+        w[1] = ino.size as i64;
+        for (i, &a) in ino.addrs.iter().enumerate() {
+            w[2 + i] = a as i64;
+        }
+        w[2 + NDIRECT] = ino.indirect as i64;
+        self.log.write(lba, &sector);
+    }
+
+    fn alloc_inode(&mut self, ty: i64) -> Result<u64, FsError> {
+        for inum in 1..self.sb.ninodes {
+            let ino = self.get_inode(inum);
+            if ino.ty == T_FREE {
+                self.put_inode(
+                    inum,
+                    &Inode {
+                        ty,
+                        size: 0,
+                        addrs: [0; NDIRECT],
+                        indirect: 0,
+                    },
+                );
+                return Ok(inum);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    // -----------------------------------------------------------------
+    // Sector allocation bitmap.
+    // -----------------------------------------------------------------
+
+    fn bitmap_set(&mut self, lba: u64, used: bool) {
+        let sw = self.log.sector_words();
+        let bits_per_sector = sw * 64;
+        let sector_lba = self.sb.bitmap_start + lba / bits_per_sector;
+        let bit = lba % bits_per_sector;
+        let mut sector = self.log.read(sector_lba);
+        let word = (bit / 64) as usize;
+        let mask = 1i64 << (bit % 64) as u32;
+        if used {
+            sector[word] |= mask;
+        } else {
+            sector[word] &= !mask;
+        }
+        self.log.write(sector_lba, &sector);
+    }
+
+    fn alloc_sector(&mut self) -> Result<u64, FsError> {
+        let sw = self.log.sector_words();
+        let bits_per_sector = sw * 64;
+        for lba in self.sb.data_start..self.sb.nsectors {
+            let sector_lba = self.sb.bitmap_start + lba / bits_per_sector;
+            let bit = lba % bits_per_sector;
+            let sector = self.log.read(sector_lba);
+            let word = (bit / 64) as usize;
+            if sector[word] & (1i64 << (bit % 64) as u32) == 0 {
+                self.bitmap_set(lba, true);
+                // Fresh sectors are zeroed (no stale data).
+                let zero = vec![0i64; sw as usize];
+                self.log.write(lba, &zero);
+                return Ok(lba);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    // -----------------------------------------------------------------
+    // Block mapping (bmap) and file I/O.
+    // -----------------------------------------------------------------
+
+    /// Maximum file size in words.
+    pub fn max_file_words(&self) -> u64 {
+        let sw = self.log.sector_words();
+        (NDIRECT as u64 + sw) * sw
+    }
+
+    fn bmap(&mut self, ino: &mut Inode, n: u64, alloc: bool) -> Result<u64, FsError> {
+        let sw = self.log.sector_words();
+        if (n as usize) < NDIRECT {
+            if ino.addrs[n as usize] == 0 {
+                if !alloc {
+                    return Err(FsError::NotFound);
+                }
+                ino.addrs[n as usize] = self.alloc_sector()?;
+            }
+            return Ok(ino.addrs[n as usize]);
+        }
+        let n = n - NDIRECT as u64;
+        if n >= sw {
+            return Err(FsError::TooBig);
+        }
+        if ino.indirect == 0 {
+            if !alloc {
+                return Err(FsError::NotFound);
+            }
+            ino.indirect = self.alloc_sector()?;
+        }
+        let mut ind = self.log.read(ino.indirect);
+        if ind[n as usize] == 0 {
+            if !alloc {
+                return Err(FsError::NotFound);
+            }
+            let s = self.alloc_sector()?;
+            ind = self.log.read(ino.indirect);
+            ind[n as usize] = s as i64;
+            self.log.write(ino.indirect, &ind);
+        }
+        Ok(ind[n as usize] as u64)
+    }
+
+    fn readi(&mut self, ino: &mut Inode, off: u64, len: u64) -> Vec<i64> {
+        let sw = self.log.sector_words();
+        let end = (off + len).min(ino.size);
+        let mut out = Vec::new();
+        let mut pos = off;
+        while pos < end {
+            let sector_idx = pos / sw;
+            let Ok(lba) = self.bmap(ino, sector_idx, false) else {
+                break;
+            };
+            let sector = self.log.read(lba);
+            let start = (pos % sw) as usize;
+            let take = ((end - pos) as usize).min(sw as usize - start);
+            out.extend_from_slice(&sector[start..start + take]);
+            pos += take as u64;
+        }
+        out
+    }
+
+    fn writei(&mut self, ino: &mut Inode, off: u64, data: &[i64]) -> Result<(), FsError> {
+        let sw = self.log.sector_words();
+        if off + data.len() as u64 > self.max_file_words() {
+            return Err(FsError::TooBig);
+        }
+        let mut pos = off;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let lba = self.bmap(ino, pos / sw, true)?;
+            let mut sector = self.log.read(lba);
+            let start = (pos % sw) as usize;
+            let take = remaining.len().min(sw as usize - start);
+            sector[start..start + take].copy_from_slice(&remaining[..take]);
+            self.log.write(lba, &sector);
+            pos += take as u64;
+            remaining = &remaining[take..];
+        }
+        if pos > ino.size {
+            ino.size = pos;
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Directories and paths.
+    // -----------------------------------------------------------------
+
+    fn dir_entries(&mut self, dir: &mut Inode) -> Vec<(u64, String)> {
+        let raw = self.readi(dir, 0, dir.size);
+        raw.chunks(DIRENT_WORDS as usize)
+            .filter(|c| c[0] != 0)
+            .map(|c| {
+                let name: String = c[1..]
+                    .iter()
+                    .take_while(|&&w| w != 0)
+                    .map(|&w| w as u8 as char)
+                    .collect();
+                (c[0] as u64, name)
+            })
+            .collect()
+    }
+
+    fn dir_lookup(&mut self, dir: &mut Inode, name: &str) -> Option<(u64, u64)> {
+        let raw = self.readi(dir, 0, dir.size);
+        for (i, c) in raw.chunks(DIRENT_WORDS as usize).enumerate() {
+            if c[0] == 0 {
+                continue;
+            }
+            let ename: String = c[1..]
+                .iter()
+                .take_while(|&&w| w != 0)
+                .map(|&w| w as u8 as char)
+                .collect();
+            if ename == name {
+                return Some((c[0] as u64, i as u64 * DIRENT_WORDS));
+            }
+        }
+        None
+    }
+
+    fn dir_link(&mut self, dir: &mut Inode, name: &str, inum: u64) -> Result<(), FsError> {
+        if name.is_empty() || name.len() > NAME_MAX {
+            return Err(FsError::BadName);
+        }
+        let mut entry = vec![0i64; DIRENT_WORDS as usize];
+        entry[0] = inum as i64;
+        for (i, b) in name.bytes().enumerate() {
+            entry[1 + i] = b as i64;
+        }
+        // Reuse a tombstone slot if any.
+        let raw = self.readi(dir, 0, dir.size);
+        for (i, c) in raw.chunks(DIRENT_WORDS as usize).enumerate() {
+            if c[0] == 0 {
+                return self.writei(dir, i as u64 * DIRENT_WORDS, &entry);
+            }
+        }
+        let off = dir.size;
+        self.writei(dir, off, &entry)
+    }
+
+    fn split_path(path: &str) -> Result<Vec<&str>, FsError> {
+        if !path.starts_with('/') {
+            return Err(FsError::BadName);
+        }
+        let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+        for p in &parts {
+            if p.len() > NAME_MAX {
+                return Err(FsError::BadName);
+            }
+        }
+        Ok(parts)
+    }
+
+    /// Resolves a path to an inode number.
+    pub fn namei(&mut self, path: &str) -> Result<u64, FsError> {
+        let parts = Self::split_path(path)?;
+        let mut inum = ROOT_INUM;
+        for p in parts {
+            let mut ino = self.get_inode(inum);
+            if ino.ty != T_DIR {
+                return Err(FsError::NotDir);
+            }
+            inum = self
+                .dir_lookup(&mut ino, p)
+                .ok_or(FsError::NotFound)?
+                .0;
+        }
+        Ok(inum)
+    }
+
+    fn namei_parent<'p>(&mut self, path: &'p str) -> Result<(u64, &'p str), FsError> {
+        let parts = Self::split_path(path)?;
+        let Some((last, dirs)) = parts.split_last() else {
+            return Err(FsError::BadName);
+        };
+        let mut inum = ROOT_INUM;
+        for p in dirs {
+            let mut ino = self.get_inode(inum);
+            if ino.ty != T_DIR {
+                return Err(FsError::NotDir);
+            }
+            inum = self.dir_lookup(&mut ino, p).ok_or(FsError::NotFound)?.0;
+        }
+        Ok((inum, last))
+    }
+
+    // -----------------------------------------------------------------
+    // Public transactional operations.
+    // -----------------------------------------------------------------
+
+    /// Creates a file or directory at `path`.
+    pub fn create(&mut self, path: &str, ty: i64) -> Result<u64, FsError> {
+        let (dir_inum, name) = self.namei_parent(path)?;
+        self.log.begin();
+        let result = (|| {
+            let mut dir = self.get_inode(dir_inum);
+            if dir.ty != T_DIR {
+                return Err(FsError::NotDir);
+            }
+            if self.dir_lookup(&mut dir, name).is_some() {
+                return Err(FsError::Exists);
+            }
+            let inum = self.alloc_inode(ty)?;
+            self.dir_link(&mut dir, name, inum)?;
+            self.put_inode(dir_inum, &dir);
+            Ok(inum)
+        })();
+        match result {
+            Ok(inum) => {
+                self.log.commit();
+                Ok(inum)
+            }
+            Err(e) => {
+                self.log.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes `data` into the file at `path` at word offset `off`,
+    /// extending it as needed. Large writes are split across
+    /// transactions sized to the log (as in xv6's `filewrite`), so each
+    /// transaction fits the journal; a crash can lose a suffix but never
+    /// corrupts the file system.
+    pub fn write(&mut self, path: &str, off: u64, data: &[i64]) -> Result<(), FsError> {
+        let inum = self.namei(path)?;
+        let sw = self.log.sector_words();
+        // Per transaction: data sectors + inode + bitmap + indirect + dir
+        // slack must fit the log.
+        let chunk_sectors = (self.sb.nlog.saturating_sub(4)).max(1);
+        let chunk_words = (chunk_sectors * sw) as usize;
+        let mut pos = off;
+        for piece in data.chunks(chunk_words.max(1)) {
+            self.log.begin();
+            let result = (|| {
+                let mut ino = self.get_inode(inum);
+                if ino.ty == T_DIR {
+                    return Err(FsError::IsDir);
+                }
+                self.writei(&mut ino, pos, piece)?;
+                self.put_inode(inum, &ino);
+                Ok(())
+            })();
+            match result {
+                Ok(()) => self.log.commit(),
+                Err(e) => {
+                    self.log.abort();
+                    return Err(e);
+                }
+            }
+            pos += piece.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads up to `len` words from `path` at word offset `off`.
+    pub fn read(&mut self, path: &str, off: u64, len: u64) -> Result<Vec<i64>, FsError> {
+        let inum = self.namei(path)?;
+        let mut ino = self.get_inode(inum);
+        if ino.ty == T_DIR {
+            return Err(FsError::IsDir);
+        }
+        Ok(self.readi(&mut ino, off, len))
+    }
+
+    /// Stats a path.
+    pub fn stat(&mut self, path: &str) -> Result<Stat, FsError> {
+        let inum = self.namei(path)?;
+        let ino = self.get_inode(inum);
+        Ok(Stat {
+            inum,
+            ty: ino.ty,
+            size: ino.size,
+        })
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<(u64, String)>, FsError> {
+        let inum = self.namei(path)?;
+        let mut ino = self.get_inode(inum);
+        if ino.ty != T_DIR {
+            return Err(FsError::NotDir);
+        }
+        Ok(self.dir_entries(&mut ino))
+    }
+
+    /// Removes a file or an empty directory.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        let (dir_inum, name) = self.namei_parent(path)?;
+        self.log.begin();
+        let result = (|| {
+            let mut dir = self.get_inode(dir_inum);
+            let (inum, off) = self.dir_lookup(&mut dir, name).ok_or(FsError::NotFound)?;
+            let mut ino = self.get_inode(inum);
+            if ino.ty == T_DIR && !self.dir_entries(&mut ino).is_empty() {
+                return Err(FsError::NotEmpty);
+            }
+            // Free the data sectors.
+            let sw = self.log.sector_words();
+            for i in 0..ino.addrs.len() {
+                if ino.addrs[i] != 0 {
+                    self.bitmap_set(ino.addrs[i], false);
+                }
+            }
+            if ino.indirect != 0 {
+                let ind = self.log.read(ino.indirect);
+                for &s in ind.iter().take(sw as usize) {
+                    if s != 0 {
+                        self.bitmap_set(s as u64, false);
+                    }
+                }
+                self.bitmap_set(ino.indirect, false);
+            }
+            self.put_inode(
+                inum,
+                &Inode {
+                    ty: T_FREE,
+                    size: 0,
+                    addrs: [0; NDIRECT],
+                    indirect: 0,
+                },
+            );
+            // Tombstone the directory entry.
+            let zero = vec![0i64; DIRENT_WORDS as usize];
+            self.writei(&mut dir, off, &zero)?;
+            self.put_inode(dir_inum, &dir);
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.log.commit();
+                Ok(())
+            }
+            Err(e) => {
+                self.log.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes a string as a file (one byte per word; word-pure contents).
+    pub fn write_str(&mut self, path: &str, s: &str) -> Result<(), FsError> {
+        let data: Vec<i64> = s.bytes().map(|b| b as i64).collect();
+        self.write(path, 0, &data)
+    }
+
+    /// Reads a whole file back as a string.
+    pub fn read_str(&mut self, path: &str) -> Result<String, FsError> {
+        let st = self.stat(path)?;
+        let words = self.read(path, 0, st.size)?;
+        Ok(words.iter().map(|&w| w as u8 as char).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::disk::RamDisk;
+    use super::*;
+
+    fn fresh() -> FileSys<RamDisk> {
+        FileSys::mkfs(RamDisk::new(64, 256), 32, 8).unwrap()
+    }
+
+    #[test]
+    fn create_write_read() {
+        let mut fs = fresh();
+        fs.create("/hello.txt", T_FILE).unwrap();
+        fs.write_str("/hello.txt", "hello, hyperkernel").unwrap();
+        assert_eq!(fs.read_str("/hello.txt").unwrap(), "hello, hyperkernel");
+        let st = fs.stat("/hello.txt").unwrap();
+        assert_eq!(st.ty, T_FILE);
+        assert_eq!(st.size, 18);
+    }
+
+    #[test]
+    fn directories_nest() {
+        let mut fs = fresh();
+        fs.create("/etc", T_DIR).unwrap();
+        fs.create("/etc/conf", T_DIR).unwrap();
+        fs.create("/etc/conf/a", T_FILE).unwrap();
+        fs.write_str("/etc/conf/a", "x").unwrap();
+        let names: Vec<String> = fs
+            .readdir("/etc/conf")
+            .unwrap()
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(names, vec!["a"]);
+        assert_eq!(fs.namei("/etc").unwrap() != ROOT_INUM, true);
+        assert_eq!(fs.stat("/etc").unwrap().ty, T_DIR);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut fs = fresh();
+        assert_eq!(fs.read_str("/nope"), Err(FsError::NotFound));
+        fs.create("/a", T_FILE).unwrap();
+        assert_eq!(fs.create("/a", T_FILE), Err(FsError::Exists));
+        assert_eq!(fs.create("/a/b", T_FILE), Err(FsError::NotDir));
+        assert_eq!(fs.readdir("/a"), Err(FsError::NotDir));
+        fs.create("/d", T_DIR).unwrap();
+        fs.create("/d/x", T_FILE).unwrap();
+        assert_eq!(fs.unlink("/d"), Err(FsError::NotEmpty));
+    }
+
+    #[test]
+    fn unlink_frees_space() {
+        let mut fs = fresh();
+        fs.create("/big", T_FILE).unwrap();
+        let blob = vec![7i64; 64 * 10];
+        fs.write("/big", 0, &blob).unwrap();
+        fs.unlink("/big").unwrap();
+        assert_eq!(fs.stat("/big"), Err(FsError::NotFound));
+        // Space is reusable: write an equally big file again.
+        fs.create("/big2", T_FILE).unwrap();
+        fs.write("/big2", 0, &blob).unwrap();
+        assert_eq!(fs.read("/big2", 0, 640).unwrap().len(), 640);
+    }
+
+    #[test]
+    fn large_file_uses_indirect_blocks() {
+        let mut fs = FileSys::mkfs(RamDisk::new(64, 512), 16, 8).unwrap();
+        fs.create("/big", T_FILE).unwrap();
+        // > NDIRECT sectors: 20 sectors of 64 words.
+        let data: Vec<i64> = (0..64 * 20).collect();
+        fs.write("/big", 0, &data).unwrap();
+        let back = fs.read("/big", 0, data.len() as u64).unwrap();
+        assert_eq!(back, data);
+        // Sparse-ish offsets work too.
+        fs.write("/big", 100, &[-5]).unwrap();
+        assert_eq!(fs.read("/big", 100, 1).unwrap(), vec![-5]);
+    }
+
+    #[test]
+    fn file_size_limit_enforced() {
+        let mut fs = fresh();
+        fs.create("/f", T_FILE).unwrap();
+        let max = fs.max_file_words();
+        assert_eq!(fs.write("/f", max, &[1]), Err(FsError::TooBig));
+    }
+
+    #[test]
+    fn remount_preserves_data() {
+        let mut fs = fresh();
+        fs.create("/persist", T_FILE).unwrap();
+        fs.write_str("/persist", "still here").unwrap();
+        let disk = fs.into_disk();
+        let mut fs2 = FileSys::mount(disk).unwrap();
+        assert_eq!(fs2.read_str("/persist").unwrap(), "still here");
+    }
+
+    #[test]
+    fn mount_rejects_garbage() {
+        let disk = RamDisk::new(64, 64);
+        assert!(matches!(
+            FileSys::mount(disk),
+            Err(FsError::BadSuperblock)
+        ));
+    }
+}

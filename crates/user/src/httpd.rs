@@ -1,0 +1,247 @@
+//! An HTTP/1.0 server and client over the TCP stack, serving files from
+//! the journaling file system — the workload the paper uses to "host
+//! the git repository of this paper" (§4.3).
+
+use crate::fs::disk::RamDisk;
+use crate::fs::{FileSys, FsError};
+use crate::net::{ConnId, Event, NetStack};
+
+/// Renders an HTTP string into wire words (one byte per word).
+pub fn to_words(s: &str) -> Vec<i64> {
+    s.bytes().map(|b| b as i64).collect()
+}
+
+/// Decodes wire words back into a string.
+pub fn to_string(words: &[i64]) -> String {
+    words.iter().map(|&w| w as u8 as char).collect()
+}
+
+/// A parsed HTTP request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Method, e.g. `GET`.
+    pub method: String,
+    /// Request path, e.g. `/index.html`.
+    pub path: String,
+}
+
+/// Parses the first request line out of raw text.
+pub fn parse_request(text: &str) -> Option<HttpRequest> {
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    Some(HttpRequest { method, path })
+}
+
+/// Builds a response with status line, length header, and body.
+pub fn build_response(status: u32, reason: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Splits a raw HTTP response into `(status, body)`.
+pub fn parse_response(text: &str) -> Option<(u32, String)> {
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    let status = head.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, body.to_string()))
+}
+
+/// The HTTP server: a TCP listener on port 80 backed by a file system.
+#[derive(Debug)]
+pub struct HttpServer {
+    /// The server's network stack.
+    pub stack: NetStack,
+    fs: FileSys<RamDisk>,
+    /// Bytes of request text accumulated per connection.
+    partial: std::collections::HashMap<ConnId, String>,
+    /// Requests served.
+    pub served: u64,
+}
+
+impl HttpServer {
+    /// A server at address `ip`, port 80, over the given file system.
+    pub fn new(ip: i64, fs: FileSys<RamDisk>) -> HttpServer {
+        let mut stack = NetStack::new(ip);
+        stack.listen(80);
+        HttpServer {
+            stack,
+            fs,
+            partial: std::collections::HashMap::new(),
+            served: 0,
+        }
+    }
+
+    /// Processes pending stack events; responses are queued on the
+    /// stack for the driver/wire to carry.
+    pub fn step(&mut self) {
+        while let Some(event) = self.stack.next_event() {
+            match event {
+                Event::Accepted(c) => {
+                    self.partial.insert(c, String::new());
+                }
+                Event::Data(c, words) => {
+                    let text = to_string(&words);
+                    let buf = self.partial.entry(c).or_default();
+                    buf.push_str(&text);
+                    if buf.contains("\r\n\r\n") || buf.ends_with('\n') {
+                        let request = parse_request(buf).clone();
+                        let response = self.respond(request);
+                        self.stack.send(c, &to_words(&response));
+                        self.stack.close(c);
+                        self.partial.remove(&c);
+                        self.served += 1;
+                    }
+                }
+                Event::PeerClosed(c) | Event::Reset(c) => {
+                    self.partial.remove(&c);
+                }
+                Event::Connected(_) => {}
+            }
+        }
+    }
+
+    fn respond(&mut self, request: Option<HttpRequest>) -> String {
+        let Some(req) = request else {
+            return build_response(400, "Bad Request", "malformed request\n");
+        };
+        if req.method != "GET" {
+            return build_response(405, "Method Not Allowed", "only GET\n");
+        }
+        match self.fs.read_str(&req.path) {
+            Ok(body) => build_response(200, "OK", &body),
+            Err(FsError::IsDir) => match self.fs.readdir(&req.path) {
+                Ok(entries) => {
+                    let listing: String = entries
+                        .into_iter()
+                        .map(|(_, name)| format!("{name}\n"))
+                        .collect();
+                    build_response(200, "OK", &listing)
+                }
+                Err(_) => build_response(500, "Internal Server Error", ""),
+            },
+            Err(FsError::NotFound) => build_response(404, "Not Found", "no such file\n"),
+            Err(e) => build_response(500, "Internal Server Error", &format!("{e:?}\n")),
+        }
+    }
+}
+
+/// A one-shot HTTP client: connects, sends `GET path`, collects the
+/// response until the server closes.
+#[derive(Debug)]
+pub struct HttpClient {
+    /// The client's network stack.
+    pub stack: NetStack,
+    conn: ConnId,
+    sent: bool,
+    path: String,
+    buf: String,
+    /// The completed response, once the server closes.
+    pub response: Option<(u32, String)>,
+}
+
+impl HttpClient {
+    /// Starts a GET for `path` against `server_ip`.
+    pub fn get(ip: i64, server_ip: i64, path: &str) -> HttpClient {
+        let mut stack = NetStack::new(ip);
+        let conn = stack.connect(49_000, server_ip, 80);
+        HttpClient {
+            stack,
+            conn,
+            sent: false,
+            path: path.to_string(),
+            buf: String::new(),
+            response: None,
+        }
+    }
+
+    /// Processes pending events; call after each wire pump.
+    pub fn step(&mut self) {
+        while let Some(event) = self.stack.next_event() {
+            match event {
+                Event::Connected(c) if c == self.conn && !self.sent => {
+                    let req = format!("GET {} HTTP/1.0\r\n\r\n", self.path);
+                    self.stack.send(c, &to_words(&req));
+                    self.sent = true;
+                }
+                Event::Data(c, words) if c == self.conn => {
+                    self.buf.push_str(&to_string(&words));
+                }
+                Event::PeerClosed(c) | Event::Reset(c) if c == self.conn => {
+                    self.response = parse_response(&self.buf);
+                    self.stack.close(self.conn);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::T_FILE;
+    use crate::net::pump;
+
+    fn site() -> FileSys<RamDisk> {
+        let mut fs = FileSys::mkfs(RamDisk::new(64, 512), 32, 8).unwrap();
+        fs.create("/index.html", T_FILE).unwrap();
+        fs.write_str("/index.html", "<h1>hyperkernel</h1>").unwrap();
+        fs.create("/papers", crate::fs::T_DIR).unwrap();
+        fs.create("/papers/sosp17.txt", T_FILE).unwrap();
+        fs.write_str("/papers/sosp17.txt", "push-button verification")
+            .unwrap();
+        fs
+    }
+
+    fn fetch(path: &str) -> (u32, String) {
+        let mut server = HttpServer::new(2, site());
+        let mut client = HttpClient::get(1, 2, path);
+        for _ in 0..20 {
+            pump(&mut client.stack, &mut server.stack);
+            server.step();
+            pump(&mut client.stack, &mut server.stack);
+            client.step();
+            if let Some(r) = client.response.clone() {
+                return r;
+            }
+        }
+        panic!("no response for {path}");
+    }
+
+    #[test]
+    fn serves_files() {
+        let (status, body) = fetch("/index.html");
+        assert_eq!(status, 200);
+        assert_eq!(body, "<h1>hyperkernel</h1>");
+    }
+
+    #[test]
+    fn serves_nested_paths_and_listings() {
+        let (status, body) = fetch("/papers/sosp17.txt");
+        assert_eq!(status, 200);
+        assert_eq!(body, "push-button verification");
+        let (status, listing) = fetch("/papers");
+        assert_eq!(status, 200);
+        assert!(listing.contains("sosp17.txt"));
+    }
+
+    #[test]
+    fn missing_file_is_404() {
+        let (status, _) = fetch("/nope.html");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn http_codec_roundtrip() {
+        let resp = build_response(200, "OK", "body text");
+        let (status, body) = parse_response(&resp).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "body text");
+        let req = parse_request("GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/x");
+    }
+}

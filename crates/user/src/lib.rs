@@ -1,0 +1,29 @@
+//! User space: everything that runs as guest processes on the verified
+//! kernel (paper §4.3).
+//!
+//! Hyperkernel's exokernel-flavoured interface pushes policy to user
+//! space, so this crate is where the familiar Unix machinery lives:
+//!
+//! * [`ulib`] — the libc analogue: page allocation and address-space
+//!   construction over the fine-grained VM system calls, process
+//!   spawning, pipe I/O with retry loops (the kernel's interface is
+//!   all-or-error by design);
+//! * [`fs`] — the xv6-style journaling file system, usable on a RAM
+//!   disk or behind the DMA block-device driver, plus the file server
+//!   process;
+//! * [`net`] — a small TCP/IP stack (the lwIP analogue) and a network
+//!   server over the simulated NIC;
+//! * [`httpd`] — an HTTP server/client pair on top of [`net`] and
+//!   [`fs`] (the paper hosts its own git repository this way);
+//! * [`shell`] — an sh-like shell and coreutils, wiring pipelines
+//!   through kernel pipes and `sys_transfer_fd`;
+//! * [`linuxemu`] — the Linux user-emulation layer: runs HXE "binaries"
+//!   whose Linux system calls are serviced in-process, the Hyp-Linux
+//!   configuration of Figure 10.
+
+pub mod fs;
+pub mod httpd;
+pub mod linuxemu;
+pub mod net;
+pub mod shell;
+pub mod ulib;

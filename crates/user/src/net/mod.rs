@@ -1,0 +1,551 @@
+//! A small user-space TCP/IP stack — the lwIP analogue (paper §4.3:
+//! "ported lwIP to run as a dedicated network server").
+//!
+//! Packets are word vectors (the simulated wire is word-granular):
+//!
+//! * IP header: `[proto, src_ip, dst_ip, len, payload...]`
+//! * UDP payload: `[src_port, dst_port, data...]`
+//! * TCP payload: `[src_port, dst_port, seq, ack, flags, data...]`
+//!
+//! The TCP implementation does the real state-machine work — three-way
+//! handshake, cumulative acknowledgements, in-order segment acceptance,
+//! FIN/ACK teardown, RST on closed ports — but omits retransmission
+//! timers: the simulated wire neither drops nor reorders (out-of-order
+//! segments are dropped and show up as lost data, which the tests
+//! exercise).
+
+pub mod driver;
+
+use std::collections::{HashMap, VecDeque};
+
+/// IP protocol numbers.
+pub mod proto {
+    /// UDP.
+    pub const UDP: i64 = 17;
+    /// TCP.
+    pub const TCP: i64 = 6;
+}
+
+/// TCP flags.
+pub mod flags {
+    /// Synchronize.
+    pub const SYN: i64 = 1;
+    /// Acknowledge.
+    pub const ACK: i64 = 2;
+    /// Finish.
+    pub const FIN: i64 = 4;
+    /// Reset.
+    pub const RST: i64 = 8;
+}
+
+/// A raw packet on the wire.
+pub type Packet = Vec<i64>;
+
+/// Builds an IP packet.
+pub fn ip_packet(proto: i64, src: i64, dst: i64, payload: &[i64]) -> Packet {
+    let mut p = vec![proto, src, dst, payload.len() as i64];
+    p.extend_from_slice(payload);
+    p
+}
+
+/// Parses an IP packet into `(proto, src, dst, payload)`.
+pub fn parse_ip(p: &[i64]) -> Option<(i64, i64, i64, &[i64])> {
+    if p.len() < 4 {
+        return None;
+    }
+    let len = p[3].max(0) as usize;
+    if p.len() < 4 + len {
+        return None;
+    }
+    Some((p[0], p[1], p[2], &p[4..4 + len]))
+}
+
+/// TCP connection states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Sent SYN, awaiting SYN|ACK.
+    SynSent,
+    /// Received SYN on a listener, sent SYN|ACK.
+    SynRcvd,
+    /// Data flows.
+    Established,
+    /// We sent FIN, awaiting its ACK.
+    FinWait,
+    /// Peer sent FIN; we acked and closed too.
+    Closed,
+}
+
+/// Identifier of a connection within a stack.
+pub type ConnId = usize;
+
+/// Events surfaced to the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A new inbound connection was accepted on a listening port.
+    Accepted(ConnId),
+    /// An outbound connect completed.
+    Connected(ConnId),
+    /// In-order data arrived.
+    Data(ConnId, Vec<i64>),
+    /// The peer closed (all data delivered).
+    PeerClosed(ConnId),
+    /// The connection was reset.
+    Reset(ConnId),
+}
+
+#[derive(Debug)]
+struct Conn {
+    state: TcpState,
+    local_port: i64,
+    remote_ip: i64,
+    remote_port: i64,
+    /// Next sequence number we will send.
+    snd_next: i64,
+    /// Next sequence number we expect to receive.
+    rcv_next: i64,
+}
+
+/// A host stack: one IP address, listeners, connections, queues.
+#[derive(Debug)]
+pub struct NetStack {
+    /// This host's address.
+    pub ip: i64,
+    listeners: Vec<i64>,
+    conns: Vec<Conn>,
+    out: VecDeque<Packet>,
+    events: VecDeque<Event>,
+    /// UDP receive queue per port.
+    udp_rx: HashMap<i64, VecDeque<(i64, i64, Vec<i64>)>>,
+    next_iss: i64,
+}
+
+impl NetStack {
+    /// A stack for address `ip`.
+    pub fn new(ip: i64) -> NetStack {
+        NetStack {
+            ip,
+            listeners: Vec::new(),
+            conns: Vec::new(),
+            out: VecDeque::new(),
+            events: VecDeque::new(),
+            udp_rx: HashMap::new(),
+            next_iss: 1000,
+        }
+    }
+
+    /// Starts listening on a TCP port.
+    pub fn listen(&mut self, port: i64) {
+        if !self.listeners.contains(&port) {
+            self.listeners.push(port);
+        }
+    }
+
+    /// Opens a connection; the handshake completes asynchronously
+    /// ([`Event::Connected`]).
+    pub fn connect(&mut self, local_port: i64, remote_ip: i64, remote_port: i64) -> ConnId {
+        let iss = self.next_iss;
+        self.next_iss += 10_000;
+        let id = self.conns.len();
+        self.conns.push(Conn {
+            state: TcpState::SynSent,
+            local_port,
+            remote_ip,
+            remote_port,
+            snd_next: iss + 1,
+            rcv_next: 0,
+        });
+        let seg = [local_port, remote_port, iss, 0, flags::SYN];
+        let pkt = ip_packet(proto::TCP, self.ip, remote_ip, &seg);
+        self.out.push_back(pkt);
+        id
+    }
+
+    /// Sends data on an established connection. Returns false if the
+    /// connection cannot send.
+    pub fn send(&mut self, id: ConnId, data: &[i64]) -> bool {
+        let (dst_ip, seg) = {
+            let c = &mut self.conns[id];
+            if c.state != TcpState::Established {
+                return false;
+            }
+            let mut seg = vec![
+                c.local_port,
+                c.remote_port,
+                c.snd_next,
+                c.rcv_next,
+                flags::ACK,
+            ];
+            seg.extend_from_slice(data);
+            c.snd_next += data.len() as i64;
+            (c.remote_ip, seg)
+        };
+        let pkt = ip_packet(proto::TCP, self.ip, dst_ip, &seg);
+        self.out.push_back(pkt);
+        true
+    }
+
+    /// Closes our side (sends FIN).
+    pub fn close(&mut self, id: ConnId) {
+        let (dst_ip, seg) = {
+            let c = &mut self.conns[id];
+            if !matches!(c.state, TcpState::Established | TcpState::SynRcvd) {
+                return;
+            }
+            c.state = TcpState::FinWait;
+            let seg = vec![
+                c.local_port,
+                c.remote_port,
+                c.snd_next,
+                c.rcv_next,
+                flags::FIN | flags::ACK,
+            ];
+            c.snd_next += 1; // FIN consumes a sequence number
+            (c.remote_ip, seg)
+        };
+        let pkt = ip_packet(proto::TCP, self.ip, dst_ip, &seg);
+        self.out.push_back(pkt);
+    }
+
+    /// Connection state, for tests and servers.
+    pub fn state(&self, id: ConnId) -> TcpState {
+        self.conns[id].state
+    }
+
+    /// Sends a UDP datagram.
+    pub fn udp_send(&mut self, src_port: i64, dst_ip: i64, dst_port: i64, data: &[i64]) {
+        let mut payload = vec![src_port, dst_port];
+        payload.extend_from_slice(data);
+        let pkt = ip_packet(proto::UDP, self.ip, dst_ip, &payload);
+        self.out.push_back(pkt);
+    }
+
+    /// Receives a pending UDP datagram on `port`:
+    /// `(src_ip, src_port, data)`.
+    pub fn udp_recv(&mut self, port: i64) -> Option<(i64, i64, Vec<i64>)> {
+        self.udp_rx.get_mut(&port)?.pop_front()
+    }
+
+    /// Takes all packets queued for transmission.
+    pub fn take_outgoing(&mut self) -> Vec<Packet> {
+        self.out.drain(..).collect()
+    }
+
+    /// Takes the next application event.
+    pub fn next_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    fn find_conn(&self, lport: i64, rip: i64, rport: i64) -> Option<ConnId> {
+        self.conns.iter().position(|c| {
+            c.local_port == lport
+                && c.remote_ip == rip
+                && c.remote_port == rport
+                && c.state != TcpState::Closed
+        })
+    }
+
+    /// Feeds one packet from the wire into the stack.
+    pub fn on_packet(&mut self, pkt: &[i64]) {
+        let Some((proto_n, src, dst, payload)) = parse_ip(pkt) else {
+            return;
+        };
+        if dst != self.ip {
+            return; // not ours
+        }
+        match proto_n {
+            proto::UDP => {
+                if payload.len() < 2 {
+                    return;
+                }
+                let (sp, dp) = (payload[0], payload[1]);
+                self.udp_rx
+                    .entry(dp)
+                    .or_default()
+                    .push_back((src, sp, payload[2..].to_vec()));
+            }
+            proto::TCP => self.on_tcp(src, payload),
+            _ => {}
+        }
+    }
+
+    fn on_tcp(&mut self, src_ip: i64, seg: &[i64]) {
+        if seg.len() < 5 {
+            return;
+        }
+        let (sport, dport, seq, ack, fl) = (seg[0], seg[1], seg[2], seg[3], seg[4]);
+        let data = &seg[5..];
+        if let Some(id) = self.find_conn(dport, src_ip, sport) {
+            self.on_tcp_conn(id, seq, ack, fl, data);
+            return;
+        }
+        // No connection: maybe a listener?
+        if fl & flags::SYN != 0 && self.listeners.contains(&dport) {
+            let iss = self.next_iss;
+            self.next_iss += 10_000;
+            let id = self.conns.len();
+            self.conns.push(Conn {
+                state: TcpState::SynRcvd,
+                local_port: dport,
+                remote_ip: src_ip,
+                remote_port: sport,
+                snd_next: iss + 1,
+                rcv_next: seq + 1,
+            });
+            let reply = [dport, sport, iss, seq + 1, flags::SYN | flags::ACK];
+            let pkt = ip_packet(proto::TCP, self.ip, src_ip, &reply);
+            self.out.push_back(pkt);
+            let _ = id;
+            return;
+        }
+        // Closed port: reset (unless this was itself a reset).
+        if fl & flags::RST == 0 {
+            let reply = [dport, sport, 0, seq + 1, flags::RST];
+            let pkt = ip_packet(proto::TCP, self.ip, src_ip, &reply);
+            self.out.push_back(pkt);
+        }
+    }
+
+    fn on_tcp_conn(&mut self, id: ConnId, seq: i64, ack: i64, fl: i64, data: &[i64]) {
+        if fl & flags::RST != 0 {
+            self.conns[id].state = TcpState::Closed;
+            self.events.push_back(Event::Reset(id));
+            return;
+        }
+        let state = self.conns[id].state;
+        match state {
+            TcpState::SynSent => {
+                if fl & flags::SYN != 0 && fl & flags::ACK != 0 {
+                    {
+                        let c = &mut self.conns[id];
+                        c.rcv_next = seq + 1;
+                        c.state = TcpState::Established;
+                    }
+                    self.ack(id);
+                    self.events.push_back(Event::Connected(id));
+                }
+            }
+            TcpState::SynRcvd => {
+                if fl & flags::ACK != 0 && ack == self.conns[id].snd_next {
+                    self.conns[id].state = TcpState::Established;
+                    self.events.push_back(Event::Accepted(id));
+                    // The handshake ACK may carry data.
+                    if !data.is_empty() {
+                        self.deliver(id, seq, data);
+                    }
+                }
+            }
+            TcpState::Established => {
+                if !data.is_empty() {
+                    self.deliver(id, seq, data);
+                }
+                if fl & flags::FIN != 0 {
+                    let expected = self.conns[id].rcv_next;
+                    if seq + data.len() as i64 == expected || seq == expected {
+                        {
+                            let c = &mut self.conns[id];
+                            c.rcv_next += 1; // the FIN
+                            c.state = TcpState::Closed;
+                        }
+                        self.ack(id);
+                        self.events.push_back(Event::PeerClosed(id));
+                    }
+                }
+            }
+            TcpState::FinWait => {
+                if !data.is_empty() {
+                    self.deliver(id, seq, data);
+                }
+                if fl & flags::ACK != 0 && ack == self.conns[id].snd_next {
+                    self.conns[id].state = TcpState::Closed;
+                }
+                if fl & flags::FIN != 0 {
+                    {
+                        let c = &mut self.conns[id];
+                        c.rcv_next += 1;
+                        c.state = TcpState::Closed;
+                    }
+                    self.ack(id);
+                    self.events.push_back(Event::PeerClosed(id));
+                }
+            }
+            TcpState::Closed => {}
+        }
+    }
+
+    fn deliver(&mut self, id: ConnId, seq: i64, data: &[i64]) {
+        let expected = self.conns[id].rcv_next;
+        if seq != expected {
+            // Out-of-order or duplicate: drop (no reassembly buffer).
+            return;
+        }
+        self.conns[id].rcv_next += data.len() as i64;
+        self.ack(id);
+        self.events.push_back(Event::Data(id, data.to_vec()));
+    }
+
+    fn ack(&mut self, id: ConnId) {
+        let c = &self.conns[id];
+        let seg = [
+            c.local_port,
+            c.remote_port,
+            c.snd_next,
+            c.rcv_next,
+            flags::ACK,
+        ];
+        let pkt = ip_packet(proto::TCP, self.ip, c.remote_ip, &seg);
+        self.out.push_back(pkt);
+    }
+}
+
+/// Shuttles queued packets between two stacks until quiescent (a test
+/// and loopback helper; the real path goes through the NIC driver).
+pub fn pump(a: &mut NetStack, b: &mut NetStack) {
+    loop {
+        let mut moved = false;
+        for pkt in a.take_outgoing() {
+            b.on_packet(&pkt);
+            moved = true;
+        }
+        for pkt in b.take_outgoing() {
+            a.on_packet(&pkt);
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_roundtrip() {
+        let mut a = NetStack::new(1);
+        let mut b = NetStack::new(2);
+        a.udp_send(500, 2, 53, &[9, 8, 7]);
+        pump(&mut a, &mut b);
+        let (src, sp, data) = b.udp_recv(53).unwrap();
+        assert_eq!((src, sp, data), (1, 500, vec![9, 8, 7]));
+        assert!(b.udp_recv(53).is_none());
+        // Wrong destination address is ignored.
+        a.udp_send(500, 9, 53, &[1]);
+        pump(&mut a, &mut b);
+        assert!(b.udp_recv(53).is_none());
+    }
+
+    #[test]
+    fn tcp_handshake_and_data() {
+        let mut client = NetStack::new(1);
+        let mut server = NetStack::new(2);
+        server.listen(80);
+        let c = client.connect(40_000, 2, 80);
+        pump(&mut client, &mut server);
+        assert_eq!(client.next_event(), Some(Event::Connected(c)));
+        let s = match server.next_event() {
+            Some(Event::Accepted(s)) => s,
+            other => panic!("expected accept, got {other:?}"),
+        };
+        assert_eq!(client.state(c), TcpState::Established);
+        assert_eq!(server.state(s), TcpState::Established);
+        // Client -> server data.
+        client.send(c, &[10, 20, 30]);
+        pump(&mut client, &mut server);
+        assert_eq!(server.next_event(), Some(Event::Data(s, vec![10, 20, 30])));
+        // Server -> client data.
+        server.send(s, &[42]);
+        pump(&mut client, &mut server);
+        assert_eq!(client.next_event(), Some(Event::Data(c, vec![42])));
+    }
+
+    #[test]
+    fn tcp_teardown() {
+        let mut client = NetStack::new(1);
+        let mut server = NetStack::new(2);
+        server.listen(80);
+        let c = client.connect(40_000, 2, 80);
+        pump(&mut client, &mut server);
+        client.next_event();
+        let s = match server.next_event() {
+            Some(Event::Accepted(s)) => s,
+            _ => unreachable!(),
+        };
+        client.close(c);
+        pump(&mut client, &mut server);
+        assert_eq!(server.next_event(), Some(Event::PeerClosed(s)));
+        server.close(s);
+        pump(&mut client, &mut server);
+        assert_eq!(client.state(c), TcpState::Closed);
+        assert_eq!(server.state(s), TcpState::Closed);
+    }
+
+    #[test]
+    fn closed_port_resets() {
+        let mut client = NetStack::new(1);
+        let mut server = NetStack::new(2);
+        let c = client.connect(40_000, 2, 81); // nobody listening
+        pump(&mut client, &mut server);
+        assert_eq!(client.next_event(), Some(Event::Reset(c)));
+        assert_eq!(client.state(c), TcpState::Closed);
+    }
+
+    #[test]
+    fn out_of_order_segment_dropped() {
+        let mut client = NetStack::new(1);
+        let mut server = NetStack::new(2);
+        server.listen(80);
+        let c = client.connect(40_000, 2, 80);
+        pump(&mut client, &mut server);
+        client.next_event();
+        let s = match server.next_event() {
+            Some(Event::Accepted(s)) => s,
+            _ => unreachable!(),
+        };
+        // Hand-forge a future segment: wrong seq, must be dropped.
+        let conn = &client.conns[c];
+        let seg = [
+            conn.local_port,
+            conn.remote_port,
+            conn.snd_next + 100,
+            conn.rcv_next,
+            flags::ACK,
+            7,
+        ];
+        let pkt = ip_packet(proto::TCP, 1, 2, &seg);
+        server.on_packet(&pkt);
+        assert_eq!(server.next_event(), None);
+        // In-order traffic still works afterwards.
+        client.send(c, &[1]);
+        pump(&mut client, &mut server);
+        assert_eq!(server.next_event(), Some(Event::Data(s, vec![1])));
+    }
+
+    #[test]
+    fn two_connections_multiplex() {
+        let mut client = NetStack::new(1);
+        let mut server = NetStack::new(2);
+        server.listen(80);
+        let c1 = client.connect(40_000, 2, 80);
+        let c2 = client.connect(40_001, 2, 80);
+        pump(&mut client, &mut server);
+        let mut accepted = Vec::new();
+        while let Some(e) = server.next_event() {
+            if let Event::Accepted(s) = e {
+                accepted.push(s);
+            }
+        }
+        assert_eq!(accepted.len(), 2);
+        client.send(c1, &[1]);
+        client.send(c2, &[2]);
+        pump(&mut client, &mut server);
+        let mut got = Vec::new();
+        while let Some(e) = server.next_event() {
+            if let Event::Data(s, d) = e {
+                got.push((s, d));
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_ne!(got[0].0, got[1].0);
+    }
+}

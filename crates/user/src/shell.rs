@@ -1,0 +1,361 @@
+//! An sh-like shell and coreutils, running as guest processes
+//! (paper §4.3: "we have ported xv6 user programs to Hyperkernel,
+//! including utilities and a shell").
+//!
+//! The shell parses pipelines like `echo hello | rev | upper`, spawns a
+//! child process per command, wires the stages together with kernel
+//! pipes granted through `sys_transfer_fd` before `sys_set_runnable`
+//! (the embryo-wiring pattern), and collects the final stage's output to
+//! the console.
+//!
+//! Utilities are poll-style actors over the kernel's all-or-error pipe
+//! calls: `echo`, `rev`, `upper`, `wc`, and `cat` (which reads from the
+//! file server over IPC).
+
+use hk_abi::{Sysno, EAGAIN};
+use hk_kernel::{GuestEnv, GuestProg, Poll};
+
+use crate::fs::server::{build_request, op, CallResult, IpcClient};
+use crate::ulib::{self, PageBudget, UserVm};
+
+/// Standard fd numbers used by the shell wiring.
+pub const STDIN: i64 = 0;
+/// Standard output.
+pub const STDOUT: i64 = 1;
+
+/// What a utility does with a line of words.
+#[derive(Debug, Clone)]
+pub enum Util {
+    /// Emits its argument, then EOF.
+    Echo(String),
+    /// Reverses the byte stream.
+    Rev,
+    /// Uppercases the byte stream.
+    Upper,
+    /// Counts words seen, emits the count as decimal digits at EOF.
+    Wc,
+    /// Reads the named file from the file server and emits it.
+    Cat { path: String, fs_server: i64 },
+}
+
+enum UtilState {
+    Setup,
+    Run,
+    Drain(Vec<i64>, usize),
+    CloseOut,
+    Exit,
+}
+
+/// A coreutil actor: reads STDIN (if wired), transforms, writes STDOUT.
+pub struct UtilProc {
+    util: Util,
+    budget: PageBudget,
+    vm: Option<UserVm>,
+    frame: i64,
+    state: UtilState,
+    collected: Vec<i64>,
+    fs_client: Option<IpcClient>,
+}
+
+impl UtilProc {
+    /// Creates a utility actor.
+    pub fn new(util: Util, budget: PageBudget) -> UtilProc {
+        UtilProc {
+            util,
+            budget,
+            vm: None,
+            frame: -1,
+            state: UtilState::Setup,
+            collected: Vec::new(),
+            fs_client: None,
+        }
+    }
+
+    /// Reads everything available from STDIN; Ok(true) = EOF reached.
+    fn slurp(&mut self, env: &mut GuestEnv) -> Result<bool, ()> {
+        loop {
+            let r = env.hypercall(Sysno::PipeRead, &[STDIN, self.frame, 0, 1]);
+            if r == 1 {
+                self.collected.push(env.page_word(self.frame, 0));
+                continue;
+            }
+            if r == 0 {
+                return Ok(true); // EOF
+            }
+            if r == -EAGAIN {
+                return Ok(false);
+            }
+            return Err(());
+        }
+    }
+
+    fn transform(&self) -> Vec<i64> {
+        match &self.util {
+            Util::Echo(s) => s.bytes().map(|b| b as i64).collect(),
+            Util::Rev => {
+                let mut v = self.collected.clone();
+                v.reverse();
+                v
+            }
+            Util::Upper => self
+                .collected
+                .iter()
+                .map(|&w| (w as u8 as char).to_ascii_uppercase() as i64)
+                .collect(),
+            Util::Wc => self
+                .collected
+                .iter()
+                .filter(|&&w| w == ' ' as i64)
+                .count()
+                .wrapping_add(if self.collected.is_empty() { 0 } else { 1 })
+                .to_string()
+                .bytes()
+                .map(|b| b as i64)
+                .collect(),
+            Util::Cat { .. } => self.collected.clone(),
+        }
+    }
+}
+
+impl GuestProg for UtilProc {
+    fn poll(&mut self, env: &mut GuestEnv) -> Poll {
+        loop {
+            match &mut self.state {
+                UtilState::Setup => {
+                    // Close-on-exec discipline: drop every inherited fd
+                    // except the stdio pair the parent wired for us.
+                    let nr_fds = env.machine.params().nr_fds as i64;
+                    for fd in 2..nr_fds {
+                        env.hypercall(Sysno::Close, &[fd]);
+                    }
+                    let mut vm = UserVm::new(env.proc_field("pml4"));
+                    let (_va, frame) = vm
+                        .mmap_any(env, &mut self.budget)
+                        .expect("util setup");
+                    self.frame = frame;
+                    self.vm = Some(vm);
+                    if let Util::Cat { fs_server, .. } = self.util {
+                        self.fs_client = Some(IpcClient::new(fs_server));
+                    }
+                    self.state = UtilState::Run;
+                }
+                UtilState::Run => match &self.util {
+                    Util::Echo(_) => {
+                        let out = self.transform();
+                        self.state = UtilState::Drain(out, 0);
+                    }
+                    Util::Cat { path, .. } => {
+                        let req = build_request(op::READ, 0, 400, path, &[]);
+                        let path = path.clone();
+                        let client = self.fs_client.as_mut().unwrap();
+                        match client.step(env, self.frame, &req) {
+                            CallResult::NotYet => return Poll::Pending,
+                            CallResult::Done(status, data) => {
+                                let out = if status == 0 {
+                                    data
+                                } else {
+                                    format!("cat: {path}: error {status}")
+                                        .bytes()
+                                        .map(|b| b as i64)
+                                        .collect()
+                                };
+                                self.state = UtilState::Drain(out, 0);
+                            }
+                        }
+                    }
+                    _ => match self.slurp(env) {
+                        Ok(true) => {
+                            let out = self.transform();
+                            self.state = UtilState::Drain(out, 0);
+                        }
+                        Ok(false) => return Poll::Pending,
+                        Err(()) => {
+                            // STDIN not wired: act on empty input.
+                            let out = self.transform();
+                            self.state = UtilState::Drain(out, 0);
+                        }
+                    },
+                },
+                UtilState::Drain(out, pos) => {
+                    while *pos < out.len() {
+                        env.set_page_word(self.frame, 0, out[*pos]);
+                        let r =
+                            env.hypercall(Sysno::PipeWrite, &[STDOUT, self.frame, 0, 1]);
+                        if r == 1 {
+                            *pos += 1;
+                            continue;
+                        }
+                        if r == -EAGAIN {
+                            env.hypercall(Sysno::Yield, &[]);
+                            return Poll::Pending;
+                        }
+                        // STDOUT broken/not wired: print to console.
+                        let c = out[*pos] as u8;
+                        env.putc(c);
+                        *pos += 1;
+                    }
+                    self.state = UtilState::CloseOut;
+                }
+                UtilState::CloseOut => {
+                    env.hypercall(Sysno::Close, &[STDOUT]);
+                    env.hypercall(Sysno::Close, &[STDIN]);
+                    self.state = UtilState::Exit;
+                }
+                UtilState::Exit => {
+                    ulib::exit(env);
+                    return Poll::Exited;
+                }
+            }
+        }
+    }
+}
+
+/// Parses a pipeline string into utilities. `cat` needs the fs server's
+/// PID supplied by the shell.
+pub fn parse_pipeline(line: &str, fs_server: i64) -> Vec<Util> {
+    line.split('|')
+        .map(|cmd| {
+            let cmd = cmd.trim();
+            let (name, rest) = match cmd.split_once(' ') {
+                Some((n, r)) => (n, r.trim().to_string()),
+                None => (cmd, String::new()),
+            };
+            match name {
+                "echo" => Util::Echo(rest),
+                "rev" => Util::Rev,
+                "upper" => Util::Upper,
+                "wc" => Util::Wc,
+                "cat" => Util::Cat {
+                    path: rest,
+                    fs_server,
+                },
+                other => Util::Echo(format!("sh: unknown command `{other}`")),
+            }
+        })
+        .collect()
+}
+
+/// The shell actor: runs one pipeline, reading the final stage's output
+/// from a pipe and echoing it to the console, then exits.
+pub struct Shell {
+    line: String,
+    fs_server: i64,
+    budget: PageBudget,
+    first_child_pid: i64,
+    state: ShellState,
+    frame: i64,
+    vm: Option<UserVm>,
+    /// The pipeline's collected output (also printed to the console).
+    pub output: Vec<u8>,
+}
+
+enum ShellState {
+    Setup,
+    Spawn,
+    Collect,
+    Done,
+}
+
+impl Shell {
+    /// A shell that will run `line` once. Children get consecutive PIDs
+    /// starting at `first_child_pid`.
+    pub fn new(line: &str, fs_server: i64, budget: PageBudget, first_child_pid: i64) -> Shell {
+        Shell {
+            line: line.to_string(),
+            fs_server,
+            budget,
+            first_child_pid,
+            state: ShellState::Setup,
+            frame: -1,
+            vm: None,
+            output: Vec::new(),
+        }
+    }
+
+    /// Lowest fd the shell uses for plumbing (above the stdio pair).
+    const PLUMB: i64 = 4;
+}
+
+impl GuestProg for Shell {
+    fn poll(&mut self, env: &mut GuestEnv) -> Poll {
+        loop {
+            match self.state {
+                ShellState::Setup => {
+                    let mut vm = UserVm::new(env.proc_field("pml4"));
+                    let (_va, frame) =
+                        vm.mmap_any(env, &mut self.budget).expect("shell setup");
+                    self.frame = frame;
+                    self.vm = Some(vm);
+                    self.state = ShellState::Spawn;
+                }
+                ShellState::Spawn => {
+                    let utils = parse_pipeline(&self.line, self.fs_server);
+                    let n = utils.len() as i64;
+                    // Pipes: stage i writes pipe i, stage i+1 reads it.
+                    // Pipe k uses fds (PLUMB + 2k, PLUMB + 2k + 1) and
+                    // kernel resources chosen deterministically.
+                    for k in 0..n {
+                        let fd_r = Self::PLUMB + 2 * k;
+                        let fd_w = fd_r + 1;
+                        let r = env.hypercall(
+                            Sysno::Pipe,
+                            &[fd_r, 2 * k, fd_w, 2 * k + 1, k],
+                        );
+                        assert_eq!(r, 0, "shell pipe {k} failed: {r}");
+                    }
+                    for (i, util) in utils.into_iter().enumerate() {
+                        let pid = self.first_child_pid + i as i64;
+                        let mut wiring = Vec::new();
+                        if i > 0 {
+                            // STDIN from pipe i-1's read end.
+                            wiring.push((Self::PLUMB + 2 * (i as i64 - 1), STDIN));
+                        }
+                        // STDOUT to pipe i's write end.
+                        wiring.push((Self::PLUMB + 2 * i as i64 + 1, STDOUT));
+                        let child_budget = ulib::spawn(env, &mut self.budget, pid, &wiring, 8)
+                            .expect("shell spawn");
+                        env.register_actor(pid, Box::new(UtilProc::new(util, child_budget)));
+                    }
+                    // The shell keeps only the last pipe's read end; close
+                    // everything else so EOF propagates.
+                    for k in 0..n {
+                        let fd_r = Self::PLUMB + 2 * k;
+                        let fd_w = fd_r + 1;
+                        if k != n - 1 {
+                            env.hypercall(Sysno::Close, &[fd_r]);
+                        }
+                        env.hypercall(Sysno::Close, &[fd_w]);
+                    }
+                    self.state = ShellState::Collect;
+                }
+                ShellState::Collect => {
+                    let utils_n = self.line.split('|').count() as i64;
+                    let last_read = Self::PLUMB + 2 * (utils_n - 1);
+                    loop {
+                        let r =
+                            env.hypercall(Sysno::PipeRead, &[last_read, self.frame, 0, 1]);
+                        if r == 1 {
+                            let b = env.page_word(self.frame, 0) as u8;
+                            self.output.push(b);
+                            env.putc(b);
+                            continue;
+                        }
+                        if r == -EAGAIN {
+                            env.hypercall(Sysno::Yield, &[]);
+                            return Poll::Pending;
+                        }
+                        if r == 0 {
+                            // EOF: pipeline finished.
+                            env.hypercall(Sysno::Close, &[last_read]);
+                            env.putc(b'\n');
+                            self.state = ShellState::Done;
+                            break;
+                        }
+                        panic!("shell pipe read failed: {r}");
+                    }
+                }
+                ShellState::Done => return Poll::Pending,
+            }
+        }
+    }
+}

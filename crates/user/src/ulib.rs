@@ -1,0 +1,314 @@
+//! The libc analogue: user-space policy over the kernel's fine-grained,
+//! all-or-error system calls (paper §4.1: "explicit resource
+//! management", §4.3 "we have implemented a libc that is source
+//! compatible with xv6").
+//!
+//! The kernel never searches for resources, so user space must: each
+//! process carries a [`PageBudget`] of RAM page numbers it considers
+//! its own (boot hands init everything; parents donate sub-ranges to
+//! children), a [`UserVm`] that builds its address space one verified
+//! system call at a time, and retry wrappers that turn the kernel's
+//! `-EAGAIN` discipline into blocking-style pipe I/O.
+
+use hk_abi::{Sysno, EAGAIN, PTE_P, PTE_U, PTE_W};
+use hk_kernel::GuestEnv;
+
+/// The set of RAM pages a process may allocate from (a suggestion: the
+/// kernel re-validates every allocation).
+#[derive(Debug, Clone, Default)]
+pub struct PageBudget {
+    free: Vec<i64>,
+}
+
+impl PageBudget {
+    /// A budget over an explicit page range.
+    pub fn from_range(lo: i64, hi: i64) -> PageBudget {
+        PageBudget {
+            free: (lo..hi).rev().collect(),
+        }
+    }
+
+    /// Takes one page from the budget.
+    pub fn take(&mut self) -> Option<i64> {
+        self.free.pop()
+    }
+
+    /// Returns a page to the budget.
+    pub fn give_back(&mut self, pn: i64) {
+        self.free.push(pn);
+    }
+
+    /// Splits off `n` pages for a child process.
+    pub fn donate(&mut self, n: usize) -> PageBudget {
+        let at = self.free.len().saturating_sub(n);
+        PageBudget {
+            free: self.free.split_off(at),
+        }
+    }
+
+    /// Pages remaining.
+    pub fn remaining(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// A user-level view of this process's address space: which intermediate
+/// tables exist, and a bump allocator over virtual page numbers.
+#[derive(Debug, Default)]
+pub struct UserVm {
+    /// The process's page-table root (pml4 page number).
+    pub pml4: i64,
+    /// Installed PDPTs by l3 index.
+    pdpts: std::collections::HashMap<u64, i64>,
+    /// Installed PDs by (l3, l2).
+    pds: std::collections::HashMap<(u64, u64), i64>,
+    /// Installed PTs by (l3, l2, l1).
+    pts: std::collections::HashMap<(u64, u64, u64), i64>,
+    /// Next unused virtual page number for `mmap_any`.
+    next_vpage: u64,
+    /// Mapped frames by virtual page number.
+    pub frames: std::collections::HashMap<u64, i64>,
+}
+
+/// Errors from user-level VM construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The page budget ran dry.
+    OutOfPages,
+    /// The kernel rejected a call (errno).
+    Kernel(i64),
+}
+
+impl UserVm {
+    /// Creates the view for a process whose root is `pml4`.
+    pub fn new(pml4: i64) -> UserVm {
+        UserVm {
+            pml4,
+            next_vpage: 1, // leave virtual page 0 unmapped (null guard)
+            ..UserVm::default()
+        }
+    }
+
+    /// Splits a virtual page number into table indices.
+    fn split(env: &GuestEnv, vpage: u64) -> (u64, u64, u64, u64) {
+        let k = env.machine.params().page_words.trailing_zeros() as u64;
+        let mask = (1u64 << k) - 1;
+        (
+            (vpage >> (3 * k)) & mask,
+            (vpage >> (2 * k)) & mask,
+            (vpage >> k) & mask,
+            vpage & mask,
+        )
+    }
+
+    /// Ensures the page-table chain for `vpage` exists, then maps a
+    /// fresh frame there with the given write permission.
+    pub fn map_vpage(
+        &mut self,
+        env: &mut GuestEnv,
+        budget: &mut PageBudget,
+        vpage: u64,
+        writable: bool,
+    ) -> Result<i64, VmError> {
+        let pid = env.pid;
+        let (l3, l2, l1, l0) = Self::split(env, vpage);
+        let all = PTE_P | PTE_W | PTE_U;
+        if !self.pdpts.contains_key(&l3) {
+            let pn = budget.take().ok_or(VmError::OutOfPages)?;
+            let r = env.hypercall(Sysno::AllocPdpt, &[pid, self.pml4, l3 as i64, pn, all]);
+            if r != 0 {
+                return Err(VmError::Kernel(r));
+            }
+            self.pdpts.insert(l3, pn);
+        }
+        let pdpt = self.pdpts[&l3];
+        if !self.pds.contains_key(&(l3, l2)) {
+            let pn = budget.take().ok_or(VmError::OutOfPages)?;
+            let r = env.hypercall(Sysno::AllocPd, &[pid, pdpt, l2 as i64, pn, all]);
+            if r != 0 {
+                return Err(VmError::Kernel(r));
+            }
+            self.pds.insert((l3, l2), pn);
+        }
+        let pd = self.pds[&(l3, l2)];
+        if !self.pts.contains_key(&(l3, l2, l1)) {
+            let pn = budget.take().ok_or(VmError::OutOfPages)?;
+            let r = env.hypercall(Sysno::AllocPt, &[pid, pd, l1 as i64, pn, all]);
+            if r != 0 {
+                return Err(VmError::Kernel(r));
+            }
+            self.pts.insert((l3, l2, l1), pn);
+        }
+        let pt = self.pts[&(l3, l2, l1)];
+        let frame = budget.take().ok_or(VmError::OutOfPages)?;
+        let perm = if writable { all } else { PTE_P | PTE_U };
+        let r = env.hypercall(Sysno::AllocFrame, &[pid, pt, l0 as i64, frame, perm]);
+        if r != 0 {
+            return Err(VmError::Kernel(r));
+        }
+        self.frames.insert(vpage, frame);
+        Ok(frame)
+    }
+
+    /// `mmap`-style: maps the next free virtual page, returning
+    /// `(virtual address, frame page number)`.
+    pub fn mmap_any(
+        &mut self,
+        env: &mut GuestEnv,
+        budget: &mut PageBudget,
+    ) -> Result<(u64, i64), VmError> {
+        let vpage = self.next_vpage;
+        self.next_vpage += 1;
+        let frame = self.map_vpage(env, budget, vpage, true)?;
+        let va = vpage * env.machine.params().page_words;
+        Ok((va, frame))
+    }
+
+    /// The PT page and slot covering `vpage` (for `sys_protect_frame`).
+    pub fn pt_slot(&self, env: &GuestEnv, vpage: u64) -> Option<(i64, i64)> {
+        let (l3, l2, l1, l0) = Self::split(env, vpage);
+        self.pts.get(&(l3, l2, l1)).map(|&pt| (pt, l0 as i64))
+    }
+
+    /// mprotect-style permission change on an already-mapped page.
+    pub fn protect_vpage(
+        &mut self,
+        env: &mut GuestEnv,
+        vpage: u64,
+        writable: bool,
+    ) -> Result<(), VmError> {
+        let (pt, slot) = self.pt_slot(env, vpage).ok_or(VmError::Kernel(-1))?;
+        let frame = *self.frames.get(&vpage).ok_or(VmError::Kernel(-1))?;
+        let perm = if writable {
+            PTE_P | PTE_W | PTE_U
+        } else {
+            PTE_P | PTE_U
+        };
+        let r = env.hypercall(Sysno::ProtectFrame, &[pt, slot, frame, perm]);
+        if r != 0 {
+            return Err(VmError::Kernel(r));
+        }
+        Ok(())
+    }
+}
+
+/// Spawns a child process: takes 3 pages from the budget for the child's
+/// anatomy, clones, optionally pre-wires file descriptors
+/// (`(parent_fd, child_fd)` pairs), donates `donate_pages` pages, and
+/// makes it runnable. Returns the child's budget (to be handed to its
+/// actor).
+pub fn spawn(
+    env: &mut GuestEnv,
+    budget: &mut PageBudget,
+    child_pid: i64,
+    fd_wiring: &[(i64, i64)],
+    donate_pages: usize,
+) -> Result<PageBudget, i64> {
+    let pml4 = budget.take().ok_or(-1i64)?;
+    let hvm = budget.take().ok_or(-1i64)?;
+    let stack = budget.take().ok_or(-1i64)?;
+    let r = env.hypercall(Sysno::CloneProc, &[child_pid, pml4, hvm, stack]);
+    if r != 0 {
+        budget.give_back(stack);
+        budget.give_back(hvm);
+        budget.give_back(pml4);
+        return Err(r);
+    }
+    for &(pfd, cfd) in fd_wiring {
+        let r = env.hypercall(Sysno::TransferFd, &[child_pid, pfd, cfd]);
+        if r != 0 {
+            return Err(r);
+        }
+    }
+    let child_budget = budget.donate(donate_pages);
+    let r = env.hypercall(Sysno::SetRunnable, &[child_pid]);
+    if r != 0 {
+        return Err(r);
+    }
+    Ok(child_budget)
+}
+
+/// Exits the calling process (kill self); returns only if the kernel
+/// refused (no runnable successor).
+pub fn exit(env: &mut GuestEnv) -> i64 {
+    env.hypercall(Sysno::Kill, &[env.pid])
+}
+
+/// Blocking-style pipe write: retries `-EAGAIN` by yielding. Returns
+/// words written or a kernel error.
+pub fn pipe_write_all(
+    env: &mut GuestEnv,
+    fd: i64,
+    pn: i64,
+    offset: i64,
+    len: i64,
+    max_retries: usize,
+) -> i64 {
+    for _ in 0..max_retries {
+        let r = env.hypercall(Sysno::PipeWrite, &[fd, pn, offset, len]);
+        if r != -EAGAIN {
+            return r;
+        }
+        env.hypercall(Sysno::Yield, &[]);
+    }
+    -EAGAIN
+}
+
+/// Blocking-style pipe read; `Ok(0)` is EOF.
+pub fn pipe_read_all(
+    env: &mut GuestEnv,
+    fd: i64,
+    pn: i64,
+    offset: i64,
+    len: i64,
+    max_retries: usize,
+) -> i64 {
+    for _ in 0..max_retries {
+        let r = env.hypercall(Sysno::PipeRead, &[fd, pn, offset, len]);
+        if r != -EAGAIN {
+            return r;
+        }
+        env.hypercall(Sysno::Yield, &[]);
+    }
+    -EAGAIN
+}
+
+/// Writes a Rust string into an owned page, one byte per word (the
+/// word-granular analogue of a C string buffer).
+pub fn store_str(env: &mut GuestEnv, pn: i64, offset: u64, s: &str) -> u64 {
+    for (i, b) in s.bytes().enumerate() {
+        env.set_page_word(pn, offset + i as u64, b as i64);
+    }
+    s.len() as u64
+}
+
+/// Reads `len` byte-words from an owned page as a string.
+pub fn load_str(env: &GuestEnv, pn: i64, offset: u64, len: u64) -> String {
+    (0..len)
+        .map(|i| env.page_word(pn, offset + i) as u8 as char)
+        .collect()
+}
+
+/// The boot-time page budget for init: everything the kernel's boot code
+/// left free (pages 3.. are the free list; 0-2 are init's own anatomy).
+pub fn init_budget(env: &GuestEnv) -> PageBudget {
+    PageBudget::from_range(3, env.machine.params().nr_pages as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_arithmetic() {
+        let mut b = PageBudget::from_range(3, 11);
+        assert_eq!(b.remaining(), 8);
+        assert_eq!(b.take().unwrap(), 3);
+        let mut child = b.donate(3);
+        assert_eq!(child.remaining(), 3);
+        assert!(child.take().is_some());
+        assert_eq!(b.remaining(), 4);
+        b.give_back(3);
+        assert_eq!(b.remaining(), 5);
+    }
+}

@@ -1,0 +1,188 @@
+//! Cycle cost model and microarchitecture profiles.
+//!
+//! The `syscall` and `hypercall` round-trip latencies are taken directly
+//! from Figure 11 of the paper (measured over 50 million trials on real
+//! silicon). The remaining costs — fault vectoring, signal upcalls, TLB
+//! operations — are set so that the Figure 10 benchmarks reproduce the
+//! paper's *shapes*: hypercalls ~5-7x slower than syscalls, direct user
+//! fault delivery ~4-5x cheaper than kernel-mediated delivery.
+
+/// A microarchitecture profile (one row of Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroArch {
+    /// Marketing model, e.g. "Core i7-7700K".
+    pub model: &'static str,
+    /// Microarchitecture name and year, e.g. "Kaby Lake (2016)".
+    pub uarch: &'static str,
+    /// `syscall`/`sysret` round-trip cycles.
+    pub syscall_cycles: u64,
+    /// `vmcall`/`vmresume` round-trip cycles.
+    pub hypercall_cycles: u64,
+}
+
+/// The seven processors of Figure 11.
+pub const MICROARCHES: &[MicroArch] = &[
+    MicroArch {
+        model: "Xeon X5550",
+        uarch: "Nehalem (2009)",
+        syscall_cycles: 72,
+        hypercall_cycles: 961,
+    },
+    MicroArch {
+        model: "Xeon E5-1620",
+        uarch: "Sandy Bridge (2011)",
+        syscall_cycles: 72,
+        hypercall_cycles: 765,
+    },
+    MicroArch {
+        model: "Core i7-3770",
+        uarch: "Ivy Bridge (2012)",
+        syscall_cycles: 74,
+        hypercall_cycles: 760,
+    },
+    MicroArch {
+        model: "Xeon E5-1650 v3",
+        uarch: "Haswell (2013)",
+        syscall_cycles: 74,
+        hypercall_cycles: 540,
+    },
+    MicroArch {
+        model: "Core i5-6600K",
+        uarch: "Skylake (2015)",
+        syscall_cycles: 79,
+        hypercall_cycles: 568,
+    },
+    MicroArch {
+        model: "Core i7-7700K",
+        uarch: "Kaby Lake (2016)",
+        syscall_cycles: 69,
+        hypercall_cycles: 497,
+    },
+    MicroArch {
+        model: "Ryzen 7 1700",
+        uarch: "Zen (2017)",
+        syscall_cycles: 64,
+        hypercall_cycles: 697,
+    },
+];
+
+/// The default profile: the paper's evaluation machine (i7-7700K).
+pub fn default_uarch() -> MicroArch {
+    MICROARCHES[5]
+}
+
+/// Looks up a profile by model substring.
+pub fn uarch_by_model(model: &str) -> Option<MicroArch> {
+    MICROARCHES.iter().copied().find(|m| m.model.contains(model))
+}
+
+/// Cycle costs of the machine's primitive operations.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// The underlying processor profile.
+    pub uarch: MicroArch,
+    /// Cycles for a hardware exception vectored *directly to user space*
+    /// through the guest IDT (Hyperkernel's fast path: the kernel is not
+    /// involved at all).
+    pub fault_vector_user: u64,
+    /// Cycles for a hardware exception that enters the kernel (fault
+    /// frame push + kernel entry), before any kernel work.
+    pub fault_vector_kernel: u64,
+    /// Cycles for a signal-style upcall from the kernel back into a user
+    /// handler plus the eventual sigreturn (the Linux-baseline fault
+    /// path).
+    pub signal_upcall: u64,
+    /// Cycles per executed kernel instruction (HIR instruction or
+    /// baseline-kernel operation).
+    pub kernel_inst: u64,
+    /// Cycles for a TLB hit on a guest memory access.
+    pub tlb_hit: u64,
+    /// Cycles per page-table level walked on a TLB miss.
+    pub walk_level: u64,
+    /// Cycles for a full TLB flush (e.g. CR3 reload / INVEPT-class).
+    pub tlb_flush: u64,
+    /// Cycles for an INVLPG-class single-page invalidation.
+    pub tlb_invlpg: u64,
+    /// Cycles for a guest memory access once translated.
+    pub mem_access: u64,
+}
+
+impl CostModel {
+    /// Builds the cost model for a processor profile.
+    pub fn for_uarch(uarch: MicroArch) -> Self {
+        CostModel {
+            uarch,
+            // Direct exception delivery to user space costs about the same
+            // as an exception vector + IRET pair; Dune/Hyperkernel measure
+            // ~600 cycles end-to-end including the handler.
+            fault_vector_user: 400,
+            // Kernel-mediated fault entry: exception + swapgs + frame.
+            fault_vector_kernel: 750,
+            // Signal frame setup, handler dispatch, and sigreturn.
+            signal_upcall: 1400,
+            kernel_inst: 1,
+            tlb_hit: 1,
+            walk_level: 25,
+            tlb_flush: 150,
+            tlb_invlpg: 120,
+            mem_access: 2,
+        }
+    }
+
+    /// Default cost model (Kaby Lake).
+    pub fn default_model() -> Self {
+        Self::for_uarch(default_uarch())
+    }
+}
+
+/// A running cycle counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cycles {
+    /// Total cycles charged.
+    pub total: u64,
+}
+
+impl Cycles {
+    /// Charges `n` cycles.
+    pub fn charge(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Snapshot-and-subtract helper for measuring a region.
+    pub fn since(&self, start: u64) -> u64 {
+        self.total - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_profiles_match_figure_11() {
+        assert_eq!(MICROARCHES.len(), 7);
+        let kaby = uarch_by_model("7700K").unwrap();
+        assert_eq!(kaby.syscall_cycles, 69);
+        assert_eq!(kaby.hypercall_cycles, 497);
+        let zen = uarch_by_model("Ryzen").unwrap();
+        assert_eq!(zen.hypercall_cycles, 697);
+    }
+
+    #[test]
+    fn hypercalls_always_slower_than_syscalls() {
+        for m in MICROARCHES {
+            assert!(
+                m.hypercall_cycles > 4 * m.syscall_cycles,
+                "{}: expected order-of-magnitude gap",
+                m.model
+            );
+        }
+    }
+
+    #[test]
+    fn fault_paths_ordered() {
+        let c = CostModel::default_model();
+        // Direct user delivery must beat kernel entry + upcall.
+        assert!(c.fault_vector_user < c.fault_vector_kernel + c.signal_upcall);
+    }
+}

@@ -1,0 +1,39 @@
+//! The machine substrate: a simulated x86-64-with-VT-x-class machine.
+//!
+//! The paper runs Hyperkernel on real hardware (Intel VT-x / AMD-V) and
+//! measures mode-transition costs on seven microarchitectures (Figure 11).
+//! This crate simulates the parts of that hardware the kernel and the
+//! evaluation depend on:
+//!
+//! * word-addressed **physical memory** shared by the kernel (root mode)
+//!   and guests ([`phys`]);
+//! * **4-level page tables** with a hardware page walker and a TLB
+//!   ([`paging`], [`tlb`]) — guests run on page tables built, page by
+//!   page, through verified system calls;
+//! * an **IOMMU** with a device table and its own 4-level walk,
+//!   restricting device DMA to the dedicated DMA region of Figure 6
+//!   ([`iommu`]);
+//! * a **cycle cost model** with per-microarchitecture profiles calibrated
+//!   from Figure 11, so the runtime benchmarks (Figure 10) reproduce the
+//!   paper's mechanism comparison: `syscall` vs `vmcall` round trips,
+//!   kernel-mediated vs direct user fault delivery ([`cost`]);
+//! * simple **devices** (console, block device, NIC) that DMA through the
+//!   IOMMU and raise interrupts ([`dev`]).
+//!
+//! Both kernels in the repository — the verified Hyperkernel
+//! (`hk-kernel`) and the monolithic Unix-like baseline (`hk-mono`) — run
+//! on this same substrate, which is what makes the Figure 10 comparison
+//! meaningful.
+
+pub mod cost;
+pub mod dev;
+pub mod iommu;
+pub mod machine;
+pub mod paging;
+pub mod phys;
+pub mod tlb;
+
+pub use cost::{CostModel, MicroArch, MICROARCHES};
+pub use machine::{Machine, MemoryMap};
+pub use paging::{AccessKind, PageFault, VirtAddr};
+pub use phys::PhysMem;

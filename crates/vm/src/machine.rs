@@ -1,0 +1,394 @@
+//! The machine: physical memory + MMU + IOMMU + cycle accounting + mode
+//! transitions.
+//!
+//! The machine is kernel-agnostic: both Hyperkernel (`hk-kernel`) and the
+//! monolithic baseline (`hk-mono`) run on it. It charges cycles for the
+//! operations whose costs the paper measures — hypercall and syscall
+//! round trips, fault vectoring, TLB flushes, page walks — using the
+//! per-microarchitecture profiles of Figure 11.
+
+use hk_abi::KernelParams;
+
+use crate::cost::{CostModel, Cycles};
+use crate::iommu::{DmaFault, Iommu};
+use crate::paging::{self, AccessKind, PageFault, VirtAddr};
+use crate::phys::PhysMem;
+use crate::tlb::Tlb;
+
+/// The physical memory map (Figure 6): kernel region (boot memory,
+/// metadata, kernel globals), then RAM pages, then DMA pages.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryMap {
+    /// Kernel size parameters.
+    pub params: KernelParams,
+    /// Words reserved for the kernel region at the bottom of memory.
+    pub kernel_words: u64,
+}
+
+impl MemoryMap {
+    /// Builds a map for the given parameters and kernel-region size.
+    pub fn new(params: KernelParams, kernel_words: u64) -> Self {
+        MemoryMap {
+            params,
+            kernel_words,
+        }
+    }
+
+    /// First word of the RAM-pages region.
+    pub fn pages_base(&self) -> u64 {
+        self.kernel_words
+    }
+
+    /// First word of the DMA-pages region.
+    pub fn dma_base(&self) -> u64 {
+        self.pages_base() + self.params.nr_pages * self.params.page_words
+    }
+
+    /// Total physical memory size in words.
+    pub fn total_words(&self) -> u64 {
+        self.dma_base() + self.params.nr_dmapages * self.params.page_words
+    }
+
+    /// Physical address of word 0 of RAM page `pn`.
+    pub fn ram_page_addr(&self, pn: u64) -> u64 {
+        debug_assert!(pn < self.params.nr_pages);
+        self.pages_base() + pn * self.params.page_words
+    }
+
+    /// Physical address of word 0 of DMA page `d`.
+    pub fn dma_page_addr(&self, d: u64) -> u64 {
+        debug_assert!(d < self.params.nr_dmapages);
+        self.dma_base() + d * self.params.page_words
+    }
+
+    /// Physical address of word 0 of combined-space frame `pfn`.
+    pub fn pfn_addr(&self, pfn: u64) -> u64 {
+        if pfn < self.params.nr_pages {
+            self.ram_page_addr(pfn)
+        } else {
+            self.dma_page_addr(pfn - self.params.nr_pages)
+        }
+    }
+}
+
+/// CPU mode: the kernel runs in root mode, processes in non-root (guest)
+/// mode, as in Dune and Hyperkernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Host/root mode (the kernel, identity-mapped).
+    Root,
+    /// Guest mode (a user process, behind its own page table).
+    Guest,
+}
+
+/// The machine.
+#[derive(Debug)]
+pub struct Machine {
+    /// Memory map.
+    pub map: MemoryMap,
+    /// Physical memory.
+    pub phys: PhysMem,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Cycle counter.
+    pub cycles: Cycles,
+    /// Current mode.
+    pub mode: Mode,
+    /// Current guest page-table root (RAM page number).
+    cr3: u64,
+    tlb: Tlb,
+    /// IOMMU state.
+    pub iommu: Iommu,
+    /// Pending interrupt vectors (FIFO).
+    pending_irqs: Vec<u64>,
+    /// The console device (debug output).
+    pub console: crate::dev::Console,
+    /// Guest instructions/accesses remaining before a preemption-timer
+    /// exit fires; `None` disables the timer.
+    pub timer_remaining: Option<u64>,
+}
+
+impl Machine {
+    /// Creates a machine with zeroed memory, in root mode.
+    pub fn new(params: KernelParams, kernel_words: u64, cost: CostModel) -> Self {
+        let map = MemoryMap::new(params, kernel_words);
+        Machine {
+            map,
+            phys: PhysMem::new(map.total_words()),
+            cost,
+            cycles: Cycles::default(),
+            mode: Mode::Root,
+            cr3: 0,
+            tlb: Tlb::new(64),
+            iommu: Iommu::new(params.nr_devs),
+            pending_irqs: Vec::new(),
+            console: crate::dev::Console::default(),
+            timer_remaining: None,
+        }
+    }
+
+    /// Kernel parameters.
+    pub fn params(&self) -> &KernelParams {
+        &self.map.params
+    }
+
+    // ------------------------------------------------------------------
+    // Mode transitions (the costs Figure 10/11 measure).
+    // ------------------------------------------------------------------
+
+    /// Charges a `vmcall`/`vmresume` round trip (guest -> root -> guest).
+    pub fn charge_hypercall_roundtrip(&mut self) {
+        self.cycles.charge(self.cost.uarch.hypercall_cycles);
+    }
+
+    /// Charges a `syscall`/`sysret` round trip (same address space).
+    pub fn charge_syscall_roundtrip(&mut self) {
+        self.cycles.charge(self.cost.uarch.syscall_cycles);
+    }
+
+    /// Charges a fault vectored directly to a user handler through the
+    /// guest IDT (Hyperkernel's path: the kernel never runs).
+    pub fn charge_fault_direct_user(&mut self) {
+        self.cycles.charge(self.cost.fault_vector_user);
+    }
+
+    /// Charges a fault that enters the kernel (baseline path, part 1).
+    pub fn charge_fault_kernel_entry(&mut self) {
+        self.cycles.charge(self.cost.fault_vector_kernel);
+    }
+
+    /// Charges a signal-style upcall + return (baseline path, part 2).
+    pub fn charge_signal_upcall(&mut self) {
+        self.cycles.charge(self.cost.signal_upcall);
+    }
+
+    /// Charges `n` kernel instructions (HIR instructions executed by a
+    /// trap handler, or equivalent baseline-kernel work).
+    pub fn charge_kernel_work(&mut self, instructions: u64) {
+        self.cycles.charge(instructions * self.cost.kernel_inst);
+    }
+
+    // ------------------------------------------------------------------
+    // Guest address translation and memory access.
+    // ------------------------------------------------------------------
+
+    /// Loads the guest CR3 (flushes the TLB, charging for it).
+    pub fn set_cr3(&mut self, root_pn: u64) {
+        if self.cr3 != root_pn {
+            self.tlb.flush_all();
+            self.cycles.charge(self.cost.tlb_flush);
+        }
+        self.cr3 = root_pn;
+    }
+
+    /// Current guest CR3.
+    pub fn cr3(&self) -> u64 {
+        self.cr3
+    }
+
+    /// Invalidates one virtual page in the TLB (INVLPG).
+    pub fn invlpg(&mut self, va: VirtAddr) {
+        let vpage = va / self.map.params.page_words;
+        self.tlb.flush_page(vpage);
+        self.cycles.charge(self.cost.tlb_invlpg);
+    }
+
+    /// Flushes the whole TLB.
+    pub fn flush_tlb(&mut self) {
+        self.tlb.flush_all();
+        self.cycles.charge(self.cost.tlb_flush);
+    }
+
+    /// Translates a guest virtual address, consulting the TLB.
+    pub fn translate(
+        &mut self,
+        va: VirtAddr,
+        access: AccessKind,
+    ) -> Result<u64, PageFault> {
+        let params = self.map.params;
+        let vpage = va / params.page_words;
+        let offset = va % params.page_words;
+        if let Some((pfn, _w)) = self.tlb.lookup(vpage, access == AccessKind::Write) {
+            self.cycles.charge(self.cost.tlb_hit);
+            return Ok(self.map.pfn_addr(pfn) + offset);
+        }
+        self.cycles
+            .charge(self.cost.walk_level * hk_abi::PT_LEVELS);
+        let t = paging::walk(&self.phys, &self.map, self.cr3, va, access)?;
+        self.tlb.insert(vpage, t.pfn, t.writable);
+        Ok(t.phys_addr)
+    }
+
+    /// Guest memory read.
+    pub fn guest_read(&mut self, va: VirtAddr) -> Result<i64, PageFault> {
+        let addr = self.translate(va, AccessKind::Read)?;
+        self.cycles.charge(self.cost.mem_access);
+        self.tick_timer();
+        Ok(self.phys.read(addr))
+    }
+
+    /// Guest memory write.
+    pub fn guest_write(&mut self, va: VirtAddr, val: i64) -> Result<(), PageFault> {
+        let addr = self.translate(va, AccessKind::Write)?;
+        self.cycles.charge(self.cost.mem_access);
+        self.tick_timer();
+        self.phys.write(addr, val);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Preemption timer.
+    // ------------------------------------------------------------------
+
+    /// Arms the preemption timer: after `quantum` guest accesses, the
+    /// next [`Machine::timer_expired`] check reports true.
+    pub fn arm_timer(&mut self, quantum: u64) {
+        self.timer_remaining = Some(quantum);
+    }
+
+    fn tick_timer(&mut self) {
+        if let Some(t) = &mut self.timer_remaining {
+            *t = t.saturating_sub(1);
+        }
+    }
+
+    /// Whether the quantum has expired (a VM-exit would fire).
+    pub fn timer_expired(&self) -> bool {
+        self.timer_remaining == Some(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Interrupts and DMA.
+    // ------------------------------------------------------------------
+
+    /// A device raises an interrupt vector.
+    pub fn raise_irq(&mut self, vector: u64) {
+        self.pending_irqs.push(vector);
+    }
+
+    /// Dequeues the oldest pending interrupt, if any.
+    pub fn take_irq(&mut self) -> Option<u64> {
+        if self.pending_irqs.is_empty() {
+            None
+        } else {
+            Some(self.pending_irqs.remove(0))
+        }
+    }
+
+    /// Device `dev` writes one word at device address `dva` through the
+    /// IOMMU.
+    pub fn dma_write(&mut self, dev: u64, dva: u64, val: i64) -> Result<(), DmaFault> {
+        let addr = self.iommu.walk(&self.phys, &self.map, dev, dva, true)?;
+        self.phys.write(addr, val);
+        Ok(())
+    }
+
+    /// Device `dev` reads one word at device address `dva` through the
+    /// IOMMU.
+    pub fn dma_read(&mut self, dev: u64, dva: u64) -> Result<i64, DmaFault> {
+        let addr = self.iommu.walk(&self.phys, &self.map, dev, dva, false)?;
+        Ok(self.phys.read(addr))
+    }
+
+    /// TLB statistics `(hits, misses, flushes)`.
+    pub fn tlb_stats(&self) -> (u64, u64, u64) {
+        (self.tlb.hits, self.tlb.misses, self.tlb.flushes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use hk_abi::{pte_encode, PTE_P, PTE_U, PTE_W};
+
+    fn machine() -> Machine {
+        Machine::new(
+            KernelParams::verification(),
+            128,
+            CostModel::default_model(),
+        )
+    }
+
+    fn identity_map_page(m: &mut Machine, root: u64, va: u64, leaf_pfn: u64, perm: i64) {
+        let params = *m.params();
+        let (idx, _) = crate::paging::split_va(&params, va).unwrap();
+        let tables = [root, root + 1, root + 2, root + 3];
+        let all = PTE_P | PTE_W | PTE_U;
+        for lvl in 0..3 {
+            let addr = m.map.ram_page_addr(tables[lvl]) + idx[lvl];
+            m.phys.write(addr, pte_encode(tables[lvl + 1] as i64, all));
+        }
+        let addr = m.map.ram_page_addr(tables[3]) + idx[3];
+        m.phys.write(addr, pte_encode(leaf_pfn as i64, perm));
+    }
+
+    #[test]
+    fn guest_access_through_page_table() {
+        let mut m = machine();
+        identity_map_page(&mut m, 0, 0x20, 8, PTE_P | PTE_W | PTE_U);
+        m.set_cr3(0);
+        m.guest_write(0x21, 1234).unwrap();
+        assert_eq!(m.guest_read(0x21).unwrap(), 1234);
+        // The word landed in RAM page 8 at offset 1.
+        assert_eq!(m.phys.read(m.map.ram_page_addr(8) + 1), 1234);
+    }
+
+    #[test]
+    fn tlb_caches_translations() {
+        let mut m = machine();
+        identity_map_page(&mut m, 0, 0x20, 8, PTE_P | PTE_W | PTE_U);
+        m.set_cr3(0);
+        m.guest_read(0x20).unwrap();
+        let miss_cycles = m.cycles.total;
+        m.guest_read(0x21).unwrap();
+        let hit_cycles = m.cycles.total - miss_cycles;
+        assert!(hit_cycles < miss_cycles, "hit should be cheaper than miss");
+        let (hits, misses, _) = m.tlb_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn cr3_switch_flushes_tlb() {
+        let mut m = machine();
+        identity_map_page(&mut m, 0, 0x20, 8, PTE_P | PTE_W | PTE_U);
+        m.set_cr3(0);
+        m.guest_read(0x20).unwrap();
+        m.set_cr3(4); // flush
+        m.set_cr3(0);
+        m.guest_read(0x20).unwrap();
+        let (_, misses, flushes) = m.tlb_stats();
+        assert_eq!(misses, 2);
+        assert!(flushes >= 2);
+    }
+
+    #[test]
+    fn fault_on_unmapped() {
+        let mut m = machine();
+        m.set_cr3(0);
+        assert!(m.guest_read(0x100).is_err());
+    }
+
+    #[test]
+    fn timer_expires_after_quantum() {
+        let mut m = machine();
+        identity_map_page(&mut m, 0, 0x20, 8, PTE_P | PTE_W | PTE_U);
+        m.set_cr3(0);
+        m.arm_timer(3);
+        for _ in 0..3 {
+            assert!(!m.timer_expired());
+            m.guest_read(0x20).unwrap();
+        }
+        assert!(m.timer_expired());
+    }
+
+    #[test]
+    fn irq_queue_fifo() {
+        let mut m = machine();
+        m.raise_irq(5);
+        m.raise_irq(7);
+        assert_eq!(m.take_irq(), Some(5));
+        assert_eq!(m.take_irq(), Some(7));
+        assert_eq!(m.take_irq(), None);
+    }
+}

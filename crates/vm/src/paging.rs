@@ -1,0 +1,260 @@
+//! Four-level page tables and the hardware page walker.
+//!
+//! Virtual addresses are word-granular. With `page_words = 2^k`, a page
+//! holds `2^k` words and a page-table page holds `2^k` entries, so a
+//! virtual address decomposes into four `k`-bit level indices plus a
+//! `k`-bit word offset (production: `k = 9`, i.e. the x86-64 layout at
+//! word granularity). The walker enforces exactly the x86 rules the
+//! kernel's isolation proof models: present at every level, user bit at
+//! every level, writable at the leaf for writes.
+
+use hk_abi::{pte_pfn, KernelParams, PTE_P, PTE_U, PTE_W, PT_LEVELS};
+
+use crate::machine::MemoryMap;
+use crate::phys::PhysMem;
+
+/// A virtual address (word-granular).
+pub type VirtAddr = u64;
+
+/// Kind of memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read access.
+    Read,
+    /// Write access.
+    Write,
+}
+
+/// A page fault raised by the walker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFault {
+    /// The faulting virtual address.
+    pub va: VirtAddr,
+    /// The access that faulted.
+    pub access: AccessKind,
+    /// Walk level at which the fault occurred (3 = root, 0 = leaf).
+    pub level: u32,
+    /// Why.
+    pub reason: FaultReason,
+}
+
+/// Why a walk faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultReason {
+    /// Entry not present.
+    NotPresent,
+    /// User access to a supervisor-only entry.
+    NotUser,
+    /// Write to a read-only mapping.
+    NotWritable,
+    /// Entry references a frame outside physical memory (machine check).
+    BadFrame,
+    /// The virtual address has bits beyond the translated range.
+    NonCanonical,
+}
+
+/// Decomposes a virtual address into level indices and offset.
+///
+/// Returns `[idx_l3, idx_l2, idx_l1, idx_l0]` (root first) and the word
+/// offset, or `None` if the address is non-canonical (has bits above the
+/// translated range).
+pub fn split_va(params: &KernelParams, va: VirtAddr) -> Option<([u64; 4], u64)> {
+    let k = params.page_words.trailing_zeros() as u64;
+    let total_bits = k * (PT_LEVELS + 1);
+    if total_bits < 64 && (va >> total_bits) != 0 {
+        return None;
+    }
+    let mask = params.page_words - 1;
+    let offset = va & mask;
+    let mut idx = [0u64; 4];
+    for (i, slot) in idx.iter_mut().enumerate() {
+        let level = PT_LEVELS - 1 - i as u64; // 3, 2, 1, 0
+        *slot = (va >> (k * (level + 1))) & mask;
+    }
+    Some((idx, offset))
+}
+
+/// Composes a virtual address from level indices and offset (inverse of
+/// [`split_va`]); useful for user-space memory allocators.
+pub fn join_va(params: &KernelParams, idx: [u64; 4], offset: u64) -> VirtAddr {
+    let k = params.page_words.trailing_zeros() as u64;
+    let mut va = offset;
+    for (i, &ix) in idx.iter().enumerate() {
+        let level = PT_LEVELS - 1 - i as u64;
+        va |= ix << (k * (level + 1));
+    }
+    va
+}
+
+/// Result of a successful walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The resolved page-frame number (RAM or DMA space).
+    pub pfn: u64,
+    /// Physical word address of the accessed word.
+    pub phys_addr: u64,
+    /// Whether the leaf mapping permits writes.
+    pub writable: bool,
+}
+
+/// Walks the 4-level page table rooted at RAM page `root_pn`.
+///
+/// This is the hardware walker: it implements what the MMU does, and it
+/// is also the concrete counterpart of the abstract page-walk model used
+/// to state the paper's memory-isolation property (Property 5).
+pub fn walk(
+    phys: &PhysMem,
+    map: &MemoryMap,
+    root_pn: u64,
+    va: VirtAddr,
+    access: AccessKind,
+) -> Result<Translation, PageFault> {
+    let params = &map.params;
+    let fault = |level: u32, reason: FaultReason| PageFault {
+        va,
+        access,
+        level,
+        reason,
+    };
+    let (idx, offset) = split_va(params, va)
+        .ok_or_else(|| fault(PT_LEVELS as u32 - 1, FaultReason::NonCanonical))?;
+    let mut table_pn = root_pn;
+    let mut entry = 0i64;
+    for (i, &ix) in idx.iter().enumerate() {
+        let level = (PT_LEVELS - 1 - i as u64) as u32;
+        if table_pn >= params.nr_pages {
+            return Err(fault(level, FaultReason::BadFrame));
+        }
+        let entry_addr = map.ram_page_addr(table_pn) + ix;
+        entry = phys.read(entry_addr);
+        if entry & PTE_P == 0 {
+            return Err(fault(level, FaultReason::NotPresent));
+        }
+        if entry & PTE_U == 0 {
+            return Err(fault(level, FaultReason::NotUser));
+        }
+        let pfn = pte_pfn(entry);
+        if pfn < 0 || pfn as u64 >= params.nr_pfns() {
+            return Err(fault(level, FaultReason::BadFrame));
+        }
+        table_pn = pfn as u64;
+    }
+    // `table_pn` is now the leaf frame; `entry` the leaf PTE.
+    if access == AccessKind::Write && entry & PTE_W == 0 {
+        return Err(fault(0, FaultReason::NotWritable));
+    }
+    Ok(Translation {
+        pfn: table_pn,
+        phys_addr: map.pfn_addr(table_pn) + offset,
+        writable: entry & PTE_W != 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_abi::pte_encode;
+
+    fn setup() -> (PhysMem, MemoryMap) {
+        let params = KernelParams::verification();
+        let map = MemoryMap::new(params, 64);
+        let phys = PhysMem::new(map.total_words());
+        (phys, map)
+    }
+
+    /// Installs a 4-level mapping for `va` -> `leaf_pfn` using pages
+    /// 1, 2, 3 as intermediate tables and returns the root pn.
+    fn map_va(
+        phys: &mut PhysMem,
+        map: &MemoryMap,
+        va: VirtAddr,
+        leaf_pfn: u64,
+        leaf_perm: i64,
+    ) -> u64 {
+        let params = &map.params;
+        let (idx, _) = split_va(params, va).unwrap();
+        let tables = [0u64, 1, 2, 3]; // root is page 0
+        for lvl in 0..3 {
+            let addr = map.ram_page_addr(tables[lvl]) + idx[lvl];
+            phys.write(
+                addr,
+                pte_encode(tables[lvl + 1] as i64, hk_abi::PTE_P | hk_abi::PTE_W | PTE_U),
+            );
+        }
+        let addr = map.ram_page_addr(tables[3]) + idx[3];
+        phys.write(addr, pte_encode(leaf_pfn as i64, leaf_perm));
+        tables[0]
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let params = KernelParams::verification();
+        for va in [0u64, 1, 0x7fff, 0x1234, 0x7abc] {
+            let (idx, off) = split_va(&params, va).unwrap();
+            assert_eq!(join_va(&params, idx, off), va);
+        }
+        // 8-word pages: 15 translated bits; bit 15 makes it non-canonical.
+        assert!(split_va(&params, 1 << 15).is_none());
+    }
+
+    #[test]
+    fn walk_success() {
+        let (mut phys, map) = setup();
+        let va = join_va(&map.params, [1, 2, 3, 4], 5);
+        let root = map_va(&mut phys, &map, va, 9, PTE_P | PTE_W | PTE_U);
+        let t = walk(&phys, &map, root, va, AccessKind::Write).unwrap();
+        assert_eq!(t.pfn, 9);
+        assert_eq!(t.phys_addr, map.ram_page_addr(9) + 5);
+        assert!(t.writable);
+    }
+
+    #[test]
+    fn walk_not_present() {
+        let (phys, map) = setup();
+        let err = walk(&phys, &map, 0, 0, AccessKind::Read).unwrap_err();
+        assert_eq!(err.reason, FaultReason::NotPresent);
+        assert_eq!(err.level, 3);
+    }
+
+    #[test]
+    fn walk_write_to_readonly() {
+        let (mut phys, map) = setup();
+        let va = join_va(&map.params, [0, 0, 0, 1], 0);
+        let root = map_va(&mut phys, &map, va, 9, PTE_P | PTE_U);
+        assert!(walk(&phys, &map, root, va, AccessKind::Read).is_ok());
+        let err = walk(&phys, &map, root, va, AccessKind::Write).unwrap_err();
+        assert_eq!(err.reason, FaultReason::NotWritable);
+    }
+
+    #[test]
+    fn walk_supervisor_only() {
+        let (mut phys, map) = setup();
+        let va = join_va(&map.params, [0, 0, 0, 2], 0);
+        let root = map_va(&mut phys, &map, va, 9, PTE_P | PTE_W);
+        let err = walk(&phys, &map, root, va, AccessKind::Read).unwrap_err();
+        assert_eq!(err.reason, FaultReason::NotUser);
+        assert_eq!(err.level, 0);
+    }
+
+    #[test]
+    fn walk_dma_leaf_resolves() {
+        let (mut phys, map) = setup();
+        let params = map.params;
+        let dma_pfn = params.nr_pages + 1; // second DMA page
+        let va = join_va(&params, [0, 0, 0, 3], 2);
+        let root = map_va(&mut phys, &map, va, dma_pfn, PTE_P | PTE_W | PTE_U);
+        let t = walk(&phys, &map, root, va, AccessKind::Read).unwrap();
+        assert_eq!(t.pfn, dma_pfn);
+        assert_eq!(t.phys_addr, map.dma_page_addr(1) + 2);
+    }
+
+    #[test]
+    fn walk_bad_frame() {
+        let (mut phys, map) = setup();
+        let bogus = map.params.nr_pfns() + 5;
+        let va = join_va(&map.params, [0, 0, 0, 4], 0);
+        let root = map_va(&mut phys, &map, va, bogus, PTE_P | PTE_W | PTE_U);
+        let err = walk(&phys, &map, root, va, AccessKind::Read).unwrap_err();
+        assert_eq!(err.reason, FaultReason::BadFrame);
+    }
+}

@@ -1,0 +1,90 @@
+//! Word-addressed physical memory.
+//!
+//! Everything in this system is 64-bit-word granular: kernel globals,
+//! page-table entries, page contents, and DMA buffers are all words, so
+//! physical memory is simply a vector of `i64`.
+
+/// Physical memory.
+#[derive(Debug, Clone)]
+pub struct PhysMem {
+    words: Vec<i64>,
+}
+
+impl PhysMem {
+    /// Allocates `size_words` of zeroed physical memory.
+    pub fn new(size_words: u64) -> Self {
+        PhysMem {
+            words: vec![0; size_words as usize],
+        }
+    }
+
+    /// Size in words.
+    pub fn size(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    /// Reads one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range (a machine-check in real
+    /// hardware; unreachable from verified code).
+    pub fn read(&self, addr: u64) -> i64 {
+        self.words[addr as usize]
+    }
+
+    /// Writes one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: u64, val: i64) {
+        self.words[addr as usize] = val;
+    }
+
+    /// Reads a contiguous range.
+    pub fn read_range(&self, addr: u64, len: u64) -> &[i64] {
+        &self.words[addr as usize..(addr + len) as usize]
+    }
+
+    /// Fills a contiguous range with a value.
+    pub fn fill(&mut self, addr: u64, len: u64, val: i64) {
+        self.words[addr as usize..(addr + len) as usize].fill(val);
+    }
+
+    /// Copies `len` words from `src` to `dst` within physical memory.
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) {
+        self.words
+            .copy_within(src as usize..(src + len) as usize, dst as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = PhysMem::new(64);
+        m.write(10, -42);
+        assert_eq!(m.read(10), -42);
+        assert_eq!(m.read(11), 0);
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let mut m = PhysMem::new(64);
+        m.fill(0, 8, 7);
+        m.copy(16, 0, 8);
+        assert_eq!(m.read(16), 7);
+        assert_eq!(m.read(23), 7);
+        assert_eq!(m.read(24), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let m = PhysMem::new(8);
+        m.read(8);
+    }
+}

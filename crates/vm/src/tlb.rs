@@ -1,0 +1,127 @@
+//! A small translation lookaside buffer.
+//!
+//! The TLB caches virtual-page → frame translations per address space and
+//! is flushed on CR3 switches, which is where Hyperkernel pays for its
+//! separate kernel/user page tables. Hit/miss statistics feed the cycle
+//! model.
+
+use std::collections::HashMap;
+
+/// A TLB entry.
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    pfn: u64,
+    writable: bool,
+}
+
+/// The TLB.
+#[derive(Debug)]
+pub struct Tlb {
+    entries: HashMap<u64, TlbEntry>,
+    capacity: usize,
+    /// Number of lookups that hit.
+    pub hits: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+    /// Number of full flushes.
+    pub flushes: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given capacity (entries).
+    pub fn new(capacity: usize) -> Self {
+        Tlb {
+            entries: HashMap::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Looks up a virtual page. A write access through a read-only entry
+    /// is a miss (the walker must re-check permissions).
+    pub fn lookup(&mut self, vpage: u64, write: bool) -> Option<(u64, bool)> {
+        match self.entries.get(&vpage) {
+            Some(e) if !write || e.writable => {
+                self.hits += 1;
+                Some((e.pfn, e.writable))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a translation (evicting arbitrarily when full).
+    pub fn insert(&mut self, vpage: u64, pfn: u64, writable: bool) {
+        if self.entries.len() >= self.capacity {
+            // Cheap pseudo-random eviction: drop one arbitrary entry.
+            if let Some(&k) = self.entries.keys().next() {
+                self.entries.remove(&k);
+            }
+        }
+        self.entries.insert(vpage, TlbEntry { pfn, writable });
+    }
+
+    /// Flushes everything (CR3 reload).
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+        self.flushes += 1;
+    }
+
+    /// Flushes one virtual page (INVLPG).
+    pub fn flush_page(&mut self, vpage: u64) {
+        self.entries.remove(&vpage);
+    }
+
+    /// Current number of cached translations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no translations are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut t = Tlb::new(4);
+        assert_eq!(t.lookup(5, false), None);
+        t.insert(5, 42, false);
+        assert_eq!(t.lookup(5, false), Some((42, false)));
+        // Write through a read-only entry misses.
+        assert_eq!(t.lookup(5, true), None);
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.misses, 2);
+    }
+
+    #[test]
+    fn flush_clears() {
+        let mut t = Tlb::new(4);
+        t.insert(1, 10, true);
+        t.insert(2, 20, true);
+        t.flush_page(1);
+        assert_eq!(t.lookup(1, false), None);
+        assert_eq!(t.lookup(2, false), Some((20, true)));
+        t.flush_all();
+        assert!(t.is_empty());
+        assert_eq!(t.flushes, 1);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut t = Tlb::new(2);
+        t.insert(1, 1, true);
+        t.insert(2, 2, true);
+        t.insert(3, 3, true);
+        assert!(t.len() <= 2);
+    }
+}

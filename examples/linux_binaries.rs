@@ -1,0 +1,61 @@
+//! Linux user emulation (§4.3): run HXE "binaries" whose Linux system
+//! calls are serviced in-process — the Hyp-Linux configuration whose
+//! null-syscall cost Figure 10 reports as 136 cycles.
+//!
+//! ```sh
+//! cargo run --example linux_binaries
+//! ```
+
+use hyperkernel::abi::KernelParams;
+use hyperkernel::kernel::{GuestEnv, GuestProg, Poll, System};
+use hyperkernel::user::linuxemu::{HxeImage, LinuxEmu};
+use hyperkernel::user::ulib::{self, PageBudget};
+use hyperkernel::vm::CostModel;
+
+struct Launcher {
+    spawned: bool,
+}
+
+impl GuestProg for Launcher {
+    fn poll(&mut self, env: &mut GuestEnv) -> Poll {
+        if !self.spawned {
+            let mut budget: PageBudget = ulib::init_budget(env);
+            let images: Vec<(&str, HxeImage)> = vec![
+                ("hello", HxeImage::hello("hello from an emulated Linux binary\n")),
+                ("sum_loop(1000)", HxeImage::sum_loop(1000)),
+                ("gettid x32", HxeImage::gettid_loop(32)),
+                ("brk+touch", HxeImage::brk_touch(64)),
+            ];
+            for (i, (name, image)) in images.into_iter().enumerate() {
+                let pid = 2 + i as i64;
+                let child = ulib::spawn(env, &mut budget, pid, &[], 24).unwrap();
+                println!("[init] exec {name} as pid {pid}");
+                env.register_actor(pid, Box::new(LinuxEmu::new(image, child)));
+            }
+            self.spawned = true;
+        }
+        Poll::Pending
+    }
+}
+
+fn main() {
+    println!("== hyperkernel Linux emulation ==\n");
+    let mut system = System::boot(KernelParams::production(), CostModel::default_model());
+    system.set_init(Box::new(Launcher { spawned: false }));
+    system.run(100_000);
+    println!("\nconsole output:\n{}", system.console_text());
+    for pid in 2..=5u64 {
+        let state = system
+            .kernel
+            .read_global(&system.machine, "procs", pid, "state", 0);
+        println!(
+            "pid {pid}: state={}",
+            hyperkernel::abi::proc_state::name(state)
+        );
+    }
+    let inv = system
+        .kernel
+        .check_invariant(&mut system.machine)
+        .unwrap();
+    println!("\nkernel invariant after all binaries ran: {inv}");
+}

@@ -1,0 +1,68 @@
+//! # Hyperkernel, in Rust
+//!
+//! A from-scratch reproduction of *Hyperkernel: Push-Button Verification
+//! of an OS Kernel* (Nelson et al., SOSP 2017): a finite-interface OS
+//! kernel together with the entire toolchain that verifies it — an SMT
+//! solver, an LLVM-IR-like intermediate representation and symbolic
+//! executor, a C-like frontend, a machine substrate with virtualization
+//! and an IOMMU, the two-layer specification, the push-button verifier,
+//! the §5 checkers, and the user-space world (libc, journaling file
+//! system, TCP/IP, shell, HTTP, Linux emulation).
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a stable name.
+//!
+//! ## The ten-second tour
+//!
+//! ```
+//! use hyperkernel::abi::{KernelParams, Sysno};
+//! use hyperkernel::kernel::{boot::boot, Kernel};
+//! use hyperkernel::vm::CostModel;
+//!
+//! // Build the kernel (compiles the 50 HyperC trap handlers to HIR).
+//! let kernel = Kernel::new(KernelParams::verification()).unwrap();
+//! let mut machine = kernel.new_machine(CostModel::default_model());
+//! boot(&kernel, &mut machine);
+//!
+//! // The interface is finite: dup names *both* descriptors (§2.1).
+//! let r = kernel.trap(&mut machine, Sysno::Dup, &[0, 1]).unwrap();
+//! assert_eq!(r, -hyperkernel::abi::EBADF); // nothing open yet
+//! ```
+//!
+//! To *verify* a handler instead of merely running it:
+//!
+//! ```no_run
+//! use hyperkernel::verifier::{verify_all, VerifyConfig};
+//!
+//! let report = verify_all(&VerifyConfig::default());
+//! assert!(report.all_verified());
+//! println!("{}", report.summary());
+//! ```
+//!
+//! See the `examples/` directory for the full demos: `quickstart`,
+//! `verify_kernel`, `webserver`, and `linux_binaries`.
+
+/// Shared ABI: syscall numbers, errnos, parameters, PTE encoding.
+pub use hk_abi as abi;
+/// The §5 checkers: boot, stack, link.
+pub use hk_checkers as checkers;
+/// The HyperC compiler (C-analogue frontend).
+pub use hk_hcc as hcc;
+/// The LLVM-IR-like intermediate representation and interpreter.
+pub use hk_hir as hir;
+/// The kernel: HyperC handlers, image, boot, dispatch, system.
+pub use hk_kernel as kernel;
+/// The monolithic Unix-like baseline (Figure 10's "Linux").
+pub use hk_mono as mono;
+/// The SMT solver (Z3 stand-in).
+pub use hk_smt as smt;
+/// The two-layer specification.
+pub use hk_spec as spec;
+/// The symbolic executor.
+pub use hk_symx as symx;
+/// User space: libc, file system, network, shell, HTTP, Linux emulation.
+pub use hk_user as user;
+/// The push-button verifier (Theorems 1 and 2, test generation).
+pub use hk_core as verifier;
+/// The machine substrate (virtualization, paging, IOMMU, devices).
+pub use hk_vm as vm;
