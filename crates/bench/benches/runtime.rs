@@ -1,43 +1,43 @@
-//! Criterion benches over the Figure 10 runtime bodies: wall-clock time
+//! Timing benches over the Figure 10 runtime bodies: wall-clock time
 //! of the *simulation* (the cycle numbers themselves are printed by
-//! `fig10_runtime`). Keeping these under Criterion tracks regressions in
-//! the interpreter and machine substrate.
+//! `fig10_runtime`). Keeping these here tracks regressions in the
+//! interpreter and machine substrate; they run offline with no harness
+//! dependencies (`cargo bench -p hk-bench --bench runtime`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hk_abi::KernelParams;
-use hk_bench::{HkBench, MonoBench};
+use hk_bench::{bench_loop, HkBench, MonoBench};
 use hk_vm::CostModel;
 
-fn bench_runtime(c: &mut Criterion) {
+fn main() {
     let params = KernelParams::production();
     let cost = CostModel::default_model();
-    let mut group = c.benchmark_group("fig10");
-    group.sample_size(20);
+    println!("== fig10 runtime bodies ==");
     let mut hk = HkBench::new(params, cost, 16);
-    group.bench_function("hyperkernel_nop", |b| b.iter(|| hk.nop()));
-    group.bench_function("hyperkernel_fault", |b| b.iter(|| hk.fault_dispatch(0)));
-    group.bench_function("hyperkernel_appel1", |b| b.iter(|| hk.appel1_step(1)));
-    let mut mono = MonoBench::new(params, cost, 16);
-    group.bench_function("linux_nop", |b| b.iter(|| mono.nop()));
-    group.bench_function("linux_fault", |b| b.iter(|| mono.fault_dispatch()));
-    group.bench_function("linux_appel1", |b| b.iter(|| mono.appel1_step(1)));
-    group.finish();
-}
-
-fn bench_boot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("boot");
-    group.sample_size(10);
-    group.bench_function("kernel_compile_and_boot", |b| {
-        b.iter(|| {
-            let kernel =
-                hk_kernel::Kernel::new(KernelParams::verification()).expect("kernel");
-            let mut machine = kernel.new_machine(CostModel::default_model());
-            hk_kernel::boot::boot(&kernel, &mut machine);
-            machine.cycles.total
-        })
+    bench_loop("hyperkernel_nop", 200, || {
+        hk.nop();
     });
-    group.finish();
-}
+    bench_loop("hyperkernel_fault", 200, || {
+        hk.fault_dispatch(0);
+    });
+    bench_loop("hyperkernel_appel1", 50, || {
+        hk.appel1_step(1);
+    });
+    let mut mono = MonoBench::new(params, cost, 16);
+    bench_loop("linux_nop", 200, || {
+        mono.nop();
+    });
+    bench_loop("linux_fault", 200, || {
+        mono.fault_dispatch();
+    });
+    bench_loop("linux_appel1", 50, || {
+        mono.appel1_step(1);
+    });
 
-criterion_group!(benches, bench_runtime, bench_boot);
-criterion_main!(benches);
+    println!("== boot ==");
+    bench_loop("kernel_compile_and_boot", 5, || {
+        let kernel = hk_kernel::Kernel::new(KernelParams::verification()).expect("kernel");
+        let mut machine = kernel.new_machine(CostModel::default_model());
+        hk_kernel::boot::boot(&kernel, &mut machine);
+        std::hint::black_box(machine.cycles.total);
+    });
+}

@@ -1,7 +1,9 @@
-//! Criterion benches for the SMT substrate: SAT on structured instances
-//! and bit-blasting of the operators the kernel leans on.
+//! Timing benches for the SMT substrate: SAT on structured and random
+//! instances, and bit-blasting of the operators the kernel leans on.
+//! Runs offline with no harness dependencies
+//! (`cargo bench -p hk-bench --bench solver`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use hk_bench::{bench_loop, XorShift64};
 use hk_smt::{Ctx, SatResult, Solver, Sort};
 
 fn pigeonhole(n: i32) -> bool {
@@ -22,47 +24,64 @@ fn pigeonhole(n: i32) -> bool {
     matches!(s.solve(), hk_smt::sat::SatOutcome::Unsat)
 }
 
-fn bench_sat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat");
-    group.sample_size(10);
-    group.bench_function("pigeonhole_7", |b| b.iter(|| assert!(pigeonhole(7))));
-    group.finish();
+/// Random 3-CNF at the satisfiable side of the phase transition.
+fn random_3cnf(rng: &mut XorShift64, vars: u32, clauses: usize) {
+    let mut s = hk_smt::SatSolver::new();
+    s.reserve_vars(vars);
+    let mut ok = true;
+    for _ in 0..clauses {
+        let c: Vec<i32> = (0..3)
+            .map(|_| {
+                let v = rng.below(vars as u64) as i32 + 1;
+                if rng.chance(1, 2) {
+                    -v
+                } else {
+                    v
+                }
+            })
+            .collect();
+        if !s.add_clause(&c) {
+            ok = false;
+            break;
+        }
+    }
+    if ok {
+        std::hint::black_box(s.solve());
+    }
 }
 
-fn bench_bitblast(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bitblast");
-    group.sample_size(10);
-    group.bench_function("mul64_equation", |b| {
-        b.iter(|| {
-            let mut ctx = Ctx::new();
-            let x = ctx.var("x", Sort::Bv(64));
-            let c7 = ctx.bv_const(64, 7);
-            let p = ctx.bv_mul(x, c7);
-            let t = ctx.bv_const(64, 693);
-            let eq = ctx.eq(p, t);
-            let mut s = Solver::new();
-            s.assert(&mut ctx, eq);
-            assert!(matches!(s.check(&mut ctx), SatResult::Sat(_)));
-        })
+fn main() {
+    println!("== sat ==");
+    bench_loop("pigeonhole_7", 5, || assert!(pigeonhole(7)));
+    bench_loop("random_3cnf_60v_240c", 20, || {
+        let mut rng = XorShift64::new(42);
+        random_3cnf(&mut rng, 60, 240);
     });
-    group.bench_function("uf_congruence", |b| {
-        b.iter(|| {
-            let mut ctx = Ctx::new();
-            let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
-            let x = ctx.var("x", Sort::Bv(64));
-            let y = ctx.var("y", Sort::Bv(64));
-            let e = ctx.eq(x, y);
-            let fx = ctx.apply(f, &[x]);
-            let fy = ctx.apply(f, &[y]);
-            let ne = ctx.ne(fx, fy);
-            let mut s = Solver::new();
-            s.assert(&mut ctx, e);
-            s.assert(&mut ctx, ne);
-            assert!(s.check(&mut ctx).is_unsat());
-        })
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_sat, bench_bitblast);
-criterion_main!(benches);
+    println!("== bitblast ==");
+    bench_loop("mul64_equation", 5, || {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(64));
+        let c7 = ctx.bv_const(64, 7);
+        let p = ctx.bv_mul(x, c7);
+        let t = ctx.bv_const(64, 693);
+        let eq = ctx.eq(p, t);
+        let mut s = Solver::new();
+        s.assert(&mut ctx, eq);
+        assert!(matches!(s.check(&mut ctx), SatResult::Sat(_)));
+    });
+    bench_loop("uf_congruence", 20, || {
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let x = ctx.var("x", Sort::Bv(64));
+        let y = ctx.var("y", Sort::Bv(64));
+        let e = ctx.eq(x, y);
+        let fx = ctx.apply(f, &[x]);
+        let fy = ctx.apply(f, &[y]);
+        let ne = ctx.ne(fx, fy);
+        let mut s = Solver::new();
+        s.assert(&mut ctx, e);
+        s.assert(&mut ctx, ne);
+        assert!(s.check(&mut ctx).is_unsat());
+    });
+}

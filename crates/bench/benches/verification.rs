@@ -1,33 +1,57 @@
-//! Criterion bench for push-button verification itself: one fast
-//! handler end-to-end (symx + UB query + sliced refinement), tracking
-//! the §6.3 headline number's health over time.
+//! Timing bench for push-button verification itself: fast handlers
+//! end-to-end (symx + UB query + sliced refinement), tracking the §6.3
+//! headline number's health over time, plus the effect of the solver
+//! query cache on a re-verification pass.
+//! Runs offline (`cargo bench -p hk-bench --bench verification`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
 use hk_abi::{KernelParams, Sysno};
+use hk_bench::bench_loop;
 use hk_core::{verify_image, VerifyConfig};
 use hk_kernel::KernelImage;
+use hk_smt::QueryCache;
 
-fn bench_verify(c: &mut Criterion) {
+fn main() {
     let params = KernelParams::verification();
     let image = KernelImage::build(params).expect("kernel");
-    let mut group = c.benchmark_group("verify");
-    group.sample_size(10);
+    println!("== verify (cold, no cache) ==");
     for sysno in [Sysno::Nop, Sysno::AckIntr, Sysno::Dup] {
-        group.bench_function(sysno.func_name(), |b| {
-            b.iter(|| {
-                let config = VerifyConfig {
-                    params,
-                    threads: 1,
-                    only: vec![sysno],
-                    ..VerifyConfig::default()
-                };
-                let report = verify_image(&image, &config);
-                assert!(report.all_verified());
-            })
+        bench_loop(sysno.func_name(), 3, || {
+            let config = VerifyConfig {
+                params,
+                threads: 1,
+                only: vec![sysno],
+                ..VerifyConfig::default()
+            };
+            let report = verify_image(&image, &config);
+            assert!(report.all_verified());
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_verify);
-criterion_main!(benches);
+    println!("== verify (warm query cache) ==");
+    let cache = Arc::new(QueryCache::new(1 << 14));
+    for sysno in [Sysno::Nop, Sysno::AckIntr, Sysno::Dup] {
+        let mut config = VerifyConfig {
+            params,
+            threads: 1,
+            only: vec![sysno],
+            ..VerifyConfig::default()
+        };
+        config.solver.cache = Some(cache.clone());
+        // Prime the cache, then measure the cached re-verification.
+        let report = verify_image(&image, &config);
+        assert!(report.all_verified());
+        bench_loop(sysno.func_name(), 3, || {
+            let report = verify_image(&image, &config);
+            assert!(report.all_verified());
+        });
+    }
+    let stats = cache.stats();
+    println!(
+        "cache: {} hits, {} misses, {} entries",
+        stats.hits,
+        stats.misses,
+        cache.len()
+    );
+}

@@ -37,8 +37,9 @@ fn main() {
     // appel1 / appel2: per-100-pages totals, as the paper reports
     // (prot1/trap/unprot and protN/trap/unprot over the working set).
     let rounds = 100 / pages as u64 + 1;
-    let hk_a1 = avg(rounds, || (0..pages).map(|i| hk.appel1_step(i)).sum::<u64>())
-        * 100
+    let hk_a1 = avg(rounds, || {
+        (0..pages).map(|i| hk.appel1_step(i)).sum::<u64>()
+    }) * 100
         / pages as u64;
     let mono_a1 = avg(rounds, || {
         (0..pages).map(|i| mono.appel1_step(i)).sum::<u64>()

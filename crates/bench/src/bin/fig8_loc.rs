@@ -104,24 +104,14 @@ fn main() {
             "Rust",
             "804 (Python)",
         ),
-        (
-            "declarative spec",
-            declarative_spec,
-            "Rust",
-            "263 (Python)",
-        ),
+        ("declarative spec", declarative_spec, "Rust", "263 (Python)"),
         (
             "user-space implementation",
             user_space,
             "Rust",
             "10025 (C, asm)",
         ),
-        (
-            "verifier toolchain",
-            verifier,
-            "Rust",
-            "2878 (C++, Python)",
-        ),
+        ("verifier toolchain", verifier, "Rust", "2878 (C++, Python)"),
         ("machine substrate+checkers", substrate, "Rust", "n/a*"),
         ("evaluation harness", evaluation, "Rust", "n/a"),
     ];

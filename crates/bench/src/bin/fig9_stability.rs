@@ -72,10 +72,7 @@ fn main() {
                 ..SatConfig::default()
             },
         ),
-        (
-            "2017-07 (4.5.0-like)",
-            SatConfig::default(),
-        ),
+        ("2017-07 (4.5.0-like)", SatConfig::default()),
         (
             "aggressive decay",
             SatConfig {

@@ -52,7 +52,11 @@ fn preservation_query(
     )
 }
 
-fn satisfiable(params: KernelParams, shapes: &[hk_spec::GlobalShape], build: Builder) -> (bool, f64) {
+fn satisfiable(
+    params: KernelParams,
+    shapes: &[hk_spec::GlobalShape],
+    build: Builder,
+) -> (bool, f64) {
     let start = Instant::now();
     let mut ctx = Ctx::new();
     let mut st = SpecState::fresh(&mut ctx, shapes, params);

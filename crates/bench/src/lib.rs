@@ -1,6 +1,6 @@
 //! Shared plumbing for the evaluation harness: the runtime benchmark
-//! bodies (used by both the printable-table binaries and the Criterion
-//! benches) and little table-formatting helpers.
+//! bodies (used by both the printable-table binaries and the plain
+//! timing benches), a vendored PRNG, and table-formatting helpers.
 //!
 //! Every table and figure of the paper's §6 has a regenerator here:
 //!
@@ -18,6 +18,66 @@ use hk_abi::{KernelParams, Sysno, PTE_P, PTE_U, PTE_W};
 use hk_kernel::{boot::boot, Kernel};
 use hk_mono::MonoSys;
 use hk_vm::{CostModel, Machine};
+
+/// A tiny vendored xorshift64* PRNG, so the harness (and the randomized
+/// tests elsewhere in the workspace) need no external crates and run
+/// fully offline. Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a PRNG from a nonzero seed (zero is mapped away).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform value in `[lo, hi)` as i64; `lo < hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+
+    /// A coin flip with probability `num/den` of true.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Times `iters` runs of `f` and prints min/mean per-iteration wall
+/// clock — the offline stand-in for the Criterion harness.
+pub fn bench_loop<F: FnMut()>(label: &str, iters: u32, mut f: F) {
+    let mut best = std::time::Duration::MAX;
+    let total_start = std::time::Instant::now();
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    let mean = total_start.elapsed() / iters.max(1);
+    println!(
+        "{label:<28} {:>12} {:>12}   ({iters} iters)",
+        format!("min {:.3?}", best),
+        format!("mean {:.3?}", mean),
+    );
+}
 
 /// Prints a row of a paper-vs-measured table.
 pub fn row(label: &str, cols: &[String]) {

@@ -211,8 +211,7 @@ pub fn link_checker(kernel: &Kernel, machine: &Machine) -> CheckResult {
                     machine.map.pages_base()
                 ));
             }
-            let expect =
-                machine.map.params.nr_pages * machine.map.params.page_words;
+            let expect = machine.map.params.nr_pages * machine.map.params.page_words;
             if *len != expect {
                 errors.push(format!("pages symbol has {len} words, expected {expect}"));
             }
@@ -271,6 +270,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow tier: production-size boot is minutes in debug builds; run with --ignored"]
     fn checkers_pass_at_production_size() {
         let kernel = Kernel::new(KernelParams::production()).unwrap();
         let mut machine = kernel.new_machine(CostModel::default_model());

@@ -18,16 +18,26 @@ fn main() {
     let mut spec_post = st0.clone();
     let _sr = spec_transition(&mut ctx, &mut spec_post, sysno, &args);
     let impl_res = sym_exec(
-        &mut ctx, &image.module, image.handler(sysno), &args,
-        st0.clone(), &SymxConfig::default(),
-    ).unwrap();
+        &mut ctx,
+        &image.module,
+        image.handler(sysno),
+        &args,
+        st0.clone(),
+        &SymxConfig::default(),
+    )
+    .unwrap();
     let mut impl_state = impl_res.state.clone();
     for (g, f) in [("page_desc", "free_next"), ("freelist_head", "value")] {
-        let idx: Vec<TermId> = if g == "freelist_head" { vec![] } else { vec![ctx.i64_const(0)] };
+        let idx: Vec<TermId> = if g == "freelist_head" {
+            vec![]
+        } else {
+            vec![ctx.i64_const(0)]
+        };
         let s = spec_post.read(&mut ctx, g, f, &idx);
         let m = impl_state.read(&mut ctx, g, f, &idx);
         println!("=== {g}.{f}[0]: equal_termid={}", s == m);
-        let ds = ctx.display(s); let dm = ctx.display(m);
+        let ds = ctx.display(s);
+        let dm = ctx.display(m);
         println!("SPEC ({} chars): {}", ds.len(), &ds[..ds.len().min(600)]);
         println!("IMPL ({} chars): {}", dm.len(), &dm[..dm.len().min(600)]);
     }

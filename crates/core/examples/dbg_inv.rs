@@ -21,13 +21,21 @@ fn main() {
     let shapes = shapes_of(&image.module);
     let mut ctx = Ctx::new();
     let st0 = SpecState::fresh(&mut ctx, &shapes, params);
-    let r = sym_exec(&mut ctx, &image.module, image.rep_invariant, &[], st0, &SymxConfig::default()).unwrap();
+    let r = sym_exec(
+        &mut ctx,
+        &image.module,
+        image.rep_invariant,
+        &[],
+        st0,
+        &SymxConfig::default(),
+    )
+    .unwrap();
     let ret = r.paths[0].ret;
     let mut leaves = Vec::new();
     spine(&ctx, ret, &mut leaves);
     println!("spine leaves: {}", leaves.len());
     for (i, &l) in leaves.iter().enumerate() {
-        let is01 = ctx.as_bool01(l).is_some() || ctx.const_value(l).map_or(false, |v| v <= 1);
+        let is01 = ctx.as_bool01(l).is_some() || ctx.const_value(l).is_some_and(|v| v <= 1);
         if !is01 {
             let d = ctx.display(l);
             println!("leaf {} NOT bool01: {}", i, &d[..d.len().min(500)]);

@@ -1,17 +1,31 @@
 //! Orchestration: verify all 50 handlers, optionally in parallel.
 //!
 //! Matches the paper's workflow (§6.3): one solver instance per handler,
-//! embarrassingly parallel across cores.
+//! embarrassingly parallel across cores. Both paths report through the
+//! configured [`EventSink`] — the parallel path buffers finished
+//! handlers and emits in submission order, so the event stream is
+//! byte-identical regardless of thread count.
+//!
+//! Every run shares one content-addressed verification-condition cache
+//! (a per-run cache is created when the configuration does not supply
+//! one), so re-verifying an unchanged kernel image answers most queries
+//! without touching the SAT solver.
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hk_abi::{KernelParams, Sysno};
 use hk_kernel::KernelImage;
-use hk_smt::SolverConfig;
+use hk_smt::{CacheStats, QueryCache, SolverConfig};
 use hk_spec::shapes_of;
 use hk_symx::SymxConfig;
 
-use crate::refine::{verify_handler, HandlerReport, VerifyCtx};
+use crate::event::{EventSink, VerifyEvent};
+use crate::refine::{verify_handler, HandlerOutcome, HandlerReport, VerifyCtx};
+
+/// Default capacity of the per-run verification-condition cache.
+const DEFAULT_CACHE_CAPACITY: usize = 1 << 14;
 
 /// Verification configuration.
 #[derive(Debug, Clone)]
@@ -20,12 +34,20 @@ pub struct VerifyConfig {
     pub params: KernelParams,
     /// Worker threads (1 = sequential).
     pub threads: usize,
-    /// Solver configuration.
+    /// Solver configuration. If `solver.cache` is `None`, `verify_image`
+    /// installs a fresh per-run cache so refinement batches within one
+    /// run can still share verdicts.
     pub solver: SolverConfig,
     /// Symbolic execution configuration.
     pub symx: SymxConfig,
     /// Restrict to these handlers (empty = all 50).
     pub only: Vec<Sysno>,
+    /// Progress events (defaults to one line per handler on stderr).
+    pub events: EventSink,
+    /// If set, the query cache is loaded from this file before the run
+    /// and saved back afterwards, making verdicts persist across
+    /// processes. Missing or corrupt snapshots are ignored.
+    pub cache_snapshot: Option<PathBuf>,
 }
 
 impl Default for VerifyConfig {
@@ -38,6 +60,8 @@ impl Default for VerifyConfig {
             solver: SolverConfig::default(),
             symx: SymxConfig::default(),
             only: Vec::new(),
+            events: EventSink::stderr(),
+            cache_snapshot: None,
         }
     }
 }
@@ -49,6 +73,11 @@ pub struct VerifyReport {
     pub handlers: Vec<HandlerReport>,
     /// Total wall-clock time.
     pub total_time: Duration,
+    /// Query-cache counters at the end of the run (lifetime totals of
+    /// the cache object, which may span several runs).
+    pub cache: CacheStats,
+    /// Entries resident in the cache at the end of the run.
+    pub cache_entries: usize,
 }
 
 impl VerifyReport {
@@ -57,31 +86,54 @@ impl VerifyReport {
         self.handlers.iter().all(|h| h.outcome.is_verified())
     }
 
+    /// Solver queries answered from the cache *during this run*.
+    pub fn cache_hits(&self) -> u64 {
+        self.handlers.iter().map(|h| h.phases.cache_hits).sum()
+    }
+
+    /// Solver queries that missed the cache *during this run*.
+    pub fn cache_misses(&self) -> u64 {
+        self.handlers.iter().map(|h| h.phases.cache_misses).sum()
+    }
+
+    /// Cache hit rate over this run's queries (0.0 when no queries ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits();
+        let total = hits + self.cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
     /// A rendered summary table.
     pub fn summary(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>8} {:>7} {:>9} {:>10} {:>9}",
-            "handler", "verdict", "paths", "checks", "clauses", "time"
+            "{:<24} {:>8} {:>7} {:>9} {:>10} {:>9} {:>9}",
+            "handler", "verdict", "paths", "checks", "clauses", "cached", "time"
         );
         for h in &self.handlers {
             let verdict = match &h.outcome {
-                crate::refine::HandlerOutcome::Verified => "ok",
-                crate::refine::HandlerOutcome::UbBug { .. } => "UB!",
-                crate::refine::HandlerOutcome::RefinementBug { .. } => "BUG!",
-                crate::refine::HandlerOutcome::SymxFailed(_) => "symx!",
-                crate::refine::HandlerOutcome::Unknown => "?",
+                HandlerOutcome::Verified => "ok",
+                HandlerOutcome::UbBug { .. } => "UB!",
+                HandlerOutcome::RefinementBug { .. } => "BUG!",
+                HandlerOutcome::SymxFailed(_) => "symx!",
+                HandlerOutcome::Unknown => "?",
             };
             let _ = writeln!(
                 out,
-                "{:<24} {:>8} {:>7} {:>9} {:>10} {:>8.2}s",
+                "{:<24} {:>8} {:>7} {:>9} {:>10} {:>4}/{:<4} {:>8.2}s",
                 h.sysno.func_name(),
                 verdict,
                 h.paths,
                 h.side_checks,
                 h.cnf_clauses,
+                h.phases.cache_hits,
+                h.phases.queries,
                 h.time.as_secs_f64()
             );
         }
@@ -95,8 +147,132 @@ impl VerifyReport {
                 .count(),
             self.handlers.len()
         );
+        let _ = writeln!(
+            out,
+            "cache: {} hits / {} misses this run ({:.0}% hit rate), {} entries resident",
+            self.cache_hits(),
+            self.cache_misses(),
+            self.cache_hit_rate() * 100.0,
+            self.cache_entries
+        );
         out
     }
+
+    /// The report as a JSON document (machine-readable counterpart of
+    /// [`VerifyReport::summary`]).
+    ///
+    /// Layout:
+    ///
+    /// ```json
+    /// {
+    ///   "total_time_s": 1.5,
+    ///   "verified": 50, "total": 50,
+    ///   "cache": { "hits": 120, "misses": 8, "hit_rate": 0.9375, "entries": 128 },
+    ///   "handlers": [
+    ///     { "name": "sys_dup", "trap": 23, "verdict": "verified", "detail": null,
+    ///       "paths": 4, "side_checks": 9, "cnf_clauses": 1042, "conflicts": 3,
+    ///       "time_s": 0.2,
+    ///       "phases": { "symx_s": 0.1, "encode_s": 0.05, "ack_s": 0.01,
+    ///                   "bitblast_s": 0.04, "solve_s": 0.05, "queries": 6,
+    ///                   "cache_hits": 5, "cache_misses": 1 } }
+    ///   ]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"total_time_s\": {:.6},",
+            self.total_time.as_secs_f64()
+        );
+        let _ = writeln!(
+            out,
+            "  \"verified\": {},",
+            self.handlers
+                .iter()
+                .filter(|h| h.outcome.is_verified())
+                .count()
+        );
+        let _ = writeln!(out, "  \"total\": {},", self.handlers.len());
+        let _ = writeln!(
+            out,
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"entries\": {} }},",
+            self.cache_hits(),
+            self.cache_misses(),
+            self.cache_hit_rate(),
+            self.cache_entries
+        );
+        out.push_str("  \"handlers\": [\n");
+        for (i, h) in self.handlers.iter().enumerate() {
+            let (verdict, detail) = match &h.outcome {
+                HandlerOutcome::Verified => ("verified", None),
+                HandlerOutcome::UbBug { kind, .. } => ("ub_bug", Some(kind.as_str())),
+                HandlerOutcome::RefinementBug { detail, .. } => {
+                    ("refinement_bug", Some(detail.as_str()))
+                }
+                HandlerOutcome::SymxFailed(e) => ("symx_failed", Some(e.as_str())),
+                HandlerOutcome::Unknown => ("unknown", None),
+            };
+            let detail_json = match detail {
+                Some(d) => format!("\"{}\"", json_escape(d)),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "    {{ \"name\": \"{}\", \"trap\": {}, \"verdict\": \"{}\", \"detail\": {}, \
+                 \"paths\": {}, \"side_checks\": {}, \"cnf_clauses\": {}, \"conflicts\": {}, \
+                 \"time_s\": {:.6}, \"phases\": {{ \"symx_s\": {:.6}, \"encode_s\": {:.6}, \
+                 \"ack_s\": {:.6}, \"bitblast_s\": {:.6}, \"solve_s\": {:.6}, \"queries\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {} }} }}",
+                json_escape(h.sysno.func_name()),
+                h.sysno.number(),
+                verdict,
+                detail_json,
+                h.paths,
+                h.side_checks,
+                h.cnf_clauses,
+                h.conflicts,
+                h.time.as_secs_f64(),
+                h.phases.symx_time.as_secs_f64(),
+                h.phases.encode_time.as_secs_f64(),
+                h.phases.ack_time.as_secs_f64(),
+                h.phases.bitblast_time.as_secs_f64(),
+                h.phases.solve_time.as_secs_f64(),
+                h.phases.queries,
+                h.phases.cache_hits,
+                h.phases.cache_misses
+            );
+            out.push_str(if i + 1 < self.handlers.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Verifies the kernel (Theorem 1 for every selected handler).
@@ -110,6 +286,19 @@ pub fn verify_all(config: &VerifyConfig) -> VerifyReport {
     verify_image(&image, config)
 }
 
+fn emit_finished(events: &EventSink, index: usize, total: usize, report: &HandlerReport) {
+    events.emit(&VerifyEvent::HandlerFinished {
+        sysno: report.sysno,
+        index,
+        total,
+        verdict: report.verdict(),
+        time: report.time,
+        paths: report.paths,
+        side_checks: report.side_checks,
+        phases: report.phases,
+    });
+}
+
 /// Verifies an explicit (possibly deliberately broken) kernel image —
 /// the entry point the bug-injection experiments use.
 pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport {
@@ -120,6 +309,21 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
     } else {
         config.only.clone()
     };
+    // Every handler in the run shares one cache; if the caller did not
+    // provide a long-lived one, a per-run cache still lets refinement
+    // batches reuse each other's verdicts.
+    let mut solver_config = config.solver.clone();
+    let cache = match &solver_config.cache {
+        Some(c) => c.clone(),
+        None => {
+            let c = Arc::new(QueryCache::new(DEFAULT_CACHE_CAPACITY));
+            solver_config.cache = Some(c.clone());
+            c
+        }
+    };
+    if let Some(path) = &config.cache_snapshot {
+        let _ = cache.load_snapshot(path);
+    }
     let handler_fn = |s: Sysno| image.handler(s);
     let vctx = VerifyCtx {
         module: &image.module,
@@ -127,52 +331,93 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
         params: config.params,
         handler: &handler_fn,
         rep_invariant: image.rep_invariant,
-        solver: config.solver.clone(),
+        solver: solver_config,
         symx: config.symx,
     };
+    let total = targets.len();
+    let events = &config.events;
+    events.emit(&VerifyEvent::RunStarted {
+        total,
+        threads: config.threads.max(1),
+    });
     let mut handlers: Vec<HandlerReport> = if config.threads <= 1 {
         targets
             .iter()
-            .map(|&s| {
+            .enumerate()
+            .map(|(i, &s)| {
+                events.emit(&VerifyEvent::HandlerStarted {
+                    sysno: s,
+                    index: i,
+                    total,
+                });
                 let r = verify_handler(&vctx, s);
-                eprintln!(
-                    "[verify] {:<24} {:<10} {:>6.1}s ({} paths, {} checks)",
-                    s.func_name(),
-                    match &r.outcome {
-                        crate::refine::HandlerOutcome::Verified => "ok",
-                        crate::refine::HandlerOutcome::UbBug { .. } => "UB-BUG",
-                        crate::refine::HandlerOutcome::RefinementBug { .. } => "REFINE-BUG",
-                        crate::refine::HandlerOutcome::SymxFailed(_) => "SYMX-FAIL",
-                        crate::refine::HandlerOutcome::Unknown => "UNKNOWN",
-                    },
-                    r.time.as_secs_f64(),
-                    r.paths,
-                    r.side_checks
-                );
+                emit_finished(events, i, total, &r);
                 r
             })
             .collect()
     } else {
         // Work-stealing via an atomic index over the target list.
+        // Finished reports land in per-index slots; whichever worker
+        // completes the next-in-order slot drains it (and any ready
+        // successors) while holding the lock, so events appear in
+        // exactly the sequential order.
+        struct Drain {
+            slots: Vec<Option<HandlerReport>>,
+            emitted: Vec<HandlerReport>,
+            next_emit: usize,
+        }
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = std::sync::Mutex::new(Vec::new());
+        let drain = std::sync::Mutex::new(Drain {
+            slots: (0..total).map(|_| None).collect(),
+            emitted: Vec::with_capacity(total),
+            next_emit: 0,
+        });
         std::thread::scope(|scope| {
-            for _ in 0..config.threads.min(targets.len()) {
+            for _ in 0..config.threads.min(total) {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                    if i >= targets.len() {
+                    if i >= total {
                         break;
                     }
                     let report = verify_handler(&vctx, targets[i]);
-                    results.lock().unwrap().push(report);
+                    let mut d = drain.lock().unwrap();
+                    d.slots[i] = Some(report);
+                    while d.next_emit < total {
+                        let idx = d.next_emit;
+                        let Some(r) = d.slots[idx].take() else { break };
+                        events.emit(&VerifyEvent::HandlerStarted {
+                            sysno: r.sysno,
+                            index: idx,
+                            total,
+                        });
+                        emit_finished(events, idx, total, &r);
+                        d.emitted.push(r);
+                        d.next_emit += 1;
+                    }
                 });
             }
         });
-        results.into_inner().unwrap()
+        drain.into_inner().unwrap().emitted
     };
     handlers.sort_by_key(|h| h.sysno.number());
-    VerifyReport {
+    if let Some(path) = &config.cache_snapshot {
+        let _ = cache.save_snapshot(path);
+    }
+    let report = VerifyReport {
         handlers,
         total_time: start.elapsed(),
-    }
+        cache: cache.stats(),
+        cache_entries: cache.len(),
+    };
+    events.emit(&VerifyEvent::RunFinished {
+        verified: report
+            .handlers
+            .iter()
+            .filter(|h| h.outcome.is_verified())
+            .count(),
+        total,
+        total_time: report.total_time,
+        cache: report.cache,
+    });
+    report
 }

@@ -1,0 +1,190 @@
+//! Verification progress events.
+//!
+//! Both driver paths (sequential and parallel) report progress through a
+//! single [`EventSink`] rather than ad-hoc `eprintln!` calls, so front
+//! ends — the CLI example, tests, future TUIs — observe the exact same
+//! stream regardless of thread count. The parallel path buffers finished
+//! handlers and emits their events in submission order, so a run with
+//! `threads = 8` produces an event stream identical to `threads = 1`.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hk_abi::Sysno;
+use hk_smt::CacheStats;
+
+/// Per-handler phase timing and solver-cache counters, accumulated over
+/// every solver query the handler issues (UB query + refinement
+/// batches).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStats {
+    /// Symbolic execution (handler body + both invariant evaluations).
+    pub symx_time: Duration,
+    /// Term-to-CNF encoding (Ackermann reduction + Tseitin bit-blast).
+    pub encode_time: Duration,
+    /// Ackermann reduction share of `encode_time`.
+    pub ack_time: Duration,
+    /// Bit-blasting share of `encode_time`.
+    pub bitblast_time: Duration,
+    /// CDCL search.
+    pub solve_time: Duration,
+    /// Solver queries issued.
+    pub queries: u64,
+    /// Queries answered from the verification-condition cache.
+    pub cache_hits: u64,
+    /// Queries that had to be solved.
+    pub cache_misses: u64,
+}
+
+impl PhaseStats {
+    /// Folds one solver run's statistics into the accumulator.
+    pub fn absorb(&mut self, stats: &hk_smt::SolverStats) {
+        self.encode_time += stats.encode_time;
+        self.ack_time += stats.ack_time;
+        self.bitblast_time += stats.bitblast_time;
+        self.solve_time += stats.solve_time;
+        self.queries += 1;
+        self.cache_hits += stats.cache_hits;
+        self.cache_misses += stats.cache_misses;
+    }
+}
+
+/// One progress event from a verification run.
+///
+/// Events carry owned, cheap-to-clone data so sinks can forward them
+/// across threads or serialize them without borrowing the run state.
+#[derive(Debug, Clone)]
+pub enum VerifyEvent {
+    /// The run has started.
+    RunStarted {
+        /// Handlers selected for verification.
+        total: usize,
+        /// Worker threads.
+        threads: usize,
+    },
+    /// A handler's verification has started (in the parallel path this
+    /// is emitted in submission order, paired with its `HandlerFinished`).
+    HandlerStarted {
+        /// The handler.
+        sysno: Sysno,
+        /// Position in the run, `0..total`.
+        index: usize,
+        /// Handlers selected for verification.
+        total: usize,
+    },
+    /// A handler's verification has finished.
+    HandlerFinished {
+        /// The handler.
+        sysno: Sysno,
+        /// Position in the run, `0..total`.
+        index: usize,
+        /// Handlers selected for verification.
+        total: usize,
+        /// Short verdict mnemonic (`ok`, `UB-BUG`, `REFINE-BUG`,
+        /// `SYMX-FAIL`, `UNKNOWN`).
+        verdict: &'static str,
+        /// Wall-clock time for the handler.
+        time: Duration,
+        /// Execution paths explored.
+        paths: usize,
+        /// UB side checks discharged.
+        side_checks: usize,
+        /// Phase timings and cache counters.
+        phases: PhaseStats,
+    },
+    /// The run has finished.
+    RunFinished {
+        /// Handlers that verified.
+        verified: usize,
+        /// Handlers selected for verification.
+        total: usize,
+        /// Total wall-clock time.
+        total_time: Duration,
+        /// Query-cache statistics at the end of the run.
+        cache: CacheStats,
+    },
+}
+
+type SinkFn = dyn Fn(&VerifyEvent) + Send + Sync;
+
+/// Where verification progress goes.
+///
+/// Cloning is cheap (an `Arc`). The default sink discards events; use
+/// [`EventSink::stderr`] for the classic one-line-per-handler progress
+/// log, or [`EventSink::new`] to capture events programmatically.
+#[derive(Clone, Default)]
+pub struct EventSink(Option<Arc<SinkFn>>);
+
+impl EventSink {
+    /// A sink that invokes `f` for every event. `f` may be called from
+    /// worker threads, but never concurrently for events of one run.
+    pub fn new(f: impl Fn(&VerifyEvent) + Send + Sync + 'static) -> Self {
+        EventSink(Some(Arc::new(f)))
+    }
+
+    /// A sink that discards all events.
+    pub fn null() -> Self {
+        EventSink(None)
+    }
+
+    /// A sink that logs one line per handler to stderr.
+    pub fn stderr() -> Self {
+        EventSink::new(|ev| match ev {
+            VerifyEvent::RunStarted { total, threads } => {
+                eprintln!("[verify] {total} handlers on {threads} thread(s)");
+            }
+            VerifyEvent::HandlerStarted { .. } => {}
+            VerifyEvent::HandlerFinished {
+                sysno,
+                verdict,
+                time,
+                paths,
+                side_checks,
+                phases,
+                ..
+            } => {
+                eprintln!(
+                    "[verify] {:<24} {:<10} {:>6.1}s ({} paths, {} checks, {}/{} cached)",
+                    sysno.func_name(),
+                    verdict,
+                    time.as_secs_f64(),
+                    paths,
+                    side_checks,
+                    phases.cache_hits,
+                    phases.queries
+                );
+            }
+            VerifyEvent::RunFinished {
+                verified,
+                total,
+                total_time,
+                cache,
+            } => {
+                eprintln!(
+                    "[verify] done in {:.1}s: {verified}/{total} verified, cache {} hits / {} misses",
+                    total_time.as_secs_f64(),
+                    cache.hits,
+                    cache.misses
+                );
+            }
+        })
+    }
+
+    /// Emits one event (no-op for the null sink).
+    pub fn emit(&self, ev: &VerifyEvent) {
+        if let Some(f) = &self.0 {
+            f(ev);
+        }
+    }
+}
+
+impl fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "EventSink(..)"
+        } else {
+            "EventSink(null)"
+        })
+    }
+}

@@ -19,11 +19,13 @@
 //! paper reports 15 minutes on 8 cores vs 45 single-core).
 
 pub mod driver;
+pub mod event;
 pub mod refine;
 pub mod testgen;
 pub mod xcut;
 
 pub use driver::{verify_all, verify_image, VerifyConfig, VerifyReport};
+pub use event::{EventSink, PhaseStats, VerifyEvent};
 pub use refine::{verify_handler, HandlerOutcome, HandlerReport};
 pub use testgen::TestCase;
 pub use xcut::{check_property, PropertyOutcome, PropertyReport};

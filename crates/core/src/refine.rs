@@ -22,6 +22,7 @@ use hk_smt::{Ctx, SatResult, Solver, SolverConfig, Sort, TermId};
 use hk_spec::{spec_transition, SpecState};
 use hk_symx::{sym_exec, SymxConfig};
 
+use crate::event::PhaseStats;
 use crate::testgen::TestCase;
 
 /// Outcome of verifying one handler.
@@ -74,6 +75,21 @@ pub struct HandlerReport {
     pub cnf_clauses: usize,
     /// SAT conflicts of the refinement query.
     pub conflicts: u64,
+    /// Per-phase timings and query-cache counters.
+    pub phases: PhaseStats,
+}
+
+impl HandlerReport {
+    /// Short verdict mnemonic for progress lines and tables.
+    pub fn verdict(&self) -> &'static str {
+        match &self.outcome {
+            HandlerOutcome::Verified => "ok",
+            HandlerOutcome::UbBug { .. } => "UB-BUG",
+            HandlerOutcome::RefinementBug { .. } => "REFINE-BUG",
+            HandlerOutcome::SymxFailed(_) => "SYMX-FAIL",
+            HandlerOutcome::Unknown => "UNKNOWN",
+        }
+    }
 }
 
 /// Everything needed to verify handlers, borrowed from the kernel image.
@@ -133,15 +149,18 @@ fn trace() -> bool {
 /// queries.
 pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
     let start = Instant::now();
+    let mut phases = PhaseStats::default();
     let mut ctx = Ctx::new();
     let st0 = SpecState::fresh(&mut ctx, vctx.shapes, vctx.params);
     let args: Vec<TermId> = (0..sysno.arg_count())
         .map(|i| ctx.var(format!("arg{i}"), Sort::Bv(64)))
         .collect();
     // Precondition: the representation invariant holds.
+    let symx_start = Instant::now();
     let i_pre = match invariant_term(&mut ctx, vctx, &st0) {
         Ok(t) => t,
         Err(e) => {
+            phases.symx_time += symx_start.elapsed();
             return HandlerReport {
                 sysno,
                 outcome: HandlerOutcome::SymxFailed(e),
@@ -150,7 +169,8 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
                 time: start.elapsed(),
                 cnf_clauses: 0,
                 conflicts: 0,
-            }
+                phases,
+            };
         }
     };
     // Specification transition.
@@ -167,6 +187,7 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
     ) {
         Ok(r) => r,
         Err(e) => {
+            phases.symx_time += symx_start.elapsed();
             return HandlerReport {
                 sysno,
                 outcome: HandlerOutcome::SymxFailed(e.to_string()),
@@ -175,9 +196,11 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
                 time: start.elapsed(),
                 cnf_clauses: 0,
                 conflicts: 0,
-            }
+                phases,
+            };
         }
     };
+    phases.symx_time += symx_start.elapsed();
     let n_paths = impl_res.paths.len();
     let n_checks = impl_res.side_checks.len();
     let mut impl_state = impl_res.state.clone();
@@ -206,6 +229,7 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
             );
         }
         let ub_result = solver.check(&mut ctx);
+        phases.absorb(&solver.stats);
         if trace() {
             eprintln!(
                 "[{}] UB query done at {:.1}s: encode {:.1}s solve {:.1}s, {} clauses, {} conflicts",
@@ -238,6 +262,7 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
                     time: start.elapsed(),
                     cnf_clauses: solver.stats.cnf_clauses,
                     conflicts: solver.stats.conflicts,
+                    phases,
                 };
             }
             SatResult::Unknown => {
@@ -249,6 +274,7 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
                     time: start.elapsed(),
                     cnf_clauses: solver.stats.cnf_clauses,
                     conflicts: solver.stats.conflicts,
+                    phases,
                 };
             }
             SatResult::Unsat => {}
@@ -265,8 +291,7 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
     let mut probes: Vec<(String, TermId)> = Vec::new();
     let mut cell_eqs: Vec<TermId> = Vec::new();
     for (g, f, idx) in &cells {
-        let idx_terms: Vec<TermId> =
-            idx.iter().map(|&v| ctx.i64_const(v as i64)).collect();
+        let idx_terms: Vec<TermId> = idx.iter().map(|&v| ctx.i64_const(v as i64)).collect();
         let s = spec_post.read(&mut ctx, g, f, &idx_terms);
         let m = impl_state.read(&mut ctx, g, f, &idx_terms);
         let eq = ctx.eq(s, m);
@@ -275,9 +300,11 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
             cell_eqs.push(eq);
         }
     }
+    let symx_start = Instant::now();
     let i_post = match invariant_term(&mut ctx, vctx, &impl_state) {
         Ok(t) => t,
         Err(e) => {
+            phases.symx_time += symx_start.elapsed();
             return HandlerReport {
                 sysno,
                 outcome: HandlerOutcome::SymxFailed(e),
@@ -286,9 +313,11 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
                 time: start.elapsed(),
                 cnf_clauses: 0,
                 conflicts: 0,
-            }
+                phases,
+            };
         }
     };
+    phases.symx_time += symx_start.elapsed();
     // Return value and invariant preservation get their own queries
     // (they are the structurally hardest obligations). The invariant is
     // a conjunction of several hundred independent bound checks; they
@@ -335,6 +364,7 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
             eprintln!("[{}] batch {} probes: {:?}", sysno.func_name(), bi, names);
         }
         let result = solver.check(&mut ctx);
+        phases.absorb(&solver.stats);
         total_clauses = total_clauses.max(solver.stats.cnf_clauses);
         total_conflicts += solver.stats.conflicts;
         if trace() {
@@ -377,5 +407,6 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
         time: start.elapsed(),
         cnf_clauses: total_clauses,
         conflicts: total_conflicts,
+        phases,
     }
 }

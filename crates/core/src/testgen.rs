@@ -38,16 +38,10 @@ impl TestCase {
         let mut cells = Vec::new();
         for (g, f, idx) in st.all_cells() {
             let interp = model.func_interp(st.map(&g, &f).base);
-            let val = interp
-                .map(|fi| fi.get(&idx) as i64)
-                .unwrap_or(0);
+            let val = interp.map(|fi| fi.get(&idx) as i64).unwrap_or(0);
             cells.push((g, f, idx, val));
         }
-        TestCase {
-            sysno,
-            args,
-            cells,
-        }
+        TestCase { sysno, args, cells }
     }
 
     /// Renders the minimized state: arguments plus only the cells whose
@@ -86,14 +80,10 @@ impl TestCase {
             };
             kernel.write_global(&mut machine, g, i, f, s, *val);
         }
-        let pre_invariant = kernel
-            .check_invariant(&mut machine)
-            .unwrap_or(false);
+        let pre_invariant = kernel.check_invariant(&mut machine).unwrap_or(false);
         match kernel.trap(&mut machine, self.sysno, &self.args) {
             Ok(ret) => {
-                let post_invariant = kernel
-                    .check_invariant(&mut machine)
-                    .unwrap_or(false);
+                let post_invariant = kernel.check_invariant(&mut machine).unwrap_or(false);
                 ReplayResult::Ran {
                     ret,
                     pre_invariant,

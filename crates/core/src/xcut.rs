@@ -101,10 +101,7 @@ pub fn check_transition_with(
                 .map(|(n, _)| n.clone())
                 .collect();
             let tc = crate::testgen::TestCase::from_model(&ctx, &model, &st0, sysno, &args);
-            (
-                PropertyOutcome::Violated(tc.display_minimized()),
-                violated,
-            )
+            (PropertyOutcome::Violated(tc.display_minimized()), violated)
         }
     };
     PropertyReport {

@@ -147,8 +147,9 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '0'..='9' => {
                 let start = i;
-                let value: i64;
-                if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X')
+                let value: i64 = if c == '0'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X')
                 {
                     i += 2;
                     let hs = i;
@@ -161,19 +162,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                             msg: "empty hex literal".into(),
                         });
                     }
-                    value = u64::from_str_radix(&src[hs..i], 16).map_err(|e| LexError {
+                    u64::from_str_radix(&src[hs..i], 16).map_err(|e| LexError {
                         line,
                         msg: format!("bad hex literal: {e}"),
-                    })? as i64;
+                    })? as i64
                 } else {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
                     }
-                    value = src[start..i].parse().map_err(|e| LexError {
+                    src[start..i].parse().map_err(|e| LexError {
                         line,
                         msg: format!("bad integer literal: {e}"),
-                    })?;
-                }
+                    })?
+                };
                 out.push(Token {
                     tok: Tok::Int(value),
                     line,
@@ -181,9 +182,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];

@@ -112,10 +112,7 @@ impl<'m> Compiler<'m> {
             loops: Vec::new(),
         };
         for (i, p) in def.params.iter().enumerate() {
-            if lo.scopes[0]
-                .insert(p.clone(), Reg(i as u32))
-                .is_some()
-            {
+            if lo.scopes[0].insert(p.clone(), Reg(i as u32)).is_some() {
                 return Err(CompileError {
                     line: def.line,
                     msg: format!("duplicate parameter `{p}`"),
@@ -198,10 +195,8 @@ impl FuncLower<'_, '_> {
                         } else if let Some(gep) = self.scalar_global(name) {
                             self.fb.store(gep, v);
                         } else {
-                            return self.err(
-                                s.line,
-                                format!("assignment to unknown variable `{name}`"),
-                            );
+                            return self
+                                .err(s.line, format!("assignment to unknown variable `{name}`"));
                         }
                     }
                     LValue::Global { .. } => {
@@ -458,10 +453,7 @@ impl FuncLower<'_, '_> {
                 if args.len() != expected {
                     return self.err(
                         e.line,
-                        format!(
-                            "`{name}` expects {expected} arguments, got {}",
-                            args.len()
-                        ),
+                        format!("`{name}` expects {expected} arguments, got {}", args.len()),
                     );
                 }
                 let mut ops = Vec::with_capacity(args.len());
@@ -512,12 +504,7 @@ impl FuncLower<'_, '_> {
         }))
     }
 
-    fn short_circuit(
-        &mut self,
-        op: BinOp,
-        a: &Expr,
-        b: &Expr,
-    ) -> Result<Operand, CompileError> {
+    fn short_circuit(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<Operand, CompileError> {
         let av = self.expr(a)?;
         // Constant left operand decides statically.
         if let Operand::Const(x) = av {
@@ -782,15 +769,16 @@ mod tests {
     fn errors_unreachable_code() {
         let mut module = Module::new();
         let mut c = Compiler::new(&mut module);
-        let err = c
-            .compile("i64 f() { return 1; return 2; }")
-            .unwrap_err();
+        let err = c.compile("i64 f() { return 1; return 2; }").unwrap_err();
         assert!(err.msg.contains("unreachable"), "{err}");
     }
 
     #[test]
     fn implicit_return_zero() {
-        assert_eq!(run("i64 f() { i64 x = 5; x = x + 1; }", "f", &[]).unwrap(), 0);
+        assert_eq!(
+            run("i64 f() { i64 x = 5; x = x + 1; }", "f", &[]).unwrap(),
+            0
+        );
     }
 
     #[test]

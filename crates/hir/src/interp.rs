@@ -309,7 +309,7 @@ impl<'m> Interp<'m> {
         mem: &mut M,
         f: &Func,
         inst: &Inst,
-        regs: &mut Vec<Option<i64>>,
+        regs: &mut [Option<i64>],
         fuel: &mut u64,
     ) -> Result<(), ExecError> {
         match inst {

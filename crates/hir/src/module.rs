@@ -101,7 +101,11 @@ impl Module {
     ///
     /// Panics on duplicate names or empty declarations.
     pub fn declare_global(&mut self, decl: GlobalDecl) -> GlobalId {
-        assert!(!decl.fields.is_empty(), "global {} has no fields", decl.name);
+        assert!(
+            !decl.fields.is_empty(),
+            "global {} has no fields",
+            decl.name
+        );
         assert!(decl.elems > 0, "global {} has zero elements", decl.name);
         assert!(
             !self.global_names.contains_key(&decl.name),

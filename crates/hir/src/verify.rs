@@ -68,10 +68,7 @@ pub fn check_module(module: &Module) -> Vec<String> {
                     Inst::Call { dst, func, args } => {
                         check_reg(dst.0, &mut errors);
                         if func.0 as usize >= module.funcs.len() {
-                            errors.push(format!(
-                                "{fname}: call to unknown function id {}",
-                                func.0
-                            ));
+                            errors.push(format!("{fname}: call to unknown function id {}", func.0));
                         } else {
                             let callee = module.func_def(*func);
                             if callee.num_params as usize != args.len() {
@@ -89,15 +86,14 @@ pub fn check_module(module: &Module) -> Vec<String> {
                     }
                 }
             }
-            let check_target =
-                |t: crate::func::BlockId, errors: &mut Vec<String>| {
-                    if t.0 as usize >= f.blocks.len() {
-                        errors.push(format!(
-                            "{fname}: block {bi} jumps to missing block {}",
-                            t.0
-                        ));
-                    }
-                };
+            let check_target = |t: crate::func::BlockId, errors: &mut Vec<String>| {
+                if t.0 as usize >= f.blocks.len() {
+                    errors.push(format!(
+                        "{fname}: block {bi} jumps to missing block {}",
+                        t.0
+                    ));
+                }
+            };
             match &b.term {
                 Terminator::Jmp(t) => check_target(*t, &mut errors),
                 Terminator::Br { cond, then_, else_ } => {
@@ -206,10 +202,7 @@ mod tests {
         fb.ret(Operand::Reg(r));
         m.add_func(fb.finish());
         let errors = check_module(&m);
-        assert!(
-            errors.iter().any(|e| e.contains("recursion")),
-            "{errors:?}"
-        );
+        assert!(errors.iter().any(|e| e.contains("recursion")), "{errors:?}");
     }
 
     #[test]
@@ -239,6 +232,9 @@ mod tests {
         fb.ret(Operand::Reg(r));
         m.add_func(fb.finish());
         let errors = check_module(&m);
-        assert!(errors.iter().any(|e| e.contains("expected 2")), "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("expected 2")),
+            "{errors:?}"
+        );
     }
 }

@@ -69,14 +69,7 @@ pub fn boot(kernel: &Kernel, machine: &mut Machine) {
     // Process table.
     for pid in 0..params.nr_procs {
         for fd in 0..params.nr_fds {
-            w(
-                machine,
-                "procs",
-                pid,
-                "ofile",
-                fd,
-                params.nr_files as i64,
-            );
+            w(machine, "procs", pid, "ofile", fd, params.nr_files as i64);
         }
         w(machine, "procs", pid, "ipc_page", 0, PARENT_NONE);
         w(machine, "procs", pid, "ipc_fd", 0, PARENT_NONE);
@@ -117,10 +110,7 @@ mod tests {
 
     #[test]
     fn boot_satisfies_rep_invariant() {
-        for params in [
-            KernelParams::verification(),
-            KernelParams::production(),
-        ] {
+        for params in [KernelParams::verification(), KernelParams::production()] {
             let kernel = Kernel::new(params).unwrap();
             let mut machine = kernel.new_machine(CostModel::default_model());
             boot(&kernel, &mut machine);
@@ -157,13 +147,7 @@ mod tests {
             4
         );
         assert_eq!(
-            kernel.read_global(
-                &machine,
-                "page_desc",
-                params.nr_pages - 1,
-                "free_next",
-                0
-            ),
+            kernel.read_global(&machine, "page_desc", params.nr_pages - 1, "free_next", 0),
             PARENT_NONE
         );
     }

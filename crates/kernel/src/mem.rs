@@ -55,10 +55,7 @@ impl KernelLayout {
     /// Physical word address of a resolved global access.
     pub fn addr(&self, module: &Module, a: Addr) -> u64 {
         let g = module.global_decl(a.global);
-        self.offsets[a.global.0 as usize]
-            + a.index * g.stride()
-            + g.field_offset(a.field)
-            + a.sub
+        self.offsets[a.global.0 as usize] + a.index * g.stride() + g.field_offset(a.field) + a.sub
     }
 
     /// `(name, start, size)` for every global — the symbol table the link

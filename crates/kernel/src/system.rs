@@ -73,8 +73,10 @@ impl GuestEnv<'_> {
     /// Panics if the kernel reports undefined behaviour (impossible for
     /// a verified kernel image) or if this actor is not `current`.
     pub fn hypercall(&mut self, sysno: Sysno, args: &[i64]) -> i64 {
-        assert!(!sysno.is_trap() || sysno == Sysno::TrapDebugPrint,
-            "guests cannot invoke {sysno} directly");
+        assert!(
+            !sysno.is_trap() || sysno == Sysno::TrapDebugPrint,
+            "guests cannot invoke {sysno} directly"
+        );
         assert_eq!(
             self.kernel.current(self.machine),
             self.pid,
@@ -91,17 +93,15 @@ impl GuestEnv<'_> {
     /// On a fault the cost of direct user-space exception delivery is
     /// charged (paper §4.1: the kernel is not involved).
     pub fn read(&mut self, va: u64) -> Result<i64, PageFault> {
-        self.machine.guest_read(va).map_err(|f| {
+        self.machine.guest_read(va).inspect_err(|_| {
             self.machine.charge_fault_direct_user();
-            f
         })
     }
 
     /// Writes guest-virtual memory; fault handling as in [`GuestEnv::read`].
     pub fn write(&mut self, va: u64, val: i64) -> Result<(), PageFault> {
-        self.machine.guest_write(va, val).map_err(|f| {
+        self.machine.guest_write(va, val).inspect_err(|_| {
             self.machine.charge_fault_direct_user();
-            f
         })
     }
 
@@ -238,7 +238,9 @@ impl System {
     fn deliver_irqs(&mut self) {
         while let Some(v) = self.machine.take_irq() {
             self.machine.charge_hypercall_roundtrip();
-            let _ = self.kernel.trap(&mut self.machine, Sysno::TrapIrq, &[v as i64]);
+            let _ = self
+                .kernel
+                .trap(&mut self.machine, Sysno::TrapIrq, &[v as i64]);
         }
     }
 

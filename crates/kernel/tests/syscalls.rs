@@ -86,7 +86,7 @@ fn clone_lifecycle() {
     assert_eq!(k.sys(Sysno::CloneProc, &[2, 3, 3, 5]), -EINVAL);
     assert_eq!(k.sys(Sysno::CloneProc, &[2, 0, 4, 5]), -ENOMEM); // page 0 is init's pml4
     assert_eq!(k.sys(Sysno::CloneProc, &[1, 3, 4, 5]), -EBUSY); // init exists
-    // Success.
+                                                                // Success.
     assert_eq!(k.sys(Sysno::CloneProc, &[2, 3, 4, 5]), 0);
     assert_eq!(k.get("procs", 2, "state", 0), proc_state::EMBRYO);
     assert_eq!(k.get("procs", 2, "ppid", 0), 1);
@@ -128,7 +128,7 @@ fn switch_and_yield_round_robin() {
     // Switch to a non-runnable target fails.
     assert_eq!(k.sys(Sysno::Switch, &[5]), -EINVAL);
     assert_eq!(k.sys(Sysno::Switch, &[1]), -EINVAL); // already running
-    // Timer round-robins through everything runnable.
+                                                     // Timer round-robins through everything runnable.
     let mut seen = std::collections::HashSet::new();
     for _ in 0..6 {
         seen.insert(k.current());
@@ -193,22 +193,17 @@ fn page_table_chain_and_walk() {
     // The hardware walker resolves the va to frame 12.
     let params = test_params();
     let va = join_va(&params, [1, 2, 3, 4], 0);
-    let t =
-        hk_vm::paging::walk(&k.machine.phys, &k.machine.map, 0, va, AccessKind::Write)
-            .expect("walk succeeds");
+    let t = hk_vm::paging::walk(&k.machine.phys, &k.machine.map, 0, va, AccessKind::Write)
+        .expect("walk succeeds");
     assert_eq!(t.pfn, 12);
     // Occupied slot is rejected.
     assert_eq!(k.sys(Sysno::AllocPdpt, &[1, 0, 1, 13, all]), -EBUSY);
     // Protect to read-only: writes fault, reads survive.
     assert_eq!(k.sys(Sysno::ProtectFrame, &[11, 4, 12, PTE_P | PTE_U]), 0);
     assert!(
-        hk_vm::paging::walk(&k.machine.phys, &k.machine.map, 0, va, AccessKind::Write)
-            .is_err()
+        hk_vm::paging::walk(&k.machine.phys, &k.machine.map, 0, va, AccessKind::Write).is_err()
     );
-    assert!(
-        hk_vm::paging::walk(&k.machine.phys, &k.machine.map, 0, va, AccessKind::Read)
-            .is_ok()
-    );
+    assert!(hk_vm::paging::walk(&k.machine.phys, &k.machine.map, 0, va, AccessKind::Read).is_ok());
     // Free bottom-up.
     assert_eq!(k.sys(Sysno::FreeFrame, &[11, 4, 12]), 0);
     assert_eq!(k.sys(Sysno::FreePt, &[10, 3, 11]), 0);
@@ -228,10 +223,15 @@ fn frames_zeroed_on_alloc() {
     assert_eq!(k.sys(Sysno::AllocPt, &[1, 10, 0, 11, all]), 0);
     assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 0, 12, all]), 0);
     // Scribble into the frame, free it, reallocate: must be zeroed.
-    k.kernel.write_global(&mut k.machine, "pages", 12, "word", 3, 0x5ec3e7);
+    k.kernel
+        .write_global(&mut k.machine, "pages", 12, "word", 3, 0x5ec3e7);
     assert_eq!(k.sys(Sysno::FreeFrame, &[11, 0, 12]), 0);
     assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 0, 12, all]), 0);
-    assert_eq!(k.get("pages", 12, "word", 3), 0, "no data leaks across owners");
+    assert_eq!(
+        k.get("pages", 12, "word", 3),
+        0,
+        "no data leaks across owners"
+    );
 }
 
 #[test]
@@ -243,7 +243,8 @@ fn copy_frame_semantics() {
     assert_eq!(k.sys(Sysno::AllocPt, &[1, 10, 0, 11, all]), 0);
     assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 0, 12, all]), 0);
     assert_eq!(k.sys(Sysno::AllocFrame, &[1, 11, 1, 13, all]), 0);
-    k.kernel.write_global(&mut k.machine, "pages", 12, "word", 2, 99);
+    k.kernel
+        .write_global(&mut k.machine, "pages", 12, "word", 2, 99);
     assert_eq!(k.sys(Sysno::CopyFrame, &[12, 13]), 0);
     assert_eq!(k.get("pages", 13, "word", 2), 99);
     // Copying from a non-frame is rejected.
@@ -263,7 +264,7 @@ fn reclaim_clears_parent_entries() {
     assert_eq!(k.sys(Sysno::AllocPt, &[2, 10, 0, 11, all]), 0);
     assert_eq!(k.sys(Sysno::AllocFrame, &[2, 11, 0, 12, all]), 0);
     assert_eq!(k.sys(Sysno::Kill, &[2]), 0); // back to init
-    // Reclaim out of order: frame's parent PT entry is cleared.
+                                             // Reclaim out of order: frame's parent PT entry is cleared.
     assert_eq!(k.sys(Sysno::ReclaimPage, &[12]), 0);
     assert_eq!(k.get("pages", 11, "word", 0), 0);
     // Reclaim the PT before the PD: PD's entry cleared too.
@@ -310,7 +311,10 @@ fn create_close_dup() {
     let mut k = K::new();
     // create_file(fd, fileid, ty, value, omode)
     assert_eq!(
-        k.sys(Sysno::CreateFile, &[0, 4, file_type::INODE, 77, omode::READ]),
+        k.sys(
+            Sysno::CreateFile,
+            &[0, 4, file_type::INODE, 77, omode::READ]
+        ),
         0
     );
     assert_eq!(k.get("files", 4, "refcnt", 0), 1);
@@ -390,7 +394,7 @@ fn pipe_data_flow() {
     assert_eq!(k.sys(Sysno::Close, &[1]), 0);
     assert_eq!(k.get("pipes", 2, "nr_ends", 0), 1);
     assert_eq!(k.sys(Sysno::PipeRead, &[0, 12, 0, 1]), 0); // EOF
-    // Writing with no reader: EPIPE.
+                                                           // Writing with no reader: EPIPE.
     assert_eq!(k.sys(Sysno::Close, &[0]), 0);
     assert_eq!(k.get("pipes", 2, "nr_ends", 0), 0);
     assert_eq!(k.sys(Sysno::Pipe, &[0, 0, 1, 1, 2]), 0);
@@ -428,7 +432,10 @@ fn send_recv_with_page_and_fd() {
             .write_global(&mut k.machine, "pages", 12, "word", i, 100 + i as i64);
     }
     assert_eq!(
-        k.sys(Sysno::CreateFile, &[2, 5, file_type::INODE, 42, omode::READ]),
+        k.sys(
+            Sysno::CreateFile,
+            &[2, 5, file_type::INODE, 42, omode::READ]
+        ),
         0
     );
     // send(pid, val, pn, size, fd)
@@ -527,7 +534,7 @@ fn iommu_table_and_dma_isolation() {
     assert_eq!(addr, k.machine.map.dma_page_addr(1));
     // Reclaiming the root while the device table references it: blocked.
     assert_eq!(k.sys(Sysno::Kill, &[1]), -EPERM); // (can't kill init; use direct check below)
-    // Detach requires no intremaps and clears the backref.
+                                                  // Detach requires no intremaps and clears the backref.
     assert_eq!(k.sys(Sysno::FreeIommuRoot, &[0, 9]), 0);
     assert_eq!(k.get("devs", 0, "owner", 0), 0);
     assert_eq!(k.get("page_desc", 9, "devid", 0), PARENT_NONE);
@@ -552,7 +559,7 @@ fn iommu_lifetime_bug_ordering_enforced() {
     assert_eq!(k.sys(Sysno::AllocIommuRoot, &[0, 9]), 0);
     assert_eq!(k.sys(Sysno::AllocIommuPdpt, &[9, 0, 10, pw]), 0);
     assert_eq!(k.sys(Sysno::Kill, &[2]), 0); // zombie with live device entry
-    // Root reclaim is blocked by the devid backref.
+                                             // Root reclaim is blocked by the devid backref.
     assert_eq!(k.sys(Sysno::ReclaimPage, &[9]), -EBUSY);
     // Detach (allowed on a zombie's device), then reclaim succeeds.
     assert_eq!(k.sys(Sysno::FreeIommuRoot, &[0, 9]), 0);

@@ -185,7 +185,9 @@ impl MonoSys {
             let addr = self.machine.map.ram_page_addr(table) + i;
             let entry = self.machine.phys.read(addr);
             if level == 3 {
-                self.machine.phys.write(addr, pte_encode(frame as i64, perm));
+                self.machine
+                    .phys
+                    .write(addr, pte_encode(frame as i64, perm));
                 return Ok(());
             }
             if entry & PTE_P == 0 {
@@ -206,11 +208,7 @@ impl MonoSys {
         let params = self.machine.params();
         let k = params.page_words.trailing_zeros() as u64;
         let per_pt = 1u64 << k;
-        join_va(
-            params,
-            [0, 0, n / per_pt, n % per_pt],
-            0,
-        )
+        join_va(params, [0, 0, n / per_pt, n % per_pt], 0)
     }
 }
 

@@ -69,22 +69,17 @@ impl Ackermann {
     fn rewrite_node(&mut self, ctx: &mut Ctx, t: TermId) -> TermId {
         let r = |m: &HashMap<TermId, TermId>, id: &TermId| m[id];
         match ctx.data(t).clone() {
-            TermData::True
-            | TermData::False
-            | TermData::BvConst { .. }
-            | TermData::Var(_) => t,
+            TermData::True | TermData::False | TermData::BvConst { .. } | TermData::Var(_) => t,
             TermData::Not(a) => {
                 let a = r(&self.rewritten, &a);
                 ctx.not(a)
             }
             TermData::And(args) => {
-                let args: Vec<TermId> =
-                    args.iter().map(|a| r(&self.rewritten, a)).collect();
+                let args: Vec<TermId> = args.iter().map(|a| r(&self.rewritten, a)).collect();
                 ctx.and(&args)
             }
             TermData::Or(args) => {
-                let args: Vec<TermId> =
-                    args.iter().map(|a| r(&self.rewritten, a)).collect();
+                let args: Vec<TermId> = args.iter().map(|a| r(&self.rewritten, a)).collect();
                 ctx.or(&args)
             }
             TermData::Eq(a, b) => {
@@ -128,8 +123,7 @@ impl Ackermann {
                 ctx.concat(a, b)
             }
             TermData::Apply(f, args) => {
-                let args: Vec<TermId> =
-                    args.iter().map(|a| r(&self.rewritten, a)).collect();
+                let args: Vec<TermId> = args.iter().map(|a| r(&self.rewritten, a)).collect();
                 self.apply_var(ctx, f, args)
             }
         }

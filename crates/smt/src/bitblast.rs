@@ -170,9 +170,7 @@ impl BitBlaster {
                     _ => panic!("ite sort mismatch at blast time"),
                 }
             }
-            TermData::BvNot(a) => {
-                Blasted::Bv(self.cache[a].as_bv().iter().map(|&l| -l).collect())
-            }
+            TermData::BvNot(a) => Blasted::Bv(self.cache[a].as_bv().iter().map(|&l| -l).collect()),
             TermData::BvBin(op, x, y) => {
                 let a = self.cache[x].as_bv().to_vec();
                 let c = self.cache[y].as_bv().to_vec();
@@ -349,14 +347,17 @@ impl BitBlaster {
             ShiftKind::RightArith => *a.last().unwrap(),
         };
         let mut cur = a.to_vec();
-        for s in 0..stages.min(amt.len()) {
+        for (s, &sel) in amt.iter().enumerate().take(stages) {
             let shift = 1usize << s;
-            let sel = amt[s];
             let mut next = vec![fill; w];
             match kind {
                 ShiftKind::Left => {
                     for i in 0..w {
-                        let from = if i >= shift { cur[i - shift] } else { LIT_FALSE };
+                        let from = if i >= shift {
+                            cur[i - shift]
+                        } else {
+                            LIT_FALSE
+                        };
                         next[i] = self.builder.mux_gate(sel, from, cur[i]);
                     }
                 }

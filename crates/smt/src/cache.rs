@@ -1,0 +1,812 @@
+//! Content-addressed verification-condition cache.
+//!
+//! The push-button workflow (paper §6.3) re-runs one solver instance per
+//! trap handler on every iteration, and almost all of those queries are
+//! *identical* across iterations: the bug-injection loop re-verifies 49
+//! unchanged handlers per injected bug, and spec development re-verifies
+//! everything after each edit. This module keys each `check` call by a
+//! canonical 256-bit hash of the asserted term DAG — independent of
+//! `TermId` numbering, so the same VC rebuilt in a fresh [`Ctx`] hits —
+//! and caches the verdict (`Unsat`, or `Sat` together with the model
+//! restricted to the query's variables and functions).
+//!
+//! Soundness: a cached `Sat` verdict is *rehydrated* into the querying
+//! context and re-validated against the actual assertions with the
+//! ground evaluator before being served, so even a hash collision cannot
+//! produce a bogus counterexample; a collision on an `Unsat` entry is
+//! guarded only by the 256-bit key, which is astronomically unlikely to
+//! collide and would at worst suppress a counterexample of a *different*
+//! query.
+//!
+//! The cache is an in-memory LRU (shared across solver instances and
+//! worker threads via `Arc`) with an optional on-disk snapshot in a
+//! line-oriented text format, so repeated `verify_all` processes can
+//! also reuse verdicts.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::eval::Value;
+use crate::term::{Ctx, FuncId, Sort, TermData, TermId, VarId};
+
+/// A 256-bit content key for one solver query (the conjunction of the
+/// asserted terms, in assertion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryKey(pub [u64; 4]);
+
+impl fmt::Display for QueryKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:016x}{:016x}{:016x}{:016x}",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+/// The canonical fingerprint of a query: the content key plus the
+/// variable/function dictionaries that map canonical indices (DFS
+/// first-encounter order over the assertions) back to this context's
+/// ids. The dictionaries are what let a cached model — stored in
+/// canonical indices — be rehydrated into any context that builds the
+/// same VC.
+#[derive(Debug, Clone)]
+pub struct QueryFingerprint {
+    /// The content key.
+    pub key: QueryKey,
+    /// Canonical index -> variable, in first-encounter order.
+    pub vars: Vec<VarId>,
+    /// Canonical index -> function, in first-encounter order.
+    pub funcs: Vec<FuncId>,
+}
+
+// splitmix64 finalizer: the per-token mixer for the Merkle hash.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn sort_token(s: Sort) -> u64 {
+    match s {
+        Sort::Bool => 0,
+        Sort::Bv(w) => 1 + w as u64,
+    }
+}
+
+/// Per-node 128-bit hash accumulated over a token stream; the two lanes
+/// use different seeds and a lane-coupling rotation so they do not
+/// degenerate into one 64-bit hash.
+#[derive(Clone, Copy)]
+struct H2(u64, u64);
+
+impl H2 {
+    fn new(tag: u64) -> H2 {
+        H2(
+            mix(0x517c_c1b7_2722_0a95, tag),
+            mix(0x2545_f491_4f6c_dd1d, tag),
+        )
+    }
+
+    fn push(&mut self, v: u64) {
+        self.0 = mix(self.0, v);
+        self.1 = mix(self.1.rotate_left(23), v ^ 0xa076_1d64_78bd_642f);
+    }
+
+    fn push_h(&mut self, other: H2) {
+        self.push(other.0);
+        self.push(other.1);
+    }
+}
+
+struct Canonicalizer<'a> {
+    ctx: &'a Ctx,
+    var_canon: HashMap<VarId, u32>,
+    vars: Vec<VarId>,
+    func_canon: HashMap<FuncId, u32>,
+    funcs: Vec<FuncId>,
+    hashes: HashMap<TermId, H2>,
+}
+
+impl<'a> Canonicalizer<'a> {
+    fn new(ctx: &'a Ctx) -> Self {
+        Canonicalizer {
+            ctx,
+            var_canon: HashMap::new(),
+            vars: Vec::new(),
+            func_canon: HashMap::new(),
+            funcs: Vec::new(),
+            hashes: HashMap::new(),
+        }
+    }
+
+    fn canon_var(&mut self, v: VarId) -> u64 {
+        if let Some(&i) = self.var_canon.get(&v) {
+            return i as u64;
+        }
+        let i = self.vars.len() as u32;
+        self.var_canon.insert(v, i);
+        self.vars.push(v);
+        i as u64
+    }
+
+    fn canon_func(&mut self, f: FuncId) -> u64 {
+        if let Some(&i) = self.func_canon.get(&f) {
+            return i as u64;
+        }
+        let i = self.funcs.len() as u32;
+        self.func_canon.insert(f, i);
+        self.funcs.push(f);
+        i as u64
+    }
+
+    /// Computes the node hash of `root`, iteratively (symbolic execution
+    /// produces DAGs deep enough to overflow the call stack).
+    fn hash_term(&mut self, root: TermId) {
+        let mut stack: Vec<(TermId, bool)> = vec![(root, false)];
+        while let Some((t, expanded)) = stack.pop() {
+            if self.hashes.contains_key(&t) {
+                continue;
+            }
+            if !expanded {
+                stack.push((t, true));
+                for child in crate::bitblast::term_children(self.ctx, t) {
+                    if !self.hashes.contains_key(&child) {
+                        stack.push((child, false));
+                    }
+                }
+                continue;
+            }
+            let h = self.hash_node(t);
+            self.hashes.insert(t, h);
+        }
+    }
+
+    fn hash_node(&mut self, t: TermId) -> H2 {
+        let child = |me: &Self, c: TermId| me.hashes[&c];
+        match self.ctx.data(t).clone() {
+            TermData::True => H2::new(0),
+            TermData::False => H2::new(1),
+            TermData::BvConst { width, value } => {
+                let mut h = H2::new(2);
+                h.push(width as u64);
+                h.push(value);
+                h
+            }
+            TermData::Var(v) => {
+                let decl = self.ctx.var_decl(v);
+                let (sort, name) = (decl.sort, hash_str(&decl.name));
+                let idx = self.canon_var(v);
+                let mut h = H2::new(3);
+                h.push(idx);
+                h.push(sort_token(sort));
+                h.push(name);
+                h
+            }
+            TermData::Not(a) => {
+                let mut h = H2::new(4);
+                h.push_h(child(self, a));
+                h
+            }
+            TermData::And(args) | TermData::Or(args) => {
+                let tag = if matches!(self.ctx.data(t), TermData::And(_)) {
+                    5
+                } else {
+                    6
+                };
+                let mut h = H2::new(tag);
+                h.push(args.len() as u64);
+                // And/Or args are interned sorted by TermId, which is not
+                // canonical across contexts; hash them order-insensitively
+                // by combining child hashes with a commutative fold.
+                let (mut xa, mut xb) = (0u64, 0u64);
+                for &a in args.iter() {
+                    let c = child(self, a);
+                    xa = xa.wrapping_add(mix(c.0, c.1));
+                    xb ^= mix(c.1, c.0);
+                }
+                h.push(xa);
+                h.push(xb);
+                h
+            }
+            TermData::Eq(a, b) => {
+                // Eq operands are also ordered by TermId; fold the two
+                // child hashes commutatively.
+                let (ca, cb) = (child(self, a), child(self, b));
+                let mut h = H2::new(7);
+                h.push(mix(ca.0, ca.1).wrapping_add(mix(cb.0, cb.1)));
+                h.push(mix(ca.1, ca.0) ^ mix(cb.1, cb.0));
+                h
+            }
+            TermData::Ite(c, a, b) => {
+                let mut h = H2::new(8);
+                h.push_h(child(self, c));
+                h.push_h(child(self, a));
+                h.push_h(child(self, b));
+                h
+            }
+            TermData::BvNot(a) => {
+                let mut h = H2::new(9);
+                h.push_h(child(self, a));
+                h
+            }
+            TermData::BvBin(op, a, b) => {
+                let mut h = H2::new(10);
+                h.push(op as u64);
+                if op.commutative() {
+                    let (ca, cb) = (child(self, a), child(self, b));
+                    h.push(mix(ca.0, ca.1).wrapping_add(mix(cb.0, cb.1)));
+                    h.push(mix(ca.1, ca.0) ^ mix(cb.1, cb.0));
+                } else {
+                    h.push_h(child(self, a));
+                    h.push_h(child(self, b));
+                }
+                h
+            }
+            TermData::Cmp(op, a, b) => {
+                let mut h = H2::new(11);
+                h.push(op as u64);
+                h.push_h(child(self, a));
+                h.push_h(child(self, b));
+                h
+            }
+            TermData::ZExt(a, w) => {
+                let mut h = H2::new(12);
+                h.push(w as u64);
+                h.push_h(child(self, a));
+                h
+            }
+            TermData::SExt(a, w) => {
+                let mut h = H2::new(13);
+                h.push(w as u64);
+                h.push_h(child(self, a));
+                h
+            }
+            TermData::Extract(a, hi, lo) => {
+                let mut h = H2::new(14);
+                h.push(hi as u64);
+                h.push(lo as u64);
+                h.push_h(child(self, a));
+                h
+            }
+            TermData::Concat(a, b) => {
+                let mut h = H2::new(15);
+                h.push_h(child(self, a));
+                h.push_h(child(self, b));
+                h
+            }
+            TermData::Apply(f, args) => {
+                let decl = self.ctx.func_decl(f);
+                let name = hash_str(&decl.name);
+                let range = sort_token(decl.range);
+                let domain: Vec<u64> = decl.domain.iter().map(|&s| sort_token(s)).collect();
+                let idx = self.canon_func(f);
+                let mut h = H2::new(16);
+                h.push(idx);
+                h.push(name);
+                h.push(range);
+                for d in domain {
+                    h.push(d);
+                }
+                h.push(args.len() as u64);
+                for &a in args.iter() {
+                    h.push_h(child(self, a));
+                }
+                h
+            }
+        }
+    }
+}
+
+/// Computes the canonical fingerprint of a query (the assertions, in
+/// order). The key is independent of `TermId`/`VarId` numbering: two
+/// contexts that build the same VC the same way produce the same key.
+pub fn fingerprint(ctx: &Ctx, assertions: &[TermId]) -> QueryFingerprint {
+    let mut canon = Canonicalizer::new(ctx);
+    let mut key_a = H2::new(0xfeed_face_cafe_beef);
+    let mut key_b = H2::new(0x0123_4567_89ab_cdef);
+    key_a.push(assertions.len() as u64);
+    key_b.push(assertions.len() as u64);
+    for &t in assertions {
+        canon.hash_term(t);
+        let h = canon.hashes[&t];
+        key_a.push_h(h);
+        key_b.push_h(h);
+    }
+    QueryFingerprint {
+        key: QueryKey([key_a.0, key_a.1, key_b.0, key_b.1]),
+        vars: canon.vars,
+        funcs: canon.funcs,
+    }
+}
+
+/// One `(canonical func index, default value, (args, value) entries)`
+/// row of a cached function interpretation.
+pub type CachedFunc = (u32, u64, Vec<(Vec<u64>, u64)>);
+
+/// A model stored in canonical coordinates: variable values by canonical
+/// variable index, function interpretations by canonical function index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CachedModel {
+    /// `(canonical var index, value)` for every explicitly assigned var.
+    pub vars: Vec<(u32, Value)>,
+    /// `(canonical func index, default, entries)` per interpreted func.
+    pub funcs: Vec<CachedFunc>,
+}
+
+/// A cached verdict for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedVerdict {
+    /// The query was unsatisfiable.
+    Unsat,
+    /// The query was satisfiable, with this canonical model.
+    Sat(CachedModel),
+}
+
+/// Counters for cache effectiveness (monotonic over the cache lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    verdict: CachedVerdict,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<QueryKey, Entry>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A shared, thread-safe query cache: wrap in `Arc` and hand the clone
+/// to every [`crate::SolverConfig`].
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("QueryCache")
+            .field("entries", &inner.map.len())
+            .field("capacity", &inner.capacity)
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl QueryCache {
+    /// Creates an empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                capacity: capacity.max(1),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// Looks up a verdict, bumping recency and hit/miss counters.
+    pub fn lookup(&self, key: &QueryKey) -> Option<CachedVerdict> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                let v = e.verdict.clone();
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a verdict, evicting least-recently-used
+    /// entries when over capacity.
+    pub fn insert(&self, key: QueryKey, verdict: CachedVerdict) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.stats.insertions += 1;
+        inner.map.insert(
+            key,
+            Entry {
+                verdict,
+                last_used: tick,
+            },
+        );
+        if inner.map.len() > inner.capacity {
+            // Batch-evict the oldest eighth (amortizes the scan).
+            let target = inner.capacity - inner.capacity / 8;
+            let mut ages: Vec<(u64, QueryKey)> =
+                inner.map.iter().map(|(k, e)| (e.last_used, *k)).collect();
+            ages.sort_unstable();
+            let n_evict = inner.map.len().saturating_sub(target);
+            for &(_, k) in ages.iter().take(n_evict) {
+                inner.map.remove(&k);
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Drops an entry (used when a cached `Sat` model fails validation,
+    /// which indicates a stale or colliding entry).
+    pub fn invalidate(&self, key: &QueryKey) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.remove(key);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Removes every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // On-disk snapshot: a line-oriented text format, version-tagged.
+    // ------------------------------------------------------------------
+
+    /// Writes all entries to `path` (atomically via a temp file).
+    pub fn save_snapshot(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+            let inner = self.inner.lock().unwrap();
+            writeln!(w, "hk-smt-qcache 1 {}", inner.map.len())?;
+            // Deterministic output order keeps snapshots diffable.
+            let mut keys: Vec<&QueryKey> = inner.map.keys().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let e = &inner.map[key];
+                let k = key.0;
+                match &e.verdict {
+                    CachedVerdict::Unsat => {
+                        writeln!(w, "unsat {:x} {:x} {:x} {:x}", k[0], k[1], k[2], k[3])?;
+                    }
+                    CachedVerdict::Sat(m) => {
+                        writeln!(
+                            w,
+                            "sat {:x} {:x} {:x} {:x} {} {}",
+                            k[0],
+                            k[1],
+                            k[2],
+                            k[3],
+                            m.vars.len(),
+                            m.funcs.len()
+                        )?;
+                        for (idx, v) in &m.vars {
+                            match v {
+                                Value::Bool(b) => writeln!(w, "v {idx} b {}", *b as u8)?,
+                                Value::Bv(x) => writeln!(w, "v {idx} w {x:x}")?,
+                            }
+                        }
+                        for (idx, default, entries) in &m.funcs {
+                            writeln!(w, "f {idx} {default:x} {}", entries.len())?;
+                            for (args, val) in entries {
+                                write!(w, "e {}", args.len())?;
+                                for a in args {
+                                    write!(w, " {a:x}")?;
+                                }
+                                writeln!(w, " {val:x}")?;
+                            }
+                        }
+                    }
+                }
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads entries from a snapshot written by [`Self::save_snapshot`],
+    /// merging into this cache. Malformed input yields `InvalidData`.
+    pub fn load_snapshot(&self, path: &Path) -> io::Result<usize> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let file = std::fs::File::open(path)?;
+        let mut lines = io::BufReader::new(file).lines();
+        let header = lines.next().ok_or_else(|| bad("empty snapshot"))??;
+        if !header.starts_with("hk-smt-qcache 1 ") {
+            return Err(bad("unsupported snapshot version"));
+        }
+        let parse_u64 = |s: &str| u64::from_str_radix(s, 16).map_err(|_| bad("bad number"));
+        let mut loaded = 0usize;
+        let mut line = lines.next().transpose()?;
+        while let Some(l) = line {
+            let mut it = l.split_ascii_whitespace();
+            let kind = it.next().ok_or_else(|| bad("blank entry line"))?;
+            let mut key = [0u64; 4];
+            for k in key.iter_mut() {
+                *k = parse_u64(it.next().ok_or_else(|| bad("short key"))?)?;
+            }
+            let verdict = match kind {
+                "unsat" => {
+                    line = lines.next().transpose()?;
+                    CachedVerdict::Unsat
+                }
+                "sat" => {
+                    let n_vars: usize = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad("missing var count"))?;
+                    let n_funcs: usize = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| bad("missing func count"))?;
+                    let mut model = CachedModel::default();
+                    for _ in 0..n_vars {
+                        let l = lines
+                            .next()
+                            .transpose()?
+                            .ok_or_else(|| bad("truncated vars"))?;
+                        let mut it = l.split_ascii_whitespace();
+                        if it.next() != Some("v") {
+                            return Err(bad("expected var line"));
+                        }
+                        let idx: u32 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| bad("bad var index"))?;
+                        let v = match it.next() {
+                            Some("b") => Value::Bool(it.next() == Some("1")),
+                            Some("w") => Value::Bv(parse_u64(
+                                it.next().ok_or_else(|| bad("missing bv value"))?,
+                            )?),
+                            _ => return Err(bad("bad var kind")),
+                        };
+                        model.vars.push((idx, v));
+                    }
+                    for _ in 0..n_funcs {
+                        let l = lines
+                            .next()
+                            .transpose()?
+                            .ok_or_else(|| bad("truncated funcs"))?;
+                        let mut it = l.split_ascii_whitespace();
+                        if it.next() != Some("f") {
+                            return Err(bad("expected func line"));
+                        }
+                        let idx: u32 = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| bad("bad func index"))?;
+                        let default = parse_u64(it.next().ok_or_else(|| bad("missing default"))?)?;
+                        let n_entries: usize = it
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| bad("missing entry count"))?;
+                        let mut entries = Vec::with_capacity(n_entries);
+                        for _ in 0..n_entries {
+                            let l = lines
+                                .next()
+                                .transpose()?
+                                .ok_or_else(|| bad("truncated entries"))?;
+                            let mut it = l.split_ascii_whitespace();
+                            if it.next() != Some("e") {
+                                return Err(bad("expected entry line"));
+                            }
+                            let arity: usize = it
+                                .next()
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| bad("bad arity"))?;
+                            let mut args = Vec::with_capacity(arity);
+                            for _ in 0..arity {
+                                args.push(parse_u64(it.next().ok_or_else(|| bad("short args"))?)?);
+                            }
+                            let val = parse_u64(it.next().ok_or_else(|| bad("missing value"))?)?;
+                            entries.push((args, val));
+                        }
+                        model.funcs.push((idx, default, entries));
+                    }
+                    line = lines.next().transpose()?;
+                    CachedVerdict::Sat(model)
+                }
+                _ => return Err(bad("unknown entry kind")),
+            };
+            self.insert(QueryKey(key), verdict);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+/// Converts a model into canonical coordinates for storage, keeping
+/// only the variables and functions that occur in the fingerprinted
+/// assertions (exactly what is needed to re-evaluate them).
+pub fn dehydrate(fp: &QueryFingerprint, model: &crate::model::Model) -> CachedModel {
+    let mut out = CachedModel::default();
+    for (i, v) in fp.vars.iter().enumerate() {
+        if let Some(&val) = model.assignment.vars.get(v) {
+            out.vars.push((i as u32, val));
+        }
+    }
+    for (i, f) in fp.funcs.iter().enumerate() {
+        if let Some(interp) = model.assignment.funcs.get(f) {
+            let mut entries: Vec<(Vec<u64>, u64)> = interp
+                .entries
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect();
+            entries.sort_unstable();
+            out.funcs.push((i as u32, interp.default, entries));
+        }
+    }
+    out
+}
+
+/// Rebuilds a model in the querying context from canonical coordinates.
+/// Returns `None` when the stored indices do not fit the fingerprint
+/// (a collision or format drift) — callers treat that as a miss.
+pub fn rehydrate(fp: &QueryFingerprint, m: &CachedModel) -> Option<crate::model::Model> {
+    let mut model = crate::model::Model::default();
+    for &(idx, val) in &m.vars {
+        let v = *fp.vars.get(idx as usize)?;
+        model.assignment.set_var(v, val);
+    }
+    for (idx, default, entries) in &m.funcs {
+        let f = *fp.funcs.get(*idx as usize)?;
+        let interp = model.assignment.func_mut(f);
+        interp.default = *default;
+        for (args, val) in entries {
+            interp.set(args.clone(), *val);
+        }
+    }
+    Some(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the same little VC in a context that may already hold
+    /// other terms, returning the assertions.
+    fn build_vc(ctx: &mut Ctx) -> Vec<TermId> {
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let x = ctx.var("x", Sort::Bv(64));
+        let y = ctx.var("y", Sort::Bv(64));
+        let fx = ctx.apply(f, &[x]);
+        let c5 = ctx.bv_const(64, 5);
+        let sum = ctx.bv_add(fx, c5);
+        let e1 = ctx.eq(sum, y);
+        let lt = ctx.ult(x, y);
+        vec![e1, lt]
+    }
+
+    #[test]
+    fn fingerprint_is_context_independent() {
+        let mut ctx1 = Ctx::new();
+        let a1 = build_vc(&mut ctx1);
+        // A second context with unrelated junk interned first, so all
+        // the TermIds/VarIds differ.
+        let mut ctx2 = Ctx::new();
+        let junk = ctx2.var("junk", Sort::Bv(32));
+        let one = ctx2.bv_const(32, 1);
+        let _ = ctx2.bv_add(junk, one);
+        let a2 = build_vc(&mut ctx2);
+        let f1 = fingerprint(&ctx1, &a1);
+        let f2 = fingerprint(&ctx2, &a2);
+        assert_eq!(f1.key, f2.key);
+        assert_eq!(f1.vars.len(), f2.vars.len());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_vcs() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(64));
+        let c1 = ctx.bv_const(64, 1);
+        let c2 = ctx.bv_const(64, 2);
+        let e1 = ctx.eq(x, c1);
+        let e2 = ctx.eq(x, c2);
+        let f1 = fingerprint(&ctx, &[e1]);
+        let f2 = fingerprint(&ctx, &[e2]);
+        assert_ne!(f1.key, f2.key);
+        // Different variable *names* are different VCs too.
+        let mut ctx2 = Ctx::new();
+        let z = ctx2.var("z", Sort::Bv(64));
+        let c1 = ctx2.bv_const(64, 1);
+        let e1z = ctx2.eq(z, c1);
+        assert_ne!(fingerprint(&ctx2, &[e1z]).key, f1.key);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = QueryCache::new(8);
+        for i in 0..64u64 {
+            cache.insert(QueryKey([i, 0, 0, 0]), CachedVerdict::Unsat);
+        }
+        assert!(cache.len() <= 8);
+        // The most recent insertion survives.
+        assert!(cache.lookup(&QueryKey([63, 0, 0, 0])).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 64);
+        assert!(stats.evictions >= 56);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let cache = QueryCache::new(64);
+        cache.insert(QueryKey([1, 2, 3, 4]), CachedVerdict::Unsat);
+        cache.insert(
+            QueryKey([5, 6, 7, 8]),
+            CachedVerdict::Sat(CachedModel {
+                vars: vec![(0, Value::Bv(42)), (1, Value::Bool(true))],
+                funcs: vec![(0, 9, vec![(vec![1, 2], 3), (vec![], 4)])],
+            }),
+        );
+        let dir = std::env::temp_dir().join("hk-smt-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("snap-{}.txt", std::process::id()));
+        cache.save_snapshot(&path).unwrap();
+        let fresh = QueryCache::new(64);
+        assert_eq!(fresh.load_snapshot(&path).unwrap(), 2);
+        assert_eq!(
+            fresh.lookup(&QueryKey([1, 2, 3, 4])),
+            Some(CachedVerdict::Unsat)
+        );
+        match fresh.lookup(&QueryKey([5, 6, 7, 8])) {
+            Some(CachedVerdict::Sat(m)) => {
+                assert_eq!(m.vars.len(), 2);
+                assert_eq!(m.funcs[0].1, 9);
+                assert_eq!(m.funcs[0].2.len(), 2);
+            }
+            other => panic!("bad roundtrip: {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

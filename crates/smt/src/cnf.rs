@@ -250,12 +250,7 @@ mod tests {
     use super::*;
 
     /// Brute-force checks a gate's clauses define the expected function.
-    fn check_gate(
-        builder: &CnfBuilder,
-        inputs: &[Lit],
-        output: Lit,
-        f: &dyn Fn(&[bool]) -> bool,
-    ) {
+    fn check_gate(builder: &CnfBuilder, inputs: &[Lit], output: Lit, f: &dyn Fn(&[bool]) -> bool) {
         let n = builder.num_vars() as usize;
         'outer: for bits in 0..(1u32 << n) {
             let val = |l: Lit| -> bool {

@@ -149,24 +149,20 @@ fn children(ctx: &Ctx, t: TermId) -> Vec<TermId> {
     }
 }
 
-fn eval_node(
-    ctx: &Ctx,
-    t: TermId,
-    asg: &Assignment,
-    cache: &HashMap<TermId, Value>,
-) -> Value {
+fn eval_node(ctx: &Ctx, t: TermId, asg: &Assignment, cache: &HashMap<TermId, Value>) -> Value {
     let get = |id: &TermId| cache[id];
     match ctx.data(t) {
         TermData::True => Value::Bool(true),
         TermData::False => Value::Bool(false),
         TermData::BvConst { value, .. } => Value::Bv(*value),
         TermData::Var(v) => {
-            asg.vars.get(v).copied().unwrap_or_else(|| {
-                match ctx.var_decl(*v).sort {
+            asg.vars
+                .get(v)
+                .copied()
+                .unwrap_or_else(|| match ctx.var_decl(*v).sort {
                     Sort::Bool => Value::Bool(false),
                     Sort::Bv(_) => Value::Bv(0),
-                }
-            })
+                })
         }
         TermData::Not(a) => Value::Bool(!get(a).as_bool()),
         TermData::And(args) => Value::Bool(args.iter().all(|a| get(a).as_bool())),
@@ -205,11 +201,7 @@ fn eval_node(
         }
         TermData::Apply(f, args) => {
             let vals: Vec<u64> = args.iter().map(|a| get(a).as_bv()).collect();
-            let result = asg
-                .funcs
-                .get(f)
-                .map(|fi| fi.get(&vals))
-                .unwrap_or(0);
+            let result = asg.funcs.get(f).map(|fi| fi.get(&vals)).unwrap_or(0);
             match ctx.func_decl(*f).range {
                 Sort::Bool => Value::Bool(result != 0),
                 Sort::Bv(w) => Value::Bv(result & crate::term::mask(w)),

@@ -18,7 +18,9 @@
 //!   Luby restarts, phase saving, learnt-clause reduction);
 //! * [`model`] — counterexample models, the raw material for the verifier's
 //!   test-case generation (paper §2.4);
-//! * [`solver`] — the front door tying the pipeline together.
+//! * [`solver`] — the front door tying the pipeline together;
+//! * [`cache`] — a content-addressed verification-condition cache so
+//!   repeated `verify_all` runs reuse verdicts instead of re-solving.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 
 pub mod ackermann;
 pub mod bitblast;
+pub mod cache;
 pub mod cnf;
 pub mod eval;
 pub mod model;
@@ -49,6 +52,7 @@ pub mod sat;
 pub mod solver;
 pub mod term;
 
+pub use cache::{CacheStats, CachedVerdict, QueryCache, QueryKey};
 pub use model::Model;
 pub use sat::{SatConfig, SatSolver};
 pub use solver::{SatResult, Solver, SolverConfig, SolverStats};

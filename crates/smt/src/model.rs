@@ -52,12 +52,14 @@ impl Model {
 
     /// Value of a declared variable.
     pub fn var_value(&self, ctx: &Ctx, v: VarId) -> Value {
-        self.assignment.vars.get(&v).copied().unwrap_or_else(|| {
-            match ctx.var_decl(v).sort {
+        self.assignment
+            .vars
+            .get(&v)
+            .copied()
+            .unwrap_or_else(|| match ctx.var_decl(v).sort {
                 Sort::Bool => Value::Bool(false),
                 Sort::Bv(_) => Value::Bv(0),
-            }
-        })
+            })
     }
 
     /// The lifted interpretation of an uninterpreted function, if any
@@ -90,9 +92,7 @@ impl Model {
             let val = self.var_value(ctx, v);
             match val {
                 Value::Bool(b) => out.push_str(&format!("{} = {}\n", decl.name, b)),
-                Value::Bv(x) => {
-                    out.push_str(&format!("{} = {} (0x{x:x})\n", decl.name, x as i64))
-                }
+                Value::Bv(x) => out.push_str(&format!("{} = {} (0x{x:x})\n", decl.name, x as i64)),
             }
         }
         out

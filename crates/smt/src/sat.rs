@@ -529,9 +529,7 @@ impl SatSolver {
                 self.clauses[cref as usize]
                     .lits
                     .first()
-                    .map(|&l| {
-                        self.value_lit(l) == TRUE && self.reason[lit_var(l)] == cref
-                    })
+                    .map(|&l| self.value_lit(l) == TRUE && self.reason[lit_var(l)] == cref)
                     .unwrap_or(false)
             })
             .collect();
@@ -557,14 +555,8 @@ impl SatSolver {
                 continue;
             }
             let (l0, l1) = (c.lits[0], c.lits[1]);
-            self.watches[lit_neg(l0) as usize].push(Watch {
-                cref,
-                blocker: l1,
-            });
-            self.watches[lit_neg(l1) as usize].push(Watch {
-                cref,
-                blocker: l0,
-            });
+            self.watches[lit_neg(l0) as usize].push(Watch { cref, blocker: l1 });
+            self.watches[lit_neg(l1) as usize].push(Watch { cref, blocker: l0 });
         }
     }
 

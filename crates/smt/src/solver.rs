@@ -5,10 +5,12 @@
 //! returned, so a bug anywhere in the pipeline surfaces as a loud failure
 //! rather than a bogus counterexample.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::ackermann::Ackermann;
 use crate::bitblast::BitBlaster;
+use crate::cache::{self, CachedVerdict, QueryCache};
 use crate::eval::{eval_bool, Value};
 use crate::model::Model;
 use crate::sat::{SatConfig, SatOutcome, SatSolver};
@@ -22,6 +24,9 @@ pub struct SolverConfig {
     /// Skip the model-validation pass (only for benchmarking the raw
     /// pipeline; never in the verifier).
     pub skip_validation: bool,
+    /// Content-addressed verdict cache shared across solver instances
+    /// (and worker threads). `None` disables caching.
+    pub cache: Option<Arc<QueryCache>>,
 }
 
 /// Result of a `check` call.
@@ -66,8 +71,16 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Time spent encoding (Ackermann + bit-blasting).
     pub encode_time: Duration,
+    /// Time spent in Ackermann reduction alone.
+    pub ack_time: Duration,
+    /// Time spent bit-blasting to CNF alone.
+    pub bitblast_time: Duration,
     /// Time spent in the SAT core.
     pub solve_time: Duration,
+    /// Query-cache hits in the last `check` (0 or 1).
+    pub cache_hits: u64,
+    /// Query-cache misses in the last `check` (0 or 1).
+    pub cache_misses: u64,
 }
 
 /// An SMT solver instance holding a set of assertions.
@@ -111,12 +124,54 @@ impl Solver {
 
     /// Decides satisfiability of the conjunction of all assertions.
     pub fn check(&mut self, ctx: &mut Ctx) -> SatResult {
+        self.stats.cache_hits = 0;
+        self.stats.cache_misses = 0;
         if self.trivially_false {
             return SatResult::Unsat;
         }
         if self.assertions.is_empty() {
-            return SatResult::Sat(Box::new(Model::default()));
+            return SatResult::Sat(Box::default());
         }
+        // 0. Query cache: key the full VC by its canonical content hash.
+        let fp = self
+            .config
+            .cache
+            .as_ref()
+            .map(|_| cache::fingerprint(ctx, &self.assertions));
+        if let (Some(c), Some(fp)) = (self.config.cache.clone(), fp.as_ref()) {
+            match c.lookup(&fp.key) {
+                Some(CachedVerdict::Unsat) => {
+                    self.stats.cache_hits = 1;
+                    return SatResult::Unsat;
+                }
+                Some(CachedVerdict::Sat(cm)) => {
+                    // Rehydrate into this context and re-validate before
+                    // trusting the entry: a collision or stale snapshot
+                    // must never produce a bogus counterexample.
+                    let model = cache::rehydrate(fp, &cm).filter(|m| {
+                        self.assertions
+                            .iter()
+                            .all(|&t| eval_bool(ctx, t, &m.assignment))
+                    });
+                    match model {
+                        Some(m) => {
+                            self.stats.cache_hits = 1;
+                            return SatResult::Sat(Box::new(m));
+                        }
+                        None => {
+                            c.invalidate(&fp.key);
+                            self.stats.cache_misses = 1;
+                        }
+                    }
+                }
+                None => self.stats.cache_misses = 1,
+            }
+        }
+        let store = |verdict: CachedVerdict, stats_cache: &Option<Arc<QueryCache>>| {
+            if let (Some(c), Some(fp)) = (stats_cache.as_ref(), fp.as_ref()) {
+                c.insert(fp.key, verdict);
+            }
+        };
         let encode_start = Instant::now();
         // 1. Ackermann reduction.
         let mut ack = Ackermann::new();
@@ -129,6 +184,7 @@ impl Solver {
         let constraints = ack.constraints.clone();
         self.stats.ackermann_constraints = constraints.len();
         self.stats.assertions = self.assertions.len();
+        self.stats.ack_time = encode_start.elapsed();
         // 2. Bit-blast.
         let mut bb = BitBlaster::new();
         let mut trivially_false = false;
@@ -143,6 +199,7 @@ impl Solver {
             bb.assert_term(ctx, t);
         }
         if trivially_false {
+            store(CachedVerdict::Unsat, &self.config.cache);
             return SatResult::Unsat;
         }
         let var_bv = bb.var_bv.clone();
@@ -151,6 +208,7 @@ impl Solver {
         self.stats.cnf_vars = num_vars;
         self.stats.cnf_clauses = clauses.len();
         self.stats.encode_time = encode_start.elapsed();
+        self.stats.bitblast_time = self.stats.encode_time.saturating_sub(self.stats.ack_time);
         if std::env::var("HK_SMT_TRACE").is_ok() {
             eprintln!(
                 "[smt] encoded: {} vars, {} clauses, {} assertions, {} congruence ({:.1}s)",
@@ -178,7 +236,10 @@ impl Solver {
         self.stats.decisions = sat.stats.decisions;
         self.stats.propagations = sat.stats.propagations;
         match outcome {
-            SatOutcome::Unsat => SatResult::Unsat,
+            SatOutcome::Unsat => {
+                store(CachedVerdict::Unsat, &self.config.cache);
+                SatResult::Unsat
+            }
             SatOutcome::Unknown => SatResult::Unknown,
             SatOutcome::Sat => {
                 // 4. Lift the model.
@@ -229,6 +290,12 @@ impl Solver {
                             ctx.display(t)
                         );
                     }
+                }
+                if let Some(fp) = fp.as_ref() {
+                    store(
+                        CachedVerdict::Sat(cache::dehydrate(fp, &model)),
+                        &self.config.cache,
+                    );
                 }
                 SatResult::Sat(Box::new(model))
             }
@@ -335,5 +402,101 @@ mod tests {
         let mut s = Solver::new();
         s.assert(&mut ctx, f);
         assert!(s.check(&mut ctx).is_unsat());
+    }
+
+    fn cached_config(cache: &Arc<QueryCache>) -> SolverConfig {
+        SolverConfig {
+            cache: Some(cache.clone()),
+            ..SolverConfig::default()
+        }
+    }
+
+    /// Builds `x < 5 && 10 < x` (unsat) in any context.
+    fn unsat_vc(ctx: &mut Ctx) -> Vec<TermId> {
+        let x = ctx.var("x", Sort::Bv(16));
+        let c5 = ctx.bv_const(16, 5);
+        let c10 = ctx.bv_const(16, 10);
+        vec![ctx.ult(x, c5), ctx.ult(c10, x)]
+    }
+
+    #[test]
+    fn cache_hits_unsat_across_contexts() {
+        let cache = Arc::new(QueryCache::new(64));
+        let mut ctx1 = Ctx::new();
+        let mut s1 = Solver::with_config(cached_config(&cache));
+        for t in unsat_vc(&mut ctx1) {
+            s1.assert(&mut ctx1, t);
+        }
+        assert!(s1.check(&mut ctx1).is_unsat());
+        assert_eq!(s1.stats.cache_misses, 1);
+        assert_eq!(s1.stats.cache_hits, 0);
+        // Same VC, brand-new context: must hit without solving.
+        let mut ctx2 = Ctx::new();
+        let mut s2 = Solver::with_config(cached_config(&cache));
+        for t in unsat_vc(&mut ctx2) {
+            s2.assert(&mut ctx2, t);
+        }
+        assert!(s2.check(&mut ctx2).is_unsat());
+        assert_eq!(s2.stats.cache_hits, 1);
+        assert_eq!(s2.stats.cache_misses, 0);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_hits_sat_with_valid_model() {
+        let cache = Arc::new(QueryCache::new(64));
+        let build = |ctx: &mut Ctx| {
+            let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+            let x = ctx.var("x", Sort::Bv(64));
+            let fx = ctx.apply(f, &[x]);
+            let c7 = ctx.bv_const(64, 7);
+            let c3 = ctx.bv_const(64, 3);
+            let e1 = ctx.eq(fx, c7);
+            let e2 = ctx.eq(x, c3);
+            (vec![e1, e2], x, fx)
+        };
+        let mut ctx1 = Ctx::new();
+        let (vc1, _, _) = build(&mut ctx1);
+        let mut s1 = Solver::with_config(cached_config(&cache));
+        for t in vc1 {
+            s1.assert(&mut ctx1, t);
+        }
+        assert!(s1.check(&mut ctx1).is_sat());
+        // Fresh context: the rehydrated model must satisfy the VC.
+        let mut ctx2 = Ctx::new();
+        let (vc2, x2, fx2) = build(&mut ctx2);
+        let mut s2 = Solver::with_config(cached_config(&cache));
+        for t in vc2 {
+            s2.assert(&mut ctx2, t);
+        }
+        match s2.check(&mut ctx2) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.eval_bv(&ctx2, x2), Some(3));
+                assert_eq!(m.eval_bv(&ctx2, fx2), Some(7));
+            }
+            r => panic!("expected sat, got {r:?}"),
+        }
+        assert_eq!(s2.stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_does_not_cross_different_vcs() {
+        let cache = Arc::new(QueryCache::new(64));
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let c5 = ctx.bv_const(16, 5);
+        let c10 = ctx.bv_const(16, 10);
+        let lt = ctx.ult(x, c5);
+        let gt = ctx.ult(c10, x);
+        let mut s1 = Solver::with_config(cached_config(&cache));
+        s1.assert(&mut ctx, lt);
+        s1.assert(&mut ctx, gt);
+        assert!(s1.check(&mut ctx).is_unsat());
+        // The one-sided query is satisfiable and must not be served the
+        // cached Unsat of the conjunction.
+        let mut s2 = Solver::with_config(cached_config(&cache));
+        s2.assert(&mut ctx, lt);
+        assert!(s2.check(&mut ctx).is_sat());
+        assert_eq!(s2.stats.cache_hits, 0);
     }
 }

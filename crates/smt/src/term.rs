@@ -90,13 +90,7 @@ impl BvBinOp {
             BvBinOp::Add => a.wrapping_add(b),
             BvBinOp::Sub => a.wrapping_sub(b),
             BvBinOp::Mul => a.wrapping_mul(b),
-            BvBinOp::Udiv => {
-                if b == 0 {
-                    m
-                } else {
-                    a / b
-                }
-            }
+            BvBinOp::Udiv => a.checked_div(b).unwrap_or(m),
             BvBinOp::Urem => {
                 if b == 0 {
                     a
@@ -362,12 +356,7 @@ impl Ctx {
     }
 
     /// Declares a fresh uninterpreted function.
-    pub fn func(
-        &mut self,
-        name: impl Into<String>,
-        domain: Vec<Sort>,
-        range: Sort,
-    ) -> FuncId {
+    pub fn func(&mut self, name: impl Into<String>, domain: Vec<Sort>, range: Sort) -> FuncId {
         let f = FuncId(self.funcs.len() as u32);
         self.funcs.push(FuncDecl {
             name: name.into(),
@@ -384,7 +373,12 @@ impl Ctx {
     /// Panics if the argument sorts do not match the declaration.
     pub fn apply(&mut self, f: FuncId, args: &[TermId]) -> TermId {
         let decl = &self.funcs[f.0 as usize];
-        assert_eq!(decl.domain.len(), args.len(), "arity mismatch for {}", decl.name);
+        assert_eq!(
+            decl.domain.len(),
+            args.len(),
+            "arity mismatch for {}",
+            decl.name
+        );
         let range = decl.range;
         for (i, (&a, &s)) in args.iter().zip(decl.domain.iter()).enumerate() {
             assert_eq!(
@@ -751,7 +745,11 @@ impl Ctx {
             }
             _ => {}
         }
-        let (a, b) = if op.commutative() && b < a { (b, a) } else { (a, b) };
+        let (a, b) = if op.commutative() && b < a {
+            (b, a)
+        } else {
+            (a, b)
+        };
         self.intern(TermData::BvBin(op, a, b), Sort::Bv(w))
     }
 

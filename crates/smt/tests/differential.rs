@@ -1,0 +1,246 @@
+//! Differential testing of the full solver pipeline against two
+//! independent oracles, on randomly generated QF_BV / EUF term DAGs:
+//!
+//! * **Sat direction**: any model the solver returns must satisfy every
+//!   assertion under the ground evaluator.
+//! * **Unsat direction**: for UF-free formulas over tiny domains
+//!   (≤ 12 assignment bits), exhaustive enumeration of every variable
+//!   assignment must agree that no witness exists — and when a witness
+//!   does exist, the solver must find one.
+//!
+//! Formulas with uninterpreted functions cannot be enumerated cheaply,
+//! so there the Unsat direction is cross-checked by sampling random
+//! concrete function tables: a sampled witness refutes an `Unsat` claim.
+//!
+//! Everything runs on the vendored PRNG — no network, no external
+//! crates.
+
+mod common;
+
+use common::XorShift64;
+use hk_smt::eval::{eval_bool, Assignment, Value};
+use hk_smt::term::TermData;
+use hk_smt::{BvBinOp, CmpOp, Ctx, FuncId, SatResult, Solver, Sort, TermId, VarId};
+
+const WIDTH: u32 = 4;
+
+/// The generator's vocabulary: two bit-vector variables, one boolean
+/// variable, and (optionally) a unary uninterpreted function.
+struct Vocab {
+    bv_vars: Vec<(TermId, VarId)>,
+    bool_var: (TermId, VarId),
+    func: Option<FuncId>,
+}
+
+fn vocab(ctx: &mut Ctx, with_func: bool) -> Vocab {
+    let var_id = |ctx: &Ctx, t: TermId| match ctx.data(t) {
+        TermData::Var(v) => *v,
+        _ => unreachable!("fresh var"),
+    };
+    let x = ctx.var("x", Sort::Bv(WIDTH));
+    let y = ctx.var("y", Sort::Bv(WIDTH));
+    let b = ctx.var("b", Sort::Bool);
+    Vocab {
+        bv_vars: vec![(x, var_id(ctx, x)), (y, var_id(ctx, y))],
+        bool_var: (b, var_id(ctx, b)),
+        func: with_func.then(|| ctx.func("f", vec![Sort::Bv(WIDTH)], Sort::Bv(WIDTH))),
+    }
+}
+
+const BIN_OPS: [BvBinOp; 11] = [
+    BvBinOp::Add,
+    BvBinOp::Sub,
+    BvBinOp::Mul,
+    BvBinOp::Udiv,
+    BvBinOp::Urem,
+    BvBinOp::And,
+    BvBinOp::Or,
+    BvBinOp::Xor,
+    BvBinOp::Shl,
+    BvBinOp::Lshr,
+    BvBinOp::Ashr,
+];
+
+fn gen_bv(ctx: &mut Ctx, rng: &mut XorShift64, v: &Vocab, depth: u32) -> TermId {
+    if depth == 0 {
+        return if rng.chance(1, 2) {
+            v.bv_vars[rng.below(v.bv_vars.len() as u64) as usize].0
+        } else {
+            let c = rng.below(1 << WIDTH);
+            ctx.bv_const(WIDTH, c)
+        };
+    }
+    match rng.below(if v.func.is_some() { 5 } else { 4 }) {
+        0 => {
+            let c = rng.below(1 << WIDTH);
+            ctx.bv_const(WIDTH, c)
+        }
+        1 => v.bv_vars[rng.below(v.bv_vars.len() as u64) as usize].0,
+        2 => {
+            let op = BIN_OPS[rng.below(BIN_OPS.len() as u64) as usize];
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            let b = gen_bv(ctx, rng, v, depth - 1);
+            ctx.bv_bin(op, a, b)
+        }
+        3 => {
+            let c = gen_bool(ctx, rng, v, depth - 1);
+            let t = gen_bv(ctx, rng, v, depth - 1);
+            let e = gen_bv(ctx, rng, v, depth - 1);
+            ctx.ite(c, t, e)
+        }
+        _ => {
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            ctx.apply(v.func.unwrap(), &[a])
+        }
+    }
+}
+
+fn gen_bool(ctx: &mut Ctx, rng: &mut XorShift64, v: &Vocab, depth: u32) -> TermId {
+    if depth == 0 {
+        return if rng.chance(1, 2) {
+            v.bool_var.0
+        } else {
+            let b = rng.chance(1, 2);
+            ctx.bool_const(b)
+        };
+    }
+    match rng.below(6) {
+        0 => {
+            let ops = [CmpOp::Ult, CmpOp::Ule, CmpOp::Slt, CmpOp::Sle];
+            let op = ops[rng.below(4) as usize];
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            let b = gen_bv(ctx, rng, v, depth - 1);
+            ctx.cmp(op, a, b)
+        }
+        1 => {
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            let b = gen_bv(ctx, rng, v, depth - 1);
+            if rng.chance(1, 2) {
+                ctx.eq(a, b)
+            } else {
+                ctx.ne(a, b)
+            }
+        }
+        2 => {
+            let a = gen_bool(ctx, rng, v, depth - 1);
+            let b = gen_bool(ctx, rng, v, depth - 1);
+            ctx.and(&[a, b])
+        }
+        3 => {
+            let a = gen_bool(ctx, rng, v, depth - 1);
+            let b = gen_bool(ctx, rng, v, depth - 1);
+            ctx.or(&[a, b])
+        }
+        4 => {
+            let a = gen_bool(ctx, rng, v, depth - 1);
+            ctx.not(a)
+        }
+        _ => v.bool_var.0,
+    }
+}
+
+/// Builds the assignment `{x, y := bits, b := bit}` for one point of the
+/// 2^9 domain.
+fn assignment_at(v: &Vocab, point: u64) -> Assignment {
+    let mut asg = Assignment::new();
+    for (i, &(_, var)) in v.bv_vars.iter().enumerate() {
+        asg.set_var(
+            var,
+            Value::Bv(point >> (i as u32 * WIDTH) & ((1 << WIDTH) - 1)),
+        );
+    }
+    asg.set_var(
+        v.bool_var.1,
+        Value::Bool(point >> (v.bv_vars.len() as u32 * WIDTH) & 1 == 1),
+    );
+    asg
+}
+
+/// Exhaustively searches the (tiny) assignment space for a witness.
+fn enumerate_witness(ctx: &Ctx, v: &Vocab, assertions: &[TermId]) -> Option<u64> {
+    let points = 1u64 << (v.bv_vars.len() as u32 * WIDTH + 1);
+    (0..points).find(|&p| {
+        let asg = assignment_at(v, p);
+        assertions.iter().all(|&t| eval_bool(ctx, t, &asg))
+    })
+}
+
+#[test]
+fn random_bv_formulas_agree_with_enumeration() {
+    let mut rng = XorShift64::new(0xd1f0);
+    for case in 0..96 {
+        let mut ctx = Ctx::new();
+        let v = vocab(&mut ctx, false);
+        let n = 1 + rng.below(3);
+        let assertions: Vec<TermId> = (0..n)
+            .map(|_| gen_bool(&mut ctx, &mut rng, &v, 4))
+            .collect();
+        let mut s = Solver::new();
+        for &t in &assertions {
+            s.assert(&mut ctx, t);
+        }
+        let witness = enumerate_witness(&ctx, &v, &assertions);
+        match s.check(&mut ctx) {
+            SatResult::Sat(m) => {
+                assert!(
+                    assertions
+                        .iter()
+                        .all(|&t| eval_bool(&ctx, t, &m.assignment)),
+                    "case {case}: solver model fails the evaluator"
+                );
+                assert!(
+                    witness.is_some(),
+                    "case {case}: solver said sat, enumeration found no witness"
+                );
+            }
+            SatResult::Unsat => assert!(
+                witness.is_none(),
+                "case {case}: solver said unsat, enumeration found witness at {witness:?}"
+            ),
+            SatResult::Unknown => panic!("case {case}: unexpected unknown"),
+        }
+    }
+}
+
+#[test]
+fn random_uf_formulas_validate_against_sampling() {
+    let mut rng = XorShift64::new(0xef03);
+    for case in 0..64 {
+        let mut ctx = Ctx::new();
+        let v = vocab(&mut ctx, true);
+        let n = 1 + rng.below(3);
+        let assertions: Vec<TermId> = (0..n)
+            .map(|_| gen_bool(&mut ctx, &mut rng, &v, 4))
+            .collect();
+        let mut s = Solver::new();
+        for &t in &assertions {
+            s.assert(&mut ctx, t);
+        }
+        let result = s.check(&mut ctx);
+        // Sat direction: the model must satisfy every assertion.
+        if let SatResult::Sat(m) = &result {
+            assert!(
+                assertions
+                    .iter()
+                    .all(|&t| eval_bool(&ctx, t, &m.assignment)),
+                "case {case}: solver model fails the evaluator"
+            );
+        }
+        // Unsat direction: a sampled concrete witness (variables plus a
+        // full random table for `f`) refutes an unsat claim.
+        if result.is_unsat() {
+            let f = v.func.unwrap();
+            for _ in 0..200 {
+                let mut asg = assignment_at(&v, rng.below(1 << 9));
+                let fi = asg.func_mut(f);
+                for arg in 0..1u64 << WIDTH {
+                    fi.set(vec![arg], rng.below(1 << WIDTH));
+                }
+                assert!(
+                    !assertions.iter().all(|&t| eval_bool(&ctx, t, &asg)),
+                    "case {case}: solver said unsat but sampling found a witness"
+                );
+            }
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Property tests for the SMT pipeline.
+//! Randomized property tests for the SMT pipeline, driven by the
+//! vendored PRNG (offline, no external crates).
 //!
 //! Two oracles anchor the whole solver:
 //!
@@ -9,8 +10,9 @@
 //! 2. Random small CNFs are solved both by the CDCL core and by brute
 //!    force, and the sat/unsat verdicts must agree.
 
-use proptest::prelude::*;
+mod common;
 
+use common::XorShift64;
 use hk_smt::eval::{Assignment, Value};
 use hk_smt::sat::{SatOutcome, SatSolver};
 use hk_smt::term::TermData;
@@ -37,19 +39,25 @@ fn brute_force_sat(num_vars: u32, clauses: &[Vec<i32>]) -> bool {
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn cdcl_agrees_with_brute_force(
-        clauses in proptest::collection::vec(
-            proptest::collection::vec((1i32..=8, proptest::bool::ANY), 1..4),
-            1..24,
-        )
-    ) {
-        let clauses: Vec<Vec<i32>> = clauses
-            .into_iter()
-            .map(|c| c.into_iter().map(|(v, neg)| if neg { -v } else { v }).collect())
+#[test]
+fn cdcl_agrees_with_brute_force() {
+    let mut rng = XorShift64::new(0xc0ffee);
+    for _case in 0..256 {
+        let n_clauses = 1 + rng.below(23) as usize;
+        let clauses: Vec<Vec<i32>> = (0..n_clauses)
+            .map(|_| {
+                let len = 1 + rng.below(3) as usize;
+                (0..len)
+                    .map(|_| {
+                        let v = 1 + rng.below(8) as i32;
+                        if rng.chance(1, 2) {
+                            -v
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
             .collect();
         let expected = brute_force_sat(8, &clauses);
         let mut s = SatSolver::new();
@@ -63,9 +71,19 @@ proptest! {
         }
         let outcome = if ok { s.solve() } else { SatOutcome::Unsat };
         match outcome {
-            SatOutcome::Sat => prop_assert!(expected, "CDCL said sat, brute force says unsat"),
-            SatOutcome::Unsat => prop_assert!(!expected, "CDCL said unsat, brute force says sat"),
-            SatOutcome::Unknown => prop_assert!(false, "unexpected unknown"),
+            SatOutcome::Sat => {
+                assert!(
+                    expected,
+                    "CDCL said sat, brute force says unsat: {clauses:?}"
+                )
+            }
+            SatOutcome::Unsat => {
+                assert!(
+                    !expected,
+                    "CDCL said unsat, brute force says sat: {clauses:?}"
+                )
+            }
+            SatOutcome::Unknown => panic!("unexpected unknown on {clauses:?}"),
         }
     }
 }
@@ -83,7 +101,11 @@ fn check_binop(width: u32, op: BvBinOp, a: u64, b: u64) {
     let r = ctx.bv_bin(op, x, y);
     let ca = ctx.bv_const(width, a);
     let cb = ctx.bv_const(width, b);
-    let expected = op.apply(width, a & hk_smt::term::mask(width), b & hk_smt::term::mask(width));
+    let expected = op.apply(
+        width,
+        a & hk_smt::term::mask(width),
+        b & hk_smt::term::mask(width),
+    );
     let cexp = ctx.bv_const(width, expected);
     let ex = ctx.eq(x, ca);
     let ey = ctx.eq(y, cb);
@@ -126,32 +148,53 @@ fn check_cmp(width: u32, op: CmpOp, a: u64, b: u64) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const BIN_OPS: [BvBinOp; 11] = [
+    BvBinOp::Add,
+    BvBinOp::Sub,
+    BvBinOp::Mul,
+    BvBinOp::Udiv,
+    BvBinOp::Urem,
+    BvBinOp::And,
+    BvBinOp::Or,
+    BvBinOp::Xor,
+    BvBinOp::Shl,
+    BvBinOp::Lshr,
+    BvBinOp::Ashr,
+];
 
-    #[test]
-    fn binop_circuits_match_evaluator(a: u64, b: u64, opi in 0usize..11, wi in 0usize..3) {
-        let ops = [
-            BvBinOp::Add, BvBinOp::Sub, BvBinOp::Mul, BvBinOp::Udiv, BvBinOp::Urem,
-            BvBinOp::And, BvBinOp::Or, BvBinOp::Xor, BvBinOp::Shl, BvBinOp::Lshr,
-            BvBinOp::Ashr,
-        ];
-        let widths = [8u32, 13, 64];
-        check_binop(widths[wi], ops[opi], a, b);
+#[test]
+fn binop_circuits_match_evaluator() {
+    let widths = [8u32, 13, 64];
+    let mut rng = XorShift64::new(1);
+    for _case in 0..48 {
+        let op = BIN_OPS[rng.below(BIN_OPS.len() as u64) as usize];
+        let w = widths[rng.below(3) as usize];
+        check_binop(w, op, rng.next_u64(), rng.next_u64());
     }
+}
 
-    #[test]
-    fn cmp_circuits_match_evaluator(a: u64, b: u64, opi in 0usize..4, wi in 0usize..3) {
-        let ops = [CmpOp::Ult, CmpOp::Ule, CmpOp::Slt, CmpOp::Sle];
-        let widths = [8u32, 13, 64];
-        check_cmp(widths[wi], ops[opi], a, b);
+#[test]
+fn cmp_circuits_match_evaluator() {
+    let ops = [CmpOp::Ult, CmpOp::Ule, CmpOp::Slt, CmpOp::Sle];
+    let widths = [8u32, 13, 64];
+    let mut rng = XorShift64::new(2);
+    for _case in 0..48 {
+        let op = ops[rng.below(4) as usize];
+        let w = widths[rng.below(3) as usize];
+        check_cmp(w, op, rng.next_u64(), rng.next_u64());
     }
+}
 
-    #[test]
-    fn shift_amounts_including_oversize(a: u64, amt in 0u64..130, opi in 0usize..3) {
-        let ops = [BvBinOp::Shl, BvBinOp::Lshr, BvBinOp::Ashr];
-        check_binop(64, ops[opi], a, amt);
-        check_binop(8, ops[opi], a, amt);
+#[test]
+fn shift_amounts_including_oversize() {
+    let ops = [BvBinOp::Shl, BvBinOp::Lshr, BvBinOp::Ashr];
+    let mut rng = XorShift64::new(3);
+    for _case in 0..48 {
+        let op = ops[rng.below(3) as usize];
+        let a = rng.next_u64();
+        let amt = rng.below(130);
+        check_binop(64, op, a, amt);
+        check_binop(8, op, a, amt);
     }
 }
 
@@ -161,11 +204,14 @@ proptest! {
 // UFs in the mix).
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn uf_formulas_model_or_unsat(k1 in 0u64..4, k2 in 0u64..4, v1: u8, v2: u8) {
+#[test]
+fn uf_formulas_model_or_unsat() {
+    let mut rng = XorShift64::new(4);
+    for _case in 0..32 {
+        let k1 = rng.below(4);
+        let k2 = rng.below(4);
+        let v1 = rng.below(256) as u8;
+        let v2 = rng.below(256) as u8;
         let mut ctx = Ctx::new();
         let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(8));
         let i1 = ctx.bv_const(64, k1);
@@ -182,14 +228,19 @@ proptest! {
         let result = s.check(&mut ctx);
         // Satisfiable unless the same index is constrained to two values.
         let should_be_sat = k1 != k2 || v1 == v2;
-        prop_assert_eq!(result.is_sat(), should_be_sat);
+        assert_eq!(result.is_sat(), should_be_sat);
         if let SatResult::Sat(m) = result {
-            prop_assert_eq!(m.eval_bv(&ctx, a1), Some(v1 as u64));
+            assert_eq!(m.eval_bv(&ctx, a1), Some(v1 as u64));
         }
     }
+}
 
-    #[test]
-    fn ite_chains_evaluate_consistently(sel in 0u64..8, vals: [u8; 8]) {
+#[test]
+fn ite_chains_evaluate_consistently() {
+    let mut rng = XorShift64::new(5);
+    for _case in 0..32 {
+        let sel = rng.below(8);
+        let vals: Vec<u8> = (0..8).map(|_| rng.below(256) as u8).collect();
         // read(sel) over an 8-entry ite chain equals vals[sel].
         let mut ctx = Ctx::new();
         let idx = ctx.var("idx", Sort::Bv(64));
@@ -207,12 +258,15 @@ proptest! {
         let mut s = Solver::new();
         s.assert(&mut ctx, esel);
         s.assert(&mut ctx, ne);
-        prop_assert!(s.check(&mut ctx).is_unsat());
+        assert!(s.check(&mut ctx).is_unsat());
         // And the evaluator agrees.
         let mut asg = Assignment::new();
         if let TermData::Var(v) = ctx.data(idx) {
             asg.set_var(*v, Value::Bv(sel));
         }
-        prop_assert_eq!(hk_smt::eval::eval_bv(&ctx, read, &asg), vals[sel as usize] as u64);
+        assert_eq!(
+            hk_smt::eval::eval_bv(&ctx, read, &asg),
+            vals[sel as usize] as u64
+        );
     }
 }

@@ -10,8 +10,10 @@
 //! consequence lemma: any state satisfying the conjunction admits no
 //! 4-level page walk that escapes the owner's frames.
 
-use hk_abi::{file_type, intremap_state, page_type, proc_state, INIT_PID, PARENT_NONE,
-    PID_NONE, PTE_P, PTE_PFN_SHIFT};
+use hk_abi::{
+    file_type, intremap_state, page_type, proc_state, INIT_PID, PARENT_NONE, PID_NONE, PTE_P,
+    PTE_PFN_SHIFT,
+};
 use hk_smt::{BvBinOp, Ctx, Sort, TermId};
 
 use crate::state::SpecState;
@@ -27,19 +29,58 @@ pub struct DeclProperty {
 /// All declarative properties, in presentation order.
 pub fn all_properties() -> Vec<DeclProperty> {
     vec![
-        DeclProperty { name: "current-valid", build: current_valid },
-        DeclProperty { name: "running-is-current", build: running_is_current },
-        DeclProperty { name: "init-immortal", build: init_immortal },
-        DeclProperty { name: "file-refcount-consistent", build: file_refcount_consistent },
-        DeclProperty { name: "proc-counters-consistent", build: proc_counters_consistent },
-        DeclProperty { name: "pipe-ends-consistent", build: pipe_ends_consistent },
-        DeclProperty { name: "file-none-unreferenced", build: file_none_unreferenced },
-        DeclProperty { name: "proc-pages-exclusive", build: proc_pages_exclusive },
-        DeclProperty { name: "free-page-unowned", build: free_page_unowned },
-        DeclProperty { name: "free-proc-no-children", build: free_proc_no_children },
-        DeclProperty { name: "pte-wellformed", build: pte_wellformed },
-        DeclProperty { name: "iommu-root-wellformed", build: iommu_root_wellformed },
-        DeclProperty { name: "intremap-refcounts", build: intremap_refcounts },
+        DeclProperty {
+            name: "current-valid",
+            build: current_valid,
+        },
+        DeclProperty {
+            name: "running-is-current",
+            build: running_is_current,
+        },
+        DeclProperty {
+            name: "init-immortal",
+            build: init_immortal,
+        },
+        DeclProperty {
+            name: "file-refcount-consistent",
+            build: file_refcount_consistent,
+        },
+        DeclProperty {
+            name: "proc-counters-consistent",
+            build: proc_counters_consistent,
+        },
+        DeclProperty {
+            name: "pipe-ends-consistent",
+            build: pipe_ends_consistent,
+        },
+        DeclProperty {
+            name: "file-none-unreferenced",
+            build: file_none_unreferenced,
+        },
+        DeclProperty {
+            name: "proc-pages-exclusive",
+            build: proc_pages_exclusive,
+        },
+        DeclProperty {
+            name: "free-page-unowned",
+            build: free_page_unowned,
+        },
+        DeclProperty {
+            name: "free-proc-no-children",
+            build: free_proc_no_children,
+        },
+        DeclProperty {
+            name: "pte-wellformed",
+            build: pte_wellformed,
+        },
+        DeclProperty {
+            name: "iommu-root-wellformed",
+            build: iommu_root_wellformed,
+        },
+        DeclProperty {
+            name: "intremap-refcounts",
+            build: intremap_refcounts,
+        },
     ]
 }
 

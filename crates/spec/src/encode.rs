@@ -107,11 +107,7 @@ pub fn file_refcnt_permutation(ctx: &mut Ctx, st: &mut SpecState) -> TermId {
     let params = st.params;
     let mut stc = st.clone();
     let objs = (params.nr_procs - 1) * params.nr_fds;
-    let pi = ctx.func(
-        "refcnt_pi",
-        vec![Sort::Bv(64), Sort::Bv(64)],
-        Sort::Bv(64),
-    );
+    let pi = ctx.func("refcnt_pi", vec![Sort::Bv(64), Sort::Bv(64)], Sort::Bv(64));
     let pi_inv = ctx.func(
         "refcnt_pi_inv",
         vec![Sort::Bv(64), Sort::Bv(64)],

@@ -1,8 +1,7 @@
 //! State-machine specifications for file descriptors and pipes
 //! (mirrors `fd.hc`), including the paper's `spec_dup` (§2.2).
 
-use hk_abi::{file_type, omode, page_type, EAGAIN, EBADF, EBUSY, EINVAL, ENFILE, EPERM,
-    EPIPE};
+use hk_abi::{file_type, omode, page_type, EAGAIN, EBADF, EBUSY, EINVAL, ENFILE, EPERM, EPIPE};
 use hk_smt::{BvBinOp, TermId};
 
 use crate::helpers::*;
@@ -153,8 +152,7 @@ pub fn dup2(mut r: SpecRun, args: &[TermId]) -> TermId {
 
 /// `sys_pipe(fd0, fileid0, fd1, fileid1, pipeid)`.
 pub fn pipe(mut r: SpecRun, args: &[TermId]) -> TermId {
-    let (fd0, fileid0, fd1, fileid1, pipeid) =
-        (args[0], args[1], args[2], args[3], args[4]);
+    let (fd0, fileid0, fd1, fileid1, pipeid) = (args[0], args[1], args[2], args[3], args[4]);
     let v0 = fd_valid(&mut r, fd0);
     let v1 = fd_valid(&mut r, fd1);
     let both = r.ctx.and2(v0, v1);

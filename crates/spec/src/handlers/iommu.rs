@@ -1,8 +1,10 @@
 //! State-machine specifications for IOMMU, ports, vectors, and
 //! interrupt remapping (mirrors `iommu.hc` and `intr.hc`).
 
-use hk_abi::{intremap_state, page_type, proc_state, DEV_ROOT_NONE, EBUSY, EINVAL, ENODEV,
-    ENOMEM, EPERM, PARENT_NONE, PID_NONE, PTE_P, PTE_PFN_SHIFT};
+use hk_abi::{
+    intremap_state, page_type, proc_state, DEV_ROOT_NONE, EBUSY, EINVAL, ENODEV, ENOMEM, EPERM,
+    PARENT_NONE, PID_NONE, PTE_P, PTE_PFN_SHIFT,
+};
 use hk_smt::{BvBinOp, TermId};
 
 use crate::helpers::*;

@@ -1,7 +1,8 @@
 //! State-machine specifications for IPC (mirrors `ipc.hc`).
 
-use hk_abi::{page_type, proc_state, EAGAIN, EBADF, EBUSY, EINVAL, EPERM, ESRCH, INIT_PID,
-    PARENT_NONE};
+use hk_abi::{
+    page_type, proc_state, EAGAIN, EBADF, EBUSY, EINVAL, EPERM, ESRCH, INIT_PID, PARENT_NONE,
+};
 use hk_smt::TermId;
 
 use crate::helpers::*;

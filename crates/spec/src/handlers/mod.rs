@@ -20,12 +20,7 @@ use crate::state::SpecState;
 
 /// Applies the specification of `sysno` to `st` (in place) and returns
 /// the specified result value.
-pub fn spec_transition(
-    ctx: &mut Ctx,
-    st: &mut SpecState,
-    sysno: Sysno,
-    args: &[TermId],
-) -> TermId {
+pub fn spec_transition(ctx: &mut Ctx, st: &mut SpecState, sysno: Sysno, args: &[TermId]) -> TermId {
     assert_eq!(args.len(), sysno.arg_count(), "{sysno} spec arity");
     let r = SpecRun::new(ctx, st);
     match sysno {

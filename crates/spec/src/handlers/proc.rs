@@ -1,8 +1,10 @@
 //! State-machine specifications for the process-management handlers
 //! (mirrors `proc.hc`).
 
-use hk_abi::{page_type, proc_state, EAGAIN, EBUSY, EINVAL, ENOMEM, EPERM, ESRCH, INIT_PID,
-    PARENT_NONE, PID_NONE};
+use hk_abi::{
+    page_type, proc_state, EAGAIN, EBUSY, EINVAL, ENOMEM, EPERM, ESRCH, INIT_PID, PARENT_NONE,
+    PID_NONE,
+};
 use hk_smt::{BvBinOp, TermId};
 
 use crate::helpers::*;

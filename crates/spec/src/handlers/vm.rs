@@ -1,8 +1,10 @@
 //! State-machine specifications for the virtual-memory handlers
 //! (mirrors `vm.hc`).
 
-use hk_abi::{page_type, proc_state, EBUSY, EINVAL, ENOMEM, EPERM, ESRCH, PARENT_NONE,
-    PID_NONE, PTE_P, PTE_PFN_SHIFT};
+use hk_abi::{
+    page_type, proc_state, EBUSY, EINVAL, ENOMEM, EPERM, ESRCH, PARENT_NONE, PID_NONE, PTE_P,
+    PTE_PFN_SHIFT,
+};
 use hk_smt::{BvBinOp, TermId};
 
 use crate::helpers::*;

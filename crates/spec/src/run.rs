@@ -98,14 +98,7 @@ impl<'a> SpecRun<'a> {
     }
 
     /// Writes a cell under an extra condition (on top of the guard).
-    pub fn wr_if(
-        &mut self,
-        extra: TermId,
-        global: &str,
-        field: &str,
-        idx: &[TermId],
-        val: TermId,
-    ) {
+    pub fn wr_if(&mut self, extra: TermId, global: &str, field: &str, idx: &[TermId], val: TermId) {
         let base = self.effect_guard();
         let g = self.ctx.and2(base, extra);
         self.st.write_if(self.ctx, g, global, field, idx, val);

@@ -153,14 +153,7 @@ impl SpecState {
     }
 
     /// Unconditional write.
-    pub fn write(
-        &mut self,
-        ctx: &mut Ctx,
-        global: &str,
-        field: &str,
-        idx: &[TermId],
-        val: TermId,
-    ) {
+    pub fn write(&mut self, ctx: &mut Ctx, global: &str, field: &str, idx: &[TermId], val: TermId) {
         let _ = ctx;
         self.map_mut(global, field).write(idx.to_vec(), val);
     }

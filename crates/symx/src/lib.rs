@@ -103,7 +103,10 @@ impl std::fmt::Display for SymxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SymxError::BudgetExhausted { func } => {
-                write!(f, "{func}: instruction budget exhausted (non-finite handler?)")
+                write!(
+                    f,
+                    "{func}: instruction budget exhausted (non-finite handler?)"
+                )
             }
             SymxError::PathExplosion { func, limit } => {
                 write!(f, "{func}: more than {limit} paths")
@@ -140,9 +143,8 @@ impl Default for SymxConfig {
 
 /// Solver-backed feasibility test used on loop back-edges.
 fn feasible(ctx: &mut Ctx, cond: TermId, budget: u64) -> bool {
-    match ctx.const_bool(cond) {
-        Some(b) => return b,
-        None => {}
+    if let Some(b) = ctx.const_bool(cond) {
+        return b;
     }
     let mut solver = hk_smt::Solver::with_config(hk_smt::SolverConfig {
         sat: hk_smt::SatConfig {
@@ -150,6 +152,7 @@ fn feasible(ctx: &mut Ctx, cond: TermId, budget: u64) -> bool {
             ..hk_smt::SatConfig::default()
         },
         skip_validation: true,
+        cache: None,
     });
     solver.assert(ctx, cond);
     !solver.check(ctx).is_unsat()
@@ -186,7 +189,12 @@ pub fn sym_exec(
     config: &SymxConfig,
 ) -> Result<SymxResult, SymxError> {
     let f = module.func_def(func);
-    assert_eq!(args.len(), f.num_params as usize, "symx arity for {}", f.name);
+    assert_eq!(
+        args.len(),
+        f.num_params as usize,
+        "symx arity for {}",
+        f.name
+    );
     let mut regs = vec![None; f.num_regs as usize];
     for (i, &a) in args.iter().enumerate() {
         regs[i] = Some(a);
@@ -251,13 +259,7 @@ pub fn sym_exec(
                 }
                 Terminator::Br { cond, then_, else_ } => {
                     let fdef_name = fdef.name.clone();
-                    let c = operand(
-                        ctx,
-                        &mut task,
-                        cond,
-                        &fdef_name,
-                        &mut fresh_counter,
-                    );
+                    let c = operand(ctx, &mut task, cond, &fdef_name, &mut fresh_counter);
                     let zero = ctx.i64_const(0);
                     let taken = ctx.ne(c, zero);
                     match ctx.const_bool(taken) {
@@ -380,10 +382,7 @@ fn resolve_gep(
     let index = operand(ctx, task, gep.index, func_name, fresh_counter);
     let sub = operand(ctx, task, gep.sub, func_name, fresh_counter);
     // Bounds side checks (skipped when statically in range).
-    for (term, hi, what) in [
-        (index, g.elems, "index"),
-        (sub, fld.elems, "sub-index"),
-    ] {
+    for (term, hi, what) in [(index, g.elems, "index"), (sub, fld.elems, "sub-index")] {
         let zero = ctx.i64_const(0);
         let h = ctx.i64_const(hi as i64);
         let ge = ctx.sle(zero, term);
@@ -456,8 +455,15 @@ fn step(
             frame.inst += 1;
         }
         Inst::Load { dst, gep } => {
-            let (g, f, idx, volatile) =
-                resolve_gep(ctx, module, task, gep, &func_name, side_checks, fresh_counter);
+            let (g, f, idx, volatile) = resolve_gep(
+                ctx,
+                module,
+                task,
+                gep,
+                &func_name,
+                side_checks,
+                fresh_counter,
+            );
             let v = if volatile {
                 // Volatile read: any value at all (paper §3.2).
                 *fresh_counter += 1;
@@ -471,8 +477,15 @@ fn step(
         }
         Inst::Store { gep, val } => {
             let v = operand(ctx, task, *val, &func_name, fresh_counter);
-            let (g, f, idx, _volatile) =
-                resolve_gep(ctx, module, task, gep, &func_name, side_checks, fresh_counter);
+            let (g, f, idx, _volatile) = resolve_gep(
+                ctx,
+                module,
+                task,
+                gep,
+                &func_name,
+                side_checks,
+                fresh_counter,
+            );
             // Guarded by the path condition: sibling paths have disjoint
             // conditions, so one shared write chain serves all paths.
             let cond = task.cond;
@@ -626,7 +639,8 @@ mod tests {
 
     #[test]
     fn constant_loops_unroll_single_path() {
-        let src = "i64 f() { i64 s = 0; i64 i; for (i = 0; i < 8; i = i + 1) { s = s + i; } return s; }";
+        let src =
+            "i64 f() { i64 s = 0; i64 i; for (i = 0; i < 8; i = i + 1) { s = s + i; } return s; }";
         let (module, shapes) = compile(src, &[]);
         let mut ctx = Ctx::new();
         let st = SpecState::fresh(&mut ctx, &shapes, hk_abi::KernelParams::verification());

@@ -96,8 +96,7 @@ impl<D: DiskIo> Log<D> {
             // 1. Write staged data into the log area.
             for (i, &lba) in self.order.iter().enumerate() {
                 let data = &self.staged[&lba];
-                self.disk
-                    .write_sector(self.header_lba + 1 + i as u64, data);
+                self.disk.write_sector(self.header_lba + 1 + i as u64, data);
             }
             // 2. Commit point: the header names the home locations.
             let mut header = vec![0i64; sw];

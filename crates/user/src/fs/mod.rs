@@ -192,10 +192,7 @@ impl<D: DiskIo> FileSys<D> {
     fn inode_pos(&self, inum: u64) -> (u64, u64) {
         let sw = self.log.sector_words();
         let per = sw / INODE_WORDS;
-        (
-            self.sb.inode_start + inum / per,
-            (inum % per) * INODE_WORDS,
-        )
+        (self.sb.inode_start + inum / per, (inum % per) * INODE_WORDS)
     }
 
     fn get_inode(&mut self, inum: u64) -> Inode {
@@ -450,10 +447,7 @@ impl<D: DiskIo> FileSys<D> {
             if ino.ty != T_DIR {
                 return Err(FsError::NotDir);
             }
-            inum = self
-                .dir_lookup(&mut ino, p)
-                .ok_or(FsError::NotFound)?
-                .0;
+            inum = self.dir_lookup(&mut ino, p).ok_or(FsError::NotFound)?.0;
         }
         Ok(inum)
     }
@@ -676,7 +670,7 @@ mod tests {
             .map(|(_, n)| n)
             .collect();
         assert_eq!(names, vec!["a"]);
-        assert_eq!(fs.namei("/etc").unwrap() != ROOT_INUM, true);
+        assert_ne!(fs.namei("/etc").unwrap(), ROOT_INUM);
         assert_eq!(fs.stat("/etc").unwrap().ty, T_DIR);
     }
 
@@ -742,9 +736,6 @@ mod tests {
     #[test]
     fn mount_rejects_garbage() {
         let disk = RamDisk::new(64, 64);
-        assert!(matches!(
-            FileSys::mount(disk),
-            Err(FsError::BadSuperblock)
-        ));
+        assert!(matches!(FileSys::mount(disk), Err(FsError::BadSuperblock)));
     }
 }

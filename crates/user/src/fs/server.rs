@@ -224,10 +224,7 @@ impl GuestProg for FsServer {
                     status,
                     len,
                 } => {
-                    let r = env.hypercall(
-                        Sysno::ReplyWait,
-                        &[client, status, self.frame, len, -1],
-                    );
+                    let r = env.hypercall(Sysno::ReplyWait, &[client, status, self.frame, len, -1]);
                     if r == 0 {
                         // Reply delivered; we are re-armed and sleeping.
                         self.state = ServerState::Waiting;
@@ -292,10 +289,7 @@ impl IpcClient {
             for (i, w) in req.iter().enumerate() {
                 env.set_page_word(frame, i as u64, *w);
             }
-            let r = env.hypercall(
-                Sysno::Send,
-                &[self.server, 1, frame, req.len() as i64, -1],
-            );
+            let r = env.hypercall(Sysno::Send, &[self.server, 1, frame, req.len() as i64, -1]);
             if r == -EAGAIN {
                 // Server busy with someone else; retry later.
                 env.hypercall(Sysno::Yield, &[]);

@@ -82,12 +82,12 @@ impl HxeImage {
     pub fn sum_loop(n: i64) -> HxeImage {
         HxeImage {
             ops: vec![
-                Op::Movi(1, n),      // counter
-                Op::Movi(2, 1),      // constant 1
-                Op::Movi(3, 0),      // acc
-                Op::Add(3, 3, 1),    // 3: acc += counter
-                Op::Sub(1, 1, 2),    // counter -= 1
-                Op::Jnz(1, 3),       // loop
+                Op::Movi(1, n),   // counter
+                Op::Movi(2, 1),   // constant 1
+                Op::Movi(3, 0),   // acc
+                Op::Add(3, 3, 1), // 3: acc += counter
+                Op::Sub(1, 1, 2), // counter -= 1
+                Op::Jnz(1, 3),    // loop
                 Op::Movi(0, linux::EXIT),
                 Op::Syscall,
             ],
@@ -112,12 +112,12 @@ impl HxeImage {
             ops: vec![
                 Op::Movi(0, linux::BRK),
                 Op::Movi(1, words),
-                Op::Syscall,          // r0 = base va
+                Op::Syscall, // r0 = base va
                 Op::Movi(2, 4242),
-                Op::Store(0, 2),      // mem[base] = 4242
-                Op::Load(3, 0),       // r3 = mem[base]
+                Op::Store(0, 2), // mem[base] = 4242
+                Op::Load(3, 0),  // r3 = mem[base]
                 Op::Movi(0, linux::EXIT),
-                Op::Add(1, 3, 3),     // exit code = 2 * value
+                Op::Add(1, 3, 3), // exit code = 2 * value
                 Op::Syscall,
             ],
         }
@@ -225,12 +225,8 @@ impl GuestProg for LinuxEmu {
             self.pc += 1;
             match op {
                 Op::Movi(d, v) => self.regs[d] = v,
-                Op::Add(d, a, b) => {
-                    self.regs[d] = self.regs[a].wrapping_add(self.regs[b])
-                }
-                Op::Sub(d, a, b) => {
-                    self.regs[d] = self.regs[a].wrapping_sub(self.regs[b])
-                }
+                Op::Add(d, a, b) => self.regs[d] = self.regs[a].wrapping_add(self.regs[b]),
+                Op::Sub(d, a, b) => self.regs[d] = self.regs[a].wrapping_sub(self.regs[b]),
                 Op::Load(d, a) => match env.read(self.regs[a] as u64) {
                     Ok(v) => self.regs[d] = v,
                     Err(_) => {

@@ -157,9 +157,7 @@ impl NicDriver {
                 Ok(Some(n)) => {
                     let mut frame = Vec::with_capacity(n as usize);
                     for i in 0..n {
-                        let w = env
-                            .read(self.buf_va + i)
-                            .expect("driver buffer mapped");
+                        let w = env.read(self.buf_va + i).expect("driver buffer mapped");
                         frame.push(w);
                     }
                     stack.on_packet(&frame);

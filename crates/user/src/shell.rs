@@ -129,9 +129,7 @@ impl GuestProg for UtilProc {
                         env.hypercall(Sysno::Close, &[fd]);
                     }
                     let mut vm = UserVm::new(env.proc_field("pml4"));
-                    let (_va, frame) = vm
-                        .mmap_any(env, &mut self.budget)
-                        .expect("util setup");
+                    let (_va, frame) = vm.mmap_any(env, &mut self.budget).expect("util setup");
                     self.frame = frame;
                     self.vm = Some(vm);
                     if let Util::Cat { fs_server, .. } = self.util {
@@ -179,8 +177,7 @@ impl GuestProg for UtilProc {
                 UtilState::Drain(out, pos) => {
                     while *pos < out.len() {
                         env.set_page_word(self.frame, 0, out[*pos]);
-                        let r =
-                            env.hypercall(Sysno::PipeWrite, &[STDOUT, self.frame, 0, 1]);
+                        let r = env.hypercall(Sysno::PipeWrite, &[STDOUT, self.frame, 0, 1]);
                         if r == 1 {
                             *pos += 1;
                             continue;
@@ -282,8 +279,7 @@ impl GuestProg for Shell {
             match self.state {
                 ShellState::Setup => {
                     let mut vm = UserVm::new(env.proc_field("pml4"));
-                    let (_va, frame) =
-                        vm.mmap_any(env, &mut self.budget).expect("shell setup");
+                    let (_va, frame) = vm.mmap_any(env, &mut self.budget).expect("shell setup");
                     self.frame = frame;
                     self.vm = Some(vm);
                     self.state = ShellState::Spawn;
@@ -297,10 +293,7 @@ impl GuestProg for Shell {
                     for k in 0..n {
                         let fd_r = Self::PLUMB + 2 * k;
                         let fd_w = fd_r + 1;
-                        let r = env.hypercall(
-                            Sysno::Pipe,
-                            &[fd_r, 2 * k, fd_w, 2 * k + 1, k],
-                        );
+                        let r = env.hypercall(Sysno::Pipe, &[fd_r, 2 * k, fd_w, 2 * k + 1, k]);
                         assert_eq!(r, 0, "shell pipe {k} failed: {r}");
                     }
                     for (i, util) in utils.into_iter().enumerate() {
@@ -332,8 +325,7 @@ impl GuestProg for Shell {
                     let utils_n = self.line.split('|').count() as i64;
                     let last_read = Self::PLUMB + 2 * (utils_n - 1);
                     loop {
-                        let r =
-                            env.hypercall(Sysno::PipeRead, &[last_read, self.frame, 0, 1]);
+                        let r = env.hypercall(Sysno::PipeRead, &[last_read, self.frame, 0, 1]);
                         if r == 1 {
                             let b = env.page_word(self.frame, 0) as u8;
                             self.output.push(b);

@@ -122,22 +122,22 @@ impl UserVm {
             self.pdpts.insert(l3, pn);
         }
         let pdpt = self.pdpts[&l3];
-        if !self.pds.contains_key(&(l3, l2)) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.pds.entry((l3, l2)) {
             let pn = budget.take().ok_or(VmError::OutOfPages)?;
             let r = env.hypercall(Sysno::AllocPd, &[pid, pdpt, l2 as i64, pn, all]);
             if r != 0 {
                 return Err(VmError::Kernel(r));
             }
-            self.pds.insert((l3, l2), pn);
+            e.insert(pn);
         }
         let pd = self.pds[&(l3, l2)];
-        if !self.pts.contains_key(&(l3, l2, l1)) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.pts.entry((l3, l2, l1)) {
             let pn = budget.take().ok_or(VmError::OutOfPages)?;
             let r = env.hypercall(Sysno::AllocPt, &[pid, pd, l1 as i64, pn, all]);
             if r != 0 {
                 return Err(VmError::Kernel(r));
             }
-            self.pts.insert((l3, l2, l1), pn);
+            e.insert(pn);
         }
         let pt = self.pts[&(l3, l2, l1)];
         let frame = budget.take().ok_or(VmError::OutOfPages)?;

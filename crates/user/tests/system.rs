@@ -20,6 +20,9 @@ fn boot() -> System {
 // FS server + client over IPC.
 // ---------------------------------------------------------------------
 
+/// `(status, data)` rows shared between the exerciser and the assertions.
+type SharedResults = std::rc::Rc<std::cell::RefCell<Vec<(i64, Vec<i64>)>>>;
+
 /// Init actor that spawns the fs server and performs a scripted series
 /// of file operations against it.
 struct FsExerciser {
@@ -30,12 +33,12 @@ struct FsExerciser {
     script: Vec<Vec<i64>>,
     step: usize,
     /// (status, data) per completed request.
-    pub results: std::rc::Rc<std::cell::RefCell<Vec<(i64, Vec<i64>)>>>,
+    pub results: SharedResults,
     spawned: bool,
 }
 
 impl FsExerciser {
-    fn new(results: std::rc::Rc<std::cell::RefCell<Vec<(i64, Vec<i64>)>>>) -> FsExerciser {
+    fn new(results: SharedResults) -> FsExerciser {
         let hello: Vec<i64> = "hello from ipc".bytes().map(|b| b as i64).collect();
         FsExerciser {
             budget: None,
@@ -346,7 +349,8 @@ fn http_over_iommu_nic() {
     // Server side: filesystem with content, NIC device 0 on vector 5.
     let mut fs = FileSys::mkfs(RamDisk::new(64, 512), 32, 8).unwrap();
     fs.create("/index.html", T_FILE).unwrap();
-    fs.write_str("/index.html", "<h1>served over DMA</h1>").unwrap();
+    fs.write_str("/index.html", "<h1>served over DMA</h1>")
+        .unwrap();
     let server_nic = std::rc::Rc::new(std::cell::RefCell::new(Nic::new(0, 5)));
     system.set_init(Box::new(WebInit {
         driver: Some(hk_user::net::driver::NicDriver::new(server_nic.clone())),

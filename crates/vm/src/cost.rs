@@ -73,7 +73,10 @@ pub fn default_uarch() -> MicroArch {
 
 /// Looks up a profile by model substring.
 pub fn uarch_by_model(model: &str) -> Option<MicroArch> {
-    MICROARCHES.iter().copied().find(|m| m.model.contains(model))
+    MICROARCHES
+        .iter()
+        .copied()
+        .find(|m| m.model.contains(model))
 }
 
 /// Cycle costs of the machine's primitive operations.

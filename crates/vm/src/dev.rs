@@ -156,12 +156,7 @@ impl Nic {
     }
 
     /// Driver: transmit `len` words from the DMA buffer at `dva`.
-    pub fn transmit(
-        &mut self,
-        machine: &mut Machine,
-        dva: u64,
-        len: u64,
-    ) -> Result<(), DmaFault> {
+    pub fn transmit(&mut self, machine: &mut Machine, dva: u64, len: u64) -> Result<(), DmaFault> {
         let mut frame = Vec::with_capacity(len as usize);
         for i in 0..len {
             frame.push(machine.dma_read(self.dev_id, dva + i)?);
@@ -179,12 +174,7 @@ pub struct Wire;
 impl Wire {
     /// Moves all pending frames in both directions; returns how many
     /// frames moved.
-    pub fn pump(
-        a: &mut Nic,
-        ma: &mut Machine,
-        b: &mut Nic,
-        mb: &mut Machine,
-    ) -> usize {
+    pub fn pump(a: &mut Nic, ma: &mut Machine, b: &mut Nic, mb: &mut Machine) -> usize {
         let mut moved = 0;
         for f in std::mem::take(&mut a.tx_queue) {
             b.wire_deliver(mb, f);
@@ -227,7 +217,8 @@ mod tests {
         let mut m = machine_with_dma();
         let words = m.params().page_words;
         let mut disk = BlockDev::new(0, 3, words, 8);
-        disk.sector_mut(5).copy_from_slice(&[9, 8, 7, 6, 5, 4, 3, 2]);
+        let pattern: Vec<i64> = (0..words as i64).map(|i| 9 - i).collect();
+        disk.sector_mut(5).copy_from_slice(&pattern);
         disk.read_sector(&mut m, 5, 0).unwrap();
         // Data arrived in DMA page 0.
         assert_eq!(m.phys.read(m.map.dma_page_addr(0)), 9);

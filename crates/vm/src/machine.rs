@@ -200,11 +200,7 @@ impl Machine {
     }
 
     /// Translates a guest virtual address, consulting the TLB.
-    pub fn translate(
-        &mut self,
-        va: VirtAddr,
-        access: AccessKind,
-    ) -> Result<u64, PageFault> {
+    pub fn translate(&mut self, va: VirtAddr, access: AccessKind) -> Result<u64, PageFault> {
         let params = self.map.params;
         let vpage = va / params.page_words;
         let offset = va % params.page_words;
@@ -212,8 +208,7 @@ impl Machine {
             self.cycles.charge(self.cost.tlb_hit);
             return Ok(self.map.pfn_addr(pfn) + offset);
         }
-        self.cycles
-            .charge(self.cost.walk_level * hk_abi::PT_LEVELS);
+        self.cycles.charge(self.cost.walk_level * hk_abi::PT_LEVELS);
         let t = paging::walk(&self.phys, &self.map, self.cr3, va, access)?;
         self.tlb.insert(vpage, t.pfn, t.writable);
         Ok(t.phys_addr)

@@ -178,7 +178,10 @@ mod tests {
             let addr = map.ram_page_addr(tables[lvl]) + idx[lvl];
             phys.write(
                 addr,
-                pte_encode(tables[lvl + 1] as i64, hk_abi::PTE_P | hk_abi::PTE_W | PTE_U),
+                pte_encode(
+                    tables[lvl + 1] as i64,
+                    hk_abi::PTE_P | hk_abi::PTE_W | PTE_U,
+                ),
             );
         }
         let addr = map.ram_page_addr(tables[3]) + idx[3];
@@ -189,22 +192,25 @@ mod tests {
     #[test]
     fn split_join_roundtrip() {
         let params = KernelParams::verification();
-        for va in [0u64, 1, 0x7fff, 0x1234, 0x7abc] {
+        let k = params.page_words.trailing_zeros() as u64;
+        // k-bit pages translate k * 5 bits of virtual address.
+        let limit = 1u64 << (k * (PT_LEVELS + 1));
+        for va in [0u64, 1, limit - 1, limit / 3, limit / 7 + 1] {
             let (idx, off) = split_va(&params, va).unwrap();
             assert_eq!(join_va(&params, idx, off), va);
         }
-        // 8-word pages: 15 translated bits; bit 15 makes it non-canonical.
-        assert!(split_va(&params, 1 << 15).is_none());
+        // The first address past the translated range is non-canonical.
+        assert!(split_va(&params, limit).is_none());
     }
 
     #[test]
     fn walk_success() {
         let (mut phys, map) = setup();
-        let va = join_va(&map.params, [1, 2, 3, 4], 5);
+        let va = join_va(&map.params, [1, 2, 3, 2], 3);
         let root = map_va(&mut phys, &map, va, 9, PTE_P | PTE_W | PTE_U);
         let t = walk(&phys, &map, root, va, AccessKind::Write).unwrap();
         assert_eq!(t.pfn, 9);
-        assert_eq!(t.phys_addr, map.ram_page_addr(9) + 5);
+        assert_eq!(t.phys_addr, map.ram_page_addr(9) + 3);
         assert!(t.writable);
     }
 

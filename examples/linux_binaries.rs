@@ -21,7 +21,10 @@ impl GuestProg for Launcher {
         if !self.spawned {
             let mut budget: PageBudget = ulib::init_budget(env);
             let images: Vec<(&str, HxeImage)> = vec![
-                ("hello", HxeImage::hello("hello from an emulated Linux binary\n")),
+                (
+                    "hello",
+                    HxeImage::hello("hello from an emulated Linux binary\n"),
+                ),
                 ("sum_loop(1000)", HxeImage::sum_loop(1000)),
                 ("gettid x32", HxeImage::gettid_loop(32)),
                 ("brk+touch", HxeImage::brk_touch(64)),
@@ -53,9 +56,6 @@ fn main() {
             hyperkernel::abi::proc_state::name(state)
         );
     }
-    let inv = system
-        .kernel
-        .check_invariant(&mut system.machine)
-        .unwrap();
+    let inv = system.kernel.check_invariant(&mut system.machine).unwrap();
     println!("\nkernel invariant after all binaries ran: {inv}");
 }

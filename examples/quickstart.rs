@@ -21,10 +21,7 @@ fn main() {
     let mut system = System::boot(params, CostModel::default_model());
     println!(
         "booted: {} procs, {} pages of {} words, kernel region {} words",
-        params.nr_procs,
-        params.nr_pages,
-        params.page_words,
-        system.kernel.layout.kernel_words
+        params.nr_procs, params.nr_pages, params.page_words, system.kernel.layout.kernel_words
     );
 
     // The §5 checkers vouch for what the theorems do not cover.

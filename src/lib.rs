@@ -46,6 +46,8 @@
 pub use hk_abi as abi;
 /// The §5 checkers: boot, stack, link.
 pub use hk_checkers as checkers;
+/// The push-button verifier (Theorems 1 and 2, test generation).
+pub use hk_core as verifier;
 /// The HyperC compiler (C-analogue frontend).
 pub use hk_hcc as hcc;
 /// The LLVM-IR-like intermediate representation and interpreter.
@@ -62,7 +64,5 @@ pub use hk_spec as spec;
 pub use hk_symx as symx;
 /// User space: libc, file system, network, shell, HTTP, Linux emulation.
 pub use hk_user as user;
-/// The push-button verifier (Theorems 1 and 2, test generation).
-pub use hk_core as verifier;
 /// The machine substrate (virtualization, paging, IOMMU, devices).
 pub use hk_vm as vm;

@@ -106,6 +106,7 @@ fn bug_incorrect_pointer_in_dup() {
 }
 
 #[test]
+#[ignore = "slow tier: full handler verification; run with --ignored"]
 fn bug_missing_bounds_check_in_alloc_pdpt() {
     // xv6 2a675089: bounds checking. Here: drop idx_valid from the
     // shared table-extension validation — a user-controlled index then
@@ -124,6 +125,7 @@ fn bug_missing_bounds_check_in_alloc_pdpt() {
 }
 
 #[test]
+#[ignore = "slow tier: full handler verification; run with --ignored"]
 fn bug_refcount_leak_in_close() {
     // xv6 ffe44492: memory leak. Here: close clears the FD slot but
     // forgets to drop the file reference.
@@ -141,6 +143,7 @@ fn bug_refcount_leak_in_close() {
 }
 
 #[test]
+#[ignore = "slow tier: full handler verification; run with --ignored"]
 fn bug_io_privilege_in_alloc_port() {
     // xv6 aff0c8d5: incorrect I/O privilege. Here: alloc_port stops
     // checking that the port is unowned — any process can steal another
@@ -159,6 +162,7 @@ fn bug_io_privilege_in_alloc_port() {
 }
 
 #[test]
+#[ignore = "slow tier: full handler verification; run with --ignored"]
 fn bug_buffer_overflow_in_pipe_read() {
     // xv6 ae15515d: buffer overflow. Here: pipe_read drops the offset
     // bound, so a user-chosen offset writes past the frame.

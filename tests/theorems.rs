@@ -6,7 +6,7 @@
 use hyperkernel::abi::{KernelParams, Sysno, PARENT_NONE};
 use hyperkernel::kernel::KernelImage;
 use hyperkernel::smt::{Ctx, SatResult, Solver, Sort};
-use hyperkernel::spec::decl::{all_properties, conjunction, isolation_lemma};
+use hyperkernel::spec::decl::{all_properties, conjunction};
 use hyperkernel::spec::{shapes_of, SpecState};
 use hyperkernel::verifier::xcut;
 
@@ -17,9 +17,15 @@ fn setup() -> (KernelParams, Vec<hyperkernel::spec::GlobalShape>) {
 }
 
 #[test]
+#[ignore = "slow tier: full declarative sweep; run with --ignored"]
 fn theorem2_holds_for_fd_handlers() {
     let (params, shapes) = setup();
-    for sysno in [Sysno::Dup, Sysno::Close, Sysno::CreateFile, Sysno::TransferFd] {
+    for sysno in [
+        Sysno::Dup,
+        Sysno::Close,
+        Sysno::CreateFile,
+        Sysno::TransferFd,
+    ] {
         let report = xcut::check_transition(&shapes, params, sysno, &Default::default());
         assert!(
             report.outcome.holds(),
@@ -30,6 +36,7 @@ fn theorem2_holds_for_fd_handlers() {
 }
 
 #[test]
+#[ignore = "slow tier: full declarative sweep; run with --ignored"]
 fn theorem2_holds_for_lifecycle_handlers() {
     let (params, shapes) = setup();
     for sysno in [Sysno::Kill, Sysno::Reap, Sysno::Reparent, Sysno::Switch] {
@@ -43,6 +50,7 @@ fn theorem2_holds_for_lifecycle_handlers() {
 }
 
 #[test]
+#[ignore = "slow tier: full declarative sweep; run with --ignored"]
 fn theorem2_holds_for_iommu_lifetime_handlers() {
     // The §6.1 bug territory: device/vector/remap lifetimes.
     let (params, shapes) = setup();
@@ -63,6 +71,7 @@ fn theorem2_holds_for_iommu_lifetime_handlers() {
 }
 
 #[test]
+#[ignore = "slow tier: 4-level walk proof; run with --ignored"]
 fn memory_isolation_lemma_holds() {
     // Paper Property 5: no 4-level walk from a live process's root
     // escapes that process's own frames/DMA pages, in any state
@@ -83,6 +92,7 @@ fn memory_isolation_lemma_holds() {
 /// sets the type but forgets the reference count (so `ty == NONE <=>
 /// refcnt == 0` breaks while nothing else notices).
 #[test]
+#[ignore = "slow tier: solver-backed spec-bug search; run with --ignored"]
 fn declarative_layer_catches_file_table_inconsistency() {
     let (params, shapes) = setup();
     let mut ctx = Ctx::new();
@@ -119,6 +129,7 @@ fn declarative_layer_catches_file_table_inconsistency() {
 /// The IOMMU lifetime bug: a "reclaim"-like transition that frees an
 /// IOMMU root page while the device-table entry still references it.
 #[test]
+#[ignore = "slow tier: solver-backed spec-bug search; run with --ignored"]
 fn declarative_layer_catches_iommu_lifetime_bug() {
     let (params, shapes) = setup();
     let mut ctx = Ctx::new();
