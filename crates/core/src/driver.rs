@@ -36,7 +36,11 @@ pub struct VerifyConfig {
     pub threads: usize,
     /// Solver configuration. If `solver.cache` is `None`, `verify_image`
     /// installs a fresh per-run cache so refinement batches within one
-    /// run can still share verdicts.
+    /// run can still share verdicts. `solver.incremental` (on by
+    /// default) makes each handler reuse one solver across its UB query
+    /// and every refinement batch — the invariant is encoded once and
+    /// learnt clauses carry over; disable it to get the
+    /// fresh-solver-per-query baseline.
     pub solver: SolverConfig,
     /// Symbolic execution configuration.
     pub symx: SymxConfig,

@@ -38,7 +38,10 @@ pub struct PhaseStats {
 }
 
 impl PhaseStats {
-    /// Folds one solver run's statistics into the accumulator.
+    /// Folds one `check` call's statistics into the accumulator.
+    /// [`hk_smt::SolverStats`] is a per-call delta (reset at the start
+    /// of every `check`), so absorbing after each call on a long-lived
+    /// incremental solver counts every query exactly once.
     pub fn absorb(&mut self, stats: &hk_smt::SolverStats) {
         self.encode_time += stats.encode_time;
         self.ack_time += stats.ack_time;

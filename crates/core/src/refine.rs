@@ -71,9 +71,11 @@ pub struct HandlerReport {
     pub side_checks: usize,
     /// Wall-clock time for the whole handler.
     pub time: Duration,
-    /// CNF clauses of the refinement query (rough problem size).
+    /// Largest CNF clause count encoded by a single solver call (rough
+    /// problem size; under incremental solving later calls only encode
+    /// deltas, so this is dominated by the first query).
     pub cnf_clauses: usize,
-    /// SAT conflicts of the refinement query.
+    /// SAT conflicts summed over all refinement queries.
     pub conflicts: u64,
     /// Per-phase timings and query-cache counters.
     pub phases: PhaseStats,
@@ -214,12 +216,19 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
             impl_res.executed
         );
     }
+    // One solver for the handler's whole lifetime: the representation
+    // invariant is asserted (and encoded) exactly once at the base
+    // level, and every query below — the UB disjunction and each
+    // refinement probe batch — runs in its own push/pop scope guarded by
+    // an activation literal. Learnt clauses, variable activities, and
+    // the term→literal encoding all carry over from query to query.
+    let mut solver = Solver::with_config(vctx.solver.clone());
+    solver.assert(&mut ctx, i_pre);
     // ---- Query 1: undefined behaviour. ----
     if !impl_res.side_checks.is_empty() {
-        let mut solver = Solver::with_config(vctx.solver.clone());
-        solver.assert(&mut ctx, i_pre);
         let disjuncts: Vec<TermId> = impl_res.side_checks.iter().map(|c| c.cond).collect();
         let any_ub = ctx.or(&disjuncts);
+        solver.push();
         solver.assert(&mut ctx, any_ub);
         if trace() {
             eprintln!(
@@ -279,6 +288,7 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
             }
             SatResult::Unsat => {}
         }
+        solver.pop();
     }
     // ---- Query 2: refinement. ----
     // The executor's guarded-write encoding gives one merged final state
@@ -341,10 +351,12 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
         );
     }
     // The obligations are independent, so the query is sliced into
-    // batches: each batch re-asserts the (cheap, satisfiable) invariant
-    // and refutes the disjunction of a handful of probe violations.
-    // Monolithic queries reach millions of clauses on page-heavy
-    // handlers; slices stay in the hundreds of thousands.
+    // batches: each batch refutes the disjunction of a handful of probe
+    // violations against the already-encoded invariant. Monolithic
+    // queries reach millions of clauses on page-heavy handlers; slices
+    // stay in the hundreds of thousands, and with the shared solver the
+    // invariant encoding and anything learnt while refuting batch i
+    // carry into batch i+1.
     const BATCH: usize = 24;
     let mut total_clauses = 0usize;
     let mut total_conflicts = 0u64;
@@ -354,16 +366,16 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
         batches.push(&tail_probes[i..i + 1]);
     }
     for (bi, batch) in batches.into_iter().enumerate() {
-        let mut solver = Solver::with_config(vctx.solver.clone());
-        solver.assert(&mut ctx, i_pre);
         let negs: Vec<TermId> = batch.iter().map(|(_, p)| ctx.not(*p)).collect();
         let any_bad = ctx.or(&negs);
+        solver.push();
         solver.assert(&mut ctx, any_bad);
         if trace() {
             let names: Vec<&str> = batch.iter().map(|(n, _)| n.as_str()).collect();
             eprintln!("[{}] batch {} probes: {:?}", sysno.func_name(), bi, names);
         }
         let result = solver.check(&mut ctx);
+        solver.pop();
         phases.absorb(&solver.stats);
         total_clauses = total_clauses.max(solver.stats.cnf_clauses);
         total_conflicts += solver.stats.conflicts;

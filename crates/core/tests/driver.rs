@@ -52,15 +52,24 @@ fn stable_view(ev: &VerifyEvent) -> String {
 }
 
 fn run_with_threads(image: &KernelImage, threads: usize) -> (Vec<String>, Vec<(Sysno, String)>) {
+    run_subset(image, threads, true)
+}
+
+fn run_subset(
+    image: &KernelImage,
+    threads: usize,
+    incremental: bool,
+) -> (Vec<String>, Vec<(Sysno, String)>) {
     let log = Arc::new(Mutex::new(Vec::new()));
     let sink_log = log.clone();
-    let config = VerifyConfig {
+    let mut config = VerifyConfig {
         params: KernelParams::verification(),
         threads,
         only: SUBSET.to_vec(),
         events: EventSink::new(move |ev| sink_log.lock().unwrap().push(stable_view(ev))),
         ..VerifyConfig::default()
     };
+    config.solver.incremental = incremental;
     let report = verify_image(image, &config);
     let outcomes = report
         .handlers
@@ -88,6 +97,33 @@ fn parallel_run_is_deterministic() {
     assert_eq!(seq_events.first().unwrap(), "start total=3");
     assert_eq!(seq_events.last().unwrap(), "done 3/3");
     assert_eq!(seq_events.len(), 2 + 2 * SUBSET.len());
+}
+
+/// The incremental per-handler solver and the fresh-solver-per-query
+/// baseline must report identical handler outcomes and event streams,
+/// sequentially and in parallel — incrementality is an optimization,
+/// never a semantic change.
+#[test]
+fn incremental_and_oneshot_agree() {
+    let image = KernelImage::build(KernelParams::verification()).expect("kernel build");
+    let (inc_seq_events, inc_seq) = run_subset(&image, 1, true);
+    let (inc_par_events, inc_par) = run_subset(&image, 4, true);
+    let (one_seq_events, one_seq) = run_subset(&image, 1, false);
+    let (one_par_events, one_par) = run_subset(&image, 4, false);
+    assert_eq!(inc_seq, one_seq, "incremental changed verdicts (threads=1)");
+    assert_eq!(inc_par, one_par, "incremental changed verdicts (threads=4)");
+    assert_eq!(
+        inc_seq, inc_par,
+        "thread count changed incremental verdicts"
+    );
+    assert_eq!(
+        inc_seq_events, one_seq_events,
+        "incremental changed the event stream (threads=1)"
+    );
+    assert_eq!(
+        inc_par_events, one_par_events,
+        "incremental changed the event stream (threads=4)"
+    );
 }
 
 #[test]

@@ -36,12 +36,26 @@ pub struct Ackermann {
     pub instances: HashMap<FuncId, Vec<AppInstance>>,
     /// Congruence constraints accumulated so far.
     pub constraints: Vec<TermId>,
+    /// Constraints already handed out by [`Ackermann::take_new_constraints`].
+    drained: usize,
 }
 
 impl Ackermann {
     /// Creates an empty reduction state.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Incremental drain: congruence constraints generated since the
+    /// previous `take_new_constraints` call (initially, all of them).
+    /// The reduction state stays usable and strictly grows, so one
+    /// `Ackermann` can serve a whole incremental solver lifetime: new
+    /// applications only ever *add* congruence constraints against the
+    /// instances already seen.
+    pub fn take_new_constraints(&mut self) -> Vec<TermId> {
+        let new = self.constraints[self.drained..].to_vec();
+        self.drained = self.constraints.len();
+        new
     }
 
     /// Rewrites a term bottom-up, eliminating `Apply` nodes.
@@ -213,6 +227,30 @@ mod tests {
         ack.rewrite(&mut ctx, e);
         // One pair: (f(x), f(0)) with x possibly equal to 0.
         assert_eq!(ack.constraints.len(), 1);
+    }
+
+    #[test]
+    fn take_new_constraints_drains_incrementally() {
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let x = ctx.var("x", Sort::Bv(64));
+        let y = ctx.var("y", Sort::Bv(64));
+        let mut ack = Ackermann::new();
+        let ax = ctx.apply(f, &[x]);
+        let ay = ctx.apply(f, &[y]);
+        let e1 = ctx.ne(ax, ay);
+        ack.rewrite(&mut ctx, e1);
+        let first = ack.take_new_constraints();
+        assert_eq!(first.len(), 1); // f(x) ~ f(y)
+        assert!(ack.take_new_constraints().is_empty());
+        // A third application congruence-pairs with both earlier ones.
+        let z = ctx.var("z", Sort::Bv(64));
+        let az = ctx.apply(f, &[z]);
+        let e2 = ctx.ne(az, ax);
+        ack.rewrite(&mut ctx, e2);
+        let second = ack.take_new_constraints();
+        assert_eq!(second.len(), 2);
+        assert_eq!(ack.constraints.len(), 3);
     }
 
     #[test]

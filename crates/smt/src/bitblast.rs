@@ -8,6 +8,11 @@
 //!
 //! Terms containing [`crate::term::TermData::Apply`] must first go through
 //! [`crate::ackermann`].
+//!
+//! The blaster is **persistent**: the term→literal cache and the variable
+//! maps only ever grow, so one `BitBlaster` can encode a whole incremental
+//! solver lifetime — later assertions reuse every circuit already built,
+//! and [`CnfBuilder::take_new`] hands the delta to a live SAT solver.
 
 use std::collections::HashMap;
 
@@ -67,6 +72,15 @@ impl BitBlaster {
     pub fn assert_term(&mut self, ctx: &Ctx, t: TermId) {
         let l = self.bool_lit(ctx, t);
         self.builder.assert_lit(l);
+    }
+
+    /// Asserts `act => t`: the term holds whenever the activation
+    /// literal is true. Scoped assertions are encoded this way so a
+    /// retired scope can be switched off with the single unit clause
+    /// `¬act` instead of rebuilding the solver.
+    pub fn assert_term_under(&mut self, ctx: &Ctx, act: Lit, t: TermId) {
+        let l = self.bool_lit(ctx, t);
+        self.builder.add_clause(&[-act, l]);
     }
 
     /// Blasts a boolean term to a literal.

@@ -30,6 +30,8 @@ pub struct CnfBuilder {
     num_vars: u32,
     clauses: Vec<Vec<Lit>>,
     cache: HashMap<GateKey, Lit>,
+    /// Clauses already handed out by [`CnfBuilder::take_new`].
+    drained: usize,
 }
 
 impl Default for CnfBuilder {
@@ -45,6 +47,7 @@ impl CnfBuilder {
             num_vars: 1,
             clauses: vec![vec![LIT_TRUE]],
             cache: HashMap::new(),
+            drained: 0,
         }
     }
 
@@ -61,6 +64,16 @@ impl CnfBuilder {
     /// Consumes the builder, returning `(num_vars, clauses)`.
     pub fn finish(self) -> (u32, Vec<Vec<Lit>>) {
         (self.num_vars, self.clauses)
+    }
+
+    /// Incremental drain: the clauses added since the previous
+    /// `take_new` call (initially, all of them), with the current
+    /// variable count. The builder stays usable, so a persistent
+    /// bit-blaster can feed a persistent SAT solver batch by batch.
+    pub fn take_new(&mut self) -> (u32, Vec<Vec<Lit>>) {
+        let new = self.clauses[self.drained..].to_vec();
+        self.drained = self.clauses.len();
+        (self.num_vars, new)
     }
 
     /// Allocates a fresh variable and returns its positive literal.
@@ -326,6 +339,26 @@ mod tests {
         assert_eq!(x1, x2); // xor(-a,-b) == xor(a,b)
         let x3 = b.xor_gate(-x, y);
         assert_eq!(x3, -x1);
+    }
+
+    #[test]
+    fn take_new_drains_incrementally() {
+        let mut b = CnfBuilder::new();
+        let x = b.new_var();
+        let y = b.new_var();
+        b.add_clause(&[x, y]);
+        let (nv1, first) = b.take_new();
+        assert_eq!(nv1, 3);
+        assert_eq!(first.len(), 2); // the LIT_TRUE unit + [x, y]
+        let (_, empty) = b.take_new();
+        assert!(empty.is_empty());
+        let o = b.and_gate(x, y);
+        b.assert_lit(o);
+        let (nv2, second) = b.take_new();
+        assert_eq!(nv2, 4);
+        assert_eq!(second.len(), 4); // three gate clauses + the unit
+                                     // The full clause list is unaffected by draining.
+        assert_eq!(b.clauses().len(), 6);
     }
 
     #[test]

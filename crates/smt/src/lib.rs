@@ -55,5 +55,5 @@ pub mod term;
 pub use cache::{CacheStats, CachedVerdict, QueryCache, QueryKey};
 pub use model::Model;
 pub use sat::{SatConfig, SatSolver};
-pub use solver::{SatResult, Solver, SolverConfig, SolverStats};
+pub use solver::{SatResult, Solver, SolverConfig, SolverStats, SolverTotals};
 pub use term::{BvBinOp, CmpOp, Ctx, FuncId, Sort, TermData, TermId, VarId};

@@ -6,6 +6,15 @@
 //! reduction. The heuristic knobs are exposed through [`SatConfig`] so the
 //! Figure 9 stability experiment can sweep them (standing in for the
 //! paper's sweep over historic Z3 versions).
+//!
+//! The solver is **incremental**: [`SatSolver::solve_with_assumptions`]
+//! decides the formula under a set of assumption literals (treated as
+//! pseudo-decisions below all real decisions, MiniSat-style), and the
+//! solver returns to decision level 0 after every call, so clauses and
+//! variables can be added between calls while learnt clauses, VSIDS
+//! activities, and saved phases carry over. When a query is unsatisfiable
+//! *because of* its assumptions, the responsible subset is recovered via
+//! final-conflict analysis ([`SatSolver::failed_assumptions`]).
 
 /// Truth value lattice used internally.
 const UNDEF: u8 = 2;
@@ -33,6 +42,10 @@ pub struct SatConfig {
     pub learntsize_factor: f64,
     /// Optional conflict budget; `None` means run to completion.
     pub max_conflicts: Option<u64>,
+    /// Optional wall-clock budget per `solve` call, in milliseconds.
+    /// Checked once per search-loop round, so a call overshoots by at
+    /// most one decide/propagate round. `None` means run to completion.
+    pub max_solve_ms: Option<u64>,
 }
 
 impl Default for SatConfig {
@@ -45,6 +58,7 @@ impl Default for SatConfig {
             default_phase: false,
             learntsize_factor: 1.0 / 3.0,
             max_conflicts: None,
+            max_solve_ms: None,
         }
     }
 }
@@ -89,6 +103,16 @@ struct Watch {
     blocker: u32,
 }
 
+/// What the branching step produced.
+enum Branch {
+    /// A decision (assumption or heap pick) was enqueued.
+    Decided,
+    /// An assumption is falsified by the current level-0-closed state.
+    AssumptionFailed(u32),
+    /// Every variable is assigned: the formula is satisfied.
+    AllAssigned,
+}
+
 /// The solver.
 #[derive(Debug)]
 pub struct SatSolver {
@@ -110,7 +134,13 @@ pub struct SatSolver {
     seen: Vec<bool>,
     qhead: usize,
     num_learnts: usize,
-    /// Statistics for benchmarking and diagnostics.
+    /// Model snapshot from the last `Sat` answer (the trail itself is
+    /// unwound to level 0 before `solve*` returns).
+    model: Vec<u8>,
+    /// Failed-assumption set from the last assumption-driven `Unsat`.
+    conflict: Vec<i32>,
+    /// Statistics for benchmarking and diagnostics. Cumulative across
+    /// `solve*` calls; snapshot before a call to obtain per-call deltas.
     pub stats: SatStats,
 }
 
@@ -120,6 +150,16 @@ fn lit_from_dimacs(l: i32) -> u32 {
     let v = (l.unsigned_abs() - 1) * 2;
     if l < 0 {
         v + 1
+    } else {
+        v
+    }
+}
+
+#[inline]
+fn lit_to_dimacs(l: u32) -> i32 {
+    let v = (l >> 1) as i32 + 1;
+    if l & 1 == 1 {
+        -v
     } else {
         v
     }
@@ -162,6 +202,8 @@ impl SatSolver {
             seen: Vec::new(),
             qhead: 0,
             num_learnts: 0,
+            model: Vec::new(),
+            conflict: Vec::new(),
             stats: SatStats::default(),
         }
     }
@@ -560,25 +602,99 @@ impl SatSolver {
         }
     }
 
-    /// Runs the CDCL loop.
+    /// Runs the CDCL loop with no assumptions.
     pub fn solve(&mut self) -> SatOutcome {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Runs the CDCL loop under the given assumption literals (DIMACS
+    /// numbering). The assumptions act as pseudo-decisions below all real
+    /// decisions, so every learnt clause is implied by the clause database
+    /// alone and remains valid for later calls with *different*
+    /// assumptions. The solver always returns at decision level 0, so
+    /// [`SatSolver::add_clause`] and further `solve*` calls may follow any
+    /// answer; learnt clauses, activities, and phases are retained.
+    ///
+    /// On `Sat`, the model is read via [`SatSolver::model_value`]. On
+    /// `Unsat` caused by the assumptions, the responsible subset is
+    /// available from [`SatSolver::failed_assumptions`]; an empty failed
+    /// set means the clauses are unsatisfiable regardless of assumptions
+    /// (and the solver is permanently `Unsat` from then on).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[i32]) -> SatOutcome {
+        self.conflict.clear();
         if !self.ok {
             return SatOutcome::Unsat;
         }
+        debug_assert_eq!(self.decision_level(), 0, "solve above level 0");
+        let max_var = assumptions
+            .iter()
+            .map(|l| l.unsigned_abs())
+            .max()
+            .unwrap_or(0);
+        self.reserve_vars(max_var);
+        let assumps: Vec<u32> = assumptions.iter().map(|&l| lit_from_dimacs(l)).collect();
         if self.propagate().is_some() {
             self.ok = false;
             return SatOutcome::Unsat;
         }
         let mut restart_round: u64 = 0;
         let mut conflicts_since_restart: u64 = 0;
+        // The conflict budget is per call, so a long-lived incremental
+        // solver is not starved by its own history.
+        let conflict_floor = self.stats.conflicts;
+        // Wall-clock deadline, checked every 256 conflicts so cheap
+        // instances never pay for `Instant::now`.
+        let deadline = self
+            .config
+            .max_solve_ms
+            .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        // Budget from the *live* clause count — `clauses` keeps deleted
+        // entries as tombstones, and counting those would let the learnt
+        // database balloon on a long-lived incremental solver.
         let mut max_learnts =
-            (self.clauses.len() as f64 * self.config.learntsize_factor).max(1000.0);
+            (self.num_clauses() as f64 * self.config.learntsize_factor).max(1000.0);
+        // Set HK_SAT_DEBUG=1 for search-progress lines on stderr
+        // (call header plus a counter snapshot every 64 rounds).
+        let debug = std::env::var("HK_SAT_DEBUG").is_ok();
+        let mut iters: u64 = 0;
+        if debug {
+            eprintln!(
+                "[sat] solve start: {} vars, {} clauses, {} assumps, deadline={:?}",
+                self.assigns.len(),
+                self.clauses.len(),
+                assumps.len(),
+                deadline.is_some()
+            );
+        }
         loop {
+            // The deadline is checked per loop round, not per conflict: a
+            // conflict-light instance can sink arbitrary time into the
+            // decide/propagate path without ever reaching the conflict
+            // branch. One round is at least one `propagate` call, so a
+            // clock read per round is noise.
+            iters += 1;
+            if debug && iters.is_multiple_of(64) {
+                eprintln!(
+                    "[sat] round {}: {} conflicts, {} decisions, trail {}, learnts {}",
+                    iters,
+                    self.stats.conflicts - conflict_floor,
+                    self.stats.decisions,
+                    self.trail.len(),
+                    self.num_learnts
+                );
+            }
+            if let Some(deadline) = deadline {
+                if std::time::Instant::now() >= deadline {
+                    self.backtrack_to(0);
+                    return SatOutcome::Unknown;
+                }
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
                 if let Some(budget) = self.config.max_conflicts {
-                    if self.stats.conflicts > budget {
+                    if self.stats.conflicts - conflict_floor > budget {
+                        self.backtrack_to(0);
                         return SatOutcome::Unknown;
                     }
                 }
@@ -610,21 +726,120 @@ impl SatSolver {
                     max_learnts *= 1.5;
                     self.reduce_db();
                 }
-                if !self.decide() {
-                    self.stats.learnts = self.num_learnts as u64;
-                    return SatOutcome::Sat;
+                match self.pick_branch(&assumps) {
+                    Branch::Decided => {}
+                    Branch::AssumptionFailed(p) => {
+                        self.analyze_final(p);
+                        self.backtrack_to(0);
+                        return SatOutcome::Unsat;
+                    }
+                    Branch::AllAssigned => {
+                        self.stats.learnts = self.num_learnts as u64;
+                        self.model.clear();
+                        self.model.extend_from_slice(&self.assigns);
+                        self.backtrack_to(0);
+                        return SatOutcome::Sat;
+                    }
                 }
             }
         }
     }
 
+    /// The next branch: pending assumptions first (MiniSat-style — an
+    /// already-true assumption opens an empty pseudo-level so later
+    /// backjumps never skip it), then the activity heap.
+    fn pick_branch(&mut self, assumps: &[u32]) -> Branch {
+        while (self.decision_level() as usize) < assumps.len() {
+            let p = assumps[self.decision_level() as usize];
+            match self.value_lit(p) {
+                TRUE => self.trail_lim.push(self.trail.len()),
+                FALSE => return Branch::AssumptionFailed(p),
+                _ => {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    self.enqueue(p, NO_REASON);
+                    return Branch::Decided;
+                }
+            }
+        }
+        if self.decide() {
+            Branch::Decided
+        } else {
+            Branch::AllAssigned
+        }
+    }
+
+    /// Final-conflict analysis: starting from a falsified assumption `p`,
+    /// walks the implication graph backwards and collects the assumption
+    /// decisions that contributed, yielding the failed-assumption set
+    /// (every decision on the trail is an assumption when this runs).
+    fn analyze_final(&mut self, p: u32) {
+        self.conflict.push(lit_to_dimacs(p));
+        if self.decision_level() == 0 {
+            // `p` is refuted by the clauses alone; it fails on its own.
+            return;
+        }
+        self.seen[lit_var(p)] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = lit_var(l);
+            if !self.seen[v] {
+                continue;
+            }
+            let r = self.reason[v];
+            if r == NO_REASON {
+                debug_assert!(self.level[v] > 0);
+                self.conflict.push(lit_to_dimacs(l));
+            } else {
+                let lits = self.clauses[r as usize].lits.clone();
+                for &q in &lits {
+                    let qv = lit_var(q);
+                    if qv != v && self.level[qv] > 0 {
+                        self.seen[qv] = true;
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[lit_var(p)] = false;
+    }
+
+    /// The subset of the assumptions responsible for the last
+    /// assumption-driven `Unsat` (DIMACS literals, unspecified order).
+    /// Empty after an unconditional `Unsat`.
+    pub fn failed_assumptions(&self) -> &[i32] {
+        &self.conflict
+    }
+
     /// Model value of DIMACS variable `v` after a `Sat` answer.
     pub fn model_value(&self, v: u32) -> bool {
         debug_assert!(v >= 1);
-        self.assigns
+        self.model
             .get((v - 1) as usize)
             .map(|&a| a == TRUE)
             .unwrap_or(false)
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> u32 {
+        self.assigns.len() as u32
+    }
+
+    /// Clauses currently attached (original problem clauses plus learnt,
+    /// excluding deleted ones).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Learnt clauses currently in the database.
+    pub fn num_learnt_clauses(&self) -> usize {
+        self.num_learnts
+    }
+
+    /// False once the clause set is unsatisfiable regardless of
+    /// assumptions (every later `solve*` call returns `Unsat`).
+    pub fn is_ok(&self) -> bool {
+        self.ok
     }
 
     // ------------------------------------------------------------------
@@ -821,6 +1036,127 @@ mod tests {
     }
 
     #[test]
+    fn assumptions_are_satisfied_by_the_model() {
+        let mut s = SatSolver::new();
+        assert!(s.add_clause(&[1, 2]));
+        assert!(s.add_clause(&[-1, 3]));
+        assert_eq!(s.solve_with_assumptions(&[1, -3]), SatOutcome::Unsat);
+        // 1 forces 3, contradicting -3: both assumptions are implicated.
+        let mut failed = s.failed_assumptions().to_vec();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![-3, 1]);
+        // The same clauses under compatible assumptions are Sat, and the
+        // model honours the assumptions.
+        assert_eq!(s.solve_with_assumptions(&[-1, 2]), SatOutcome::Sat);
+        assert!(!s.model_value(1));
+        assert!(s.model_value(2));
+        // And with no assumptions the formula is still Sat.
+        assert_eq!(s.solve(), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn failed_assumption_alone_when_refuted_by_clauses() {
+        let mut s = SatSolver::new();
+        assert!(s.add_clause(&[1]));
+        assert!(s.add_clause(&[-1, 2]));
+        assert_eq!(s.solve_with_assumptions(&[-2]), SatOutcome::Unsat);
+        assert_eq!(s.failed_assumptions(), &[-2]);
+        // Not permanently unsat: dropping the assumption recovers Sat.
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert!(s.model_value(1) && s.model_value(2));
+    }
+
+    #[test]
+    fn unconditional_unsat_has_empty_failed_set() {
+        let mut s = SatSolver::new();
+        assert!(s.add_clause(&[1, 2]));
+        assert!(s.add_clause(&[-1]));
+        // The last clause empties at level 0: trivially unsat from here.
+        assert!(!s.add_clause(&[-2]));
+        assert_eq!(s.solve_with_assumptions(&[3]), SatOutcome::Unsat);
+        assert!(s.failed_assumptions().is_empty());
+        assert!(!s.is_ok());
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn interleaved_add_clause_and_solve_is_stable() {
+        // Grow a chain 1 -> 2 -> ... -> n, probing reachability under
+        // assumptions between additions; verdicts must match the obvious
+        // semantics at every step, and learnt state must never corrupt
+        // later answers.
+        let mut s = SatSolver::new();
+        for i in 1..20i32 {
+            assert!(s.add_clause(&[-i, i + 1]));
+            // Assume the chain head true and the new tail false: the
+            // implications force a contradiction.
+            assert_eq!(s.solve_with_assumptions(&[1, -(i + 1)]), SatOutcome::Unsat);
+            assert!(!s.failed_assumptions().is_empty());
+            // Head false is always satisfiable.
+            assert_eq!(s.solve_with_assumptions(&[-1]), SatOutcome::Sat);
+            assert!(!s.model_value(1));
+            // Head true propagates the whole chain in the model.
+            assert_eq!(s.solve_with_assumptions(&[1]), SatOutcome::Sat);
+            for j in 1..=i + 1 {
+                assert!(s.model_value(j as u32), "chain var {j} after {i} links");
+            }
+        }
+        // Finally pin both ends permanently and flip to unconditional
+        // unsat.
+        assert!(s.add_clause(&[1]));
+        s.add_clause(&[-20]);
+        assert_eq!(s.solve(), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn learnt_clauses_survive_across_calls() {
+        // Pigeonhole refutations under an activation literal: the second
+        // identical query must reuse learnt clauses and finish with
+        // strictly fewer new conflicts than the first.
+        let n = 6i32;
+        let m = 5i32;
+        let act = n * m + 1; // activation literal guarding all clauses
+        let v = |i: i32, j: i32| i * m + j + 1;
+        let mut s = SatSolver::new();
+        for i in 0..n {
+            let mut c: Vec<i32> = (0..m).map(|j| v(i, j)).collect();
+            c.push(-act);
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause(&[-v(a, j), -v(b, j), -act]);
+                }
+            }
+        }
+        assert_eq!(s.solve_with_assumptions(&[act]), SatOutcome::Unsat);
+        assert_eq!(s.failed_assumptions(), &[act]);
+        let first = s.stats.conflicts;
+        assert!(first > 0);
+        assert_eq!(s.solve_with_assumptions(&[act]), SatOutcome::Unsat);
+        let second = s.stats.conflicts - first;
+        assert!(
+            second < first,
+            "warm call took {second} conflicts vs cold {first}"
+        );
+        // Deactivated, the formula is satisfiable.
+        assert_eq!(s.solve_with_assumptions(&[-act]), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn duplicate_and_conflicting_assumptions() {
+        let mut s = SatSolver::new();
+        assert!(s.add_clause(&[1, 2, 3]));
+        assert_eq!(s.solve_with_assumptions(&[2, 2]), SatOutcome::Sat);
+        assert!(s.model_value(2));
+        assert_eq!(s.solve_with_assumptions(&[2, -2]), SatOutcome::Unsat);
+        let mut failed = s.failed_assumptions().to_vec();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![-2, 2]);
+    }
+
+    #[test]
     fn conflict_budget_reports_unknown() {
         // A hard instance with a tiny budget.
         let n = 8i32;
@@ -828,6 +1164,32 @@ mod tests {
         let v = |i: i32, j: i32| i * m + j + 1;
         let mut s = SatSolver::with_config(SatConfig {
             max_conflicts: Some(5),
+            ..SatConfig::default()
+        });
+        for i in 0..n {
+            let c: Vec<i32> = (0..m).map(|j| v(i, j)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause(&[-v(a, j), -v(b, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatOutcome::Unknown);
+    }
+
+    #[test]
+    fn time_budget_reports_unknown() {
+        // Pigeonhole 9-into-8 needs far more than 256 conflicts (the
+        // deadline check interval), so an already-expired deadline must
+        // surface as `Unknown` rather than running to completion.
+        let n = 9i32;
+        let m = 8i32;
+        let v = |i: i32, j: i32| i * m + j + 1;
+        let mut s = SatSolver::with_config(SatConfig {
+            max_solve_ms: Some(0),
             ..SatConfig::default()
         });
         for i in 0..n {

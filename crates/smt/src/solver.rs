@@ -4,20 +4,46 @@
 //! Every `Sat` answer is re-checked with the ground evaluator before being
 //! returned, so a bug anywhere in the pipeline surfaces as a loud failure
 //! rather than a bogus counterexample.
+//!
+//! # Incremental solving
+//!
+//! By default ([`SolverConfig::incremental`]) a `Solver` keeps **one**
+//! persistent encoding pipeline for its whole lifetime: the Ackermann
+//! reduction, the bit-blaster's term→literal cache, and the CDCL core
+//! (with its learnt clauses, VSIDS activities, and saved phases) all
+//! survive across [`Solver::check`] calls. Assertions made between checks
+//! are encoded once, monotonically. Retractable assertions go through
+//! scopes: [`Solver::push`] opens a scope whose assertions are guarded by
+//! a fresh activation literal `a` (each encoded as the clause `¬a ∨ t`),
+//! `check` solves under the assumption set of all open scopes' activation
+//! literals, and [`Solver::pop`] retires the scope with the single unit
+//! clause `¬a`. Learnt clauses derived while one scope was active remain
+//! valid for every later query, which is what lets refinement batch *i*
+//! prune batch *i+1*.
+//!
+//! With `incremental` disabled the solver re-runs the full pipeline on
+//! the active assertion set at every `check` — the fresh-solver baseline
+//! the benchmarks compare against.
+//!
+//! Either way, each `check` first consults the content-addressed
+//! [`QueryCache`] (when configured) keyed by the *active* assertions, so
+//! warm reruns short-circuit before any encoding happens.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::ackermann::Ackermann;
+use crate::ackermann::{Ackermann, AppInstance};
 use crate::bitblast::BitBlaster;
 use crate::cache::{self, CachedVerdict, QueryCache};
+use crate::cnf::Lit;
 use crate::eval::{eval_bool, Value};
 use crate::model::Model;
-use crate::sat::{SatConfig, SatOutcome, SatSolver};
-use crate::term::{Ctx, Sort, TermId};
+use crate::sat::{SatConfig, SatOutcome, SatSolver, SatStats};
+use crate::term::{Ctx, FuncId, Sort, TermId, VarId};
 
 /// Solver configuration; wraps the SAT heuristics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SolverConfig {
     /// Heuristics of the CDCL core.
     pub sat: SatConfig,
@@ -27,6 +53,21 @@ pub struct SolverConfig {
     /// Content-addressed verdict cache shared across solver instances
     /// (and worker threads). `None` disables caching.
     pub cache: Option<Arc<QueryCache>>,
+    /// Keep one persistent encoding + SAT core across `check` calls
+    /// (assumption-based scopes, learnt-clause reuse). Disable to get
+    /// the fresh-pipeline-per-check baseline.
+    pub incremental: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            sat: SatConfig::default(),
+            skip_validation: false,
+            cache: None,
+            incremental: true,
+        }
+    }
 }
 
 /// Result of a `check` call.
@@ -52,24 +93,28 @@ impl SatResult {
     }
 }
 
-/// Pipeline statistics from the last `check` call.
+/// Pipeline statistics for one `check` call (a per-call **delta**: every
+/// field counts only work done by that call, so accumulating them over a
+/// long-lived incremental solver never double-counts; lifetime sums live
+/// in [`SolverTotals`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolverStats {
-    /// Assertions checked.
+    /// Active assertions at the time of the call.
     pub assertions: usize,
-    /// Congruence constraints added by Ackermann reduction.
+    /// Congruence constraints added by Ackermann reduction in this call.
     pub ackermann_constraints: usize,
-    /// CNF variables.
+    /// CNF variables known after this call.
     pub cnf_vars: u32,
-    /// CNF clauses.
+    /// CNF clauses encoded by this call (in incremental mode, only the
+    /// newly added delta).
     pub cnf_clauses: usize,
-    /// SAT conflicts.
+    /// SAT conflicts during this call.
     pub conflicts: u64,
-    /// SAT decisions.
+    /// SAT decisions during this call.
     pub decisions: u64,
-    /// SAT propagations.
+    /// Literals propagated during this call.
     pub propagations: u64,
-    /// Time spent encoding (Ackermann + bit-blasting).
+    /// Time spent encoding (Ackermann + bit-blasting) in this call.
     pub encode_time: Duration,
     /// Time spent in Ackermann reduction alone.
     pub ack_time: Duration,
@@ -77,20 +122,97 @@ pub struct SolverStats {
     pub bitblast_time: Duration,
     /// Time spent in the SAT core.
     pub solve_time: Duration,
-    /// Query-cache hits in the last `check` (0 or 1).
+    /// Query-cache hits in this call (0 or 1: one logical query).
     pub cache_hits: u64,
-    /// Query-cache misses in the last `check` (0 or 1).
+    /// Query-cache misses in this call (0 or 1).
     pub cache_misses: u64,
+}
+
+/// Lifetime totals over every `check` on one solver, the cumulative
+/// counterpart of the per-call [`SolverStats`] delta.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverTotals {
+    /// `check` calls made.
+    pub checks: u64,
+    /// Query-cache hits.
+    pub cache_hits: u64,
+    /// Query-cache misses.
+    pub cache_misses: u64,
+    /// High-water mark of CNF variables.
+    pub cnf_vars: u32,
+    /// CNF clauses ever handed to a SAT core (re-encodes included, so
+    /// the oneshot/incremental difference is visible here).
+    pub cnf_clauses: usize,
+    /// SAT conflicts.
+    pub conflicts: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Total encoding time.
+    pub encode_time: Duration,
+    /// Ackermann share of `encode_time`.
+    pub ack_time: Duration,
+    /// Bit-blasting share of `encode_time`.
+    pub bitblast_time: Duration,
+    /// Total SAT time.
+    pub solve_time: Duration,
+}
+
+impl SolverTotals {
+    fn absorb(&mut self, s: &SolverStats) {
+        self.checks += 1;
+        self.cache_hits += s.cache_hits;
+        self.cache_misses += s.cache_misses;
+        self.cnf_vars = self.cnf_vars.max(s.cnf_vars);
+        self.cnf_clauses += s.cnf_clauses;
+        self.conflicts += s.conflicts;
+        self.decisions += s.decisions;
+        self.propagations += s.propagations;
+        self.encode_time += s.encode_time;
+        self.ack_time += s.ack_time;
+        self.bitblast_time += s.bitblast_time;
+        self.solve_time += s.solve_time;
+    }
+}
+
+/// One retractable assertion scope.
+#[derive(Debug, Default)]
+struct Scope {
+    /// Assertions made while this scope was the innermost one.
+    assertions: Vec<TermId>,
+    /// A constant-false assertion landed here.
+    trivially_false: bool,
+    /// Activation literal guarding the scope's encoded clauses
+    /// (allocated lazily on first encode).
+    act: Option<Lit>,
+    /// How many of `assertions` are already encoded.
+    encoded: usize,
+}
+
+/// The persistent incremental pipeline: encode once, extend monotonically.
+#[derive(Debug)]
+struct Engine {
+    ack: Ackermann,
+    bb: BitBlaster,
+    sat: SatSolver,
+    /// Base-level assertions already encoded.
+    encoded_base: usize,
 }
 
 /// An SMT solver instance holding a set of assertions.
 #[derive(Debug, Default)]
 pub struct Solver {
     config: SolverConfig,
+    /// Base-level (permanent) assertions.
     assertions: Vec<TermId>,
     trivially_false: bool,
-    /// Statistics from the most recent `check`.
+    scopes: Vec<Scope>,
+    engine: Option<Engine>,
+    /// Statistics from the most recent `check` (per-call delta).
     pub stats: SolverStats,
+    /// Cumulative statistics over every `check` on this solver.
+    pub totals: SolverTotals,
 }
 
 impl Solver {
@@ -107,37 +229,87 @@ impl Solver {
         }
     }
 
-    /// Adds an assertion.
+    /// Adds an assertion to the innermost open scope (or permanently, if
+    /// no scope is open).
     pub fn assert(&mut self, ctx: &mut Ctx, t: TermId) {
         assert_eq!(ctx.sort(t), Sort::Bool, "assertion must be boolean");
         match ctx.const_bool(t) {
             Some(true) => {}
-            Some(false) => self.trivially_false = true,
-            None => self.assertions.push(t),
+            Some(false) => match self.scopes.last_mut() {
+                Some(s) => s.trivially_false = true,
+                None => self.trivially_false = true,
+            },
+            None => match self.scopes.last_mut() {
+                Some(s) => s.assertions.push(t),
+                None => self.assertions.push(t),
+            },
         }
     }
 
-    /// The current assertions.
+    /// Opens a retractable assertion scope.
+    pub fn push(&mut self) {
+        self.scopes.push(Scope::default());
+    }
+
+    /// Closes the innermost scope, retracting its assertions. Already
+    /// encoded clauses are permanently disabled via the scope's
+    /// activation literal; learnt clauses survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let s = self.scopes.pop().expect("pop without matching push");
+        if let (Some(engine), Some(act)) = (self.engine.as_mut(), s.act) {
+            engine.sat.add_clause(&[-act]);
+        }
+    }
+
+    /// Open scopes.
+    pub fn num_scopes(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// The base-level (permanent) assertions.
     pub fn assertions(&self) -> &[TermId] {
         &self.assertions
     }
 
-    /// Decides satisfiability of the conjunction of all assertions.
+    /// The assertions currently in force: base level plus every open
+    /// scope, in assertion order.
+    pub fn active_assertions(&self) -> Vec<TermId> {
+        let mut out = self.assertions.clone();
+        for s in &self.scopes {
+            out.extend_from_slice(&s.assertions);
+        }
+        out
+    }
+
+    /// Decides satisfiability of the conjunction of the active
+    /// assertions.
     pub fn check(&mut self, ctx: &mut Ctx) -> SatResult {
-        self.stats.cache_hits = 0;
-        self.stats.cache_misses = 0;
-        if self.trivially_false {
+        self.stats = SolverStats::default();
+        let result = self.check_inner(ctx);
+        self.totals.absorb(&self.stats);
+        result
+    }
+
+    fn check_inner(&mut self, ctx: &mut Ctx) -> SatResult {
+        if self.trivially_false || self.scopes.iter().any(|s| s.trivially_false) {
             return SatResult::Unsat;
         }
-        if self.assertions.is_empty() {
+        let active = self.active_assertions();
+        self.stats.assertions = active.len();
+        if active.is_empty() {
             return SatResult::Sat(Box::default());
         }
-        // 0. Query cache: key the full VC by its canonical content hash.
+        // 0. Query cache: key the active VC by its canonical content
+        // hash, *before* any encoding work.
         let fp = self
             .config
             .cache
             .as_ref()
-            .map(|_| cache::fingerprint(ctx, &self.assertions));
+            .map(|_| cache::fingerprint(ctx, &active));
         if let (Some(c), Some(fp)) = (self.config.cache.clone(), fp.as_ref()) {
             match c.lookup(&fp.key) {
                 Some(CachedVerdict::Unsat) => {
@@ -148,11 +320,8 @@ impl Solver {
                     // Rehydrate into this context and re-validate before
                     // trusting the entry: a collision or stale snapshot
                     // must never produce a bogus counterexample.
-                    let model = cache::rehydrate(fp, &cm).filter(|m| {
-                        self.assertions
-                            .iter()
-                            .all(|&t| eval_bool(ctx, t, &m.assignment))
-                    });
+                    let model = cache::rehydrate(fp, &cm)
+                        .filter(|m| active.iter().all(|&t| eval_bool(ctx, t, &m.assignment)));
                     match model {
                         Some(m) => {
                             self.stats.cache_hits = 1;
@@ -167,23 +336,140 @@ impl Solver {
                 None => self.stats.cache_misses = 1,
             }
         }
-        let store = |verdict: CachedVerdict, stats_cache: &Option<Arc<QueryCache>>| {
-            if let (Some(c), Some(fp)) = (stats_cache.as_ref(), fp.as_ref()) {
-                c.insert(fp.key, verdict);
-            }
+        let result = if self.config.incremental {
+            self.check_incremental(ctx, &active)
+        } else {
+            self.check_oneshot(ctx, &active)
         };
+        if let (Some(c), Some(fp)) = (self.config.cache.as_ref(), fp.as_ref()) {
+            match &result {
+                SatResult::Unsat => c.insert(fp.key, CachedVerdict::Unsat),
+                SatResult::Sat(m) => c.insert(fp.key, CachedVerdict::Sat(cache::dehydrate(fp, m))),
+                SatResult::Unknown => {}
+            }
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental path: persistent Ackermann + bit-blaster + CDCL core.
+    // ------------------------------------------------------------------
+
+    fn check_incremental(&mut self, ctx: &mut Ctx, active: &[TermId]) -> SatResult {
+        if self.engine.is_none() {
+            self.engine = Some(Engine {
+                ack: Ackermann::new(),
+                bb: BitBlaster::new(),
+                sat: SatSolver::with_config(self.config.sat.clone()),
+                encoded_base: 0,
+            });
+        }
+        let encode_start = Instant::now();
+        // 1. Ackermann-rewrite the assertions not yet encoded.
+        let engine = self.engine.as_mut().expect("engine just installed");
+        let base_new: Vec<TermId> = self.assertions[engine.encoded_base..].to_vec();
+        engine.encoded_base = self.assertions.len();
+        let rewritten_base: Vec<TermId> = base_new
+            .into_iter()
+            .map(|t| engine.ack.rewrite(ctx, t))
+            .collect();
+        let mut rewritten_scoped: Vec<(usize, TermId)> = Vec::new();
+        for si in 0..self.scopes.len() {
+            let pending: Vec<TermId> =
+                self.scopes[si].assertions[self.scopes[si].encoded..].to_vec();
+            self.scopes[si].encoded = self.scopes[si].assertions.len();
+            for t in pending {
+                let r = engine.ack.rewrite(ctx, t);
+                rewritten_scoped.push((si, r));
+            }
+        }
+        // Congruence constraints are consequences of the UF semantics
+        // alone, so they are always asserted at the base level.
+        let new_constraints = engine.ack.take_new_constraints();
+        self.stats.ackermann_constraints = new_constraints.len();
+        self.stats.ack_time = encode_start.elapsed();
+        // 2. Bit-blast the delta. Constant-false terms blast to the
+        // reserved false literal, so no special-casing is needed: a base
+        // falsity yields the unit clause ¬⊤ and the solver goes
+        // permanently unsat; a scoped one yields ¬act ∨ ¬⊤, forcing the
+        // activation literal off.
+        for &t in rewritten_base.iter().chain(new_constraints.iter()) {
+            engine.bb.assert_term(ctx, t);
+        }
+        for &(si, t) in &rewritten_scoped {
+            let act = *self.scopes[si]
+                .act
+                .get_or_insert_with(|| engine.bb.builder.new_var());
+            engine.bb.assert_term_under(ctx, act, t);
+        }
+        // 3. Feed the CNF delta to the persistent SAT core.
+        let (num_vars, new_clauses) = engine.bb.builder.take_new();
+        engine.sat.reserve_vars(num_vars);
+        for c in &new_clauses {
+            if !engine.sat.add_clause(c) {
+                break;
+            }
+        }
+        self.stats.cnf_vars = num_vars;
+        self.stats.cnf_clauses = new_clauses.len();
+        self.stats.encode_time = encode_start.elapsed();
+        self.stats.bitblast_time = self.stats.encode_time.saturating_sub(self.stats.ack_time);
+        if std::env::var("HK_SMT_TRACE").is_ok() {
+            eprintln!(
+                "[smt] incremental delta: {} vars, +{} clauses, {} active assertions, +{} congruence ({:.1}s)",
+                num_vars,
+                new_clauses.len(),
+                active.len(),
+                self.stats.ackermann_constraints,
+                self.stats.encode_time.as_secs_f64()
+            );
+        }
+        // 4. Solve under the open scopes' activation literals.
+        let assumptions: Vec<Lit> = self.scopes.iter().filter_map(|s| s.act).collect();
+        let solve_start = Instant::now();
+        let before: SatStats = engine.sat.stats;
+        let outcome = engine.sat.solve_with_assumptions(&assumptions);
+        self.stats.solve_time = solve_start.elapsed();
+        self.stats.conflicts = engine.sat.stats.conflicts - before.conflicts;
+        self.stats.decisions = engine.sat.stats.decisions - before.decisions;
+        self.stats.propagations = engine.sat.stats.propagations - before.propagations;
+        match outcome {
+            SatOutcome::Unsat => SatResult::Unsat,
+            SatOutcome::Unknown => SatResult::Unknown,
+            SatOutcome::Sat => {
+                let engine = self.engine.as_ref().expect("engine exists");
+                let model = lift_model(
+                    ctx,
+                    &engine.sat,
+                    &engine.bb.var_bv,
+                    &engine.bb.var_bool,
+                    &engine.ack.instances,
+                );
+                if !self.config.skip_validation {
+                    for &t in active {
+                        assert!(
+                            eval_bool(ctx, t, &model.assignment),
+                            "model validation failed for assertion: {}",
+                            ctx.display(t)
+                        );
+                    }
+                }
+                SatResult::Sat(Box::new(model))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // One-shot path: the fresh-pipeline-per-check baseline.
+    // ------------------------------------------------------------------
+
+    fn check_oneshot(&mut self, ctx: &mut Ctx, active: &[TermId]) -> SatResult {
         let encode_start = Instant::now();
         // 1. Ackermann reduction.
         let mut ack = Ackermann::new();
-        let rewritten: Vec<TermId> = self
-            .assertions
-            .clone()
-            .into_iter()
-            .map(|t| ack.rewrite(ctx, t))
-            .collect();
+        let rewritten: Vec<TermId> = active.iter().map(|&t| ack.rewrite(ctx, t)).collect();
         let constraints = ack.constraints.clone();
         self.stats.ackermann_constraints = constraints.len();
-        self.stats.assertions = self.assertions.len();
         self.stats.ack_time = encode_start.elapsed();
         // 2. Bit-blast.
         let mut bb = BitBlaster::new();
@@ -199,7 +485,6 @@ impl Solver {
             bb.assert_term(ctx, t);
         }
         if trivially_false {
-            store(CachedVerdict::Unsat, &self.config.cache);
             return SatResult::Unsat;
         }
         let var_bv = bb.var_bv.clone();
@@ -207,6 +492,19 @@ impl Solver {
         let (num_vars, clauses) = bb.builder.finish();
         self.stats.cnf_vars = num_vars;
         self.stats.cnf_clauses = clauses.len();
+        // 3. Feed the CNF to a fresh SAT core. Clause loading scales with
+        // formula size, not search difficulty, so it counts toward
+        // encode_time — mirroring the incremental path, where the delta
+        // is loaded inside the encode window.
+        let mut sat = SatSolver::with_config(self.config.sat.clone());
+        sat.reserve_vars(num_vars);
+        let mut ok = true;
+        for c in &clauses {
+            if !sat.add_clause(c) {
+                ok = false;
+                break;
+            }
+        }
         self.stats.encode_time = encode_start.elapsed();
         self.stats.bitblast_time = self.stats.encode_time.saturating_sub(self.stats.ack_time);
         if std::env::var("HK_SMT_TRACE").is_ok() {
@@ -219,71 +517,20 @@ impl Solver {
                 self.stats.encode_time.as_secs_f64()
             );
         }
-        // 3. SAT.
+        // 4. SAT.
         let solve_start = Instant::now();
-        let mut sat = SatSolver::with_config(self.config.sat.clone());
-        sat.reserve_vars(num_vars);
-        let mut ok = true;
-        for c in &clauses {
-            if !sat.add_clause(c) {
-                ok = false;
-                break;
-            }
-        }
         let outcome = if ok { sat.solve() } else { SatOutcome::Unsat };
         self.stats.solve_time = solve_start.elapsed();
         self.stats.conflicts = sat.stats.conflicts;
         self.stats.decisions = sat.stats.decisions;
         self.stats.propagations = sat.stats.propagations;
         match outcome {
-            SatOutcome::Unsat => {
-                store(CachedVerdict::Unsat, &self.config.cache);
-                SatResult::Unsat
-            }
+            SatOutcome::Unsat => SatResult::Unsat,
             SatOutcome::Unknown => SatResult::Unknown,
             SatOutcome::Sat => {
-                // 4. Lift the model.
-                let mut model = Model::default();
-                let lit_val = |l: crate::cnf::Lit| -> bool {
-                    if l > 0 {
-                        sat.model_value(l as u32)
-                    } else {
-                        !sat.model_value((-l) as u32)
-                    }
-                };
-                for (v, bits) in &var_bv {
-                    let mut val = 0u64;
-                    for (i, &l) in bits.iter().enumerate() {
-                        if lit_val(l) {
-                            val |= 1 << i;
-                        }
-                    }
-                    model.assignment.set_var(*v, Value::Bv(val));
-                }
-                for (v, &l) in &var_bool {
-                    model.assignment.set_var(*v, Value::Bool(lit_val(l)));
-                }
-                // 5. Lift UF interpretations through the instance table.
-                for (f, instances) in &ack.instances {
-                    for inst in instances {
-                        let args: Vec<u64> = inst
-                            .args
-                            .iter()
-                            .map(|&a| match model.eval(ctx, a) {
-                                Value::Bv(v) => v,
-                                Value::Bool(b) => b as u64,
-                            })
-                            .collect();
-                        let val = match model.eval(ctx, inst.var) {
-                            Value::Bv(v) => v,
-                            Value::Bool(b) => b as u64,
-                        };
-                        model.assignment.func_mut(*f).set(args, val);
-                    }
-                }
-                // 6. Validate against the original assertions.
+                let model = lift_model(ctx, &sat, &var_bv, &var_bool, &ack.instances);
                 if !self.config.skip_validation {
-                    for &t in &self.assertions {
+                    for &t in active {
                         assert!(
                             eval_bool(ctx, t, &model.assignment),
                             "model validation failed for assertion: {}",
@@ -291,16 +538,59 @@ impl Solver {
                         );
                     }
                 }
-                if let Some(fp) = fp.as_ref() {
-                    store(
-                        CachedVerdict::Sat(cache::dehydrate(fp, &model)),
-                        &self.config.cache,
-                    );
-                }
                 SatResult::Sat(Box::new(model))
             }
         }
     }
+}
+
+/// Lifts a SAT model back to term variables and UF interpretations.
+fn lift_model(
+    ctx: &Ctx,
+    sat: &SatSolver,
+    var_bv: &HashMap<VarId, Vec<Lit>>,
+    var_bool: &HashMap<VarId, Lit>,
+    instances: &HashMap<FuncId, Vec<AppInstance>>,
+) -> Model {
+    let mut model = Model::default();
+    let lit_val = |l: Lit| -> bool {
+        if l > 0 {
+            sat.model_value(l as u32)
+        } else {
+            !sat.model_value((-l) as u32)
+        }
+    };
+    for (v, bits) in var_bv {
+        let mut val = 0u64;
+        for (i, &l) in bits.iter().enumerate() {
+            if lit_val(l) {
+                val |= 1 << i;
+            }
+        }
+        model.assignment.set_var(*v, Value::Bv(val));
+    }
+    for (v, &l) in var_bool {
+        model.assignment.set_var(*v, Value::Bool(lit_val(l)));
+    }
+    // Lift UF interpretations through the instance table.
+    for (f, insts) in instances {
+        for inst in insts {
+            let args: Vec<u64> = inst
+                .args
+                .iter()
+                .map(|&a| match model.eval(ctx, a) {
+                    Value::Bv(v) => v,
+                    Value::Bool(b) => b as u64,
+                })
+                .collect();
+            let val = match model.eval(ctx, inst.var) {
+                Value::Bv(v) => v,
+                Value::Bool(b) => b as u64,
+            };
+            model.assignment.func_mut(*f).set(args, val);
+        }
+    }
+    model
 }
 
 #[cfg(test)]
@@ -498,5 +788,174 @@ mod tests {
         s2.assert(&mut ctx, lt);
         assert!(s2.check(&mut ctx).is_sat());
         assert_eq!(s2.stats.cache_hits, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental scopes.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn push_pop_retracts_assertions() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let c5 = ctx.bv_const(16, 5);
+        let c10 = ctx.bv_const(16, 10);
+        let lt = ctx.ult(x, c5);
+        let gt = ctx.ult(c10, x);
+        let mut s = Solver::new();
+        s.assert(&mut ctx, lt);
+        // Scope 1: the contradiction.
+        s.push();
+        s.assert(&mut ctx, gt);
+        assert!(s.check(&mut ctx).is_unsat());
+        s.pop();
+        // Retracted: satisfiable again, and the model respects the base
+        // assertion.
+        match s.check(&mut ctx) {
+            SatResult::Sat(m) => assert!(m.eval_bv(&ctx, x).expect("x assigned") < 5),
+            r => panic!("expected sat after pop, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn scopes_nest_and_base_grows_between_checks() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let y = ctx.var("y", Sort::Bv(8));
+        let mut s = Solver::new();
+        let c3 = ctx.bv_const(8, 3);
+        let e1 = ctx.ult(x, c3);
+        s.assert(&mut ctx, e1); // x < 3
+        assert!(s.check(&mut ctx).is_sat());
+        // Grow the base after a check: y == x + 1.
+        let one = ctx.bv_const(8, 1);
+        let xp1 = ctx.bv_add(x, one);
+        let e2 = ctx.eq(y, xp1);
+        s.assert(&mut ctx, e2);
+        s.push();
+        let c2 = ctx.bv_const(8, 2);
+        let e3 = ctx.eq(x, c2);
+        s.assert(&mut ctx, e3); // x == 2
+        s.push();
+        let c9 = ctx.bv_const(8, 9);
+        let e4 = ctx.eq(y, c9);
+        s.assert(&mut ctx, e4); // y == 9, contradicts y == x+1 == 3
+        assert!(s.check(&mut ctx).is_unsat());
+        s.pop();
+        match s.check(&mut ctx) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.eval_bv(&ctx, x), Some(2));
+                assert_eq!(m.eval_bv(&ctx, y), Some(3));
+            }
+            r => panic!("expected sat, got {r:?}"),
+        }
+        s.pop();
+        assert_eq!(s.num_scopes(), 0);
+        assert!(s.check(&mut ctx).is_sat());
+    }
+
+    #[test]
+    fn trivially_false_scope_recovers_after_pop() {
+        let mut ctx = Ctx::new();
+        let mut s = Solver::new();
+        let x = ctx.var("x", Sort::Bool);
+        s.assert(&mut ctx, x);
+        s.push();
+        let f = ctx.fls();
+        s.assert(&mut ctx, f);
+        assert!(s.check(&mut ctx).is_unsat());
+        s.pop();
+        assert!(s.check(&mut ctx).is_sat());
+    }
+
+    #[test]
+    fn uf_congruence_across_scopes() {
+        // Congruence constraints must hold between an application asserted
+        // in the base and one asserted inside a scope.
+        let mut ctx = Ctx::new();
+        let f = ctx.func("f", vec![Sort::Bv(64)], Sort::Bv(64));
+        let x = ctx.var("x", Sort::Bv(64));
+        let y = ctx.var("y", Sort::Bv(64));
+        let fx = ctx.apply(f, &[x]);
+        let fy = ctx.apply(f, &[y]);
+        let mut s = Solver::new();
+        let exy = ctx.eq(x, y);
+        s.assert(&mut ctx, exy);
+        let c1 = ctx.bv_const(64, 1);
+        let e1 = ctx.eq(fx, c1);
+        s.assert(&mut ctx, e1); // f(x) == 1
+        assert!(s.check(&mut ctx).is_sat());
+        s.push();
+        let c2 = ctx.bv_const(64, 2);
+        let e2 = ctx.eq(fy, c2); // f(y) == 2, but x == y forces f(x) == f(y)
+        s.assert(&mut ctx, e2);
+        assert!(s.check(&mut ctx).is_unsat());
+        s.pop();
+        assert!(s.check(&mut ctx).is_sat());
+    }
+
+    #[test]
+    fn per_call_stats_are_deltas_and_totals_accumulate() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(32));
+        let y = ctx.var("y", Sort::Bv(32));
+        let prod = ctx.bv_mul(x, y);
+        let c91 = ctx.bv_const(32, 91);
+        let e = ctx.eq(prod, c91);
+        let mut s = Solver::new();
+        s.assert(&mut ctx, e);
+        assert!(s.check(&mut ctx).is_sat());
+        let first_clauses = s.stats.cnf_clauses;
+        assert!(first_clauses > 0);
+        // Second check with a tiny scoped addition: the encode delta must
+        // be far smaller than the initial encoding.
+        s.push();
+        let two = ctx.bv_const(32, 2);
+        let ex = ctx.ult(two, x);
+        s.assert(&mut ctx, ex);
+        assert!(s.check(&mut ctx).is_sat());
+        assert!(
+            s.stats.cnf_clauses < first_clauses / 4,
+            "delta {} vs initial {}",
+            s.stats.cnf_clauses,
+            first_clauses
+        );
+        assert_eq!(s.totals.checks, 2);
+        assert_eq!(
+            s.totals.cnf_clauses,
+            first_clauses + s.stats.cnf_clauses,
+            "totals must be the sum of per-call deltas"
+        );
+        s.pop();
+    }
+
+    #[test]
+    fn oneshot_config_still_answers_correctly() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let c5 = ctx.bv_const(16, 5);
+        let lt = ctx.ult(x, c5);
+        let mut s = Solver::with_config(SolverConfig {
+            incremental: false,
+            ..SolverConfig::default()
+        });
+        s.assert(&mut ctx, lt);
+        s.push();
+        let c3 = ctx.bv_const(16, 3);
+        let gt = ctx.ult(c3, x);
+        s.assert(&mut ctx, gt);
+        match s.check(&mut ctx) {
+            SatResult::Sat(m) => assert_eq!(m.eval_bv(&ctx, x), Some(4)),
+            r => panic!("expected sat, got {r:?}"),
+        }
+        s.pop();
+        s.push();
+        let gt5 = {
+            let c = ctx.bv_const(16, 5);
+            ctx.ule(c, x)
+        };
+        s.assert(&mut ctx, gt5);
+        assert!(s.check(&mut ctx).is_unsat());
+        s.pop();
     }
 }

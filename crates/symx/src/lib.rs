@@ -152,7 +152,7 @@ fn feasible(ctx: &mut Ctx, cond: TermId, budget: u64) -> bool {
             ..hk_smt::SatConfig::default()
         },
         skip_validation: true,
-        cache: None,
+        ..hk_smt::SolverConfig::default()
     });
     solver.assert(ctx, cond);
     !solver.check(ctx).is_unsat()
