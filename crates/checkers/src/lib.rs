@@ -98,45 +98,25 @@ const CALL_OVERHEAD_BYTES: u64 = 16;
 
 /// Conservatively estimates the worst-case stack use of every trap
 /// handler: each frame spills all its registers (8 bytes each) plus call
-/// overhead, maximized over the (acyclic) call graph.
+/// overhead, maximized over the (acyclic) call graph. The bound itself
+/// comes from [`hk_hir::CallGraph::max_stack_bytes`], the single home
+/// for call-graph reasoning shared with the HIR verifier and the static
+/// analysis pipeline.
 pub fn stack_checker(kernel: &Kernel) -> CheckResult {
     let module = &kernel.image.module;
-    if let Some(cycle) = hk_hir::verify::find_recursion(module) {
+    let graph = hk_hir::CallGraph::build(module);
+    if let Some(cycle) = graph.find_cycle() {
         return CheckResult::Failed(vec![format!(
             "call graph has a cycle ({} functions); stack unbounded",
             cycle.len()
         )]);
     }
-    // Depth-first maximal stack over the DAG, memoized.
-    fn max_stack(
-        module: &hk_hir::Module,
-        f: hk_hir::FuncId,
-        memo: &mut std::collections::HashMap<u32, u64>,
-    ) -> u64 {
-        if let Some(&v) = memo.get(&f.0) {
-            return v;
-        }
-        let def = module.func_def(f);
-        let own = def.num_regs as u64 * 8 + CALL_OVERHEAD_BYTES;
-        let deepest_callee = def
-            .callees()
-            .into_iter()
-            .map(|c| max_stack(module, c, memo))
-            .max()
-            .unwrap_or(0);
-        let total = own + deepest_callee;
-        memo.insert(f.0, total);
-        total
-    }
-    let mut memo = std::collections::HashMap::new();
     let mut errors = Vec::new();
-    let mut worst = (String::new(), 0u64);
     for sysno in Sysno::ALL {
         let f = kernel.image.handler(sysno);
-        let use_bytes = max_stack(module, f, &mut memo);
-        if use_bytes > worst.1 {
-            worst = (sysno.func_name().to_string(), use_bytes);
-        }
+        let use_bytes = graph
+            .max_stack_bytes(module, f, CALL_OVERHEAD_BYTES)
+            .expect("acyclic graph has a finite bound");
         if use_bytes > KERNEL_STACK_BYTES {
             errors.push(format!(
                 "{} may use {use_bytes} bytes of stack (> {KERNEL_STACK_BYTES})",
@@ -144,40 +124,21 @@ pub fn stack_checker(kernel: &Kernel) -> CheckResult {
             ));
         }
     }
-    let _ = worst;
     CheckResult::from_errors(errors)
 }
 
 /// The worst-case handler and its stack estimate (for reports).
 pub fn stack_worst_case(kernel: &Kernel) -> (String, u64) {
     let module = &kernel.image.module;
-    let mut memo = std::collections::HashMap::new();
-    fn max_stack(
-        module: &hk_hir::Module,
-        f: hk_hir::FuncId,
-        memo: &mut std::collections::HashMap<u32, u64>,
-    ) -> u64 {
-        if let Some(&v) = memo.get(&f.0) {
-            return v;
-        }
-        let def = module.func_def(f);
-        let own = def.num_regs as u64 * 8 + CALL_OVERHEAD_BYTES;
-        let deepest = def
-            .callees()
-            .into_iter()
-            .map(|c| max_stack(module, c, memo))
-            .max()
-            .unwrap_or(0);
-        let total = own + deepest;
-        memo.insert(f.0, total);
-        total
-    }
+    let graph = hk_hir::CallGraph::build(module);
     Sysno::ALL
         .iter()
         .map(|&s| {
             (
                 s.func_name().to_string(),
-                max_stack(module, kernel.image.handler(s), &mut memo),
+                graph
+                    .max_stack_bytes(module, kernel.image.handler(s), CALL_OVERHEAD_BYTES)
+                    .unwrap_or(u64::MAX),
             )
         })
         .max_by_key(|(_, v)| *v)

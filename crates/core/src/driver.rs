@@ -73,6 +73,13 @@ impl Default for VerifyConfig {
 /// Aggregate report.
 #[derive(Debug)]
 pub struct VerifyReport {
+    /// Unsuppressed static-analysis findings (rendered with their
+    /// HyperC source locations). Nonzero fails the run: a kernel that
+    /// trips the finiteness or UB lints is not push-button verifiable.
+    pub analysis_findings: Vec<String>,
+    /// Loops the static analysis proved a constant bound for (the
+    /// bounds themselves are consumed by the symbolic executor).
+    pub loop_bounds: usize,
     /// Per-handler reports, in trap-number order.
     pub handlers: Vec<HandlerReport>,
     /// Total wall-clock time.
@@ -85,9 +92,10 @@ pub struct VerifyReport {
 }
 
 impl VerifyReport {
-    /// True if every handler verified.
+    /// True if static analysis came back clean and every handler
+    /// verified.
     pub fn all_verified(&self) -> bool {
-        self.handlers.iter().all(|h| h.outcome.is_verified())
+        self.analysis_findings.is_empty() && self.handlers.iter().all(|h| h.outcome.is_verified())
     }
 
     /// Solver queries answered from the cache *during this run*.
@@ -115,6 +123,9 @@ impl VerifyReport {
     pub fn summary(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        for f in &self.analysis_findings {
+            let _ = writeln!(out, "analysis: {f}");
+        }
         let _ = writeln!(
             out,
             "{:<24} {:>8} {:>7} {:>9} {:>10} {:>9} {:>9}",
@@ -200,6 +211,17 @@ impl VerifyReport {
                 .count()
         );
         let _ = writeln!(out, "  \"total\": {},", self.handlers.len());
+        let findings: Vec<String> = self
+            .analysis_findings
+            .iter()
+            .map(|f| format!("\"{}\"", json_escape(f)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  \"analysis\": {{ \"findings\": [{}], \"loop_bounds\": {} }},",
+            findings.join(", "),
+            self.loop_bounds
+        );
         let _ = writeln!(
             out,
             "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.6}, \"entries\": {} }},",
@@ -328,6 +350,42 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
     if let Some(path) = &config.cache_snapshot {
         let _ = cache.load_snapshot(path);
     }
+    let events = &config.events;
+    // ---- Static-analysis phase (paper's finite-interface discipline,
+    // checked up front): finiteness, definite initialization, and UB
+    // lints over every selected handler plus the representation
+    // invariant. Findings fail the run; the proven loop bounds feed the
+    // symbolic executor so it asserts unrolling limits instead of
+    // probing the solver at every back edge.
+    let analysis_start = Instant::now();
+    let mut roots: Vec<hk_hir::FuncId> = targets.iter().map(|&s| image.handler(s)).collect();
+    roots.push(image.rep_invariant);
+    roots.sort_unstable();
+    roots.dedup();
+    events.emit(&VerifyEvent::AnalysisStarted { roots: roots.len() });
+    let analysis_cfg = hk_kernel::analysis_config(&image.params);
+    let analysis = hk_hir::analysis::analyze_module(&image.module, &roots, &analysis_cfg);
+    let mut analysis_findings = Vec::new();
+    let mut allowlisted = 0usize;
+    for d in &analysis.diagnostics {
+        let rendered = d.render(&image.module);
+        events.emit(&VerifyEvent::AnalysisFinding {
+            rendered: rendered.clone(),
+            allowlisted: d.allowlisted,
+        });
+        if d.allowlisted {
+            allowlisted += 1;
+        } else {
+            analysis_findings.push(rendered);
+        }
+    }
+    events.emit(&VerifyEvent::AnalysisFinished {
+        findings: analysis_findings.len(),
+        allowlisted,
+        loop_bounds: analysis.bounds.len(),
+        time: analysis_start.elapsed(),
+    });
+    let bounds = analysis.bounds;
     let handler_fn = |s: Sysno| image.handler(s);
     let vctx = VerifyCtx {
         module: &image.module,
@@ -337,9 +395,9 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
         rep_invariant: image.rep_invariant,
         solver: solver_config,
         symx: config.symx,
+        bounds: Some(&bounds),
     };
     let total = targets.len();
-    let events = &config.events;
     events.emit(&VerifyEvent::RunStarted {
         total,
         threads: config.threads.max(1),
@@ -408,6 +466,8 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
         let _ = cache.save_snapshot(path);
     }
     let report = VerifyReport {
+        analysis_findings,
+        loop_bounds: bounds.len(),
         handlers,
         total_time: start.elapsed(),
         cache: cache.stats(),

@@ -59,6 +59,32 @@ impl PhaseStats {
 /// across threads or serialize them without borrowing the run state.
 #[derive(Debug, Clone)]
 pub enum VerifyEvent {
+    /// The static-analysis phase (finiteness + UB lints) has started.
+    AnalysisStarted {
+        /// Entry points analysed (handlers + the representation
+        /// invariant).
+        roots: usize,
+    },
+    /// One static-analysis finding. Emitted for allowlisted findings
+    /// too, so suppressions stay visible in verification logs.
+    AnalysisFinding {
+        /// The finding, rendered as `file:line:col: code: message`.
+        rendered: String,
+        /// Whether an allowlist rule suppressed it.
+        allowlisted: bool,
+    },
+    /// The static-analysis phase has finished.
+    AnalysisFinished {
+        /// Unsuppressed findings (nonzero fails the run).
+        findings: usize,
+        /// Allowlisted findings.
+        allowlisted: usize,
+        /// Loops with a proven constant bound, handed to the symbolic
+        /// executor.
+        loop_bounds: usize,
+        /// Wall-clock time of the phase.
+        time: Duration,
+    },
     /// The run has started.
     RunStarted {
         /// Handlers selected for verification.
@@ -134,6 +160,27 @@ impl EventSink {
     /// A sink that logs one line per handler to stderr.
     pub fn stderr() -> Self {
         EventSink::new(|ev| match ev {
+            VerifyEvent::AnalysisStarted { roots } => {
+                eprintln!("[verify] static analysis over {roots} entry points");
+            }
+            VerifyEvent::AnalysisFinding {
+                rendered,
+                allowlisted,
+            } => {
+                let tag = if *allowlisted { " (allowlisted)" } else { "" };
+                eprintln!("[verify] finding: {rendered}{tag}");
+            }
+            VerifyEvent::AnalysisFinished {
+                findings,
+                allowlisted,
+                loop_bounds,
+                time,
+            } => {
+                eprintln!(
+                    "[verify] analysis done in {:.2}s: {findings} findings ({allowlisted} allowlisted), {loop_bounds} loop bounds",
+                    time.as_secs_f64()
+                );
+            }
             VerifyEvent::RunStarted { total, threads } => {
                 eprintln!("[verify] {total} handlers on {threads} thread(s)");
             }

@@ -23,6 +23,19 @@ const SUBSET: [Sysno; 3] = [Sysno::Nop, Sysno::AckIntr, Sysno::Dup];
 /// count, cache counters) stripped, for cross-run comparison.
 fn stable_view(ev: &VerifyEvent) -> String {
     match ev {
+        VerifyEvent::AnalysisStarted { roots } => format!("analysis roots={roots}"),
+        VerifyEvent::AnalysisFinding {
+            rendered,
+            allowlisted,
+        } => format!("finding allowlisted={allowlisted} {rendered}"),
+        VerifyEvent::AnalysisFinished {
+            findings,
+            allowlisted,
+            loop_bounds,
+            ..
+        } => format!(
+            "analysis done findings={findings} allowlisted={allowlisted} bounds={loop_bounds}"
+        ),
         VerifyEvent::RunStarted { total, .. } => format!("start total={total}"),
         VerifyEvent::HandlerStarted {
             sysno,
@@ -93,10 +106,13 @@ fn parallel_run_is_deterministic() {
         seq_events, par_events,
         "thread count changed the event stream"
     );
-    // Sanity: the stream has the expected shape.
-    assert_eq!(seq_events.first().unwrap(), "start total=3");
+    // Sanity: the stream has the expected shape — the static-analysis
+    // phase (clean: no finding events) precedes the run itself.
+    assert_eq!(seq_events.first().unwrap(), "analysis roots=4");
+    assert!(seq_events[1].starts_with("analysis done findings=0"));
+    assert_eq!(seq_events[2], "start total=3");
     assert_eq!(seq_events.last().unwrap(), "done 3/3");
-    assert_eq!(seq_events.len(), 2 + 2 * SUBSET.len());
+    assert_eq!(seq_events.len(), 4 + 2 * SUBSET.len());
 }
 
 /// The incremental per-handler solver and the fresh-solver-per-query

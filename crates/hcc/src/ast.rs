@@ -76,6 +76,8 @@ pub enum LValue {
 pub struct Expr {
     /// Source line for diagnostics.
     pub line: u32,
+    /// Source column for diagnostics (1-based).
+    pub col: u32,
     /// Node kind.
     pub kind: ExprKind,
 }
@@ -102,6 +104,8 @@ pub enum ExprKind {
 pub struct Stmt {
     /// Source line for diagnostics.
     pub line: u32,
+    /// Source column for diagnostics (1-based).
+    pub col: u32,
     /// Node kind.
     pub kind: StmtKind,
 }
@@ -135,6 +139,8 @@ pub enum StmtKind {
 pub struct FuncDef {
     /// Source line of the definition.
     pub line: u32,
+    /// Source column of the definition (1-based).
+    pub col: u32,
     /// Function name.
     pub name: String,
     /// Parameter names.

@@ -89,13 +89,15 @@ pub enum Tok {
     Eof,
 }
 
-/// A token with its source line (1-based).
+/// A token with its source position (1-based line and column).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Kind and payload.
     pub tok: Tok,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
 }
 
 /// Lexing error.
@@ -112,13 +114,16 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let bytes = src.as_bytes();
     let mut i = 0;
     let mut line = 1u32;
+    let mut line_start = 0usize;
     let mut out = Vec::new();
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let col = (i - line_start + 1) as u32;
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
@@ -137,6 +142,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                     if bytes[i] == b'\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     if bytes[i] == b'*' && bytes[i + 1] == b'/' {
                         i += 2;
@@ -178,6 +184,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token {
                     tok: Tok::Int(value),
                     line,
+                    col,
                 });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
@@ -198,7 +205,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     "continue" => Tok::KwContinue,
                     _ => Tok::Ident(word.to_string()),
                 };
-                out.push(Token { tok, line });
+                out.push(Token { tok, line, col });
             }
             _ => {
                 let two = if i + 1 < bytes.len() {
@@ -246,7 +253,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     },
                 };
-                out.push(Token { tok, line });
+                out.push(Token { tok, line, col });
                 i += len;
             }
         }
@@ -254,6 +261,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     out.push(Token {
         tok: Tok::Eof,
         line,
+        col: (bytes.len() - line_start + 1) as u32,
     });
     Ok(out)
 }
@@ -277,7 +285,9 @@ mod tests {
         let toks = lex("// line one\nx /* multi\nline */ y").unwrap();
         assert_eq!(toks.len(), 3); // x, y, eof
         assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[0].col, 1);
         assert_eq!(toks[1].line, 3);
+        assert_eq!(toks[1].col, 9);
     }
 
     #[test]
@@ -287,6 +297,8 @@ mod tests {
         assert!(matches!(kinds[1], Tok::Le));
         assert!(matches!(kinds[3], Tok::Shl));
         assert!(matches!(kinds[5], Tok::AndAnd));
+        assert_eq!(toks[1].col, 3);
+        assert_eq!(toks[5].col, 13);
     }
 
     #[test]

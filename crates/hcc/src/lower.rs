@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use hk_hir::{BinOp as HBin, CmpKind, FuncBuilder, Gep, Module, Operand, Reg};
+use hk_hir::{BinOp as HBin, CmpKind, FuncBuilder, Gep, Module, Operand, Reg, Span};
 
 use crate::ast::{BinOp, Expr, ExprKind, FuncDef, Item, LValue, Stmt, StmtKind, UnOp};
 use crate::parse::parse;
@@ -54,6 +54,22 @@ impl<'m> Compiler<'m> {
     /// previous `compile` calls); recursion is rejected later by the HIR
     /// module verifier.
     pub fn compile(&mut self, src: &str) -> Result<Vec<hk_hir::FuncId>, CompileError> {
+        self.compile_inner(u32::MAX, src)
+    }
+
+    /// Like [`Compiler::compile`], but records `file` as the source file
+    /// name so every lowered instruction carries a full `file:line:col`
+    /// span for diagnostics.
+    pub fn compile_named(
+        &mut self,
+        file: &str,
+        src: &str,
+    ) -> Result<Vec<hk_hir::FuncId>, CompileError> {
+        let fid = self.module.intern_file(file);
+        self.compile_inner(fid, src)
+    }
+
+    fn compile_inner(&mut self, file: u32, src: &str) -> Result<Vec<hk_hir::FuncId>, CompileError> {
         let items = parse(src).map_err(|e| CompileError {
             line: e.line,
             msg: e.msg,
@@ -66,7 +82,7 @@ impl<'m> Compiler<'m> {
                     self.consts.insert(name, v);
                 }
                 Item::Func(def) => {
-                    ids.push(self.lower_func(&def)?);
+                    ids.push(self.lower_func(&def, file)?);
                 }
             }
         }
@@ -97,7 +113,7 @@ impl<'m> Compiler<'m> {
         }
     }
 
-    fn lower_func(&mut self, def: &FuncDef) -> Result<hk_hir::FuncId, CompileError> {
+    fn lower_func(&mut self, def: &FuncDef, file: u32) -> Result<hk_hir::FuncId, CompileError> {
         if self.module.func(&def.name).is_some() {
             return Err(CompileError {
                 line: def.line,
@@ -110,7 +126,9 @@ impl<'m> Compiler<'m> {
             fb: FuncBuilder::new(def.name.clone(), def.params.len() as u32),
             scopes: vec![HashMap::new()],
             loops: Vec::new(),
+            file,
         };
+        lo.mark(def.line, def.col);
         for (i, p) in def.params.iter().enumerate() {
             if lo.scopes[0].insert(p.clone(), Reg(i as u32)).is_some() {
                 return Err(CompileError {
@@ -135,6 +153,8 @@ struct FuncLower<'a, 'm> {
     scopes: Vec<HashMap<String, Reg>>,
     /// (continue target, break target) stack.
     loops: Vec<(hk_hir::BlockId, hk_hir::BlockId)>,
+    /// Interned source-file id for spans (`u32::MAX` when unnamed).
+    file: u32,
 }
 
 impl FuncLower<'_, '_> {
@@ -143,6 +163,14 @@ impl FuncLower<'_, '_> {
             line,
             msg: msg.into(),
         })
+    }
+
+    /// Sets the span applied to subsequently emitted instructions.
+    /// Called per statement and again per consuming expression node, so
+    /// an instruction's span is the node that emitted it even after
+    /// sub-expressions (possibly constant-folded away) moved the cursor.
+    fn mark(&mut self, line: u32, col: u32) {
+        self.fb.set_span(Span::new(self.file, line, col));
     }
 
     fn lookup_var(&self, name: &str) -> Option<Reg> {
@@ -173,6 +201,7 @@ impl FuncLower<'_, '_> {
 
     /// Lowers one statement; returns true if control falls through.
     fn stmt(&mut self, s: &Stmt) -> Result<bool, CompileError> {
+        self.mark(s.line, s.col);
         match &s.kind {
             StmtKind::Decl(name, init) => {
                 if self.scopes.last().unwrap().contains_key(name) {
@@ -181,6 +210,7 @@ impl FuncLower<'_, '_> {
                 let r = self.fb.new_reg();
                 if let Some(e) = init {
                     let v = self.expr(e)?;
+                    self.mark(s.line, s.col);
                     self.fb.copy_to(r, v);
                 }
                 self.scopes.last_mut().unwrap().insert(name.clone(), r);
@@ -191,8 +221,10 @@ impl FuncLower<'_, '_> {
                 match lv {
                     LValue::Var(name) => {
                         if let Some(r) = self.lookup_var(name) {
+                            self.mark(s.line, s.col);
                             self.fb.copy_to(r, v);
                         } else if let Some(gep) = self.scalar_global(name) {
+                            self.mark(s.line, s.col);
                             self.fb.store(gep, v);
                         } else {
                             return self
@@ -201,6 +233,7 @@ impl FuncLower<'_, '_> {
                     }
                     LValue::Global { .. } => {
                         let gep = self.place(s.line, lv)?;
+                        self.mark(s.line, s.col);
                         self.fb.store(gep, v);
                     }
                 }
@@ -212,6 +245,7 @@ impl FuncLower<'_, '_> {
             }
             StmtKind::Return(e) => {
                 let v = self.expr(e)?;
+                self.mark(s.line, s.col);
                 self.fb.ret(v);
                 Ok(false)
             }
@@ -249,6 +283,7 @@ impl FuncLower<'_, '_> {
                 } else {
                     self.fb.new_block()
                 };
+                self.mark(cond.line, cond.col);
                 self.fb.br(c, then_b, else_b);
                 self.fb.switch_to(then_b);
                 self.scopes.push(HashMap::new());
@@ -283,6 +318,7 @@ impl FuncLower<'_, '_> {
                 self.fb.jmp(header);
                 self.fb.switch_to(header);
                 let c = self.expr(cond)?;
+                self.mark(cond.line, cond.col);
                 self.fb.br(c, body_b, exit);
                 self.fb.switch_to(body_b);
                 self.scopes.push(HashMap::new());
@@ -308,6 +344,7 @@ impl FuncLower<'_, '_> {
                 self.fb.jmp(header);
                 self.fb.switch_to(header);
                 let c = self.expr(cond)?;
+                self.mark(cond.line, cond.col);
                 self.fb.br(c, body_b, exit);
                 self.fb.switch_to(body_b);
                 self.scopes.push(HashMap::new());
@@ -423,12 +460,14 @@ impl FuncLower<'_, '_> {
                     return Ok(Operand::Const(v));
                 }
                 if let Some(gep) = self.scalar_global(name) {
+                    self.mark(e.line, e.col);
                     return Ok(Operand::Reg(self.fb.load(gep)));
                 }
                 self.err(e.line, format!("unknown name `{name}`"))
             }
             ExprKind::Place(lv) => {
                 let gep = self.place(e.line, lv)?;
+                self.mark(e.line, e.col);
                 Ok(Operand::Reg(self.fb.load(gep)))
             }
             ExprKind::Unary(op, a) => {
@@ -438,13 +477,14 @@ impl FuncLower<'_, '_> {
                         .map(Operand::Const)
                         .map_err(|msg| CompileError { line: e.line, msg });
                 }
+                self.mark(e.line, e.col);
                 Ok(Operand::Reg(match op {
                     UnOp::Neg => self.fb.bin(HBin::Sub, Operand::Const(0), a),
                     UnOp::Not => self.fb.cmp(CmpKind::Eq, a, Operand::Const(0)),
                     UnOp::BitNot => self.fb.bin(HBin::Xor, a, Operand::Const(-1)),
                 }))
             }
-            ExprKind::Binary(op, a, b) => self.binary(e.line, *op, a, b),
+            ExprKind::Binary(op, a, b) => self.binary(e.line, e.col, *op, a, b),
             ExprKind::Call(name, args) => {
                 let Some(f) = self.module.func(name) else {
                     return self.err(e.line, format!("unknown function `{name}`"));
@@ -460,6 +500,7 @@ impl FuncLower<'_, '_> {
                 for a in args {
                     ops.push(self.expr(a)?);
                 }
+                self.mark(e.line, e.col);
                 Ok(Operand::Reg(self.fb.call(f, ops)))
             }
         }
@@ -468,13 +509,14 @@ impl FuncLower<'_, '_> {
     fn binary(
         &mut self,
         line: u32,
+        col: u32,
         op: BinOp,
         a: &Expr,
         b: &Expr,
     ) -> Result<Operand, CompileError> {
         // Short-circuit operators get control flow.
         if matches!(op, BinOp::LogAnd | BinOp::LogOr) {
-            return self.short_circuit(op, a, b);
+            return self.short_circuit(line, col, op, a, b);
         }
         let av = self.expr(a)?;
         let bv = self.expr(b)?;
@@ -483,6 +525,7 @@ impl FuncLower<'_, '_> {
                 .map(Operand::Const)
                 .map_err(|msg| CompileError { line, msg });
         }
+        self.mark(line, col);
         Ok(Operand::Reg(match op {
             BinOp::Add => self.fb.bin(HBin::Add, av, bv),
             BinOp::Sub => self.fb.bin(HBin::Sub, av, bv),
@@ -504,7 +547,14 @@ impl FuncLower<'_, '_> {
         }))
     }
 
-    fn short_circuit(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<Operand, CompileError> {
+    fn short_circuit(
+        &mut self,
+        line: u32,
+        col: u32,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<Operand, CompileError> {
         let av = self.expr(a)?;
         // Constant left operand decides statically.
         if let Operand::Const(x) = av {
@@ -517,6 +567,7 @@ impl FuncLower<'_, '_> {
                     if let Operand::Const(y) = bv {
                         return Ok(Operand::Const((y != 0) as i64));
                     }
+                    self.mark(line, col);
                     return Ok(Operand::Reg(self.fb.cmp(
                         CmpKind::Ne,
                         bv,
@@ -525,6 +576,7 @@ impl FuncLower<'_, '_> {
                 }
             }
         }
+        self.mark(line, col);
         let result = self.fb.new_reg();
         let default = if op == BinOp::LogAnd { 0 } else { 1 };
         self.fb.copy_to(result, Operand::Const(default));
@@ -801,6 +853,31 @@ mod tests {
             }
         "#;
         assert_eq!(run(src, "f", &[10]).unwrap(), 13);
+    }
+
+    #[test]
+    fn compile_named_threads_spans_through_folding() {
+        // `(N - 4 + 2)` folds to the constant 2; the UDiv must still be
+        // anchored at the `/` operator, not lose its span to the fold.
+        let src = "const N = 4;\ni64 f(i64 x) {\n  i64 y = x / (N - 4 + 2);\n  return y;\n}\n";
+        let mut module = Module::new();
+        let mut c = Compiler::new(&mut module);
+        let ids = c.compile_named("fix.hc", src).unwrap();
+        let f = module.func_def(ids[0]);
+        let block = &f.blocks[0];
+        let (i, _) = block
+            .insts
+            .iter()
+            .enumerate()
+            .find(|(_, inst)| matches!(inst, hk_hir::Inst::Bin { op: HBin::UDiv, .. }))
+            .expect("udiv instruction");
+        let span = block.inst_span(i);
+        assert!(span.is_known());
+        assert_eq!(module.file_name(span.file), Some("fix.hc"));
+        assert_eq!((span.line, span.col), (3, 13));
+        // The statement's copy into `y` is anchored at the statement.
+        let copy_span = block.inst_span(i + 1);
+        assert_eq!((copy_span.line, copy_span.col), (3, 3));
     }
 
     #[test]

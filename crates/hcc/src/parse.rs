@@ -54,6 +54,10 @@ impl Parser {
         self.tokens[self.pos].line
     }
 
+    fn col(&self) -> u32 {
+        self.tokens[self.pos].col
+    }
+
     fn at(&self, t: &Tok) -> bool {
         self.peek() == t
     }
@@ -109,6 +113,7 @@ impl Parser {
             return Ok(Item::Const(name, e));
         }
         let line = self.line();
+        let col = self.col();
         self.expect(&Tok::KwI64, "'i64' (function return type)")?;
         let name = self.ident("function name")?;
         self.expect(&Tok::LParen, "'('")?;
@@ -126,6 +131,7 @@ impl Parser {
         let body = self.block()?;
         Ok(Item::Func(FuncDef {
             line,
+            col,
             name,
             params,
             body,
@@ -146,6 +152,7 @@ impl Parser {
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
         let line = self.line();
+        let col = self.col();
         let kind = match self.peek().clone() {
             Tok::KwI64 => {
                 self.bump();
@@ -225,18 +232,20 @@ impl Parser {
                 }
             }
         };
-        Ok(Stmt { line, kind })
+        Ok(Stmt { line, col, kind })
     }
 
     /// `x = e` or `place = e` without the trailing semicolon (for `for`).
     fn simple_assign(&mut self) -> Result<Stmt, ParseError> {
         let line = self.line();
+        let col = self.col();
         let e = self.expr()?;
         self.expect(&Tok::Assign, "'='")?;
         let lv = expr_to_lvalue(e).map_err(|msg| ParseError { line, msg })?;
         let rhs = self.expr()?;
         Ok(Stmt {
             line,
+            col,
             kind: StmtKind::Assign(lv, rhs),
         })
     }
@@ -273,10 +282,12 @@ impl Parser {
                 break;
             }
             let line = self.line();
+            let col = self.col();
             self.bump();
             let rhs = self.binary(prec + 1)?;
             lhs = Expr {
                 line,
+                col,
                 kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
             };
         }
@@ -285,6 +296,7 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
         let line = self.line();
+        let col = self.col();
         let op = match self.peek() {
             Tok::Minus => Some(UnOp::Neg),
             Tok::Bang => Some(UnOp::Not),
@@ -296,6 +308,7 @@ impl Parser {
             let e = self.unary()?;
             return Ok(Expr {
                 line,
+                col,
                 kind: ExprKind::Unary(op, Box::new(e)),
             });
         }
@@ -304,11 +317,13 @@ impl Parser {
 
     fn postfix(&mut self) -> Result<Expr, ParseError> {
         let line = self.line();
+        let col = self.col();
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
                 Ok(Expr {
                     line,
+                    col,
                     kind: ExprKind::Int(v),
                 })
             }
@@ -335,6 +350,7 @@ impl Parser {
                     self.expect(&Tok::RParen, "')'")?;
                     return Ok(Expr {
                         line,
+                        col,
                         kind: ExprKind::Call(name, args),
                     });
                 }
@@ -358,6 +374,7 @@ impl Parser {
                     }
                     return Ok(Expr {
                         line,
+                        col,
                         kind: ExprKind::Place(LValue::Global {
                             name,
                             index: Some(Box::new(index)),
@@ -368,6 +385,7 @@ impl Parser {
                 }
                 Ok(Expr {
                     line,
+                    col,
                     kind: ExprKind::Name(name),
                 })
             }
@@ -484,6 +502,20 @@ mod tests {
     fn parse_const_item() {
         let items = parse("const N = 8; i64 f() { return N; }").unwrap();
         assert!(matches!(&items[0], Item::Const(n, _) if n == "N"));
+    }
+
+    #[test]
+    fn spans_carry_columns() {
+        let items = parse("i64 f(i64 x) {\n  return x / 2;\n}").unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        assert_eq!((f.line, f.col), (1, 1));
+        let stmt = &f.body[0];
+        assert_eq!((stmt.line, stmt.col), (2, 3));
+        let StmtKind::Return(e) = &stmt.kind else {
+            panic!()
+        };
+        // Binary expressions are anchored at their operator token.
+        assert_eq!((e.line, e.col), (2, 12));
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Control-flow graph utilities: successor/predecessor maps, dominator
+//! tree, and natural-loop detection via back edges.
+//!
+//! Everything here is per-function and purely structural; the passes in
+//! the sibling modules ([`super::init`], [`super::absint`]) build on it.
+
+use crate::func::{Func, Terminator};
+
+/// A natural loop: a back edge `tail -> header` where `header` dominates
+/// `tail`, together with the set of blocks that can reach the tail
+/// without passing through the header.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Loop header block.
+    pub header: u32,
+    /// Sources of back edges into `header`.
+    pub back_edges: Vec<u32>,
+    /// Blocks in the loop body, sorted, including the header.
+    pub body: Vec<u32>,
+}
+
+/// Control-flow graph of one function, with derived structure.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor blocks of each block (deduplicated).
+    pub succs: Vec<Vec<u32>>,
+    /// Predecessor blocks of each block (deduplicated).
+    pub preds: Vec<Vec<u32>>,
+    /// Reverse postorder over reachable blocks, starting at the entry.
+    pub rpo: Vec<u32>,
+    /// Immediate dominator of each block; the entry's is itself and
+    /// unreachable blocks have none.
+    pub idom: Vec<Option<u32>>,
+    /// Natural loops, one per header with at least one back edge.
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl Cfg {
+    /// Builds the CFG and derived structure for `func`.
+    pub fn build(func: &Func) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (b, blk) in func.blocks.iter().enumerate() {
+            let mut out: Vec<u32> = match blk.term {
+                Terminator::Jmp(t) => vec![t.0],
+                Terminator::Br { then_, else_, .. } => vec![then_.0, else_.0],
+                Terminator::Ret(_) => Vec::new(),
+            };
+            out.sort_unstable();
+            out.dedup();
+            for &t in &out {
+                if (t as usize) < n {
+                    preds[t as usize].push(b as u32);
+                }
+            }
+            succs[b] = out;
+        }
+        for p in &mut preds {
+            p.sort_unstable();
+            p.dedup();
+        }
+
+        // Postorder DFS from the entry (iterative).
+        let mut post = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        if n > 0 {
+            seen[0] = true;
+            stack.push((0, 0));
+        }
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let sl = &succs[b as usize];
+            if *i < sl.len() {
+                let s = sl[*i];
+                *i += 1;
+                if (s as usize) < n && !seen[s as usize] {
+                    seen[s as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<u32> = post.iter().rev().copied().collect();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_num[b as usize] = i;
+        }
+
+        // Cooper-Harvey-Kennedy iterative dominators.
+        let mut idom: Vec<Option<u32>> = vec![None; n];
+        if n > 0 {
+            idom[0] = Some(0);
+        }
+        let intersect = |idom: &[Option<u32>], rpo_num: &[usize], mut a: u32, mut b: u32| -> u32 {
+            while a != b {
+                while rpo_num[a as usize] > rpo_num[b as usize] {
+                    a = idom[a as usize].unwrap();
+                }
+                while rpo_num[b as usize] > rpo_num[a as usize] {
+                    b = idom[b as usize].unwrap();
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<u32> = None;
+                for &p in &preds[b as usize] {
+                    if idom[p as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_num, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b as usize] != new_idom {
+                    idom[b as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let dominates = |idom: &[Option<u32>], h: u32, mut b: u32| -> bool {
+            loop {
+                if b == h {
+                    return true;
+                }
+                match idom[b as usize] {
+                    Some(d) if d != b => b = d,
+                    _ => return false,
+                }
+            }
+        };
+
+        // Back edges and natural-loop bodies.
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for &b in &rpo {
+            for &s in &succs[b as usize] {
+                if (s as usize) < n && idom[s as usize].is_some() && dominates(&idom, s, b) {
+                    match loops.iter_mut().find(|l| l.header == s) {
+                        Some(l) => l.back_edges.push(b),
+                        None => loops.push(NaturalLoop {
+                            header: s,
+                            back_edges: vec![b],
+                            body: Vec::new(),
+                        }),
+                    }
+                }
+            }
+        }
+        for l in &mut loops {
+            let mut body = vec![l.header];
+            let mut work: Vec<u32> = Vec::new();
+            for &t in &l.back_edges {
+                if t != l.header && !body.contains(&t) {
+                    body.push(t);
+                    work.push(t);
+                }
+            }
+            while let Some(b) = work.pop() {
+                for &p in &preds[b as usize] {
+                    if !body.contains(&p) {
+                        body.push(p);
+                        work.push(p);
+                    }
+                }
+            }
+            body.sort_unstable();
+            l.body = body;
+        }
+        loops.sort_by_key(|l| l.header);
+
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            idom,
+            loops,
+        }
+    }
+
+    /// Whether block `b` is reachable from the entry.
+    pub fn reachable(&self, b: u32) -> bool {
+        self.idom.get(b as usize).is_some_and(|d| d.is_some())
+    }
+
+    /// Whether `a` dominates `b` (both must be reachable).
+    pub fn dominates(&self, a: u32, mut b: u32) -> bool {
+        loop {
+            if a == b {
+                return true;
+            }
+            match self.idom[b as usize] {
+                Some(d) if d != b => b = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::func::{BinOp, CmpKind, Operand};
+
+    fn loop_func() -> Func {
+        // i = 0; while (i < 10) { i = i + 1 } return i
+        let mut fb = FuncBuilder::new("f", 0);
+        let i = fb.new_reg();
+        fb.copy_to(i, Operand::Const(0));
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.jmp(header);
+        fb.switch_to(header);
+        let c = fb.cmp(CmpKind::Slt, Operand::Reg(i), Operand::Const(10));
+        fb.br(Operand::Reg(c), body, exit);
+        fb.switch_to(body);
+        let ni = fb.bin(BinOp::Add, Operand::Reg(i), Operand::Const(1));
+        fb.copy_to(i, Operand::Reg(ni));
+        fb.jmp(header);
+        fb.switch_to(exit);
+        fb.ret(Operand::Reg(i));
+        fb.finish()
+    }
+
+    #[test]
+    fn preds_succs_and_rpo() {
+        let f = loop_func();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs[0], vec![1]);
+        assert_eq!(cfg.succs[1], vec![2, 3]);
+        assert_eq!(cfg.succs[2], vec![1]);
+        assert!(cfg.succs[3].is_empty());
+        assert_eq!(cfg.preds[1], vec![0, 2]);
+        assert_eq!(cfg.rpo[0], 0);
+        assert_eq!(cfg.rpo.len(), 4);
+    }
+
+    #[test]
+    fn dominators_and_loops() {
+        let f = loop_func();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.idom[0], Some(0));
+        assert_eq!(cfg.idom[1], Some(0));
+        assert_eq!(cfg.idom[2], Some(1));
+        assert_eq!(cfg.idom[3], Some(1));
+        assert!(cfg.dominates(1, 2));
+        assert!(!cfg.dominates(2, 3));
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        assert_eq!(l.header, 1);
+        assert_eq!(l.back_edges, vec![2]);
+        assert_eq!(l.body, vec![1, 2]);
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut fb = FuncBuilder::new("f", 0);
+        let dead = fb.new_block();
+        fb.ret(Operand::Const(0));
+        fb.switch_to(dead);
+        fb.ret(Operand::Const(1));
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        assert!(cfg.reachable(0));
+        assert!(!cfg.reachable(1));
+        assert_eq!(cfg.idom[1], None);
+    }
+}

@@ -1,0 +1,128 @@
+//! A small forward-dataflow engine over a function's [`Cfg`].
+//!
+//! Analyses supply a join-semilattice state and a block transfer
+//! function; the engine iterates to a fixpoint over reachable blocks in
+//! reverse postorder. HIR functions are small (tens of blocks) so a
+//! simple worklist is plenty.
+
+use super::cfg::Cfg;
+
+/// A join-semilattice value.
+pub trait Lattice: Clone {
+    /// Joins `other` into `self`; returns true if `self` changed.
+    fn join_with(&mut self, other: &Self) -> bool;
+}
+
+/// A forward analysis: a boundary state for the entry block and a
+/// transfer function mapping a block-entry state to its exit state.
+pub trait ForwardAnalysis {
+    /// The dataflow state.
+    type State: Lattice;
+
+    /// State on entry to the function's entry block.
+    fn boundary(&self) -> Self::State;
+
+    /// Transforms `state` across block `block` (in place).
+    fn transfer(&self, block: u32, state: &mut Self::State);
+}
+
+/// Runs `analysis` to fixpoint; returns the state at each block's entry
+/// (`None` for unreachable blocks).
+pub fn run_forward<A: ForwardAnalysis>(cfg: &Cfg, analysis: &A) -> Vec<Option<A::State>> {
+    let n = cfg.succs.len();
+    let mut entry: Vec<Option<A::State>> = vec![None; n];
+    if n == 0 {
+        return entry;
+    }
+    entry[0] = Some(analysis.boundary());
+    let mut dirty = vec![false; n];
+    dirty[0] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &cfg.rpo {
+            if !dirty[b as usize] {
+                continue;
+            }
+            dirty[b as usize] = false;
+            let mut state = entry[b as usize].clone().expect("reachable block");
+            analysis.transfer(b, &mut state);
+            for &s in &cfg.succs[b as usize] {
+                let slot = &mut entry[s as usize];
+                let touched = match slot {
+                    None => {
+                        *slot = Some(state.clone());
+                        true
+                    }
+                    Some(cur) => cur.join_with(&state),
+                };
+                if touched {
+                    dirty[s as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::func::Operand;
+
+    /// Reaching "marks": a set of block ids the path has passed through.
+    #[derive(Clone, PartialEq)]
+    struct Marks(Vec<u32>);
+
+    impl Lattice for Marks {
+        fn join_with(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            for &m in &other.0 {
+                if !self.0.contains(&m) {
+                    self.0.push(m);
+                }
+            }
+            self.0.sort_unstable();
+            self.0.len() != before
+        }
+    }
+
+    struct MarkBlocks;
+
+    impl ForwardAnalysis for MarkBlocks {
+        type State = Marks;
+        fn boundary(&self) -> Marks {
+            Marks(Vec::new())
+        }
+        fn transfer(&self, block: u32, state: &mut Marks) {
+            if !state.0.contains(&block) {
+                state.0.push(block);
+                state.0.sort_unstable();
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_over_diamond() {
+        // 0 -> {1, 2} -> 3
+        let mut fb = FuncBuilder::new("f", 1);
+        let t = fb.new_block();
+        let e = fb.new_block();
+        let m = fb.new_block();
+        fb.br(Operand::Reg(crate::func::Reg(0)), t, e);
+        fb.switch_to(t);
+        fb.jmp(m);
+        fb.switch_to(e);
+        fb.jmp(m);
+        fb.switch_to(m);
+        fb.ret(Operand::Const(0));
+        let f = fb.finish();
+        let cfg = Cfg::build(&f);
+        let states = run_forward(&cfg, &MarkBlocks);
+        // Merge block sees the union of both arms.
+        assert_eq!(states[3].as_ref().unwrap().0, vec![0, 1, 2]);
+        assert_eq!(states[1].as_ref().unwrap().0, vec![0]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Definite initialization: no register may be read unless it has been
+//! assigned along *every* CFG path from the entry.
+//!
+//! This is the "undefined value" leg of the paper's UB taxonomy: in HIR
+//! (as in LLVM) an uninitialized read yields undef, and the symbolic
+//! executor models it as an unconstrained fresh variable. A handler
+//! whose behaviour depends on undef is almost certainly a bug, and one
+//! that flows undef into a branch condition or a memory address is
+//! flagged with a dedicated code because that is exactly where LLVM's
+//! poison semantics would make the whole execution undefined.
+
+use super::cfg::Cfg;
+use super::dataflow::{run_forward, ForwardAnalysis, Lattice};
+use super::{Diagnostic, DiagnosticCode};
+use crate::func::{Func, Gep, Inst, Operand, Reg, Terminator};
+use crate::module::{FuncId, Module};
+
+/// Set of definitely-assigned registers, as a bitset.
+#[derive(Clone, PartialEq)]
+struct Assigned(Vec<u64>);
+
+impl Assigned {
+    fn new(num_regs: u32) -> Assigned {
+        Assigned(vec![0; (num_regs as usize).div_ceil(64)])
+    }
+
+    fn set(&mut self, r: Reg) {
+        self.0[r.0 as usize / 64] |= 1 << (r.0 % 64);
+    }
+
+    fn get(&self, r: Reg) -> bool {
+        self.0[r.0 as usize / 64] >> (r.0 % 64) & 1 != 0
+    }
+}
+
+impl Lattice for Assigned {
+    fn join_with(&mut self, other: &Assigned) -> bool {
+        let mut changed = false;
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            let n = *a & b;
+            changed |= n != *a;
+            *a = n;
+        }
+        changed
+    }
+}
+
+struct InitAnalysis<'f> {
+    func: &'f Func,
+}
+
+impl ForwardAnalysis for InitAnalysis<'_> {
+    type State = Assigned;
+
+    fn boundary(&self) -> Assigned {
+        let mut s = Assigned::new(self.func.num_regs);
+        for p in 0..self.func.num_params {
+            s.set(Reg(p));
+        }
+        s
+    }
+
+    fn transfer(&self, block: u32, state: &mut Assigned) {
+        for inst in &self.func.blocks[block as usize].insts {
+            if let Some(dst) = inst_dst(inst) {
+                state.set(dst);
+            }
+        }
+    }
+}
+
+fn inst_dst(inst: &Inst) -> Option<Reg> {
+    match inst {
+        Inst::Bin { dst, .. }
+        | Inst::Cmp { dst, .. }
+        | Inst::Copy { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::Call { dst, .. } => Some(*dst),
+        Inst::Store { .. } => None,
+    }
+}
+
+/// Checks one function, appending findings to `diags`.
+pub fn check_func(module: &Module, f: FuncId, diags: &mut Vec<Diagnostic>) {
+    let func = module.func_def(f);
+    let cfg = Cfg::build(func);
+    let entry_states = run_forward(&cfg, &InitAnalysis { func });
+
+    let mut report = |span, code, reg: Reg| {
+        diags.push(Diagnostic {
+            code,
+            func: func.name.clone(),
+            span,
+            message: match code {
+                DiagnosticCode::UndefBranch => {
+                    format!(
+                        "branch condition reads `r{}` which may be uninitialized",
+                        reg.0
+                    )
+                }
+                DiagnosticCode::UndefAddress => {
+                    format!(
+                        "memory address reads `r{}` which may be uninitialized",
+                        reg.0
+                    )
+                }
+                _ => format!("`r{}` may be read before assignment", reg.0),
+            },
+            allowlisted: false,
+        });
+    };
+
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let Some(entry) = &entry_states[bi] else {
+            continue; // unreachable
+        };
+        let mut state = entry.clone();
+        let use_op = |state: &Assigned, op: &Operand| -> Option<Reg> {
+            match op {
+                Operand::Reg(r) if !state.get(*r) => Some(*r),
+                _ => None,
+            }
+        };
+        for (i, inst) in block.insts.iter().enumerate() {
+            let span = block.inst_span(i);
+            let mut check_gep = |state: &Assigned, gep: &Gep| {
+                for op in [&gep.index, &gep.sub] {
+                    if let Some(r) = use_op(state, op) {
+                        report(span, DiagnosticCode::UndefAddress, r);
+                    }
+                }
+            };
+            match inst {
+                Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                    for op in [a, b] {
+                        if let Some(r) = use_op(&state, op) {
+                            report(span, DiagnosticCode::UseBeforeDef, r);
+                        }
+                    }
+                }
+                Inst::Copy { src, .. } => {
+                    if let Some(r) = use_op(&state, src) {
+                        report(span, DiagnosticCode::UseBeforeDef, r);
+                    }
+                }
+                Inst::Load { gep, .. } => check_gep(&state, gep),
+                Inst::Store { gep, val } => {
+                    check_gep(&state, gep);
+                    if let Some(r) = use_op(&state, val) {
+                        report(span, DiagnosticCode::UseBeforeDef, r);
+                    }
+                }
+                Inst::Call { args, .. } => {
+                    for op in args {
+                        if let Some(r) = use_op(&state, op) {
+                            report(span, DiagnosticCode::UseBeforeDef, r);
+                        }
+                    }
+                }
+            }
+            if let Some(dst) = inst_dst(inst) {
+                state.set(dst);
+            }
+        }
+        match &block.term {
+            Terminator::Br { cond, .. } => {
+                if let Some(r) = use_op(&state, cond) {
+                    report(block.term_span, DiagnosticCode::UndefBranch, r);
+                }
+            }
+            Terminator::Ret(val) => {
+                if let Some(r) = use_op(&state, val) {
+                    report(block.term_span, DiagnosticCode::UseBeforeDef, r);
+                }
+            }
+            Terminator::Jmp(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::func::{BinOp, Operand};
+
+    fn check(func: Func) -> Vec<Diagnostic> {
+        let mut m = Module::new();
+        let f = m.add_func(func);
+        let mut diags = Vec::new();
+        check_func(&m, f, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn straight_line_assignment_is_clean() {
+        let mut fb = FuncBuilder::new("f", 1);
+        let x = fb.new_reg();
+        fb.copy_to(x, Operand::Const(3));
+        let y = fb.bin(BinOp::Add, Operand::Reg(x), Operand::Reg(Reg(0)));
+        fb.ret(Operand::Reg(y));
+        assert!(check(fb.finish()).is_empty());
+    }
+
+    #[test]
+    fn read_of_never_assigned_reg_is_flagged() {
+        let mut fb = FuncBuilder::new("f", 0);
+        let x = fb.new_reg(); // declared, never assigned
+        let y = fb.bin(BinOp::Add, Operand::Reg(x), Operand::Const(1));
+        fb.ret(Operand::Reg(y));
+        let d = check(fb.finish());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, DiagnosticCode::UseBeforeDef);
+        assert!(d[0].message.contains("r0"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn assignment_on_one_branch_only_is_flagged_at_the_merge() {
+        // if (p) { x = 1 }  return x
+        let mut fb = FuncBuilder::new("f", 1);
+        let x = fb.new_reg();
+        let then_b = fb.new_block();
+        let merge = fb.new_block();
+        fb.br(Operand::Reg(Reg(0)), then_b, merge);
+        fb.switch_to(then_b);
+        fb.copy_to(x, Operand::Const(1));
+        fb.jmp(merge);
+        fb.switch_to(merge);
+        fb.ret(Operand::Reg(x));
+        let d = check(fb.finish());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, DiagnosticCode::UseBeforeDef);
+    }
+
+    #[test]
+    fn assignment_on_both_branches_is_clean() {
+        let mut fb = FuncBuilder::new("f", 1);
+        let x = fb.new_reg();
+        let then_b = fb.new_block();
+        let else_b = fb.new_block();
+        let merge = fb.new_block();
+        fb.br(Operand::Reg(Reg(0)), then_b, else_b);
+        fb.switch_to(then_b);
+        fb.copy_to(x, Operand::Const(1));
+        fb.jmp(merge);
+        fb.switch_to(else_b);
+        fb.copy_to(x, Operand::Const(2));
+        fb.jmp(merge);
+        fb.switch_to(merge);
+        fb.ret(Operand::Reg(x));
+        assert!(check(fb.finish()).is_empty());
+    }
+
+    #[test]
+    fn undef_into_branch_condition_has_dedicated_code() {
+        let mut fb = FuncBuilder::new("f", 0);
+        let x = fb.new_reg();
+        let a = fb.new_block();
+        let b = fb.new_block();
+        fb.br(Operand::Reg(x), a, b);
+        fb.switch_to(a);
+        fb.ret(Operand::Const(0));
+        fb.switch_to(b);
+        fb.ret(Operand::Const(1));
+        let d = check(fb.finish());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, DiagnosticCode::UndefBranch);
+    }
+}

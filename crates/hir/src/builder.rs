@@ -3,7 +3,9 @@
 //! Used by the HyperC compiler's lowering pass and by tests that need
 //! hand-written IR.
 
-use crate::func::{BinOp, Block, BlockId, CmpKind, Func, Gep, Inst, Operand, Reg, Terminator};
+use crate::func::{
+    BinOp, Block, BlockId, CmpKind, Func, Gep, Inst, Operand, Reg, Span, Terminator,
+};
 use crate::module::FuncId;
 
 /// Builds one function, block by block.
@@ -14,8 +16,10 @@ pub struct FuncBuilder {
     num_regs: u32,
     blocks: Vec<Option<Block>>,
     pending: Vec<Inst>,
+    pending_spans: Vec<Span>,
     current: BlockId,
     terminated: bool,
+    current_span: Span,
 }
 
 impl FuncBuilder {
@@ -28,9 +32,17 @@ impl FuncBuilder {
             num_regs: num_params,
             blocks: vec![None],
             pending: Vec::new(),
+            pending_spans: Vec::new(),
             current: BlockId(0),
             terminated: false,
+            current_span: Span::NONE,
         }
+    }
+
+    /// Sets the source span recorded on subsequently emitted instructions
+    /// and terminators, until the next `set_span`.
+    pub fn set_span(&mut self, span: Span) {
+        self.current_span = span;
     }
 
     /// Parameter register `i`.
@@ -71,12 +83,14 @@ impl FuncBuilder {
         );
         self.current = b;
         self.pending = Vec::new();
+        self.pending_spans = Vec::new();
         self.terminated = false;
     }
 
     fn push(&mut self, inst: Inst) {
         assert!(!self.terminated, "instruction after terminator");
         self.pending.push(inst);
+        self.pending_spans.push(self.current_span);
     }
 
     /// Emits `dst = a op b` into a fresh register.
@@ -122,6 +136,8 @@ impl FuncBuilder {
         let block = Block {
             insts: std::mem::take(&mut self.pending),
             term,
+            spans: std::mem::take(&mut self.pending_spans),
+            term_span: self.current_span,
         };
         self.blocks[self.current.0 as usize] = Some(block);
         self.terminated = true;

@@ -8,6 +8,48 @@
 
 use crate::module::{FieldId, FuncId, GlobalId};
 
+/// A source position in a HyperC file: `file:line:col`.
+///
+/// `file` indexes the owning [`crate::Module`]'s file-name table
+/// ([`crate::Module::file_name`]); `line` and `col` are 1-based. Spans
+/// exist purely for diagnostics — they never affect semantics, and IR
+/// built without a frontend (tests, hand-written fixtures) carries
+/// [`Span::NONE`] everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Index into the module's file-name table, or `u32::MAX` for none.
+    pub file: u32,
+    /// 1-based line, or 0 for none.
+    pub line: u32,
+    /// 1-based column, or 0 for none.
+    pub col: u32,
+}
+
+impl Span {
+    /// The absent span: no source location is known.
+    pub const NONE: Span = Span {
+        file: u32::MAX,
+        line: 0,
+        col: 0,
+    };
+
+    /// A span at `file:line:col`.
+    pub fn new(file: u32, line: u32, col: u32) -> Self {
+        Span { file, line, col }
+    }
+
+    /// Whether this span carries a real source location.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::NONE
+    }
+}
+
 /// A virtual register (function-local, 64-bit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(pub u32);
@@ -178,6 +220,18 @@ pub struct Block {
     pub insts: Vec<Inst>,
     /// Terminator.
     pub term: Terminator,
+    /// Source span of each instruction, parallel to `insts`.
+    pub spans: Vec<Span>,
+    /// Source span of the terminator.
+    pub term_span: Span,
+}
+
+impl Block {
+    /// Span of instruction `i`, or [`Span::NONE`] when the block carries
+    /// no span information (hand-built IR).
+    pub fn inst_span(&self, i: usize) -> Span {
+        self.spans.get(i).copied().unwrap_or(Span::NONE)
+    }
 }
 
 /// A function definition.

@@ -26,6 +26,7 @@
 //! kernel's runtime, so there is no gap between the verified artifact and
 //! the running one (the paper instead trusts the LLVM backend).
 
+pub mod analysis;
 pub mod builder;
 pub mod func;
 pub mod interp;
@@ -33,7 +34,10 @@ pub mod module;
 pub mod printer;
 pub mod verify;
 
+pub use analysis::{
+    AnalysisConfig, AnalysisResult, CallGraph, Cfg, Diagnostic, DiagnosticCode, LoopBounds,
+};
 pub use builder::FuncBuilder;
-pub use func::{BinOp, Block, BlockId, CmpKind, Func, Gep, Inst, Operand, Reg, Terminator};
+pub use func::{BinOp, Block, BlockId, CmpKind, Func, Gep, Inst, Operand, Reg, Span, Terminator};
 pub use interp::{ExecError, Interp, MemBackend, UbKind, VecMem};
 pub use module::{FieldDecl, FieldId, FuncId, GlobalDecl, GlobalId, Module};

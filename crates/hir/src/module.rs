@@ -85,6 +85,9 @@ pub struct Module {
     pub globals: Vec<GlobalDecl>,
     /// Function definitions.
     pub funcs: Vec<Func>,
+    /// Source file names referenced by instruction spans (indexed by
+    /// [`crate::Span::file`]).
+    pub files: Vec<String>,
     global_names: HashMap<String, GlobalId>,
     func_names: HashMap<String, FuncId>,
 }
@@ -146,6 +149,20 @@ impl Module {
         self.func_names.insert(func.name.clone(), id);
         self.funcs.push(func);
         id
+    }
+
+    /// Interns a source file name for use in spans; returns its index.
+    pub fn intern_file(&mut self, name: &str) -> u32 {
+        if let Some(i) = self.files.iter().position(|f| f == name) {
+            return i as u32;
+        }
+        self.files.push(name.to_string());
+        (self.files.len() - 1) as u32
+    }
+
+    /// The file name behind a span's `file` index, if any.
+    pub fn file_name(&self, file: u32) -> Option<&str> {
+        self.files.get(file as usize).map(|s| s.as_str())
     }
 
     /// Looks up a global by name.

@@ -5,8 +5,19 @@
 //! and — crucially for the finite-interface discipline — recursion in the
 //! call graph, which would make a handler non-finite.
 
-use crate::func::{Gep, Inst, Operand, Terminator};
+use crate::analysis::CallGraph;
+use crate::func::{Gep, Inst, Operand, Span, Terminator};
 use crate::module::{FuncId, Module};
+
+/// Formats ` at file:line:col` when the span is known, empty otherwise.
+fn span_suffix(module: &Module, span: Span) -> String {
+    if span.is_known() {
+        let file = module.file_name(span.file).unwrap_or("<unknown>");
+        format!(" at {file}:{}:{}", span.line, span.col)
+    } else {
+        String::new()
+    }
+}
 
 /// Checks a module; returns all problems found (empty means well-formed).
 pub fn check_module(module: &Module) -> Vec<String> {
@@ -89,8 +100,9 @@ pub fn check_module(module: &Module) -> Vec<String> {
             let check_target = |t: crate::func::BlockId, errors: &mut Vec<String>| {
                 if t.0 as usize >= f.blocks.len() {
                     errors.push(format!(
-                        "{fname}: block {bi} jumps to missing block {}",
-                        t.0
+                        "{fname}: block {bi} jumps to missing block {}{}",
+                        t.0,
+                        span_suffix(module, b.term_span)
                     ));
                 }
             };
@@ -106,70 +118,28 @@ pub fn check_module(module: &Module) -> Vec<String> {
         }
         let _ = fi;
     }
-    if let Some(cycle) = find_recursion(module) {
+    let graph = CallGraph::build(module);
+    if let Some(cycle) = graph.find_cycle() {
         let names: Vec<&str> = cycle
             .iter()
             .map(|f| module.func_def(*f).name.as_str())
             .collect();
+        let site = graph.call_site(cycle[0], cycle[1]).unwrap_or(Span::NONE);
         errors.push(format!(
-            "recursion detected (non-finite interface): {}",
-            names.join(" -> ")
+            "recursion detected (non-finite interface): {}{}",
+            names.join(" -> "),
+            span_suffix(module, site)
         ));
     }
     errors
 }
 
 /// Detects a cycle in the call graph; returns it if found.
+///
+/// Thin wrapper over [`CallGraph::find_cycle`], the single home for
+/// call-graph reasoning.
 pub fn find_recursion(module: &Module) -> Option<Vec<FuncId>> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum Mark {
-        White,
-        Gray,
-        Black,
-    }
-    let n = module.funcs.len();
-    let mut marks = vec![Mark::White; n];
-    let mut path: Vec<usize> = Vec::new();
-
-    fn dfs(
-        module: &Module,
-        u: usize,
-        marks: &mut Vec<Mark>,
-        path: &mut Vec<usize>,
-    ) -> Option<Vec<FuncId>> {
-        marks[u] = Mark::Gray;
-        path.push(u);
-        for callee in module.funcs[u].callees() {
-            let v = callee.0 as usize;
-            match marks[v] {
-                Mark::Gray => {
-                    let start = path.iter().position(|&x| x == v).unwrap();
-                    let mut cycle: Vec<FuncId> =
-                        path[start..].iter().map(|&x| FuncId(x as u32)).collect();
-                    cycle.push(callee);
-                    return Some(cycle);
-                }
-                Mark::White => {
-                    if let Some(c) = dfs(module, v, marks, path) {
-                        return Some(c);
-                    }
-                }
-                Mark::Black => {}
-            }
-        }
-        path.pop();
-        marks[u] = Mark::Black;
-        None
-    }
-
-    for u in 0..n {
-        if marks[u] == Mark::White {
-            if let Some(c) = dfs(module, u, &mut marks, &mut path) {
-                return Some(c);
-            }
-        }
-    }
-    None
+    CallGraph::build(module).find_cycle()
 }
 
 #[cfg(test)]
@@ -203,6 +173,23 @@ mod tests {
         m.add_func(fb.finish());
         let errors = check_module(&m);
         assert!(errors.iter().any(|e| e.contains("recursion")), "{errors:?}");
+    }
+
+    #[test]
+    fn missing_block_target_reports_span() {
+        let mut m = Module::new();
+        let file = m.intern_file("t.hc");
+        let mut fb = FuncBuilder::new("f", 0);
+        fb.set_span(Span::new(file, 7, 3));
+        fb.jmp(crate::func::BlockId(9));
+        m.add_func(fb.finish());
+        let errors = check_module(&m);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("missing block 9") && e.contains("t.hc:7:3")),
+            "{errors:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Static-analysis configuration for the kernel image.
+//!
+//! The HIR analysis pipeline (`hk_hir::analysis`) reasons about each
+//! handler *under the representation invariant*, exactly like the
+//! symbolic executor does: a load from a kernel table yields a value in
+//! the range `repinv.hc` guarantees for that field. This module is the
+//! Rust mirror of `repinv.hc` — every [`FieldRangeRule`] /
+//! [`CondRangeRule`] below corresponds to one `inv_range` / `inv_opt` /
+//! implication line there, from the same `hk-abi` constants.
+//!
+//! Keeping the two in sync is checked end to end: the
+//! `handlers_pass_static_analysis` test runs the full lint suite over
+//! all 50 handlers plus `check_rep_invariant` and requires zero
+//! unsuppressed findings, which only holds when these ranges are at
+//! least as strong as what the handlers' validation code relies on.
+
+use hk_abi::{file_type, intremap_state, KernelParams, PARENT_NONE};
+use hk_hir::analysis::{AnalysisConfig, CondKind, CondRangeRule, FieldRangeRule};
+
+fn range(global: &str, field: &str, lo: i64, hi: i64, min_index: u64) -> FieldRangeRule {
+    FieldRangeRule {
+        global: global.to_string(),
+        field: field.to_string(),
+        lo,
+        hi,
+        min_index,
+    }
+}
+
+/// `-1` or `[0, hi)` — the Rust side of `inv_opt`.
+fn opt(global: &str, field: &str, hi: i64, min_index: u64) -> FieldRangeRule {
+    range(global, field, PARENT_NONE, hi - 1, min_index)
+}
+
+/// When `global[i].cond_field != PARENT_NONE`, the paired index field is
+/// a usable slot in `[0, hi)`.
+fn parent_pair(global: &str, cond_field: &str, target_field: &str, hi: i64) -> CondRangeRule {
+    CondRangeRule {
+        global: global.to_string(),
+        cond_field: cond_field.to_string(),
+        kind: CondKind::NeConst(PARENT_NONE),
+        target_field: target_field.to_string(),
+        lo: 0,
+        hi: hi - 1,
+    }
+}
+
+/// The analysis configuration for a kernel compiled at `params`:
+/// field-range rules mirroring `repinv.hc`, and no allowlist — the
+/// kernel sources are expected to pass the full suite clean.
+pub fn analysis_config(params: &KernelParams) -> AnalysisConfig {
+    let nr_procs = params.nr_procs as i64;
+    let nr_fds = params.nr_fds as i64;
+    let nr_files = params.nr_files as i64;
+    let nr_pages = params.nr_pages as i64;
+    let nr_devs = params.nr_devs as i64;
+    let nr_vectors = params.nr_vectors as i64;
+    let nr_pipes = params.nr_pipes as i64;
+    let page_words = params.page_words as i64;
+    let pipe_words = params.pipe_words as i64;
+
+    let field_ranges = vec![
+        range("current", "value", 1, nr_procs - 1, 0),
+        opt("freelist_head", "value", nr_pages, 0),
+        // procs: the invariant covers slots [1, NR_PROCS) only; slot 0
+        // is never a valid process, so loads from it stay unconstrained.
+        range("procs", "state", 0, 5, 1),
+        range("procs", "ppid", 0, nr_procs - 1, 1),
+        range("procs", "pml4", 0, nr_pages - 1, 1),
+        range("procs", "hvm", 0, nr_pages - 1, 1),
+        range("procs", "stack_pn", 0, nr_pages - 1, 1),
+        range("procs", "ofile", 0, nr_files, 1),
+        range("procs", "ipc_from", 0, nr_procs - 1, 1),
+        opt("procs", "ipc_page", nr_pages, 1),
+        opt("procs", "ipc_fd", nr_fds, 1),
+        opt("procs", "ready_next", nr_procs, 1),
+        opt("procs", "ready_prev", nr_procs, 1),
+        range("files", "ty", 0, 3, 0),
+        range("files", "omode", 0, 1, 0),
+        range("page_desc", "ty", 0, 12, 0),
+        range("page_desc", "owner", 0, nr_procs - 1, 0),
+        opt("page_desc", "parent_pn", nr_pages, 0),
+        opt("page_desc", "parent_idx", page_words, 0),
+        opt("page_desc", "devid", nr_devs, 0),
+        opt("page_desc", "free_next", nr_pages, 0),
+        opt("page_desc", "free_prev", nr_pages, 0),
+        range("dma_desc", "owner", 0, nr_procs - 1, 0),
+        opt("dma_desc", "cpu_parent_pn", nr_pages, 0),
+        opt("dma_desc", "cpu_parent_idx", page_words, 0),
+        opt("dma_desc", "io_parent_pn", nr_pages, 0),
+        opt("dma_desc", "io_parent_idx", page_words, 0),
+        range("devs", "owner", 0, nr_procs - 1, 0),
+        opt("devs", "root", nr_pages, 0),
+        range("vectors", "owner", 0, nr_procs - 1, 0),
+        range("io_ports", "owner", 0, nr_procs - 1, 0),
+        range("intremaps", "state", 0, 1, 0),
+        range("pipes", "readp", 0, pipe_words - 1, 0),
+        range("pipes", "count", 0, pipe_words, 0),
+    ];
+
+    let cond_ranges = vec![
+        // A pipe handle indexes a real pipe slot.
+        CondRangeRule {
+            global: "files".to_string(),
+            cond_field: "ty".to_string(),
+            kind: CondKind::EqConst(file_type::PIPE),
+            target_field: "value".to_string(),
+            lo: 0,
+            hi: nr_pipes - 1,
+        },
+        // A recorded parent slot is a usable slot.
+        parent_pair("page_desc", "parent_pn", "parent_idx", page_words),
+        parent_pair("dma_desc", "cpu_parent_pn", "cpu_parent_idx", page_words),
+        parent_pair("dma_desc", "io_parent_pn", "io_parent_idx", page_words),
+        // An active interrupt remap names a real device/vector/owner.
+        CondRangeRule {
+            global: "intremaps".to_string(),
+            cond_field: "state".to_string(),
+            kind: CondKind::EqConst(intremap_state::ACTIVE),
+            target_field: "devid".to_string(),
+            lo: 0,
+            hi: nr_devs - 1,
+        },
+        CondRangeRule {
+            global: "intremaps".to_string(),
+            cond_field: "state".to_string(),
+            kind: CondKind::EqConst(intremap_state::ACTIVE),
+            target_field: "vector".to_string(),
+            lo: 0,
+            hi: nr_vectors - 1,
+        },
+        CondRangeRule {
+            global: "intremaps".to_string(),
+            cond_field: "state".to_string(),
+            kind: CondKind::EqConst(intremap_state::ACTIVE),
+            target_field: "owner".to_string(),
+            lo: 1,
+            hi: nr_procs - 1,
+        },
+    ];
+
+    AnalysisConfig {
+        field_ranges,
+        cond_ranges,
+        ..AnalysisConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelImage;
+    use hk_abi::Sysno;
+    use hk_hir::analysis::analyze_module;
+
+    /// The acceptance gate for the kernel sources: every handler (plus
+    /// the representation invariant) passes the full static-analysis
+    /// suite with zero unsuppressed findings, and every loop gets a
+    /// proven constant bound.
+    #[test]
+    fn handlers_pass_static_analysis() {
+        let params = KernelParams::verification();
+        let image = KernelImage::build(params).expect("kernel build");
+        let mut roots: Vec<hk_hir::FuncId> = Sysno::ALL.iter().map(|&s| image.handler(s)).collect();
+        roots.push(image.rep_invariant);
+        roots.sort_unstable();
+        roots.dedup();
+        let config = analysis_config(&params);
+        let result = analyze_module(&image.module, &roots, &config);
+        let findings: Vec<String> = result
+            .unsuppressed()
+            .map(|d| d.render(&image.module))
+            .collect();
+        assert!(findings.is_empty(), "{}", findings.join("\n"));
+        assert!(!result.bounds.is_empty(), "loop bounds must be exported");
+    }
+
+    /// Each finding a handler *would* produce carries a usable source
+    /// span: compile a broken variant and check the location.
+    #[test]
+    fn findings_point_into_hyperc_sources() {
+        let params = KernelParams::verification();
+        let mut sources: Vec<(&'static str, String)> = crate::image::SOURCES
+            .iter()
+            .map(|&(f, s)| (f, s.to_string()))
+            .collect();
+        // Append a handler-like function with an unvalidated index.
+        let broken = "i64 poke_unchecked(i64 pn) {\n    return page_desc[pn].ty;\n}\n";
+        sources.push(("broken.hc", broken.to_string()));
+        let image = KernelImage::build_with_sources(params, sources).expect("build");
+        let root = image.module.func("poke_unchecked").unwrap();
+        let result = analyze_module(&image.module, &[root], &analysis_config(&params));
+        let diag = result
+            .unsuppressed()
+            .find(|d| d.code == hk_hir::analysis::DiagnosticCode::PossibleOobIndex)
+            .expect("oob finding");
+        let rendered = diag.render(&image.module);
+        assert!(
+            rendered.starts_with("broken.hc:2:12:"),
+            "bad span: {rendered}"
+        );
+    }
+}

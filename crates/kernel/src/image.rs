@@ -62,7 +62,9 @@ impl KernelImage {
             compiler.define_const(name, value);
         }
         for (file, src) in sources {
-            compiler.compile(&src).map_err(|e| format!("{file}: {e}"))?;
+            compiler
+                .compile_named(file, &src)
+                .map_err(|e| format!("{file}: {e}"))?;
         }
         let errors = hk_hir::verify::check_module(&module);
         if !errors.is_empty() {

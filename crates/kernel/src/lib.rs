@@ -7,6 +7,8 @@
 //!
 //! * [`layout`] — the kernel's global data structures and the constant
 //!   environment (everything is fixed-size arrays, paper §4.1);
+//! * [`analysis`] — the static-analysis configuration mirroring the
+//!   representation invariant, consumed by the verifier's lint phase;
 //! * `hyperc/*.hc` — the 50 trap handlers plus helpers and the
 //!   representation invariant, in HyperC (the C analogue);
 //! * [`image`] — compilation to HIR (the "kernel image");
@@ -30,6 +32,7 @@
 //! assert_eq!(ret, -hk_abi::EBADF);
 //! ```
 
+pub mod analysis;
 pub mod boot;
 pub mod dispatch;
 pub mod image;
@@ -37,6 +40,7 @@ pub mod layout;
 pub mod mem;
 pub mod system;
 
+pub use analysis::analysis_config;
 pub use dispatch::Kernel;
 pub use image::KernelImage;
 pub use mem::KernelLayout;

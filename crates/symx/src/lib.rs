@@ -23,7 +23,7 @@
 //! * volatile reads (DMA-visible fields) also produce fresh variables on
 //!   every read.
 
-use hk_hir::{BinOp, CmpKind, FuncId, Gep, Inst, Module, Operand, Reg, Terminator};
+use hk_hir::{BinOp, CmpKind, FuncId, Gep, Inst, LoopBounds, Module, Operand, Reg, Terminator};
 use hk_smt::{BvBinOp, Ctx, Sort, TermId};
 use hk_spec::SpecState;
 
@@ -188,6 +188,27 @@ pub fn sym_exec(
     state: SpecState,
     config: &SymxConfig,
 ) -> Result<SymxResult, SymxError> {
+    sym_exec_bounded(ctx, module, func, args, state, config, None)
+}
+
+/// Like [`sym_exec`], but consumes per-loop trip-count bounds proven by
+/// the static analysis (`hk_hir::analysis`).
+///
+/// At a symbolic branch whose target has a proven entry bound `B`, the
+/// arm is taken solver-free while the per-frame visit count is below `B`
+/// and asserted infeasible once it reaches `B` — the analysis already
+/// proved no concrete execution re-enters the block more often. Targets
+/// without a bound fall back to the legacy strategy: first entry is
+/// free, re-entries pay a feasibility probe.
+pub fn sym_exec_bounded(
+    ctx: &mut Ctx,
+    module: &Module,
+    func: FuncId,
+    args: &[TermId],
+    state: SpecState,
+    config: &SymxConfig,
+    bounds: Option<&LoopBounds>,
+) -> Result<SymxResult, SymxError> {
     let f = module.func_def(func);
     assert_eq!(
         args.len(),
@@ -280,20 +301,33 @@ pub fn sym_exec(
                             // a successor block already visited in this
                             // frame is a back edge, and continuing down an
                             // unsatisfiable path would unroll forever.
-                            let visits = {
+                            let (cur_func, visits) = {
                                 let frame = task.stack.last().unwrap();
                                 (
-                                    frame.visits.get(&then_.0).copied().unwrap_or(0),
-                                    frame.visits.get(&else_.0).copied().unwrap_or(0),
+                                    frame.func,
+                                    (
+                                        frame.visits.get(&then_.0).copied().unwrap_or(0),
+                                        frame.visits.get(&else_.0).copied().unwrap_or(0),
+                                    ),
                                 )
                             };
                             let not_taken = ctx.not(taken);
                             let else_cond = ctx.and2(task.cond, not_taken);
                             let then_cond = ctx.and2(task.cond, taken);
-                            let else_ok = visits.1 == 0
-                                || feasible(ctx, else_cond, config.prune_conflict_budget);
-                            let then_ok = visits.0 == 0
-                                || feasible(ctx, then_cond, config.prune_conflict_budget);
+                            let arm_ok = |ctx: &mut Ctx, target: u32, n: u32, cond| {
+                                match bounds.and_then(|b| b.bound(cur_func, target)) {
+                                    // A proven trip-count bound: entries
+                                    // below it need no solver probe, and
+                                    // entry at the bound is infeasible by
+                                    // the analysis' proof.
+                                    Some(bound) => n < bound,
+                                    None => {
+                                        n == 0 || feasible(ctx, cond, config.prune_conflict_budget)
+                                    }
+                                }
+                            };
+                            let else_ok = arm_ok(ctx, else_.0, visits.1, else_cond);
+                            let then_ok = arm_ok(ctx, then_.0, visits.0, then_cond);
                             if else_ok {
                                 let mut other = task.clone();
                                 other.cond = else_cond;
@@ -660,6 +694,34 @@ mod tests {
         let n = ctx.var("n", Sort::Bv(64));
         let f = module.func("f").unwrap();
         let r = sym_exec(&mut ctx, &module, f, &[n], st, &SymxConfig::default()).unwrap();
+        // 2 invalid paths (n<0, n>4) + 5 loop-count paths (0..=4).
+        assert_eq!(r.paths.len(), 7);
+    }
+
+    #[test]
+    fn exported_loop_bounds_replace_solver_probes() {
+        // Same shape as `symbolic_bound_forks_linearly`, but executed with
+        // the loop bounds the static analysis proves. With a conflict
+        // budget of 0 the legacy feasibility probes are useless (Unknown
+        // is treated as feasible); the proven bounds alone must both
+        // permit unrolling and stop it at the bound.
+        let src = "i64 f(i64 n) { i64 s = 0; i64 i; if (n < 0 || n > 4) { return 0 - 1; } for (i = 0; i < n; i = i + 1) { s = s + 2; } return s; }";
+        let (module, shapes) = compile(src, &[]);
+        let f = module.func("f").unwrap();
+        let analysis =
+            hk_hir::analysis::analyze_module(&module, &[f], &hk_hir::AnalysisConfig::default());
+        assert!(!analysis.has_findings(), "{:?}", analysis.diagnostics);
+        assert!(!analysis.bounds.is_empty());
+        let mut ctx = Ctx::new();
+        let st = SpecState::fresh(&mut ctx, &shapes, hk_abi::KernelParams::verification());
+        let n = ctx.var("n", Sort::Bv(64));
+        let cfg = SymxConfig {
+            max_instructions: 100_000,
+            max_paths: 64,
+            prune_conflict_budget: 0,
+        };
+        let r =
+            sym_exec_bounded(&mut ctx, &module, f, &[n], st, &cfg, Some(&analysis.bounds)).unwrap();
         // 2 invalid paths (n<0, n>4) + 5 loop-count paths (0..=4).
         assert_eq!(r.paths.len(), 7);
     }
