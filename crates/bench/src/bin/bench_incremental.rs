@@ -11,10 +11,21 @@
 //! pathologically hard query becomes a bounded `UNKNOWN` data point
 //! rather than an open-ended run.
 //!
+//! With `--certify` the comparison changes axis: instead of incremental
+//! vs oneshot it measures the cost of the DRAT proof machinery, running
+//! the incremental pipeline four times — twice with proofs disabled
+//! (the second run is the measurement noise floor: the disabled path is
+//! one `Option` check, so any delta is jitter, not feature cost), once
+//! with proof logging only, and once fully certified (logging plus the
+//! independent backward checker re-deriving every Unsat) — and writes
+//! per-handler overhead columns to `BENCH_PR5.json`.
+//!
 //! ```sh
 //! cargo run --release -p hk-bench --bin bench_incremental
+//! cargo run --release -p hk-bench --bin bench_incremental -- --certify
 //! # CI smoke: tiny handler set, report to target/, no repo-root write
 //! cargo run --release -p hk-bench --bin bench_incremental -- --smoke
+//! cargo run --release -p hk-bench --bin bench_incremental -- --smoke --certify
 //! ```
 
 use std::time::Duration;
@@ -37,6 +48,19 @@ const FIG7_HANDLERS: [Sysno; 5] = [
 /// The CI smoke subset: quick handlers that still issue real queries.
 const SMOKE_HANDLERS: [Sysno; 2] = [Sysno::AckIntr, Sysno::Dup];
 
+/// The certified-verification benchmark set: the Figure-7 handlers that
+/// finish within budget, plus the interrupt path. `alloc_pdpt` is
+/// excluded because it is budget-bound `UNKNOWN` in every mode — there
+/// is no Unsat answer to certify, only 6 minutes of timeout to wait
+/// through three extra times.
+const CERTIFY_HANDLERS: [Sysno; 5] = [
+    Sysno::AckIntr,
+    Sysno::Dup,
+    Sysno::Close,
+    Sysno::AllocPort,
+    Sysno::PipeRead,
+];
+
 /// Per-call solve budget, applied identically to both modes. The stock
 /// `alloc_pdpt` refinement query is pathologically hard for the CDCL
 /// core regardless of incrementality (it was never exercised by the
@@ -56,6 +80,12 @@ struct Measurement {
     queries: u64,
     cnf_clauses: usize,
     conflicts: u64,
+    unsat_queries: u64,
+    certified_unsat: u64,
+    proofs_checked: u64,
+    proof_steps: u64,
+    proof_bytes: u64,
+    check_time: Duration,
 }
 
 fn measure(report: &HandlerReport) -> Measurement {
@@ -68,6 +98,12 @@ fn measure(report: &HandlerReport) -> Measurement {
         queries: report.phases.queries,
         cnf_clauses: report.cnf_clauses,
         conflicts: report.conflicts,
+        unsat_queries: report.phases.unsat_queries,
+        certified_unsat: report.phases.certified_unsat,
+        proofs_checked: report.phases.proofs_checked,
+        proof_steps: report.phases.proof_steps,
+        proof_bytes: report.phases.proof_bytes,
+        check_time: report.phases.proof_check_time,
     }
 }
 
@@ -76,6 +112,8 @@ fn run(
     params: KernelParams,
     handlers: &[Sysno],
     incremental: bool,
+    proof_log: bool,
+    certify: bool,
 ) -> Vec<Measurement> {
     let mut config = VerifyConfig {
         params,
@@ -84,6 +122,8 @@ fn run(
         ..VerifyConfig::default()
     };
     config.solver.incremental = incremental;
+    config.solver.proof_log = proof_log;
+    config.solver.certify = certify;
     config.solver.sat.max_conflicts = Some(MAX_CONFLICTS);
     config.solver.sat.max_solve_ms = Some(MAX_SOLVE_MS);
     let report = verify_image(image, &config);
@@ -108,9 +148,155 @@ fn json_entry(m: &Measurement, out: &mut String) {
     ));
 }
 
+/// Percentage overhead of `new` over `base` (positive = slower).
+fn pct(new: f64, base: f64) -> f64 {
+    (new - base) / base.max(1e-6) * 100.0
+}
+
+fn json_proof_entry(m: &Measurement, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"solve_ms\": {:.3}, \"total_ms\": {:.3}, \"queries\": {}, \
+         \"unsat_queries\": {}, \"certified_unsat\": {}, \"proofs_checked\": {}, \
+         \"proof_steps\": {}, \"proof_bytes\": {}, \"check_ms\": {:.3}, \"verdict\": \"{}\"}}",
+        ms(m.solve),
+        ms(m.total),
+        m.queries,
+        m.unsat_queries,
+        m.certified_unsat,
+        m.proofs_checked,
+        m.proof_steps,
+        m.proof_bytes,
+        ms(m.check_time),
+        m.verdict,
+    ));
+}
+
+/// Budget-artifact-tolerant verdict agreement (see the PR2 table loop).
+fn check_verdicts(a: &Measurement, b: &Measurement, what: &str) {
+    assert_eq!(a.name, b.name);
+    if a.verdict != b.verdict {
+        assert!(
+            a.verdict == "UNKNOWN" || b.verdict == "UNKNOWN",
+            "{what} changed the verdict for {}: {} vs {}",
+            a.name,
+            a.verdict,
+            b.verdict
+        );
+        println!(
+            "note: {} hit the conflict budget in one mode ({} vs {} {what})",
+            a.name, a.verdict, b.verdict
+        );
+    }
+}
+
+/// The `--certify` axis: proof machinery disabled / logging / certified,
+/// all on the incremental pipeline, cold cache (certified runs bypass
+/// the query cache entirely, so a cold cache keeps the comparison fair).
+fn run_certify_bench(
+    image: &KernelImage,
+    params: KernelParams,
+    handlers: &[Sysno],
+    out_path: &std::path::Path,
+    smoke: bool,
+) {
+    println!(
+        "proof-machinery benchmark over {} handler(s), cold cache\n",
+        handlers.len()
+    );
+    let baseline = run(image, params, handlers, true, false, false);
+    let disabled = run(image, params, handlers, true, false, false);
+    let logged = run(image, params, handlers, true, true, false);
+    let certified = run(image, params, handlers, true, false, true);
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "handler", "base", "disabled", "log", "certify", "log %", "cert %"
+    );
+    let mut json = String::from("{\n  \"handlers\": {\n");
+    for (i, b) in baseline.iter().enumerate() {
+        let (d, l, c) = (&disabled[i], &logged[i], &certified[i]);
+        check_verdicts(b, l, "proof logging");
+        check_verdicts(b, c, "certification");
+        let log_pct = pct(ms(l.total), ms(b.total));
+        let cert_pct = pct(ms(c.total), ms(b.total));
+        println!(
+            "{:<18} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>7.1}% {:>7.1}%",
+            b.name,
+            ms(b.total),
+            ms(d.total),
+            ms(l.total),
+            ms(c.total),
+            log_pct,
+            cert_pct
+        );
+        json.push_str(&format!("    \"{}\": {{\"baseline\": ", b.name));
+        json_proof_entry(b, &mut json);
+        json.push_str(", \"disabled_repeat\": ");
+        json_proof_entry(d, &mut json);
+        json.push_str(", \"proof_log\": ");
+        json_proof_entry(l, &mut json);
+        json.push_str(", \"certify\": ");
+        json_proof_entry(c, &mut json);
+        json.push_str(&format!(
+            ", \"disabled_delta_pct\": {:.3}, \"proof_log_overhead_pct\": {log_pct:.3}, \
+             \"certify_overhead_pct\": {cert_pct:.3}}}",
+            pct(ms(d.total), ms(b.total))
+        ));
+        json.push_str(if i + 1 < baseline.len() { ",\n" } else { "\n" });
+    }
+    let tot = |v: &[Measurement]| -> f64 { v.iter().map(|m| ms(m.total)).sum() };
+    let (b_tot, d_tot, l_tot, c_tot) = (
+        tot(&baseline),
+        tot(&disabled),
+        tot(&logged),
+        tot(&certified),
+    );
+    let disabled_pct = pct(d_tot, b_tot);
+    let log_pct = pct(l_tot, b_tot);
+    let cert_pct = pct(c_tot, b_tot);
+    let sum = |f: &dyn Fn(&Measurement) -> u64| -> u64 { certified.iter().map(f).sum() };
+    let check_ms: f64 = certified.iter().map(|m| ms(m.check_time)).sum();
+    json.push_str(&format!(
+        "  }},\n  \"aggregate\": {{\n    \"baseline_total_ms\": {b_tot:.3},\n    \
+         \"disabled_total_ms\": {d_tot:.3},\n    \"proof_log_total_ms\": {l_tot:.3},\n    \
+         \"certify_total_ms\": {c_tot:.3},\n    \"disabled_delta_pct\": {disabled_pct:.3},\n    \
+         \"proof_log_overhead_pct\": {log_pct:.3},\n    \"certify_overhead_pct\": {cert_pct:.3},\n    \
+         \"unsat_queries\": {},\n    \"certified_unsat\": {},\n    \"proofs_checked\": {},\n    \
+         \"proof_steps\": {},\n    \"proof_bytes\": {},\n    \"check_time_ms\": {check_ms:.3}\n  }},\n  \
+         \"config\": {{\"smoke\": {smoke}, \"handlers\": {}, \"threads\": 1, \"incremental\": true, \
+         \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}}}\n}}\n",
+        sum(&|m| m.unsat_queries),
+        sum(&|m| m.certified_unsat),
+        sum(&|m| m.proofs_checked),
+        sum(&|m| m.proof_steps),
+        sum(&|m| m.proof_bytes),
+        handlers.len()
+    ));
+    println!(
+        "\naggregate total: {b_tot:.1}ms baseline, {d_tot:.1}ms disabled repeat \
+         ({disabled_pct:+.1}% = noise floor)"
+    );
+    println!(
+        "proof logging:   {l_tot:.1}ms ({log_pct:+.1}%), certified: {c_tot:.1}ms ({cert_pct:+.1}%)"
+    );
+    println!(
+        "certified {}/{} unsat answers, {} proofs checked, {} DRAT steps, {} bytes, {check_ms:.1}ms checking",
+        sum(&|m| m.certified_unsat),
+        sum(&|m| m.unsat_queries),
+        sum(&|m| m.proofs_checked),
+        sum(&|m| m.proof_steps),
+        sum(&|m| m.proof_bytes)
+    );
+    std::fs::write(out_path, &json).expect("write benchmark artifact");
+    println!("\nwrote {}", out_path.display());
+    if smoke && log_pct > 10.0 {
+        eprintln!("warning: proof logging overhead above 10% ({log_pct:.1}%)");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let certify_mode = args.iter().any(|a| a == "--certify");
     // --only sys_a,sys_b restricts the handler set (for probing one
     // handler's cost without running the whole table).
     let only: Option<Vec<Sysno>> = args
@@ -131,17 +317,28 @@ fn main() {
     let handlers: &[Sysno] = match &only {
         Some(v) => v,
         None if smoke => &SMOKE_HANDLERS,
+        None if certify_mode => &CERTIFY_HANDLERS,
         None => &FIG7_HANDLERS,
     };
     let image = KernelImage::build(params).expect("kernel build");
+    if certify_mode {
+        let out = if smoke || only.is_some() {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/BENCH_PR5_smoke.json")
+        } else {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR5.json")
+        };
+        run_certify_bench(&image, params, handlers, &out, smoke);
+        return;
+    }
     println!(
         "incremental-solving benchmark over {} handler(s), cold cache\n",
         handlers.len()
     );
     // Incremental first: it is the fast side, so progress shows early
     // and a hung baseline handler is obvious from the trace.
-    let incremental = run(&image, params, handlers, true);
-    let oneshot = run(&image, params, handlers, false);
+    let incremental = run(&image, params, handlers, true, false, false);
+    let oneshot = run(&image, params, handlers, false, false, false);
     println!(
         "{:<18} {:>12} {:>12} {:>12} {:>12} {:>9}",
         "handler", "1shot enc", "incr enc", "1shot slv", "incr slv", "enc x"

@@ -108,6 +108,23 @@ impl VerifyReport {
         self.handlers.iter().map(|h| h.phases.cache_misses).sum()
     }
 
+    /// Unsat answers across all handlers *during this run*.
+    pub fn unsat_queries(&self) -> u64 {
+        self.handlers.iter().map(|h| h.phases.unsat_queries).sum()
+    }
+
+    /// Unsat answers confirmed by the independent proof checker (or
+    /// vacuously, for trivially-false queries) *during this run*.
+    pub fn certified_unsat(&self) -> u64 {
+        self.handlers.iter().map(|h| h.phases.certified_unsat).sum()
+    }
+
+    /// True when the run was certified: every Unsat answer re-checked.
+    /// (Trivially false on uncertified runs, which certify nothing.)
+    pub fn fully_certified(&self) -> bool {
+        self.unsat_queries() > 0 && self.certified_unsat() == self.unsat_queries()
+    }
+
     /// Cache hit rate over this run's queries (0.0 when no queries ran).
     pub fn cache_hit_rate(&self) -> f64 {
         let hits = self.cache_hits();
@@ -170,6 +187,29 @@ impl VerifyReport {
             self.cache_hit_rate() * 100.0,
             self.cache_entries
         );
+        if self.certified_unsat() > 0 {
+            let (steps, core, bytes, check) =
+                self.handlers
+                    .iter()
+                    .fold((0u64, 0u64, 0u64, Duration::ZERO), |(s, c, b, t), h| {
+                        (
+                            s + h.phases.proof_steps,
+                            c + h.phases.proof_core_steps,
+                            b + h.phases.proof_bytes,
+                            t + h.phases.proof_check_time,
+                        )
+                    });
+            let _ = writeln!(
+                out,
+                "proof: {}/{} unsat answers certified ({} DRAT steps, {} core, {} bytes, {:.2}s checking)",
+                self.certified_unsat(),
+                self.unsat_queries(),
+                steps,
+                core,
+                bytes,
+                check.as_secs_f64()
+            );
+        }
         out
     }
 
@@ -183,16 +223,25 @@ impl VerifyReport {
     ///   "total_time_s": 1.5,
     ///   "verified": 50, "total": 50,
     ///   "cache": { "hits": 120, "misses": 8, "hit_rate": 0.9375, "entries": 128 },
+    ///   "proof": { "unsat_queries": 96, "certified_unsat": 96, "proofs_checked": 94,
+    ///              "steps": 48211, "core_steps": 1204, "bytes": 190331,
+    ///              "check_time_s": 0.4 },
     ///   "handlers": [
     ///     { "name": "sys_dup", "trap": 23, "verdict": "verified", "detail": null,
     ///       "paths": 4, "side_checks": 9, "cnf_clauses": 1042, "conflicts": 3,
     ///       "time_s": 0.2,
     ///       "phases": { "symx_s": 0.1, "encode_s": 0.05, "ack_s": 0.01,
     ///                   "bitblast_s": 0.04, "solve_s": 0.05, "queries": 6,
-    ///                   "cache_hits": 5, "cache_misses": 1 } }
+    ///                   "cache_hits": 5, "cache_misses": 1 },
+    ///       "proof": { "unsat_queries": 6, "certified_unsat": 6, "proofs_checked": 6,
+    ///                  "steps": 3120, "core_steps": 88, "bytes": 12044,
+    ///                  "check_time_s": 0.02 } }
     ///   ]
     /// }
     /// ```
+    ///
+    /// The `proof` sections are always present; on uncertified runs
+    /// every counter except `unsat_queries` is zero.
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
@@ -230,6 +279,27 @@ impl VerifyReport {
             self.cache_hit_rate(),
             self.cache_entries
         );
+        let (steps, core, bytes, checked, check_time) = self.handlers.iter().fold(
+            (0u64, 0u64, 0u64, 0u64, Duration::ZERO),
+            |(s, c, b, n, t), h| {
+                (
+                    s + h.phases.proof_steps,
+                    c + h.phases.proof_core_steps,
+                    b + h.phases.proof_bytes,
+                    n + h.phases.proofs_checked,
+                    t + h.phases.proof_check_time,
+                )
+            },
+        );
+        let _ = writeln!(
+            out,
+            "  \"proof\": {{ \"unsat_queries\": {}, \"certified_unsat\": {}, \
+             \"proofs_checked\": {checked}, \"steps\": {steps}, \"core_steps\": {core}, \
+             \"bytes\": {bytes}, \"check_time_s\": {:.6} }},",
+            self.unsat_queries(),
+            self.certified_unsat(),
+            check_time.as_secs_f64()
+        );
         out.push_str("  \"handlers\": [\n");
         for (i, h) in self.handlers.iter().enumerate() {
             let (verdict, detail) = match &h.outcome {
@@ -251,7 +321,10 @@ impl VerifyReport {
                  \"paths\": {}, \"side_checks\": {}, \"cnf_clauses\": {}, \"conflicts\": {}, \
                  \"time_s\": {:.6}, \"phases\": {{ \"symx_s\": {:.6}, \"encode_s\": {:.6}, \
                  \"ack_s\": {:.6}, \"bitblast_s\": {:.6}, \"solve_s\": {:.6}, \"queries\": {}, \
-                 \"cache_hits\": {}, \"cache_misses\": {} }} }}",
+                 \"cache_hits\": {}, \"cache_misses\": {} }}, \
+                 \"proof\": {{ \"unsat_queries\": {}, \"certified_unsat\": {}, \
+                 \"proofs_checked\": {}, \"steps\": {}, \"core_steps\": {}, \"bytes\": {}, \
+                 \"check_time_s\": {:.6} }} }}",
                 json_escape(h.sysno.func_name()),
                 h.sysno.number(),
                 verdict,
@@ -268,7 +341,14 @@ impl VerifyReport {
                 h.phases.solve_time.as_secs_f64(),
                 h.phases.queries,
                 h.phases.cache_hits,
-                h.phases.cache_misses
+                h.phases.cache_misses,
+                h.phases.unsat_queries,
+                h.phases.certified_unsat,
+                h.phases.proofs_checked,
+                h.phases.proof_steps,
+                h.phases.proof_core_steps,
+                h.phases.proof_bytes,
+                h.phases.proof_check_time.as_secs_f64()
             );
             out.push_str(if i + 1 < self.handlers.len() {
                 ",\n"
@@ -312,7 +392,13 @@ pub fn verify_all(config: &VerifyConfig) -> VerifyReport {
     verify_image(&image, config)
 }
 
-fn emit_finished(events: &EventSink, index: usize, total: usize, report: &HandlerReport) {
+fn emit_finished(
+    events: &EventSink,
+    index: usize,
+    total: usize,
+    report: &HandlerReport,
+    certify: bool,
+) {
     events.emit(&VerifyEvent::HandlerFinished {
         sysno: report.sysno,
         index,
@@ -323,6 +409,33 @@ fn emit_finished(events: &EventSink, index: usize, total: usize, report: &Handle
         side_checks: report.side_checks,
         phases: report.phases,
     });
+    if certify {
+        // In certified mode every Unsat answer must have been confirmed
+        // by the independent checker (or vacuously, for trivially-false
+        // queries). The solver already panics when a check *fails*; this
+        // guards the accounting — an Unsat that slipped past
+        // certification entirely would silently weaken the trust story.
+        let p = &report.phases;
+        assert_eq!(
+            p.certified_unsat,
+            p.unsat_queries,
+            "{}: {} of {} Unsat answers left uncertified",
+            report.sysno.func_name(),
+            p.unsat_queries - p.certified_unsat,
+            p.unsat_queries
+        );
+        events.emit(&VerifyEvent::HandlerCertified {
+            sysno: report.sysno,
+            index,
+            total,
+            unsat_queries: p.unsat_queries,
+            certified: p.certified_unsat,
+            proof_steps: p.proof_steps,
+            core_steps: p.proof_core_steps,
+            proof_bytes: p.proof_bytes,
+            check_time: p.proof_check_time,
+        });
+    }
 }
 
 /// Verifies an explicit (possibly deliberately broken) kernel image —
@@ -398,6 +511,7 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
         bounds: Some(&bounds),
     };
     let total = targets.len();
+    let certify = config.solver.certify;
     events.emit(&VerifyEvent::RunStarted {
         total,
         threads: config.threads.max(1),
@@ -413,7 +527,7 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
                     total,
                 });
                 let r = verify_handler(&vctx, s);
-                emit_finished(events, i, total, &r);
+                emit_finished(events, i, total, &r, certify);
                 r
             })
             .collect()
@@ -452,7 +566,7 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
                             index: idx,
                             total,
                         });
-                        emit_finished(events, idx, total, &r);
+                        emit_finished(events, idx, total, &r, certify);
                         d.emitted.push(r);
                         d.next_emit += 1;
                     }

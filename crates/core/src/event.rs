@@ -35,6 +35,22 @@ pub struct PhaseStats {
     pub cache_hits: u64,
     /// Queries that had to be solved.
     pub cache_misses: u64,
+    /// Queries answered Unsat (the verdicts certification re-checks).
+    pub unsat_queries: u64,
+    /// Unsat answers confirmed by the independent proof checker (or
+    /// vacuously, for trivially-false assertion sets).
+    pub certified_unsat: u64,
+    /// DRAT proofs actually replayed by the checker.
+    pub proofs_checked: u64,
+    /// DRAT steps (inputs + lemmas + deletions) produced by the SAT core.
+    pub proof_steps: u64,
+    /// Bytes of binary-DRAT proof produced.
+    pub proof_bytes: u64,
+    /// Lemmas the backward checker had to RUP-verify (the trimmed core;
+    /// the rest of the proof never feeds the final conflict).
+    pub proof_core_steps: u64,
+    /// Wall-clock time spent inside the independent checker.
+    pub proof_check_time: Duration,
 }
 
 impl PhaseStats {
@@ -50,6 +66,13 @@ impl PhaseStats {
         self.queries += 1;
         self.cache_hits += stats.cache_hits;
         self.cache_misses += stats.cache_misses;
+        self.unsat_queries += stats.unsat_queries;
+        self.certified_unsat += stats.certified_unsat;
+        self.proofs_checked += stats.proofs_checked;
+        self.proof_steps += stats.proof_steps;
+        self.proof_bytes += stats.proof_bytes;
+        self.proof_core_steps += stats.proof_core_steps;
+        self.proof_check_time += stats.proof_check_time;
     }
 }
 
@@ -121,6 +144,32 @@ pub enum VerifyEvent {
         side_checks: usize,
         /// Phase timings and cache counters.
         phases: PhaseStats,
+    },
+    /// A handler's Unsat verdicts have been re-checked by the
+    /// independent proof checker. Emitted directly after
+    /// `HandlerFinished` when the run has `solver.certify` set; the
+    /// driver has already enforced `certified == unsat_queries`, so
+    /// this event reports a *confirmed* certification, never a partial
+    /// one.
+    HandlerCertified {
+        /// The handler.
+        sysno: Sysno,
+        /// Position in the run, `0..total`.
+        index: usize,
+        /// Handlers selected for verification.
+        total: usize,
+        /// Unsat answers the handler's queries produced.
+        unsat_queries: u64,
+        /// How many were certified (equals `unsat_queries`).
+        certified: u64,
+        /// DRAT steps logged by the SAT core across the handler.
+        proof_steps: u64,
+        /// Steps the backward checker actually had to verify.
+        core_steps: u64,
+        /// Bytes of binary-DRAT proof produced.
+        proof_bytes: u64,
+        /// Time spent inside the independent checker.
+        check_time: Duration,
     },
     /// The run has finished.
     RunFinished {
@@ -203,6 +252,21 @@ impl EventSink {
                     side_checks,
                     phases.cache_hits,
                     phases.queries
+                );
+            }
+            VerifyEvent::HandlerCertified {
+                sysno,
+                unsat_queries,
+                certified,
+                proof_steps,
+                core_steps,
+                check_time,
+                ..
+            } => {
+                eprintln!(
+                    "[verify] {:<24} certified  {certified}/{unsat_queries} unsat ({proof_steps} proof steps, {core_steps} core, {:.2}s check)",
+                    sysno.func_name(),
+                    check_time.as_secs_f64()
                 );
             }
             VerifyEvent::RunFinished {

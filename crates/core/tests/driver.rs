@@ -56,6 +56,17 @@ fn stable_view(ev: &VerifyEvent) -> String {
             "end[{index}/{total}] {} {verdict} paths={paths} checks={side_checks}",
             sysno.func_name()
         ),
+        VerifyEvent::HandlerCertified {
+            sysno,
+            index,
+            total,
+            unsat_queries,
+            certified,
+            ..
+        } => format!(
+            "certified[{index}/{total}] {} {certified}/{unsat_queries}",
+            sysno.func_name()
+        ),
         VerifyEvent::RunFinished {
             verified, total, ..
         } => {

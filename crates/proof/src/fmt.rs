@@ -1,0 +1,125 @@
+//! The binary proof codec.
+//!
+//! A proof is a flat byte stream of steps. Each step is a one-byte tag
+//! followed by zero or more literals and a single `0x00` terminator:
+//!
+//! * `i` (0x69) — an **input** clause: part of the formula being refuted.
+//!   Inputs are axioms; the checker never derives them.
+//! * `a` (0x61) — a **lemma**: a clause the producer claims is implied by
+//!   the inputs and earlier lemmas. Every core lemma is RUP-checked. An
+//!   empty `a` step is a refutation of the inputs; a non-empty final `a`
+//!   step certifies that clause (the assumption-conflict case).
+//! * `d` (0x64) — a **deletion**: removes one active copy of the clause
+//!   from the database (learnt-clause garbage collection).
+//!
+//! Literals use the DIMACS convention (nonzero signed integers) mapped to
+//! `u = 2·|l| + (l < 0)` and emitted as little-endian base-128 varints
+//! (low 7 bits per byte, high bit set on every byte but the last). Since
+//! `u ≥ 2` for every literal, a bare `0x00` byte unambiguously terminates
+//! the step. This is the classic binary-DRAT layout with an extra tag for
+//! input clauses, which the checker needs because the incremental solver
+//! interleaves formula growth with derivation steps.
+
+/// Tag byte of an input-clause step.
+pub const TAG_INPUT: u8 = b'i';
+/// Tag byte of a lemma (clause-addition) step.
+pub const TAG_ADD: u8 = b'a';
+/// Tag byte of a clause-deletion step.
+pub const TAG_DELETE: u8 = b'd';
+
+/// Appends one literal in varint encoding.
+#[inline]
+pub fn encode_lit(buf: &mut Vec<u8>, l: i32) {
+    debug_assert!(l != 0, "literal 0 is the step terminator");
+    let mut u = (l.unsigned_abs() as u64) * 2 + u64::from(l < 0);
+    loop {
+        let byte = (u & 0x7f) as u8;
+        u >>= 7;
+        if u == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes the literal (or terminator) at `pos`. Returns the new
+/// position and `None` for the `0x00` step terminator. `Err` carries the
+/// offset of the malformed byte and a static description.
+#[inline]
+pub fn decode_lit(bytes: &[u8], pos: usize) -> Result<(usize, Option<i32>), (usize, &'static str)> {
+    let mut u: u64 = 0;
+    let mut shift = 0u32;
+    let mut p = pos;
+    loop {
+        let &byte = bytes.get(p).ok_or((p, "truncated literal"))?;
+        p += 1;
+        u |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 35 {
+            return Err((pos, "literal varint overflows 32 bits"));
+        }
+    }
+    if u == 0 {
+        return Ok((p, None));
+    }
+    if u == 1 {
+        return Err((pos, "encoded literal has variable 0"));
+    }
+    let var = u >> 1;
+    if var > i32::MAX as u64 {
+        return Err((pos, "literal variable exceeds i32"));
+    }
+    let l = if u & 1 == 1 {
+        -(var as i32)
+    } else {
+        var as i32
+    };
+    Ok((p, Some(l)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_literals() {
+        let cases = [
+            1,
+            -1,
+            2,
+            -2,
+            63,
+            -64,
+            100,
+            -8191,
+            1 << 20,
+            i32::MAX,
+            i32::MIN + 1,
+        ];
+        for &l in &cases {
+            let mut buf = Vec::new();
+            encode_lit(&mut buf, l);
+            let (pos, got) = decode_lit(&buf, 0).expect("decode");
+            assert_eq!(pos, buf.len());
+            assert_eq!(got, Some(l), "literal {l}");
+        }
+    }
+
+    #[test]
+    fn terminator_decodes_as_none() {
+        let (pos, got) = decode_lit(&[0x00], 0).expect("decode");
+        assert_eq!((pos, got), (1, None));
+    }
+
+    #[test]
+    fn truncated_varint_is_rejected() {
+        // High bit set on the last available byte: continuation promised,
+        // stream ends.
+        assert!(decode_lit(&[0x85], 0).is_err());
+        assert!(decode_lit(&[], 0).is_err());
+    }
+}

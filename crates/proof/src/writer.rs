@@ -1,0 +1,67 @@
+//! The proof producer side: an append-only binary-DRAT stream.
+
+use crate::fmt::{encode_lit, TAG_ADD, TAG_DELETE, TAG_INPUT};
+
+/// An in-memory binary-DRAT proof under construction.
+///
+/// The writer is deliberately dumb: it performs no normalization, no
+/// deduplication, and no checking — it records exactly what the solver
+/// did, and the independent checker decides whether that was sound. One
+/// writer accumulates the whole lifetime of a solver, so in incremental
+/// mode a single stream interleaves input growth, lemmas, and deletions
+/// across many `solve` calls.
+#[derive(Debug, Default, Clone)]
+pub struct ProofWriter {
+    buf: Vec<u8>,
+    steps: u64,
+}
+
+impl ProofWriter {
+    /// Creates an empty proof stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn step(&mut self, tag: u8, lits: &[i32]) {
+        self.buf.push(tag);
+        for &l in lits {
+            encode_lit(&mut self.buf, l);
+        }
+        self.buf.push(0);
+        self.steps += 1;
+    }
+
+    /// Records an input clause (part of the formula, not derived).
+    #[inline]
+    pub fn add_input(&mut self, lits: &[i32]) {
+        self.step(TAG_INPUT, lits);
+    }
+
+    /// Records a derived clause. An empty slice records the refutation.
+    #[inline]
+    pub fn add_lemma(&mut self, lits: &[i32]) {
+        self.step(TAG_ADD, lits);
+    }
+
+    /// Records the deletion of one active copy of a clause.
+    #[inline]
+    pub fn delete(&mut self, lits: &[i32]) {
+        self.step(TAG_DELETE, lits);
+    }
+
+    /// The proof bytes accumulated so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Steps emitted so far (inputs + lemmas + deletions).
+    pub fn num_steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Size of the stream in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+}

@@ -1,0 +1,158 @@
+//! Satellite: hand-corrupted proofs must be rejected, and the error must
+//! name the offending step so a failing certification is debuggable.
+//!
+//! Each test starts from one known-good refutation and applies exactly
+//! one corruption: a flipped literal, a dropped step, or a deletion of a
+//! clause that was never added.
+//!
+//! The base formula is chosen so that unit propagation stalls without
+//! the lemmas: `{1,2,3}×{1,-2,3}×…` forces `1` only via case splits on
+//! `2` and `3`, and symmetrically forces `¬1` via splits on `4` and `5`.
+//! (A denser formula like the 3-pigeon/2-hole principle is useless here:
+//! it is so propagation-saturated that even a *flipped* unit lemma is
+//! still RUP, and the corruption would go undetected.)
+
+use hk_proof::{check_proof, ProofError, ProofWriter};
+
+const INPUTS: [[i32; 3]; 8] = [
+    [1, 2, 3],
+    [1, 2, -3],
+    [1, -2, 3],
+    [1, -2, -3],
+    [-1, 4, 5],
+    [-1, 4, -5],
+    [-1, -4, 5],
+    [-1, -4, -5],
+];
+
+/// The refutation: two case splits derive `1`, two more refute it.
+const LEMMAS: [&[i32]; 4] = [&[1, 2], &[1], &[4], &[]];
+
+/// Inputs occupy steps 0..8; lemma `k` (with none dropped) is step 8+k.
+const FIRST_LEMMA_STEP: usize = 8;
+
+/// Builds the proof, letting tests tamper with or drop individual lemmas.
+fn build(lemma_edit: impl Fn(usize, &mut Vec<i32>), drop_lemma: Option<usize>) -> ProofWriter {
+    let mut w = ProofWriter::new();
+    for c in &INPUTS {
+        w.add_input(c);
+    }
+    for (k, lemma) in LEMMAS.iter().enumerate() {
+        if drop_lemma == Some(k) {
+            continue;
+        }
+        let mut lits = lemma.to_vec();
+        lemma_edit(k, &mut lits);
+        w.add_lemma(&lits);
+    }
+    w
+}
+
+#[test]
+fn untampered_proof_is_accepted() {
+    let out = check_proof(build(|_, _| {}, None).bytes()).expect("the baseline proof must check");
+    assert!(out.final_clause.is_empty());
+    assert_eq!(out.lemmas, 4);
+    assert_eq!(out.inputs, 8);
+}
+
+#[test]
+fn flipped_literal_is_rejected_with_step_index() {
+    // Lemma 1 (`[1]`) becomes `[-1]`. Asserting `1` only touches ternary
+    // clauses, so nothing propagates and the RUP check must fail — even
+    // though the stream still refutes downstream (the final conflict can
+    // lean on the corrupted lemma, which is exactly why it must be
+    // re-derived, not trusted).
+    let w = build(
+        |k, lits| {
+            if k == 1 {
+                lits[0] = -lits[0];
+            }
+        },
+        None,
+    );
+    match check_proof(w.bytes()) {
+        Err(ProofError::LemmaNotImplied { step, clause }) => {
+            assert_eq!(step, FIRST_LEMMA_STEP + 1);
+            assert_eq!(clause, vec![-1]);
+        }
+        other => panic!("expected LemmaNotImplied, got {other:?}"),
+    }
+}
+
+#[test]
+fn dropped_step_is_rejected_at_the_first_lemma_that_needed_it() {
+    // Drop lemma 0 (`[1, 2]`). Lemma `[1]` relied on it to finish the
+    // split on `2`; with one step missing, every later lemma shifts down
+    // by one, so the failure lands at the old step of the dropped lemma.
+    let w = build(|_, _| {}, Some(0));
+    match check_proof(w.bytes()) {
+        Err(ProofError::LemmaNotImplied { step, clause }) => {
+            assert_eq!(step, FIRST_LEMMA_STEP);
+            assert_eq!(clause, vec![1]);
+        }
+        other => panic!("expected LemmaNotImplied, got {other:?}"),
+    }
+}
+
+#[test]
+fn bogus_deletion_is_rejected_with_step_index() {
+    let mut w = build(|_, _| {}, None);
+    // Delete a clause that was never added.
+    w.delete(&[2, -5, 3]);
+    match check_proof(w.bytes()) {
+        Err(ProofError::BogusDeletion { step, clause }) => {
+            assert_eq!(step, FIRST_LEMMA_STEP + 4);
+            assert_eq!(clause, vec![2, -5, 3]);
+        }
+        other => panic!("expected BogusDeletion, got {other:?}"),
+    }
+}
+
+#[test]
+fn double_deletion_is_rejected_even_though_the_clause_existed() {
+    let mut w = build(|_, _| {}, None);
+    w.delete(&[1, 2, 3]); // legal: one copy exists
+    w.delete(&[3, 2, 1]); // bogus: no copy left (order-insensitive)
+    match check_proof(w.bytes()) {
+        Err(ProofError::BogusDeletion { step, .. }) => {
+            assert_eq!(step, FIRST_LEMMA_STEP + 5);
+        }
+        other => panic!("expected BogusDeletion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_stream_is_rejected_with_byte_offset() {
+    let w = build(|_, _| {}, None);
+    let bytes = &w.bytes()[..w.byte_len() - 1];
+    match check_proof(bytes) {
+        Err(ProofError::Malformed { offset, .. }) => assert!(offset >= bytes.len() - 2),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_tag_byte_is_rejected_with_byte_offset() {
+    let w = build(|_, _| {}, None);
+    let mut bytes = w.bytes().to_vec();
+    bytes[0] = 0x7f; // clobber the first tag
+    match check_proof(&bytes) {
+        Err(ProofError::Malformed { offset, .. }) => assert_eq!(offset, 0),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn errors_render_the_step_index() {
+    let e = ProofError::LemmaNotImplied {
+        step: 42,
+        clause: vec![1, -2],
+    };
+    assert!(e.to_string().contains("42"));
+    let e = ProofError::BogusDeletion {
+        step: 7,
+        clause: vec![3],
+    };
+    assert!(e.to_string().contains("7"));
+}

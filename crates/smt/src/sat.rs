@@ -15,6 +15,16 @@
 //! activities, and saved phases carry over. When a query is unsatisfiable
 //! *because of* its assumptions, the responsible subset is recovered via
 //! final-conflict analysis ([`SatSolver::failed_assumptions`]).
+//!
+//! The solver can additionally log a binary-DRAT **proof** of its work
+//! (see [`SatSolver::start_proof`]): every input clause, learnt clause,
+//! deletion, and concluding conflict clause goes into an
+//! [`hk_proof::ProofWriter`] stream that the independent checker in
+//! `hk-proof` re-derives from scratch. Logging is off by default and
+//! every log site is behind an `Option` check, so the disabled cost is
+//! one branch per clause event.
+
+use hk_proof::ProofWriter;
 
 /// Truth value lattice used internally.
 const UNDEF: u8 = 2;
@@ -142,6 +152,8 @@ pub struct SatSolver {
     /// Statistics for benchmarking and diagnostics. Cumulative across
     /// `solve*` calls; snapshot before a call to obtain per-call deltas.
     pub stats: SatStats,
+    /// Binary-DRAT proof stream, when logging is on.
+    proof: Option<ProofWriter>,
 }
 
 #[inline]
@@ -205,6 +217,30 @@ impl SatSolver {
             model: Vec::new(),
             conflict: Vec::new(),
             stats: SatStats::default(),
+            proof: None,
+        }
+    }
+
+    /// Turns on binary-DRAT proof logging. Must be called before any
+    /// clause is added: a proof that misses clauses cannot check.
+    pub fn start_proof(&mut self) {
+        assert!(
+            self.clauses.is_empty() && self.trail.is_empty(),
+            "start_proof on a solver that already holds clauses"
+        );
+        self.proof = Some(ProofWriter::new());
+    }
+
+    /// The proof stream, when [`SatSolver::start_proof`] was called.
+    pub fn proof(&self) -> Option<&ProofWriter> {
+        self.proof.as_ref()
+    }
+
+    /// Logs the empty clause, concluding the refutation.
+    #[inline]
+    fn proof_log_empty(&mut self) {
+        if let Some(pr) = self.proof.as_mut() {
+            pr.add_lemma(&[]);
         }
     }
 
@@ -237,6 +273,12 @@ impl SatSolver {
             return false;
         }
         debug_assert!(self.trail_lim.is_empty(), "add_clause above level 0");
+        // Log the clause exactly as given: the checker does its own
+        // normalization, and the original clause (not the level-0
+        // simplified one) is the actual axiom.
+        if let Some(pr) = self.proof.as_mut() {
+            pr.add_input(lits);
+        }
         let max_var = lits.iter().map(|l| l.unsigned_abs()).max().unwrap_or(0);
         self.reserve_vars(max_var);
         let mut ls: Vec<u32> = lits.iter().map(|&l| lit_from_dimacs(l)).collect();
@@ -256,12 +298,14 @@ impl SatSolver {
         }
         match out.len() {
             0 => {
+                self.proof_log_empty();
                 self.ok = false;
                 false
             }
             1 => {
                 self.enqueue(out[0], NO_REASON);
                 if self.propagate().is_some() {
+                    self.proof_log_empty();
                     self.ok = false;
                 }
                 self.ok
@@ -581,6 +625,14 @@ impl SatSolver {
             if !locked[cref as usize] {
                 self.clauses[cref as usize].deleted = true;
                 removed += 1;
+                if let Some(pr) = self.proof.as_mut() {
+                    let lits: Vec<i32> = self.clauses[cref as usize]
+                        .lits
+                        .iter()
+                        .map(|&l| lit_to_dimacs(l))
+                        .collect();
+                    pr.delete(&lits);
+                }
             }
         }
         if removed == 0 {
@@ -634,6 +686,7 @@ impl SatSolver {
         self.reserve_vars(max_var);
         let assumps: Vec<u32> = assumptions.iter().map(|&l| lit_from_dimacs(l)).collect();
         if self.propagate().is_some() {
+            self.proof_log_empty();
             self.ok = false;
             return SatOutcome::Unsat;
         }
@@ -699,10 +752,15 @@ impl SatSolver {
                     }
                 }
                 if self.decision_level() == 0 {
+                    self.proof_log_empty();
                     self.ok = false;
                     return SatOutcome::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                if let Some(pr) = self.proof.as_mut() {
+                    let lemma: Vec<i32> = learnt.iter().map(|&l| lit_to_dimacs(l)).collect();
+                    pr.add_lemma(&lemma);
+                }
                 self.backtrack_to(bt);
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], NO_REASON);
@@ -730,6 +788,16 @@ impl SatSolver {
                     Branch::Decided => {}
                     Branch::AssumptionFailed(p) => {
                         self.analyze_final(p);
+                        // Conclude the proof with the negation of the
+                        // failed-assumption set: it is derivable by unit
+                        // propagation from the clauses alone, and it is
+                        // exactly what this `Unsat` answer claims. (With
+                        // contradictory duplicate assumptions it is a
+                        // tautology, which the checker accepts as such.)
+                        if let Some(pr) = self.proof.as_mut() {
+                            let lemma: Vec<i32> = self.conflict.iter().map(|&l| -l).collect();
+                            pr.add_lemma(&lemma);
+                        }
                         self.backtrack_to(0);
                         return SatOutcome::Unsat;
                     }

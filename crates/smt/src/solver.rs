@@ -57,6 +57,15 @@ pub struct SolverConfig {
     /// (assumption-based scopes, learnt-clause reuse). Disable to get
     /// the fresh-pipeline-per-check baseline.
     pub incremental: bool,
+    /// Log a binary-DRAT proof stream in the CDCL core (implied by
+    /// `certify`). On its own this only pays the logging cost and fills
+    /// the `proof_steps`/`proof_bytes` stats.
+    pub proof_log: bool,
+    /// Re-check every `Unsat` answer with the independent proof checker
+    /// in `hk-proof` before returning it. A rejected proof panics, the
+    /// same way a bogus model fails validation on the `Sat` side. Certify
+    /// bypasses the query cache: a cached verdict has no proof to check.
+    pub certify: bool,
 }
 
 impl Default for SolverConfig {
@@ -66,6 +75,8 @@ impl Default for SolverConfig {
             skip_validation: false,
             cache: None,
             incremental: true,
+            proof_log: false,
+            certify: false,
         }
     }
 }
@@ -126,6 +137,23 @@ pub struct SolverStats {
     pub cache_hits: u64,
     /// Query-cache misses in this call (0 or 1).
     pub cache_misses: u64,
+    /// Unsat answers in this call (0 or 1).
+    pub unsat_queries: u64,
+    /// Unsat answers certified by the independent checker (0 or 1; a
+    /// trivially-false assertion set counts as vacuously certified).
+    pub certified_unsat: u64,
+    /// Proof steps emitted by this call (with proof logging on).
+    pub proof_steps: u64,
+    /// Proof bytes emitted by this call.
+    pub proof_bytes: u64,
+    /// Proof-checker runs in this call (0 or 1).
+    pub proofs_checked: u64,
+    /// Lemmas the checker saw in this call's check run.
+    pub proof_lemmas: u64,
+    /// Lemmas on the trimmed core of this call's check run.
+    pub proof_core_steps: u64,
+    /// Time spent in the independent proof checker.
+    pub proof_check_time: Duration,
 }
 
 /// Lifetime totals over every `check` on one solver, the cumulative
@@ -157,6 +185,22 @@ pub struct SolverTotals {
     pub bitblast_time: Duration,
     /// Total SAT time.
     pub solve_time: Duration,
+    /// Unsat answers.
+    pub unsat_queries: u64,
+    /// Unsat answers certified by the independent checker.
+    pub certified_unsat: u64,
+    /// Proof steps emitted.
+    pub proof_steps: u64,
+    /// Proof bytes emitted.
+    pub proof_bytes: u64,
+    /// Proof-checker runs.
+    pub proofs_checked: u64,
+    /// Lemmas seen across check runs.
+    pub proof_lemmas: u64,
+    /// Lemmas on trimmed cores across check runs.
+    pub proof_core_steps: u64,
+    /// Total proof-checking time.
+    pub proof_check_time: Duration,
 }
 
 impl SolverTotals {
@@ -173,6 +217,14 @@ impl SolverTotals {
         self.ack_time += s.ack_time;
         self.bitblast_time += s.bitblast_time;
         self.solve_time += s.solve_time;
+        self.unsat_queries += s.unsat_queries;
+        self.certified_unsat += s.certified_unsat;
+        self.proof_steps += s.proof_steps;
+        self.proof_bytes += s.proof_bytes;
+        self.proofs_checked += s.proofs_checked;
+        self.proof_lemmas += s.proof_lemmas;
+        self.proof_core_steps += s.proof_core_steps;
+        self.proof_check_time += s.proof_check_time;
     }
 }
 
@@ -198,6 +250,16 @@ struct Engine {
     sat: SatSolver,
     /// Base-level assertions already encoded.
     encoded_base: usize,
+    /// SAT-core counters as of the **end** of the previous `check`. The
+    /// per-call delta is `sat.stats - snap`, so work done *between*
+    /// checks — clause-loading propagation, the unit clause a `pop`
+    /// plants — is attributed to exactly one call (the next one), never
+    /// dropped and never double-counted.
+    snap: SatStats,
+    /// Proof steps emitted as of the end of the previous `check`.
+    proof_steps_snap: u64,
+    /// Proof bytes emitted as of the end of the previous `check`.
+    proof_bytes_snap: u64,
 }
 
 /// An SMT solver instance holding a set of assertions.
@@ -270,6 +332,15 @@ impl Solver {
         self.scopes.len()
     }
 
+    /// The persistent SAT core's cumulative lifetime counters (`None`
+    /// before the first incremental `check`, and always in oneshot
+    /// mode). Every unit of core work shows up in exactly one per-call
+    /// [`SolverStats`] delta, so these equal the field-wise sum of the
+    /// deltas — the invariant the stats tests pin down.
+    pub fn sat_lifetime_stats(&self) -> Option<SatStats> {
+        self.engine.as_ref().map(|e| e.sat.stats)
+    }
+
     /// The base-level (permanent) assertions.
     pub fn assertions(&self) -> &[TermId] {
         &self.assertions
@@ -290,12 +361,20 @@ impl Solver {
     pub fn check(&mut self, ctx: &mut Ctx) -> SatResult {
         self.stats = SolverStats::default();
         let result = self.check_inner(ctx);
+        if result.is_unsat() {
+            self.stats.unsat_queries = 1;
+        }
         self.totals.absorb(&self.stats);
         result
     }
 
     fn check_inner(&mut self, ctx: &mut Ctx) -> SatResult {
         if self.trivially_false || self.scopes.iter().any(|s| s.trivially_false) {
+            // A syntactically false assertion needs no refutation proof:
+            // the claim is its own certificate.
+            if self.config.certify {
+                self.stats.certified_unsat = 1;
+            }
             return SatResult::Unsat;
         }
         let active = self.active_assertions();
@@ -304,13 +383,15 @@ impl Solver {
             return SatResult::Sat(Box::default());
         }
         // 0. Query cache: key the active VC by its canonical content
-        // hash, *before* any encoding work.
-        let fp = self
-            .config
-            .cache
-            .as_ref()
-            .map(|_| cache::fingerprint(ctx, &active));
-        if let (Some(c), Some(fp)) = (self.config.cache.clone(), fp.as_ref()) {
+        // hash, *before* any encoding work. Certified runs skip the
+        // cache entirely — a cached Unsat has no proof to re-check.
+        let cache_cfg = if self.config.certify {
+            None
+        } else {
+            self.config.cache.clone()
+        };
+        let fp = cache_cfg.as_ref().map(|_| cache::fingerprint(ctx, &active));
+        if let (Some(c), Some(fp)) = (cache_cfg.clone(), fp.as_ref()) {
             match c.lookup(&fp.key) {
                 Some(CachedVerdict::Unsat) => {
                     self.stats.cache_hits = 1;
@@ -341,7 +422,7 @@ impl Solver {
         } else {
             self.check_oneshot(ctx, &active)
         };
-        if let (Some(c), Some(fp)) = (self.config.cache.as_ref(), fp.as_ref()) {
+        if let (Some(c), Some(fp)) = (cache_cfg.as_ref(), fp.as_ref()) {
             match &result {
                 SatResult::Unsat => c.insert(fp.key, CachedVerdict::Unsat),
                 SatResult::Sat(m) => c.insert(fp.key, CachedVerdict::Sat(cache::dehydrate(fp, m))),
@@ -351,17 +432,52 @@ impl Solver {
         result
     }
 
+    /// Runs the independent checker over the proof stream, validates
+    /// that it concludes what this `Unsat` answer claims (`expected` =
+    /// the negated failed-assumption set, or empty for an unconditional
+    /// refutation; the empty clause is always acceptable as stronger),
+    /// and fills the proof-checking stats. Panics on a rejected or
+    /// off-target proof — the Unsat twin of failed model validation.
+    fn certify_unsat(stats: &mut SolverStats, proof_bytes: &[u8], expected: &[i32]) {
+        let check_start = Instant::now();
+        let out = hk_proof::check_proof(proof_bytes).unwrap_or_else(|e| {
+            panic!("certified-unsat check failed: independent checker rejected the proof: {e}")
+        });
+        stats.proof_check_time = check_start.elapsed();
+        stats.proofs_checked = 1;
+        stats.proof_lemmas = out.lemmas as u64;
+        stats.proof_core_steps = out.core_lemmas as u64;
+        let mut want = expected.to_vec();
+        want.sort_unstable();
+        want.dedup();
+        assert!(
+            out.final_clause.is_empty() || out.final_clause == want,
+            "certified-unsat check failed: proof concludes {:?}, answer claims {:?}",
+            out.final_clause,
+            want
+        );
+        stats.certified_unsat = 1;
+    }
+
     // ------------------------------------------------------------------
     // Incremental path: persistent Ackermann + bit-blaster + CDCL core.
     // ------------------------------------------------------------------
 
     fn check_incremental(&mut self, ctx: &mut Ctx, active: &[TermId]) -> SatResult {
         if self.engine.is_none() {
+            let mut sat = SatSolver::with_config(self.config.sat.clone());
+            if self.config.proof_log || self.config.certify {
+                // Before any clause exists, so the stream is complete.
+                sat.start_proof();
+            }
             self.engine = Some(Engine {
                 ack: Ackermann::new(),
                 bb: BitBlaster::new(),
-                sat: SatSolver::with_config(self.config.sat.clone()),
+                sat,
                 encoded_base: 0,
+                snap: SatStats::default(),
+                proof_steps_snap: 0,
+                proof_bytes_snap: 0,
             });
         }
         let encode_start = Instant::now();
@@ -427,14 +543,47 @@ impl Solver {
         // 4. Solve under the open scopes' activation literals.
         let assumptions: Vec<Lit> = self.scopes.iter().filter_map(|s| s.act).collect();
         let solve_start = Instant::now();
-        let before: SatStats = engine.sat.stats;
         let outcome = engine.sat.solve_with_assumptions(&assumptions);
         self.stats.solve_time = solve_start.elapsed();
-        self.stats.conflicts = engine.sat.stats.conflicts - before.conflicts;
-        self.stats.decisions = engine.sat.stats.decisions - before.decisions;
-        self.stats.propagations = engine.sat.stats.propagations - before.propagations;
+        // Per-call deltas are taken against the end-of-previous-check
+        // snapshot, not a start-of-solve one: clause-loading and
+        // `pop`-planted units that ran between checks land here, once.
+        self.stats.conflicts = engine.sat.stats.conflicts - engine.snap.conflicts;
+        self.stats.decisions = engine.sat.stats.decisions - engine.snap.decisions;
+        self.stats.propagations = engine.sat.stats.propagations - engine.snap.propagations;
+        engine.snap = engine.sat.stats;
+        if let Some(pr) = engine.sat.proof() {
+            self.stats.proof_steps = pr.num_steps() - engine.proof_steps_snap;
+            self.stats.proof_bytes = pr.byte_len() as u64 - engine.proof_bytes_snap;
+            engine.proof_steps_snap = pr.num_steps();
+            engine.proof_bytes_snap = pr.byte_len() as u64;
+        }
         match outcome {
-            SatOutcome::Unsat => SatResult::Unsat,
+            SatOutcome::Unsat => {
+                if self.config.certify {
+                    // The claim being certified: the failed-assumption
+                    // set is refutable (or, with no failed assumptions,
+                    // the clauses themselves are).
+                    let expected: Vec<i32> = if engine.sat.is_ok() {
+                        engine
+                            .sat
+                            .failed_assumptions()
+                            .iter()
+                            .map(|&l| -l)
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let proof = engine
+                        .sat
+                        .proof()
+                        .expect("certify implies proof logging")
+                        .bytes()
+                        .to_vec();
+                    Self::certify_unsat(&mut self.stats, &proof, &expected);
+                }
+                SatResult::Unsat
+            }
             SatOutcome::Unknown => SatResult::Unknown,
             SatOutcome::Sat => {
                 let engine = self.engine.as_ref().expect("engine exists");
@@ -485,6 +634,10 @@ impl Solver {
             bb.assert_term(ctx, t);
         }
         if trivially_false {
+            // Syntactic falsity, nothing was encoded: vacuously certified.
+            if self.config.certify {
+                self.stats.certified_unsat = 1;
+            }
             return SatResult::Unsat;
         }
         let var_bv = bb.var_bv.clone();
@@ -497,6 +650,9 @@ impl Solver {
         // encode_time — mirroring the incremental path, where the delta
         // is loaded inside the encode window.
         let mut sat = SatSolver::with_config(self.config.sat.clone());
+        if self.config.proof_log || self.config.certify {
+            sat.start_proof();
+        }
         sat.reserve_vars(num_vars);
         let mut ok = true;
         for c in &clauses {
@@ -524,8 +680,20 @@ impl Solver {
         self.stats.conflicts = sat.stats.conflicts;
         self.stats.decisions = sat.stats.decisions;
         self.stats.propagations = sat.stats.propagations;
+        if let Some(pr) = sat.proof() {
+            self.stats.proof_steps = pr.num_steps();
+            self.stats.proof_bytes = pr.byte_len() as u64;
+        }
         match outcome {
-            SatOutcome::Unsat => SatResult::Unsat,
+            SatOutcome::Unsat => {
+                // An unassumed refutation always concludes the empty
+                // clause.
+                if self.config.certify {
+                    let proof = sat.proof().expect("certify implies proof logging").bytes();
+                    Self::certify_unsat(&mut self.stats, proof, &[]);
+                }
+                SatResult::Unsat
+            }
             SatOutcome::Unknown => SatResult::Unknown,
             SatOutcome::Sat => {
                 let model = lift_model(ctx, &sat, &var_bv, &var_bool, &ack.instances);

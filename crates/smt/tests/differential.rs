@@ -20,7 +20,31 @@ mod common;
 use common::XorShift64;
 use hk_smt::eval::{eval_bool, Assignment, Value};
 use hk_smt::term::TermData;
-use hk_smt::{BvBinOp, CmpOp, Ctx, FuncId, SatResult, Solver, Sort, TermId, VarId};
+use hk_smt::{BvBinOp, CmpOp, Ctx, FuncId, SatResult, Solver, SolverConfig, Sort, TermId, VarId};
+
+/// Re-runs an Unsat verdict under certified mode, in both pipeline
+/// configurations: the verdicts must agree, and the certified solver
+/// itself panics if the independent checker rejects its proof.
+fn assert_certified_rerun_agrees(ctx: &mut Ctx, assertions: &[TermId], case: u64) {
+    for incremental in [false, true] {
+        let mut s = Solver::with_config(SolverConfig {
+            certify: true,
+            incremental,
+            ..SolverConfig::default()
+        });
+        for &t in assertions {
+            s.assert(ctx, t);
+        }
+        assert!(
+            s.check(ctx).is_unsat(),
+            "case {case}: certified re-run (incremental={incremental}) disagrees with Unsat"
+        );
+        assert_eq!(
+            s.stats.certified_unsat, s.stats.unsat_queries,
+            "case {case}: Unsat answer left uncertified (incremental={incremental})"
+        );
+    }
+}
 
 const WIDTH: u32 = 4;
 
@@ -193,10 +217,13 @@ fn random_bv_formulas_agree_with_enumeration() {
                     "case {case}: solver said sat, enumeration found no witness"
                 );
             }
-            SatResult::Unsat => assert!(
-                witness.is_none(),
-                "case {case}: solver said unsat, enumeration found witness at {witness:?}"
-            ),
+            SatResult::Unsat => {
+                assert!(
+                    witness.is_none(),
+                    "case {case}: solver said unsat, enumeration found witness at {witness:?}"
+                );
+                assert_certified_rerun_agrees(&mut ctx, &assertions, case);
+            }
             SatResult::Unknown => panic!("case {case}: unexpected unknown"),
         }
     }
@@ -241,6 +268,7 @@ fn random_uf_formulas_validate_against_sampling() {
                     "case {case}: solver said unsat but sampling found a witness"
                 );
             }
+            assert_certified_rerun_agrees(&mut ctx, &assertions, case);
         }
     }
 }

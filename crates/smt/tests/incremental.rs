@@ -151,11 +151,16 @@ fn oneshot_verdict(ctx: &mut Ctx, active: &[TermId]) -> bool {
 
 /// One randomized session: a shared context, one incremental solver, and
 /// a mirror of its assertion frames for replaying into the baseline.
-fn run_session(case: u64, with_func: bool) {
+/// With `certify` the incremental solver re-checks every Unsat against
+/// its session-spanning proof stream (scope pops, deletions and all).
+fn run_session(case: u64, with_func: bool, certify: bool) {
     let mut rng = XorShift64::new(0xbeef ^ (case.wrapping_mul(0x9e37_79b9)));
     let mut ctx = Ctx::new();
     let v = vocab(&mut ctx, with_func);
-    let mut inc = Solver::new();
+    let mut inc = Solver::with_config(SolverConfig {
+        certify,
+        ..SolverConfig::default()
+    });
     // frames[0] is the base level; frames[1..] mirror open scopes.
     let mut frames: Vec<Vec<TermId>> = vec![Vec::new()];
     let mut checks = 0u32;
@@ -203,13 +208,20 @@ fn run_session(case: u64, with_func: bool) {
                             );
                         }
                     }
-                    SatResult::Unsat => assert!(
-                        !expect_sat,
-                        "case {case}: incremental said unsat, baseline found a model \
-                         ({} active assertions, {} scopes)",
-                        active.len(),
-                        inc.num_scopes()
-                    ),
+                    SatResult::Unsat => {
+                        assert!(
+                            !expect_sat,
+                            "case {case}: incremental said unsat, baseline found a model \
+                             ({} active assertions, {} scopes)",
+                            active.len(),
+                            inc.num_scopes()
+                        );
+                        assert_eq!(
+                            inc.stats.certified_unsat,
+                            u64::from(certify),
+                            "case {case}: Unsat left uncertified"
+                        );
+                    }
                     SatResult::Unknown => panic!("case {case}: unexpected unknown"),
                 }
             }
@@ -229,27 +241,45 @@ fn run_session(case: u64, with_func: bool) {
 #[test]
 fn incremental_matches_oneshot_on_bv_sequences() {
     for case in 0..48 {
-        run_session(case, false);
+        run_session(case, false, false);
     }
 }
 
 #[test]
 fn incremental_matches_oneshot_on_uf_sequences() {
     for case in 0..32 {
-        run_session(case, true);
+        run_session(case, true, false);
+    }
+}
+
+#[test]
+fn certified_incremental_matches_oneshot_on_bv_sequences() {
+    for case in 0..24 {
+        run_session(case, false, true);
+    }
+}
+
+#[test]
+fn certified_incremental_matches_oneshot_on_uf_sequences() {
+    for case in 0..16 {
+        run_session(case, true, true);
     }
 }
 
 /// Regression shape from the verifier: a fixed satisfiable base (the
 /// "invariant") probed by many unsatisfiable scoped queries in a row —
 /// the exact pattern of refinement batches, where learnt clauses and the
-/// base encoding must survive every pop.
+/// base encoding must survive every pop. Run certified, so each of the
+/// 20 refutations is independently re-derived from the proof stream.
 #[test]
-fn repeated_probe_batches_stay_sound() {
+fn repeated_probe_batches_stay_sound_and_certified() {
     let mut ctx = Ctx::new();
     let x = ctx.var("x", Sort::Bv(8));
     let y = ctx.var("y", Sort::Bv(8));
-    let mut s = Solver::new();
+    let mut s = Solver::with_config(SolverConfig {
+        certify: true,
+        ..SolverConfig::default()
+    });
     // Base: y == x + 1, x < 100.
     let one = ctx.bv_const(8, 1);
     let xp1 = ctx.bv_add(x, one);
@@ -280,4 +310,8 @@ fn repeated_probe_batches_stay_sound() {
         }
     }
     assert_eq!(s.totals.checks, 40);
+    assert_eq!(s.totals.unsat_queries, 20);
+    assert_eq!(s.totals.certified_unsat, 20);
+    assert_eq!(s.totals.proofs_checked, 20);
+    assert!(s.totals.proof_steps > 0);
 }

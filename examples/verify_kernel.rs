@@ -7,8 +7,9 @@
 //!    the verifier produce a *concrete, replayable* counterexample.
 //!
 //! ```sh
-//! cargo run --release --example verify_kernel            # a fast subset
-//! cargo run --release --example verify_kernel -- --all   # all 50 (slow)
+//! cargo run --release --example verify_kernel               # a fast subset
+//! cargo run --release --example verify_kernel -- --all      # all 50 (slow)
+//! cargo run --release --example verify_kernel -- --certify  # DRAT-checked Unsat
 //! ```
 
 use std::sync::Arc;
@@ -23,6 +24,7 @@ use hyperkernel::verifier::{verify_image, HandlerOutcome, VerifyConfig};
 fn main() {
     let all = std::env::args().any(|a| a == "--all");
     let json = std::env::args().any(|a| a == "--json");
+    let certify = std::env::args().any(|a| a == "--certify");
     let params = KernelParams::verification();
 
     // ---- Theorem 1 on the stock kernel. ----
@@ -49,10 +51,20 @@ fn main() {
         ..VerifyConfig::default()
     };
     config.solver.cache = Some(cache.clone());
+    // With --certify every Unsat answer — and a verified handler is a
+    // stack of Unsat answers — is re-derived by the independent DRAT
+    // checker before being reported; the summary grows a "proof" line.
+    // Certified queries bypass the cache (a certified verdict is always
+    // re-derived, never replayed), so the warm pass below stops being
+    // warm: that is the trust/speed trade, made visible.
+    config.solver.certify = certify;
     println!("== Theorem 1: refinement + UB-freedom ==");
     let report = verify_image(&image, &config);
     print!("{}", report.summary());
     assert!(report.all_verified(), "stock kernel must verify");
+    if certify {
+        assert!(report.fully_certified(), "certification incomplete");
+    }
 
     println!("\n== Theorem 1 again, warm cache ==");
     let warm = verify_image(&image, &config);
