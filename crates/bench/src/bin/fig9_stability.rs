@@ -82,6 +82,37 @@ fn main() {
                 ..SatConfig::default()
             },
         ),
+        // A/B points for the CDCL rework: each disables one modern
+        // feature against the stock configuration, so a heuristic
+        // regression shows up as one row moving, not folklore.
+        (
+            "A/B: activity reduction",
+            SatConfig {
+                reduce_strategy: hk_smt::ReduceStrategy::Activity,
+                ..SatConfig::default()
+            },
+        ),
+        (
+            "A/B: no restarts",
+            SatConfig {
+                restarts: false,
+                ..SatConfig::default()
+            },
+        ),
+        (
+            "A/B: chrono backtrack",
+            SatConfig {
+                chrono_backtrack: true,
+                ..SatConfig::default()
+            },
+        ),
+        (
+            "A/B: no inprocessing",
+            SatConfig {
+                inprocessing: false,
+                ..SatConfig::default()
+            },
+        ),
     ];
     println!(
         "Figure 9: verification time across solver configurations\n\

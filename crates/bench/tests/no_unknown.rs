@@ -1,0 +1,60 @@
+//! The bench subset must not report `UNKNOWN` under the shipping
+//! (incremental) configuration: `sys_alloc_pdpt` was budget-bound in
+//! the BENCH_PR2 table, and the CDCL rework plus the budget escalation
+//! retry (4x conflicts on `Unknown`) is the fix — its hardest
+//! refinement query cracks in a few hundred thousand conflicts once
+//! the handler's earlier queries have seeded the learnt-clause DB.
+//! The oneshot baseline is deliberately not asserted here: without
+//! learnt reuse that same query is time-bound at any practical budget
+//! (BENCH_PR6.json records it as the baseline's surviving `UNKNOWN`),
+//! which is the incremental pipeline's reason to exist.
+//!
+//! Ignored by default — minutes of CDCL search — and run by the
+//! scheduled full CI job alongside the full benches:
+//!
+//! ```sh
+//! cargo test --release -p hk-bench --test no_unknown -- --ignored
+//! ```
+
+use hk_abi::{KernelParams, Sysno};
+use hk_core::{verify_image, VerifyConfig};
+use hk_kernel::KernelImage;
+
+/// The Figure-7 bench subset (mirrors `bench_incremental`).
+const BENCH_HANDLERS: [Sysno; 5] = [
+    Sysno::Dup,
+    Sysno::AllocPdpt,
+    Sysno::Close,
+    Sysno::AllocPort,
+    Sysno::PipeRead,
+];
+
+#[test]
+#[ignore = "minutes of CDCL search; run with --ignored in the full tier"]
+fn bench_subset_has_no_unknown_verdicts() {
+    let params = KernelParams::verification();
+    let image = KernelImage::build(params).expect("kernel build");
+    let mut config = VerifyConfig {
+        params,
+        threads: 1,
+        only: BENCH_HANDLERS.to_vec(),
+        ..VerifyConfig::default()
+    };
+    config.solver.incremental = true;
+    // Mirrors the bench_incremental budgets: the hardest alloc_pdpt
+    // refinement query needs several hundred thousand conflicts and a
+    // few minutes of search even with a warm learnt DB.
+    config.solver.sat.max_conflicts = Some(10_000_000);
+    config.solver.sat.max_solve_ms = Some(600_000);
+    let report = verify_image(&image, &config);
+    let unknowns: Vec<&str> = report
+        .handlers
+        .iter()
+        .filter(|h| h.verdict() == "UNKNOWN")
+        .map(|h| h.sysno.func_name())
+        .collect();
+    assert!(
+        unknowns.is_empty(),
+        "UNKNOWN verdicts survived escalation: {unknowns:?}"
+    );
+}

@@ -226,6 +226,9 @@ impl VerifyReport {
     ///   "proof": { "unsat_queries": 96, "certified_unsat": 96, "proofs_checked": 94,
     ///              "steps": 48211, "core_steps": 1204, "bytes": 190331,
     ///              "check_time_s": 0.4 },
+    ///   "sat": { "restarts": 40, "db_reductions": 3, "learnts_removed": 1200,
+    ///            "scope_gc_clauses": 800, "probe_units": 12, "subsumed": 30,
+    ///            "strengthened": 9, "escalations": 0 },
     ///   "handlers": [
     ///     { "name": "sys_dup", "trap": 23, "verdict": "verified", "detail": null,
     ///       "paths": 4, "side_checks": 9, "cnf_clauses": 1042, "conflicts": 3,
@@ -300,6 +303,26 @@ impl VerifyReport {
             self.certified_unsat(),
             check_time.as_secs_f64()
         );
+        let sat = self.handlers.iter().fold([0u64; 8], |acc, h| {
+            let p = &h.phases;
+            [
+                acc[0] + p.restarts,
+                acc[1] + p.db_reductions,
+                acc[2] + p.learnts_removed,
+                acc[3] + p.scope_gc_clauses,
+                acc[4] + p.probe_units,
+                acc[5] + p.subsumed,
+                acc[6] + p.strengthened,
+                acc[7] + p.escalations,
+            ]
+        });
+        let _ = writeln!(
+            out,
+            "  \"sat\": {{ \"restarts\": {}, \"db_reductions\": {}, \"learnts_removed\": {}, \
+             \"scope_gc_clauses\": {}, \"probe_units\": {}, \"subsumed\": {}, \
+             \"strengthened\": {}, \"escalations\": {} }},",
+            sat[0], sat[1], sat[2], sat[3], sat[4], sat[5], sat[6], sat[7]
+        );
         out.push_str("  \"handlers\": [\n");
         for (i, h) in self.handlers.iter().enumerate() {
             let (verdict, detail) = match &h.outcome {
@@ -324,7 +347,10 @@ impl VerifyReport {
                  \"cache_hits\": {}, \"cache_misses\": {} }}, \
                  \"proof\": {{ \"unsat_queries\": {}, \"certified_unsat\": {}, \
                  \"proofs_checked\": {}, \"steps\": {}, \"core_steps\": {}, \"bytes\": {}, \
-                 \"check_time_s\": {:.6} }} }}",
+                 \"check_time_s\": {:.6} }}, \
+                 \"sat\": {{ \"restarts\": {}, \"db_reductions\": {}, \"learnts_removed\": {}, \
+                 \"scope_gc_clauses\": {}, \"probe_units\": {}, \"subsumed\": {}, \
+                 \"strengthened\": {}, \"escalations\": {} }} }}",
                 json_escape(h.sysno.func_name()),
                 h.sysno.number(),
                 verdict,
@@ -348,7 +374,15 @@ impl VerifyReport {
                 h.phases.proof_steps,
                 h.phases.proof_core_steps,
                 h.phases.proof_bytes,
-                h.phases.proof_check_time.as_secs_f64()
+                h.phases.proof_check_time.as_secs_f64(),
+                h.phases.restarts,
+                h.phases.db_reductions,
+                h.phases.learnts_removed,
+                h.phases.scope_gc_clauses,
+                h.phases.probe_units,
+                h.phases.subsumed,
+                h.phases.strengthened,
+                h.phases.escalations
             );
             out.push_str(if i + 1 < self.handlers.len() {
                 ",\n"
@@ -407,7 +441,7 @@ fn emit_finished(
         time: report.time,
         paths: report.paths,
         side_checks: report.side_checks,
-        phases: report.phases,
+        phases: Box::new(report.phases),
     });
     if certify {
         // In certified mode every Unsat answer must have been confirmed

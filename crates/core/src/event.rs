@@ -51,6 +51,22 @@ pub struct PhaseStats {
     pub proof_core_steps: u64,
     /// Wall-clock time spent inside the independent checker.
     pub proof_check_time: Duration,
+    /// CDCL restarts (Luby schedule).
+    pub restarts: u64,
+    /// Learnt-clause database reductions (LBD/activity policy).
+    pub db_reductions: u64,
+    /// Learnt clauses discarded by DB reduction.
+    pub learnts_removed: u64,
+    /// Clauses reclaimed by root-level GC after a scope `pop`.
+    pub scope_gc_clauses: u64,
+    /// Unit facts learnt by failed-literal probing.
+    pub probe_units: u64,
+    /// Clauses deleted by the subsumption inprocessing pass.
+    pub subsumed: u64,
+    /// Clauses strengthened by self-subsuming resolution.
+    pub strengthened: u64,
+    /// UNKNOWN verdicts retried with an escalated conflict budget.
+    pub escalations: u64,
 }
 
 impl PhaseStats {
@@ -73,6 +89,14 @@ impl PhaseStats {
         self.proof_bytes += stats.proof_bytes;
         self.proof_core_steps += stats.proof_core_steps;
         self.proof_check_time += stats.proof_check_time;
+        self.restarts += stats.restarts;
+        self.db_reductions += stats.db_reductions;
+        self.learnts_removed += stats.learnts_removed;
+        self.scope_gc_clauses += stats.scope_gc_clauses;
+        self.probe_units += stats.probe_units;
+        self.subsumed += stats.subsumed;
+        self.strengthened += stats.strengthened;
+        self.escalations += stats.escalations;
     }
 }
 
@@ -142,8 +166,9 @@ pub enum VerifyEvent {
         paths: usize,
         /// UB side checks discharged.
         side_checks: usize,
-        /// Phase timings and cache counters.
-        phases: PhaseStats,
+        /// Phase timings and cache counters (boxed: the stats block has
+        /// grown far past every other variant's payload).
+        phases: Box<PhaseStats>,
     },
     /// A handler's Unsat verdicts have been re-checked by the
     /// independent proof checker. Emitted directly after

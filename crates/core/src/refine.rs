@@ -387,13 +387,17 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
         total_conflicts += solver.stats.conflicts;
         if trace() {
             eprintln!(
-                "[{}] refinement batch {} done at {:.1}s: solve {:.1}s, {} clauses, {} conflicts",
+                "[{}] refinement batch {} done at {:.1}s: solve {:.1}s, {} clauses, \
+                 {} conflicts, {} restarts, {} reduced, {} scope-gc",
                 sysno.func_name(),
                 bi,
                 start.elapsed().as_secs_f64(),
                 solver.stats.solve_time.as_secs_f64(),
                 solver.stats.cnf_clauses,
-                solver.stats.conflicts
+                solver.stats.conflicts,
+                solver.stats.restarts,
+                solver.stats.learnts_removed,
+                solver.stats.scope_gc_clauses
             );
         }
         match result {

@@ -588,8 +588,10 @@ pub fn check_proof(bytes: &[u8]) -> Result<CheckOutcome, ProofError> {
                 let cref = match by_key.get_mut(&key) {
                     Some(list) if !list.is_empty() => {
                         // Prefer retiring a lemma copy over an input
-                        // copy (inputs are axioms; the producer only
-                        // ever deletes learnt clauses).
+                        // copy (inputs are axioms; when the producer's
+                        // root-level GC deletes an input clause, its
+                        // level-0-stripped form was also logged as a
+                        // lemma, so the lemma copy is the one to spend).
                         let pos = list
                             .iter()
                             .rposition(|&c| !chk.clauses[c as usize].input)

@@ -240,21 +240,38 @@ impl CnfBuilder {
     }
 
     /// Conjunction of many literals as a single literal.
+    ///
+    /// Reduces as a balanced tree rather than a linear fold: the clause
+    /// count is identical, but the Tseitin output sits at depth
+    /// `O(log n)` instead of `O(n)`, so unit propagation reaches the
+    /// inputs in logarithmically many implication steps and conflict
+    /// clauses over wide gates stay short.
     pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
-        let mut acc = LIT_TRUE;
-        for &l in lits {
-            acc = self.and_gate(acc, l);
-        }
-        acc
+        self.reduce_tree(lits, LIT_TRUE, Self::and_gate)
     }
 
-    /// Disjunction of many literals as a single literal.
+    /// Disjunction of many literals as a single literal (balanced, see
+    /// [`CnfBuilder::and_many`]).
     pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
-        let mut acc = LIT_FALSE;
-        for &l in lits {
-            acc = self.or_gate(acc, l);
+        self.reduce_tree(lits, LIT_FALSE, Self::or_gate)
+    }
+
+    fn reduce_tree(
+        &mut self,
+        lits: &[Lit],
+        unit: Lit,
+        gate: fn(&mut Self, Lit, Lit) -> Lit,
+    ) -> Lit {
+        match lits.len() {
+            0 => unit,
+            1 => lits[0],
+            n => {
+                let (lo, hi) = lits.split_at(n / 2);
+                let a = self.reduce_tree(lo, unit, gate);
+                let b = self.reduce_tree(hi, unit, gate);
+                gate(self, a, b)
+            }
         }
-        acc
     }
 }
 
@@ -359,6 +376,21 @@ mod tests {
         assert_eq!(second.len(), 4); // three gate clauses + the unit
                                      // The full clause list is unaffected by draining.
         assert_eq!(b.clauses().len(), 6);
+    }
+
+    #[test]
+    fn many_gates_are_balanced_and_correct() {
+        let mut b = CnfBuilder::new();
+        assert_eq!(b.and_many(&[]), LIT_TRUE);
+        assert_eq!(b.or_many(&[]), LIT_FALSE);
+        let xs: Vec<Lit> = (0..5).map(|_| b.new_var()).collect();
+        assert_eq!(b.and_many(&xs[..1]), xs[0]);
+        let o_and = b.and_many(&xs);
+        check_gate(&b, &xs, o_and, &|i| i.iter().all(|&x| x));
+        let mut b = CnfBuilder::new();
+        let xs: Vec<Lit> = (0..5).map(|_| b.new_var()).collect();
+        let o_or = b.or_many(&xs);
+        check_gate(&b, &xs, o_or, &|i| i.iter().any(|&x| x));
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! * [`ackermann`] — uninterpreted-function elimination;
 //! * [`bitblast`] — terms to CNF via Tseitin encoding;
 //! * [`sat`] — a CDCL SAT solver (watched literals, VSIDS, 1UIP learning,
-//!   Luby restarts, phase saving, learnt-clause reduction);
+//!   Luby restarts, phase saving, LBD-driven learnt-clause reduction,
+//!   chronological backtracking, root-level GC and inprocessing);
 //! * [`model`] — counterexample models, the raw material for the verifier's
 //!   test-case generation (paper §2.4);
 //! * [`solver`] — the front door tying the pipeline together;
@@ -54,6 +55,6 @@ pub mod term;
 
 pub use cache::{CacheStats, CachedVerdict, QueryCache, QueryKey};
 pub use model::Model;
-pub use sat::{SatConfig, SatSolver};
+pub use sat::{ReduceStrategy, SatConfig, SatSolver};
 pub use solver::{SatResult, Solver, SolverConfig, SolverStats, SolverTotals};
 pub use term::{BvBinOp, CmpOp, Ctx, FuncId, Sort, TermData, TermId, VarId};

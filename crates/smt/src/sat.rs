@@ -1,11 +1,25 @@
-//! A CDCL SAT solver in the MiniSat lineage.
+//! A CDCL SAT solver in the MiniSat/Glucose lineage.
 //!
 //! Features: two-watched-literal propagation, first-UIP conflict analysis
 //! with clause minimization, exponential VSIDS variable activities,
-//! phase saving, Luby restarts, and activity-driven learnt-clause database
-//! reduction. The heuristic knobs are exposed through [`SatConfig`] so the
-//! Figure 9 stability experiment can sweep them (standing in for the
-//! paper's sweep over historic Z3 versions).
+//! phase saving, Luby restarts, chronological backtracking for
+//! long-distance backjumps, and learnt-clause database reduction driven
+//! by LBD ("glue") quality scores on a Glucose-style conflict schedule
+//! (the pre-LBD activity-driven policy is still available through
+//! [`ReduceStrategy::Activity`]). The heuristic knobs are exposed through
+//! [`SatConfig`] so the Figure 9 stability experiment can sweep them
+//! (standing in for the paper's sweep over historic Z3 versions).
+//!
+//! Two maintenance passes keep a long-lived incremental solver healthy:
+//!
+//! * [`SatSolver::simplify`] — root-level garbage collection: clauses
+//!   satisfied by the level-0 trail are deleted and the clause arena is
+//!   compacted. The SMT layer calls this after every scope `pop`, so
+//!   clauses dead under a retired activation literal are reclaimed
+//!   instead of poisoning every later query (the PR 2 regression).
+//! * A lightweight **inprocessing** pass (subsumption, self-subsuming
+//!   resolution, failed-literal probing on the root level), run when the
+//!   clause database has grown enough since the last pass.
 //!
 //! The solver is **incremental**: [`SatSolver::solve_with_assumptions`]
 //! decides the formula under a set of assumption literals (treated as
@@ -34,6 +48,18 @@ const FALSE: u8 = 0;
 /// Sentinel for "no reason clause".
 const NO_REASON: u32 = u32::MAX;
 
+/// Which learnt clauses a database reduction keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceStrategy {
+    /// Pre-Glucose policy: sort by bumped clause activity and delete the
+    /// less active half, on a learnt-count schedule. Kept as the A/B
+    /// baseline for the Fig-9 sweep and the differential tests.
+    Activity,
+    /// Glucose-style policy: sort by LBD (glue), protect low-glue
+    /// clauses, and delete the worst half on a conflict-count schedule.
+    Lbd,
+}
+
 /// Heuristic configuration.
 #[derive(Debug, Clone)]
 pub struct SatConfig {
@@ -41,15 +67,40 @@ pub struct SatConfig {
     pub var_decay: f64,
     /// Learnt-clause activity decay factor.
     pub clause_decay: f64,
+    /// Whether to restart at all (Luby schedule).
+    pub restarts: bool,
     /// Base interval (in conflicts) of the Luby restart sequence.
     pub restart_base: u64,
     /// Whether to reuse the last assigned polarity when deciding.
     pub phase_saving: bool,
     /// Initial polarity when no phase is saved.
     pub default_phase: bool,
+    /// Learnt-clause database reduction policy.
+    pub reduce_strategy: ReduceStrategy,
+    /// Conflicts before the first LBD-scheduled reduction.
+    pub reduce_base: u64,
+    /// Schedule increment: each reduction pushes the next one this much
+    /// further out (in conflicts).
+    pub reduce_incr: u64,
     /// Learnt clauses allowed before a database reduction, as a fraction
-    /// of the original clause count (MiniSat uses 1/3).
+    /// of the original clause count (MiniSat uses 1/3). Only used by
+    /// [`ReduceStrategy::Activity`].
     pub learntsize_factor: f64,
+    /// Backtrack chronologically (to the previous level) instead of
+    /// backjumping when the jump would discard more than
+    /// `chrono_distance` levels. Off by default: on this workload's
+    /// hardest refinement queries (`sys_alloc_pdpt`) it reliably
+    /// prevents convergence at any `chrono_distance`, while its wins
+    /// elsewhere are modest. The machinery is kept correct and under
+    /// test (the differential matrix exercises it) as an opt-in knob
+    /// with an A/B row in `fig9_stability`.
+    pub chrono_backtrack: bool,
+    /// Minimum discarded-level count before chronological backtracking
+    /// kicks in.
+    pub chrono_distance: u32,
+    /// Root-level inprocessing (subsumption, self-subsuming resolution,
+    /// failed-literal probing) when the clause database has grown enough.
+    pub inprocessing: bool,
     /// Optional conflict budget; `None` means run to completion.
     pub max_conflicts: Option<u64>,
     /// Optional wall-clock budget per `solve` call, in milliseconds.
@@ -63,10 +114,17 @@ impl Default for SatConfig {
         SatConfig {
             var_decay: 0.95,
             clause_decay: 0.999,
+            restarts: true,
             restart_base: 100,
             phase_saving: true,
             default_phase: false,
+            reduce_strategy: ReduceStrategy::Lbd,
+            reduce_base: 2000,
+            reduce_incr: 300,
             learntsize_factor: 1.0 / 3.0,
+            chrono_backtrack: false,
+            chrono_distance: 100,
+            inprocessing: true,
             max_conflicts: None,
             max_solve_ms: None,
         }
@@ -97,6 +155,24 @@ pub struct SatStats {
     pub restarts: u64,
     /// Learnt clauses currently in the database.
     pub learnts: u64,
+    /// Learnt-database reductions performed.
+    pub db_reductions: u64,
+    /// Learnt clauses deleted by database reductions.
+    pub learnts_removed: u64,
+    /// Clauses reclaimed by root-level garbage collection
+    /// ([`SatSolver::simplify`], notably after scope pops).
+    pub gc_clauses: u64,
+    /// Conflicts resolved by chronological backtracking instead of a
+    /// long backjump.
+    pub chrono_backtracks: u64,
+    /// Literals probed by failed-literal inprocessing.
+    pub probed_literals: u64,
+    /// Unit clauses learnt from failed literals.
+    pub probe_units: u64,
+    /// Clauses deleted because another clause subsumes them.
+    pub subsumed: u64,
+    /// Clauses strengthened by self-subsuming resolution.
+    pub strengthened: u64,
 }
 
 #[derive(Debug)]
@@ -105,6 +181,10 @@ struct Clause {
     learnt: bool,
     deleted: bool,
     activity: f64,
+    /// Literal block distance (glue) at learning time, refreshed downward
+    /// whenever the clause participates in conflict analysis. Zero for
+    /// problem clauses (never consulted).
+    lbd: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -144,6 +224,19 @@ pub struct SatSolver {
     seen: Vec<bool>,
     qhead: usize,
     num_learnts: usize,
+    /// `stats.conflicts` at the last LBD-scheduled reduction.
+    conflicts_at_reduce: u64,
+    /// Clause count that triggers the next inprocessing pass.
+    inprocess_at: usize,
+    /// Watermark into the level-0 trail: literals below it are already
+    /// present as units in the proof stream (input units, probe/learnt
+    /// unit lemmas, or lemmas logged by `simplify`). Root-level GC must
+    /// not delete a propagated literal's reason clause before the fact
+    /// itself is preserved as a unit lemma, or later RUP checks lose it.
+    units_logged: usize,
+    /// Level-stamp scratch for LBD computation.
+    lbd_seen: Vec<u64>,
+    lbd_stamp: u64,
     /// Model snapshot from the last `Sat` answer (the trail itself is
     /// unwound to level 0 before `solve*` returns).
     model: Vec<u8>,
@@ -214,6 +307,11 @@ impl SatSolver {
             seen: Vec::new(),
             qhead: 0,
             num_learnts: 0,
+            conflicts_at_reduce: 0,
+            inprocess_at: 1,
+            units_logged: 0,
+            lbd_seen: Vec::new(),
+            lbd_stamp: 0,
             model: Vec::new(),
             conflict: Vec::new(),
             stats: SatStats::default(),
@@ -296,6 +394,18 @@ impl SatSolver {
                 _ => out.push(l),
             }
         }
+        // When level-0-false literals were stripped, the attached form
+        // differs from the logged input. Log the stripped form as a
+        // lemma too (RUP: the falsifying facts are unit-propagable from
+        // the active set), so that a later deletion — which logs the
+        // attached literals — retires this copy in the checker rather
+        // than mis-matching the original input clause.
+        if out.len() < ls.len() && !out.is_empty() {
+            let stripped: Vec<i32> = out.iter().map(|&l| lit_to_dimacs(l)).collect();
+            if let Some(pr) = self.proof.as_mut() {
+                pr.add_lemma(&stripped);
+            }
+        }
         match out.len() {
             0 => {
                 self.proof_log_empty();
@@ -311,13 +421,13 @@ impl SatSolver {
                 self.ok
             }
             _ => {
-                self.attach_clause(out, false);
+                self.attach_clause(out, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<u32>, learnt: bool) -> u32 {
+    fn attach_clause(&mut self, lits: Vec<u32>, learnt: bool, lbd: u32) -> u32 {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as u32;
         self.watches[lit_neg(lits[0]) as usize].push(Watch {
@@ -336,6 +446,7 @@ impl SatSolver {
             learnt,
             deleted: false,
             activity: 0.0,
+            lbd,
         });
         cref
     }
@@ -474,9 +585,28 @@ impl SatSolver {
         }
     }
 
+    /// Literal block distance: the number of distinct decision levels
+    /// among a clause's (currently assigned) literals.
+    fn clause_lbd(&mut self, lits: &[u32]) -> u32 {
+        self.lbd_stamp += 1;
+        let stamp = self.lbd_stamp;
+        let mut glue = 0u32;
+        for &l in lits {
+            let lvl = self.level[lit_var(l)] as usize;
+            if self.lbd_seen.len() <= lvl {
+                self.lbd_seen.resize(lvl + 1, 0);
+            }
+            if self.lbd_seen[lvl] != stamp {
+                self.lbd_seen[lvl] = stamp;
+                glue += 1;
+            }
+        }
+        glue
+    }
+
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, mut confl: u32) -> (Vec<u32>, u32) {
+    /// literal first), the backjump level, and the clause's LBD.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<u32>, u32, u32) {
         let mut learnt: Vec<u32> = vec![0]; // placeholder for the UIP
         let mut counter = 0usize;
         let mut p: Option<u32> = None;
@@ -484,6 +614,18 @@ impl SatSolver {
         loop {
             self.bump_clause(confl);
             let lits = self.clauses[confl as usize].lits.clone();
+            // A learnt clause re-used in analysis gets its glue refreshed
+            // (downward only), Glucose-style: clauses that keep proving
+            // useful at low glue are the ones reduction should protect.
+            if self.config.reduce_strategy == ReduceStrategy::Lbd
+                && self.clauses[confl as usize].learnt
+            {
+                let glue = self.clause_lbd(&lits);
+                let c = &mut self.clauses[confl as usize];
+                if glue < c.lbd {
+                    c.lbd = glue;
+                }
+            }
             for &q in &lits {
                 // Skip the literal being resolved on (by value, so the
                 // watched-literal positions are never disturbed).
@@ -501,11 +643,17 @@ impl SatSolver {
                     }
                 }
             }
-            // Find the next trail literal to resolve on.
+            // Find the next trail literal to resolve on. Only
+            // current-level literals are resolution candidates: with
+            // chronological backtracking the top trail segment can also
+            // hold out-of-order survivors stamped at lower levels, and
+            // those are already collected into the learnt tail (their
+            // seen flag stays set until the end of analysis).
             loop {
                 index -= 1;
                 let l = self.trail[index];
-                if self.seen[lit_var(l)] {
+                let v = lit_var(l);
+                if self.seen[v] && self.level[v] >= self.decision_level() {
                     p = Some(l);
                     break;
                 }
@@ -544,7 +692,8 @@ impl SatSolver {
             minimized.swap(1, max_i);
             bt = self.level[lit_var(minimized[1])];
         }
-        (minimized, bt)
+        let lbd = self.clause_lbd(&minimized);
+        (minimized, bt, lbd)
     }
 
     /// A literal is redundant if its reason clause's literals are all
@@ -566,9 +715,22 @@ impl SatSolver {
             return;
         }
         let lim = self.trail_lim[level as usize];
-        for i in (lim..self.trail.len()).rev() {
+        // Chronological backtracking stamps asserting literals with
+        // their true implication level, which can be far below the
+        // trail segment they physically occupy. A literal stamped at
+        // or below the target level is still implied there — its
+        // reason literals all sit at or below its own stamped level —
+        // so it survives the backtrack: it is compacted into the
+        // reopened segment and re-propagated, rather than unassigned
+        // and rediscovered (Nadel & Ryvchin, SAT'18).
+        let mut kept: Vec<u32> = Vec::new();
+        for i in lim..self.trail.len() {
             let l = self.trail[i];
             let v = lit_var(l);
+            if self.level[v] <= level {
+                kept.push(l);
+                continue;
+            }
             self.assigns[v] = UNDEF;
             self.reason[v] = NO_REASON;
             if self.heap_pos[v] < 0 {
@@ -576,8 +738,9 @@ impl SatSolver {
             }
         }
         self.trail.truncate(lim);
+        self.trail.extend_from_slice(&kept);
         self.trail_lim.truncate(level as usize);
-        self.qhead = self.trail.len();
+        self.qhead = lim;
     }
 
     fn decide(&mut self) -> bool {
@@ -597,49 +760,26 @@ impl SatSolver {
         false
     }
 
-    fn reduce_db(&mut self) {
-        let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
-            .filter(|&i| {
-                let c = &self.clauses[i as usize];
-                c.learnt && !c.deleted && c.lits.len() > 2
-            })
-            .collect();
-        learnt_refs.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let locked: Vec<bool> = (0..self.clauses.len() as u32)
-            .map(|cref| {
-                self.clauses[cref as usize]
-                    .lits
-                    .first()
-                    .map(|&l| self.value_lit(l) == TRUE && self.reason[lit_var(l)] == cref)
-                    .unwrap_or(false)
-            })
-            .collect();
-        let half = learnt_refs.len() / 2;
-        let mut removed = 0;
-        for &cref in &learnt_refs[..half] {
-            if !locked[cref as usize] {
-                self.clauses[cref as usize].deleted = true;
-                removed += 1;
-                if let Some(pr) = self.proof.as_mut() {
-                    let lits: Vec<i32> = self.clauses[cref as usize]
-                        .lits
-                        .iter()
-                        .map(|&l| lit_to_dimacs(l))
-                        .collect();
-                    pr.delete(&lits);
-                }
-            }
+    /// Marks a clause deleted, logging the deletion to the proof stream.
+    fn delete_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        debug_assert!(!c.deleted);
+        c.deleted = true;
+        if c.learnt {
+            self.num_learnts -= 1;
         }
-        if removed == 0 {
-            return;
+        if let Some(pr) = self.proof.as_mut() {
+            let lits: Vec<i32> = self.clauses[cref as usize]
+                .lits
+                .iter()
+                .map(|&l| lit_to_dimacs(l))
+                .collect();
+            pr.delete(&lits);
         }
-        self.num_learnts -= removed;
-        // Rebuild the watch lists.
+    }
+
+    /// Rebuilds every watch list from the (non-deleted) clause arena.
+    fn rebuild_watches(&mut self) {
         for w in &mut self.watches {
             w.clear();
         }
@@ -652,6 +792,351 @@ impl SatSolver {
             self.watches[lit_neg(l0) as usize].push(Watch { cref, blocker: l1 });
             self.watches[lit_neg(l1) as usize].push(Watch { cref, blocker: l0 });
         }
+    }
+
+    fn reduce_db(&mut self) {
+        self.stats.db_reductions += 1;
+        let mut learnt_refs: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                // Binary clauses are always kept; under the LBD policy,
+                // low-glue ("glue clauses" proper) are protected too.
+                c.learnt
+                    && !c.deleted
+                    && c.lits.len() > 2
+                    && (self.config.reduce_strategy == ReduceStrategy::Activity || c.lbd > 2)
+            })
+            .collect();
+        // Worst candidates first.
+        match self.config.reduce_strategy {
+            ReduceStrategy::Activity => learnt_refs.sort_by(|&a, &b| {
+                self.clauses[a as usize]
+                    .activity
+                    .partial_cmp(&self.clauses[b as usize].activity)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }),
+            ReduceStrategy::Lbd => learnt_refs.sort_by(|&a, &b| {
+                let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+                cb.lbd.cmp(&ca.lbd).then(
+                    ca.activity
+                        .partial_cmp(&cb.activity)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+            }),
+        }
+        let locked: Vec<bool> = (0..self.clauses.len() as u32)
+            .map(|cref| {
+                self.clauses[cref as usize]
+                    .lits
+                    .first()
+                    .map(|&l| self.value_lit(l) == TRUE && self.reason[lit_var(l)] == cref)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let half = learnt_refs.len() / 2;
+        let mut removed = 0u64;
+        for &cref in &learnt_refs[..half] {
+            if !locked[cref as usize] {
+                self.delete_clause(cref);
+                removed += 1;
+            }
+        }
+        self.stats.learnts_removed += removed;
+        if removed == 0 {
+            return;
+        }
+        self.rebuild_watches();
+    }
+
+    /// Root-level garbage collection: removes every clause satisfied by
+    /// the level-0 trail (with a DRAT `delete` record each) and compacts
+    /// the clause arena, dropping tombstones left by earlier reductions.
+    /// This is the scope-GC hook — after the SMT layer retires a scope's
+    /// activation literal with a unit `¬act`, every clause guarded by
+    /// that scope is satisfied at level 0 and reclaimed here. Returns the
+    /// number of satisfied clauses deleted.
+    ///
+    /// Must be called at decision level 0. Safe to call between `solve*`
+    /// calls: level-0 reasons are never dereferenced (conflict analysis
+    /// stops at level 0), so they are cleared and the arena is free to
+    /// move.
+    pub fn simplify(&mut self) -> u64 {
+        if !self.ok {
+            return 0;
+        }
+        debug_assert_eq!(self.decision_level(), 0, "simplify above level 0");
+        if self.qhead < self.trail.len() && self.propagate().is_some() {
+            self.proof_log_empty();
+            self.ok = false;
+            return 0;
+        }
+        // Level-0 facts derived by propagation exist only through their
+        // reason clauses, which are satisfied at level 0 and about to be
+        // deleted. Preserve each new fact as a unit lemma (trivially RUP:
+        // the checker's propagation re-derives it from the still-active
+        // reason chain) before the chain is torn down. Facts enqueued
+        // with no reason are already units in the stream.
+        for i in self.units_logged..self.trail.len() {
+            let l = self.trail[i];
+            if self.reason[lit_var(l)] == NO_REASON {
+                continue;
+            }
+            let d = lit_to_dimacs(l);
+            if let Some(pr) = self.proof.as_mut() {
+                pr.add_lemma(&[d]);
+            }
+        }
+        self.units_logged = self.trail.len();
+        for &l in &self.trail {
+            self.reason[lit_var(l)] = NO_REASON;
+        }
+        let old = std::mem::take(&mut self.clauses);
+        let mut kept: Vec<Clause> = Vec::with_capacity(old.len());
+        let mut removed = 0u64;
+        let mut pending_deletes: Vec<Vec<i32>> = Vec::new();
+        for c in old {
+            if c.deleted {
+                continue; // tombstone: already logged at deletion time
+            }
+            if c.lits.iter().any(|&l| self.value_lit(l) == TRUE) {
+                removed += 1;
+                if self.proof.is_some() {
+                    pending_deletes.push(c.lits.iter().map(|&l| lit_to_dimacs(l)).collect());
+                }
+                continue;
+            }
+            kept.push(c);
+        }
+        if let Some(pr) = self.proof.as_mut() {
+            for lits in &pending_deletes {
+                pr.delete(lits);
+            }
+        }
+        self.num_learnts = kept.iter().filter(|c| c.learnt).count();
+        self.clauses = kept;
+        self.rebuild_watches();
+        self.stats.gc_clauses += removed;
+        removed
+    }
+
+    /// Root-level inprocessing: garbage-collect satisfied clauses, then
+    /// run bounded subsumption / self-subsuming resolution and
+    /// failed-literal probing. All derived facts are DRAT-logged in
+    /// derivation order, so proofs stay checkable.
+    fn inprocess(&mut self) {
+        self.simplify();
+        if !self.ok {
+            return;
+        }
+        self.subsume_pass();
+        if !self.ok {
+            return;
+        }
+        self.probe_pass();
+    }
+
+    /// Bounded backward subsumption and self-subsuming resolution
+    /// (SatELite-style): for each small clause `C`, scan the occurrence
+    /// list of its rarest literal for clauses `D` that `C` subsumes
+    /// outright (delete `D`) or subsumes modulo one flipped literal
+    /// (strengthen `D` by resolving that literal away). The strengthened
+    /// clause is RUP from `C` and `D`, so it is logged as a lemma before
+    /// `D`'s deletion.
+    fn subsume_pass(&mut self) {
+        const SUBSUMER_MAX_LEN: usize = 16;
+        // Literal-visit budget: keeps the pass linear-ish on the big
+        // bit-blasted instances.
+        let mut budget: u64 = 2_000_000;
+        // Occurrence lists are per *variable* (either polarity), so a
+        // scan finds both subsumption and self-subsumption partners.
+        let nvars = self.assigns.len();
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); nvars];
+        let mut sig: Vec<u64> = Vec::with_capacity(self.clauses.len());
+        for (i, c) in self.clauses.iter().enumerate() {
+            let mut s = 0u64;
+            if !c.deleted {
+                for &l in &c.lits {
+                    occ[lit_var(l)].push(i as u32);
+                    s |= 1u64 << (lit_var(l) % 64);
+                }
+            }
+            sig.push(s);
+        }
+        let mut mark: Vec<u8> = vec![0; self.watches.len()];
+        let mut pending_units: Vec<u32> = Vec::new();
+        let n = self.clauses.len();
+        'subsumers: for i in 0..n {
+            if budget == 0 {
+                break;
+            }
+            let c = &self.clauses[i];
+            if c.deleted || c.lits.len() > SUBSUMER_MAX_LEN {
+                continue;
+            }
+            let clits = c.lits.clone();
+            let csig = sig[i];
+            let pv = lit_var(
+                *clits
+                    .iter()
+                    .min_by_key(|&&l| occ[lit_var(l)].len())
+                    .unwrap(),
+            );
+            // Indexed: the body deletes clauses through `&mut self`, so
+            // holding an iterator over `occ[pv]` would alias the borrow.
+            #[allow(clippy::needless_range_loop)]
+            for idx in 0..occ[pv].len() {
+                if budget == 0 {
+                    continue 'subsumers;
+                }
+                let d = occ[pv][idx] as usize;
+                if d == i {
+                    continue;
+                }
+                let dc = &self.clauses[d];
+                if dc.deleted || dc.lits.len() < clits.len() || csig & !sig[d] != 0 {
+                    continue;
+                }
+                budget = budget.saturating_sub(dc.lits.len() as u64 + clits.len() as u64);
+                for &l in &dc.lits {
+                    mark[l as usize] = 1;
+                }
+                // Does C subsume D, possibly modulo one flipped literal?
+                let mut flipped: Option<u32> = None;
+                let mut ok = true;
+                for &l in &clits {
+                    if mark[l as usize] == 1 {
+                        continue;
+                    }
+                    if mark[lit_neg(l) as usize] == 1 && flipped.is_none() {
+                        flipped = Some(l);
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                }
+                for &l in &self.clauses[d].lits {
+                    mark[l as usize] = 0;
+                }
+                if !ok {
+                    continue;
+                }
+                match flipped {
+                    None => {
+                        self.delete_clause(d as u32);
+                        self.stats.subsumed += 1;
+                    }
+                    Some(l) => {
+                        // Self-subsuming resolution: D := D \ {¬l}.
+                        let nl = lit_neg(l);
+                        let new_lits: Vec<u32> = self.clauses[d]
+                            .lits
+                            .iter()
+                            .copied()
+                            .filter(|&q| q != nl)
+                            .collect();
+                        if let Some(pr) = self.proof.as_mut() {
+                            let lemma: Vec<i32> =
+                                new_lits.iter().map(|&q| lit_to_dimacs(q)).collect();
+                            pr.add_lemma(&lemma);
+                        }
+                        let learnt = self.clauses[d].learnt;
+                        let activity = self.clauses[d].activity;
+                        let lbd = self.clauses[d].lbd.min(new_lits.len() as u32);
+                        self.delete_clause(d as u32);
+                        self.stats.strengthened += 1;
+                        if new_lits.len() == 1 {
+                            // Enqueued after the watch rebuild below, so
+                            // propagation never runs over stale watches.
+                            pending_units.push(new_lits[0]);
+                        } else {
+                            let cref = self.attach_clause(new_lits, learnt, lbd);
+                            self.clauses[cref as usize].activity = activity;
+                            sig.push(sig[d]);
+                        }
+                    }
+                }
+            }
+        }
+        // Deletions and additions above invalidated the watch lists
+        // (attach pushed watches while deleted clauses kept theirs):
+        // rebuild, then flush any strengthened-to-unit facts.
+        self.rebuild_watches();
+        for u in pending_units {
+            match self.value_lit(u) {
+                TRUE => {}
+                FALSE => {
+                    self.proof_log_empty();
+                    self.ok = false;
+                    return;
+                }
+                _ => self.enqueue(u, NO_REASON),
+            }
+        }
+        if self.propagate().is_some() {
+            self.proof_log_empty();
+            self.ok = false;
+        }
+    }
+
+    /// Bounded failed-literal probing at the root: assume a candidate
+    /// literal, propagate, and if that conflicts, learn its negation as a
+    /// unit (which is RUP: asserting the literal unit-propagates to the
+    /// observed conflict). Candidates are literals occurring in binary
+    /// clauses, where a probe actually propagates something.
+    fn probe_pass(&mut self) {
+        const PROBE_MAX: usize = 256;
+        const PROP_BUDGET: u64 = 200_000;
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut cand: Vec<u32> = Vec::new();
+        let mut cand_seen: Vec<bool> = vec![false; self.watches.len()];
+        'collect: for c in &self.clauses {
+            if c.deleted || c.lits.len() != 2 {
+                continue;
+            }
+            for &l in &c.lits {
+                // Probe the negation: falsifying one side of a binary
+                // clause is guaranteed to propagate the other.
+                let probe = lit_neg(l);
+                if !cand_seen[probe as usize] {
+                    cand_seen[probe as usize] = true;
+                    cand.push(probe);
+                    if cand.len() >= PROBE_MAX {
+                        break 'collect;
+                    }
+                }
+            }
+        }
+        // Probes must not disturb saved phases: a probe assignment says
+        // nothing about where a solution lies.
+        let saved_phase_saving = self.config.phase_saving;
+        self.config.phase_saving = false;
+        let prop_floor = self.stats.propagations;
+        for p in cand {
+            if self.stats.propagations - prop_floor > PROP_BUDGET {
+                break;
+            }
+            if self.value_lit(p) != UNDEF {
+                continue;
+            }
+            self.stats.probed_literals += 1;
+            self.trail_lim.push(self.trail.len());
+            self.enqueue(p, NO_REASON);
+            let confl = self.propagate();
+            self.backtrack_to(0);
+            if confl.is_some() {
+                if let Some(pr) = self.proof.as_mut() {
+                    pr.add_lemma(&[lit_to_dimacs(lit_neg(p))]);
+                }
+                self.stats.probe_units += 1;
+                self.enqueue(lit_neg(p), NO_REASON);
+                if self.propagate().is_some() {
+                    self.proof_log_empty();
+                    self.ok = false;
+                    break;
+                }
+            }
+        }
+        self.config.phase_saving = saved_phase_saving;
     }
 
     /// Runs the CDCL loop with no assumptions.
@@ -689,6 +1174,13 @@ impl SatSolver {
             self.proof_log_empty();
             self.ok = false;
             return SatOutcome::Unsat;
+        }
+        if self.config.inprocessing && self.clauses.len() >= self.inprocess_at {
+            self.inprocess();
+            if !self.ok {
+                return SatOutcome::Unsat;
+            }
+            self.inprocess_at = self.clauses.len() + (self.clauses.len() / 4).max(1000);
         }
         let mut restart_round: u64 = 0;
         let mut conflicts_since_restart: u64 = 0;
@@ -751,38 +1243,99 @@ impl SatSolver {
                         return SatOutcome::Unknown;
                     }
                 }
+                // With chronological backtracking the conflict may lie
+                // strictly below the current decision level (the clause's
+                // literals were all assigned at lower levels). Analysis
+                // counts literals at the *current* level, so first drop
+                // to the conflict's own level.
+                let confl_level = self.clauses[confl as usize]
+                    .lits
+                    .iter()
+                    .map(|&l| self.level[lit_var(l)])
+                    .max()
+                    .unwrap_or(0);
+                if confl_level < self.decision_level() {
+                    self.backtrack_to(confl_level);
+                }
                 if self.decision_level() == 0 {
                     self.proof_log_empty();
                     self.ok = false;
                     return SatOutcome::Unsat;
                 }
-                let (learnt, bt) = self.analyze(confl);
+                let (learnt, bt, lbd) = self.analyze(confl);
                 if let Some(pr) = self.proof.as_mut() {
                     let lemma: Vec<i32> = learnt.iter().map(|&l| lit_to_dimacs(l)).collect();
                     pr.add_lemma(&lemma);
                 }
-                self.backtrack_to(bt);
+                // Chronological backtracking: when the backjump would
+                // discard a deep stretch of (likely still useful) levels,
+                // step back a single level instead. The asserting literal
+                // is implied there all the same. Unit lemmas always go to
+                // the root: they are enqueued without a reason clause and
+                // must not be mistaken for decisions at a nonzero level.
+                let target = if self.config.chrono_backtrack
+                    && learnt.len() > 1
+                    && self.decision_level() - bt > self.config.chrono_distance
+                {
+                    self.stats.chrono_backtracks += 1;
+                    self.decision_level() - 1
+                } else {
+                    bt
+                };
+                self.backtrack_to(target);
                 if learnt.len() == 1 {
                     self.enqueue(learnt[0], NO_REASON);
                 } else {
                     let asserting = learnt[0];
-                    let cref = self.attach_clause(learnt, true);
+                    let cref = self.attach_clause(learnt, true, lbd);
                     self.bump_clause(cref);
                     self.enqueue(asserting, cref);
+                    // The asserting literal is implied at `bt` no matter
+                    // how far we actually backtracked. After a
+                    // chronological (one-level) step, `enqueue` stamped
+                    // it with the inflated current level; correct it, or
+                    // every later analysis, LBD, and backjump computed
+                    // through this variable inherits the inflation and
+                    // the search degenerates into cheap going-nowhere
+                    // conflicts. The machinery downstream knows about
+                    // the resulting out-of-order trail: `backtrack_to`
+                    // keeps survivors stamped at or below its target,
+                    // and `analyze` only resolves on current-level
+                    // literals when walking the top segment.
+                    self.level[lit_var(asserting)] = bt;
                 }
                 self.var_inc /= self.config.var_decay;
                 self.cla_inc /= self.config.clause_decay;
             } else {
                 // No conflict.
-                if conflicts_since_restart >= luby(restart_round) * self.config.restart_base {
+                if self.config.restarts
+                    && conflicts_since_restart >= luby(restart_round) * self.config.restart_base
+                {
                     restart_round += 1;
                     conflicts_since_restart = 0;
                     self.stats.restarts += 1;
                     self.backtrack_to(0);
                 }
-                if self.num_learnts as f64 >= max_learnts {
-                    max_learnts *= 1.5;
-                    self.reduce_db();
+                match self.config.reduce_strategy {
+                    ReduceStrategy::Activity => {
+                        if self.num_learnts as f64 >= max_learnts {
+                            max_learnts *= 1.5;
+                            self.reduce_db();
+                        }
+                    }
+                    ReduceStrategy::Lbd => {
+                        // Glucose-style schedule: reductions come on a
+                        // conflict count that persists across solve calls,
+                        // each one pushing the next further out — an
+                        // incremental solver keeps shedding clauses
+                        // instead of hoarding its history.
+                        let due = self.config.reduce_base
+                            + self.config.reduce_incr * self.stats.db_reductions;
+                        if self.stats.conflicts - self.conflicts_at_reduce >= due {
+                            self.conflicts_at_reduce = self.stats.conflicts;
+                            self.reduce_db();
+                        }
+                    }
                 }
                 match self.pick_branch(&assumps) {
                     Branch::Decided => {}
@@ -908,6 +1461,12 @@ impl SatSolver {
     /// assumptions (every later `solve*` call returns `Unsat`).
     pub fn is_ok(&self) -> bool {
         self.ok
+    }
+
+    /// Adjusts the per-call conflict budget of a live solver (used by the
+    /// SMT layer's budget escalation on `Unknown`).
+    pub fn set_max_conflicts(&mut self, budget: Option<u64>) {
+        self.config.max_conflicts = budget;
     }
 
     // ------------------------------------------------------------------
@@ -1246,6 +1805,124 @@ mod tests {
             }
         }
         assert_eq!(s.solve(), SatOutcome::Unknown);
+    }
+
+    /// Pigeonhole clauses guarded by an activation literal.
+    fn add_guarded_pigeonhole(s: &mut SatSolver, n: i32, m: i32, act: i32) {
+        let v = |i: i32, j: i32| i * m + j + 1;
+        for i in 0..n {
+            let mut c: Vec<i32> = (0..m).map(|j| v(i, j)).collect();
+            c.push(-act);
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause(&[-v(a, j), -v(b, j), -act]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_reclaims_activation_dead_clauses() {
+        let n = 6i32;
+        let m = 5i32;
+        let act = n * m + 1;
+        let mut s = SatSolver::new();
+        add_guarded_pigeonhole(&mut s, n, m, act);
+        let input_clauses = s.num_clauses();
+        assert_eq!(s.solve_with_assumptions(&[act]), SatOutcome::Unsat);
+        assert!(s.num_learnt_clauses() > 0, "expected learnt clauses");
+        // Retire the scope: every clause contains -act and dies with it.
+        assert!(s.add_clause(&[-act]));
+        let reclaimed = s.simplify();
+        assert!(
+            reclaimed >= input_clauses as u64,
+            "reclaimed {reclaimed} of {input_clauses} input clauses"
+        );
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.num_learnt_clauses(), 0);
+        assert_eq!(s.stats.gc_clauses, reclaimed);
+        // The solver stays fully usable.
+        assert!(s.add_clause(&[1, 2]));
+        assert_eq!(s.solve(), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn strategy_and_knob_matrix_agree() {
+        // The same instances must get the same verdict under every
+        // combination of reduction strategy, restarts, and chrono.
+        for &(strategy, restarts, chrono) in &[
+            (ReduceStrategy::Activity, true, true),
+            (ReduceStrategy::Activity, false, false),
+            (ReduceStrategy::Lbd, true, false),
+            (ReduceStrategy::Lbd, false, true),
+        ] {
+            let config = SatConfig {
+                reduce_strategy: strategy,
+                restarts,
+                chrono_backtrack: chrono,
+                chrono_distance: 1, // make chrono actually fire
+                ..SatConfig::default()
+            };
+            let mut s = SatSolver::with_config(config.clone());
+            add_guarded_pigeonhole(&mut s, 6, 5, 31);
+            assert_eq!(
+                s.solve_with_assumptions(&[31]),
+                SatOutcome::Unsat,
+                "{config:?}"
+            );
+            assert_eq!(s.failed_assumptions(), &[31]);
+            assert_eq!(
+                s.solve_with_assumptions(&[-31]),
+                SatOutcome::Sat,
+                "{config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn inprocessing_subsumes_and_strengthens() {
+        let mut s = SatSolver::new();
+        assert!(s.add_clause(&[1, 2]));
+        assert!(s.add_clause(&[1, 2, 3])); // subsumed by [1, 2]
+        assert!(s.add_clause(&[-1, 2, 4])); // strengthened to [2, 4]
+        assert!(s.add_clause(&[-4, 5]));
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert!(s.stats.subsumed >= 1, "stats: {:?}", s.stats);
+        assert!(s.stats.strengthened >= 1, "stats: {:?}", s.stats);
+    }
+
+    #[test]
+    fn probing_learns_failed_literals() {
+        // Assigning 1 propagates 2, then 3, contradicting [-1, -3]:
+        // probing must learn -1. (No pair of these clauses subsumes or
+        // strengthens another, so the fact is probing's alone to find.)
+        let mut s = SatSolver::new();
+        assert!(s.add_clause(&[-1, 2]));
+        assert!(s.add_clause(&[-2, 3]));
+        assert!(s.add_clause(&[-1, -3]));
+        assert!(s.add_clause(&[1, 4, 5]));
+        assert_eq!(s.solve(), SatOutcome::Sat);
+        assert!(s.stats.probe_units >= 1, "stats: {:?}", s.stats);
+        assert!(!s.model_value(1));
+    }
+
+    #[test]
+    fn lbd_reduction_fires_on_conflict_schedule() {
+        let config = SatConfig {
+            reduce_base: 50,
+            reduce_incr: 20,
+            ..SatConfig::default()
+        };
+        let mut s = SatSolver::with_config(config);
+        add_guarded_pigeonhole(&mut s, 7, 6, 43);
+        assert_eq!(s.solve_with_assumptions(&[43]), SatOutcome::Unsat);
+        assert!(s.stats.db_reductions > 0, "stats: {:?}", s.stats);
+        assert!(s.stats.learnts_removed > 0, "stats: {:?}", s.stats);
+        // Reduction must not have damaged soundness.
+        assert_eq!(s.solve_with_assumptions(&[-43]), SatOutcome::Sat);
     }
 
     #[test]

@@ -57,6 +57,14 @@ pub struct SolverConfig {
     /// (assumption-based scopes, learnt-clause reuse). Disable to get
     /// the fresh-pipeline-per-check baseline.
     pub incremental: bool,
+    /// Garbage-collect the SAT core on every `pop`: after the scope's
+    /// activation literal is retired, clauses guarded by it are satisfied
+    /// at the root and reclaimed, so dead scopes never slow later
+    /// queries. Only meaningful in incremental mode.
+    pub scope_gc: bool,
+    /// On an `Unknown` caused by the conflict budget, retry the query
+    /// once with a 4x budget before reporting `Unknown`.
+    pub escalate_unknown: bool,
     /// Log a binary-DRAT proof stream in the CDCL core (implied by
     /// `certify`). On its own this only pays the logging cost and fills
     /// the `proof_steps`/`proof_bytes` stats.
@@ -75,6 +83,8 @@ impl Default for SolverConfig {
             skip_validation: false,
             cache: None,
             incremental: true,
+            scope_gc: true,
+            escalate_unknown: true,
             proof_log: false,
             certify: false,
         }
@@ -125,6 +135,23 @@ pub struct SolverStats {
     pub decisions: u64,
     /// Literals propagated during this call.
     pub propagations: u64,
+    /// SAT restarts during this call.
+    pub restarts: u64,
+    /// Learnt-database reductions during this call.
+    pub db_reductions: u64,
+    /// Learnt clauses deleted by reductions during this call.
+    pub learnts_removed: u64,
+    /// Clauses reclaimed by root-level GC attributed to this call
+    /// (includes scope-pop GC run since the previous call).
+    pub scope_gc_clauses: u64,
+    /// Unit facts learnt by failed-literal probing.
+    pub probe_units: u64,
+    /// Clauses removed by inprocessing subsumption.
+    pub subsumed: u64,
+    /// Clauses strengthened by self-subsuming resolution.
+    pub strengthened: u64,
+    /// Budget escalations (0 or 1: one retry with 4x conflicts).
+    pub escalations: u64,
     /// Time spent encoding (Ackermann + bit-blasting) in this call.
     pub encode_time: Duration,
     /// Time spent in Ackermann reduction alone.
@@ -177,6 +204,22 @@ pub struct SolverTotals {
     pub decisions: u64,
     /// Literals propagated.
     pub propagations: u64,
+    /// SAT restarts.
+    pub restarts: u64,
+    /// Learnt-database reductions.
+    pub db_reductions: u64,
+    /// Learnt clauses deleted by reductions.
+    pub learnts_removed: u64,
+    /// Clauses reclaimed by root-level GC (scope pops included).
+    pub scope_gc_clauses: u64,
+    /// Unit facts learnt by failed-literal probing.
+    pub probe_units: u64,
+    /// Clauses removed by inprocessing subsumption.
+    pub subsumed: u64,
+    /// Clauses strengthened by self-subsuming resolution.
+    pub strengthened: u64,
+    /// Conflict-budget escalations.
+    pub escalations: u64,
     /// Total encoding time.
     pub encode_time: Duration,
     /// Ackermann share of `encode_time`.
@@ -213,6 +256,14 @@ impl SolverTotals {
         self.conflicts += s.conflicts;
         self.decisions += s.decisions;
         self.propagations += s.propagations;
+        self.restarts += s.restarts;
+        self.db_reductions += s.db_reductions;
+        self.learnts_removed += s.learnts_removed;
+        self.scope_gc_clauses += s.scope_gc_clauses;
+        self.probe_units += s.probe_units;
+        self.subsumed += s.subsumed;
+        self.strengthened += s.strengthened;
+        self.escalations += s.escalations;
         self.encode_time += s.encode_time;
         self.ack_time += s.ack_time;
         self.bitblast_time += s.bitblast_time;
@@ -315,7 +366,11 @@ impl Solver {
 
     /// Closes the innermost scope, retracting its assertions. Already
     /// encoded clauses are permanently disabled via the scope's
-    /// activation literal; learnt clauses survive.
+    /// activation literal and — with [`SolverConfig::scope_gc`] on —
+    /// physically reclaimed right away, together with every learnt clause
+    /// derived from them (all such clauses contain the retired `¬act` and
+    /// are now satisfied at the root). Learnt clauses that do not mention
+    /// the scope survive.
     ///
     /// # Panics
     ///
@@ -324,6 +379,9 @@ impl Solver {
         let s = self.scopes.pop().expect("pop without matching push");
         if let (Some(engine), Some(act)) = (self.engine.as_mut(), s.act) {
             engine.sat.add_clause(&[-act]);
+            if self.config.scope_gc {
+                engine.sat.simplify();
+            }
         }
     }
 
@@ -417,11 +475,34 @@ impl Solver {
                 None => self.stats.cache_misses = 1,
             }
         }
-        let result = if self.config.incremental {
+        let mut result = if self.config.incremental {
             self.check_incremental(ctx, &active)
         } else {
             self.check_oneshot(ctx, &active)
         };
+        // Budget escalation: an `Unknown` under a conflict budget gets
+        // one retry at 4x before being reported. In incremental mode the
+        // retry resumes the same core (learnt clauses from the first
+        // attempt included); in oneshot mode the pipeline re-runs.
+        if matches!(result, SatResult::Unknown) && self.config.escalate_unknown {
+            if let Some(base) = self.config.sat.max_conflicts {
+                let boosted = base.saturating_mul(4);
+                self.stats.escalations = 1;
+                if self.config.incremental {
+                    if let Some(e) = self.engine.as_mut() {
+                        e.sat.set_max_conflicts(Some(boosted));
+                    }
+                    result = self.check_incremental(ctx, &active);
+                    if let Some(e) = self.engine.as_mut() {
+                        e.sat.set_max_conflicts(Some(base));
+                    }
+                } else {
+                    self.config.sat.max_conflicts = Some(boosted);
+                    result = self.check_oneshot(ctx, &active);
+                    self.config.sat.max_conflicts = Some(base);
+                }
+            }
+        }
         if let (Some(c), Some(fp)) = (cache_cfg.as_ref(), fp.as_ref()) {
             match &result {
                 SatResult::Unsat => c.insert(fp.key, CachedVerdict::Unsat),
@@ -502,8 +583,12 @@ impl Solver {
         // Congruence constraints are consequences of the UF semantics
         // alone, so they are always asserted at the base level.
         let new_constraints = engine.ack.take_new_constraints();
-        self.stats.ackermann_constraints = new_constraints.len();
-        self.stats.ack_time = encode_start.elapsed();
+        // Stats fields accumulate (`+=`) rather than assign: an escalated
+        // retry re-enters this function within the same `check`, and both
+        // attempts' work belongs to that one call.
+        self.stats.ackermann_constraints += new_constraints.len();
+        let ack_elapsed = encode_start.elapsed();
+        self.stats.ack_time += ack_elapsed;
         // 2. Bit-blast the delta. Constant-false terms blast to the
         // reserved false literal, so no special-casing is needed: a base
         // falsity yields the unit clause ¬⊤ and the solver goes
@@ -527,9 +612,10 @@ impl Solver {
             }
         }
         self.stats.cnf_vars = num_vars;
-        self.stats.cnf_clauses = new_clauses.len();
-        self.stats.encode_time = encode_start.elapsed();
-        self.stats.bitblast_time = self.stats.encode_time.saturating_sub(self.stats.ack_time);
+        self.stats.cnf_clauses += new_clauses.len();
+        let encode_elapsed = encode_start.elapsed();
+        self.stats.encode_time += encode_elapsed;
+        self.stats.bitblast_time += encode_elapsed.saturating_sub(ack_elapsed);
         if std::env::var("HK_SMT_TRACE").is_ok() {
             eprintln!(
                 "[smt] incremental delta: {} vars, +{} clauses, {} active assertions, +{} congruence ({:.1}s)",
@@ -544,17 +630,26 @@ impl Solver {
         let assumptions: Vec<Lit> = self.scopes.iter().filter_map(|s| s.act).collect();
         let solve_start = Instant::now();
         let outcome = engine.sat.solve_with_assumptions(&assumptions);
-        self.stats.solve_time = solve_start.elapsed();
+        self.stats.solve_time += solve_start.elapsed();
         // Per-call deltas are taken against the end-of-previous-check
         // snapshot, not a start-of-solve one: clause-loading and
-        // `pop`-planted units that ran between checks land here, once.
-        self.stats.conflicts = engine.sat.stats.conflicts - engine.snap.conflicts;
-        self.stats.decisions = engine.sat.stats.decisions - engine.snap.decisions;
-        self.stats.propagations = engine.sat.stats.propagations - engine.snap.propagations;
+        // `pop`-planted units (with their scope GC) that ran between
+        // checks land here, once.
+        self.stats.conflicts += engine.sat.stats.conflicts - engine.snap.conflicts;
+        self.stats.decisions += engine.sat.stats.decisions - engine.snap.decisions;
+        self.stats.propagations += engine.sat.stats.propagations - engine.snap.propagations;
+        self.stats.restarts += engine.sat.stats.restarts - engine.snap.restarts;
+        self.stats.db_reductions += engine.sat.stats.db_reductions - engine.snap.db_reductions;
+        self.stats.learnts_removed +=
+            engine.sat.stats.learnts_removed - engine.snap.learnts_removed;
+        self.stats.scope_gc_clauses += engine.sat.stats.gc_clauses - engine.snap.gc_clauses;
+        self.stats.probe_units += engine.sat.stats.probe_units - engine.snap.probe_units;
+        self.stats.subsumed += engine.sat.stats.subsumed - engine.snap.subsumed;
+        self.stats.strengthened += engine.sat.stats.strengthened - engine.snap.strengthened;
         engine.snap = engine.sat.stats;
         if let Some(pr) = engine.sat.proof() {
-            self.stats.proof_steps = pr.num_steps() - engine.proof_steps_snap;
-            self.stats.proof_bytes = pr.byte_len() as u64 - engine.proof_bytes_snap;
+            self.stats.proof_steps += pr.num_steps() - engine.proof_steps_snap;
+            self.stats.proof_bytes += pr.byte_len() as u64 - engine.proof_bytes_snap;
             engine.proof_steps_snap = pr.num_steps();
             engine.proof_bytes_snap = pr.byte_len() as u64;
         }
@@ -618,8 +713,11 @@ impl Solver {
         let mut ack = Ackermann::new();
         let rewritten: Vec<TermId> = active.iter().map(|&t| ack.rewrite(ctx, t)).collect();
         let constraints = ack.constraints.clone();
-        self.stats.ackermann_constraints = constraints.len();
-        self.stats.ack_time = encode_start.elapsed();
+        // `+=` like the incremental path: an escalated retry re-runs the
+        // whole pipeline inside the same `check`.
+        self.stats.ackermann_constraints += constraints.len();
+        let ack_elapsed = encode_start.elapsed();
+        self.stats.ack_time += ack_elapsed;
         // 2. Bit-blast.
         let mut bb = BitBlaster::new();
         let mut trivially_false = false;
@@ -644,7 +742,7 @@ impl Solver {
         let var_bool = bb.var_bool.clone();
         let (num_vars, clauses) = bb.builder.finish();
         self.stats.cnf_vars = num_vars;
-        self.stats.cnf_clauses = clauses.len();
+        self.stats.cnf_clauses += clauses.len();
         // 3. Feed the CNF to a fresh SAT core. Clause loading scales with
         // formula size, not search difficulty, so it counts toward
         // encode_time — mirroring the incremental path, where the delta
@@ -661,8 +759,9 @@ impl Solver {
                 break;
             }
         }
-        self.stats.encode_time = encode_start.elapsed();
-        self.stats.bitblast_time = self.stats.encode_time.saturating_sub(self.stats.ack_time);
+        let encode_elapsed = encode_start.elapsed();
+        self.stats.encode_time += encode_elapsed;
+        self.stats.bitblast_time += encode_elapsed.saturating_sub(ack_elapsed);
         if std::env::var("HK_SMT_TRACE").is_ok() {
             eprintln!(
                 "[smt] encoded: {} vars, {} clauses, {} assertions, {} congruence ({:.1}s)",
@@ -676,13 +775,20 @@ impl Solver {
         // 4. SAT.
         let solve_start = Instant::now();
         let outcome = if ok { sat.solve() } else { SatOutcome::Unsat };
-        self.stats.solve_time = solve_start.elapsed();
-        self.stats.conflicts = sat.stats.conflicts;
-        self.stats.decisions = sat.stats.decisions;
-        self.stats.propagations = sat.stats.propagations;
+        self.stats.solve_time += solve_start.elapsed();
+        self.stats.conflicts += sat.stats.conflicts;
+        self.stats.decisions += sat.stats.decisions;
+        self.stats.propagations += sat.stats.propagations;
+        self.stats.restarts += sat.stats.restarts;
+        self.stats.db_reductions += sat.stats.db_reductions;
+        self.stats.learnts_removed += sat.stats.learnts_removed;
+        self.stats.scope_gc_clauses += sat.stats.gc_clauses;
+        self.stats.probe_units += sat.stats.probe_units;
+        self.stats.subsumed += sat.stats.subsumed;
+        self.stats.strengthened += sat.stats.strengthened;
         if let Some(pr) = sat.proof() {
-            self.stats.proof_steps = pr.num_steps();
-            self.stats.proof_bytes = pr.byte_len() as u64;
+            self.stats.proof_steps += pr.num_steps();
+            self.stats.proof_bytes += pr.byte_len() as u64;
         }
         match outcome {
             SatOutcome::Unsat => {
