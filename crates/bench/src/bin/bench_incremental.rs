@@ -23,15 +23,32 @@
 //! independent backward checker re-deriving every Unsat) — and writes
 //! per-handler overhead columns to `BENCH_PR5.json`.
 //!
+//! With `--parallel` it measures intra-query parallel solving: the
+//! fully certified incremental pipeline runs once per thread count
+//! (default 1/4/8, override with `--threads 1,2`), and per-handler
+//! verdicts, true wall-clock, and the portfolio counters (races,
+//! workers, shared clauses, cubes) go to `BENCH_PR7.json`. The run
+//! exits nonzero if any thread count changes a verdict, leaves an
+//! `UNKNOWN`, or fails to certify an Unsat answer. Detected hardware
+//! parallelism is recorded in the artifact — on a single-core host the
+//! scaling column measures overhead honestly rather than advertising a
+//! speedup the machine cannot produce.
+//!
+//! All modes report both the per-handler sum of `total_ms` (comparable
+//! across modes, immune to scheduling) and the true whole-run wall
+//! clock (`wall_ms`, what an operator actually waits).
+//!
 //! ```sh
 //! cargo run --release -p hk-bench --bin bench_incremental
 //! cargo run --release -p hk-bench --bin bench_incremental -- --certify
+//! cargo run --release -p hk-bench --bin bench_incremental -- --parallel
 //! # CI smoke: tiny handler set, report to target/, no repo-root write
 //! cargo run --release -p hk-bench --bin bench_incremental -- --smoke
 //! cargo run --release -p hk-bench --bin bench_incremental -- --smoke --certify
+//! cargo run --release -p hk-bench --bin bench_incremental -- --smoke --parallel --threads 1,2
 //! ```
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hk_abi::{KernelParams, Sysno};
 use hk_core::{verify_image, HandlerReport, VerifyConfig};
@@ -100,6 +117,12 @@ struct Measurement {
     proof_steps: u64,
     proof_bytes: u64,
     check_time: Duration,
+    races: u64,
+    race_workers: u64,
+    clauses_exported: u64,
+    clauses_imported: u64,
+    cubes_total: u64,
+    cubes_solved: u64,
 }
 
 fn measure(report: &HandlerReport) -> Measurement {
@@ -126,6 +149,12 @@ fn measure(report: &HandlerReport) -> Measurement {
         proof_steps: report.phases.proof_steps,
         proof_bytes: report.phases.proof_bytes,
         check_time: report.phases.proof_check_time,
+        races: report.phases.races,
+        race_workers: report.phases.race_workers,
+        clauses_exported: report.phases.clauses_exported,
+        clauses_imported: report.phases.clauses_imported,
+        cubes_total: report.phases.cubes_total,
+        cubes_solved: report.phases.cubes_solved,
     }
 }
 
@@ -136,10 +165,11 @@ fn run(
     incremental: bool,
     proof_log: bool,
     certify: bool,
-) -> Vec<Measurement> {
+    threads: usize,
+) -> (Vec<Measurement>, Duration) {
     let mut config = VerifyConfig {
         params,
-        threads: 1,
+        threads,
         only: handlers.to_vec(),
         ..VerifyConfig::default()
     };
@@ -148,8 +178,10 @@ fn run(
     config.solver.certify = certify;
     config.solver.sat.max_conflicts = Some(MAX_CONFLICTS);
     config.solver.sat.max_solve_ms = Some(MAX_SOLVE_MS);
+    let wall = Instant::now();
     let report = verify_image(image, &config);
-    report.handlers.iter().map(measure).collect()
+    let wall = wall.elapsed();
+    (report.handlers.iter().map(measure).collect(), wall)
 }
 
 fn ms(d: Duration) -> f64 {
@@ -236,10 +268,10 @@ fn run_certify_bench(
         "proof-machinery benchmark over {} handler(s), cold cache\n",
         handlers.len()
     );
-    let baseline = run(image, params, handlers, true, false, false);
-    let disabled = run(image, params, handlers, true, false, false);
-    let logged = run(image, params, handlers, true, true, false);
-    let certified = run(image, params, handlers, true, false, true);
+    let (baseline, b_wall) = run(image, params, handlers, true, false, false, 1);
+    let (disabled, _) = run(image, params, handlers, true, false, false, 1);
+    let (logged, _) = run(image, params, handlers, true, true, false, 1);
+    let (certified, c_wall) = run(image, params, handlers, true, false, true, 1);
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "handler", "base", "disabled", "log", "certify", "log %", "cert %"
@@ -291,7 +323,8 @@ fn run_certify_bench(
     json.push_str(&format!(
         "  }},\n  \"aggregate\": {{\n    \"baseline_total_ms\": {b_tot:.3},\n    \
          \"disabled_total_ms\": {d_tot:.3},\n    \"proof_log_total_ms\": {l_tot:.3},\n    \
-         \"certify_total_ms\": {c_tot:.3},\n    \"disabled_delta_pct\": {disabled_pct:.3},\n    \
+         \"certify_total_ms\": {c_tot:.3},\n    \"baseline_wall_ms\": {bw:.3},\n    \
+         \"certify_wall_ms\": {cw:.3},\n    \"disabled_delta_pct\": {disabled_pct:.3},\n    \
          \"proof_log_overhead_pct\": {log_pct:.3},\n    \"certify_overhead_pct\": {cert_pct:.3},\n    \
          \"unsat_queries\": {},\n    \"certified_unsat\": {},\n    \"proofs_checked\": {},\n    \
          \"proof_steps\": {},\n    \"proof_bytes\": {},\n    \"check_time_ms\": {check_ms:.3}\n  }},\n  \
@@ -302,7 +335,9 @@ fn run_certify_bench(
         sum(&|m| m.proofs_checked),
         sum(&|m| m.proof_steps),
         sum(&|m| m.proof_bytes),
-        handlers.len()
+        handlers.len(),
+        bw = ms(b_wall),
+        cw = ms(c_wall)
     ));
     println!(
         "\naggregate total: {b_tot:.1}ms baseline, {d_tot:.1}ms disabled repeat \
@@ -326,10 +361,172 @@ fn run_certify_bench(
     }
 }
 
+/// The `--parallel` axis: the fully certified incremental pipeline, run
+/// once per thread count. Handler-level workers and query-level
+/// portfolio racing share one `CoreBudget`, so `threads` is the only
+/// knob. Hard failures: a verdict that changes with the thread count, a
+/// surviving `UNKNOWN`, or an Unsat answer that did not certify.
+fn run_parallel_bench(
+    image: &KernelImage,
+    params: KernelParams,
+    handlers: &[Sysno],
+    thread_counts: &[usize],
+    out_path: &std::path::Path,
+    smoke: bool,
+) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "parallel-solving benchmark over {} handler(s), certified, cold cache, \
+         {cores} hardware thread(s) detected\n",
+        handlers.len()
+    );
+    if cores < thread_counts.iter().copied().max().unwrap_or(1) {
+        println!(
+            "note: thread counts above {cores} measure oversubscription overhead \
+             on this host, not speedup\n"
+        );
+    }
+    let mut rows: Vec<(usize, Vec<Measurement>, Duration)> = Vec::new();
+    for &t in thread_counts {
+        let (m, wall) = run(image, params, handlers, true, false, true, t);
+        println!(
+            "threads={t}: wall {:.1}ms, handler-sum {:.1}ms",
+            ms(wall),
+            m.iter().map(|x| ms(x.total)).sum::<f64>()
+        );
+        rows.push((t, m, wall));
+    }
+    println!(
+        "\n{:<18} {}",
+        "handler",
+        thread_counts
+            .iter()
+            .map(|t| format!("{:>12}", format!("t={t}")))
+            .collect::<String>()
+    );
+    let base = &rows[0];
+    let mut failed = false;
+    for (i, b) in base.1.iter().enumerate() {
+        let cells: String = rows
+            .iter()
+            .map(|(_, m, _)| format!("{:>10.1}ms", ms(m[i].total)))
+            .collect();
+        println!("{:<18} {cells}", b.name);
+        for (t, m, _) in &rows {
+            let p = &m[i];
+            assert_eq!(p.name, b.name);
+            if p.verdict != b.verdict && p.verdict != "UNKNOWN" && b.verdict != "UNKNOWN" {
+                // A Sat<->Unsat flip under racing is a soundness bug.
+                eprintln!(
+                    "FAIL: threads={t} changed the verdict for {}: {} vs {}",
+                    b.name, b.verdict, p.verdict
+                );
+                failed = true;
+            }
+            if p.verdict == "UNKNOWN" || b.verdict == "UNKNOWN" {
+                // The per-call wall budget is real time: a thread count
+                // the hardware cannot actually run divides the core and
+                // can time out a query that fits sequentially. That is
+                // an oversubscription artifact, same as the budget
+                // tolerance in the other modes — but within the
+                // hardware's parallelism it is a real regression.
+                if *t <= cores && p.verdict == "UNKNOWN" {
+                    eprintln!("FAIL: {} UNKNOWN at threads={t} ({cores} cores)", b.name);
+                    failed = true;
+                } else {
+                    println!(
+                        "note: {} hit a budget in one run ({} at t={}, {} at t={t})",
+                        b.name, b.verdict, base.0, p.verdict
+                    );
+                }
+            }
+            if p.certified_unsat != p.unsat_queries {
+                eprintln!(
+                    "FAIL: {} certified only {}/{} unsat answers at threads={t}",
+                    b.name, p.certified_unsat, p.unsat_queries
+                );
+                failed = true;
+            }
+        }
+    }
+    let mut json = String::from("{\n  \"threads\": {\n");
+    for (r, (t, m, wall)) in rows.iter().enumerate() {
+        json.push_str(&format!("    \"{t}\": {{\n      \"handlers\": {{\n"));
+        for (i, p) in m.iter().enumerate() {
+            json.push_str(&format!(
+                "        \"{}\": {{\"total_ms\": {:.3}, \"solve_ms\": {:.3}, \
+                 \"verdict\": \"{}\", \"races\": {}, \"race_workers\": {}, \
+                 \"clauses_exported\": {}, \"clauses_imported\": {}, \
+                 \"cubes_total\": {}, \"cubes_solved\": {}, \
+                 \"unsat_queries\": {}, \"certified_unsat\": {}}}{}\n",
+                p.name,
+                ms(p.total),
+                ms(p.solve),
+                p.verdict,
+                p.races,
+                p.race_workers,
+                p.clauses_exported,
+                p.clauses_imported,
+                p.cubes_total,
+                p.cubes_solved,
+                p.unsat_queries,
+                p.certified_unsat,
+                if i + 1 < m.len() { "," } else { "" }
+            ));
+        }
+        let sum_ms: f64 = m.iter().map(|x| ms(x.total)).sum();
+        let races: u64 = m.iter().map(|x| x.races).sum();
+        let cubes: u64 = m.iter().map(|x| x.cubes_solved).sum();
+        let shared: u64 = m.iter().map(|x| x.clauses_imported).sum();
+        json.push_str(&format!(
+            "      }},\n      \"wall_ms\": {:.3},\n      \"handler_sum_ms\": {sum_ms:.3},\n      \
+             \"speedup_vs_t1\": {:.3},\n      \"races\": {races},\n      \
+             \"clauses_imported\": {shared},\n      \"cubes_solved\": {cubes}\n    }}{}\n",
+            ms(*wall),
+            ms(base.2) / ms(*wall).max(1e-6),
+            if r + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  }},\n  \"config\": {{\"smoke\": {smoke}, \"handlers\": {}, \"certify\": true, \
+         \"incremental\": true, \"cores_detected\": {cores}, \
+         \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}}}\n}}\n",
+        handlers.len()
+    ));
+    std::fs::write(out_path, &json).expect("write benchmark artifact");
+    let best = rows
+        .iter()
+        .map(|(t, _, w)| (*t, ms(base.2) / ms(*w).max(1e-6)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    println!(
+        "\nbest wall-clock scaling: {:.2}x at threads={} (vs threads={})",
+        best.1, best.0, base.0
+    );
+    println!("wrote {}", out_path.display());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let certify_mode = args.iter().any(|a| a == "--certify");
+    let parallel_mode = args.iter().any(|a| a == "--parallel");
+    // --threads 1,2,4 overrides the parallel-mode scaling ladder.
+    let thread_counts: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .map(|n| n.parse().expect("bad --threads value"))
+                .collect()
+        })
+        .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 4, 8] });
     // --only sys_a,sys_b restricts the handler set (for probing one
     // handler's cost without running the whole table).
     let only: Option<Vec<Sysno>> = args
@@ -354,6 +551,16 @@ fn main() {
         None => &FIG7_HANDLERS,
     };
     let image = KernelImage::build(params).expect("kernel build");
+    if parallel_mode {
+        let out = if smoke || only.is_some() {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/BENCH_PR7_smoke.json")
+        } else {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json")
+        };
+        run_parallel_bench(&image, params, handlers, &thread_counts, &out, smoke);
+        return;
+    }
     if certify_mode {
         let out = if smoke || only.is_some() {
             std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -370,8 +577,8 @@ fn main() {
     );
     // Incremental first: it is the fast side, so progress shows early
     // and a hung baseline handler is obvious from the trace.
-    let incremental = run(&image, params, handlers, true, false, false);
-    let oneshot = run(&image, params, handlers, false, false, false);
+    let (incremental, n_wall) = run(&image, params, handlers, true, false, false, 1);
+    let (oneshot, o_wall) = run(&image, params, handlers, false, false, false, 1);
     println!(
         "{:<18} {:>12} {:>12} {:>12} {:>12} {:>9}",
         "handler", "1shot enc", "incr enc", "1shot slv", "incr slv", "enc x"
@@ -425,10 +632,13 @@ fn main() {
         "  }},\n  \"aggregate\": {{\n    \"oneshot_encode_ms\": {o_enc:.3},\n    \
          \"incremental_encode_ms\": {n_enc:.3},\n    \"encode_speedup\": {speedup:.3},\n    \
          \"oneshot_solve_ms\": {o_slv:.3},\n    \"incremental_solve_ms\": {n_slv:.3},\n    \
-         \"oneshot_total_ms\": {o_tot:.3},\n    \"incremental_total_ms\": {n_tot:.3}\n  }},\n  \
+         \"oneshot_total_ms\": {o_tot:.3},\n    \"incremental_total_ms\": {n_tot:.3},\n    \
+         \"oneshot_wall_ms\": {ow:.3},\n    \"incremental_wall_ms\": {nw:.3}\n  }},\n  \
          \"config\": {{\"smoke\": {smoke}, \"handlers\": {}, \"threads\": 1, \
          \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}}}\n}}\n",
-        handlers.len()
+        handlers.len(),
+        ow = ms(o_wall),
+        nw = ms(n_wall)
     ));
     println!(
         "\naggregate encode: {o_enc:.1}ms oneshot vs {n_enc:.1}ms incremental ({speedup:.2}x)"

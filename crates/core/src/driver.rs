@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use hk_abi::{KernelParams, Sysno};
 use hk_kernel::KernelImage;
-use hk_smt::{CacheStats, QueryCache, SolverConfig};
+use hk_smt::{CacheStats, CoreBudget, QueryCache, SolverConfig};
 use hk_spec::shapes_of;
 use hk_symx::SymxConfig;
 
@@ -210,6 +210,20 @@ impl VerifyReport {
                 check.as_secs_f64()
             );
         }
+        let races: u64 = self.handlers.iter().map(|h| h.phases.races).sum();
+        if races > 0 {
+            let workers: u64 = self.handlers.iter().map(|h| h.phases.race_workers).sum();
+            let shared: u64 = self
+                .handlers
+                .iter()
+                .map(|h| h.phases.clauses_imported)
+                .sum();
+            let cubes: u64 = self.handlers.iter().map(|h| h.phases.cubes_solved).sum();
+            let _ = writeln!(
+                out,
+                "portfolio: {races} races across {workers} workers, {shared} clauses imported, {cubes} cubes solved"
+            );
+        }
         out
     }
 
@@ -229,6 +243,11 @@ impl VerifyReport {
     ///   "sat": { "restarts": 40, "db_reductions": 3, "learnts_removed": 1200,
     ///            "scope_gc_clauses": 800, "probe_units": 12, "subsumed": 30,
     ///            "strengthened": 9, "escalations": 0 },
+    ///   "parallel": { "races": 2, "race_workers": 7,
+    ///                 "wins": { "base": 1, "flip-reduce": 0, "invert-phase": 1,
+    ///                           "no-restarts": 0, "cube": 0 },
+    ///                 "clauses_exported": 310, "clauses_imported": 280,
+    ///                 "cubes_total": 8, "cubes_solved": 8 },
     ///   "handlers": [
     ///     { "name": "sys_dup", "trap": 23, "verdict": "verified", "detail": null,
     ///       "paths": 4, "side_checks": 9, "cnf_clauses": 1042, "conflicts": 3,
@@ -323,6 +342,50 @@ impl VerifyReport {
              \"strengthened\": {}, \"escalations\": {} }},",
             sat[0], sat[1], sat[2], sat[3], sat[4], sat[5], sat[6], sat[7]
         );
+        let par = self.handlers.iter().fold(
+            (
+                0u64,
+                0u64,
+                [0u64; hk_smt::STRATEGY_NAMES.len()],
+                0u64,
+                0u64,
+                0u64,
+                0u64,
+            ),
+            |(r, w, mut wins, ex, im, ct, cs), h| {
+                let p = &h.phases;
+                for (t, v) in wins.iter_mut().zip(p.race_wins.iter()) {
+                    *t += v;
+                }
+                (
+                    r + p.races,
+                    w + p.race_workers,
+                    wins,
+                    ex + p.clauses_exported,
+                    im + p.clauses_imported,
+                    ct + p.cubes_total,
+                    cs + p.cubes_solved,
+                )
+            },
+        );
+        let wins_json: Vec<String> = hk_smt::STRATEGY_NAMES
+            .iter()
+            .zip(par.2.iter())
+            .map(|(n, w)| format!("\"{n}\": {w}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  \"parallel\": {{ \"races\": {}, \"race_workers\": {}, \"wins\": {{ {} }}, \
+             \"clauses_exported\": {}, \"clauses_imported\": {}, \"cubes_total\": {}, \
+             \"cubes_solved\": {} }},",
+            par.0,
+            par.1,
+            wins_json.join(", "),
+            par.3,
+            par.4,
+            par.5,
+            par.6
+        );
         out.push_str("  \"handlers\": [\n");
         for (i, h) in self.handlers.iter().enumerate() {
             let (verdict, detail) = match &h.outcome {
@@ -350,7 +413,9 @@ impl VerifyReport {
                  \"check_time_s\": {:.6} }}, \
                  \"sat\": {{ \"restarts\": {}, \"db_reductions\": {}, \"learnts_removed\": {}, \
                  \"scope_gc_clauses\": {}, \"probe_units\": {}, \"subsumed\": {}, \
-                 \"strengthened\": {}, \"escalations\": {} }} }}",
+                 \"strengthened\": {}, \"escalations\": {} }}, \
+                 \"parallel\": {{ \"races\": {}, \"race_workers\": {}, \"clauses_exported\": {}, \
+                 \"clauses_imported\": {}, \"cubes_total\": {}, \"cubes_solved\": {} }} }}",
                 json_escape(h.sysno.func_name()),
                 h.sysno.number(),
                 verdict,
@@ -382,7 +447,13 @@ impl VerifyReport {
                 h.phases.probe_units,
                 h.phases.subsumed,
                 h.phases.strengthened,
-                h.phases.escalations
+                h.phases.escalations,
+                h.phases.races,
+                h.phases.race_workers,
+                h.phases.clauses_exported,
+                h.phases.clauses_imported,
+                h.phases.cubes_total,
+                h.phases.cubes_solved
             );
             out.push_str(if i + 1 < self.handlers.len() {
                 ",\n"
@@ -443,6 +514,25 @@ fn emit_finished(
         side_checks: report.side_checks,
         phases: Box::new(report.phases),
     });
+    if report.phases.races > 0 {
+        // Reported only when the handler actually raced: whether a
+        // query races depends on spare budget capacity at the moment it
+        // runs, so this event is timing-dependent by design and stays
+        // out of determinism comparisons (the verdicts above do not).
+        let p = &report.phases;
+        events.emit(&VerifyEvent::PortfolioStarted {
+            sysno: report.sysno,
+            index,
+            total,
+            races: p.races,
+            workers: p.race_workers,
+            wins: p.race_wins,
+            clauses_exported: p.clauses_exported,
+            clauses_imported: p.clauses_imported,
+            cubes_total: p.cubes_total,
+            cubes_solved: p.cubes_solved,
+        });
+    }
     if certify {
         // In certified mode every Unsat answer must have been confirmed
         // by the independent checker (or vacuously, for trivially-false
@@ -534,6 +624,16 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
     });
     let bounds = analysis.bounds;
     let handler_fn = |s: Sysno| image.handler(s);
+    // One core budget for the whole run, shared between the handler
+    // pool and intra-query portfolio racing: handler workers hold one
+    // core each while they have work and release it when their queue
+    // runs dry, so late hard queries race across the freed cores. A
+    // single-threaded run gets no budget and stays strictly sequential.
+    let budget = if config.threads > 1 {
+        Some(Arc::new(CoreBudget::new(config.threads)))
+    } else {
+        None
+    };
     let vctx = VerifyCtx {
         module: &image.module,
         shapes: &shapes,
@@ -543,6 +643,7 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
         solver: solver_config,
         symx: config.symx,
         bounds: Some(&bounds),
+        budget: budget.clone(),
     };
     let total = targets.len();
     let certify = config.solver.certify;
@@ -582,11 +683,25 @@ pub fn verify_image(image: &KernelImage, config: &VerifyConfig) -> VerifyReport 
             emitted: Vec::with_capacity(total),
             next_emit: 0,
         });
+        let workers = config.threads.min(total);
+        // Handler workers occupy `workers` cores; whatever the budget
+        // has left over (threads > targets) is immediately available to
+        // query-level racing.
+        if let Some(b) = &budget {
+            let got = b.try_acquire(workers);
+            debug_assert_eq!(got, workers);
+        }
         std::thread::scope(|scope| {
-            for _ in 0..config.threads.min(total) {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
                     if i >= total {
+                        // This worker is done for good: hand its core to
+                        // the portfolio so still-running whales can race
+                        // wider.
+                        if let Some(b) = budget.as_ref() {
+                            b.release(1);
+                        }
                         break;
                     }
                     let report = verify_handler(&vctx, targets[i]);

@@ -504,20 +504,56 @@ impl QueryCache {
     // On-disk snapshot: a line-oriented text format, version-tagged.
     // ------------------------------------------------------------------
 
-    /// Writes all entries to `path` (atomically via a temp file).
+    /// Writes all entries to `path`, safely against concurrent
+    /// snapshotters of the same path (parallel workers, overlapping CI
+    /// runs):
+    ///
+    /// * an advisory file lock on `<path>.lock` serializes writers;
+    /// * entries already on disk that this cache does not hold are
+    ///   merged into the written snapshot (union; memory wins on a key
+    ///   conflict), so concurrent processes warm each other instead of
+    ///   last-write-wins clobbering the whole file;
+    /// * the snapshot is staged to a per-process temp file and
+    ///   atomically renamed into place, so a concurrent
+    ///   [`Self::load_snapshot`] never observes a torn file.
     pub fn save_snapshot(&self, path: &Path) -> io::Result<()> {
-        let tmp = path.with_extension("tmp");
+        let lock_path = path.with_extension("lock");
+        let lock_file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&lock_path)?;
+        lock_file.lock()?;
+        // Merge-on-save: pick up whatever another process published
+        // since this cache last read the snapshot. Loaded into a
+        // scratch cache so this cache's LRU order and hit counters stay
+        // untouched. A corrupt or missing snapshot merges nothing and
+        // simply gets replaced.
+        let scratch = QueryCache::new(usize::MAX);
+        if path.exists() {
+            let _ = scratch.load_snapshot(path);
+        }
+        let inner = self.inner.lock().unwrap();
+        let mut scratch_inner = scratch.inner.lock().unwrap();
+        let disk_extra: Vec<(QueryKey, CachedVerdict)> = scratch_inner
+            .map
+            .drain()
+            .filter(|(k, _)| !inner.map.contains_key(k))
+            .map(|(k, e)| (k, e.verdict))
+            .collect();
+        drop(scratch_inner);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         {
             let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
-            let inner = self.inner.lock().unwrap();
-            writeln!(w, "hk-smt-qcache 1 {}", inner.map.len())?;
             // Deterministic output order keeps snapshots diffable.
-            let mut keys: Vec<&QueryKey> = inner.map.keys().collect();
-            keys.sort_unstable();
-            for key in keys {
-                let e = &inner.map[key];
+            let mut all: Vec<(QueryKey, &CachedVerdict)> =
+                inner.map.iter().map(|(k, e)| (*k, &e.verdict)).collect();
+            all.extend(disk_extra.iter().map(|(k, v)| (*k, v)));
+            all.sort_unstable_by_key(|&(k, _)| k);
+            writeln!(w, "hk-smt-qcache 1 {}", all.len())?;
+            for (key, verdict) in all {
                 let k = key.0;
-                match &e.verdict {
+                match verdict {
                     CachedVerdict::Unsat => {
                         writeln!(w, "unsat {:x} {:x} {:x} {:x}", k[0], k[1], k[2], k[3])?;
                     }
@@ -553,7 +589,11 @@ impl QueryCache {
             }
             w.flush()?;
         }
-        std::fs::rename(&tmp, path)
+        let renamed = std::fs::rename(&tmp, path);
+        // Advisory lock released when `lock_file` drops; tolerate unlock
+        // errors — the close below releases it regardless.
+        drop(lock_file);
+        renamed
     }
 
     /// Loads entries from a snapshot written by [`Self::save_snapshot`],

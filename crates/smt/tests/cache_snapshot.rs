@@ -1,0 +1,127 @@
+//! Concurrency tests for the query-cache disk snapshot: multiple
+//! writers hammering one snapshot path must *merge* (advisory lock +
+//! merge-on-save + atomic rename) instead of clobbering each other, and
+//! a reader must never observe a torn file.
+//!
+//! The two-process test re-executes this test binary (the
+//! `two_process_snapshot_helper` "test" doubles as the child entry
+//! point, gated on an environment variable) so the advisory lock is
+//! exercised across real process boundaries, not just between threads.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+use hk_smt::cache::{CachedModel, CachedVerdict, QueryCache, QueryKey};
+
+fn key(i: u64) -> QueryKey {
+    QueryKey([i, i.wrapping_mul(3), i ^ 0xabcd, 4])
+}
+
+fn verdict(i: u64) -> CachedVerdict {
+    if i.is_multiple_of(2) {
+        CachedVerdict::Unsat
+    } else {
+        CachedVerdict::Sat(CachedModel::default())
+    }
+}
+
+/// Inserts keys `[base, base + count)` in `rounds` chunks, snapshotting
+/// after every chunk so writers interleave heavily.
+fn write_range(path: &std::path::Path, base: u64, count: u64, rounds: u64) {
+    let cache = QueryCache::new(usize::MAX);
+    let chunk = count.div_ceil(rounds).max(1);
+    let mut i = base;
+    while i < base + count {
+        for j in i..(i + chunk).min(base + count) {
+            cache.insert(key(j), verdict(j));
+        }
+        i += chunk;
+        cache
+            .save_snapshot(path)
+            .expect("snapshot save must succeed under contention");
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hk-cache-snap-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_union(path: &std::path::Path, total: u64) {
+    let merged = QueryCache::new(usize::MAX);
+    let loaded = merged.load_snapshot(path).expect("snapshot must parse");
+    assert_eq!(loaded as u64, total, "snapshot lost entries");
+    for i in 0..total {
+        assert_eq!(
+            merged.lookup(&key(i)),
+            Some(verdict(i)),
+            "entry {i} missing or wrong after merge"
+        );
+    }
+}
+
+/// Child entry point for the two-process test: does nothing unless the
+/// parent set `HK_SNAPSHOT_HELPER`, in which case it writes its range
+/// and exits.
+#[test]
+fn two_process_snapshot_helper() {
+    let Ok(path) = std::env::var("HK_SNAPSHOT_HELPER") else {
+        return;
+    };
+    let base: u64 = std::env::var("HK_SNAPSHOT_BASE").unwrap().parse().unwrap();
+    let count: u64 = std::env::var("HK_SNAPSHOT_COUNT").unwrap().parse().unwrap();
+    write_range(std::path::Path::new(&path), base, count, 8);
+}
+
+/// Two separate processes snapshotting to the same path concurrently:
+/// the surviving file holds the union of both ranges.
+#[test]
+fn two_processes_merge_into_one_snapshot() {
+    let dir = scratch_dir("proc");
+    let path = dir.join("qcache.snap");
+    let exe = std::env::current_exe().unwrap();
+
+    let spawn = |base: u64, count: u64| {
+        Command::new(&exe)
+            .args([
+                "--exact",
+                "two_process_snapshot_helper",
+                "--test-threads",
+                "1",
+            ])
+            .env("HK_SNAPSHOT_HELPER", &path)
+            .env("HK_SNAPSHOT_BASE", base.to_string())
+            .env("HK_SNAPSHOT_COUNT", count.to_string())
+            .spawn()
+            .expect("failed to spawn helper process")
+    };
+    let mut a = spawn(0, 40);
+    let mut b = spawn(40, 40);
+    assert!(a.wait().unwrap().success(), "helper process A failed");
+    assert!(b.wait().unwrap().success(), "helper process B failed");
+
+    assert_union(&path, 80);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Four threads (distinct cache instances, so distinct lock-file
+/// descriptors) snapshotting the same path: same union guarantee, with
+/// far more interleavings per run than the process test can afford.
+#[test]
+fn concurrent_snapshotters_union_under_contention() {
+    let dir = scratch_dir("thread");
+    let path = Arc::new(dir.join("qcache.snap"));
+
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let path = Arc::clone(&path);
+            scope.spawn(move || write_range(&path, t * 25, 25, 5));
+        }
+    });
+
+    assert_union(&path, 100);
+    let _ = std::fs::remove_dir_all(&dir);
+}
