@@ -34,6 +34,16 @@
 //! scaling column measures overhead honestly rather than advertising a
 //! speedup the machine cannot produce.
 //!
+//! With `--bmc` it benchmarks the bounded-model-checking phase instead
+//! of the handler proofs: the full `hk-bmc` harness registry (page
+//! walker, TLB coherence, IOMMU/DMA confinement, fs-log crash safety)
+//! runs certified once per thread count (default 1/2), and per-harness
+//! solve times, clause counts, and proof counters go to
+//! `BENCH_PR8.json`. Hard failures: any `UNKNOWN` or counterexample
+//! verdict, an uncertified Unsat answer, or a verdict that changes with
+//! the thread count. `--deep` selects the nightly bound tier
+//! (verification-profile table sizes) instead of the CI fast tier.
+//!
 //! All modes report both the per-handler sum of `total_ms` (comparable
 //! across modes, immune to scheduling) and the true whole-run wall
 //! clock (`wall_ms`, what an operator actually waits).
@@ -42,10 +52,13 @@
 //! cargo run --release -p hk-bench --bin bench_incremental
 //! cargo run --release -p hk-bench --bin bench_incremental -- --certify
 //! cargo run --release -p hk-bench --bin bench_incremental -- --parallel
+//! cargo run --release -p hk-bench --bin bench_incremental -- --bmc
+//! cargo run --release -p hk-bench --bin bench_incremental -- --bmc --deep
 //! # CI smoke: tiny handler set, report to target/, no repo-root write
 //! cargo run --release -p hk-bench --bin bench_incremental -- --smoke
 //! cargo run --release -p hk-bench --bin bench_incremental -- --smoke --certify
 //! cargo run --release -p hk-bench --bin bench_incremental -- --smoke --parallel --threads 1,2
+//! cargo run --release -p hk-bench --bin bench_incremental -- --bmc --smoke --threads 1,2
 //! ```
 
 use std::time::{Duration, Instant};
@@ -511,12 +524,152 @@ fn run_parallel_bench(
     }
 }
 
+/// The `--bmc` axis: the bounded-model-checking harness registry, run
+/// certified once per thread count. The substrate analogue of
+/// `--parallel`: the same hard failures (verdict drift across thread
+/// counts, surviving `UNKNOWN`, uncertified Unsat), plus any
+/// counterexample — the stock models must prove at every tier.
+fn run_bmc_bench(
+    tier: hk_bmc::Tier,
+    thread_counts: &[usize],
+    out_path: &std::path::Path,
+    smoke: bool,
+) {
+    use hk_bmc::BmcOutcome;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "bmc benchmark at the {} tier, certified, {cores} hardware thread(s) detected\n",
+        tier.name()
+    );
+    let mut rows: Vec<(usize, hk_core::BmcReport)> = Vec::new();
+    for &t in thread_counts {
+        let cfg = hk_bmc::BmcConfig {
+            tier,
+            certify: true,
+            threads: t,
+            max_conflicts: Some(MAX_CONFLICTS),
+            max_solve_ms: Some(MAX_SOLVE_MS),
+            ..hk_bmc::BmcConfig::default()
+        };
+        let report = hk_core::run_bmc(&cfg, &hk_core::EventSink::null());
+        println!(
+            "threads={t}: wall {:.1}ms, {}/{} proved, {}/{} unsat certified",
+            ms(report.total_time),
+            report.proved(),
+            report.harnesses.len(),
+            report.certified_unsat(),
+            report.unsat_queries()
+        );
+        rows.push((t, report));
+    }
+    let base = &rows[0];
+    let mut failed = false;
+    println!(
+        "\n{:<28} {:>10} {:>9} {:>10} {}",
+        "harness",
+        "clauses",
+        "queries",
+        "verdict",
+        thread_counts
+            .iter()
+            .map(|t| format!("{:>12}", format!("t={t}")))
+            .collect::<String>()
+    );
+    for (i, b) in base.1.harnesses.iter().enumerate() {
+        let cells: String = rows
+            .iter()
+            .map(|(_, r)| format!("{:>10.1}ms", ms(r.harnesses[i].time)))
+            .collect();
+        println!(
+            "{:<28} {:>10} {:>9} {:>10} {cells}",
+            b.name,
+            b.cnf_clauses,
+            b.queries,
+            b.outcome.verdict()
+        );
+        for (t, r) in &rows {
+            let h = &r.harnesses[i];
+            assert_eq!(h.name, b.name);
+            match &h.outcome {
+                BmcOutcome::Proved => {}
+                BmcOutcome::Counterexample(text) => {
+                    eprintln!(
+                        "FAIL: {} found a counterexample at threads={t}:\n{text}",
+                        h.name
+                    );
+                    failed = true;
+                }
+                BmcOutcome::Unknown => {
+                    eprintln!(
+                        "FAIL: {} UNKNOWN at threads={t} (bounds {})",
+                        h.name, h.bounds
+                    );
+                    failed = true;
+                }
+            }
+            if h.outcome.verdict() != b.outcome.verdict() {
+                eprintln!(
+                    "FAIL: threads={t} changed the verdict for {}: {} vs {}",
+                    h.name,
+                    b.outcome.verdict(),
+                    h.outcome.verdict()
+                );
+                failed = true;
+            }
+            if h.certified_unsat != h.unsat_queries {
+                eprintln!(
+                    "FAIL: {} certified only {}/{} unsat answers at threads={t}",
+                    h.name, h.certified_unsat, h.unsat_queries
+                );
+                failed = true;
+            }
+        }
+    }
+    let mut json = String::from("{\n  \"threads\": {\n");
+    for (r, (t, report)) in rows.iter().enumerate() {
+        json.push_str(&format!("    \"{t}\": "));
+        // Reuse the driver's "bmc" report section verbatim: per-harness
+        // solve/encode times, clause counts, and proof counters.
+        let section = report.to_json();
+        json.push_str(&section.replace('\n', "\n    "));
+        json.push_str(if r + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    let b_wall = ms(base.1.total_time);
+    json.push_str(&format!(
+        "  }},\n  \"aggregate\": {{\n    \"harnesses\": {},\n    \"proved\": {},\n    \
+         \"unsat_queries\": {},\n    \"certified_unsat\": {},\n    \
+         \"wall_ms_t{}\": {b_wall:.3},\n    \"best_speedup_vs_t{}\": {:.3}\n  }},\n  \
+         \"config\": {{\"smoke\": {smoke}, \"tier\": \"{}\", \"certify\": true, \
+         \"cores_detected\": {cores}, \"max_conflicts\": {MAX_CONFLICTS}, \
+         \"max_solve_ms\": {MAX_SOLVE_MS}}}\n}}\n",
+        base.1.harnesses.len(),
+        base.1.proved(),
+        base.1.unsat_queries(),
+        base.1.certified_unsat(),
+        base.0,
+        base.0,
+        rows.iter()
+            .map(|(_, r)| b_wall / ms(r.total_time).max(1e-6))
+            .fold(0.0f64, f64::max),
+        tier.name()
+    ));
+    std::fs::write(out_path, &json).expect("write benchmark artifact");
+    println!("\nwrote {}", out_path.display());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let certify_mode = args.iter().any(|a| a == "--certify");
     let parallel_mode = args.iter().any(|a| a == "--parallel");
-    // --threads 1,2,4 overrides the parallel-mode scaling ladder.
+    let bmc_mode = args.iter().any(|a| a == "--bmc");
+    let deep = args.iter().any(|a| a == "--deep");
+    // --threads 1,2,4 overrides the parallel/bmc-mode scaling ladder.
     let thread_counts: Vec<usize> = args
         .iter()
         .position(|a| a == "--threads")
@@ -526,7 +679,28 @@ fn main() {
                 .map(|n| n.parse().expect("bad --threads value"))
                 .collect()
         })
-        .unwrap_or_else(|| if smoke { vec![1, 2] } else { vec![1, 4, 8] });
+        .unwrap_or_else(|| {
+            if smoke || bmc_mode {
+                vec![1, 2]
+            } else {
+                vec![1, 4, 8]
+            }
+        });
+    if bmc_mode {
+        let tier = if deep {
+            hk_bmc::Tier::Deep
+        } else {
+            hk_bmc::Tier::Fast
+        };
+        let out = if smoke {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/BENCH_PR8_smoke.json")
+        } else {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR8.json")
+        };
+        run_bmc_bench(tier, &thread_counts, &out, smoke);
+        return;
+    }
     // --only sys_a,sys_b restricts the handler set (for probing one
     // handler's cost without running the whole table).
     let only: Option<Vec<Sysno>> = args

@@ -1,0 +1,417 @@
+//! Shared symbolic models: bounded physical memory and the page walker.
+//!
+//! [`SymMem`] lifts a bounded RAM-page region into one Bv(64) variable
+//! per word; [`encode_walk`] encodes the 4-level walk of
+//! `hk_vm::paging::walk` (and its IOMMU flavor) over that memory as a
+//! pure term circuit with first-fault-wins semantics. The encoding is
+//! validated against the real Rust walkers by the differential fuzz
+//! bridge, so the bounded proofs discharged on top of it are proofs
+//! about the code's actual behavior at these bounds.
+
+use hk_abi::{KernelParams, PTE_P, PTE_PFN_SHIFT, PTE_U, PTE_W, PT_LEVELS};
+use hk_smt::eval::{Assignment, Value};
+use hk_smt::{BvBinOp, Ctx, Sort, TermData, TermId, VarId};
+use hk_vm::{MemoryMap, PhysMem};
+
+use crate::harness::SeededBug;
+
+/// Fault codes shared by the CPU and IOMMU walk models (Bv(4)).
+pub const FAULT_NOT_PRESENT: u64 = 0;
+/// Entry lacks `PTE_U` (CPU walk only).
+pub const FAULT_NOT_USER: u64 = 1;
+/// Leaf lacks `PTE_W` on a write access.
+pub const FAULT_NOT_WRITABLE: u64 = 2;
+/// Table page number or entry frame out of range.
+pub const FAULT_BAD_FRAME: u64 = 3;
+/// Virtual address has bits above the translated range.
+pub const FAULT_NON_CANONICAL: u64 = 4;
+/// Device has no root table programmed (IOMMU only).
+pub const FAULT_NO_ROOT: u64 = 5;
+/// Leaf frame resolves into kernel RAM instead of the DMA region
+/// (IOMMU only).
+pub const FAULT_OUTSIDE_DMA: u64 = 6;
+
+/// Human-readable name of a fault code.
+pub fn fault_name(code: u64) -> &'static str {
+    match code {
+        FAULT_NOT_PRESENT => "NotPresent",
+        FAULT_NOT_USER => "NotUser",
+        FAULT_NOT_WRITABLE => "NotWritable",
+        FAULT_BAD_FRAME => "BadFrame",
+        FAULT_NON_CANONICAL => "NonCanonical",
+        FAULT_NO_ROOT => "NoRoot",
+        FAULT_OUTSIDE_DMA => "OutsideDmaRegion",
+        _ => "?",
+    }
+}
+
+/// Bounded symbolic RAM: one 64-bit variable per word of the RAM-page
+/// region (`nr_pages * page_words` words).
+pub struct SymMem {
+    /// RAM pages modeled.
+    pub nr_pages: u64,
+    /// Words per page (power of two).
+    pub page_words: u64,
+    /// Word variables, page-major: `words[pn * page_words + w]`.
+    pub words: Vec<TermId>,
+}
+
+impl SymMem {
+    /// Declares fresh variables for every RAM word at these parameters.
+    pub fn new(ctx: &mut Ctx, params: &KernelParams) -> SymMem {
+        let mut words = Vec::new();
+        for pn in 0..params.nr_pages {
+            for w in 0..params.page_words {
+                words.push(ctx.var(format!("ram_p{pn}_w{w}"), Sort::Bv(64)));
+            }
+        }
+        SymMem {
+            nr_pages: params.nr_pages,
+            page_words: params.page_words,
+            words,
+        }
+    }
+
+    /// The variable holding word `w` of page `pn`.
+    pub fn word(&self, pn: u64, w: u64) -> TermId {
+        self.words[(pn * self.page_words + w) as usize]
+    }
+
+    /// Symbolic read mirroring the walker's two-step indexing: select
+    /// the page by `table_pn`, then the word by `ix`. Out-of-range
+    /// addresses read as zero (all uses are guarded by bound checks).
+    pub fn read_nested(&self, ctx: &mut Ctx, table_pn: TermId, ix: TermId) -> TermId {
+        let mut acc = ctx.bv_const(64, 0);
+        for pn in (0..self.nr_pages).rev() {
+            let mut page = ctx.bv_const(64, 0);
+            for w in (0..self.page_words).rev() {
+                let wc = ctx.bv_const(64, w);
+                let hit = ctx.eq(ix, wc);
+                page = ctx.ite(hit, self.word(pn, w), page);
+            }
+            let pc = ctx.bv_const(64, pn);
+            let hit = ctx.eq(table_pn, pc);
+            acc = ctx.ite(hit, page, acc);
+        }
+        acc
+    }
+
+    /// Structurally different read used by the clean-room spec: one
+    /// flat selection keyed on the combined word index
+    /// `table_pn * page_words + ix`.
+    pub fn read_flat(&self, ctx: &mut Ctx, table_pn: TermId, ix: TermId) -> TermId {
+        let k = self.page_words.trailing_zeros();
+        let kc = ctx.bv_const(64, k as u64);
+        let shifted = ctx.bv_bin(BvBinOp::Shl, table_pn, kc);
+        let key = ctx.bv_bin(BvBinOp::Or, shifted, ix);
+        let mut acc = ctx.bv_const(64, 0);
+        for pn in (0..self.nr_pages).rev() {
+            for w in (0..self.page_words).rev() {
+                let kc = ctx.bv_const(64, (pn << k) | w);
+                let hit = ctx.eq(key, kc);
+                acc = ctx.ite(hit, self.word(pn, w), acc);
+            }
+        }
+        acc
+    }
+
+    /// Binds every word variable to its value in a concrete memory
+    /// (the differential-fuzz direction: concrete RAM, evaluated model).
+    pub fn bind(&self, ctx: &Ctx, asg: &mut Assignment, phys: &PhysMem, map: &MemoryMap) {
+        for pn in 0..self.nr_pages {
+            for w in 0..self.page_words {
+                let val = phys.read(map.ram_page_addr(pn) + w) as u64;
+                asg.set_var(var_of(ctx, self.word(pn, w)), Value::Bv(val));
+            }
+        }
+    }
+}
+
+/// The `VarId` behind a variable term.
+pub fn var_of(ctx: &Ctx, t: TermId) -> VarId {
+    match ctx.data(t) {
+        TermData::Var(v) => *v,
+        other => panic!("expected a variable term, got {other:?}"),
+    }
+}
+
+/// Which walker is being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkFlavor {
+    /// `hk_vm::paging::walk`: user-bit checked at every level, leaf may
+    /// land anywhere in `0..nr_pfns()`.
+    Cpu,
+    /// `hk_vm::iommu::Iommu::walk`: no user-bit check, leaf must land
+    /// in the DMA region.
+    Iommu,
+}
+
+/// Per-level observation points for the overflow harness.
+pub struct LevelProbe {
+    /// Walk reached this level with no prior fault.
+    pub reached: TermId,
+    /// 64-bit entry address as the code computes it (wrapping).
+    pub entry_addr: TermId,
+    /// Some step of the entry-address arithmetic wrapped (Bool):
+    /// shift lost high bits or an addition carried out of 64 bits.
+    pub entry_addr_ovf: TermId,
+    /// The page-table entry read at this level.
+    pub entry: TermId,
+}
+
+/// The encoded walk: verdict, outputs, and fault classification.
+pub struct WalkModel {
+    /// Translation succeeded.
+    pub ok: TermId,
+    /// Leaf frame number (meaningful under `ok`).
+    pub pfn: TermId,
+    /// Translated physical word address (meaningful under `ok`).
+    pub phys_addr: TermId,
+    /// Some step of the final address arithmetic wrapped (Bool).
+    pub phys_addr_ovf: TermId,
+    /// Leaf entry grants write access (meaningful under `ok`).
+    pub writable: TermId,
+    /// First fault code (meaningful under `!ok`), Bv(4).
+    pub fault_code: TermId,
+    /// Level of the first fault (meaningful under `!ok`), Bv(4).
+    pub fault_level: TermId,
+    /// Per-level probes, in walk order (level 3 first).
+    pub levels: Vec<LevelProbe>,
+}
+
+struct FaultAcc {
+    ok: TermId,
+    code: TermId,
+    level: TermId,
+}
+
+impl FaultAcc {
+    fn new(ctx: &mut Ctx) -> FaultAcc {
+        FaultAcc {
+            ok: ctx.tru(),
+            code: ctx.bv_const(4, 0),
+            level: ctx.bv_const(4, 0),
+        }
+    }
+
+    /// First-fault-wins: record `(code, level)` if `cond` fires while
+    /// no earlier check has.
+    fn fail(&mut self, ctx: &mut Ctx, cond: TermId, code: u64, level: u64) {
+        let trig = ctx.and2(self.ok, cond);
+        let cc = ctx.bv_const(4, code);
+        let lc = ctx.bv_const(4, level);
+        self.code = ctx.ite(trig, cc, self.code);
+        self.level = ctx.ite(trig, lc, self.level);
+        let nc = ctx.not(cond);
+        self.ok = ctx.and2(self.ok, nc);
+    }
+}
+
+/// Encodes the bounded walk from `root_pn` on `va` over `mem`.
+///
+/// `is_write` is a Bool term; `pre_fault` (IOMMU `NoRoot`) fires before
+/// every other check, matching `walk_inner`'s `?` on the root lookup.
+/// `bug` plants a seeded defect for the negative fixtures.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_walk(
+    ctx: &mut Ctx,
+    mem: &SymMem,
+    map: &MemoryMap,
+    root_pn: TermId,
+    va: TermId,
+    is_write: TermId,
+    flavor: WalkFlavor,
+    pre_fault: Option<TermId>,
+    bug: Option<SeededBug>,
+) -> WalkModel {
+    let params = &map.params;
+    let k = params.page_words.trailing_zeros() as u64;
+    let total_bits = k * (PT_LEVELS + 1);
+    let mask = params.page_words - 1;
+    let top = PT_LEVELS - 1;
+
+    let mut acc = FaultAcc::new(ctx);
+
+    if let Some(no_root) = pre_fault {
+        acc.fail(ctx, no_root, FAULT_NO_ROOT, top);
+    }
+
+    // Non-canonical: any bit at or above `total_bits` set.
+    if total_bits < 64 {
+        let tb = ctx.bv_const(64, total_bits);
+        let hi = ctx.bv_bin(BvBinOp::Lshr, va, tb);
+        let zero = ctx.bv_const(64, 0);
+        let noncanon = ctx.ne(hi, zero);
+        acc.fail(ctx, noncanon, FAULT_NON_CANONICAL, top);
+    }
+
+    let nr_pages = ctx.bv_const(64, params.nr_pages);
+    let nr_pfns = ctx.bv_const(64, params.nr_pfns());
+    let mask_c = ctx.bv_const(64, mask);
+    let pte_p = ctx.bv_const(64, PTE_P as u64);
+    let pte_u = ctx.bv_const(64, PTE_U as u64);
+    let pte_w = ctx.bv_const(64, PTE_W as u64);
+    let zero64 = ctx.bv_const(64, 0);
+    let shift_c = ctx.bv_const(64, PTE_PFN_SHIFT as u64);
+
+    let mut table_pn = root_pn;
+    let mut last_entry = zero64;
+    let mut levels = Vec::new();
+
+    for i in 0..PT_LEVELS {
+        let level = top - i;
+        // Table page in range?
+        let bad_table = ctx.ule(nr_pages, table_pn);
+        acc.fail(ctx, bad_table, FAULT_BAD_FRAME, level);
+        let reached = acc.ok;
+
+        // Level index from the VA; the seeded off-by-one bug shifts by
+        // one level too little, reading the next-lower level's bits.
+        let good_shift = k * (level + 1);
+        let shift = match bug {
+            Some(SeededBug::PagingLevelOffByOne) => k * level,
+            _ => good_shift,
+        };
+        let sc = ctx.bv_const(64, shift);
+        let sh = ctx.bv_bin(BvBinOp::Lshr, va, sc);
+        let ix = ctx.bv_bin(BvBinOp::And, sh, mask_c);
+
+        // Entry address as the code computes it (wrapping adds), with
+        // explicit wrap detection for the overflow harness: a left
+        // shift loses high bits iff they were set, an unsigned add
+        // carries iff the result is below an operand.
+        let kc = ctx.bv_const(64, k);
+        let pn_off = ctx.bv_bin(BvBinOp::Shl, table_pn, kc);
+        let hishift = ctx.bv_const(64, 64 - k);
+        let lost = ctx.bv_bin(BvBinOp::Lshr, table_pn, hishift);
+        let shl_ovf = ctx.ne(lost, zero64);
+        let base = ctx.bv_const(64, map.pages_base());
+        let t0 = ctx.bv_add(base, pn_off);
+        let carry0 = ctx.ult(t0, base);
+        let entry_addr = ctx.bv_add(t0, ix);
+        let carry1 = ctx.ult(entry_addr, t0);
+        let entry_addr_ovf = ctx.or(&[shl_ovf, carry0, carry1]);
+
+        let entry = mem.read_nested(ctx, table_pn, ix);
+        levels.push(LevelProbe {
+            reached,
+            entry_addr,
+            entry_addr_ovf,
+            entry,
+        });
+
+        let p_bit = ctx.bv_bin(BvBinOp::And, entry, pte_p);
+        let not_present = ctx.eq(p_bit, zero64);
+        acc.fail(ctx, not_present, FAULT_NOT_PRESENT, level);
+
+        if flavor == WalkFlavor::Cpu {
+            let u_bit = ctx.bv_bin(BvBinOp::And, entry, pte_u);
+            let not_user = ctx.eq(u_bit, zero64);
+            acc.fail(ctx, not_user, FAULT_NOT_USER, level);
+        }
+
+        // pfn = entry >> 12 arithmetic; a negative pfn becomes a huge
+        // unsigned value, so the single unsigned bound check matches
+        // the code's `pfn < 0 || pfn as u64 >= nr_pfns()`.
+        let pfn = ctx.bv_bin(BvBinOp::Ashr, entry, shift_c);
+        let bad_frame = ctx.ule(nr_pfns, pfn);
+        acc.fail(ctx, bad_frame, FAULT_BAD_FRAME, level);
+
+        last_entry = entry;
+        table_pn = pfn;
+    }
+
+    let w_bit = ctx.bv_bin(BvBinOp::And, last_entry, pte_w);
+    let writable = ctx.ne(w_bit, zero64);
+    let not_writable_cond = ctx.not(writable);
+    let denied = ctx.and2(is_write, not_writable_cond);
+    acc.fail(ctx, denied, FAULT_NOT_WRITABLE, 0);
+
+    if flavor == WalkFlavor::Iommu && bug != Some(SeededBug::IommuGrantWiden) {
+        let in_ram = ctx.ult(table_pn, nr_pages);
+        acc.fail(ctx, in_ram, FAULT_OUTSIDE_DMA, 0);
+    }
+
+    // phys_addr = pfn_addr(pfn) + offset as the code computes it, with
+    // wrap detection on every shift, subtraction, and addition of the
+    // taken branch.
+    let offset = ctx.bv_bin(BvBinOp::And, va, mask_c);
+    let kc = ctx.bv_const(64, k);
+    let hishift = ctx.bv_const(64, 64 - k);
+    let in_ram = ctx.ult(table_pn, nr_pages);
+    let pages_base = ctx.bv_const(64, map.pages_base());
+    let dma_base = ctx.bv_const(64, map.dma_base());
+    let ram_off = ctx.bv_bin(BvBinOp::Shl, table_pn, kc);
+    let ram_lost = ctx.bv_bin(BvBinOp::Lshr, table_pn, hishift);
+    let ram_shl_ovf = ctx.ne(ram_lost, zero64);
+    let ram_addr = ctx.bv_add(pages_base, ram_off);
+    let ram_carry = ctx.ult(ram_addr, pages_base);
+    let ram_wrap = ctx.or2(ram_shl_ovf, ram_carry);
+    let dpfn = ctx.bv_sub(table_pn, nr_pages);
+    let sub_uf = ctx.ult(table_pn, nr_pages);
+    let dma_off = ctx.bv_bin(BvBinOp::Shl, dpfn, kc);
+    let dma_lost = ctx.bv_bin(BvBinOp::Lshr, dpfn, hishift);
+    let dma_shl_ovf = ctx.ne(dma_lost, zero64);
+    let dma_addr = ctx.bv_add(dma_base, dma_off);
+    let dma_carry = ctx.ult(dma_addr, dma_base);
+    let dma_wrap = ctx.or(&[sub_uf, dma_shl_ovf, dma_carry]);
+    let page_addr = ctx.ite(in_ram, ram_addr, dma_addr);
+    let branch_wrap = ctx.ite(in_ram, ram_wrap, dma_wrap);
+    let phys_addr = ctx.bv_add(page_addr, offset);
+    let final_carry = ctx.ult(phys_addr, page_addr);
+    let phys_addr_ovf = ctx.or2(branch_wrap, final_carry);
+
+    WalkModel {
+        ok: acc.ok,
+        pfn: table_pn,
+        phys_addr,
+        phys_addr_ovf,
+        writable,
+        fault_code: acc.code,
+        fault_level: acc.level,
+        levels,
+    }
+}
+
+/// Renders a concrete page-table memory from a model as a table dump,
+/// the shared part of every paging/IOMMU counterexample.
+pub fn render_tables(ctx: &Ctx, model: &hk_smt::Model, mem: &SymMem) -> String {
+    let mut out = String::new();
+    for pn in 0..mem.nr_pages {
+        out.push_str(&format!("  page {pn}:"));
+        for w in 0..mem.page_words {
+            let v = model.eval_bv(ctx, mem.word(pn, w)).unwrap_or(0);
+            out.push_str(&format!(" {v:#018x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hk_smt::eval::eval_bv;
+
+    #[test]
+    fn reads_agree_on_concrete_addresses() {
+        let params = KernelParams::verification();
+        let mut ctx = Ctx::new();
+        let mem = SymMem::new(&mut ctx, &params);
+        let mut asg = Assignment::default();
+        for pn in 0..params.nr_pages {
+            for w in 0..params.page_words {
+                let val = pn * 1000 + w;
+                asg.set_var(var_of(&ctx, mem.word(pn, w)), Value::Bv(val));
+            }
+        }
+        for (pn, w) in [(0, 0), (3, 2), (15, 3), (7, 1)] {
+            let pnc = ctx.bv_const(64, pn);
+            let wc = ctx.bv_const(64, w);
+            let nested = mem.read_nested(&mut ctx, pnc, wc);
+            let flat = mem.read_flat(&mut ctx, pnc, wc);
+            assert_eq!(eval_bv(&ctx, nested, &asg), pn * 1000 + w);
+            assert_eq!(eval_bv(&ctx, flat, &asg), pn * 1000 + w);
+        }
+    }
+}

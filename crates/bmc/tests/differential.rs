@@ -1,0 +1,638 @@
+//! Differential fuzz bridge: the symbolic BMC models against the real
+//! code, on randomized concrete inputs.
+//!
+//! Each family draws ≥500 random cases, runs them natively through the
+//! real `hk_vm` / `hk_user` implementations, evaluates the same inputs
+//! through the symbolic circuits with the ground evaluator, and asserts
+//! agreement. This is what licenses reading the bounded proofs in
+//! `tests/harnesses.rs` as statements about the code: the circuits the
+//! solver reasons about are pinned to the code's concrete behavior.
+//!
+//! The circuits are encoded once per test; only the variable assignment
+//! changes per case, so a case costs two or three DAG evaluations.
+
+mod common;
+
+use common::XorShift64;
+use hk_abi::{KernelParams, PTE_P, PTE_U, PTE_W, PT_LEVELS};
+use hk_bmc::fslog::{encode_fslog, CrashDisk};
+use hk_bmc::iommu::{dma_fault_code, encode_iommu};
+use hk_bmc::model::{
+    encode_walk, var_of, SymMem, WalkFlavor, FAULT_BAD_FRAME, FAULT_NON_CANONICAL,
+    FAULT_NOT_PRESENT, FAULT_NOT_USER, FAULT_NOT_WRITABLE,
+};
+use hk_bmc::paging::{encode_spec_walk, spec_walk, KERNEL_WORDS};
+use hk_bmc::tlb::{encode_tlb_trace, RefTlb};
+use hk_bmc::BmcConfig;
+use hk_smt::eval::{eval_bool, eval_bv, Assignment, Value};
+use hk_smt::{BvBinOp, Ctx, Sort, TermId};
+use hk_user::fs::disk::{DiskIo, RamDisk};
+use hk_user::fs::log::Log;
+use hk_vm::iommu::{DmaFault, Iommu};
+use hk_vm::paging::{walk, AccessKind, FaultReason};
+use hk_vm::tlb::Tlb;
+use hk_vm::{MemoryMap, PhysMem};
+
+const CASES: usize = 500;
+
+/// Model fault code of a concrete CPU fault reason.
+fn reason_code(r: FaultReason) -> u64 {
+    match r {
+        FaultReason::NotPresent => FAULT_NOT_PRESENT,
+        FaultReason::NotUser => FAULT_NOT_USER,
+        FaultReason::NotWritable => FAULT_NOT_WRITABLE,
+        FaultReason::BadFrame => FAULT_BAD_FRAME,
+        FaultReason::NonCanonical => FAULT_NON_CANONICAL,
+    }
+}
+
+/// How to draw page-table entries.
+#[derive(Clone, Copy)]
+enum PteMode {
+    /// Anything goes: missing flags, out-of-range frames, occasionally
+    /// 64 fully random bits (negative frames included). Exercises every
+    /// fault path but almost never completes a 4-level walk.
+    Adversarial,
+    /// Well-formed entries (always present+user, frames naming valid
+    /// tables) so complete walks are common; `dma` biases some leaves
+    /// into the DMA region for the IOMMU's success path.
+    Friendly { dma: bool },
+}
+
+/// A random page-table entry in the given mode.
+fn random_pte(rng: &mut XorShift64, params: &KernelParams, mode: PteMode) -> i64 {
+    match mode {
+        PteMode::Adversarial => {
+            if rng.chance(1, 8) {
+                return rng.next_u64() as i64;
+            }
+            let pfn = if rng.chance(1, 8) {
+                params.nr_pfns() + rng.below(4)
+            } else {
+                rng.below(params.nr_pfns())
+            };
+            let mut flags = 0u64;
+            if rng.chance(7, 8) {
+                flags |= PTE_P as u64;
+            }
+            if rng.chance(3, 4) {
+                flags |= PTE_U as u64;
+            }
+            if rng.chance(1, 2) {
+                flags |= PTE_W as u64;
+            }
+            ((pfn << 12) | flags) as i64
+        }
+        PteMode::Friendly { dma } => {
+            let pfn = if dma && rng.chance(1, 4) {
+                params.nr_pages + rng.below(params.nr_dmapages)
+            } else {
+                rng.below(params.nr_pages)
+            };
+            let mut flags = (PTE_P | PTE_U) as u64;
+            if rng.chance(3, 4) {
+                flags |= PTE_W as u64;
+            }
+            ((pfn << 12) | flags) as i64
+        }
+    }
+}
+
+/// Fills the RAM-page region of a fresh physical memory with random
+/// entries.
+fn random_tables(
+    rng: &mut XorShift64,
+    params: &KernelParams,
+    map: &MemoryMap,
+    mode: PteMode,
+) -> PhysMem {
+    let mut phys = PhysMem::new(map.total_words());
+    for pn in 0..params.nr_pages {
+        for w in 0..params.page_words {
+            phys.write(map.ram_page_addr(pn) + w, random_pte(rng, params, mode));
+        }
+    }
+    phys
+}
+
+/// Packs a walk outcome into one Bv(64) so each circuit costs a single
+/// evaluation per case. Fields not meaningful for the verdict are
+/// masked to zero on both sides. Layout (all bounds-checked at the fast
+/// tier): ok<<41 | writable<<40 | pfn<<32 | addr<<16 | code<<8 | level.
+#[allow(clippy::too_many_arguments)]
+fn pack_walk(
+    ctx: &mut Ctx,
+    ok: TermId,
+    pfn: TermId,
+    addr: TermId,
+    writable: TermId,
+    code: TermId,
+    level: TermId,
+) -> TermId {
+    let zero = ctx.bv_const(64, 0);
+    let one = ctx.bv_const(64, 1);
+    let okb = ctx.ite(ok, one, zero);
+    let wbit = ctx.ite(writable, one, zero);
+    let wb_m = ctx.ite(ok, wbit, zero);
+    let pfn_m = ctx.ite(ok, pfn, zero);
+    let addr_m = ctx.ite(ok, addr, zero);
+    let code64 = ctx.zext(code, 64);
+    let level64 = ctx.zext(level, 64);
+    let code_m = ctx.ite(ok, zero, code64);
+    let level_m = ctx.ite(ok, zero, level64);
+    let mut acc = level_m;
+    for (t, sh) in [
+        (code_m, 8),
+        (addr_m, 16),
+        (pfn_m, 32),
+        (wb_m, 40),
+        (okb, 41),
+    ] {
+        let shc = ctx.bv_const(64, sh);
+        let s = ctx.bv_bin(BvBinOp::Shl, t, shc);
+        acc = ctx.bv_bin(BvBinOp::Or, acc, s);
+    }
+    acc
+}
+
+/// The concrete counterpart of [`pack_walk`].
+fn pack_expected(res: &Result<(u64, u64, bool), (u64, u64)>) -> u64 {
+    match *res {
+        Ok((pfn, addr, w)) => (1 << 41) | ((w as u64) << 40) | (pfn << 32) | (addr << 16),
+        Err((code, level)) => (code << 8) | level,
+    }
+}
+
+#[test]
+fn paging_walker_model_spec_and_code_agree() {
+    let cfg = BmcConfig::default();
+    let params = cfg.params();
+    let map = MemoryMap::new(params, KERNEL_WORDS);
+    let mut ctx = Ctx::new();
+    let mem = SymMem::new(&mut ctx, &params);
+    let root = ctx.var("root_pn", Sort::Bv(64));
+    let va = ctx.var("va", Sort::Bv(64));
+    let is_write = ctx.var("is_write", Sort::Bool);
+    let model = encode_walk(
+        &mut ctx,
+        &mem,
+        &map,
+        root,
+        va,
+        is_write,
+        WalkFlavor::Cpu,
+        None,
+        None,
+    );
+    let spec = encode_spec_walk(&mut ctx, &mem, &map, root, va, is_write);
+    let model_packed = pack_walk(
+        &mut ctx,
+        model.ok,
+        model.pfn,
+        model.phys_addr,
+        model.writable,
+        model.fault_code,
+        model.fault_level,
+    );
+    let spec_packed = pack_walk(
+        &mut ctx,
+        spec.ok,
+        spec.pfn,
+        spec.phys_addr,
+        spec.writable,
+        spec.fault_code,
+        spec.fault_level,
+    );
+    let root_v = var_of(&ctx, root);
+    let va_v = var_of(&ctx, va);
+    let w_v = var_of(&ctx, is_write);
+
+    let pw = params.page_words;
+    let va_limit = pw.pow(PT_LEVELS as u32 + 1);
+    let mut rng = XorShift64::new(0x9a0e_11d1);
+    let mut ok_cases = 0;
+    for case in 0..CASES {
+        let mode = if rng.chance(1, 2) {
+            PteMode::Friendly { dma: false }
+        } else {
+            PteMode::Adversarial
+        };
+        let phys = random_tables(&mut rng, &params, &map, mode);
+        let root_c = rng.below(params.nr_pages + 2);
+        let va_c = if rng.chance(1, 8) {
+            rng.next_u64()
+        } else {
+            rng.below(va_limit)
+        };
+        let write_c = rng.chance(1, 2);
+        let access = if write_c {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+
+        let real = match walk(&phys, &map, root_c, va_c, access) {
+            Ok(t) => Ok((t.pfn, t.phys_addr, t.writable)),
+            Err(f) => Err((reason_code(f.reason), f.level as u64)),
+        };
+        ok_cases += real.is_ok() as usize;
+        let expected = pack_expected(&real);
+
+        let ram = phys.read_range(map.pages_base(), params.nr_pages * pw);
+        let from_spec = spec_walk(&params, KERNEL_WORDS, ram, root_c, va_c, write_c);
+        assert_eq!(
+            pack_expected(&from_spec),
+            expected,
+            "case {case}: concrete spec_walk disagrees with hk_vm::paging::walk \
+             (root={root_c} va={va_c:#x} write={write_c})"
+        );
+
+        let mut asg = Assignment::new();
+        mem.bind(&ctx, &mut asg, &phys, &map);
+        asg.set_var(root_v, Value::Bv(root_c));
+        asg.set_var(va_v, Value::Bv(va_c));
+        asg.set_var(w_v, Value::Bool(write_c));
+        assert_eq!(
+            eval_bv(&ctx, model_packed, &asg),
+            expected,
+            "case {case}: walker circuit disagrees with hk_vm::paging::walk \
+             (root={root_c} va={va_c:#x} write={write_c})"
+        );
+        assert_eq!(
+            eval_bv(&ctx, spec_packed, &asg),
+            expected,
+            "case {case}: spec circuit disagrees with hk_vm::paging::walk \
+             (root={root_c} va={va_c:#x} write={write_c})"
+        );
+    }
+    // The generator must exercise both verdicts, or agreement is vacuous.
+    assert!(ok_cases > 20, "only {ok_cases} successful walks in {CASES}");
+    assert!(ok_cases < CASES - 20, "only faulting walks missing");
+}
+
+#[test]
+fn tlb_trace_circuit_agrees_with_reference_machine() {
+    let cfg = BmcConfig::default();
+    let (capacity, n_pre, n_post) = cfg.tlb_bounds();
+    let mut ctx = Ctx::new();
+    let t = encode_tlb_trace(&mut ctx, capacity, n_pre, n_post, true, false);
+    let op_vars: Vec<_> = t
+        .ops
+        .iter()
+        .map(|op| {
+            (
+                var_of(&ctx, op.op),
+                var_of(&ctx, op.arg),
+                var_of(&ctx, op.victim),
+            )
+        })
+        .collect();
+    let remap_v = var_of(&ctx, t.remap_va);
+    let probe_v = var_of(&ctx, t.probe);
+    let pwrite_v = var_of(&ctx, t.probe_write);
+
+    const VPS: u64 = 6;
+    let mut rng = XorShift64::new(0x71b_c0de);
+    let mut hits = 0;
+    for case in 0..CASES {
+        let walk0: Vec<(u64, bool)> = (0..VPS)
+            .map(|_| (rng.below(16), rng.chance(1, 2)))
+            .collect();
+        let remap = rng.below(VPS);
+        let mut walk1 = walk0.clone();
+        walk1[remap as usize] = (rng.below(16), rng.chance(1, 2));
+
+        let mut asg = Assignment::new();
+        // Bind the walk functions; equal defaults keep the off-domain
+        // agreement assumption satisfied for free.
+        for (f, table, pick) in [
+            (t.funcs.walk0_pfn, &walk0, 0),
+            (t.funcs.walk0_w, &walk0, 1),
+            (t.funcs.walk1_pfn, &walk1, 0),
+            (t.funcs.walk1_w, &walk1, 1),
+        ] {
+            let fi = asg.func_mut(f);
+            for (vp, &(pfn, w)) in table.iter().enumerate() {
+                let val = if pick == 0 { pfn } else { w as u64 };
+                fi.set(vec![vp as u64], val);
+            }
+        }
+        asg.set_var(remap_v, Value::Bv(remap));
+        let probe = rng.below(VPS);
+        let probe_write = rng.chance(1, 2);
+        asg.set_var(probe_v, Value::Bv(probe));
+        asg.set_var(pwrite_v, Value::Bool(probe_write));
+
+        let mut reft = RefTlb::new(capacity);
+        for (i, &(ov, av, vv)) in op_vars.iter().enumerate() {
+            let code = rng.below(4);
+            let arg = rng.below(VPS);
+            let victim = rng.below(capacity as u64);
+            asg.set_var(ov, Value::Bv(code));
+            asg.set_var(av, Value::Bv(arg));
+            asg.set_var(vv, Value::Bv(victim));
+            let table = if i < t.n_pre { &walk0 } else { &walk1 };
+            match code {
+                0 => {
+                    let (pfn, w) = table[arg as usize];
+                    reft.insert(arg, pfn, w, victim as usize);
+                }
+                1 => reft.flush_page(arg),
+                2 => reft.flush_all(),
+                _ => {}
+            }
+            if i + 1 == t.n_pre {
+                // The remap's shootdown, as the trace encodes it.
+                reft.flush_page(remap);
+            }
+        }
+
+        for &a in &t.assumptions {
+            assert!(
+                eval_bool(&ctx, a, &asg),
+                "case {case}: binding violates a trace assumption"
+            );
+        }
+        let expect = reft.lookup(probe, probe_write);
+        hits += expect.is_some() as usize;
+        assert_eq!(
+            eval_bool(&ctx, t.hit, &asg),
+            expect.is_some(),
+            "case {case}: hit verdict diverges (probe={probe} write={probe_write})"
+        );
+        if let Some((pfn, w)) = expect {
+            assert_eq!(
+                eval_bv(&ctx, t.hit_pfn, &asg),
+                pfn,
+                "case {case}: hit frame diverges"
+            );
+            assert_eq!(
+                eval_bv(&ctx, t.hit_w, &asg),
+                w as u64,
+                "case {case}: hit writability diverges"
+            );
+        }
+    }
+    assert!(hits > 20, "only {hits} TLB hits in {CASES} traces");
+    assert!(hits < CASES - 20, "no TLB misses exercised");
+}
+
+#[test]
+fn real_tlb_stays_coherent_under_random_traces() {
+    // Property fuzz of the real `hk_vm::tlb::Tlb` (not the model): as
+    // long as every remap is followed by its shootdown, a hit always
+    // returns the current walk — the exact statement the tlb_coherence
+    // harness proves over the model, checked here against the code with
+    // the HashMap's real eviction choices.
+    const VPS: u64 = 8;
+    let mut rng = XorShift64::new(0xfeed_5eed);
+    for _case in 0..CASES {
+        let capacity = 1 + rng.below(4) as usize;
+        let mut tlb = Tlb::new(capacity);
+        let mut walkt: Vec<(u64, bool)> = (0..VPS)
+            .map(|_| (rng.below(32), rng.chance(1, 2)))
+            .collect();
+        for _step in 0..24 {
+            match rng.below(5) {
+                0 | 1 => {
+                    let vp = rng.below(VPS);
+                    let (pfn, w) = walkt[vp as usize];
+                    tlb.insert(vp, pfn, w);
+                }
+                2 => tlb.flush_page(rng.below(VPS)),
+                3 => tlb.flush_all(),
+                _ => {
+                    // Remap a page, then its shootdown.
+                    let vp = rng.below(VPS);
+                    walkt[vp as usize] = (rng.below(32), rng.chance(1, 2));
+                    tlb.flush_page(vp);
+                }
+            }
+            assert!(tlb.len() <= capacity, "TLB exceeded its capacity");
+            let probe = rng.below(VPS);
+            let write = rng.chance(1, 2);
+            if let Some((pfn, w)) = tlb.lookup(probe, write) {
+                let (cur_pfn, cur_w) = walkt[probe as usize];
+                assert_eq!(
+                    (pfn, w),
+                    (cur_pfn, cur_w),
+                    "TLB hit disagrees with the current walk at vp {probe}"
+                );
+                if write {
+                    assert!(w, "write hit through a read-only entry");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn iommu_circuit_agrees_with_code() {
+    let cfg = BmcConfig::default();
+    let params = cfg.params();
+    let mut ctx = Ctx::new();
+    let m = encode_iommu(&mut ctx, &cfg);
+    // Same packing idea as the CPU walk, minus pfn/writable (the real
+    // IOMMU walk returns only the address): ok<<40 | addr<<16 |
+    // code<<8 | level.
+    let zero = ctx.bv_const(64, 0);
+    let one = ctx.bv_const(64, 1);
+    let okb = ctx.ite(m.walk.ok, one, zero);
+    let addr_m = ctx.ite(m.walk.ok, m.walk.phys_addr, zero);
+    let code64 = ctx.zext(m.walk.fault_code, 64);
+    let level64 = ctx.zext(m.walk.fault_level, 64);
+    let code_m = ctx.ite(m.walk.ok, zero, code64);
+    let level_m = ctx.ite(m.walk.ok, zero, level64);
+    let mut packed = level_m;
+    for (t, sh) in [(code_m, 8), (addr_m, 16), (okb, 40)] {
+        let shc = ctx.bv_const(64, sh);
+        let s = ctx.bv_bin(BvBinOp::Shl, t, shc);
+        packed = ctx.bv_bin(BvBinOp::Or, packed, s);
+    }
+    let dev_v = var_of(&ctx, m.dev);
+    let dva_v = var_of(&ctx, m.dva);
+    let w_v = var_of(&ctx, m.is_write);
+    let root_vars: Vec<_> = (0..params.nr_devs as usize)
+        .map(|d| (var_of(&ctx, m.root_set[d]), var_of(&ctx, m.root_pn[d])))
+        .collect();
+
+    let pw = params.page_words;
+    let va_limit = pw.pow(PT_LEVELS as u32 + 1);
+    let mut rng = XorShift64::new(0xd0a_0a17);
+    let mut ok_cases = 0;
+    for case in 0..CASES {
+        let mode = if rng.chance(1, 2) {
+            PteMode::Friendly { dma: true }
+        } else {
+            PteMode::Adversarial
+        };
+        let phys = random_tables(&mut rng, &params, &m.map, mode);
+        let mut iommu = Iommu::new(params.nr_devs);
+        let mut asg = Assignment::new();
+        m.mem.bind(&ctx, &mut asg, &phys, &m.map);
+        for (d, &(set_v, pn_v)) in root_vars.iter().enumerate() {
+            let root = rng.chance(3, 4).then(|| rng.below(params.nr_pages + 2));
+            iommu.set_root(d as u64, root);
+            asg.set_var(set_v, Value::Bool(root.is_some()));
+            asg.set_var(pn_v, Value::Bv(root.unwrap_or(0)));
+        }
+        let dev = rng.below(params.nr_devs);
+        let dva = if rng.chance(1, 8) {
+            rng.next_u64()
+        } else {
+            rng.below(va_limit)
+        };
+        let write = rng.chance(1, 2);
+        asg.set_var(dev_v, Value::Bv(dev));
+        asg.set_var(dva_v, Value::Bv(dva));
+        asg.set_var(w_v, Value::Bool(write));
+        for &a in &m.assumptions {
+            assert!(eval_bool(&ctx, a, &asg), "case {case}: assumption violated");
+        }
+
+        let expected = match iommu.walk(&phys, &m.map, dev, dva, write) {
+            Ok(addr) => {
+                ok_cases += 1;
+                (1u64 << 40) | (addr << 16)
+            }
+            Err(f) => {
+                let (code, lvl) = dma_fault_code(&f);
+                // Variants without a carried level fault at a fixed
+                // point of the walk: NoRoot/NonCanonical before level 3,
+                // NotWritable/OutsideDmaRegion at the leaf.
+                let level = lvl.unwrap_or(match f {
+                    DmaFault::NotWritable | DmaFault::OutsideDmaRegion => 0,
+                    _ => PT_LEVELS - 1,
+                });
+                (code << 8) | level
+            }
+        };
+        assert_eq!(
+            eval_bv(&ctx, packed, &asg),
+            expected,
+            "case {case}: IOMMU circuit disagrees with Iommu::walk \
+             (dev={dev} dva={dva:#x} write={write})"
+        );
+    }
+    assert!(
+        ok_cases > 5,
+        "only {ok_cases} successful DMA walks in {CASES}"
+    );
+}
+
+/// Reads every sector of a RAM disk.
+fn sectors(disk: &mut RamDisk, sw: u64, nsectors: u64) -> Vec<Vec<i64>> {
+    (0..nsectors)
+        .map(|s| {
+            let mut b = vec![0i64; sw as usize];
+            disk.read_sector(s, &mut b);
+            b
+        })
+        .collect()
+}
+
+#[test]
+fn fslog_circuit_agrees_with_crashed_commit_and_recovery() {
+    let cfg = BmcConfig::default();
+    let (sw, nsectors, capacity) = cfg.fs_bounds();
+    let data_lo = (capacity + 1) as usize;
+    let mut ctx = Ctx::new();
+    let instances: Vec<_> = (1..=capacity as usize)
+        .map(|n| encode_fslog(&mut ctx, &cfg, n))
+        .collect();
+
+    let mut rng = XorShift64::new(0x10c_afe1);
+    let mut mid_crashes = 0;
+    for case in 0..CASES {
+        let n = 1 + rng.below(capacity) as usize;
+        let inst = &instances[n - 1];
+
+        // Random initial disk: clean header, random log slots and data.
+        let mut d0 = RamDisk::new(sw, nsectors);
+        for s in 1..nsectors {
+            let buf: Vec<i64> = (0..sw).map(|_| rng.below(1 << 20) as i64).collect();
+            d0.write_sector(s, &buf);
+        }
+        let mut homes: Vec<u64> = (data_lo as u64..nsectors).collect();
+        for i in (1..homes.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            homes.swap(i, j);
+        }
+        homes.truncate(n);
+        let payloads: Vec<Vec<i64>> = (0..n)
+            .map(|_| (0..sw).map(|_| rng.below(1 << 20) as i64).collect())
+            .collect();
+        let sched_len = 2 * n as u64 + 2;
+        let crash = rng.below(sched_len + 1);
+        if crash > 0 && crash < sched_len {
+            mid_crashes += 1;
+        }
+
+        // Native: the real commit against a disk that dies after
+        // `crash` sector writes, then the real recovery on what
+        // survived.
+        let mut log = Log::new(CrashDisk::new(d0.snapshot(), crash), 0, capacity);
+        log.begin();
+        for (i, p) in payloads.iter().enumerate() {
+            log.write(homes[i], p);
+        }
+        log.commit();
+        let mut crashed = log.into_disk().inner;
+        let mut rec_log = Log::new(crashed.snapshot(), 0, capacity);
+        rec_log.recover();
+        let mut recovered = rec_log.into_disk();
+
+        // The atomicity property, natively: the recovered data region
+        // is uniformly pre- or post-commit.
+        let pre = sectors(&mut d0, sw, nsectors);
+        let mut post = pre.clone();
+        for (i, p) in payloads.iter().enumerate() {
+            post[homes[i] as usize] = p.clone();
+        }
+        let rec = sectors(&mut recovered, sw, nsectors);
+        assert!(
+            rec[data_lo..] == pre[data_lo..] || rec[data_lo..] == post[data_lo..],
+            "case {case}: torn data region after crash at {crash}/{sched_len} (n={n})"
+        );
+
+        // Symbolic: the circuit replays the same crash to the same
+        // disk, word for word.
+        let mut asg = Assignment::new();
+        for (s, sector) in pre.iter().enumerate() {
+            for (w, &val) in sector.iter().enumerate() {
+                asg.set_var(var_of(&ctx, inst.d0[s][w]), Value::Bv(val as u64));
+            }
+        }
+        for (i, &h) in inst.homes.iter().enumerate() {
+            asg.set_var(var_of(&ctx, h), Value::Bv(homes[i]));
+        }
+        for (i, p) in inst.payloads.iter().enumerate() {
+            for (w, &t) in p.iter().enumerate() {
+                asg.set_var(var_of(&ctx, t), Value::Bv(payloads[i][w] as u64));
+            }
+        }
+        asg.set_var(var_of(&ctx, inst.crash), Value::Bv(crash));
+        for &a in &inst.assumptions {
+            assert!(eval_bool(&ctx, a, &asg), "case {case}: assumption violated");
+        }
+
+        let crash_native = sectors(&mut crashed, sw, nsectors);
+        for s in 0..nsectors as usize {
+            for w in 0..sw as usize {
+                assert_eq!(
+                    eval_bv(&ctx, inst.crash_state[s][w], &asg),
+                    crash_native[s][w] as u64,
+                    "case {case}: crash state diverges at lba {s} word {w} \
+                     (n={n} crash={crash})"
+                );
+                assert_eq!(
+                    eval_bv(&ctx, inst.recovered[s][w], &asg),
+                    rec[s][w] as u64,
+                    "case {case}: recovered state diverges at lba {s} word {w} \
+                     (n={n} crash={crash})"
+                );
+            }
+        }
+    }
+    assert!(mid_crashes > 50, "only {mid_crashes} mid-schedule crashes");
+}

@@ -1,0 +1,63 @@
+//! Positive harness runs: every family proves at the fast-tier bounds
+//! with certification on, and the deep-tier paging bounds stay sound.
+
+use hk_bmc::{harnesses, run_all, BmcConfig, BmcOutcome, Tier};
+
+#[test]
+fn all_harnesses_prove_at_fast_bounds_certified() {
+    let cfg = BmcConfig::default();
+    let reports = run_all(&cfg);
+    assert_eq!(reports.len(), harnesses().len());
+    for r in &reports {
+        eprintln!(
+            "[bmc] {:28} {:8} queries={} clauses={} {:?}",
+            r.name,
+            r.outcome.verdict(),
+            r.queries,
+            r.cnf_clauses,
+            r.time
+        );
+        assert!(
+            matches!(r.outcome, BmcOutcome::Proved),
+            "{} did not prove: {:?}",
+            r.name,
+            r.outcome
+        );
+        assert!(r.unsat_queries >= 1, "{} issued no unsat query", r.name);
+        assert_eq!(
+            r.certified_unsat, r.unsat_queries,
+            "{} has uncertified unsat answers",
+            r.name
+        );
+        // A property the term simplifier folds to `true` reaches the
+        // solver as an empty CNF; only real searches log DRAT steps.
+        assert!(
+            r.proof_steps > 0 || r.cnf_clauses == 0,
+            "{} logged no proof",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn tlb_proves_at_deep_bounds() {
+    // The TLB family is walk-table-free, so its deep tier is cheap
+    // enough for tier-1; the other families' deep bounds run nightly
+    // via `bench_incremental --bmc --deep`.
+    let cfg = BmcConfig {
+        tier: Tier::Deep,
+        only: Some(vec![
+            "tlb_coherence".into(),
+            "tlb_flush_from_scratch".into(),
+        ]),
+        ..BmcConfig::default()
+    };
+    for r in run_all(&cfg) {
+        assert!(
+            matches!(r.outcome, BmcOutcome::Proved),
+            "{} did not prove at deep bounds: {:?}",
+            r.name,
+            r.outcome
+        );
+    }
+}

@@ -467,7 +467,7 @@ impl VerifyReport {
 }
 
 /// Escapes a string for embedding in a JSON literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -17,13 +17,20 @@
 //!
 //! [`driver`] orchestrates all 50 handlers, optionally in parallel (the
 //! paper reports 15 minutes on 8 cores vs 45 single-core).
+//!
+//! [`bmc`] is the residue phase: bounded model checking of the trusted
+//! substrate *below* the state machine — the page walker, TLB, IOMMU,
+//! and crash-safe fs log — through the `hk-bmc` harnesses, reported on
+//! the same event stream.
 
+pub mod bmc;
 pub mod driver;
 pub mod event;
 pub mod refine;
 pub mod testgen;
 pub mod xcut;
 
+pub use bmc::{run_bmc, BmcReport};
 pub use driver::{verify_all, verify_image, VerifyConfig, VerifyReport};
 pub use event::{EventSink, PhaseStats, VerifyEvent};
 pub use refine::{verify_handler, HandlerOutcome, HandlerReport};

@@ -1,0 +1,123 @@
+//! The BMC phase through the driver machinery: event stream order,
+//! the `"bmc"` JSON section, and the certification invariant.
+//!
+//! The phase runs cheap harnesses only (the full registry at fast
+//! bounds is exercised by `crates/bmc/tests/harnesses.rs`); this test
+//! is about the core wiring, not the proofs.
+
+use std::sync::{Arc, Mutex};
+
+use hk_bmc::{BmcConfig, SeededBug};
+use hk_core::bmc::run_bmc;
+use hk_core::{EventSink, VerifyEvent};
+
+/// Captures a compact trace of the phase's events.
+fn capture() -> (EventSink, Arc<Mutex<Vec<String>>>) {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let log2 = Arc::clone(&log);
+    let sink = EventSink::new(move |ev| {
+        let line = match ev {
+            VerifyEvent::BmcStarted { harnesses, tier } => {
+                format!("started {harnesses} {tier}")
+            }
+            VerifyEvent::BmcFinding { name, verdict, .. } => {
+                format!("finding {name} {verdict}")
+            }
+            VerifyEvent::BmcFinished {
+                proved,
+                total,
+                unsat_queries,
+                certified,
+                ..
+            } => format!("finished {proved}/{total} {certified}/{unsat_queries}"),
+            _ => return,
+        };
+        log2.lock().unwrap().push(line);
+    });
+    (sink, log)
+}
+
+/// Cheap three-harness selection covering three families.
+fn quick_cfg() -> BmcConfig {
+    BmcConfig {
+        only: Some(vec![
+            "paging_split_join_roundtrip".to_string(),
+            "tlb_flush_from_scratch".to_string(),
+            "iommu_dma_confinement".to_string(),
+        ]),
+        ..BmcConfig::default()
+    }
+}
+
+#[test]
+fn clean_phase_emits_started_and_finished_only() {
+    let (sink, log) = capture();
+    let report = run_bmc(&quick_cfg(), &sink);
+    assert!(report.all_proved(), "{}", report.summary());
+    assert_eq!(report.harnesses.len(), 3);
+    assert_eq!(report.certified_unsat(), report.unsat_queries());
+
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 2, "unexpected events: {log:?}");
+    assert_eq!(log[0], "started 3 fast");
+    assert!(
+        log[1].starts_with("finished 3/3 "),
+        "unexpected finish: {}",
+        log[1]
+    );
+}
+
+#[test]
+fn seeded_bug_emits_a_finding_with_the_counterexample() {
+    let (sink, log) = capture();
+    let cfg = BmcConfig {
+        seeded_bug: Some(SeededBug::IommuGrantWiden),
+        only: Some(vec!["iommu_dma_confinement".to_string()]),
+        ..BmcConfig::default()
+    };
+    let report = run_bmc(&cfg, &sink);
+    assert!(!report.all_proved());
+    assert_eq!(report.proved(), 0);
+
+    let log = log.lock().unwrap();
+    assert_eq!(
+        log.as_slice(),
+        [
+            "started 1 fast",
+            "finding iommu_dma_confinement CEX",
+            "finished 0/1 0/0",
+        ]
+    );
+
+    // The finding's detail lands in the JSON section too.
+    let json = report.to_json();
+    assert!(json.contains("\"verdict\": \"CEX\""), "{json}");
+    assert!(json.contains("iommu counterexample"), "{json}");
+}
+
+#[test]
+fn json_section_reports_each_harness_with_proof_counters() {
+    let report = run_bmc(&quick_cfg(), &EventSink::null());
+    let json = report.to_json();
+    assert!(json.contains("\"tier\": \"fast\""), "{json}");
+    assert!(json.contains("\"proved\": 3"), "{json}");
+    assert!(json.contains("\"unknown\": 0"), "{json}");
+    for name in [
+        "paging_split_join_roundtrip",
+        "tlb_flush_from_scratch",
+        "iommu_dma_confinement",
+    ] {
+        assert!(json.contains(&format!("\"name\": \"{name}\"")), "{json}");
+    }
+    assert!(json.contains("\"certified_unsat\""), "{json}");
+    assert!(json.contains("\"detail\": null"), "{json}");
+    // Fail-closed accounting: the phase-level proof section equals the
+    // per-harness sums.
+    let unsat: u64 = report.harnesses.iter().map(|h| h.unsat_queries).sum();
+    assert!(
+        json.contains(&format!(
+            "\"proof\": {{ \"unsat_queries\": {unsat}, \"certified_unsat\": {unsat} }}"
+        )),
+        "{json}"
+    );
+}

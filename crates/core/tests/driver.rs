@@ -78,6 +78,11 @@ fn stable_view(ev: &VerifyEvent) -> Option<String> {
         } => {
             format!("done {verified}/{total}")
         }
+        // BMC-phase events never fire from verify_image; covered by
+        // tests/bmc_phase.rs.
+        VerifyEvent::BmcStarted { .. }
+        | VerifyEvent::BmcFinding { .. }
+        | VerifyEvent::BmcFinished { .. } => return None,
     })
 }
 

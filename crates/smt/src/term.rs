@@ -533,6 +533,18 @@ impl Ctx {
         self.not(e)
     }
 
+    /// Pairwise disequality of all terms (SMT-LIB `distinct`), expanded
+    /// to a conjunction of `n*(n-1)/2` disequalities.
+    pub fn distinct(&mut self, ts: &[TermId]) -> TermId {
+        let mut clauses = Vec::new();
+        for (i, &a) in ts.iter().enumerate() {
+            for &b in &ts[i + 1..] {
+                clauses.push(self.ne(a, b));
+            }
+        }
+        self.and(&clauses)
+    }
+
     /// If-then-else.
     pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
         debug_assert_eq!(self.sort(c), Sort::Bool);
@@ -1052,6 +1064,29 @@ mod tests {
         let a = ctx.var("x", Sort::Bv(8));
         let b = ctx.var("x", Sort::Bv(8));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distinct_expands_to_pairwise_disequality() {
+        let mut ctx = Ctx::new();
+        let a = ctx.bv_const(8, 1);
+        let b = ctx.bv_const(8, 2);
+        let c = ctx.bv_const(8, 1);
+        let t = ctx.tru();
+        assert_eq!(ctx.distinct(&[]), t);
+        assert_eq!(ctx.distinct(&[a]), t);
+        assert_eq!(ctx.distinct(&[a, b]), t);
+        let f = ctx.fls();
+        assert_eq!(ctx.distinct(&[a, b, c]), f);
+        // On variables it stays symbolic: a conjunction of 3 disequalities.
+        let x = ctx.var("x", Sort::Bv(8));
+        let y = ctx.var("y", Sort::Bv(8));
+        let z = ctx.var("z", Sort::Bv(8));
+        let d = ctx.distinct(&[x, y, z]);
+        match ctx.data(d) {
+            TermData::And(args) => assert_eq!(args.len(), 3),
+            other => panic!("expected conjunction, got {other:?}"),
+        }
     }
 
     #[test]

@@ -27,9 +27,12 @@ pub struct RamDisk {
 impl RamDisk {
     /// A zeroed disk.
     pub fn new(sector_words: u64, nsectors: u64) -> RamDisk {
+        let words = sector_words
+            .checked_mul(nsectors)
+            .expect("disk size overflows u64");
         RamDisk {
             sector_words,
-            data: vec![0; (sector_words * nsectors) as usize],
+            data: vec![0; words as usize],
         }
     }
 
@@ -49,14 +52,26 @@ impl DiskIo for RamDisk {
     }
 
     fn read_sector(&mut self, lba: u64, buf: &mut [i64]) {
-        let s = (lba * self.sector_words) as usize;
+        let s = sector_start(lba, self.sector_words, self.nsectors());
         buf.copy_from_slice(&self.data[s..s + self.sector_words as usize]);
     }
 
     fn write_sector(&mut self, lba: u64, buf: &[i64]) {
-        let s = (lba * self.sector_words) as usize;
+        let s = sector_start(lba, self.sector_words, self.nsectors());
         self.data[s..s + self.sector_words as usize].copy_from_slice(buf);
     }
+}
+
+/// Word offset of sector `lba`, rejecting out-of-range and wrapping LBAs
+/// explicitly rather than through a confusing slice panic (or, for a
+/// wrapped product, a silent read of the wrong sector).
+fn sector_start(lba: u64, sector_words: u64, nsectors: u64) -> usize {
+    assert!(
+        lba < nsectors,
+        "sector {lba} out of range (disk has {nsectors})"
+    );
+    lba.checked_mul(sector_words)
+        .expect("sector offset overflows u64") as usize
 }
 
 #[cfg(test)]
@@ -73,5 +88,22 @@ mod tests {
         assert_eq!(r, w);
         d.read_sector(4, &mut r);
         assert_eq!(r, [0; 8]);
+    }
+
+    #[test]
+    fn last_sector_is_addressable() {
+        let mut d = RamDisk::new(4, 16);
+        let w = [9i64; 4];
+        d.write_sector(15, &w);
+        let mut r = [0i64; 4];
+        d.read_sector(15, &mut r);
+        assert_eq!(r, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sector_past_end_panics() {
+        let mut d = RamDisk::new(4, 16);
+        d.write_sector(16, &[0; 4]);
     }
 }

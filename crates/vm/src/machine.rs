@@ -41,24 +41,48 @@ impl MemoryMap {
 
     /// First word of the DMA-pages region.
     pub fn dma_base(&self) -> u64 {
-        self.pages_base() + self.params.nr_pages * self.params.page_words
+        let ram_words = self
+            .params
+            .nr_pages
+            .checked_mul(self.params.page_words)
+            .expect("RAM region size overflows u64");
+        self.pages_base()
+            .checked_add(ram_words)
+            .expect("DMA region base overflows u64")
     }
 
     /// Total physical memory size in words.
     pub fn total_words(&self) -> u64 {
-        self.dma_base() + self.params.nr_dmapages * self.params.page_words
+        let dma_words = self
+            .params
+            .nr_dmapages
+            .checked_mul(self.params.page_words)
+            .expect("DMA region size overflows u64");
+        self.dma_base()
+            .checked_add(dma_words)
+            .expect("physical memory size overflows u64")
     }
 
     /// Physical address of word 0 of RAM page `pn`.
     pub fn ram_page_addr(&self, pn: u64) -> u64 {
         debug_assert!(pn < self.params.nr_pages);
-        self.pages_base() + pn * self.params.page_words
+        self.pages_base()
+            .checked_add(
+                pn.checked_mul(self.params.page_words)
+                    .expect("RAM page offset overflows u64"),
+            )
+            .expect("RAM page address overflows u64")
     }
 
     /// Physical address of word 0 of DMA page `d`.
     pub fn dma_page_addr(&self, d: u64) -> u64 {
         debug_assert!(d < self.params.nr_dmapages);
-        self.dma_base() + d * self.params.page_words
+        self.dma_base()
+            .checked_add(
+                d.checked_mul(self.params.page_words)
+                    .expect("DMA page offset overflows u64"),
+            )
+            .expect("DMA page address overflows u64")
     }
 
     /// Physical address of word 0 of combined-space frame `pfn`.
@@ -316,6 +340,26 @@ mod tests {
         }
         let addr = m.map.ram_page_addr(tables[3]) + idx[3];
         m.phys.write(addr, pte_encode(leaf_pfn as i64, perm));
+    }
+
+    #[test]
+    fn memory_map_regions_tile_exactly() {
+        let m = machine();
+        let map = m.map;
+        let params = map.params;
+        // Regions are contiguous: kernel | RAM pages | DMA pages.
+        assert_eq!(map.ram_page_addr(0), map.pages_base());
+        assert_eq!(
+            map.ram_page_addr(params.nr_pages - 1) + params.page_words,
+            map.dma_base()
+        );
+        assert_eq!(map.dma_page_addr(0), map.dma_base());
+        assert_eq!(
+            map.dma_page_addr(params.nr_dmapages - 1) + params.page_words,
+            map.total_words()
+        );
+        // pfn space covers RAM then DMA with no gap.
+        assert_eq!(map.pfn_addr(params.nr_pages), map.dma_base());
     }
 
     #[test]

@@ -59,29 +59,52 @@ pub enum FaultReason {
 /// offset, or `None` if the address is non-canonical (has bits above the
 /// translated range).
 pub fn split_va(params: &KernelParams, va: VirtAddr) -> Option<([u64; 4], u64)> {
-    let k = params.page_words.trailing_zeros() as u64;
-    let total_bits = k * (PT_LEVELS + 1);
-    if total_bits < 64 && (va >> total_bits) != 0 {
+    let k = params.page_words.trailing_zeros();
+    let total_bits = k * (PT_LEVELS as u32 + 1);
+    // `checked_shr` yields `None` for shifts >= 64, i.e. when the whole
+    // 64-bit space is translated and every address is canonical; a plain
+    // `>>` would wrap the shift amount in release builds instead.
+    if va.checked_shr(total_bits).is_some_and(|high| high != 0) {
         return None;
     }
     let mask = params.page_words - 1;
     let offset = va & mask;
     let mut idx = [0u64; 4];
     for (i, slot) in idx.iter_mut().enumerate() {
-        let level = PT_LEVELS - 1 - i as u64; // 3, 2, 1, 0
-        *slot = (va >> (k * (level + 1))) & mask;
+        let level = PT_LEVELS as u32 - 1 - i as u32; // 3, 2, 1, 0
+        *slot = va.checked_shr(k * (level + 1)).unwrap_or(0) & mask;
     }
     Some((idx, offset))
 }
 
 /// Composes a virtual address from level indices and offset (inverse of
 /// [`split_va`]); useful for user-space memory allocators.
+///
+/// # Panics
+///
+/// Panics if `offset` or any index exceeds `page_words - 1`, or if the
+/// composed address does not fit in 64 bits — either would silently
+/// corrupt neighbouring index fields under the old wrapping arithmetic.
 pub fn join_va(params: &KernelParams, idx: [u64; 4], offset: u64) -> VirtAddr {
-    let k = params.page_words.trailing_zeros() as u64;
+    let k = params.page_words.trailing_zeros();
+    let mask = params.page_words - 1;
+    assert!(
+        offset <= mask,
+        "join_va: offset {offset:#x} exceeds {mask:#x}"
+    );
     let mut va = offset;
     for (i, &ix) in idx.iter().enumerate() {
-        let level = PT_LEVELS - 1 - i as u64;
-        va |= ix << (k * (level + 1));
+        let level = PT_LEVELS as u32 - 1 - i as u32;
+        assert!(
+            ix <= mask,
+            "join_va: level-{level} index {ix:#x} exceeds {mask:#x}"
+        );
+        let sh = k * (level + 1);
+        let field = ix
+            .checked_shl(sh)
+            .filter(|&f| f.checked_shr(sh) == Some(ix))
+            .unwrap_or_else(|| panic!("join_va: level-{level} index {ix:#x} does not fit in u64"));
+        va |= field;
     }
     va
 }
@@ -125,7 +148,10 @@ pub fn walk(
         if table_pn >= params.nr_pages {
             return Err(fault(level, FaultReason::BadFrame));
         }
-        let entry_addr = map.ram_page_addr(table_pn) + ix;
+        let entry_addr = map
+            .ram_page_addr(table_pn)
+            .checked_add(ix)
+            .expect("page-table entry address overflows u64");
         entry = phys.read(entry_addr);
         if entry & PTE_P == 0 {
             return Err(fault(level, FaultReason::NotPresent));
@@ -145,7 +171,10 @@ pub fn walk(
     }
     Ok(Translation {
         pfn: table_pn,
-        phys_addr: map.pfn_addr(table_pn) + offset,
+        phys_addr: map
+            .pfn_addr(table_pn)
+            .checked_add(offset)
+            .expect("translated physical address overflows u64"),
         writable: entry & PTE_W != 0,
     })
 }
@@ -255,10 +284,52 @@ mod tests {
     }
 
     #[test]
+    fn join_va_saturates_the_translated_range() {
+        let params = KernelParams::verification();
+        let mask = params.page_words - 1;
+        let k = params.page_words.trailing_zeros() as u64;
+        let limit = 1u64 << (k * (PT_LEVELS + 1));
+        // All-ones indices and offset compose exactly the last canonical
+        // address; one word further is rejected by split_va.
+        let top = join_va(&params, [mask; 4], mask);
+        assert_eq!(top, limit - 1);
+        assert!(split_va(&params, top).is_some());
+        assert!(split_va(&params, top + 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn join_va_rejects_oversized_index() {
+        let params = KernelParams::verification();
+        join_va(&params, [params.page_words, 0, 0, 0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn join_va_rejects_oversized_offset() {
+        let params = KernelParams::verification();
+        join_va(&params, [0; 4], params.page_words);
+    }
+
+    #[test]
+    fn walk_last_word_of_last_page() {
+        let (mut phys, map) = setup();
+        let params = map.params;
+        let mask = params.page_words - 1;
+        let last_pfn = params.nr_pfns() - 1; // last DMA page
+        let va = join_va(&params, [0, 0, 1, 1], mask);
+        let root = map_va(&mut phys, &map, va, last_pfn, PTE_P | PTE_W | PTE_U);
+        let t = walk(&phys, &map, root, va, AccessKind::Write).unwrap();
+        assert_eq!(t.pfn, last_pfn);
+        // The very last physical word — one past would be out of memory.
+        assert_eq!(t.phys_addr, map.total_words() - 1);
+    }
+
+    #[test]
     fn walk_bad_frame() {
         let (mut phys, map) = setup();
         let bogus = map.params.nr_pfns() + 5;
-        let va = join_va(&map.params, [0, 0, 0, 4], 0);
+        let va = join_va(&map.params, [0, 1, 0, 0], 0);
         let root = map_va(&mut phys, &map, va, bogus, PTE_P | PTE_W | PTE_U);
         let err = walk(&phys, &map, root, va, AccessKind::Read).unwrap_err();
         assert_eq!(err.reason, FaultReason::BadFrame);

@@ -42,20 +42,37 @@ impl PhysMem {
         self.words[addr as usize] = val;
     }
 
+    /// Bounds-checks `[addr, addr + len)` and returns it as a `usize`
+    /// range. `addr + len` must not wrap u64 — a wrapped end would alias
+    /// low memory instead of faulting.
+    fn range(&self, addr: u64, len: u64) -> std::ops::Range<usize> {
+        let end = addr
+            .checked_add(len)
+            .unwrap_or_else(|| panic!("phys range {addr:#x}+{len:#x} wraps the address space"));
+        assert!(
+            end <= self.size(),
+            "phys range {addr:#x}+{len:#x} exceeds memory of {:#x} words",
+            self.size()
+        );
+        addr as usize..end as usize
+    }
+
     /// Reads a contiguous range.
     pub fn read_range(&self, addr: u64, len: u64) -> &[i64] {
-        &self.words[addr as usize..(addr + len) as usize]
+        &self.words[self.range(addr, len)]
     }
 
     /// Fills a contiguous range with a value.
     pub fn fill(&mut self, addr: u64, len: u64, val: i64) {
-        self.words[addr as usize..(addr + len) as usize].fill(val);
+        let r = self.range(addr, len);
+        self.words[r].fill(val);
     }
 
     /// Copies `len` words from `src` to `dst` within physical memory.
     pub fn copy(&mut self, dst: u64, src: u64, len: u64) {
-        self.words
-            .copy_within(src as usize..(src + len) as usize, dst as usize);
+        let s = self.range(src, len);
+        let d = self.range(dst, len);
+        self.words.copy_within(s, d.start);
     }
 }
 
@@ -86,5 +103,36 @@ mod tests {
     fn out_of_range_panics() {
         let m = PhysMem::new(8);
         m.read(8);
+    }
+
+    #[test]
+    fn ranges_at_the_exact_end_are_ok() {
+        let mut m = PhysMem::new(8);
+        assert_eq!(m.read_range(6, 2), &[0, 0]);
+        assert!(m.read_range(8, 0).is_empty());
+        m.fill(4, 4, 1);
+        m.copy(0, 4, 4);
+        assert_eq!(m.read(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps the address space")]
+    fn read_range_wrapping_end_panics() {
+        let m = PhysMem::new(8);
+        m.read_range(u64::MAX - 1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds memory")]
+    fn fill_past_end_panics() {
+        let mut m = PhysMem::new(8);
+        m.fill(6, 4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps the address space")]
+    fn copy_wrapping_source_panics() {
+        let mut m = PhysMem::new(8);
+        m.copy(0, u64::MAX, 2);
     }
 }
