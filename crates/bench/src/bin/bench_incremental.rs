@@ -34,6 +34,16 @@
 //! scaling column measures overhead honestly rather than advertising a
 //! speedup the machine cannot produce.
 //!
+//! With `--simplify` it measures the word-level static-analysis pass
+//! (known-bits/interval abstract interpretation, fact-directed
+//! rewriting, cone-of-influence reduction): the pipeline runs four
+//! certified columns — {oneshot, incremental} x {simplify off, on} —
+//! and per-handler clause counts, rewrite/discharge counters, and
+//! timings go to `BENCH_PR9.json`. Hard failures: a Sat<->Unsat flip
+//! between columns, an uncertified Unsat, no aggregate oneshot clause
+//! reduction, and (full runs) a reduction below 25% or zero statically
+//! discharged queries.
+//!
 //! With `--bmc` it benchmarks the bounded-model-checking phase instead
 //! of the handler proofs: the full `hk-bmc` harness registry (page
 //! walker, TLB coherence, IOMMU/DMA confinement, fs-log crash safety)
@@ -52,12 +62,14 @@
 //! cargo run --release -p hk-bench --bin bench_incremental
 //! cargo run --release -p hk-bench --bin bench_incremental -- --certify
 //! cargo run --release -p hk-bench --bin bench_incremental -- --parallel
+//! cargo run --release -p hk-bench --bin bench_incremental -- --simplify
 //! cargo run --release -p hk-bench --bin bench_incremental -- --bmc
 //! cargo run --release -p hk-bench --bin bench_incremental -- --bmc --deep
 //! # CI smoke: tiny handler set, report to target/, no repo-root write
 //! cargo run --release -p hk-bench --bin bench_incremental -- --smoke
 //! cargo run --release -p hk-bench --bin bench_incremental -- --smoke --certify
 //! cargo run --release -p hk-bench --bin bench_incremental -- --smoke --parallel --threads 1,2
+//! cargo run --release -p hk-bench --bin bench_incremental -- --smoke --simplify
 //! cargo run --release -p hk-bench --bin bench_incremental -- --bmc --smoke --threads 1,2
 //! ```
 
@@ -136,6 +148,13 @@ struct Measurement {
     clauses_imported: u64,
     cubes_total: u64,
     cubes_solved: u64,
+    simplify_time: Duration,
+    simplify_rewrites: u64,
+    simplify_bits_pinned: u64,
+    simplify_conjuncts_before: u64,
+    simplify_conjuncts_after: u64,
+    simplify_coi_dropped: u64,
+    statically_discharged: u64,
 }
 
 fn measure(report: &HandlerReport) -> Measurement {
@@ -168,9 +187,33 @@ fn measure(report: &HandlerReport) -> Measurement {
         clauses_imported: report.phases.clauses_imported,
         cubes_total: report.phases.cubes_total,
         cubes_solved: report.phases.cubes_solved,
+        simplify_time: report.phases.simplify_time,
+        simplify_rewrites: report.phases.simplify_rewrites,
+        simplify_bits_pinned: report.phases.simplify_bits_pinned,
+        simplify_conjuncts_before: report.phases.simplify_conjuncts_before,
+        simplify_conjuncts_after: report.phases.simplify_conjuncts_after,
+        simplify_coi_dropped: report.phases.simplify_coi_dropped,
+        statically_discharged: report.phases.statically_discharged,
     }
 }
 
+/// The feature-flag header every benchmark artifact carries, so a
+/// reader never has to infer from the filename which subsystems were
+/// active in the run that produced it.
+fn features_json(
+    incremental: bool,
+    parallel: bool,
+    certify: bool,
+    bmc: bool,
+    simplify: bool,
+) -> String {
+    format!(
+        "\"features\": {{\"incremental\": {incremental}, \"parallel\": {parallel}, \
+         \"certify\": {certify}, \"bmc\": {bmc}, \"simplify\": {simplify}}}"
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // flat knob list mirrors SolverConfig
 fn run(
     image: &KernelImage,
     params: KernelParams,
@@ -179,6 +222,7 @@ fn run(
     proof_log: bool,
     certify: bool,
     threads: usize,
+    simplify: bool,
 ) -> (Vec<Measurement>, Duration) {
     let mut config = VerifyConfig {
         params,
@@ -189,6 +233,7 @@ fn run(
     config.solver.incremental = incremental;
     config.solver.proof_log = proof_log;
     config.solver.certify = certify;
+    config.solver.simplify = simplify;
     config.solver.sat.max_conflicts = Some(MAX_CONFLICTS);
     config.solver.sat.max_solve_ms = Some(MAX_SOLVE_MS);
     let wall = Instant::now();
@@ -281,10 +326,10 @@ fn run_certify_bench(
         "proof-machinery benchmark over {} handler(s), cold cache\n",
         handlers.len()
     );
-    let (baseline, b_wall) = run(image, params, handlers, true, false, false, 1);
-    let (disabled, _) = run(image, params, handlers, true, false, false, 1);
-    let (logged, _) = run(image, params, handlers, true, true, false, 1);
-    let (certified, c_wall) = run(image, params, handlers, true, false, true, 1);
+    let (baseline, b_wall) = run(image, params, handlers, true, false, false, 1, false);
+    let (disabled, _) = run(image, params, handlers, true, false, false, 1, false);
+    let (logged, _) = run(image, params, handlers, true, true, false, 1, false);
+    let (certified, c_wall) = run(image, params, handlers, true, false, true, 1, false);
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "handler", "base", "disabled", "log", "certify", "log %", "cert %"
@@ -342,7 +387,7 @@ fn run_certify_bench(
          \"unsat_queries\": {},\n    \"certified_unsat\": {},\n    \"proofs_checked\": {},\n    \
          \"proof_steps\": {},\n    \"proof_bytes\": {},\n    \"check_time_ms\": {check_ms:.3}\n  }},\n  \
          \"config\": {{\"smoke\": {smoke}, \"handlers\": {}, \"threads\": 1, \"incremental\": true, \
-         \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}}}\n}}\n",
+         \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}, {features}}}\n}}\n",
         sum(&|m| m.unsat_queries),
         sum(&|m| m.certified_unsat),
         sum(&|m| m.proofs_checked),
@@ -350,7 +395,8 @@ fn run_certify_bench(
         sum(&|m| m.proof_bytes),
         handlers.len(),
         bw = ms(b_wall),
-        cw = ms(c_wall)
+        cw = ms(c_wall),
+        features = features_json(true, false, true, false, false)
     ));
     println!(
         "\naggregate total: {b_tot:.1}ms baseline, {d_tot:.1}ms disabled repeat \
@@ -403,7 +449,7 @@ fn run_parallel_bench(
     }
     let mut rows: Vec<(usize, Vec<Measurement>, Duration)> = Vec::new();
     for &t in thread_counts {
-        let (m, wall) = run(image, params, handlers, true, false, true, t);
+        let (m, wall) = run(image, params, handlers, true, false, true, t, false);
         println!(
             "threads={t}: wall {:.1}ms, handler-sum {:.1}ms",
             ms(wall),
@@ -505,8 +551,9 @@ fn run_parallel_bench(
     json.push_str(&format!(
         "  }},\n  \"config\": {{\"smoke\": {smoke}, \"handlers\": {}, \"certify\": true, \
          \"incremental\": true, \"cores_detected\": {cores}, \
-         \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}}}\n}}\n",
-        handlers.len()
+         \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}, {}}}\n}}\n",
+        handlers.len(),
+        features_json(true, true, true, false, false)
     ));
     std::fs::write(out_path, &json).expect("write benchmark artifact");
     let best = rows
@@ -519,6 +566,169 @@ fn run_parallel_bench(
         best.1, best.0, base.0
     );
     println!("wrote {}", out_path.display());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The `--simplify` axis: the word-level static-analysis pass on vs
+/// off, across both pipeline shapes, everything certified (so every
+/// Unsat — including statically discharged queries, which certification
+/// re-proves through the SAT path — carries a checked DRAT proof).
+/// Hard failures: any Sat<->Unsat flip between columns, an uncertified
+/// Unsat, simplify-on not reducing aggregate oneshot clauses, and (full
+/// runs) missing the >=25% oneshot clause-reduction floor or failing to
+/// statically discharge a single query.
+fn run_simplify_bench(
+    image: &KernelImage,
+    params: KernelParams,
+    handlers: &[Sysno],
+    out_path: &std::path::Path,
+    smoke: bool,
+) {
+    println!(
+        "word-level simplification benchmark over {} handler(s), certified, cold cache\n",
+        handlers.len()
+    );
+    let (os_off, osf_wall) = run(image, params, handlers, false, false, true, 1, false);
+    let (os_on, osn_wall) = run(image, params, handlers, false, false, true, 1, true);
+    let (inc_off, inf_wall) = run(image, params, handlers, true, false, true, 1, false);
+    let (inc_on, inn_wall) = run(image, params, handlers, true, false, true, 1, true);
+    let mut failed = false;
+    println!(
+        "{:<18} {:>12} {:>12} {:>8} {:>12} {:>12} {:>9} {:>6}",
+        "handler", "1shot off", "1shot on", "clause%", "incr off", "incr on", "rewrites", "disch"
+    );
+    let mut json = String::from("{\n  \"handlers\": {\n");
+    for i in 0..os_off.len() {
+        let (oo, on, io, inn) = (&os_off[i], &os_on[i], &inc_off[i], &inc_on[i]);
+        check_verdicts(oo, on, "simplify (oneshot)");
+        check_verdicts(io, inn, "simplify (incremental)");
+        for m in [oo, on, io, inn] {
+            if m.certified_unsat != m.unsat_queries {
+                eprintln!(
+                    "FAIL: {} certified only {}/{} unsat answers",
+                    m.name, m.certified_unsat, m.unsat_queries
+                );
+                failed = true;
+            }
+        }
+        let clause_pct = pct(on.cnf_clauses as f64, oo.cnf_clauses.max(1) as f64);
+        println!(
+            "{:<18} {:>10.1}ms {:>10.1}ms {:>7.1}% {:>10.1}ms {:>10.1}ms {:>9} {:>6}",
+            oo.name,
+            ms(oo.total),
+            ms(on.total),
+            clause_pct,
+            ms(io.total),
+            ms(inn.total),
+            on.simplify_rewrites + inn.simplify_rewrites,
+            on.statically_discharged + inn.statically_discharged
+        );
+        let col = |m: &Measurement, out: &mut String| {
+            out.push_str(&format!(
+                "{{\"total_ms\": {:.3}, \"encode_ms\": {:.3}, \"solve_ms\": {:.3}, \
+                 \"simplify_ms\": {:.3}, \"cnf_clauses\": {}, \"conflicts\": {}, \
+                 \"rewrites\": {}, \"bits_pinned\": {}, \"conjuncts_before\": {}, \
+                 \"conjuncts_after\": {}, \"coi_dropped\": {}, \"statically_discharged\": {}, \
+                 \"unsat_queries\": {}, \"certified_unsat\": {}, \"verdict\": \"{}\"}}",
+                ms(m.total),
+                ms(m.encode),
+                ms(m.solve),
+                ms(m.simplify_time),
+                m.cnf_clauses,
+                m.conflicts,
+                m.simplify_rewrites,
+                m.simplify_bits_pinned,
+                m.simplify_conjuncts_before,
+                m.simplify_conjuncts_after,
+                m.simplify_coi_dropped,
+                m.statically_discharged,
+                m.unsat_queries,
+                m.certified_unsat,
+                m.verdict,
+            ));
+        };
+        json.push_str(&format!("    \"{}\": {{\"oneshot_off\": ", oo.name));
+        col(oo, &mut json);
+        json.push_str(", \"oneshot_on\": ");
+        col(on, &mut json);
+        json.push_str(", \"incremental_off\": ");
+        col(io, &mut json);
+        json.push_str(", \"incremental_on\": ");
+        col(inn, &mut json);
+        json.push_str(&format!(
+            ", \"oneshot_clause_delta_pct\": {clause_pct:.3}}}{}\n",
+            if i + 1 < os_off.len() { "," } else { "" }
+        ));
+    }
+    let csum = |v: &[Measurement]| -> u64 { v.iter().map(|m| m.cnf_clauses as u64).sum() };
+    let tsum = |v: &[Measurement]| -> f64 { v.iter().map(|m| ms(m.total)).sum() };
+    let (oo_cl, on_cl) = (csum(&os_off), csum(&os_on));
+    let (io_cl, in_cl) = (csum(&inc_off), csum(&inc_on));
+    let clause_reduction_pct = (1.0 - on_cl as f64 / oo_cl.max(1) as f64) * 100.0;
+    let discharged: u64 = os_on
+        .iter()
+        .chain(inc_on.iter())
+        .map(|m| m.statically_discharged)
+        .sum();
+    let rewrites: u64 = os_on
+        .iter()
+        .chain(inc_on.iter())
+        .map(|m| m.simplify_rewrites)
+        .sum();
+    let coi: u64 = os_on.iter().map(|m| m.simplify_coi_dropped).sum();
+    json.push_str(&format!(
+        "  }},\n  \"aggregate\": {{\n    \"oneshot_off_clauses\": {oo_cl},\n    \
+         \"oneshot_on_clauses\": {on_cl},\n    \"oneshot_clause_reduction_pct\": \
+         {clause_reduction_pct:.3},\n    \"incremental_off_clauses\": {io_cl},\n    \
+         \"incremental_on_clauses\": {in_cl},\n    \"oneshot_off_total_ms\": {:.3},\n    \
+         \"oneshot_on_total_ms\": {:.3},\n    \"incremental_off_total_ms\": {:.3},\n    \
+         \"incremental_on_total_ms\": {:.3},\n    \"oneshot_off_wall_ms\": {:.3},\n    \
+         \"oneshot_on_wall_ms\": {:.3},\n    \"incremental_off_wall_ms\": {:.3},\n    \
+         \"incremental_on_wall_ms\": {:.3},\n    \"rewrites\": {rewrites},\n    \
+         \"coi_dropped\": {coi},\n    \"statically_discharged\": {discharged}\n  }},\n  \
+         \"config\": {{\"smoke\": {smoke}, \"handlers\": {}, \"threads\": 1, \"certify\": true, \
+         \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}, {}}}\n}}\n",
+        tsum(&os_off),
+        tsum(&os_on),
+        tsum(&inc_off),
+        tsum(&inc_on),
+        ms(osf_wall),
+        ms(osn_wall),
+        ms(inf_wall),
+        ms(inn_wall),
+        handlers.len(),
+        features_json(true, false, true, false, true)
+    ));
+    println!(
+        "\naggregate oneshot clauses: {oo_cl} off vs {on_cl} on \
+         ({clause_reduction_pct:.1}% reduction)"
+    );
+    println!("aggregate incremental clauses: {io_cl} off vs {in_cl} on");
+    println!(
+        "{rewrites} rewrites, {coi} conjuncts COI-dropped, {discharged} queries statically discharged"
+    );
+    std::fs::write(out_path, &json).expect("write benchmark artifact");
+    println!("\nwrote {}", out_path.display());
+    if on_cl >= oo_cl {
+        eprintln!(
+            "FAIL: simplify-on did not reduce aggregate oneshot clauses ({on_cl} vs {oo_cl})"
+        );
+        failed = true;
+    }
+    if !smoke {
+        if clause_reduction_pct < 25.0 {
+            eprintln!(
+                "FAIL: oneshot clause reduction {clause_reduction_pct:.1}% below the 25% floor"
+            );
+            failed = true;
+        }
+        if discharged == 0 {
+            eprintln!("FAIL: no query was statically discharged");
+            failed = true;
+        }
+    }
     if failed {
         std::process::exit(1);
     }
@@ -643,7 +853,7 @@ fn run_bmc_bench(
          \"wall_ms_t{}\": {b_wall:.3},\n    \"best_speedup_vs_t{}\": {:.3}\n  }},\n  \
          \"config\": {{\"smoke\": {smoke}, \"tier\": \"{}\", \"certify\": true, \
          \"cores_detected\": {cores}, \"max_conflicts\": {MAX_CONFLICTS}, \
-         \"max_solve_ms\": {MAX_SOLVE_MS}}}\n}}\n",
+         \"max_solve_ms\": {MAX_SOLVE_MS}, {}}}\n}}\n",
         base.1.harnesses.len(),
         base.1.proved(),
         base.1.unsat_queries(),
@@ -653,7 +863,8 @@ fn run_bmc_bench(
         rows.iter()
             .map(|(_, r)| b_wall / ms(r.total_time).max(1e-6))
             .fold(0.0f64, f64::max),
-        tier.name()
+        tier.name(),
+        features_json(true, true, true, true, false)
     ));
     std::fs::write(out_path, &json).expect("write benchmark artifact");
     println!("\nwrote {}", out_path.display());
@@ -668,6 +879,7 @@ fn main() {
     let certify_mode = args.iter().any(|a| a == "--certify");
     let parallel_mode = args.iter().any(|a| a == "--parallel");
     let bmc_mode = args.iter().any(|a| a == "--bmc");
+    let simplify_mode = args.iter().any(|a| a == "--simplify");
     let deep = args.iter().any(|a| a == "--deep");
     // --threads 1,2,4 overrides the parallel/bmc-mode scaling ladder.
     let thread_counts: Vec<usize> = args
@@ -721,10 +933,22 @@ fn main() {
     let handlers: &[Sysno] = match &only {
         Some(v) => v,
         None if smoke => &SMOKE_HANDLERS,
-        None if certify_mode => &CERTIFY_HANDLERS,
+        // The simplify comparison runs four certified columns, so it
+        // uses the same budget-friendly subset as the certify axis.
+        None if certify_mode || simplify_mode => &CERTIFY_HANDLERS,
         None => &FIG7_HANDLERS,
     };
     let image = KernelImage::build(params).expect("kernel build");
+    if simplify_mode {
+        let out = if smoke || only.is_some() {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/BENCH_PR9_smoke.json")
+        } else {
+            std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json")
+        };
+        run_simplify_bench(&image, params, handlers, &out, smoke);
+        return;
+    }
     if parallel_mode {
         let out = if smoke || only.is_some() {
             std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -751,8 +975,8 @@ fn main() {
     );
     // Incremental first: it is the fast side, so progress shows early
     // and a hung baseline handler is obvious from the trace.
-    let (incremental, n_wall) = run(&image, params, handlers, true, false, false, 1);
-    let (oneshot, o_wall) = run(&image, params, handlers, false, false, false, 1);
+    let (incremental, n_wall) = run(&image, params, handlers, true, false, false, 1, false);
+    let (oneshot, o_wall) = run(&image, params, handlers, false, false, false, 1, false);
     println!(
         "{:<18} {:>12} {:>12} {:>12} {:>12} {:>9}",
         "handler", "1shot enc", "incr enc", "1shot slv", "incr slv", "enc x"
@@ -809,10 +1033,11 @@ fn main() {
          \"oneshot_total_ms\": {o_tot:.3},\n    \"incremental_total_ms\": {n_tot:.3},\n    \
          \"oneshot_wall_ms\": {ow:.3},\n    \"incremental_wall_ms\": {nw:.3}\n  }},\n  \
          \"config\": {{\"smoke\": {smoke}, \"handlers\": {}, \"threads\": 1, \
-         \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}}}\n}}\n",
+         \"max_conflicts\": {MAX_CONFLICTS}, \"max_solve_ms\": {MAX_SOLVE_MS}, {features}}}\n}}\n",
         handlers.len(),
         ow = ms(o_wall),
-        nw = ms(n_wall)
+        nw = ms(n_wall),
+        features = features_json(true, false, false, false, false)
     ));
     println!(
         "\naggregate encode: {o_enc:.1}ms oneshot vs {n_enc:.1}ms incremental ({speedup:.2}x)"

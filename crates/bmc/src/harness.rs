@@ -271,7 +271,7 @@ impl Prover {
         self.proof_steps += st.proof_steps;
         self.solver.pop();
         match result {
-            SatResult::Unsat => {}
+            SatResult::Unsat | SatResult::StaticallyDischarged => {}
             SatResult::Sat(model) => {
                 self.outcome = BmcOutcome::Counterexample(render(&self.ctx, &model));
             }

@@ -224,6 +224,29 @@ impl VerifyReport {
                 "portfolio: {races} races across {workers} workers, {shared} clauses imported, {cubes} cubes solved"
             );
         }
+        let rewrites: u64 = self
+            .handlers
+            .iter()
+            .map(|h| h.phases.simplify_rewrites)
+            .sum();
+        let discharged: u64 = self
+            .handlers
+            .iter()
+            .map(|h| h.phases.statically_discharged)
+            .sum();
+        if rewrites > 0 || discharged > 0 {
+            let dropped: u64 = self
+                .handlers
+                .iter()
+                .map(|h| h.phases.simplify_coi_dropped)
+                .sum();
+            let time: Duration = self.handlers.iter().map(|h| h.phases.simplify_time).sum();
+            let _ = writeln!(
+                out,
+                "simplify: {rewrites} rewrites, {dropped} conjuncts COI-dropped, {discharged} queries statically discharged ({:.2}s)",
+                time.as_secs_f64()
+            );
+        }
         out
     }
 
@@ -248,6 +271,10 @@ impl VerifyReport {
     ///                           "no-restarts": 0, "cube": 0 },
     ///                 "clauses_exported": 310, "clauses_imported": 280,
     ///                 "cubes_total": 8, "cubes_solved": 8 },
+    ///   "simplify": { "terms": 5200, "rewrites": 140, "bits_pinned": 96,
+    ///                 "conjuncts_before": 210, "conjuncts_after": 180,
+    ///                 "coi_dropped": 12, "statically_discharged": 2,
+    ///                 "time_s": 0.05 },
     ///   "handlers": [
     ///     { "name": "sys_dup", "trap": 23, "verdict": "verified", "detail": null,
     ///       "paths": 4, "side_checks": 9, "cnf_clauses": 1042, "conflicts": 3,
@@ -386,6 +413,38 @@ impl VerifyReport {
             par.5,
             par.6
         );
+        let simp = self
+            .handlers
+            .iter()
+            .fold(([0u64; 7], Duration::ZERO), |(acc, t), h| {
+                let p = &h.phases;
+                (
+                    [
+                        acc[0] + p.simplify_terms,
+                        acc[1] + p.simplify_rewrites,
+                        acc[2] + p.simplify_bits_pinned,
+                        acc[3] + p.simplify_conjuncts_before,
+                        acc[4] + p.simplify_conjuncts_after,
+                        acc[5] + p.simplify_coi_dropped,
+                        acc[6] + p.statically_discharged,
+                    ],
+                    t + p.simplify_time,
+                )
+            });
+        let _ = writeln!(
+            out,
+            "  \"simplify\": {{ \"terms\": {}, \"rewrites\": {}, \"bits_pinned\": {}, \
+             \"conjuncts_before\": {}, \"conjuncts_after\": {}, \"coi_dropped\": {}, \
+             \"statically_discharged\": {}, \"time_s\": {:.6} }},",
+            simp.0[0],
+            simp.0[1],
+            simp.0[2],
+            simp.0[3],
+            simp.0[4],
+            simp.0[5],
+            simp.0[6],
+            simp.1.as_secs_f64()
+        );
         out.push_str("  \"handlers\": [\n");
         for (i, h) in self.handlers.iter().enumerate() {
             let (verdict, detail) = match &h.outcome {
@@ -415,7 +474,10 @@ impl VerifyReport {
                  \"scope_gc_clauses\": {}, \"probe_units\": {}, \"subsumed\": {}, \
                  \"strengthened\": {}, \"escalations\": {} }}, \
                  \"parallel\": {{ \"races\": {}, \"race_workers\": {}, \"clauses_exported\": {}, \
-                 \"clauses_imported\": {}, \"cubes_total\": {}, \"cubes_solved\": {} }} }}",
+                 \"clauses_imported\": {}, \"cubes_total\": {}, \"cubes_solved\": {} }}, \
+                 \"simplify\": {{ \"terms\": {}, \"rewrites\": {}, \"bits_pinned\": {}, \
+                 \"conjuncts_before\": {}, \"conjuncts_after\": {}, \"coi_dropped\": {}, \
+                 \"statically_discharged\": {}, \"time_s\": {:.6} }} }}",
                 json_escape(h.sysno.func_name()),
                 h.sysno.number(),
                 verdict,
@@ -453,7 +515,15 @@ impl VerifyReport {
                 h.phases.clauses_exported,
                 h.phases.clauses_imported,
                 h.phases.cubes_total,
-                h.phases.cubes_solved
+                h.phases.cubes_solved,
+                h.phases.simplify_terms,
+                h.phases.simplify_rewrites,
+                h.phases.simplify_bits_pinned,
+                h.phases.simplify_conjuncts_before,
+                h.phases.simplify_conjuncts_after,
+                h.phases.simplify_coi_dropped,
+                h.phases.statically_discharged,
+                h.phases.simplify_time.as_secs_f64()
             );
             out.push_str(if i + 1 < self.handlers.len() {
                 ",\n"

@@ -300,7 +300,7 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
                     phases,
                 };
             }
-            SatResult::Unsat => {}
+            SatResult::Unsat | SatResult::StaticallyDischarged => {}
         }
         solver.pop();
     }
@@ -409,7 +409,7 @@ pub fn verify_handler(vctx: &VerifyCtx, sysno: Sysno) -> HandlerReport {
             );
         }
         match result {
-            SatResult::Unsat => {}
+            SatResult::Unsat | SatResult::StaticallyDischarged => {}
             SatResult::Unknown => {
                 outcome = HandlerOutcome::Unknown;
                 break;

@@ -1,0 +1,166 @@
+//! Cone-of-influence reduction over asserted conjuncts.
+//!
+//! Two conjuncts interact only if they share an uninterpreted symbol: a
+//! variable or an uninterpreted function. (Sharing a function matters
+//! even without shared variables — Ackermannization links every pair of
+//! applications of one function with congruence constraints.) Grouping
+//! conjuncts into connected components over shared symbols therefore
+//! partitions the conjunction into independent subproblems:
+//!
+//!   `⋀ C  is satisfiable  ⟺  every component is satisfiable.`
+//!
+//! The solver only needs the verdict of the components containing the
+//! goal conjuncts *when the answer is Unsat*: if the goal's components
+//! are unsatisfiable, so is the whole conjunction. A Sat answer on the
+//! reduced set says nothing about the dropped components, so the caller
+//! must re-solve the full set before reporting Sat (see
+//! `solver.rs::check_oneshot_simplified`).
+
+use std::collections::HashMap;
+
+use crate::term::{Ctx, TermData, TermId};
+
+/// An uninterpreted symbol a conjunct depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Feature {
+    Var(u32),
+    Func(u32),
+}
+
+/// Union-find over conjunct indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Collects the uninterpreted symbols in the cone of `t`.
+fn support(ctx: &Ctx, t: TermId, out: &mut Vec<Feature>) {
+    let mut stack = vec![t];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        match ctx.data(n) {
+            TermData::Var(v) => out.push(Feature::Var(v.0)),
+            TermData::Apply(f, args) => {
+                out.push(Feature::Func(f.0));
+                stack.extend(args.iter().copied());
+            }
+            _ => stack.extend(crate::bitblast::term_children(ctx, n)),
+        }
+    }
+}
+
+/// Computes the keep-mask for `conjuncts`: `true` for members of a
+/// connected component that contains at least one goal conjunct.
+/// Conjuncts with no uninterpreted symbols are always kept (they are
+/// ground; the rewriter normally removes them first, and if one
+/// survives it is never worth risking a drop).
+pub fn reduce(ctx: &Ctx, conjuncts: &[TermId], is_goal: &[bool]) -> Vec<bool> {
+    debug_assert_eq!(conjuncts.len(), is_goal.len());
+    let n = conjuncts.len();
+    if n == 0 || !is_goal.iter().any(|g| *g) {
+        // No distinguished goal: nothing is safe to drop.
+        return vec![true; n];
+    }
+    let mut dsu = Dsu::new(n);
+    let mut owner: HashMap<Feature, usize> = HashMap::new();
+    let mut features = Vec::new();
+    let mut ground = vec![false; n];
+    for (i, &c) in conjuncts.iter().enumerate() {
+        features.clear();
+        support(ctx, c, &mut features);
+        ground[i] = features.is_empty();
+        for &f in &features {
+            match owner.get(&f) {
+                Some(&j) => dsu.union(i, j),
+                None => {
+                    owner.insert(f, i);
+                }
+            }
+        }
+    }
+    let mut goal_roots = vec![false; n];
+    for (i, &goal) in is_goal.iter().enumerate() {
+        if goal {
+            let r = dsu.find(i);
+            goal_roots[r] = true;
+        }
+    }
+    (0..n)
+        .map(|i| {
+            let r = dsu.find(i);
+            goal_roots[r] || ground[i]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn drops_disconnected_component() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let y = ctx.var("y", Sort::Bv(8));
+        let z = ctx.var("z", Sort::Bv(8));
+        let c1 = ctx.ult(x, y); // component {x, y}
+        let zc = ctx.bv_const(8, 9);
+        let c2 = ctx.ult(z, zc); // component {z}
+        let c3 = {
+            let k = ctx.bv_const(8, 3);
+            ctx.ult(k, x) // component {x, y} via x
+        };
+        let keep = reduce(&ctx, &[c1, c2, c3], &[false, false, true]);
+        assert_eq!(keep, vec![true, false, true]);
+    }
+
+    #[test]
+    fn shared_function_links_conjuncts() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let z = ctx.var("z", Sort::Bv(8));
+        let f = ctx.func("f", vec![Sort::Bv(8)], Sort::Bv(8));
+        let fx = ctx.apply(f, &[x]);
+        let fz = ctx.apply(f, &[z]);
+        let c1 = ctx.ult(fx, x); // {f, x}
+        let c2 = ctx.ult(fz, z); // {f, z} — linked through f
+        let keep = reduce(&ctx, &[c1, c2], &[false, true]);
+        assert_eq!(keep, vec![true, true]);
+    }
+
+    #[test]
+    fn no_goal_keeps_everything() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let y = ctx.var("y", Sort::Bv(8));
+        let c1 = ctx.ult(x, y);
+        let keep = reduce(&ctx, &[c1], &[false]);
+        assert_eq!(keep, vec![true]);
+    }
+}

@@ -1,0 +1,567 @@
+//! Word-level static analysis of the term DAG, run per query before
+//! Ackermannization and bit-blasting.
+//!
+//! Three cooperating pieces (see DESIGN.md §12):
+//!
+//! * [`domain`] — abstract interpretation with a known-bits lattice and
+//!   unsigned intervals, seeded from asserted facts;
+//! * [`rewrite`] — fact-directed simplification of each conjunct, with
+//!   equality substitution and own-origin exclusion;
+//! * [`coi`] — cone-of-influence reduction dropping asserted conjuncts
+//!   whose uninterpreted symbols never reach the goal.
+//!
+//! The entry points are [`simplify_query`] (oneshot: full rewrite +
+//! disjunct refutation + COI) and [`simplify_deltas`] (incremental:
+//! rewrites only not-yet-encoded assertions under scope-level
+//! visibility rules, never drops conjuncts). Both can report the whole
+//! query *statically discharged* when the abstraction alone proves the
+//! active conjunction unsatisfiable.
+
+pub mod coi;
+pub mod domain;
+pub mod rewrite;
+
+use std::collections::{HashMap, HashSet};
+
+use crate::term::{CmpOp, Ctx, Sort, TermData, TermId};
+
+use domain::{Analysis, SeedView, Seeds};
+use rewrite::{Facts, Rewriter};
+
+/// Origin tag for facts injected during disjunct refutation; any value
+/// distinct from real conjunct indices and [`domain::MULTI_ORIGIN`].
+const REFUTE_ORIGIN: u32 = u32::MAX - 1;
+
+/// Counters from one simplification run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimplifyStats {
+    /// Terms visited by the abstract analyses.
+    pub terms_visited: u64,
+    /// Nodes replaced by a different term.
+    pub rewrites: u64,
+    /// Bits of bit-vector terms pinned to constants.
+    pub bits_pinned: u64,
+    /// Conjuncts going in (after flattening top-level `And`s).
+    pub conjuncts_before: u64,
+    /// Conjuncts surviving rewriting + reduction.
+    pub conjuncts_after: u64,
+    /// Conjuncts dropped by cone-of-influence reduction.
+    pub coi_dropped: u64,
+}
+
+impl SimplifyStats {
+    fn absorb_rewriter(&mut self, rw: &Rewriter<'_>) {
+        self.rewrites += rw.stats.rewrites;
+        self.bits_pinned += rw.stats.bits_pinned;
+        self.terms_visited += rw.stats.visited;
+    }
+}
+
+/// Result of simplifying a whole (oneshot) query.
+#[derive(Debug)]
+pub enum SimplifyOutcome {
+    /// The abstraction proved the active conjunction unsatisfiable.
+    Discharged(SimplifyStats),
+    /// The rewritten assertion set to solve instead of the original.
+    Simplified {
+        /// Surviving conjuncts (conjunction of these ⟺ original, except
+        /// for COI drops — see `coi_dropped_any`).
+        assertions: Vec<TermId>,
+        /// True when COI dropped conjuncts: an Unsat verdict on
+        /// `assertions` still holds for the original, but a Sat verdict
+        /// requires re-solving the full set.
+        coi_dropped_any: bool,
+        /// Run counters.
+        stats: SimplifyStats,
+    },
+}
+
+/// Simplifies a oneshot query. `active` is the full assertion list;
+/// assertions at index `goal_start` and beyond are the goal (scoped)
+/// part that cone-of-influence reduction anchors on. With
+/// `use_coi == false` no conjunct is ever dropped by reduction.
+pub fn simplify_query(
+    ctx: &mut Ctx,
+    active: &[TermId],
+    goal_start: usize,
+    use_coi: bool,
+) -> SimplifyOutcome {
+    let mut stats = SimplifyStats::default();
+
+    // Flatten top-level conjunctions and deduplicate, tracking which
+    // conjuncts belong to the goal.
+    let mut conjuncts: Vec<TermId> = Vec::new();
+    let mut is_goal: Vec<bool> = Vec::new();
+    let mut seen: HashSet<TermId> = HashSet::new();
+    for (ai, &a) in active.iter().enumerate() {
+        let goal = ai >= goal_start;
+        match ctx.data(a) {
+            TermData::And(args) => {
+                for &c in args.clone().iter() {
+                    if seen.insert(c) {
+                        conjuncts.push(c);
+                        is_goal.push(goal);
+                    }
+                }
+            }
+            _ => {
+                if seen.insert(a) {
+                    conjuncts.push(a);
+                    is_goal.push(goal);
+                }
+            }
+        }
+    }
+    stats.conjuncts_before = conjuncts.len() as u64;
+
+    // Harvest facts from every conjunct (everything is level 0 in a
+    // oneshot query: all clauses live and die together).
+    let mut facts = Facts::default();
+    for (i, &c) in conjuncts.iter().enumerate() {
+        facts.harvest(ctx, c, i as u32, 0);
+    }
+
+    // Rewrite each conjunct with its own facts hidden.
+    let mut out: Vec<TermId> = Vec::new();
+    let mut out_goal: Vec<bool> = Vec::new();
+    for (i, &c) in conjuncts.iter().enumerate() {
+        let mut rw = Rewriter::new(
+            &facts,
+            SeedView::Rewriting {
+                exclude: Some(i as u32),
+                max_level: 0,
+            },
+        );
+        let mut r = rw.rewrite(ctx, c);
+        stats.absorb_rewriter(&rw);
+        if matches!(ctx.data(r), TermData::Or(_)) {
+            r = refute_disjuncts(ctx, &facts.seeds, r, 0, &mut stats);
+        }
+        match ctx.const_bool(r) {
+            Some(false) => {
+                stats.conjuncts_after = 0;
+                return SimplifyOutcome::Discharged(stats);
+            }
+            Some(true) => continue, // implied by the others: drop
+            None => {
+                out.push(r);
+                out_goal.push(is_goal[i]);
+            }
+        }
+    }
+
+    // Whole-conjunction discharge check on the rewritten set.
+    if conjunction_contradicts(ctx, &out, &mut stats) {
+        stats.conjuncts_after = 0;
+        return SimplifyOutcome::Discharged(stats);
+    }
+
+    // Cone-of-influence reduction anchored on the goal conjuncts.
+    let mut coi_dropped_any = false;
+    if use_coi {
+        let keep = coi::reduce(ctx, &out, &out_goal);
+        let mut kept = Vec::with_capacity(out.len());
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                kept.push(out[i]);
+            } else {
+                stats.coi_dropped += 1;
+                coi_dropped_any = true;
+            }
+        }
+        out = kept;
+    }
+
+    stats.conjuncts_after = out.len() as u64;
+    SimplifyOutcome::Simplified {
+        assertions: out,
+        coi_dropped_any,
+        stats,
+    }
+}
+
+/// One group of assertions sharing a scope level, split into the part
+/// already encoded in the incremental engine and the pending delta.
+#[derive(Debug)]
+pub struct DeltaGroup {
+    /// Scope level: base = 0, k-th open scope = k + 1.
+    pub level: u32,
+    /// Assertions already turned into clauses (facts only; immutable).
+    pub encoded: Vec<TermId>,
+    /// Assertions awaiting encoding (rewritten by the pass).
+    pub pending: Vec<TermId>,
+}
+
+/// Result of simplifying the pending deltas of an incremental check.
+#[derive(Debug)]
+pub struct DeltaOutcome {
+    /// The abstraction proved the whole active set unsatisfiable.
+    pub discharged: bool,
+    /// Rewritten pending assertions, one list per input group, same
+    /// lengths as the inputs.
+    pub rewritten: Vec<Vec<TermId>>,
+    /// Run counters.
+    pub stats: SimplifyStats,
+}
+
+/// Simplifies the pending deltas of an incremental check.
+///
+/// Visibility is stratified by scope level: an assertion at level `l`
+/// is rewritten using only facts from levels `<= l` (outer scopes
+/// outlive inner ones, so those facts are guaranteed active whenever
+/// the rewritten clause's activation literal is). No conjunct is
+/// dropped — incremental base clauses are permanent and unguarded, so
+/// cone-of-influence reduction does not apply.
+pub fn simplify_deltas(ctx: &mut Ctx, groups: &[DeltaGroup]) -> DeltaOutcome {
+    let mut stats = SimplifyStats::default();
+
+    // Assign one origin per assertion across all groups and harvest.
+    let mut facts = Facts::default();
+    let mut origin = 0u32;
+    let mut pending_origins: Vec<Vec<u32>> = Vec::with_capacity(groups.len());
+    for g in groups {
+        for &a in &g.encoded {
+            facts.harvest(ctx, a, origin, g.level);
+            origin += 1;
+        }
+        let mut po = Vec::with_capacity(g.pending.len());
+        for &a in &g.pending {
+            facts.harvest(ctx, a, origin, g.level);
+            po.push(origin);
+            origin += 1;
+        }
+        pending_origins.push(po);
+    }
+    stats.conjuncts_before = u64::from(origin);
+
+    // Rewrite the pending deltas under per-level views.
+    let mut rewritten: Vec<Vec<TermId>> = Vec::with_capacity(groups.len());
+    let mut all_active: Vec<TermId> = Vec::new();
+    for g in groups {
+        all_active.extend_from_slice(&g.encoded);
+    }
+    for (gi, g) in groups.iter().enumerate() {
+        let mut outs = Vec::with_capacity(g.pending.len());
+        for (pi, &a) in g.pending.iter().enumerate() {
+            let mut rw = Rewriter::new(
+                &facts,
+                SeedView::Rewriting {
+                    exclude: Some(pending_origins[gi][pi]),
+                    max_level: g.level,
+                },
+            );
+            let mut r = rw.rewrite(ctx, a);
+            stats.absorb_rewriter(&rw);
+            if matches!(ctx.data(r), TermData::Or(_)) {
+                r = refute_disjuncts(ctx, &facts.seeds, r, g.level, &mut stats);
+            }
+            all_active.push(r);
+            outs.push(r);
+        }
+        rewritten.push(outs);
+    }
+
+    // Whole-active-set discharge check (encoded originals + rewritten
+    // pendings; every fact is visible here).
+    let discharged = all_active.iter().any(|&a| ctx.const_bool(a) == Some(false))
+        || conjunction_contradicts(ctx, &all_active, &mut stats);
+
+    stats.conjuncts_after = stats.conjuncts_before;
+    DeltaOutcome {
+        discharged,
+        rewritten,
+        stats,
+    }
+}
+
+/// Refutes disjuncts of the `Or` conjunct `t` one at a time: a disjunct
+/// whose facts contradict the active facts (restricted to levels
+/// `<= level`) cannot hold in any model, so it is deleted from the
+/// disjunction. Returns the (possibly) shrunken disjunction.
+fn refute_disjuncts(
+    ctx: &mut Ctx,
+    seeds: &Seeds,
+    t: TermId,
+    level: u32,
+    stats: &mut SimplifyStats,
+) -> TermId {
+    let TermData::Or(args) = ctx.data(t) else {
+        return t;
+    };
+    let args: Vec<TermId> = args.to_vec();
+    let visible = visible_seeds(seeds, level);
+    let mut survivors = Vec::with_capacity(args.len());
+    for &d in &args {
+        let mut s2 = visible.clone();
+        s2.add_fact(ctx, d, REFUTE_ORIGIN, level, true);
+        let refuted = s2.conflict
+            || s2.bv.values().any(|e| e.abs.is_empty())
+            || cmp_pairs_contradict(ctx, &s2)
+            || {
+                let mut an = Analysis::new(&s2, SeedView::Full);
+                an.abs(ctx, d);
+                stats.terms_visited += an.visited;
+                an.contradiction
+            };
+        if !refuted {
+            survivors.push(d);
+        }
+    }
+    if survivors.len() == args.len() {
+        return t;
+    }
+    stats.rewrites += (args.len() - survivors.len()) as u64;
+    ctx.or(&survivors)
+}
+
+/// Clones the seed entries visible at `level`, resetting the conflict
+/// flag (it may have been raised by an invisible entry).
+fn visible_seeds(seeds: &Seeds, level: u32) -> Seeds {
+    Seeds {
+        bv: seeds
+            .bv
+            .iter()
+            .filter(|(_, e)| e.level <= level)
+            .map(|(t, e)| (*t, *e))
+            .collect(),
+        bools: seeds
+            .bools
+            .iter()
+            .filter(|(_, e)| e.level <= level)
+            .map(|(t, e)| (*t, *e))
+            .collect(),
+        conflict: false,
+    }
+}
+
+/// Full-view contradiction check over a conjunction: harvests fresh
+/// facts from `conjuncts` and looks for an empty abstraction, a boolean
+/// fact asserted both ways, or a complementary comparison pair.
+fn conjunction_contradicts(ctx: &Ctx, conjuncts: &[TermId], stats: &mut SimplifyStats) -> bool {
+    let mut seeds = Seeds::default();
+    for (i, &c) in conjuncts.iter().enumerate() {
+        seeds.add_fact(ctx, c, i as u32, 0, true);
+    }
+    if seeds.conflict || seeds.bv.values().any(|e| e.abs.is_empty()) {
+        return true;
+    }
+    if cmp_pairs_contradict(ctx, &seeds) {
+        return true;
+    }
+    let mut an = Analysis::new(&seeds, SeedView::Full);
+    for &c in conjuncts {
+        an.abs(ctx, c);
+        if an.contradiction {
+            stats.terms_visited += an.visited;
+            return true;
+        }
+    }
+    stats.terms_visited += an.visited;
+    false
+}
+
+/// Positive normal form of an asserted comparison atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Atom {
+    Ult(TermId, TermId),
+    Ule(TermId, TermId),
+    Slt(TermId, TermId),
+    Sle(TermId, TermId),
+    EqBv(TermId, TermId),
+}
+
+/// Detects pairs of asserted facts that are jointly unsatisfiable
+/// without any interval information: `a < b ∧ b ≤ a`, `a < b ∧ b < a`,
+/// and `a = b ∧ a < b` (each in unsigned and signed form).
+fn cmp_pairs_contradict(ctx: &Ctx, seeds: &Seeds) -> bool {
+    let mut atoms: HashMap<Atom, ()> = HashMap::new();
+    for (&t, e) in &seeds.bools {
+        let atom = match ctx.data(t) {
+            TermData::Cmp(op, a, b) => {
+                let (a, b) = (*a, *b);
+                match (op, e.value) {
+                    (CmpOp::Ult, true) => Atom::Ult(a, b),
+                    (CmpOp::Ult, false) => Atom::Ule(b, a),
+                    (CmpOp::Ule, true) => Atom::Ule(a, b),
+                    (CmpOp::Ule, false) => Atom::Ult(b, a),
+                    (CmpOp::Slt, true) => Atom::Slt(a, b),
+                    (CmpOp::Slt, false) => Atom::Sle(b, a),
+                    (CmpOp::Sle, true) => Atom::Sle(a, b),
+                    (CmpOp::Sle, false) => Atom::Slt(b, a),
+                }
+            }
+            TermData::Eq(a, b) if e.value && ctx.sort(*a) != Sort::Bool => {
+                Atom::EqBv(*(a.min(b)), *(a.max(b)))
+            }
+            _ => continue,
+        };
+        atoms.insert(atom, ());
+    }
+    for atom in atoms.keys() {
+        let contra = match *atom {
+            Atom::Ult(a, b) => {
+                atoms.contains_key(&Atom::Ule(b, a))
+                    || atoms.contains_key(&Atom::Ult(b, a))
+                    || atoms.contains_key(&Atom::EqBv(a.min(b), a.max(b)))
+            }
+            Atom::Slt(a, b) => {
+                atoms.contains_key(&Atom::Sle(b, a))
+                    || atoms.contains_key(&Atom::Slt(b, a))
+                    || atoms.contains_key(&Atom::EqBv(a.min(b), a.max(b)))
+            }
+            _ => false,
+        };
+        if contra {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Sort;
+
+    #[test]
+    fn discharges_contradictory_bounds() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let five = ctx.bv_const(16, 5);
+        let ten = ctx.bv_const(16, 10);
+        let lo = ctx.ult(x, five); // x < 5
+        let hi = ctx.ule(ten, x); // x >= 10
+        match simplify_query(&mut ctx, &[lo, hi], 1, true) {
+            SimplifyOutcome::Discharged(_) => {}
+            other => panic!("expected discharge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn discharges_complementary_cmp_pair() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let y = ctx.var("y", Sort::Bv(16));
+        let a = ctx.ult(x, y);
+        let b = ctx.ule(y, x);
+        match simplify_query(&mut ctx, &[a, b], 1, true) {
+            SimplifyOutcome::Discharged(_) => {}
+            other => panic!("expected discharge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coi_drops_unrelated_conjuncts() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let y = ctx.var("y", Sort::Bv(8));
+        let z = ctx.var("z", Sort::Bv(8));
+        let inv1 = ctx.ult(x, y); // unrelated to the goal
+        let c3 = ctx.bv_const(8, 3);
+        let goal = ctx.ult(c3, z); // goal touches z only
+        match simplify_query(&mut ctx, &[inv1, goal], 1, true) {
+            SimplifyOutcome::Simplified {
+                assertions,
+                coi_dropped_any,
+                stats,
+            } => {
+                assert_eq!(assertions, vec![goal]);
+                assert!(coi_dropped_any);
+                assert_eq!(stats.coi_dropped, 1);
+            }
+            other => panic!("expected simplified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refutes_impossible_disjuncts() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let c10 = ctx.bv_const(16, 10);
+        let c5 = ctx.bv_const(16, 5);
+        let c20 = ctx.bv_const(16, 20);
+        let base = ctx.ult(x, c10); // x < 10
+        let d1 = ctx.ule(c20, x); // x >= 20: impossible under base
+        let y = ctx.var("y", Sort::Bv(16));
+        let d2 = ctx.ult(y, c5); // independent: not refutable
+        let goal = ctx.or2(d1, d2);
+        match simplify_query(&mut ctx, &[base, goal], 1, false) {
+            SimplifyOutcome::Simplified { assertions, .. } => {
+                assert!(assertions.contains(&d2), "d1 refuted, goal collapses to d2");
+                assert!(!assertions.contains(&goal));
+            }
+            other => panic!("expected simplified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_disjuncts_refuted_discharges() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let c10 = ctx.bv_const(16, 10);
+        let c20 = ctx.bv_const(16, 20);
+        let c30 = ctx.bv_const(16, 30);
+        let base = ctx.ult(x, c10); // x < 10
+        let d1 = ctx.ule(c20, x); // x >= 20
+        let d2 = ctx.ule(c30, x); // x >= 30
+        let goal = ctx.or2(d1, d2);
+        match simplify_query(&mut ctx, &[base, goal], 1, true) {
+            SimplifyOutcome::Discharged(_) => {}
+            other => panic!("expected discharge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_deltas_rewrite_under_outer_facts() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let five = ctx.bv_const(8, 5);
+        let y = ctx.var("y", Sort::Bv(8));
+        let def = ctx.eq(x, five); // base, already encoded
+        let use_x = ctx.bv_add(x, y);
+        let seven = ctx.bv_const(8, 7);
+        let pending = ctx.ult(use_x, seven); // scope delta
+        let groups = vec![
+            DeltaGroup {
+                level: 0,
+                encoded: vec![def],
+                pending: vec![],
+            },
+            DeltaGroup {
+                level: 1,
+                encoded: vec![],
+                pending: vec![pending],
+            },
+        ];
+        let out = simplify_deltas(&mut ctx, &groups);
+        assert!(!out.discharged);
+        let expect_sum = ctx.bv_add(five, y);
+        let expect = ctx.ult(expect_sum, seven);
+        assert_eq!(out.rewritten[1], vec![expect]);
+    }
+
+    #[test]
+    fn base_delta_ignores_scope_facts() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let five = ctx.bv_const(8, 5);
+        let scope_def = ctx.eq(x, five); // scoped fact: may pop later
+        let seven = ctx.bv_const(8, 7);
+        let base_pending = ctx.ult(x, seven); // base delta: permanent
+        let groups = vec![
+            DeltaGroup {
+                level: 0,
+                encoded: vec![],
+                pending: vec![base_pending],
+            },
+            DeltaGroup {
+                level: 1,
+                encoded: vec![scope_def],
+                pending: vec![],
+            },
+        ];
+        let out = simplify_deltas(&mut ctx, &groups);
+        // The base delta must NOT be folded using the scoped x = 5.
+        assert_eq!(out.rewritten[0], vec![base_pending]);
+    }
+}

@@ -406,7 +406,13 @@ enum ShiftKind {
 
 /// Children of a term, for traversal (shared with the evaluator).
 pub fn term_children(ctx: &Ctx, t: TermId) -> Vec<TermId> {
-    match ctx.data(t) {
+    term_children_of(ctx.data(t))
+}
+
+/// Children of a `TermData` node (for callers holding raw node data,
+/// like `Ctx::validate`).
+pub fn term_children_of(data: &TermData) -> Vec<TermId> {
+    match data {
         TermData::True | TermData::False | TermData::BvConst { .. } | TermData::Var(_) => {
             Vec::new()
         }

@@ -24,7 +24,11 @@
 //!   test-case generation (paper §2.4);
 //! * [`solver`] — the front door tying the pipeline together;
 //! * [`cache`] — a content-addressed verification-condition cache so
-//!   repeated `verify_all` runs reuse verdicts instead of re-solving.
+//!   repeated `verify_all` runs reuse verdicts instead of re-solving;
+//! * [`analysis`] — word-level static analysis (known-bits + interval
+//!   abstract interpretation, fact-directed rewriting, cone-of-influence
+//!   reduction) that shrinks or outright discharges queries before
+//!   bit-blasting.
 //!
 //! # Examples
 //!
@@ -46,7 +50,10 @@
 //! }
 //! ```
 
+#![deny(clippy::needless_pass_by_value)]
+
 pub mod ackermann;
+pub mod analysis;
 pub mod bitblast;
 pub mod cache;
 pub mod cnf;
@@ -57,6 +64,7 @@ pub mod sat;
 pub mod solver;
 pub mod term;
 
+pub use analysis::{SimplifyOutcome, SimplifyStats};
 pub use cache::{CacheStats, CachedVerdict, QueryCache, QueryKey};
 pub use model::Model;
 pub use parallel::{CoreBudget, ParallelConfig, STRATEGY_NAMES};

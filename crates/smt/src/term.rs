@@ -298,6 +298,225 @@ impl Ctx {
         self.vars.len()
     }
 
+    /// Checks every well-formedness invariant of the term store: sort
+    /// and width agreement per node, canonical argument ordering from
+    /// the smart constructors, no dangling `TermId`/`VarId`/`FuncId`,
+    /// and intern-table consistency. Returns the first violation found.
+    ///
+    /// Run under `debug_assertions` at query entry (`Solver::check`)
+    /// and directly by tests; a violation means a constructor or an
+    /// external producer of `TermData` broke the term layer's contract.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.sorts.len() != self.terms.len() {
+            return Err(format!(
+                "sorts/terms length mismatch: {} vs {}",
+                self.sorts.len(),
+                self.terms.len()
+            ));
+        }
+        if self.intern.len() != self.terms.len() {
+            return Err(format!(
+                "intern table has {} entries for {} terms",
+                self.intern.len(),
+                self.terms.len()
+            ));
+        }
+        for (data, &id) in &self.intern {
+            let slot = self
+                .terms
+                .get(id.0 as usize)
+                .ok_or_else(|| format!("intern entry {id:?} is out of bounds"))?;
+            if slot != data {
+                return Err(format!("intern entry {id:?} disagrees with term store"));
+            }
+        }
+        for (i, data) in self.terms.iter().enumerate() {
+            let id = TermId(i as u32);
+            self.validate_node(id, data)
+                .map_err(|e| format!("term {}: {}", i, e))?;
+        }
+        Ok(())
+    }
+
+    fn validate_node(&self, id: TermId, data: &TermData) -> Result<(), String> {
+        let my_sort = self.sorts[id.0 as usize];
+        // The store is append-only: every child must already exist.
+        for c in crate::bitblast::term_children_of(data) {
+            if c.0 >= id.0 {
+                return Err(format!("child {c:?} does not precede its parent"));
+            }
+        }
+        let expect_bool = |t: TermId, what: &str| -> Result<(), String> {
+            if self.sort(t) == Sort::Bool {
+                Ok(())
+            } else {
+                Err(format!("{what} operand {t:?} is not boolean"))
+            }
+        };
+        let bv_width = |t: TermId, what: &str| -> Result<u32, String> {
+            match self.sort(t) {
+                Sort::Bv(w) => Ok(w),
+                Sort::Bool => Err(format!("{what} operand {t:?} is not a bit-vector")),
+            }
+        };
+        match data {
+            TermData::True | TermData::False => {
+                if my_sort != Sort::Bool {
+                    return Err("boolean constant with non-bool sort".into());
+                }
+            }
+            TermData::BvConst { width, value } => {
+                if !(1..=64).contains(width) {
+                    return Err(format!("constant width {width} out of range"));
+                }
+                if *value & !mask(*width) != 0 {
+                    return Err(format!("constant {value:#x} exceeds width {width}"));
+                }
+                if my_sort != Sort::Bv(*width) {
+                    return Err("constant sort disagrees with width".into());
+                }
+            }
+            TermData::Var(v) => {
+                let decl = self
+                    .vars
+                    .get(v.0 as usize)
+                    .ok_or_else(|| format!("dangling {v:?}"))?;
+                if my_sort != decl.sort {
+                    return Err(format!("var {} sort disagrees with declaration", decl.name));
+                }
+            }
+            TermData::Not(a) => {
+                expect_bool(*a, "not")?;
+                if my_sort != Sort::Bool {
+                    return Err("not with non-bool sort".into());
+                }
+            }
+            TermData::And(args) | TermData::Or(args) => {
+                if args.len() < 2 {
+                    return Err("and/or with fewer than 2 args".into());
+                }
+                if !args.windows(2).all(|w| w[0] < w[1]) {
+                    return Err("and/or args not strictly sorted".into());
+                }
+                for &a in args.iter() {
+                    expect_bool(a, "and/or")?;
+                }
+                if my_sort != Sort::Bool {
+                    return Err("and/or with non-bool sort".into());
+                }
+            }
+            TermData::Eq(a, b) => {
+                if self.sort(*a) != self.sort(*b) {
+                    return Err("eq operands of different sorts".into());
+                }
+                if a >= b {
+                    return Err("eq operands not in canonical order".into());
+                }
+                if my_sort != Sort::Bool {
+                    return Err("eq with non-bool sort".into());
+                }
+            }
+            TermData::Ite(c, t, e) => {
+                expect_bool(*c, "ite condition")?;
+                if self.sort(*t) != self.sort(*e) {
+                    return Err("ite branches of different sorts".into());
+                }
+                if t == e {
+                    return Err("ite with identical branches".into());
+                }
+                if my_sort != self.sort(*t) {
+                    return Err("ite sort disagrees with branches".into());
+                }
+            }
+            TermData::BvNot(a) => {
+                let w = bv_width(*a, "bvnot")?;
+                if my_sort != Sort::Bv(w) {
+                    return Err("bvnot width disagrees with operand".into());
+                }
+            }
+            TermData::BvBin(op, a, b) => {
+                let wa = bv_width(*a, "bvbin")?;
+                let wb = bv_width(*b, "bvbin")?;
+                if wa != wb {
+                    return Err(format!("bvbin width mismatch: {wa} vs {wb}"));
+                }
+                if op.commutative() && a > b {
+                    return Err("commutative bvbin not in canonical order".into());
+                }
+                if my_sort != Sort::Bv(wa) {
+                    return Err("bvbin sort disagrees with operands".into());
+                }
+            }
+            TermData::Cmp(_, a, b) => {
+                let wa = bv_width(*a, "cmp")?;
+                let wb = bv_width(*b, "cmp")?;
+                if wa != wb {
+                    return Err(format!("cmp width mismatch: {wa} vs {wb}"));
+                }
+                if my_sort != Sort::Bool {
+                    return Err("cmp with non-bool sort".into());
+                }
+            }
+            TermData::ZExt(a, w) | TermData::SExt(a, w) => {
+                let wa = bv_width(*a, "ext")?;
+                if *w <= wa {
+                    return Err(format!("extension to width {w} not wider than {wa}"));
+                }
+                if *w > 64 {
+                    return Err(format!("extension width {w} exceeds 64"));
+                }
+                if my_sort != Sort::Bv(*w) {
+                    return Err("extension sort disagrees with target width".into());
+                }
+            }
+            TermData::Extract(a, hi, lo) => {
+                let wa = bv_width(*a, "extract")?;
+                if hi < lo || *hi >= wa {
+                    return Err(format!("extract [{hi}:{lo}] out of range for width {wa}"));
+                }
+                if *lo == 0 && *hi == wa - 1 {
+                    return Err("full-range extract was not collapsed".into());
+                }
+                if my_sort != Sort::Bv(hi - lo + 1) {
+                    return Err("extract sort disagrees with bit range".into());
+                }
+            }
+            TermData::Concat(a, b) => {
+                let wa = bv_width(*a, "concat")?;
+                let wb = bv_width(*b, "concat")?;
+                if wa + wb > 64 {
+                    return Err(format!("concat width {} exceeds 64", wa + wb));
+                }
+                if my_sort != Sort::Bv(wa + wb) {
+                    return Err("concat sort disagrees with operand widths".into());
+                }
+            }
+            TermData::Apply(f, args) => {
+                let decl = self
+                    .funcs
+                    .get(f.0 as usize)
+                    .ok_or_else(|| format!("dangling {f:?}"))?;
+                if args.len() != decl.domain.len() {
+                    return Err(format!(
+                        "apply of {} with {} args, expected {}",
+                        decl.name,
+                        args.len(),
+                        decl.domain.len()
+                    ));
+                }
+                for (k, (&a, &d)) in args.iter().zip(decl.domain.iter()).enumerate() {
+                    if self.sort(a) != d {
+                        return Err(format!("apply of {} arg {k} sort mismatch", decl.name));
+                    }
+                }
+                if my_sort != decl.range {
+                    return Err(format!("apply of {} sort disagrees with range", decl.name));
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn intern(&mut self, data: TermData, sort: Sort) -> TermId {
         if let Some(&id) = self.intern.get(&data) {
             return id;
@@ -1197,5 +1416,52 @@ mod tests {
         let d = ctx.display(e);
         assert!(d.contains("x"), "{d}");
         assert!(d.contains("Add"), "{d}");
+    }
+
+    #[test]
+    fn validate_accepts_constructed_terms() {
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(16));
+        let y = ctx.var("y", Sort::Bv(16));
+        let p = ctx.var("p", Sort::Bool);
+        let f = ctx.func("f", vec![Sort::Bv(16)], Sort::Bv(16));
+        let fx = ctx.apply(f, &[x]);
+        let sum = ctx.bv_add(fx, y);
+        let lo = ctx.extract(sum, 7, 0);
+        let wide = ctx.zext(lo, 32);
+        let swide = ctx.sext(lo, 24);
+        let cc = ctx.concat(lo, lo);
+        let cmp = ctx.ult(x, sum);
+        let eq = ctx.eq(x, y);
+        let ite = ctx.ite(p, x, sum);
+        let nn = ctx.bv_not(ite);
+        let all = ctx.and(&[cmp, eq, p]);
+        let _ = (wide, swide, cc, nn, all);
+        ctx.validate().expect("constructed terms are well-formed");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_nodes() {
+        // Forge nodes through `intern` with broken invariants; each must
+        // be caught. Separate contexts: one bad node poisons a store.
+        let mut ctx = Ctx::new();
+        let x = ctx.var("x", Sort::Bv(8));
+        let y = ctx.var("y", Sort::Bv(16));
+        // Width-mismatched comparison.
+        ctx.intern(TermData::Cmp(CmpOp::Ult, x, y), Sort::Bool);
+        assert!(ctx.validate().unwrap_err().contains("width mismatch"));
+
+        let mut ctx2 = Ctx::new();
+        let a = ctx2.var("a", Sort::Bv(8));
+        // Dangling child id.
+        ctx2.intern(TermData::BvNot(TermId(99)), Sort::Bv(8));
+        assert!(ctx2.validate().is_err());
+        let _ = a;
+
+        let mut ctx3 = Ctx::new();
+        let v = ctx3.var("v", Sort::Bv(8));
+        // Sort disagreeing with the node.
+        ctx3.intern(TermData::BvNot(v), Sort::Bv(16));
+        assert!(ctx3.validate().unwrap_err().contains("width disagrees"));
     }
 }

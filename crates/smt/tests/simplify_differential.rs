@@ -1,0 +1,365 @@
+//! Differential testing of the word-level static-analysis pass.
+//!
+//! Two obligations, checked on randomly generated term DAGs biased
+//! toward the constructs the pass reasons hardest about (`Ite`,
+//! `Extract`, `Concat`, shifts):
+//!
+//! * **Eval agreement**: `analysis::simplify_query` only rewrites a
+//!   conjunct using facts implied by the *other* conjuncts, so on any
+//!   assignment satisfying the whole original set, every rewritten
+//!   conjunct must evaluate exactly like its original. (On assignments
+//!   falsifying some original the sets may legitimately differ — the
+//!   guarantee is conjunction-level equivalence, not term-level.)
+//! * **Verdict equality**: the full solver must answer identically with
+//!   the pass on and off, across oneshot/incremental pipelines and 1/2
+//!   worker configurations, and every Unsat under `certify` must come
+//!   back with a checked DRAT proof (`StaticallyDischarged` never
+//!   escapes a certified run).
+//!
+//! Everything runs on the vendored PRNG — no network, no external
+//! crates.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::XorShift64;
+use hk_smt::analysis::{self, SimplifyOutcome};
+use hk_smt::eval::{eval_bool, Assignment, Value};
+use hk_smt::term::TermData;
+use hk_smt::{
+    BvBinOp, CmpOp, CoreBudget, Ctx, ParallelConfig, SatResult, Solver, SolverConfig, Sort, TermId,
+    VarId,
+};
+
+const WIDTH: u32 = 8;
+
+struct Vocab {
+    bv_vars: Vec<(TermId, VarId)>,
+    bool_var: (TermId, VarId),
+}
+
+fn vocab(ctx: &mut Ctx) -> Vocab {
+    let var_id = |ctx: &Ctx, t: TermId| match ctx.data(t) {
+        TermData::Var(v) => *v,
+        _ => unreachable!("fresh var"),
+    };
+    let x = ctx.var("x", Sort::Bv(WIDTH));
+    let y = ctx.var("y", Sort::Bv(WIDTH));
+    let b = ctx.var("b", Sort::Bool);
+    Vocab {
+        bv_vars: vec![(x, var_id(ctx, x)), (y, var_id(ctx, y))],
+        bool_var: (b, var_id(ctx, b)),
+    }
+}
+
+const BIN_OPS: [BvBinOp; 11] = [
+    BvBinOp::Add,
+    BvBinOp::Sub,
+    BvBinOp::Mul,
+    BvBinOp::Udiv,
+    BvBinOp::Urem,
+    BvBinOp::And,
+    BvBinOp::Or,
+    BvBinOp::Xor,
+    BvBinOp::Shl,
+    BvBinOp::Lshr,
+    BvBinOp::Ashr,
+];
+
+/// Bit-vector generator biased (cases 4–6) toward the width-changing
+/// and branching operators the abstract domains track through.
+fn gen_bv(ctx: &mut Ctx, rng: &mut XorShift64, v: &Vocab, depth: u32) -> TermId {
+    if depth == 0 {
+        return if rng.chance(1, 2) {
+            v.bv_vars[rng.below(v.bv_vars.len() as u64) as usize].0
+        } else {
+            let c = rng.below(1 << WIDTH);
+            ctx.bv_const(WIDTH, c)
+        };
+    }
+    match rng.below(8) {
+        0 => {
+            let c = rng.below(1 << WIDTH);
+            ctx.bv_const(WIDTH, c)
+        }
+        1 => v.bv_vars[rng.below(v.bv_vars.len() as u64) as usize].0,
+        2 | 3 => {
+            let op = BIN_OPS[rng.below(BIN_OPS.len() as u64) as usize];
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            let b = gen_bv(ctx, rng, v, depth - 1);
+            ctx.bv_bin(op, a, b)
+        }
+        4 => {
+            let c = gen_bool(ctx, rng, v, depth - 1);
+            let t = gen_bv(ctx, rng, v, depth - 1);
+            let e = gen_bv(ctx, rng, v, depth - 1);
+            ctx.ite(c, t, e)
+        }
+        5 => {
+            // Extract a random proper sub-range, then pad back to WIDTH
+            // so the vocabulary stays single-width.
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            let lo = rng.below(u64::from(WIDTH) - 1) as u32;
+            let hi = lo + rng.below(u64::from(WIDTH - 1 - lo)) as u32;
+            let ex = ctx.extract(a, hi, lo);
+            if rng.chance(1, 2) {
+                ctx.zext(ex, WIDTH)
+            } else {
+                ctx.sext(ex, WIDTH)
+            }
+        }
+        6 => {
+            // Concat two halves back to WIDTH bits.
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            let b = gen_bv(ctx, rng, v, depth - 1);
+            let hi = ctx.extract(a, WIDTH - 1, WIDTH / 2);
+            let lo = ctx.extract(b, WIDTH / 2 - 1, 0);
+            ctx.concat(hi, lo)
+        }
+        _ => {
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            ctx.bv_not(a)
+        }
+    }
+}
+
+fn gen_bool(ctx: &mut Ctx, rng: &mut XorShift64, v: &Vocab, depth: u32) -> TermId {
+    if depth == 0 {
+        return if rng.chance(1, 2) {
+            v.bool_var.0
+        } else {
+            let b = rng.chance(1, 2);
+            ctx.bool_const(b)
+        };
+    }
+    match rng.below(6) {
+        0 => {
+            let ops = [CmpOp::Ult, CmpOp::Ule, CmpOp::Slt, CmpOp::Sle];
+            let op = ops[rng.below(4) as usize];
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            let b = gen_bv(ctx, rng, v, depth - 1);
+            ctx.cmp(op, a, b)
+        }
+        1 => {
+            let a = gen_bv(ctx, rng, v, depth - 1);
+            let b = gen_bv(ctx, rng, v, depth - 1);
+            if rng.chance(1, 2) {
+                ctx.eq(a, b)
+            } else {
+                ctx.ne(a, b)
+            }
+        }
+        2 => {
+            let a = gen_bool(ctx, rng, v, depth - 1);
+            let b = gen_bool(ctx, rng, v, depth - 1);
+            ctx.and(&[a, b])
+        }
+        3 => {
+            let a = gen_bool(ctx, rng, v, depth - 1);
+            let b = gen_bool(ctx, rng, v, depth - 1);
+            ctx.or(&[a, b])
+        }
+        4 => {
+            let a = gen_bool(ctx, rng, v, depth - 1);
+            ctx.not(a)
+        }
+        _ => v.bool_var.0,
+    }
+}
+
+/// The assignment `{x, y := bits, b := bit}` for one point of the
+/// 2^17 domain.
+fn assignment_at(v: &Vocab, point: u64) -> Assignment {
+    let mut asg = Assignment::new();
+    for (i, &(_, var)) in v.bv_vars.iter().enumerate() {
+        asg.set_var(
+            var,
+            Value::Bv(point >> (i as u32 * WIDTH) & ((1 << WIDTH) - 1)),
+        );
+    }
+    asg.set_var(
+        v.bool_var.1,
+        Value::Bool(point >> (v.bv_vars.len() as u32 * WIDTH) & 1 == 1),
+    );
+    asg
+}
+
+/// On every sampled assignment, the original conjunction and the
+/// simplified conjunction must agree; a `Discharged` outcome must mean
+/// no sampled assignment satisfies the originals.
+#[test]
+fn simplify_preserves_conjunction_semantics() {
+    let mut rng = XorShift64::new(0x51a7);
+    for case in 0..192u64 {
+        let mut ctx = Ctx::new();
+        let v = vocab(&mut ctx);
+        let n = 1 + rng.below(4);
+        let assertions: Vec<TermId> = (0..n)
+            .map(|_| gen_bool(&mut ctx, &mut rng, &v, 4))
+            .collect();
+        // COI off: dropped conjuncts would (soundly) weaken the
+        // conjunction, which is exactly the case this oracle can't
+        // score. The solver-level test below covers COI.
+        let outcome = analysis::simplify_query(&mut ctx, &assertions, assertions.len(), false);
+        let simplified: Option<Vec<TermId>> = match outcome {
+            SimplifyOutcome::Discharged(_) => None,
+            SimplifyOutcome::Simplified { assertions, .. } => Some(assertions),
+        };
+        for _ in 0..256 {
+            let point = rng.below(1 << (v.bv_vars.len() as u32 * WIDTH + 1));
+            let asg = assignment_at(&v, point);
+            let orig = assertions.iter().all(|&t| eval_bool(&ctx, t, &asg));
+            match &simplified {
+                None => assert!(
+                    !orig,
+                    "case {case}: discharged as Unsat but assignment {point:#x} satisfies \
+                     the originals"
+                ),
+                Some(s) => {
+                    let simp = s.iter().all(|&t| eval_bool(&ctx, t, &asg));
+                    assert_eq!(
+                        orig, simp,
+                        "case {case}: original and simplified conjunctions disagree on \
+                         assignment {point:#x}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The full solver answers identically with the pass on and off, across
+/// pipeline shapes and worker counts; every Unsat under `certify`
+/// carries a checked proof.
+#[test]
+fn verdicts_agree_with_simplify_on_and_off() {
+    let mut rng = XorShift64::new(0xc01e);
+    for case in 0..48u64 {
+        let mut ctx = Ctx::new();
+        let v = vocab(&mut ctx);
+        let n = 1 + rng.below(3);
+        let assertions: Vec<TermId> = (0..n)
+            .map(|_| gen_bool(&mut ctx, &mut rng, &v, 4))
+            .collect();
+        let mut baseline: Option<bool> = None;
+        for workers in [1usize, 2] {
+            for incremental in [false, true] {
+                for simplify in [false, true] {
+                    for certify in [false, true] {
+                        let parallel = ParallelConfig {
+                            workers,
+                            conflict_threshold: 0,
+                            budget: (workers > 1).then(|| Arc::new(CoreBudget::new(workers))),
+                            ..ParallelConfig::default()
+                        };
+                        let mut s = Solver::with_config(SolverConfig {
+                            incremental,
+                            simplify,
+                            certify,
+                            parallel,
+                            ..SolverConfig::default()
+                        });
+                        for &t in &assertions {
+                            s.assert(&mut ctx, t);
+                        }
+                        let r = s.check(&mut ctx);
+                        if certify {
+                            assert!(
+                                !matches!(r, SatResult::StaticallyDischarged),
+                                "case {case}: StaticallyDischarged escaped a certified run"
+                            );
+                            assert_eq!(
+                                s.stats.certified_unsat, s.stats.unsat_queries,
+                                "case {case}: Unsat left uncertified \
+                                 (incremental={incremental} simplify={simplify})"
+                            );
+                        }
+                        let sat = match r {
+                            SatResult::Sat(m) => {
+                                for &t in &assertions {
+                                    assert!(
+                                        eval_bool(&ctx, t, &m.assignment),
+                                        "case {case}: model fails an original assertion \
+                                         (incremental={incremental} simplify={simplify})"
+                                    );
+                                }
+                                true
+                            }
+                            SatResult::Unsat | SatResult::StaticallyDischarged => false,
+                            SatResult::Unknown => panic!("case {case}: unexpected unknown"),
+                        };
+                        match baseline {
+                            None => baseline = Some(sat),
+                            Some(b) => assert_eq!(
+                                b, sat,
+                                "case {case}: verdict flipped (workers={workers} \
+                                 incremental={incremental} simplify={simplify} \
+                                 certify={certify})"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Incremental sessions with scopes: push/pop sequences answer the same
+/// with the pass on and off, including checks that discharge statically.
+#[test]
+fn scoped_sessions_agree_with_simplify_on_and_off() {
+    let mut rng = XorShift64::new(0x5c0e);
+    for case in 0..24u64 {
+        let mut ctx = Ctx::new();
+        let v = vocab(&mut ctx);
+        let mut plain = Solver::with_config(SolverConfig {
+            simplify: false,
+            ..SolverConfig::default()
+        });
+        let mut simp = Solver::with_config(SolverConfig {
+            simplify: true,
+            ..SolverConfig::default()
+        });
+        let ops = 12 + rng.below(8);
+        let mut depth = 0u32;
+        for _ in 0..ops {
+            match rng.below(8) {
+                0..=3 => {
+                    let t = gen_bool(&mut ctx, &mut rng, &v, 3);
+                    plain.assert(&mut ctx, t);
+                    simp.assert(&mut ctx, t);
+                }
+                4 => {
+                    plain.push();
+                    simp.push();
+                    depth += 1;
+                }
+                5 => {
+                    if depth > 0 {
+                        plain.pop();
+                        simp.pop();
+                        depth -= 1;
+                    }
+                }
+                _ => {
+                    let a = plain.check(&mut ctx);
+                    let b = simp.check(&mut ctx);
+                    assert_eq!(
+                        a.is_sat(),
+                        b.is_sat(),
+                        "case {case}: scoped verdicts diverge (plain {a:?} vs simplified {b:?})"
+                    );
+                    if let SatResult::Sat(m) = &b {
+                        for &t in &plain.active_assertions() {
+                            assert!(
+                                eval_bool(&ctx, t, &m.assignment),
+                                "case {case}: simplified model fails an active assertion"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
